@@ -1,0 +1,50 @@
+//! Criterion companion to the §6 backbone-throughput experiment: wall-clock
+//! cost of simulating one TCP transfer over a provisioned backbone link
+//! (the simulator must stay fast enough that the full PoP-pair matrix is a
+//! seconds-scale harness, not an hours-scale one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use peering_netsim::{
+    LinkConfig, MacAddr, PortId, SimDuration, SimTime, Simulator, TcpFlowConfig, TcpReceiver,
+    TcpSender,
+};
+
+fn transfer(bytes: u64) -> f64 {
+    let mut sim = Simulator::new(1);
+    let cfg = TcpFlowConfig::new(
+        MacAddr::from_id(1),
+        MacAddr::from_id(2),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.2".parse().unwrap(),
+        bytes,
+    );
+    let tx = sim.add_node(Box::new(TcpSender::new(cfg)));
+    let rx = sim.add_node(Box::new(TcpReceiver::new(
+        MacAddr::from_id(2),
+        "10.0.0.2".parse().unwrap(),
+    )));
+    let link = LinkConfig::provisioned(SimDuration::from_millis(10), 600_000_000)
+        .with_queue_bytes(4 * 1024 * 1024);
+    sim.connect(tx, PortId(0), rx, PortId(0), link);
+    sim.set_timer(tx, SimDuration::ZERO, 0);
+    sim.run_until(SimTime::from_nanos(120_000_000_000));
+    sim.node::<TcpSender>(tx)
+        .unwrap()
+        .throughput_bps()
+        .unwrap_or(0.0)
+}
+
+fn tcp_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backbone/tcp_transfer");
+    group.sample_size(10);
+    for &mb in &[1u64, 5] {
+        group.throughput(Throughput::Bytes(mb * 1_000_000));
+        group.bench_with_input(BenchmarkId::new("megabytes", mb), &mb, |b, &mb| {
+            b.iter(|| std::hint::black_box(transfer(mb * 1_000_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tcp_transfer);
+criterion_main!(benches);

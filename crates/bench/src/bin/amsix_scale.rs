@@ -1,0 +1,72 @@
+//! Regenerates the **§6 AMS-IX scale anecdotes**: PEERING's router at one
+//! of the world's largest IXPs exchanges routes with 4 route servers, 2
+//! transits and 235 routers in 104 member networks; holds 2.7 million
+//! routes from 854 ASes at ≈327 B/route; and processed an average of 21.8
+//! updates/s with a p99 of ≈400 updates/s during an 18 h window.
+//!
+//! The harness loads an AMS-IX-scale table (scaled by the first argument,
+//! default 1/4 to stay laptop-friendly), reports bytes/route, and measures
+//! sustained update-processing throughput against the paper's p99.
+//!
+//! Run with: `cargo run --release --bin amsix_scale [scale_divisor]`
+
+use std::time::Instant;
+
+use peering_bench::{fig6b_configs, memory_sweep};
+
+fn main() {
+    let divisor: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let routes = 2_700_000 / divisor;
+    let interconnections = 241; // 4 RS + 2 transit + 235 member routers
+
+    println!("# §6 AMS-IX scale (scale 1/{divisor}: {routes} routes over {interconnections} interconnections)\n");
+
+    let start = Instant::now();
+    let sweep = memory_sweep(&[routes], interconnections as u32);
+    let load_time = start.elapsed();
+    let point = &sweep[0];
+    let bpr = point.control_plane as f64 / point.routes as f64;
+    println!(
+        "table load: {} routes in {:.2} s ({:.0} routes/s)",
+        point.routes,
+        load_time.as_secs_f64(),
+        point.routes as f64 / load_time.as_secs_f64()
+    );
+    println!(
+        "memory: {:.0} MB control plane, {:.0} MB with per-interconnection FIBs",
+        point.control_plane as f64 / 1e6,
+        point.per_interconnection as f64 / 1e6
+    );
+    println!("bytes/route: {bpr:.0}   (paper: ≈327)");
+    println!(
+        "32 GiB server capacity: {:.0} M routes   (paper: ≈100 M)\n",
+        34_359_738_368.0 / bpr / 1e6
+    );
+
+    // Update-processing headroom vs the observed arrival rates.
+    let batch = 50_000u64;
+    let mut pair = fig6b_configs::single_router();
+    let updates = pair.encoded_updates(batch);
+    let start = Instant::now();
+    for u in &updates {
+        pair.feed(u);
+    }
+    let rate = batch as f64 / start.elapsed().as_secs_f64();
+    println!("update processing (single-router vBGP filters): {rate:.0} updates/s sustained");
+    println!(
+        "  vs AMS-IX average 21.8 upd/s: {:.0}x headroom",
+        rate / 21.8
+    );
+    println!(
+        "  vs AMS-IX p99 ≈400 upd/s:     {:.0}x headroom",
+        rate / 400.0
+    );
+    println!(
+        "\nconclusion holds: \"our current software stack can be deployed at even\n\
+         the largest IXPs for the foreseeable future on off-the-shelf servers\": {}",
+        rate > 4_000.0 && bpr < 2_000.0
+    );
+}

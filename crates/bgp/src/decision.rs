@@ -1,0 +1,232 @@
+//! The BGP decision process (RFC 4271 §9.1.2.2).
+//!
+//! Ordering: highest LOCAL_PREF → shortest AS_PATH → lowest ORIGIN → lowest
+//! MED (compared between routes from the same neighboring AS) → eBGP over
+//! iBGP → oldest route → lowest router id → lowest peer address. (IGP cost
+//! is omitted: the paper's vBGP routers are one hop from every neighbor, so
+//! the step never discriminates.)
+//!
+//! The single-best outcome of this process is exactly the visibility loss
+//! the paper's §2.2.2 describes — vBGP bypasses it with ADD-PATH, but the
+//! experiment-side routers and the synthetic Internet ASes in the platform
+//! crate run this standard process.
+
+use std::cmp::Ordering;
+
+use crate::attrs::Origin;
+use crate::rib::{Route, RouteSource};
+
+fn local_pref(route: &Route) -> u32 {
+    // Default LOCAL_PREF is 100 when absent (common implementation default).
+    route.attrs.local_pref.unwrap_or(100)
+}
+
+fn origin_rank(origin: Origin) -> u8 {
+    origin.to_u8() // IGP(0) < EGP(1) < INCOMPLETE(2); lower wins
+}
+
+fn neighbor_as(route: &Route) -> Option<crate::types::Asn> {
+    route.attrs.as_path.first_as()
+}
+
+/// Compare two routes; `Ordering::Less` means `a` is preferred.
+pub fn compare(a: &Route, b: &Route) -> Ordering {
+    // 1. Highest LOCAL_PREF.
+    match local_pref(b).cmp(&local_pref(a)) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    // 2. Shortest AS_PATH.
+    match a.attrs.as_path.path_len().cmp(&b.attrs.as_path.path_len()) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    // 3. Lowest ORIGIN.
+    match origin_rank(a.attrs.origin).cmp(&origin_rank(b.attrs.origin)) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    // 4. Lowest MED, only when the neighbor AS matches (and both have one).
+    if let (Some(na), Some(nb)) = (neighbor_as(a), neighbor_as(b)) {
+        if na == nb {
+            let med_a = a.attrs.med.unwrap_or(0);
+            let med_b = b.attrs.med.unwrap_or(0);
+            match med_a.cmp(&med_b) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+    }
+    // 5. eBGP over iBGP.
+    match (a.source.is_ebgp(), b.source.is_ebgp()) {
+        (true, false) => return Ordering::Less,
+        (false, true) => return Ordering::Greater,
+        _ => {}
+    }
+    // 6. Oldest route (stability preference).
+    match a.stamp.cmp(&b.stamp) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    // 7. Lowest router id, then lowest peer address, then path id.
+    let key = |r: &Route| match r.source {
+        RouteSource::Local => (0u32, None, r.path_id),
+        RouteSource::Peer {
+            router_id, addr, ..
+        } => (router_id.0, Some(addr), r.path_id),
+    };
+    key(a).cmp(&key(b))
+}
+
+/// Sort candidates best-first (a total, deterministic order).
+pub fn sort_candidates(candidates: &mut [Route]) {
+    candidates.sort_by(compare);
+}
+
+/// The best route among candidates, if any.
+pub fn best_path(candidates: &[Route]) -> Option<&Route> {
+    candidates.iter().min_by(|a, b| compare(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, PathAttributes};
+    use crate::rib::PeerId;
+    use crate::types::{prefix, Asn, RouterId};
+
+    fn base(peer: u32) -> Route {
+        Route {
+            prefix: prefix("192.168.0.0/24"),
+            path_id: 0,
+            attrs: PathAttributes {
+                as_path: AsPath::from_asns(&[Asn(peer), Asn(500)]),
+                next_hop: Some("10.0.0.1".parse().unwrap()),
+                ..Default::default()
+            },
+            source: RouteSource::Peer {
+                peer: PeerId(peer),
+                ebgp: true,
+                router_id: RouterId(peer),
+                addr: format!("10.0.0.{peer}").parse().unwrap(),
+            },
+            stamp: 10,
+        }
+    }
+
+    #[test]
+    fn local_pref_dominates() {
+        let mut a = base(1);
+        a.attrs.local_pref = Some(200);
+        a.attrs.as_path = AsPath::from_asns(&[Asn(1), Asn(2), Asn(3), Asn(4)]);
+        let b = base(2); // default LP 100, shorter path
+        assert_eq!(compare(&a, &b), Ordering::Less);
+        assert_eq!(best_path(&[b, a.clone()]).unwrap(), &a);
+    }
+
+    #[test]
+    fn shorter_as_path_wins() {
+        let a = base(1);
+        let mut b = base(2);
+        b.attrs.as_path.prepend(Asn(2), 2);
+        assert_eq!(compare(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn origin_breaks_tie() {
+        let a = base(1);
+        let mut b = base(1);
+        b.attrs.origin = Origin::Incomplete;
+        assert_eq!(compare(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn med_only_compared_same_neighbor_as() {
+        // Same neighbor AS: lower MED wins.
+        let mut a = base(1);
+        a.attrs.med = Some(10);
+        let mut b = base(1);
+        b.attrs.med = Some(20);
+        b.source = RouteSource::Peer {
+            peer: PeerId(2),
+            ebgp: true,
+            router_id: RouterId(2),
+            addr: "10.0.0.2".parse().unwrap(),
+        };
+        assert_eq!(compare(&a, &b), Ordering::Less);
+        // Different neighbor AS: MED ignored, falls through to router id.
+        let mut c = base(2);
+        c.attrs.med = Some(999);
+        let a2 = base(1);
+        assert_eq!(compare(&a2, &c), Ordering::Less); // router id 1 < 2
+    }
+
+    #[test]
+    fn ebgp_beats_ibgp() {
+        let a = base(1);
+        let mut b = base(1);
+        if let RouteSource::Peer { ebgp, .. } = &mut b.source {
+            *ebgp = false;
+        }
+        assert_eq!(compare(&a, &b), Ordering::Less);
+        assert_eq!(compare(&b, &a), Ordering::Greater);
+    }
+
+    #[test]
+    fn older_route_preferred() {
+        let mut a = base(1);
+        a.stamp = 5;
+        let mut b = base(1);
+        b.stamp = 6;
+        // Make sources distinct so only the stamp differs meaningfully.
+        b.source = RouteSource::Peer {
+            peer: PeerId(9),
+            ebgp: true,
+            router_id: RouterId(0),
+            addr: "10.0.0.9".parse().unwrap(),
+        };
+        assert_eq!(compare(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn router_id_final_tiebreak() {
+        let a = base(1);
+        let b = base(2);
+        assert_eq!(compare(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn sort_is_total_and_deterministic() {
+        let mut routes = vec![base(3), base(1), base(2)];
+        routes[0].attrs.local_pref = Some(50);
+        sort_candidates(&mut routes);
+        let ids: Vec<u32> = routes
+            .iter()
+            .map(|r| match r.source {
+                RouteSource::Peer { peer, .. } => peer.0,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn best_of_empty_is_none() {
+        assert!(best_path(&[]).is_none());
+    }
+
+    #[test]
+    fn local_route_beats_peer_on_id() {
+        let a = Route {
+            source: RouteSource::Local,
+            ..base(1)
+        };
+        let b = base(1);
+        // Same LP/path/origin; local has no eBGP flag so eBGP wins step 5.
+        assert_eq!(compare(&b, &a), Ordering::Less);
+        // But a locally-originated route usually has an empty AS path:
+        let mut a2 = a.clone();
+        a2.attrs.as_path = AsPath::empty();
+        assert_eq!(compare(&a2, &b), Ordering::Less);
+    }
+}

@@ -1,0 +1,576 @@
+//! The BGP session finite state machine (RFC 4271 §8).
+//!
+//! Sans-IO: the FSM consumes [`FsmEvent`]s (transport notifications, decoded
+//! messages, timer expirations) and emits [`FsmAction`]s (messages to send,
+//! timers to arm). The embedding (a vBGP router node in the simulator, or a
+//! unit test) owns the transport and the clock, which is what makes the
+//! paper's §3.3 point about testable policy/engines concrete: every state
+//! transition here is exercised by plain synchronous tests.
+
+use crate::message::{Message, NotificationMsg, OpenMsg, SessionCodecCtx, UpdateMsg, ERR_OPEN};
+use crate::types::{Afi, Asn, RouterId};
+
+/// FSM states (RFC 4271 §8.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmState {
+    /// Initial state; refuses all connections.
+    Idle,
+    /// Waiting for the transport connection to complete.
+    Connect,
+    /// Transport failed; awaiting retry or inbound connection.
+    Active,
+    /// OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// OPEN exchanged, waiting for KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow.
+    Established,
+}
+
+/// Timers the FSM asks its embedding to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// Retry the transport connection.
+    ConnectRetry,
+    /// Hold timer: no message from peer for the negotiated hold time.
+    Hold,
+    /// Send the next KEEPALIVE.
+    Keepalive,
+}
+
+/// Inputs to the FSM.
+#[derive(Debug, Clone)]
+pub enum FsmEvent {
+    /// Operator/automatic start (active open).
+    ManualStart,
+    /// Operator stop; sends CEASE if established.
+    ManualStop,
+    /// The transport (TCP in the paper; a simulated tunnel here) came up.
+    TcpConnected,
+    /// The transport failed or closed.
+    TcpClosed,
+    /// A decoded message arrived.
+    Msg(Message),
+    /// A previously-armed timer fired.
+    Timer(TimerKind),
+}
+
+/// Outputs from the FSM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsmAction {
+    /// Ask the embedding to initiate the transport.
+    OpenTransport,
+    /// Ask the embedding to close the transport.
+    CloseTransport,
+    /// Send a message to the peer.
+    Send(Message),
+    /// Arm a timer for `secs` seconds (re-arming replaces).
+    ArmTimer(TimerKind, u16),
+    /// Cancel a timer.
+    StopTimer(TimerKind),
+    /// The session reached Established.
+    SessionUp,
+    /// The session left Established (reason string for logs).
+    SessionDown(&'static str),
+    /// An UPDATE arrived on an Established session.
+    DeliverUpdate(UpdateMsg),
+    /// A ROUTE-REFRESH arrived on an Established session (RFC 2918): the
+    /// peer asks for the Adj-RIB-Out to be re-sent.
+    DeliverRouteRefresh {
+        /// Address family requested.
+        afi: u16,
+        /// Subsequent AFI requested.
+        safi: u8,
+    },
+}
+
+/// Static session configuration.
+#[derive(Debug, Clone)]
+pub struct FsmConfig {
+    /// Local ASN.
+    pub local_asn: Asn,
+    /// Local BGP identifier.
+    pub local_id: RouterId,
+    /// The ASN we expect the peer to present (RFC 4271 rejects mismatches).
+    pub peer_asn: Asn,
+    /// Proposed hold time (seconds).
+    pub hold_time: u16,
+    /// Offer ADD-PATH both directions for v4+v6 (vBGP always does on
+    /// experiment-facing sessions).
+    pub add_path: bool,
+    /// Connect-retry interval (seconds).
+    pub connect_retry_secs: u16,
+    /// Start passively: wait for the peer to open the transport.
+    pub passive: bool,
+}
+
+impl FsmConfig {
+    /// A typical eBGP config with 90 s hold time.
+    pub fn ebgp(local_asn: Asn, local_id: RouterId, peer_asn: Asn) -> Self {
+        FsmConfig {
+            local_asn,
+            local_id,
+            peer_asn,
+            hold_time: 90,
+            add_path: false,
+            connect_retry_secs: 30,
+            passive: false,
+        }
+    }
+
+    /// Enable ADD-PATH negotiation.
+    pub fn with_add_path(mut self) -> Self {
+        self.add_path = true;
+        self
+    }
+
+    /// Wait for the peer to connect instead of initiating.
+    pub fn with_passive(mut self) -> Self {
+        self.passive = true;
+        self
+    }
+}
+
+/// Negotiated session properties, valid once Established.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Negotiated {
+    /// Effective hold time (min of both sides).
+    pub hold_time: u16,
+    /// Codec context: ADD-PATH per family, applied to both directions.
+    pub codec: SessionCodecCtx,
+    /// Peer's router id (tie-breaking in the decision process).
+    pub peer_id: RouterId,
+    /// Peer's (possibly 4-byte) ASN.
+    pub peer_asn: Asn,
+}
+
+/// The session FSM.
+pub struct SessionFsm {
+    cfg: FsmConfig,
+    state: FsmState,
+    negotiated: Negotiated,
+    /// Count of state transitions into Established (flap counter).
+    pub established_count: u64,
+}
+
+impl SessionFsm {
+    /// Create an FSM in Idle.
+    pub fn new(cfg: FsmConfig) -> Self {
+        SessionFsm {
+            cfg,
+            state: FsmState::Idle,
+            negotiated: Negotiated::default(),
+            established_count: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> FsmState {
+        self.state
+    }
+
+    /// Negotiated parameters (meaningful once Established).
+    pub fn negotiated(&self) -> &Negotiated {
+        &self.negotiated
+    }
+
+    /// Codec context for this session's wire encoding.
+    pub fn codec_ctx(&self) -> SessionCodecCtx {
+        self.negotiated.codec
+    }
+
+    /// Whether the session is Established.
+    pub fn is_established(&self) -> bool {
+        self.state == FsmState::Established
+    }
+
+    fn our_open(&self) -> OpenMsg {
+        OpenMsg::standard(
+            self.cfg.local_asn,
+            self.cfg.hold_time,
+            self.cfg.local_id,
+            self.cfg.add_path,
+        )
+    }
+
+    fn keepalive_interval(hold: u16) -> u16 {
+        (hold / 3).max(1)
+    }
+
+    fn drop_session(
+        &mut self,
+        actions: &mut Vec<FsmAction>,
+        reason: &'static str,
+        notify: Option<NotificationMsg>,
+    ) {
+        if let Some(n) = notify {
+            actions.push(FsmAction::Send(Message::Notification(n)));
+        }
+        if self.state == FsmState::Established {
+            actions.push(FsmAction::SessionDown(reason));
+        }
+        actions.push(FsmAction::StopTimer(TimerKind::Hold));
+        actions.push(FsmAction::StopTimer(TimerKind::Keepalive));
+        actions.push(FsmAction::CloseTransport);
+        self.state = FsmState::Idle;
+        self.negotiated = Negotiated::default();
+        // Automatic restart: arm the connect-retry timer so the session
+        // recovers without operator action (IdleHoldTimer in the RFC).
+        actions.push(FsmAction::ArmTimer(
+            TimerKind::ConnectRetry,
+            self.cfg.connect_retry_secs,
+        ));
+    }
+
+    fn handle_open(&mut self, open: OpenMsg, actions: &mut Vec<FsmAction>) {
+        if open.asn != self.cfg.peer_asn {
+            let notify = NotificationMsg::new(ERR_OPEN, 2); // bad peer AS
+            self.drop_session(actions, "bad peer AS", Some(notify));
+            return;
+        }
+        let hold = self.cfg.hold_time.min(open.hold_time);
+        let ours_ap = self.cfg.add_path;
+        let ap = |afi: Afi| -> bool {
+            ours_ap
+                && open
+                    .add_path(afi)
+                    .map(|d| {
+                        // Our Both direction intersects with anything the
+                        // peer can send or receive.
+                        d.can_send() || d.can_receive()
+                    })
+                    .unwrap_or(false)
+        };
+        self.negotiated = Negotiated {
+            hold_time: hold,
+            codec: SessionCodecCtx {
+                add_path_v4: ap(Afi::Ipv4),
+                add_path_v6: ap(Afi::Ipv6),
+            },
+            peer_id: open.router_id,
+            peer_asn: open.asn,
+        };
+        actions.push(FsmAction::Send(Message::Keepalive));
+        if hold > 0 {
+            actions.push(FsmAction::ArmTimer(TimerKind::Hold, hold));
+            actions.push(FsmAction::ArmTimer(
+                TimerKind::Keepalive,
+                Self::keepalive_interval(hold),
+            ));
+        }
+        self.state = FsmState::OpenConfirm;
+    }
+
+    /// Feed an event; returns the actions to take.
+    pub fn handle(&mut self, event: FsmEvent) -> Vec<FsmAction> {
+        let mut actions = Vec::new();
+        use FsmEvent as E;
+        use FsmState as S;
+        match (self.state, event) {
+            (S::Idle, E::ManualStart) | (S::Idle, E::Timer(TimerKind::ConnectRetry)) => {
+                if self.cfg.passive {
+                    self.state = S::Active;
+                } else {
+                    actions.push(FsmAction::OpenTransport);
+                    actions.push(FsmAction::ArmTimer(
+                        TimerKind::ConnectRetry,
+                        self.cfg.connect_retry_secs,
+                    ));
+                    self.state = S::Connect;
+                }
+            }
+            (S::Connect, E::TcpConnected) | (S::Active, E::TcpConnected) => {
+                actions.push(FsmAction::StopTimer(TimerKind::ConnectRetry));
+                actions.push(FsmAction::Send(Message::Open(self.our_open())));
+                // RFC: large hold timer while waiting for OPEN.
+                actions.push(FsmAction::ArmTimer(TimerKind::Hold, 240));
+                self.state = S::OpenSent;
+            }
+            (S::Connect, E::Timer(TimerKind::ConnectRetry)) => {
+                actions.push(FsmAction::OpenTransport);
+                actions.push(FsmAction::ArmTimer(
+                    TimerKind::ConnectRetry,
+                    self.cfg.connect_retry_secs,
+                ));
+            }
+            (S::Connect, E::TcpClosed) | (S::Active, E::TcpClosed) => {
+                self.state = S::Active;
+                actions.push(FsmAction::ArmTimer(
+                    TimerKind::ConnectRetry,
+                    self.cfg.connect_retry_secs,
+                ));
+            }
+            (S::Active, E::Timer(TimerKind::ConnectRetry))
+                if !self.cfg.passive => {
+                    actions.push(FsmAction::OpenTransport);
+                    actions.push(FsmAction::ArmTimer(
+                        TimerKind::ConnectRetry,
+                        self.cfg.connect_retry_secs,
+                    ));
+                    self.state = S::Connect;
+                }
+            (S::OpenSent, E::Msg(Message::Open(open)))
+            | (S::Active, E::Msg(Message::Open(open))) => {
+                // Active + OPEN covers passive sessions where the peer's
+                // transport and OPEN race our notification of it.
+                if self.state == S::Active {
+                    actions.push(FsmAction::Send(Message::Open(self.our_open())));
+                }
+                self.handle_open(open, &mut actions);
+            }
+            (S::OpenConfirm, E::Msg(Message::Keepalive)) => {
+                self.state = S::Established;
+                self.established_count += 1;
+                if self.negotiated.hold_time > 0 {
+                    actions.push(FsmAction::ArmTimer(TimerKind::Hold, self.negotiated.hold_time));
+                }
+                actions.push(FsmAction::SessionUp);
+            }
+            (S::Established, E::Msg(Message::Keepalive))
+                if self.negotiated.hold_time > 0 => {
+                    actions.push(FsmAction::ArmTimer(TimerKind::Hold, self.negotiated.hold_time));
+                }
+            (S::Established, E::Msg(Message::Update(update))) => {
+                if self.negotiated.hold_time > 0 {
+                    actions.push(FsmAction::ArmTimer(TimerKind::Hold, self.negotiated.hold_time));
+                }
+                actions.push(FsmAction::DeliverUpdate(update));
+            }
+            (S::Established, E::Msg(Message::RouteRefresh { afi, safi })) => {
+                if self.negotiated.hold_time > 0 {
+                    actions.push(FsmAction::ArmTimer(TimerKind::Hold, self.negotiated.hold_time));
+                }
+                actions.push(FsmAction::DeliverRouteRefresh { afi, safi });
+            }
+            (S::Established, E::Timer(TimerKind::Keepalive)) => {
+                actions.push(FsmAction::Send(Message::Keepalive));
+                actions.push(FsmAction::ArmTimer(
+                    TimerKind::Keepalive,
+                    Self::keepalive_interval(self.negotiated.hold_time),
+                ));
+            }
+            (S::OpenConfirm, E::Timer(TimerKind::Keepalive)) => {
+                actions.push(FsmAction::Send(Message::Keepalive));
+                actions.push(FsmAction::ArmTimer(
+                    TimerKind::Keepalive,
+                    Self::keepalive_interval(self.negotiated.hold_time),
+                ));
+            }
+            (_, E::Timer(TimerKind::Hold)) => {
+                if matches!(self.state, S::OpenSent | S::OpenConfirm | S::Established) {
+                    self.drop_session(
+                        &mut actions,
+                        "hold timer expired",
+                        Some(NotificationMsg::hold_timer_expired()),
+                    );
+                }
+            }
+            (_, E::Msg(Message::Notification(_))) => {
+                self.drop_session(&mut actions, "notification received", None);
+            }
+            (_, E::TcpClosed) => {
+                self.drop_session(&mut actions, "transport closed", None);
+            }
+            (_, E::ManualStop) => {
+                let notify = if matches!(self.state, S::OpenSent | S::OpenConfirm | S::Established)
+                {
+                    Some(NotificationMsg::cease())
+                } else {
+                    None
+                };
+                self.drop_session(&mut actions, "manual stop", notify);
+                // Manual stop should not auto-restart.
+                actions.retain(|a| !matches!(a, FsmAction::ArmTimer(TimerKind::ConnectRetry, _)));
+                actions.push(FsmAction::StopTimer(TimerKind::ConnectRetry));
+            }
+            (state, E::Msg(msg))
+                // FSM error: unexpected message for this state.
+                if !matches!(state, S::Idle) => {
+                    let notify = NotificationMsg::new(crate::message::ERR_FSM, 0);
+                    self.drop_session(&mut actions, "fsm error", Some(notify));
+                    let _ = msg;
+                }
+            _ => {}
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (SessionFsm, SessionFsm) {
+        let a = SessionFsm::new(FsmConfig::ebgp(Asn(47065), RouterId(1), Asn(100)).with_add_path());
+        let b = SessionFsm::new(
+            FsmConfig::ebgp(Asn(100), RouterId(2), Asn(47065))
+                .with_add_path()
+                .with_passive(),
+        );
+        (a, b)
+    }
+
+    /// Drive two FSMs against each other, relaying Send actions, until no
+    /// new messages are produced. Returns all actions seen per side.
+    fn converge(a: &mut SessionFsm, b: &mut SessionFsm) {
+        let mut queue_a: Vec<FsmEvent> = vec![FsmEvent::ManualStart];
+        let mut queue_b: Vec<FsmEvent> = vec![FsmEvent::ManualStart];
+        let mut transport_up = false;
+        for _ in 0..50 {
+            if queue_a.is_empty() && queue_b.is_empty() {
+                break;
+            }
+            let mut next_a = Vec::new();
+            let mut next_b = Vec::new();
+            for ev in queue_a.drain(..) {
+                for act in a.handle(ev) {
+                    match act {
+                        FsmAction::OpenTransport if !transport_up => {
+                            transport_up = true;
+                            next_a.push(FsmEvent::TcpConnected);
+                            next_b.push(FsmEvent::TcpConnected);
+                        }
+                        FsmAction::Send(m) => next_b.push(FsmEvent::Msg(m)),
+                        _ => {}
+                    }
+                }
+            }
+            for ev in queue_b.drain(..) {
+                for act in b.handle(ev) {
+                    if let FsmAction::Send(m) = act {
+                        next_a.push(FsmEvent::Msg(m));
+                    }
+                }
+            }
+            queue_a = next_a;
+            queue_b = next_b;
+        }
+    }
+
+    #[test]
+    fn sessions_establish() {
+        let (mut a, mut b) = pair();
+        converge(&mut a, &mut b);
+        assert!(a.is_established(), "a state {:?}", a.state());
+        assert!(b.is_established(), "b state {:?}", b.state());
+        assert_eq!(a.negotiated().peer_asn, Asn(100));
+        assert_eq!(b.negotiated().peer_asn, Asn(47065));
+        assert_eq!(a.negotiated().hold_time, 90);
+        assert!(a.codec_ctx().add_path_v4);
+        assert!(a.codec_ctx().add_path_v6);
+    }
+
+    #[test]
+    fn add_path_requires_both_sides() {
+        let mut a = SessionFsm::new(FsmConfig::ebgp(Asn(1), RouterId(1), Asn(2)).with_add_path());
+        let mut b = SessionFsm::new(FsmConfig::ebgp(Asn(2), RouterId(2), Asn(1)).with_passive());
+        converge(&mut a, &mut b);
+        assert!(a.is_established());
+        assert!(!a.codec_ctx().add_path_v4, "peer did not offer add-path");
+        assert!(!b.codec_ctx().add_path_v4);
+    }
+
+    #[test]
+    fn bad_peer_asn_sends_notification() {
+        let mut a = SessionFsm::new(FsmConfig::ebgp(Asn(1), RouterId(1), Asn(2)));
+        a.handle(FsmEvent::ManualStart);
+        a.handle(FsmEvent::TcpConnected);
+        let evil_open = OpenMsg::standard(Asn(666), 90, RouterId(9), false);
+        let actions = a.handle(FsmEvent::Msg(Message::Open(evil_open)));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            FsmAction::Send(Message::Notification(n)) if n.code == ERR_OPEN && n.subcode == 2
+        )));
+        assert_eq!(a.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn hold_timer_expiry_tears_down() {
+        let (mut a, mut b) = pair();
+        converge(&mut a, &mut b);
+        let actions = a.handle(FsmEvent::Timer(TimerKind::Hold));
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, FsmAction::SessionDown("hold timer expired"))));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            FsmAction::Send(Message::Notification(n)) if n.code == crate::message::ERR_HOLD_TIMER
+        )));
+        // Auto-restart armed.
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, FsmAction::ArmTimer(TimerKind::ConnectRetry, _))));
+        assert_eq!(a.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn updates_delivered_only_when_established() {
+        let (mut a, mut b) = pair();
+        let update = UpdateMsg::end_of_rib();
+        // Not established: an UPDATE is an FSM error.
+        let actions = a.handle(FsmEvent::Msg(Message::Update(update.clone())));
+        assert!(!actions
+            .iter()
+            .any(|x| matches!(x, FsmAction::DeliverUpdate(_))));
+        converge(&mut a, &mut b);
+        let actions = a.handle(FsmEvent::Msg(Message::Update(update)));
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, FsmAction::DeliverUpdate(_))));
+    }
+
+    #[test]
+    fn keepalive_timer_sends_keepalive() {
+        let (mut a, mut b) = pair();
+        converge(&mut a, &mut b);
+        let actions = a.handle(FsmEvent::Timer(TimerKind::Keepalive));
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, FsmAction::Send(Message::Keepalive))));
+        // Timer re-armed at hold/3.
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, FsmAction::ArmTimer(TimerKind::Keepalive, 30))));
+    }
+
+    #[test]
+    fn manual_stop_sends_cease_and_does_not_restart() {
+        let (mut a, mut b) = pair();
+        converge(&mut a, &mut b);
+        let actions = a.handle(FsmEvent::ManualStop);
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            FsmAction::Send(Message::Notification(n)) if n.code == 6
+        )));
+        assert!(!actions
+            .iter()
+            .any(|x| matches!(x, FsmAction::ArmTimer(TimerKind::ConnectRetry, _))));
+        assert_eq!(a.state(), FsmState::Idle);
+    }
+
+    #[test]
+    fn notification_drops_session() {
+        let (mut a, mut b) = pair();
+        converge(&mut a, &mut b);
+        let actions = a.handle(FsmEvent::Msg(Message::Notification(
+            NotificationMsg::cease(),
+        )));
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, FsmAction::SessionDown("notification received"))));
+        assert_eq!(a.established_count, 1);
+    }
+
+    #[test]
+    fn flap_counter_increments() {
+        let (mut a, mut b) = pair();
+        converge(&mut a, &mut b);
+        assert_eq!(a.established_count, 1);
+        a.handle(FsmEvent::TcpClosed);
+        b.handle(FsmEvent::TcpClosed);
+        assert_eq!(a.state(), FsmState::Idle);
+        // Reconverge.
+        converge(&mut a, &mut b);
+        assert_eq!(a.established_count, 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! BGP message wire codec (RFC 4271 §4) with the extensions PEERING's
+//! deployment relies on: ADD-PATH (RFC 7911), 4-octet ASNs (RFC 6793),
+//! multiprotocol NLRI (RFC 4760) and route refresh (RFC 2918).
+
+pub mod nlri;
+mod notification;
+mod open;
+mod update;
+
+pub use nlri::{decode_nlri, encode_nlri};
+pub use notification::{
+    NotificationMsg, ERR_FSM, ERR_HOLD_TIMER, ERR_MSG_HEADER, ERR_OPEN, ERR_UPDATE,
+};
+pub use open::{AddPathDirection, Capability, OpenMsg};
+pub use update::UpdateMsg;
+
+use std::fmt;
+
+/// BGP message header length (16-byte marker + length + type).
+pub const HEADER_LEN: usize = 19;
+
+/// Maximum BGP message size (RFC 4271).
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+/// Errors from decoding BGP wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than a complete message; retry with more data.
+    Truncated,
+    /// The 16-byte marker was not all-ones.
+    BadMarker,
+    /// Header length field out of bounds.
+    BadLength(u16),
+    /// Unknown message type.
+    BadType(u8),
+    /// Structurally invalid body.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated message"),
+            CodecError::BadMarker => write!(f, "corrupted marker"),
+            CodecError::BadLength(l) => write!(f, "bad message length {l}"),
+            CodecError::BadType(t) => write!(f, "unknown message type {t}"),
+            CodecError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Per-session decode context: whether ADD-PATH was negotiated per family,
+/// which changes NLRI wire format.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCodecCtx {
+    /// ADD-PATH negotiated for IPv4 unicast.
+    pub add_path_v4: bool,
+    /// ADD-PATH negotiated for IPv6 unicast.
+    pub add_path_v6: bool,
+}
+
+impl SessionCodecCtx {
+    /// ADD-PATH in both families (what vBGP negotiates with experiments).
+    pub fn add_path_both() -> Self {
+        SessionCodecCtx {
+            add_path_v4: true,
+            add_path_v6: true,
+        }
+    }
+}
+
+/// A decoded BGP message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// OPEN.
+    Open(OpenMsg),
+    /// UPDATE.
+    Update(UpdateMsg),
+    /// NOTIFICATION.
+    Notification(NotificationMsg),
+    /// KEEPALIVE.
+    Keepalive,
+    /// ROUTE-REFRESH for an (AFI, SAFI) pair.
+    RouteRefresh {
+        /// Address family identifier.
+        afi: u16,
+        /// Subsequent AFI (1 = unicast).
+        safi: u8,
+    },
+}
+
+impl Message {
+    /// Message type code on the wire.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            Message::Open(_) => 1,
+            Message::Update(_) => 2,
+            Message::Notification(_) => 3,
+            Message::Keepalive => 4,
+            Message::RouteRefresh { .. } => 5,
+        }
+    }
+
+    /// Encode to a complete wire message (header + body).
+    pub fn encode(&self, ctx: &SessionCodecCtx) -> Vec<u8> {
+        let body = match self {
+            Message::Open(open) => open.encode_body(),
+            Message::Update(update) => update.encode_body(ctx),
+            Message::Notification(notif) => notif.encode_body(),
+            Message::Keepalive => Vec::new(),
+            Message::RouteRefresh { afi, safi } => {
+                let mut b = Vec::with_capacity(4);
+                b.extend_from_slice(&afi.to_be_bytes());
+                b.push(0);
+                b.push(*safi);
+                b
+            }
+        };
+        let len = (HEADER_LEN + body.len()) as u16;
+        let mut out = Vec::with_capacity(len as usize);
+        out.extend_from_slice(&[0xff; 16]);
+        out.extend_from_slice(&len.to_be_bytes());
+        out.push(self.type_code());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode one message from the front of `buf`, returning it and the
+    /// number of bytes consumed. `Err(Truncated)` means wait for more bytes.
+    pub fn decode(buf: &[u8], ctx: &SessionCodecCtx) -> Result<(Message, usize), CodecError> {
+        if buf.len() < HEADER_LEN {
+            return Err(CodecError::Truncated);
+        }
+        if buf[..16] != [0xff; 16] {
+            return Err(CodecError::BadMarker);
+        }
+        let len = u16::from_be_bytes([buf[16], buf[17]]);
+        if (len as usize) < HEADER_LEN || len as usize > MAX_MESSAGE_LEN {
+            return Err(CodecError::BadLength(len));
+        }
+        if buf.len() < len as usize {
+            return Err(CodecError::Truncated);
+        }
+        let body = &buf[HEADER_LEN..len as usize];
+        let msg = match buf[18] {
+            1 => Message::Open(OpenMsg::decode_body(body)?),
+            2 => Message::Update(UpdateMsg::decode_body(body, ctx)?),
+            3 => Message::Notification(NotificationMsg::decode_body(body)?),
+            4 => {
+                if !body.is_empty() {
+                    return Err(CodecError::Malformed("keepalive with body"));
+                }
+                Message::Keepalive
+            }
+            5 => {
+                if body.len() != 4 {
+                    return Err(CodecError::Malformed("route-refresh length"));
+                }
+                Message::RouteRefresh {
+                    afi: u16::from_be_bytes([body[0], body[1]]),
+                    safi: body[3],
+                }
+            }
+            t => return Err(CodecError::BadType(t)),
+        };
+        Ok((msg, len as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keepalive_roundtrip() {
+        let ctx = SessionCodecCtx::default();
+        let wire = Message::Keepalive.encode(&ctx);
+        assert_eq!(wire.len(), HEADER_LEN);
+        let (msg, used) = Message::decode(&wire, &ctx).unwrap();
+        assert_eq!(msg, Message::Keepalive);
+        assert_eq!(used, HEADER_LEN);
+    }
+
+    #[test]
+    fn route_refresh_roundtrip() {
+        let ctx = SessionCodecCtx::default();
+        let msg = Message::RouteRefresh { afi: 1, safi: 1 };
+        let (parsed, _) = Message::decode(&msg.encode(&ctx), &ctx).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn truncated_and_corrupt() {
+        let ctx = SessionCodecCtx::default();
+        let wire = Message::Keepalive.encode(&ctx);
+        assert_eq!(
+            Message::decode(&wire[..10], &ctx),
+            Err(CodecError::Truncated)
+        );
+        let mut bad = wire.clone();
+        bad[0] = 0;
+        assert_eq!(Message::decode(&bad, &ctx), Err(CodecError::BadMarker));
+        let mut bad = wire.clone();
+        bad[18] = 99;
+        assert_eq!(Message::decode(&bad, &ctx), Err(CodecError::BadType(99)));
+        let mut bad = wire;
+        bad[16] = 0;
+        bad[17] = 5;
+        assert_eq!(Message::decode(&bad, &ctx), Err(CodecError::BadLength(5)));
+    }
+
+    #[test]
+    fn keepalive_with_body_rejected() {
+        let ctx = SessionCodecCtx::default();
+        let mut wire = Message::Keepalive.encode(&ctx);
+        wire.push(0);
+        wire[17] += 1;
+        assert!(matches!(
+            Message::decode(&wire, &ctx),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn stream_decoding_consumes_exactly_one_message() {
+        let ctx = SessionCodecCtx::default();
+        let mut stream = Message::Keepalive.encode(&ctx);
+        stream.extend(Message::RouteRefresh { afi: 2, safi: 1 }.encode(&ctx));
+        let (first, used) = Message::decode(&stream, &ctx).unwrap();
+        assert_eq!(first, Message::Keepalive);
+        let (second, _) = Message::decode(&stream[used..], &ctx).unwrap();
+        assert_eq!(second, Message::RouteRefresh { afi: 2, safi: 1 });
+    }
+}

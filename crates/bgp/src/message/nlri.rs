@@ -1,0 +1,191 @@
+//! NLRI wire encoding: `[path-id]? length-in-bits prefix-octets`.
+//!
+//! With ADD-PATH negotiated (RFC 7911 §3), every NLRI is preceded by a
+//! 4-octet path identifier — the mechanism vBGP uses to hand experiments all
+//! routes for a prefix in one session.
+
+use super::CodecError;
+use crate::types::{Afi, PathId, Prefix};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// One NLRI entry: a prefix and its optional ADD-PATH identifier.
+pub type NlriEntry = (Prefix, Option<PathId>);
+
+/// Append one NLRI to `out`. `add_path` must match the session negotiation;
+/// entries without a path id are encoded with id 0 when ADD-PATH is on.
+pub fn encode_nlri(out: &mut Vec<u8>, entry: &NlriEntry, add_path: bool) {
+    let (prefix, path_id) = entry;
+    if add_path {
+        out.extend_from_slice(&path_id.unwrap_or(0).to_be_bytes());
+    }
+    let len = prefix.len();
+    out.push(len);
+    let nbytes = len.div_ceil(8) as usize;
+    match prefix {
+        Prefix::V4 { addr, .. } => out.extend_from_slice(&addr.octets()[..nbytes]),
+        Prefix::V6 { addr, .. } => out.extend_from_slice(&addr.octets()[..nbytes]),
+    }
+}
+
+/// Decode all NLRI of family `afi` from `buf`.
+pub fn decode_nlri(buf: &[u8], afi: Afi, add_path: bool) -> Result<Vec<NlriEntry>, CodecError> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < buf.len() {
+        let path_id = if add_path {
+            if pos + 4 > buf.len() {
+                return Err(CodecError::Malformed("nlri path-id truncated"));
+            }
+            let id = u32::from_be_bytes(buf[pos..pos + 4].try_into().unwrap());
+            pos += 4;
+            Some(id)
+        } else {
+            None
+        };
+        let len = buf[pos];
+        pos += 1;
+        let max = match afi {
+            Afi::Ipv4 => 32,
+            Afi::Ipv6 => 128,
+        };
+        if len > max {
+            return Err(CodecError::Malformed("nlri prefix length"));
+        }
+        let nbytes = len.div_ceil(8) as usize;
+        if pos + nbytes > buf.len() {
+            return Err(CodecError::Malformed("nlri prefix truncated"));
+        }
+        let prefix = match afi {
+            Afi::Ipv4 => {
+                let mut octets = [0u8; 4];
+                octets[..nbytes].copy_from_slice(&buf[pos..pos + nbytes]);
+                mask_trailing(&mut octets, len);
+                Prefix::V4 {
+                    addr: Ipv4Addr::from(octets),
+                    len,
+                }
+            }
+            Afi::Ipv6 => {
+                let mut octets = [0u8; 16];
+                octets[..nbytes].copy_from_slice(&buf[pos..pos + nbytes]);
+                mask_trailing(&mut octets, len);
+                Prefix::V6 {
+                    addr: Ipv6Addr::from(octets),
+                    len,
+                }
+            }
+        };
+        pos += nbytes;
+        out.push((prefix, path_id));
+    }
+    Ok(out)
+}
+
+/// Zero any bits beyond the prefix length inside the final octet — senders
+/// SHOULD zero them but receivers must not rely on it (RFC 4271 §4.3).
+fn mask_trailing(octets: &mut [u8], len: u8) {
+    let full_bytes = (len / 8) as usize;
+    let rem = len % 8;
+    if rem != 0 && full_bytes < octets.len() {
+        octets[full_bytes] &= 0xffu8 << (8 - rem);
+        for b in octets[full_bytes + 1..].iter_mut() {
+            *b = 0;
+        }
+    } else {
+        for b in octets[full_bytes..].iter_mut() {
+            *b = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::prefix;
+
+    fn roundtrip(entries: Vec<NlriEntry>, afi: Afi, add_path: bool) {
+        let mut buf = Vec::new();
+        for e in &entries {
+            encode_nlri(&mut buf, e, add_path);
+        }
+        let decoded = decode_nlri(&buf, afi, add_path).unwrap();
+        let want: Vec<NlriEntry> = entries
+            .into_iter()
+            .map(|(p, id)| {
+                (
+                    p,
+                    if add_path {
+                        Some(id.unwrap_or(0))
+                    } else {
+                        None
+                    },
+                )
+            })
+            .collect();
+        assert_eq!(decoded, want);
+    }
+
+    #[test]
+    fn v4_roundtrip_plain() {
+        roundtrip(
+            vec![
+                (prefix("0.0.0.0/0"), None),
+                (prefix("10.0.0.0/8"), None),
+                (prefix("10.1.2.0/23"), None),
+                (prefix("192.0.2.7/32"), None),
+            ],
+            Afi::Ipv4,
+            false,
+        );
+    }
+
+    #[test]
+    fn v4_roundtrip_add_path() {
+        roundtrip(
+            vec![
+                (prefix("10.0.0.0/8"), Some(1)),
+                (prefix("10.0.0.0/8"), Some(2)),
+                (prefix("184.164.224.0/24"), Some(77)),
+            ],
+            Afi::Ipv4,
+            true,
+        );
+    }
+
+    #[test]
+    fn v6_roundtrip() {
+        roundtrip(
+            vec![
+                (prefix("::/0"), None),
+                (prefix("2001:db8::/32"), None),
+                (prefix("2804:269c:fe00::/40"), None),
+            ],
+            Afi::Ipv6,
+            false,
+        );
+        roundtrip(vec![(prefix("2001:db8::/32"), Some(9))], Afi::Ipv6, true);
+    }
+
+    #[test]
+    fn nonzero_trailing_bits_are_masked() {
+        // /23 with a set bit in the 24th position must decode masked.
+        let buf = [23u8, 10, 1, 3]; // 10.1.3.0/23 has host bit set
+        let decoded = decode_nlri(&buf, Afi::Ipv4, false).unwrap();
+        assert_eq!(decoded[0].0, prefix("10.1.2.0/23"));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode_nlri(&[33, 1, 2, 3, 4, 5], Afi::Ipv4, false).is_err()); // /33
+        assert!(decode_nlri(&[24, 10, 1], Afi::Ipv4, false).is_err()); // short
+        assert!(decode_nlri(&[0, 0, 1], Afi::Ipv4, true).is_err()); // path-id truncated
+    }
+
+    #[test]
+    fn missing_path_id_encodes_as_zero() {
+        let mut buf = Vec::new();
+        encode_nlri(&mut buf, &(prefix("10.0.0.0/8"), None), true);
+        let decoded = decode_nlri(&buf, Afi::Ipv4, true).unwrap();
+        assert_eq!(decoded[0].1, Some(0));
+    }
+}

@@ -1,0 +1,118 @@
+//! NOTIFICATION messages (RFC 4271 §4.5).
+
+use super::CodecError;
+use std::fmt;
+
+/// Error code 1: message header error.
+pub const ERR_MSG_HEADER: u8 = 1;
+/// Error code 2: OPEN message error.
+pub const ERR_OPEN: u8 = 2;
+/// Error code 3: UPDATE message error.
+pub const ERR_UPDATE: u8 = 3;
+/// Error code 4: hold timer expired.
+pub const ERR_HOLD_TIMER: u8 = 4;
+/// Error code 5: finite state machine error.
+pub const ERR_FSM: u8 = 5;
+/// Error code 6: cease.
+pub const ERR_CEASE: u8 = 6;
+
+/// A NOTIFICATION message; sending one closes the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotificationMsg {
+    /// Error code.
+    pub code: u8,
+    /// Error subcode (0 when unspecific).
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+impl NotificationMsg {
+    /// Build a notification.
+    pub fn new(code: u8, subcode: u8) -> Self {
+        NotificationMsg {
+            code,
+            subcode,
+            data: Vec::new(),
+        }
+    }
+
+    /// A cease notification (administrative shutdown and the like).
+    pub fn cease() -> Self {
+        Self::new(ERR_CEASE, 2)
+    }
+
+    /// Hold-timer-expired.
+    pub fn hold_timer_expired() -> Self {
+        Self::new(ERR_HOLD_TIMER, 0)
+    }
+
+    pub(super) fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.data.len());
+        out.push(self.code);
+        out.push(self.subcode);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    pub(super) fn decode_body(body: &[u8]) -> Result<NotificationMsg, CodecError> {
+        if body.len() < 2 {
+            return Err(CodecError::Malformed("notification too short"));
+        }
+        Ok(NotificationMsg {
+            code: body[0],
+            subcode: body[1],
+            data: body[2..].to_vec(),
+        })
+    }
+}
+
+impl fmt::Display for NotificationMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.code {
+            ERR_MSG_HEADER => "message-header-error",
+            ERR_OPEN => "open-error",
+            ERR_UPDATE => "update-error",
+            ERR_HOLD_TIMER => "hold-timer-expired",
+            ERR_FSM => "fsm-error",
+            ERR_CEASE => "cease",
+            _ => "unknown",
+        };
+        write!(f, "NOTIFICATION {name} ({}/{})", self.code, self.subcode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Message, SessionCodecCtx};
+
+    #[test]
+    fn roundtrip_with_data() {
+        let ctx = SessionCodecCtx::default();
+        let mut notif = NotificationMsg::new(ERR_UPDATE, 3);
+        notif.data = vec![0xde, 0xad];
+        let wire = Message::Notification(notif.clone()).encode(&ctx);
+        let (parsed, _) = Message::decode(&wire, &ctx).unwrap();
+        assert_eq!(parsed, Message::Notification(notif));
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(NotificationMsg::cease().code, ERR_CEASE);
+        assert_eq!(NotificationMsg::hold_timer_expired().code, ERR_HOLD_TIMER);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            NotificationMsg::hold_timer_expired().to_string(),
+            "NOTIFICATION hold-timer-expired (4/0)"
+        );
+    }
+
+    #[test]
+    fn short_body_rejected() {
+        assert!(NotificationMsg::decode_body(&[1]).is_err());
+    }
+}

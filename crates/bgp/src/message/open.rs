@@ -1,0 +1,355 @@
+//! OPEN messages and capability negotiation (RFC 4271 §4.2, RFC 5492).
+
+use super::CodecError;
+use crate::types::{Afi, Asn, RouterId};
+
+/// RFC 7911 Send/Receive field of the ADD-PATH capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddPathDirection {
+    /// Able to receive multiple paths (1).
+    Receive,
+    /// Able to send multiple paths (2).
+    Send,
+    /// Both (3).
+    Both,
+}
+
+impl AddPathDirection {
+    fn to_u8(self) -> u8 {
+        match self {
+            AddPathDirection::Receive => 1,
+            AddPathDirection::Send => 2,
+            AddPathDirection::Both => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(AddPathDirection::Receive),
+            2 => Some(AddPathDirection::Send),
+            3 => Some(AddPathDirection::Both),
+            _ => None,
+        }
+    }
+
+    /// Whether this side may send multiple paths.
+    pub fn can_send(self) -> bool {
+        matches!(self, AddPathDirection::Send | AddPathDirection::Both)
+    }
+
+    /// Whether this side may receive multiple paths.
+    pub fn can_receive(self) -> bool {
+        matches!(self, AddPathDirection::Receive | AddPathDirection::Both)
+    }
+}
+
+/// A capability advertised in OPEN (RFC 5492 parameter type 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Capability {
+    /// Multiprotocol extensions for (AFI, SAFI=1 unicast) — code 1.
+    Multiprotocol(Afi),
+    /// Route refresh — code 2.
+    RouteRefresh,
+    /// 4-octet AS numbers — code 65.
+    FourOctetAs(Asn),
+    /// ADD-PATH for unicast of the given family — code 69.
+    AddPath(Afi, AddPathDirection),
+    /// Anything we do not model, preserved verbatim.
+    Unknown {
+        /// Capability code.
+        code: u8,
+        /// Raw value bytes.
+        value: Vec<u8>,
+    },
+}
+
+impl Capability {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Capability::Multiprotocol(afi) => {
+                out.push(1);
+                out.push(4);
+                out.extend_from_slice(&afi.to_u16().to_be_bytes());
+                out.push(0);
+                out.push(1); // SAFI unicast
+            }
+            Capability::RouteRefresh => {
+                out.push(2);
+                out.push(0);
+            }
+            Capability::FourOctetAs(asn) => {
+                out.push(65);
+                out.push(4);
+                out.extend_from_slice(&asn.0.to_be_bytes());
+            }
+            Capability::AddPath(afi, dir) => {
+                out.push(69);
+                out.push(4);
+                out.extend_from_slice(&afi.to_u16().to_be_bytes());
+                out.push(1); // SAFI unicast
+                out.push(dir.to_u8());
+            }
+            Capability::Unknown { code, value } => {
+                out.push(*code);
+                out.push(value.len() as u8);
+                out.extend_from_slice(value);
+            }
+        }
+    }
+
+    fn decode(code: u8, value: &[u8]) -> Result<Capability, CodecError> {
+        Ok(match code {
+            1 => {
+                if value.len() != 4 {
+                    return Err(CodecError::Malformed("multiprotocol capability"));
+                }
+                let afi = Afi::from_u16(u16::from_be_bytes([value[0], value[1]]))
+                    .ok_or(CodecError::Malformed("multiprotocol afi"))?;
+                Capability::Multiprotocol(afi)
+            }
+            2 => Capability::RouteRefresh,
+            65 => {
+                if value.len() != 4 {
+                    return Err(CodecError::Malformed("4-octet-as capability"));
+                }
+                Capability::FourOctetAs(Asn(u32::from_be_bytes(value.try_into().unwrap())))
+            }
+            69 => {
+                if !value.len().is_multiple_of(4) || value.is_empty() {
+                    return Err(CodecError::Malformed("add-path capability"));
+                }
+                // We negotiate one tuple per capability instance; if several
+                // are packed, take the first (vBGP only uses unicast).
+                let afi = Afi::from_u16(u16::from_be_bytes([value[0], value[1]]))
+                    .ok_or(CodecError::Malformed("add-path afi"))?;
+                let dir = AddPathDirection::from_u8(value[3])
+                    .ok_or(CodecError::Malformed("add-path direction"))?;
+                Capability::AddPath(afi, dir)
+            }
+            code => Capability::Unknown {
+                code,
+                value: value.to_vec(),
+            },
+        })
+    }
+}
+
+/// A BGP OPEN message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenMsg {
+    /// The sender's ASN (carried in the 4-octet capability; the legacy
+    /// 2-byte field holds AS_TRANS when it does not fit).
+    pub asn: Asn,
+    /// Proposed hold time in seconds (0 or ≥ 3 per RFC).
+    pub hold_time: u16,
+    /// The sender's BGP identifier.
+    pub router_id: RouterId,
+    /// Advertised capabilities.
+    pub capabilities: Vec<Capability>,
+}
+
+impl OpenMsg {
+    /// An OPEN advertising the standard vBGP capability set:
+    /// multiprotocol v4+v6, route refresh, 4-octet AS, and (optionally)
+    /// ADD-PATH in both directions for both families.
+    pub fn standard(asn: Asn, hold_time: u16, router_id: RouterId, add_path: bool) -> Self {
+        let mut capabilities = vec![
+            Capability::Multiprotocol(Afi::Ipv4),
+            Capability::Multiprotocol(Afi::Ipv6),
+            Capability::RouteRefresh,
+            Capability::FourOctetAs(asn),
+        ];
+        if add_path {
+            capabilities.push(Capability::AddPath(Afi::Ipv4, AddPathDirection::Both));
+            capabilities.push(Capability::AddPath(Afi::Ipv6, AddPathDirection::Both));
+        }
+        OpenMsg {
+            asn,
+            hold_time,
+            router_id,
+            capabilities,
+        }
+    }
+
+    /// The ADD-PATH direction advertised for a family, if any.
+    pub fn add_path(&self, afi: Afi) -> Option<AddPathDirection> {
+        self.capabilities.iter().find_map(|c| match c {
+            Capability::AddPath(a, d) if *a == afi => Some(*d),
+            _ => None,
+        })
+    }
+
+    /// Whether the 4-octet AS capability is present.
+    pub fn four_octet(&self) -> bool {
+        self.capabilities
+            .iter()
+            .any(|c| matches!(c, Capability::FourOctetAs(_)))
+    }
+
+    pub(super) fn encode_body(&self) -> Vec<u8> {
+        let mut caps = Vec::new();
+        for c in &self.capabilities {
+            c.encode(&mut caps);
+        }
+        let mut opt = Vec::new();
+        if !caps.is_empty() {
+            opt.push(2); // parameter type: capabilities
+            opt.push(caps.len() as u8);
+            opt.extend_from_slice(&caps);
+        }
+        let my_as: u16 = if self.asn.is_2byte() {
+            self.asn.0 as u16
+        } else {
+            Asn::TRANS.0 as u16
+        };
+        let mut out = Vec::with_capacity(10 + opt.len());
+        out.push(4); // version
+        out.extend_from_slice(&my_as.to_be_bytes());
+        out.extend_from_slice(&self.hold_time.to_be_bytes());
+        out.extend_from_slice(&self.router_id.0.to_be_bytes());
+        out.push(opt.len() as u8);
+        out.extend_from_slice(&opt);
+        out
+    }
+
+    pub(super) fn decode_body(body: &[u8]) -> Result<OpenMsg, CodecError> {
+        if body.len() < 10 {
+            return Err(CodecError::Malformed("open too short"));
+        }
+        if body[0] != 4 {
+            return Err(CodecError::Malformed("unsupported BGP version"));
+        }
+        let legacy_as = u16::from_be_bytes([body[1], body[2]]);
+        let hold_time = u16::from_be_bytes([body[3], body[4]]);
+        if hold_time != 0 && hold_time < 3 {
+            return Err(CodecError::Malformed("hold time 1 or 2"));
+        }
+        let router_id = RouterId(u32::from_be_bytes(body[5..9].try_into().unwrap()));
+        let opt_len = body[9] as usize;
+        if 10 + opt_len != body.len() {
+            return Err(CodecError::Malformed("open optional-parameter length"));
+        }
+        let mut capabilities = Vec::new();
+        let mut pos = 10;
+        while pos < body.len() {
+            if pos + 2 > body.len() {
+                return Err(CodecError::Malformed("optional parameter header"));
+            }
+            let ptype = body[pos];
+            let plen = body[pos + 1] as usize;
+            pos += 2;
+            if pos + plen > body.len() {
+                return Err(CodecError::Malformed("optional parameter length"));
+            }
+            if ptype == 2 {
+                let mut cpos = pos;
+                let end = pos + plen;
+                while cpos < end {
+                    if cpos + 2 > end {
+                        return Err(CodecError::Malformed("capability header"));
+                    }
+                    let code = body[cpos];
+                    let clen = body[cpos + 1] as usize;
+                    cpos += 2;
+                    if cpos + clen > end {
+                        return Err(CodecError::Malformed("capability length"));
+                    }
+                    capabilities.push(Capability::decode(code, &body[cpos..cpos + clen])?);
+                    cpos += clen;
+                }
+            }
+            pos += plen;
+        }
+        let asn = capabilities
+            .iter()
+            .find_map(|c| match c {
+                Capability::FourOctetAs(a) => Some(*a),
+                _ => None,
+            })
+            .unwrap_or(Asn(legacy_as as u32));
+        Ok(OpenMsg {
+            asn,
+            hold_time,
+            router_id,
+            capabilities,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Message, SessionCodecCtx};
+
+    #[test]
+    fn standard_open_roundtrip() {
+        let ctx = SessionCodecCtx::default();
+        let open = OpenMsg::standard(Asn(47065), 90, RouterId(0x0a000001), true);
+        let wire = Message::Open(open.clone()).encode(&ctx);
+        let (parsed, _) = Message::decode(&wire, &ctx).unwrap();
+        assert_eq!(parsed, Message::Open(open));
+    }
+
+    #[test]
+    fn four_byte_asn_uses_as_trans() {
+        let ctx = SessionCodecCtx::default();
+        let open = OpenMsg::standard(Asn(4_200_000_042), 180, RouterId(1), false);
+        let wire = Message::Open(open.clone()).encode(&ctx);
+        // Legacy field should be AS_TRANS.
+        assert_eq!(
+            u16::from_be_bytes([wire[20], wire[21]]),
+            Asn::TRANS.0 as u16
+        );
+        let (parsed, _) = Message::decode(&wire, &ctx).unwrap();
+        match parsed {
+            Message::Open(o) => assert_eq!(o.asn, Asn(4_200_000_042)),
+            _ => panic!("not open"),
+        }
+    }
+
+    #[test]
+    fn add_path_lookup() {
+        let open = OpenMsg::standard(Asn(1), 90, RouterId(1), true);
+        assert_eq!(open.add_path(Afi::Ipv4), Some(AddPathDirection::Both));
+        assert_eq!(open.add_path(Afi::Ipv6), Some(AddPathDirection::Both));
+        let open = OpenMsg::standard(Asn(1), 90, RouterId(1), false);
+        assert_eq!(open.add_path(Afi::Ipv4), None);
+        assert!(open.four_octet());
+    }
+
+    #[test]
+    fn unknown_capability_preserved() {
+        let ctx = SessionCodecCtx::default();
+        let mut open = OpenMsg::standard(Asn(1), 90, RouterId(1), false);
+        open.capabilities.push(Capability::Unknown {
+            code: 199,
+            value: vec![1, 2, 3],
+        });
+        let wire = Message::Open(open.clone()).encode(&ctx);
+        let (parsed, _) = Message::decode(&wire, &ctx).unwrap();
+        assert_eq!(parsed, Message::Open(open));
+    }
+
+    #[test]
+    fn rejects_bad_version_and_hold_time() {
+        let ctx = SessionCodecCtx::default();
+        let open = OpenMsg::standard(Asn(1), 90, RouterId(1), false);
+        let mut wire = Message::Open(open.clone()).encode(&ctx);
+        wire[19] = 3; // version
+        assert!(Message::decode(&wire, &ctx).is_err());
+        let mut wire = Message::Open(open).encode(&ctx);
+        wire[22] = 0;
+        wire[23] = 2; // hold time 2
+        assert!(Message::decode(&wire, &ctx).is_err());
+    }
+
+    #[test]
+    fn direction_predicates() {
+        assert!(AddPathDirection::Both.can_send());
+        assert!(AddPathDirection::Both.can_receive());
+        assert!(AddPathDirection::Send.can_send());
+        assert!(!AddPathDirection::Send.can_receive());
+        assert!(AddPathDirection::Receive.can_receive());
+        assert!(!AddPathDirection::Receive.can_send());
+    }
+}

@@ -1,0 +1,260 @@
+//! UPDATE messages (RFC 4271 §4.3) with ADD-PATH and multiprotocol NLRI.
+
+use super::nlri::{decode_nlri, encode_nlri, NlriEntry};
+use super::{CodecError, SessionCodecCtx};
+use crate::attrs::{decode_attrs, encode_attrs, PathAttributes};
+use crate::types::{Afi, Prefix};
+
+/// A decoded UPDATE. Announcements and withdrawals may be IPv4 (carried in
+/// the classic NLRI / withdrawn-routes fields) or IPv6 (carried in
+/// MP_REACH / MP_UNREACH attributes); this struct presents them uniformly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UpdateMsg {
+    /// Withdrawn routes.
+    pub withdrawn: Vec<NlriEntry>,
+    /// Attributes for the announced routes (`None` for pure withdrawals).
+    pub attrs: Option<PathAttributes>,
+    /// Announced routes.
+    pub announce: Vec<NlriEntry>,
+}
+
+impl UpdateMsg {
+    /// An update announcing `prefixes` with `attrs`.
+    pub fn announce(prefixes: Vec<NlriEntry>, attrs: PathAttributes) -> Self {
+        UpdateMsg {
+            withdrawn: Vec::new(),
+            attrs: Some(attrs),
+            announce: prefixes,
+        }
+    }
+
+    /// A pure withdrawal.
+    pub fn withdraw(prefixes: Vec<NlriEntry>) -> Self {
+        UpdateMsg {
+            withdrawn: prefixes,
+            attrs: None,
+            announce: Vec::new(),
+        }
+    }
+
+    /// End-of-RIB marker (RFC 4724 §2): an empty UPDATE.
+    pub fn end_of_rib() -> Self {
+        UpdateMsg::default()
+    }
+
+    /// Whether this is an End-of-RIB marker.
+    pub fn is_end_of_rib(&self) -> bool {
+        self.withdrawn.is_empty() && self.announce.is_empty() && self.attrs.is_none()
+    }
+
+    fn split_by_family(entries: &[NlriEntry]) -> (Vec<NlriEntry>, Vec<NlriEntry>) {
+        let mut v4 = Vec::new();
+        let mut v6 = Vec::new();
+        for e in entries {
+            match e.0 {
+                Prefix::V4 { .. } => v4.push(*e),
+                Prefix::V6 { .. } => v6.push(*e),
+            }
+        }
+        (v4, v6)
+    }
+
+    pub(super) fn encode_body(&self, ctx: &SessionCodecCtx) -> Vec<u8> {
+        let (w4, w6) = Self::split_by_family(&self.withdrawn);
+        let (a4, a6) = Self::split_by_family(&self.announce);
+
+        let mut withdrawn_buf = Vec::new();
+        for e in &w4 {
+            encode_nlri(&mut withdrawn_buf, e, ctx.add_path_v4);
+        }
+
+        let attrs_buf = match &self.attrs {
+            Some(attrs) => encode_attrs(attrs, !a4.is_empty(), &a6, &w6, ctx),
+            None if !w6.is_empty() => {
+                // Withdraw-only updates still need MP_UNREACH for IPv6.
+                encode_attrs(&PathAttributes::default(), false, &[], &w6, ctx)
+            }
+            None => Vec::new(),
+        };
+
+        let mut out = Vec::with_capacity(4 + withdrawn_buf.len() + attrs_buf.len());
+        out.extend_from_slice(&(withdrawn_buf.len() as u16).to_be_bytes());
+        out.extend_from_slice(&withdrawn_buf);
+        out.extend_from_slice(&(attrs_buf.len() as u16).to_be_bytes());
+        out.extend_from_slice(&attrs_buf);
+        for e in &a4 {
+            encode_nlri(&mut out, e, ctx.add_path_v4);
+        }
+        out
+    }
+
+    pub(super) fn decode_body(body: &[u8], ctx: &SessionCodecCtx) -> Result<UpdateMsg, CodecError> {
+        if body.len() < 4 {
+            return Err(CodecError::Malformed("update too short"));
+        }
+        let wlen = u16::from_be_bytes([body[0], body[1]]) as usize;
+        if 2 + wlen + 2 > body.len() {
+            return Err(CodecError::Malformed("withdrawn length"));
+        }
+        let mut withdrawn = decode_nlri(&body[2..2 + wlen], Afi::Ipv4, ctx.add_path_v4)?;
+        let alen_pos = 2 + wlen;
+        let alen = u16::from_be_bytes([body[alen_pos], body[alen_pos + 1]]) as usize;
+        let attrs_start = alen_pos + 2;
+        if attrs_start + alen > body.len() {
+            return Err(CodecError::Malformed("attributes length"));
+        }
+        let nlri_buf = &body[attrs_start + alen..];
+        let mut announce = decode_nlri(nlri_buf, Afi::Ipv4, ctx.add_path_v4)?;
+
+        let attrs = if alen > 0 {
+            let decoded = decode_attrs(&body[attrs_start..attrs_start + alen], ctx)?;
+            announce.extend(decoded.mp_announce);
+            withdrawn.extend(decoded.mp_withdraw);
+            Some(decoded.attrs)
+        } else {
+            None
+        };
+        // A pure-withdrawal update that only carried MP_UNREACH decodes with
+        // empty default attributes; normalize that back to `None`.
+        let attrs = match attrs {
+            Some(a) if announce.is_empty() && a == PathAttributes::default() => None,
+            other => other,
+        };
+        if !announce.is_empty() && attrs.is_none() {
+            return Err(CodecError::Malformed("nlri without attributes"));
+        }
+        Ok(UpdateMsg {
+            withdrawn,
+            attrs,
+            announce,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AsPath;
+    use crate::message::Message;
+    use crate::types::{prefix, Asn};
+
+    fn attrs_v4() -> PathAttributes {
+        PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(47065), Asn(3356)]),
+            next_hop: Some("100.65.0.1".parse().unwrap()),
+            ..Default::default()
+        }
+    }
+
+    fn roundtrip(msg: UpdateMsg, ctx: &SessionCodecCtx) -> UpdateMsg {
+        let wire = Message::Update(msg).encode(ctx);
+        match Message::decode(&wire, ctx).unwrap().0 {
+            Message::Update(u) => u,
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v4_announce_roundtrip() {
+        let ctx = SessionCodecCtx::default();
+        let msg = UpdateMsg::announce(
+            vec![
+                (prefix("184.164.224.0/24"), None),
+                (prefix("10.0.0.0/8"), None),
+            ],
+            attrs_v4(),
+        );
+        assert_eq!(roundtrip(msg.clone(), &ctx), msg);
+    }
+
+    #[test]
+    fn v4_announce_add_path_roundtrip() {
+        let ctx = SessionCodecCtx::add_path_both();
+        let msg = UpdateMsg::announce(
+            vec![
+                (prefix("192.168.0.0/24"), Some(1)),
+                (prefix("192.168.0.0/24"), Some(2)),
+            ],
+            attrs_v4(),
+        );
+        assert_eq!(roundtrip(msg.clone(), &ctx), msg);
+    }
+
+    #[test]
+    fn withdraw_roundtrip() {
+        let ctx = SessionCodecCtx::default();
+        let msg = UpdateMsg::withdraw(vec![(prefix("184.164.224.0/24"), None)]);
+        assert_eq!(roundtrip(msg.clone(), &ctx), msg);
+    }
+
+    #[test]
+    fn v6_announce_roundtrip() {
+        let ctx = SessionCodecCtx::add_path_both();
+        let attrs = PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(47065)]),
+            next_hop: Some("2001:db8::1".parse().unwrap()),
+            ..Default::default()
+        };
+        let msg = UpdateMsg::announce(vec![(prefix("2804:269c::/32"), Some(3))], attrs);
+        assert_eq!(roundtrip(msg.clone(), &ctx), msg);
+    }
+
+    #[test]
+    fn v6_withdraw_only_roundtrip() {
+        let ctx = SessionCodecCtx::default();
+        let msg = UpdateMsg::withdraw(vec![(prefix("2804:269c::/32"), None)]);
+        assert_eq!(roundtrip(msg.clone(), &ctx), msg);
+    }
+
+    #[test]
+    fn mixed_family_update_roundtrips() {
+        // vBGP never mixes, but the codec handles it: v4 in classic fields,
+        // v6 in MP attributes, one attribute set.
+        let ctx = SessionCodecCtx::default();
+        let attrs = PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(47065)]),
+            next_hop: Some("100.65.0.1".parse().unwrap()),
+            ..Default::default()
+        };
+        let msg = UpdateMsg {
+            withdrawn: vec![
+                (prefix("10.0.0.0/8"), None),
+                (prefix("2001:db8::/32"), None),
+            ],
+            attrs: Some(attrs),
+            announce: vec![(prefix("11.0.0.0/8"), None)],
+        };
+        let got = roundtrip(msg.clone(), &ctx);
+        assert_eq!(got.announce, msg.announce);
+        // Withdrawals survive but family order may differ (v4 then v6).
+        assert_eq!(got.withdrawn.len(), 2);
+        assert!(got.withdrawn.contains(&(prefix("10.0.0.0/8"), None)));
+        assert!(got.withdrawn.contains(&(prefix("2001:db8::/32"), None)));
+    }
+
+    #[test]
+    fn end_of_rib() {
+        let ctx = SessionCodecCtx::default();
+        let msg = UpdateMsg::end_of_rib();
+        assert!(msg.is_end_of_rib());
+        let got = roundtrip(msg, &ctx);
+        assert!(got.is_end_of_rib());
+    }
+
+    #[test]
+    fn nlri_without_attrs_rejected() {
+        let ctx = SessionCodecCtx::default();
+        // withdrawn len 0, attrs len 0, then one NLRI
+        let mut body = vec![0, 0, 0, 0];
+        body.extend_from_slice(&[8, 10]); // 10.0.0.0/8
+        assert!(UpdateMsg::decode_body(&body, &ctx).is_err());
+    }
+
+    #[test]
+    fn truncated_update_rejected() {
+        let ctx = SessionCodecCtx::default();
+        assert!(UpdateMsg::decode_body(&[0, 0, 0], &ctx).is_err());
+        assert!(UpdateMsg::decode_body(&[0, 5, 0, 0], &ctx).is_err());
+        assert!(UpdateMsg::decode_body(&[0, 0, 0, 9], &ctx).is_err());
+    }
+}

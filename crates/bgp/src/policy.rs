@@ -1,0 +1,434 @@
+//! Route-map-style policy engine.
+//!
+//! Rules are evaluated in order; the first rule whose matches all hold
+//! applies its actions and verdict. This engine serves two roles in the
+//! reproduction: ordinary import/export policy on speakers (what BIRD filter
+//! programs do in the paper's deployment), and the generated per-experiment
+//! export policies through which vBGP implements next-hop rewriting and
+//! community-directed announcement steering (§3.2).
+
+use std::net::IpAddr;
+
+use crate::attrs::PathAttributes;
+use crate::rib::{PeerId, Route};
+use crate::types::{Asn, Community, Prefix};
+
+/// A predicate over a route.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Match {
+    /// Always true.
+    Any,
+    /// Prefix equals exactly.
+    PrefixExact(Prefix),
+    /// Prefix is covered by the given prefix and its length is within
+    /// `[ge, le]` (route-filter semantics).
+    PrefixIn {
+        /// Covering prefix.
+        within: Prefix,
+        /// Minimum accepted length.
+        ge: u8,
+        /// Maximum accepted length.
+        le: u8,
+    },
+    /// The given community is attached.
+    HasCommunity(Community),
+    /// Any community `high:low` with the given high part and `low` within
+    /// `[low_min, low_max]` is attached (community-range filters, as real
+    /// route filters support; vBGP uses this to detect "any whitelist
+    /// steering community present").
+    HasCommunityInRange {
+        /// Required high 16 bits.
+        high: u16,
+        /// Minimum low value.
+        low_min: u16,
+        /// Maximum low value.
+        low_max: u16,
+    },
+    /// The AS path contains this ASN anywhere.
+    AsPathContains(Asn),
+    /// The route originated from this AS.
+    OriginAs(Asn),
+    /// AS-path length is at least this.
+    AsPathLenAtLeast(usize),
+    /// The route was learned from this peer.
+    FromPeer(PeerId),
+    /// The route was originated locally (Gao–Rexford export: own and
+    /// customer routes go everywhere; peer/provider routes only to
+    /// customers).
+    LocalOrigin,
+    /// The route's current next hop equals this address (used by vBGP's
+    /// backbone policies to map global-pool next hops to local ones, §4.4).
+    NextHopIs(IpAddr),
+    /// Negation.
+    Not(Box<Match>),
+    /// Conjunction.
+    All(Vec<Match>),
+}
+
+impl Match {
+    /// Evaluate against a route.
+    pub fn matches(&self, route: &Route) -> bool {
+        match self {
+            Match::Any => true,
+            Match::PrefixExact(p) => route.prefix == *p,
+            Match::PrefixIn { within, ge, le } => {
+                within.contains(&route.prefix)
+                    && route.prefix.len() >= *ge
+                    && route.prefix.len() <= *le
+            }
+            Match::HasCommunity(c) => route.attrs.has_community(*c),
+            Match::HasCommunityInRange {
+                high,
+                low_min,
+                low_max,
+            } => route
+                .attrs
+                .communities
+                .iter()
+                .any(|c| c.high() == *high && (*low_min..=*low_max).contains(&c.low())),
+            Match::AsPathContains(asn) => route.attrs.as_path.contains(*asn),
+            Match::OriginAs(asn) => route.attrs.as_path.origin_as() == Some(*asn),
+            Match::AsPathLenAtLeast(n) => route.attrs.as_path.path_len() >= *n,
+            Match::FromPeer(peer) => route.source.peer() == Some(*peer),
+            Match::LocalOrigin => route.source.peer().is_none(),
+            Match::NextHopIs(nh) => route.attrs.next_hop == Some(*nh),
+            Match::Not(inner) => !inner.matches(route),
+            Match::All(all) => all.iter().all(|m| m.matches(route)),
+        }
+    }
+}
+
+/// An attribute transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Set LOCAL_PREF.
+    SetLocalPref(u32),
+    /// Set MED.
+    SetMed(u32),
+    /// Clear MED.
+    ClearMed,
+    /// Set the next hop (vBGP's rewrite primitive).
+    SetNextHop(IpAddr),
+    /// Prepend an ASN n times.
+    Prepend(Asn, usize),
+    /// Attach a community.
+    AddCommunity(Community),
+    /// Remove a community.
+    RemoveCommunity(Community),
+    /// Remove every community whose high 16 bits equal the given value
+    /// (used to strip a platform's control communities on export).
+    StripCommunitiesOf(u16),
+    /// Remove all communities.
+    ClearCommunities,
+    /// Drop unknown (unmodeled) attributes — enforcement default-deny.
+    StripUnknownAttrs,
+}
+
+impl Action {
+    /// Apply to an attribute set.
+    pub fn apply(&self, attrs: &mut PathAttributes) {
+        match self {
+            Action::SetLocalPref(v) => attrs.local_pref = Some(*v),
+            Action::SetMed(v) => attrs.med = Some(*v),
+            Action::ClearMed => attrs.med = None,
+            Action::SetNextHop(nh) => attrs.next_hop = Some(*nh),
+            Action::Prepend(asn, n) => attrs.as_path.prepend(*asn, *n),
+            Action::AddCommunity(c) => attrs.add_community(*c),
+            Action::RemoveCommunity(c) => attrs.remove_community(*c),
+            Action::StripCommunitiesOf(high) => {
+                attrs.communities.retain(|c| c.high() != *high);
+            }
+            Action::ClearCommunities => attrs.communities.clear(),
+            Action::StripUnknownAttrs => attrs.unknown.clear(),
+        }
+    }
+}
+
+/// What happens after a rule matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Accept the route (stop evaluating).
+    Accept,
+    /// Reject the route (stop evaluating).
+    Reject,
+    /// Apply actions and keep evaluating subsequent rules.
+    Continue,
+}
+
+/// One policy rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Predicate.
+    pub matches: Match,
+    /// Transformations applied when the predicate holds.
+    pub actions: Vec<Action>,
+    /// Resulting verdict.
+    pub verdict: Verdict,
+}
+
+impl Rule {
+    /// `match → accept` with no transformation.
+    pub fn accept(matches: Match) -> Self {
+        Rule {
+            matches,
+            actions: Vec::new(),
+            verdict: Verdict::Accept,
+        }
+    }
+
+    /// `match → reject`.
+    pub fn reject(matches: Match) -> Self {
+        Rule {
+            matches,
+            actions: Vec::new(),
+            verdict: Verdict::Reject,
+        }
+    }
+
+    /// `match → apply actions, accept`.
+    pub fn transform(matches: Match, actions: Vec<Action>) -> Self {
+        Rule {
+            matches,
+            actions,
+            verdict: Verdict::Accept,
+        }
+    }
+
+    /// `match → apply actions, continue`.
+    pub fn amend(matches: Match, actions: Vec<Action>) -> Self {
+        Rule {
+            matches,
+            actions,
+            verdict: Verdict::Continue,
+        }
+    }
+}
+
+/// An ordered rule list with a default verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// Rules, evaluated in order.
+    pub rules: Vec<Rule>,
+    /// Verdict when no rule terminates evaluation.
+    pub default: Verdict,
+}
+
+impl Policy {
+    /// Accept everything.
+    pub fn accept_all() -> Self {
+        Policy {
+            rules: Vec::new(),
+            default: Verdict::Accept,
+        }
+    }
+
+    /// Reject everything (fail-closed default for enforcement pipelines).
+    pub fn reject_all() -> Self {
+        Policy {
+            rules: Vec::new(),
+            default: Verdict::Reject,
+        }
+    }
+
+    /// Build from rules with a default verdict.
+    pub fn new(rules: Vec<Rule>, default: Verdict) -> Self {
+        Policy { rules, default }
+    }
+
+    /// Evaluate: returns the transformed attributes if accepted, `None` if
+    /// rejected. The input route is not modified.
+    pub fn evaluate(&self, route: &Route) -> Option<PathAttributes> {
+        let mut working = route.clone();
+        for rule in &self.rules {
+            if rule.matches.matches(&working) {
+                for action in &rule.actions {
+                    action.apply(&mut working.attrs);
+                }
+                match rule.verdict {
+                    Verdict::Accept => return Some(working.attrs),
+                    Verdict::Reject => return None,
+                    Verdict::Continue => {}
+                }
+            }
+        }
+        match self.default {
+            Verdict::Reject => None,
+            _ => Some(working.attrs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AsPath;
+    use crate::rib::RouteSource;
+    use crate::types::{prefix, RouterId};
+
+    fn route(p: &str, asns: &[u32], communities: &[Community]) -> Route {
+        Route {
+            prefix: prefix(p),
+            path_id: 0,
+            attrs: PathAttributes {
+                as_path: AsPath::from_asns(&asns.iter().map(|&a| Asn(a)).collect::<Vec<_>>()),
+                next_hop: Some("10.0.0.1".parse().unwrap()),
+                communities: communities.to_vec(),
+                ..Default::default()
+            },
+            source: RouteSource::Peer {
+                peer: PeerId(1),
+                ebgp: true,
+                router_id: RouterId(1),
+                addr: "10.0.0.1".parse().unwrap(),
+            },
+            stamp: 0,
+        }
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let policy = Policy::new(
+            vec![
+                Rule::reject(Match::PrefixExact(prefix("10.0.0.0/8"))),
+                Rule::accept(Match::Any),
+            ],
+            Verdict::Reject,
+        );
+        assert!(policy.evaluate(&route("10.0.0.0/8", &[1], &[])).is_none());
+        assert!(policy.evaluate(&route("11.0.0.0/8", &[1], &[])).is_some());
+    }
+
+    #[test]
+    fn prefix_in_with_bounds() {
+        let m = Match::PrefixIn {
+            within: prefix("184.164.224.0/19"),
+            ge: 24,
+            le: 24,
+        };
+        assert!(m.matches(&route("184.164.225.0/24", &[1], &[])));
+        assert!(!m.matches(&route("184.164.224.0/23", &[1], &[]))); // too short
+        assert!(!m.matches(&route("184.164.225.0/25", &[1], &[]))); // too long
+        assert!(!m.matches(&route("10.0.0.0/24", &[1], &[]))); // outside
+    }
+
+    #[test]
+    fn transformations_apply_in_order() {
+        let policy = Policy::new(
+            vec![
+                Rule::amend(
+                    Match::Any,
+                    vec![
+                        Action::SetLocalPref(200),
+                        Action::AddCommunity(Community::new(47065, 1)),
+                    ],
+                ),
+                Rule::transform(Match::Any, vec![Action::Prepend(Asn(47065), 2)]),
+            ],
+            Verdict::Reject,
+        );
+        let attrs = policy.evaluate(&route("10.0.0.0/8", &[100], &[])).unwrap();
+        assert_eq!(attrs.local_pref, Some(200));
+        assert!(attrs.has_community(Community::new(47065, 1)));
+        assert_eq!(attrs.as_path.asns(), vec![Asn(47065), Asn(47065), Asn(100)]);
+    }
+
+    #[test]
+    fn amend_rules_see_prior_transformations() {
+        // The second rule matches on a community added by the first.
+        let marker = Community::new(65000, 1);
+        let policy = Policy::new(
+            vec![
+                Rule::amend(Match::Any, vec![Action::AddCommunity(marker)]),
+                Rule::reject(Match::HasCommunity(marker)),
+            ],
+            Verdict::Accept,
+        );
+        assert!(policy.evaluate(&route("10.0.0.0/8", &[1], &[])).is_none());
+    }
+
+    #[test]
+    fn default_verdicts() {
+        let open = Policy::accept_all();
+        let closed = Policy::reject_all();
+        let r = route("10.0.0.0/8", &[1], &[]);
+        assert!(open.evaluate(&r).is_some());
+        assert!(closed.evaluate(&r).is_none());
+    }
+
+    #[test]
+    fn input_route_is_untouched() {
+        let policy = Policy::new(
+            vec![Rule::transform(Match::Any, vec![Action::SetLocalPref(999)])],
+            Verdict::Accept,
+        );
+        let r = route("10.0.0.0/8", &[1], &[]);
+        let out = policy.evaluate(&r).unwrap();
+        assert_eq!(out.local_pref, Some(999));
+        assert_eq!(r.attrs.local_pref, None);
+    }
+
+    #[test]
+    fn matchers() {
+        let c = Community::new(47065, 100);
+        let r = route("10.1.0.0/16", &[10, 20, 30], &[c]);
+        assert!(Match::HasCommunity(c).matches(&r));
+        assert!(!Match::HasCommunity(Community::new(1, 1)).matches(&r));
+        assert!(Match::AsPathContains(Asn(20)).matches(&r));
+        assert!(Match::OriginAs(Asn(30)).matches(&r));
+        assert!(!Match::OriginAs(Asn(10)).matches(&r));
+        assert!(Match::AsPathLenAtLeast(3).matches(&r));
+        assert!(!Match::AsPathLenAtLeast(4).matches(&r));
+        assert!(Match::FromPeer(PeerId(1)).matches(&r));
+        assert!(!Match::FromPeer(PeerId(2)).matches(&r));
+        assert!(Match::Not(Box::new(Match::FromPeer(PeerId(2)))).matches(&r));
+        assert!(Match::All(vec![Match::HasCommunity(c), Match::OriginAs(Asn(30))]).matches(&r));
+        assert!(!Match::All(vec![Match::HasCommunity(c), Match::OriginAs(Asn(10))]).matches(&r));
+        assert!(Match::HasCommunityInRange {
+            high: 47065,
+            low_min: 0,
+            low_max: 9999
+        }
+        .matches(&r));
+        assert!(!Match::HasCommunityInRange {
+            high: 47065,
+            low_min: 101,
+            low_max: 9999
+        }
+        .matches(&r));
+        assert!(!Match::HasCommunityInRange {
+            high: 3356,
+            low_min: 0,
+            low_max: 9999
+        }
+        .matches(&r));
+    }
+
+    #[test]
+    fn strip_actions() {
+        let mut attrs = PathAttributes {
+            communities: vec![
+                Community::new(47065, 1),
+                Community::new(47065, 2),
+                Community::new(3356, 7),
+            ],
+            ..Default::default()
+        };
+        attrs.unknown.push(crate::attrs::UnknownAttr {
+            flags: 0xC0,
+            type_code: 99,
+            value: vec![1],
+        });
+        Action::StripCommunitiesOf(47065).apply(&mut attrs);
+        assert_eq!(attrs.communities, vec![Community::new(3356, 7)]);
+        Action::StripUnknownAttrs.apply(&mut attrs);
+        assert!(attrs.unknown.is_empty());
+        Action::ClearCommunities.apply(&mut attrs);
+        assert!(attrs.communities.is_empty());
+        Action::SetMed(5).apply(&mut attrs);
+        assert_eq!(attrs.med, Some(5));
+        Action::ClearMed.apply(&mut attrs);
+        assert_eq!(attrs.med, None);
+        Action::SetNextHop("127.65.0.1".parse().unwrap()).apply(&mut attrs);
+        assert_eq!(attrs.next_hop, Some("127.65.0.1".parse().unwrap()));
+    }
+}

@@ -1,0 +1,1430 @@
+//! The BGP speaker: sessions + RIBs + policy + decision process.
+//!
+//! This is the from-scratch equivalent of the BIRD daemon in the paper's
+//! deployment. It is sans-IO and synchronous: the embedding feeds it
+//! transport notifications, received bytes and timer expirations, and it
+//! returns encoded bytes to transmit plus structural events (session
+//! up/down, routes learned/withdrawn, timers to arm).
+//!
+//! Two advertisement modes exist per peer:
+//!
+//! * [`AdvertiseMode::BestOnly`] — standard BGP: advertise only the
+//!   decision-process winner (the visibility limitation of §2.2.2).
+//! * [`AdvertiseMode::AllPaths`] — advertise every Loc-RIB candidate with a
+//!   distinct ADD-PATH id. This is what vBGP uses toward experiments
+//!   (§3.2.1), with per-neighbor next-hop rewriting layered on via generated
+//!   export policies.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::IpAddr;
+
+use crate::attrs::PathAttributes;
+use crate::decision::sort_candidates;
+use crate::fsm::{FsmAction, FsmConfig, FsmEvent, FsmState, SessionFsm, TimerKind};
+use crate::message::{CodecError, Message, NotificationMsg, SessionCodecCtx, UpdateMsg};
+use crate::policy::Policy;
+use crate::rib::{AdjRibIn, LocRib, PeerId, Route, RouteSource};
+use crate::trie::PrefixTrie;
+use crate::types::{Asn, PathId, Prefix, RouterId};
+
+pub use crate::rib::PeerId as SpeakerPeerId;
+
+/// Speaker-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SpeakerConfig {
+    /// Local ASN.
+    pub asn: Asn,
+    /// Local BGP identifier.
+    pub router_id: RouterId,
+}
+
+/// How routes are advertised to a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvertiseMode {
+    /// Only the best path per prefix.
+    BestOnly,
+    /// Every Loc-RIB candidate, with ADD-PATH ids.
+    AllPaths,
+}
+
+/// Per-peer configuration.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// The peer's ASN.
+    pub remote_asn: Asn,
+    /// The peer's transport address (decision tie-break; diagnostics).
+    pub remote_addr: IpAddr,
+    /// Our address on this session; default next-hop for eBGP exports.
+    pub local_addr: IpAddr,
+    /// Proposed hold time (seconds).
+    pub hold_time: u16,
+    /// Negotiate ADD-PATH.
+    pub add_path: bool,
+    /// Passive transport establishment.
+    pub passive: bool,
+    /// Advertisement mode.
+    pub mode: AdvertiseMode,
+    /// Import policy (applied to routes learned from this peer).
+    pub import: Policy,
+    /// Export policy (applied to routes advertised to this peer).
+    pub export: Policy,
+    /// Accept routes whose AS path contains our own ASN (normally a loop).
+    pub allow_own_asn_in: bool,
+    /// Do not apply next-hop-self on eBGP export (BIRD's
+    /// `next hop keep`): required by vBGP so rewritten virtual next hops
+    /// survive export to experiments (§3.2.2).
+    pub next_hop_unchanged: bool,
+    /// Route-server transparency: do not prepend our ASN on eBGP export
+    /// (IXP route servers are not part of the data path and stay out of
+    /// the AS path — paper §4.2's multilateral peering).
+    pub transparent: bool,
+}
+
+impl PeerConfig {
+    /// A standard eBGP peer with accept-all policies.
+    pub fn ebgp(remote_asn: Asn, remote_addr: IpAddr, local_addr: IpAddr) -> Self {
+        PeerConfig {
+            remote_asn,
+            remote_addr,
+            local_addr,
+            hold_time: 90,
+            add_path: false,
+            passive: false,
+            mode: AdvertiseMode::BestOnly,
+            import: Policy::accept_all(),
+            export: Policy::accept_all(),
+            allow_own_asn_in: false,
+            next_hop_unchanged: false,
+            transparent: false,
+        }
+    }
+
+    /// Builder: route-server transparency (no ASN prepend on export).
+    pub fn with_transparent(mut self) -> Self {
+        self.transparent = true;
+        self
+    }
+
+    /// Builder: keep next hops unchanged on eBGP export.
+    pub fn with_next_hop_unchanged(mut self) -> Self {
+        self.next_hop_unchanged = true;
+        self
+    }
+
+    /// Builder: negotiate ADD-PATH and advertise all paths (vBGP's
+    /// experiment-facing configuration).
+    pub fn with_all_paths(mut self) -> Self {
+        self.add_path = true;
+        self.mode = AdvertiseMode::AllPaths;
+        self
+    }
+
+    /// Builder: passive open.
+    pub fn with_passive(mut self) -> Self {
+        self.passive = true;
+        self
+    }
+
+    /// Builder: import policy.
+    pub fn with_import(mut self, import: Policy) -> Self {
+        self.import = import;
+        self
+    }
+
+    /// Builder: export policy.
+    pub fn with_export(mut self, export: Policy) -> Self {
+        self.export = export;
+        self
+    }
+
+    /// Builder: ADD-PATH negotiation without all-paths advertisement.
+    pub fn with_add_path(mut self) -> Self {
+        self.add_path = true;
+        self
+    }
+}
+
+/// Counters per peer (for tests, benches and the scalability harness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeerStats {
+    /// Messages decoded.
+    pub msgs_in: u64,
+    /// Messages sent.
+    pub msgs_out: u64,
+    /// UPDATEs received.
+    pub updates_in: u64,
+    /// UPDATEs sent.
+    pub updates_out: u64,
+    /// Routes rejected by import policy.
+    pub import_rejected: u64,
+    /// Routes rejected by AS-path loop detection.
+    pub loop_rejected: u64,
+    /// Codec errors on this session.
+    pub codec_errors: u64,
+}
+
+struct Peer {
+    cfg: PeerConfig,
+    fsm: SessionFsm,
+    adj_in: AdjRibIn,
+    adj_out: PrefixTrie<BTreeMap<PathId, PathAttributes>>,
+    rx_buf: Vec<u8>,
+    /// Stable export path-id per Loc-RIB route key.
+    export_ids: HashMap<(Option<PeerId>, PathId), PathId>,
+    next_export_id: PathId,
+    stats: PeerStats,
+}
+
+/// Structural events produced by the speaker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeakerEvent {
+    /// Initiate the transport toward this peer.
+    TransportOpen(PeerId),
+    /// Close the transport.
+    TransportClose(PeerId),
+    /// Arm (or re-arm) a timer for `secs` seconds.
+    ArmTimer(PeerId, TimerKind, u16),
+    /// Cancel a timer.
+    StopTimer(PeerId, TimerKind),
+    /// The session reached Established.
+    SessionUp(PeerId),
+    /// The session went down.
+    SessionDown(PeerId, &'static str),
+    /// A route passed import policy and entered the Adj-RIB-In.
+    RouteLearned(PeerId, Route),
+    /// A route left the Adj-RIB-In.
+    RouteWithdrawn(PeerId, Prefix, PathId),
+}
+
+/// Accumulated output of one speaker call.
+#[derive(Debug, Default)]
+pub struct SpeakerOutput {
+    /// Encoded wire bytes to transmit, in order.
+    pub send: Vec<(PeerId, Vec<u8>)>,
+    /// Structural events.
+    pub events: Vec<SpeakerEvent>,
+}
+
+impl SpeakerOutput {
+    /// Merge another output into this one.
+    pub fn merge(&mut self, other: SpeakerOutput) {
+        self.send.extend(other.send);
+        self.events.extend(other.events);
+    }
+}
+
+/// The speaker.
+pub struct Speaker {
+    cfg: SpeakerConfig,
+    peers: BTreeMap<PeerId, Peer>,
+    loc_rib: LocRib,
+    local_routes: PrefixTrie<Route>,
+    stamp: u64,
+}
+
+impl Speaker {
+    /// Create a speaker.
+    pub fn new(cfg: SpeakerConfig) -> Self {
+        Speaker {
+            cfg,
+            peers: BTreeMap::new(),
+            loc_rib: LocRib::new(),
+            local_routes: PrefixTrie::new(),
+            stamp: 0,
+        }
+    }
+
+    /// Local ASN.
+    pub fn asn(&self) -> Asn {
+        self.cfg.asn
+    }
+
+    /// Local router id.
+    pub fn router_id(&self) -> RouterId {
+        self.cfg.router_id
+    }
+
+    /// Register a peer. Ids must be unique.
+    pub fn add_peer(&mut self, id: PeerId, cfg: PeerConfig) {
+        let fsm_cfg = FsmConfig {
+            local_asn: self.cfg.asn,
+            local_id: self.cfg.router_id,
+            peer_asn: cfg.remote_asn,
+            hold_time: cfg.hold_time,
+            add_path: cfg.add_path,
+            connect_retry_secs: 30,
+            passive: cfg.passive,
+        };
+        let peer = Peer {
+            cfg,
+            fsm: SessionFsm::new(fsm_cfg),
+            adj_in: AdjRibIn::new(),
+            adj_out: PrefixTrie::new(),
+            rx_buf: Vec::new(),
+            export_ids: HashMap::new(),
+            next_export_id: 1,
+            stats: PeerStats::default(),
+        };
+        self.peers.insert(id, peer);
+    }
+
+    /// Remove a peer entirely (used by the platform when an experiment
+    /// disconnects); returns whether it existed.
+    pub fn remove_peer(&mut self, id: PeerId) -> (bool, SpeakerOutput) {
+        let mut out = SpeakerOutput::default();
+        let existed = self.peers.contains_key(&id);
+        if existed {
+            self.drop_peer_routes(id, &mut out);
+            self.peers.remove(&id);
+        }
+        (existed, out)
+    }
+
+    /// Session state for a peer.
+    pub fn session_state(&self, id: PeerId) -> Option<FsmState> {
+        self.peers.get(&id).map(|p| p.fsm.state())
+    }
+
+    /// Whether a session is Established.
+    pub fn is_established(&self, id: PeerId) -> bool {
+        self.session_state(id) == Some(FsmState::Established)
+    }
+
+    /// Per-peer stats.
+    pub fn peer_stats(&self, id: PeerId) -> Option<PeerStats> {
+        self.peers.get(&id).map(|p| p.stats)
+    }
+
+    /// The negotiated codec context for a session.
+    pub fn codec_ctx(&self, id: PeerId) -> SessionCodecCtx {
+        self.peers
+            .get(&id)
+            .map(|p| p.fsm.codec_ctx())
+            .unwrap_or_default()
+    }
+
+    /// Peer ids in deterministic order.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.peers.keys().copied().collect()
+    }
+
+    /// Access a peer's Adj-RIB-In.
+    pub fn adj_rib_in(&self, id: PeerId) -> Option<&AdjRibIn> {
+        self.peers.get(&id).map(|p| &p.adj_in)
+    }
+
+    /// The Loc-RIB.
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// Replace a peer's import policy. Takes effect for routes received
+    /// from now on; previously imported routes are re-evaluated on the next
+    /// refresh or re-announcement (ask the peer with
+    /// [`Speaker::request_route_refresh`] to force it).
+    pub fn set_import_policy(&mut self, id: PeerId, import: Policy) {
+        if let Some(peer) = self.peers.get_mut(&id) {
+            peer.cfg.import = import;
+        }
+    }
+
+    /// Replace a peer's export policy (vBGP regenerates these as experiments
+    /// connect/disconnect) and re-advertise accordingly.
+    pub fn set_export_policy(&mut self, id: PeerId, export: Policy) -> SpeakerOutput {
+        let mut out = SpeakerOutput::default();
+        if let Some(peer) = self.peers.get_mut(&id) {
+            peer.cfg.export = export;
+        }
+        // Re-evaluate everything we may have advertised.
+        let prefixes: Vec<Prefix> = self.loc_rib.iter().map(|(p, _)| p).collect();
+        for prefix in prefixes {
+            self.export_prefix_to(id, prefix, &mut out);
+        }
+        out
+    }
+
+    /// Start a peer's session.
+    pub fn start_peer(&mut self, id: PeerId) -> SpeakerOutput {
+        self.drive(id, FsmEvent::ManualStart)
+    }
+
+    /// Stop a peer's session (sends CEASE when established).
+    pub fn stop_peer(&mut self, id: PeerId) -> SpeakerOutput {
+        self.drive(id, FsmEvent::ManualStop)
+    }
+
+    /// Transport came up for a peer.
+    pub fn on_transport_up(&mut self, id: PeerId) -> SpeakerOutput {
+        self.drive(id, FsmEvent::TcpConnected)
+    }
+
+    /// Transport failed/closed.
+    pub fn on_transport_down(&mut self, id: PeerId) -> SpeakerOutput {
+        self.drive(id, FsmEvent::TcpClosed)
+    }
+
+    /// A timer armed via [`SpeakerEvent::ArmTimer`] fired.
+    pub fn on_timer(&mut self, id: PeerId, kind: TimerKind) -> SpeakerOutput {
+        self.drive(id, FsmEvent::Timer(kind))
+    }
+
+    /// Bytes arrived from the peer's transport. Partial messages are
+    /// buffered; complete ones are decoded and processed.
+    pub fn on_bytes(&mut self, id: PeerId, bytes: &[u8]) -> SpeakerOutput {
+        let mut out = SpeakerOutput::default();
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return out;
+        };
+        peer.rx_buf.extend_from_slice(bytes);
+        while let Some(peer) = self.peers.get_mut(&id) {
+            let ctx = peer.fsm.codec_ctx();
+            match Message::decode(&peer.rx_buf, &ctx) {
+                Ok((msg, used)) => {
+                    peer.rx_buf.drain(..used);
+                    peer.stats.msgs_in += 1;
+                    if matches!(msg, Message::Update(_)) {
+                        peer.stats.updates_in += 1;
+                    }
+                    let o = self.drive(id, FsmEvent::Msg(msg));
+                    out.merge(o);
+                }
+                Err(CodecError::Truncated) => break,
+                Err(_) => {
+                    // Corrupt stream: send a message-header-error
+                    // NOTIFICATION (RFC 4271 §6.1) and drop the session —
+                    // the paper's security engines count on sessions
+                    // failing closed.
+                    peer.stats.codec_errors += 1;
+                    peer.rx_buf.clear();
+                    let ctx = peer.fsm.codec_ctx();
+                    let notify = Message::Notification(NotificationMsg::new(
+                        crate::message::ERR_MSG_HEADER,
+                        1, // connection not synchronized
+                    ));
+                    peer.stats.msgs_out += 1;
+                    out.send.push((id, notify.encode(&ctx)));
+                    let o = self.drive(id, FsmEvent::TcpClosed);
+                    out.merge(o);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Originate a route locally with the given attributes.
+    pub fn originate(&mut self, prefix: Prefix, attrs: PathAttributes) -> SpeakerOutput {
+        self.stamp += 1;
+        let route = Route {
+            prefix,
+            path_id: 0,
+            attrs,
+            source: RouteSource::Local,
+            stamp: self.stamp,
+        };
+        self.local_routes.insert(prefix, route);
+        let mut out = SpeakerOutput::default();
+        self.recompute(prefix, &mut out);
+        out
+    }
+
+    /// Withdraw a locally-originated route.
+    pub fn withdraw_origin(&mut self, prefix: Prefix) -> SpeakerOutput {
+        let mut out = SpeakerOutput::default();
+        if self.local_routes.remove(&prefix).is_some() {
+            self.recompute(prefix, &mut out);
+        }
+        out
+    }
+
+    /// Send a raw UPDATE to a specific established peer, bypassing Loc-RIB
+    /// export (vBGP's mux uses this to steer announcements per neighbor).
+    pub fn advertise_raw(&mut self, id: PeerId, update: UpdateMsg) -> SpeakerOutput {
+        let mut out = SpeakerOutput::default();
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return out;
+        };
+        if !peer.fsm.is_established() {
+            return out;
+        }
+        let ctx = peer.fsm.codec_ctx();
+        peer.stats.msgs_out += 1;
+        peer.stats.updates_out += 1;
+        out.send.push((id, Message::Update(update).encode(&ctx)));
+        out
+    }
+
+    // ---- internals ----
+
+    fn drive(&mut self, id: PeerId, event: FsmEvent) -> SpeakerOutput {
+        let mut out = SpeakerOutput::default();
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return out;
+        };
+        let was_established = peer.fsm.is_established();
+        let actions = peer.fsm.handle(event);
+        let mut updates = Vec::new();
+        let mut refreshes = Vec::new();
+        let mut session_up = false;
+        let mut session_down: Option<&'static str> = None;
+        for action in actions {
+            match action {
+                FsmAction::OpenTransport => out.events.push(SpeakerEvent::TransportOpen(id)),
+                FsmAction::CloseTransport => out.events.push(SpeakerEvent::TransportClose(id)),
+                FsmAction::ArmTimer(kind, secs) => {
+                    out.events.push(SpeakerEvent::ArmTimer(id, kind, secs))
+                }
+                FsmAction::StopTimer(kind) => out.events.push(SpeakerEvent::StopTimer(id, kind)),
+                FsmAction::Send(msg) => {
+                    let peer = self.peers.get_mut(&id).unwrap();
+                    let ctx = peer.fsm.codec_ctx();
+                    peer.stats.msgs_out += 1;
+                    if matches!(msg, Message::Update(_)) {
+                        peer.stats.updates_out += 1;
+                    }
+                    out.send.push((id, msg.encode(&ctx)));
+                }
+                FsmAction::SessionUp => session_up = true,
+                FsmAction::SessionDown(reason) => session_down = Some(reason),
+                FsmAction::DeliverUpdate(update) => updates.push(update),
+                FsmAction::DeliverRouteRefresh { afi, .. } => refreshes.push(afi),
+            }
+        }
+        if session_up {
+            out.events.push(SpeakerEvent::SessionUp(id));
+            self.on_session_up(id, &mut out);
+        }
+        if let Some(reason) = session_down {
+            out.events.push(SpeakerEvent::SessionDown(id, reason));
+            if was_established {
+                self.drop_peer_routes(id, &mut out);
+            }
+        }
+        for update in updates {
+            self.process_update(id, update, &mut out);
+        }
+        for afi in refreshes {
+            self.process_route_refresh(id, afi, &mut out);
+        }
+        out
+    }
+
+    /// RFC 2918: re-send the entire Adj-RIB-Out for the requested family.
+    fn process_route_refresh(&mut self, id: PeerId, afi: u16, out: &mut SpeakerOutput) {
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return;
+        };
+        // Forget what we advertised for the family so the export diff
+        // re-sends everything current.
+        let prefixes: Vec<Prefix> = peer
+            .adj_out
+            .iter()
+            .map(|(p, _)| p)
+            .filter(|p| match p {
+                Prefix::V4 { .. } => afi == 1,
+                Prefix::V6 { .. } => afi == 2,
+            })
+            .collect();
+        for p in &prefixes {
+            peer.adj_out.remove(p);
+        }
+        let all: Vec<Prefix> = self
+            .loc_rib
+            .iter()
+            .map(|(p, _)| p)
+            .filter(|p| match p {
+                Prefix::V4 { .. } => afi == 1,
+                Prefix::V6 { .. } => afi == 2,
+            })
+            .collect();
+        for prefix in all {
+            self.export_prefix_to(id, prefix, out);
+        }
+    }
+
+    /// Ask a peer to re-send its routes (RFC 2918). Useful after a local
+    /// policy change.
+    pub fn request_route_refresh(&mut self, id: PeerId, afi: u16) -> SpeakerOutput {
+        let mut out = SpeakerOutput::default();
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return out;
+        };
+        if !peer.fsm.is_established() {
+            return out;
+        }
+        let ctx = peer.fsm.codec_ctx();
+        peer.stats.msgs_out += 1;
+        out.send
+            .push((id, Message::RouteRefresh { afi, safi: 1 }.encode(&ctx)));
+        out
+    }
+
+    fn on_session_up(&mut self, id: PeerId, out: &mut SpeakerOutput) {
+        // Advertise the current table to the new peer, then End-of-RIB.
+        let prefixes: Vec<Prefix> = self.loc_rib.iter().map(|(p, _)| p).collect();
+        for prefix in prefixes {
+            self.export_prefix_to(id, prefix, out);
+        }
+        if let Some(peer) = self.peers.get_mut(&id) {
+            let ctx = peer.fsm.codec_ctx();
+            peer.stats.msgs_out += 1;
+            peer.stats.updates_out += 1;
+            out.send
+                .push((id, Message::Update(UpdateMsg::end_of_rib()).encode(&ctx)));
+        }
+    }
+
+    fn drop_peer_routes(&mut self, id: PeerId, out: &mut SpeakerOutput) {
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return;
+        };
+        peer.rx_buf.clear();
+        peer.adj_out = PrefixTrie::new();
+        peer.export_ids.clear();
+        let dropped = peer.adj_in.clear();
+        let mut prefixes: Vec<Prefix> = dropped.iter().map(|r| r.prefix).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        for r in &dropped {
+            out.events
+                .push(SpeakerEvent::RouteWithdrawn(id, r.prefix, r.path_id));
+        }
+        for prefix in prefixes {
+            self.recompute(prefix, out);
+        }
+    }
+
+    fn process_update(&mut self, id: PeerId, update: UpdateMsg, out: &mut SpeakerOutput) {
+        if update.is_end_of_rib() {
+            return;
+        }
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return;
+        };
+        let negotiated = *peer.fsm.negotiated();
+        let ebgp = peer.cfg.remote_asn != self.cfg.asn;
+        let mut touched: Vec<Prefix> = Vec::new();
+
+        for (prefix, path_id) in &update.withdrawn {
+            let peer = self.peers.get_mut(&id).unwrap();
+            let removed = match path_id {
+                Some(pid) => peer.adj_in.remove(prefix, *pid).into_iter().collect(),
+                None => peer.adj_in.remove_prefix(prefix),
+            };
+            for r in removed {
+                out.events
+                    .push(SpeakerEvent::RouteWithdrawn(id, r.prefix, r.path_id));
+                touched.push(r.prefix);
+            }
+        }
+
+        if let Some(attrs) = &update.attrs {
+            for (prefix, path_id) in &update.announce {
+                let peer = self.peers.get_mut(&id).unwrap();
+                let path_id = path_id.unwrap_or(0);
+                // Loop detection on eBGP sessions.
+                if ebgp && !peer.cfg.allow_own_asn_in && attrs.as_path.contains(self.cfg.asn) {
+                    peer.stats.loop_rejected += 1;
+                    continue;
+                }
+                self.stamp += 1;
+                let candidate = Route {
+                    prefix: *prefix,
+                    path_id,
+                    attrs: attrs.clone(),
+                    source: RouteSource::Peer {
+                        peer: id,
+                        ebgp,
+                        router_id: negotiated.peer_id,
+                        addr: peer.cfg.remote_addr,
+                    },
+                    stamp: self.stamp,
+                };
+                match peer.cfg.import.evaluate(&candidate) {
+                    Some(imported_attrs) => {
+                        let mut imported = candidate;
+                        imported.attrs = imported_attrs;
+                        // Replacing an existing path keeps the old stamp so
+                        // re-announcement does not look "newer" to decision.
+                        if let Some(old) = peer.adj_in.insert(imported.clone()) {
+                            let refreshed = Route {
+                                stamp: old.stamp,
+                                ..imported.clone()
+                            };
+                            peer.adj_in.insert(refreshed.clone());
+                            out.events.push(SpeakerEvent::RouteLearned(id, refreshed));
+                        } else {
+                            out.events.push(SpeakerEvent::RouteLearned(id, imported));
+                        }
+                        touched.push(*prefix);
+                    }
+                    None => {
+                        peer.stats.import_rejected += 1;
+                        // An import-rejected re-announcement implicitly
+                        // withdraws any previously accepted path.
+                        if peer.adj_in.remove(prefix, path_id).is_some() {
+                            out.events
+                                .push(SpeakerEvent::RouteWithdrawn(id, *prefix, path_id));
+                            touched.push(*prefix);
+                        }
+                    }
+                }
+            }
+        }
+
+        touched.sort();
+        touched.dedup();
+        for prefix in touched {
+            self.recompute(prefix, out);
+        }
+    }
+
+    fn recompute(&mut self, prefix: Prefix, out: &mut SpeakerOutput) {
+        let mut candidates: Vec<Route> = Vec::new();
+        if let Some(local) = self.local_routes.get(&prefix) {
+            candidates.push(local.clone());
+        }
+        for peer in self.peers.values() {
+            candidates.extend(peer.adj_in.paths(&prefix).cloned());
+        }
+        sort_candidates(&mut candidates);
+        self.loc_rib.set_candidates(prefix, candidates);
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        for id in ids {
+            self.export_prefix_to(id, prefix, out);
+        }
+    }
+
+    /// Compute and transmit the delta between what `id` should see for
+    /// `prefix` and what we previously advertised.
+    fn export_prefix_to(&mut self, id: PeerId, prefix: Prefix, out: &mut SpeakerOutput) {
+        let Some(peer) = self.peers.get(&id) else {
+            return;
+        };
+        if !peer.fsm.is_established() {
+            return;
+        }
+        let mode = peer.cfg.mode;
+        let ebgp = peer.cfg.remote_asn != self.cfg.asn;
+        let candidates: Vec<Route> = match mode {
+            AdvertiseMode::BestOnly => self.loc_rib.best(&prefix).into_iter().cloned().collect(),
+            AdvertiseMode::AllPaths => self.loc_rib.candidates(&prefix).to_vec(),
+        };
+
+        // Desired advertisement set: path-id -> attrs.
+        let mut desired: BTreeMap<PathId, PathAttributes> = BTreeMap::new();
+        {
+            let peer = self.peers.get_mut(&id).unwrap();
+            let use_add_path = peer.fsm.codec_ctx().add_path_v4 || peer.fsm.codec_ctx().add_path_v6;
+            for route in &candidates {
+                // Split horizon: never advertise a route back to its source.
+                if route.source.peer() == Some(id) {
+                    continue;
+                }
+                // Sender-side loop avoidance on eBGP.
+                if ebgp && route.attrs.as_path.contains(peer.cfg.remote_asn) {
+                    continue;
+                }
+                let Some(mut attrs) = peer.cfg.export.evaluate(route) else {
+                    continue;
+                };
+                if ebgp {
+                    if !peer.cfg.transparent {
+                        attrs.as_path.prepend(self.cfg.asn, 1);
+                    }
+                    attrs.local_pref = None;
+                    // Next-hop-self unless export policy set one explicitly
+                    // or the peer is configured next-hop-unchanged.
+                    if !peer.cfg.next_hop_unchanged && attrs.next_hop == route.attrs.next_hop {
+                        attrs.next_hop = Some(peer.cfg.local_addr);
+                    }
+                }
+                let export_id = if use_add_path && mode == AdvertiseMode::AllPaths {
+                    let key = (route.source.peer(), route.path_id);
+                    if let Some(&eid) = peer.export_ids.get(&key) {
+                        eid
+                    } else {
+                        let eid = peer.next_export_id;
+                        peer.next_export_id += 1;
+                        peer.export_ids.insert(key, eid);
+                        eid
+                    }
+                } else {
+                    0
+                };
+                desired.insert(export_id, attrs);
+                if mode == AdvertiseMode::BestOnly {
+                    break;
+                }
+            }
+        }
+
+        // Diff against adj-out.
+        let peer = self.peers.get_mut(&id).unwrap();
+        let ctx = peer.fsm.codec_ctx();
+        let add_path_session = match prefix {
+            Prefix::V4 { .. } => ctx.add_path_v4,
+            Prefix::V6 { .. } => ctx.add_path_v6,
+        };
+        let current: BTreeMap<PathId, PathAttributes> =
+            peer.adj_out.get(&prefix).cloned().unwrap_or_default();
+
+        let mut msgs: Vec<UpdateMsg> = Vec::new();
+        let mut withdrawals = Vec::new();
+        for pid in current.keys() {
+            if !desired.contains_key(pid) {
+                withdrawals.push((prefix, add_path_session.then_some(*pid)));
+            }
+        }
+        if !withdrawals.is_empty() {
+            msgs.push(UpdateMsg::withdraw(withdrawals));
+        }
+        for (pid, attrs) in &desired {
+            if current.get(pid) != Some(attrs) {
+                msgs.push(UpdateMsg::announce(
+                    vec![(prefix, add_path_session.then_some(*pid))],
+                    attrs.clone(),
+                ));
+            }
+        }
+
+        if desired.is_empty() {
+            peer.adj_out.remove(&prefix);
+        } else {
+            peer.adj_out.insert(prefix, desired);
+        }
+        for msg in msgs {
+            peer.stats.msgs_out += 1;
+            peer.stats.updates_out += 1;
+            out.send.push((id, Message::Update(msg).encode(&ctx)));
+        }
+    }
+
+    /// Number of routes held across all Adj-RIBs-In (Fig. 6a's x-axis).
+    pub fn total_adj_in_paths(&self) -> usize {
+        self.peers.values().map(|p| p.adj_in.path_count).sum()
+    }
+
+    /// Approximate memory footprint of all RIBs, in bytes (Fig. 6a's
+    /// y-axis): Adj-RIB-In + Loc-RIB candidates + Adj-RIB-Out entries.
+    pub fn rib_memory_bytes(&self) -> usize {
+        let mut bytes = 0;
+        for peer in self.peers.values() {
+            for route in peer.adj_in.iter() {
+                bytes += crate::rib::route_memory_bytes(route);
+            }
+            for (_, m) in peer.adj_out.iter() {
+                bytes += 48 + m.len() * 64;
+            }
+        }
+        for (_, candidates) in self.loc_rib.iter() {
+            for route in candidates {
+                bytes += crate::rib::route_memory_bytes(route);
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AsPath;
+    use crate::policy::Verdict;
+    use crate::types::prefix;
+    use std::collections::VecDeque;
+
+    /// In-memory multi-speaker harness: wires (speaker, peer-id) endpoints
+    /// together and delivers bytes until the network is quiet.
+    struct Harness {
+        speakers: Vec<Speaker>,
+        links: HashMap<(usize, u32), (usize, u32)>,
+        queue: VecDeque<(usize, PeerId, Vec<u8>)>,
+        transports_up: Vec<(usize, u32)>,
+    }
+
+    impl Harness {
+        fn new(speakers: Vec<Speaker>) -> Self {
+            Harness {
+                speakers,
+                links: HashMap::new(),
+                queue: VecDeque::new(),
+                transports_up: Vec::new(),
+            }
+        }
+
+        fn link(&mut self, a: usize, a_pid: u32, b: usize, b_pid: u32) {
+            self.links.insert((a, a_pid), (b, b_pid));
+            self.links.insert((b, b_pid), (a, a_pid));
+        }
+
+        fn process(&mut self, idx: usize, out: SpeakerOutput) {
+            for (pid, bytes) in out.send {
+                let (di, dpid) = self.links[&(idx, pid.0)];
+                self.queue.push_back((di, PeerId(dpid), bytes));
+            }
+            for ev in out.events {
+                if let SpeakerEvent::TransportOpen(pid) = ev {
+                    let (di, dpid) = self.links[&(idx, pid.0)];
+                    if !self.transports_up.contains(&(idx, pid.0)) {
+                        self.transports_up.push((idx, pid.0));
+                        self.transports_up.push((di, dpid));
+                        let o = self.speakers[idx].on_transport_up(pid);
+                        self.process(idx, o);
+                        let o = self.speakers[di].on_transport_up(PeerId(dpid));
+                        self.process(di, o);
+                    }
+                }
+            }
+        }
+
+        fn run(&mut self) {
+            let mut steps = 0;
+            while let Some((di, pid, bytes)) = self.queue.pop_front() {
+                let out = self.speakers[di].on_bytes(pid, &bytes);
+                self.process(di, out);
+                steps += 1;
+                assert!(steps < 100_000, "harness livelock");
+            }
+        }
+
+        fn start(&mut self, idx: usize, pid: u32) {
+            let out = self.speakers[idx].start_peer(PeerId(pid));
+            self.process(idx, out);
+            self.run();
+        }
+
+        fn originate(&mut self, idx: usize, p: Prefix, attrs: PathAttributes) {
+            let out = self.speakers[idx].originate(p, attrs);
+            self.process(idx, out);
+            self.run();
+        }
+
+        fn withdraw(&mut self, idx: usize, p: Prefix) {
+            let out = self.speakers[idx].withdraw_origin(p);
+            self.process(idx, out);
+            self.run();
+        }
+    }
+
+    fn speaker(asn: u32, id: u32) -> Speaker {
+        Speaker::new(SpeakerConfig {
+            asn: Asn(asn),
+            router_id: RouterId(id),
+        })
+    }
+
+    fn addr(n: u32) -> IpAddr {
+        format!("10.0.{}.{}", n / 256, n % 256).parse().unwrap()
+    }
+
+    /// Two speakers, one session. Returns harness; session ids are 0/0.
+    fn pair(add_path: bool) -> Harness {
+        let a = speaker(100, 1);
+        let b = speaker(200, 2);
+        let mut h = Harness::new(vec![a, b]);
+        h.link(0, 0, 1, 0);
+        let mut cfg_a = PeerConfig::ebgp(Asn(200), addr(2), addr(1));
+        let mut cfg_b = PeerConfig::ebgp(Asn(100), addr(1), addr(2)).with_passive();
+        if add_path {
+            cfg_a = cfg_a.with_all_paths();
+            cfg_b = cfg_b.with_all_paths();
+        }
+        h.speakers[0].add_peer(PeerId(0), cfg_a);
+        h.speakers[1].add_peer(PeerId(0), cfg_b);
+        h.start(1, 0);
+        h.start(0, 0);
+        assert!(h.speakers[0].is_established(PeerId(0)));
+        assert!(h.speakers[1].is_established(PeerId(0)));
+        h
+    }
+
+    #[test]
+    fn establish_and_propagate_route() {
+        let mut h = pair(false);
+        h.originate(
+            0,
+            prefix("184.164.224.0/24"),
+            PathAttributes::originated(addr(1)),
+        );
+        let best = h.speakers[1]
+            .loc_rib()
+            .best(&prefix("184.164.224.0/24"))
+            .unwrap();
+        assert_eq!(best.attrs.as_path.asns(), vec![Asn(100)]);
+        assert_eq!(best.attrs.next_hop, Some(addr(1)));
+        assert_eq!(h.speakers[1].total_adj_in_paths(), 1);
+    }
+
+    #[test]
+    fn withdraw_propagates() {
+        let mut h = pair(false);
+        let p = prefix("184.164.224.0/24");
+        h.originate(0, p, PathAttributes::originated(addr(1)));
+        assert!(h.speakers[1].loc_rib().best(&p).is_some());
+        h.withdraw(0, p);
+        assert!(h.speakers[1].loc_rib().best(&p).is_none());
+        assert_eq!(h.speakers[1].total_adj_in_paths(), 0);
+    }
+
+    #[test]
+    fn routes_learned_before_session_are_advertised_on_up() {
+        let a = speaker(100, 1);
+        let b = speaker(200, 2);
+        let mut h = Harness::new(vec![a, b]);
+        h.link(0, 0, 1, 0);
+        h.speakers[0].add_peer(PeerId(0), PeerConfig::ebgp(Asn(200), addr(2), addr(1)));
+        h.speakers[1].add_peer(
+            PeerId(0),
+            PeerConfig::ebgp(Asn(100), addr(1), addr(2)).with_passive(),
+        );
+        let out =
+            h.speakers[0].originate(prefix("10.10.0.0/16"), PathAttributes::originated(addr(1)));
+        h.process(0, out);
+        h.run();
+        h.start(1, 0);
+        h.start(0, 0);
+        assert!(h.speakers[1]
+            .loc_rib()
+            .best(&prefix("10.10.0.0/16"))
+            .is_some());
+    }
+
+    #[test]
+    fn session_down_flushes_learned_routes() {
+        let mut h = pair(false);
+        h.originate(
+            0,
+            prefix("10.10.0.0/16"),
+            PathAttributes::originated(addr(1)),
+        );
+        assert_eq!(h.speakers[1].loc_rib().prefix_count(), 1);
+        let out = h.speakers[1].on_transport_down(PeerId(0));
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, SpeakerEvent::SessionDown(_, _))));
+        assert_eq!(h.speakers[1].loc_rib().prefix_count(), 0);
+        assert_eq!(h.speakers[1].total_adj_in_paths(), 0);
+    }
+
+    #[test]
+    fn loop_detection_sender_side_suppresses() {
+        // Sender-side avoidance: a never exports a path containing b's ASN.
+        let mut h = pair(false);
+        let mut attrs = PathAttributes::originated(addr(1));
+        attrs.as_path = AsPath::from_asns(&[Asn(200)]); // poison b's ASN
+        h.originate(0, prefix("10.66.0.0/16"), attrs);
+        assert!(h.speakers[1]
+            .loc_rib()
+            .best(&prefix("10.66.0.0/16"))
+            .is_none());
+        assert_eq!(h.speakers[1].total_adj_in_paths(), 0);
+        // Only the End-of-RIB from session establishment arrived.
+        assert_eq!(h.speakers[1].peer_stats(PeerId(0)).unwrap().updates_in, 1);
+    }
+
+    #[test]
+    fn loop_detection_receiver_side_rejects() {
+        // Receiver-side detection: a raw update (bypassing export filters)
+        // whose AS path contains the receiver's own ASN is discarded.
+        let mut h = pair(false);
+        let mut attrs = PathAttributes::originated(addr(1));
+        attrs.as_path = AsPath::from_asns(&[Asn(100), Asn(200)]);
+        let update = UpdateMsg::announce(vec![(prefix("10.66.0.0/16"), None)], attrs);
+        let out = h.speakers[0].advertise_raw(PeerId(0), update);
+        h.process(0, out);
+        h.run();
+        assert!(h.speakers[1]
+            .loc_rib()
+            .best(&prefix("10.66.0.0/16"))
+            .is_none());
+        assert_eq!(
+            h.speakers[1].peer_stats(PeerId(0)).unwrap().loop_rejected,
+            1
+        );
+    }
+
+    #[test]
+    fn import_policy_rejects() {
+        use crate::policy::{Match, Rule};
+        let mut h = pair(false);
+        let import = Policy::new(
+            vec![Rule::reject(Match::PrefixIn {
+                within: prefix("10.0.0.0/8"),
+                ge: 8,
+                le: 32,
+            })],
+            Verdict::Accept,
+        );
+        h.speakers[1].peers.get_mut(&PeerId(0)).unwrap().cfg.import = import;
+        h.originate(
+            0,
+            prefix("10.1.0.0/16"),
+            PathAttributes::originated(addr(1)),
+        );
+        h.originate(
+            0,
+            prefix("172.16.0.0/16"),
+            PathAttributes::originated(addr(1)),
+        );
+        assert!(h.speakers[1]
+            .loc_rib()
+            .best(&prefix("10.1.0.0/16"))
+            .is_none());
+        assert!(h.speakers[1]
+            .loc_rib()
+            .best(&prefix("172.16.0.0/16"))
+            .is_some());
+        assert_eq!(
+            h.speakers[1].peer_stats(PeerId(0)).unwrap().import_rejected,
+            1
+        );
+    }
+
+    #[test]
+    fn export_policy_transforms_on_export() {
+        use crate::policy::{Action, Match, Rule};
+        let mut h = pair(false);
+        let export = Policy::new(
+            vec![Rule::transform(
+                Match::Any,
+                vec![Action::Prepend(Asn(100), 3)],
+            )],
+            Verdict::Accept,
+        );
+        let out = h.speakers[0].set_export_policy(PeerId(0), export);
+        h.process(0, out);
+        h.run();
+        h.originate(
+            0,
+            prefix("184.164.224.0/24"),
+            PathAttributes::originated(addr(1)),
+        );
+        let best = h.speakers[1]
+            .loc_rib()
+            .best(&prefix("184.164.224.0/24"))
+            .unwrap();
+        // 3 prepends + the normal eBGP prepend = path length 4.
+        assert_eq!(best.attrs.as_path.path_len(), 4);
+    }
+
+    /// Hub-and-spokes: c1, c2 announce to hub; hub relays all paths to x.
+    fn hub_topology() -> Harness {
+        let hub = speaker(47065, 10);
+        let c1 = speaker(101, 11);
+        let c2 = speaker(102, 12);
+        let x = speaker(61574, 13);
+        let mut h = Harness::new(vec![hub, c1, c2, x]);
+        h.link(0, 0, 1, 0);
+        h.link(0, 1, 2, 0);
+        h.link(0, 2, 3, 0);
+        h.speakers[0].add_peer(PeerId(0), PeerConfig::ebgp(Asn(101), addr(11), addr(10)));
+        h.speakers[0].add_peer(PeerId(1), PeerConfig::ebgp(Asn(102), addr(12), addr(10)));
+        h.speakers[0].add_peer(
+            PeerId(2),
+            PeerConfig::ebgp(Asn(61574), addr(13), addr(10)).with_all_paths(),
+        );
+        h.speakers[1].add_peer(
+            PeerId(0),
+            PeerConfig::ebgp(Asn(47065), addr(10), addr(11)).with_passive(),
+        );
+        h.speakers[2].add_peer(
+            PeerId(0),
+            PeerConfig::ebgp(Asn(47065), addr(10), addr(12)).with_passive(),
+        );
+        h.speakers[3].add_peer(
+            PeerId(0),
+            PeerConfig::ebgp(Asn(47065), addr(10), addr(13))
+                .with_all_paths()
+                .with_passive(),
+        );
+        for i in 1..4 {
+            h.start(i, 0);
+        }
+        for pid in 0..3 {
+            h.start(0, pid);
+        }
+        h
+    }
+
+    #[test]
+    fn add_path_advertises_all_candidates() {
+        let mut h = hub_topology();
+        assert!(h.speakers[3].codec_ctx(PeerId(0)).add_path_v4);
+        let p = prefix("192.168.0.0/24");
+        h.originate(1, p, PathAttributes::originated(addr(11)));
+        h.originate(2, p, PathAttributes::originated(addr(12)));
+        assert_eq!(h.speakers[0].loc_rib().candidates(&p).len(), 2);
+        let candidates = h.speakers[3].loc_rib().candidates(&p);
+        assert_eq!(candidates.len(), 2, "x should see both paths via ADD-PATH");
+        let origins: Vec<Option<Asn>> = candidates
+            .iter()
+            .map(|r| r.attrs.as_path.origin_as())
+            .collect();
+        assert!(origins.contains(&Some(Asn(101))));
+        assert!(origins.contains(&Some(Asn(102))));
+        // Distinct path ids on the wire.
+        assert_ne!(candidates[0].path_id, candidates[1].path_id);
+    }
+
+    #[test]
+    fn add_path_withdraw_removes_one_path() {
+        let mut h = hub_topology();
+        let p = prefix("192.168.0.0/24");
+        h.originate(1, p, PathAttributes::originated(addr(11)));
+        h.originate(2, p, PathAttributes::originated(addr(12)));
+        assert_eq!(h.speakers[3].loc_rib().candidates(&p).len(), 2);
+        h.withdraw(1, p);
+        let candidates = h.speakers[3].loc_rib().candidates(&p);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].attrs.as_path.origin_as(), Some(Asn(102)));
+    }
+
+    #[test]
+    fn best_only_peer_sees_single_path() {
+        let mut h = hub_topology();
+        let p = prefix("192.168.0.0/24");
+        h.originate(1, p, PathAttributes::originated(addr(11)));
+        h.originate(2, p, PathAttributes::originated(addr(12)));
+        // c2 is a BestOnly peer of the hub: it learns exactly one path (not
+        // its own, due to split horizon: it learns c1's). Its Loc-RIB also
+        // holds its own origination, hence 2 candidates but 1 learned.
+        assert_eq!(h.speakers[2].total_adj_in_paths(), 1);
+        let learned: Vec<&Route> = h.speakers[2]
+            .loc_rib()
+            .candidates(&p)
+            .iter()
+            .filter(|r| r.source.peer().is_some())
+            .collect();
+        assert_eq!(learned.len(), 1);
+        assert_eq!(learned[0].attrs.as_path.origin_as(), Some(Asn(101)));
+    }
+
+    #[test]
+    fn best_path_switch_readvertises() {
+        let mut h = hub_topology();
+        let p = prefix("192.168.0.0/24");
+        // c2 announces with a longer path first -> c1's route (shorter) wins
+        // when it arrives; x's best must track hub's best ordering.
+        let mut long = PathAttributes::originated(addr(12));
+        long.as_path = AsPath::from_asns(&[Asn(900), Asn(901)]);
+        h.originate(2, p, long);
+        let best = h.speakers[0].loc_rib().best(&p).unwrap().clone();
+        assert_eq!(best.attrs.as_path.origin_as(), Some(Asn(901)));
+        h.originate(1, p, PathAttributes::originated(addr(11)));
+        let best = h.speakers[0].loc_rib().best(&p).unwrap().clone();
+        assert_eq!(best.attrs.as_path.origin_as(), Some(Asn(101)));
+    }
+
+    #[test]
+    fn route_propagation_is_transitive() {
+        // a(100) -- b(200) -- c(300).
+        let a = speaker(100, 1);
+        let b = speaker(200, 2);
+        let c = speaker(300, 3);
+        let mut h = Harness::new(vec![a, b, c]);
+        h.link(0, 0, 1, 0);
+        h.link(1, 1, 2, 0);
+        h.speakers[0].add_peer(PeerId(0), PeerConfig::ebgp(Asn(200), addr(2), addr(1)));
+        h.speakers[1].add_peer(
+            PeerId(0),
+            PeerConfig::ebgp(Asn(100), addr(1), addr(2)).with_passive(),
+        );
+        h.speakers[1].add_peer(PeerId(1), PeerConfig::ebgp(Asn(300), addr(3), addr(22)));
+        h.speakers[2].add_peer(
+            PeerId(0),
+            PeerConfig::ebgp(Asn(200), addr(22), addr(3)).with_passive(),
+        );
+        h.start(1, 0);
+        h.start(0, 0);
+        h.start(2, 0);
+        h.start(1, 1);
+        h.originate(
+            0,
+            prefix("184.164.224.0/24"),
+            PathAttributes::originated(addr(1)),
+        );
+        let best = h.speakers[2]
+            .loc_rib()
+            .best(&prefix("184.164.224.0/24"))
+            .unwrap();
+        assert_eq!(best.attrs.as_path.asns(), vec![Asn(200), Asn(100)]);
+        // Next-hop rewritten to b's address on the b--c session.
+        assert_eq!(best.attrs.next_hop, Some(addr(22)));
+    }
+
+    #[test]
+    fn remove_peer_withdraws_its_routes() {
+        let mut h = hub_topology();
+        let p = prefix("192.168.0.0/24");
+        h.originate(1, p, PathAttributes::originated(addr(11)));
+        h.originate(2, p, PathAttributes::originated(addr(12)));
+        assert_eq!(h.speakers[3].loc_rib().candidates(&p).len(), 2);
+        let (existed, out) = h.speakers[0].remove_peer(PeerId(0));
+        assert!(existed);
+        h.process(0, out);
+        h.run();
+        assert_eq!(h.speakers[3].loc_rib().candidates(&p).len(), 1);
+    }
+
+    #[test]
+    fn corrupt_stream_drops_session() {
+        let mut h = pair(false);
+        let out = h.speakers[1].on_bytes(PeerId(0), &[0u8; 19]);
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, SpeakerEvent::SessionDown(_, _))));
+        assert_eq!(h.speakers[1].peer_stats(PeerId(0)).unwrap().codec_errors, 1);
+    }
+
+    #[test]
+    fn raw_advertise_reaches_specific_peer() {
+        let mut h = hub_topology();
+        let p = prefix("184.164.230.0/24");
+        let mut attrs = PathAttributes::originated(addr(10));
+        attrs.as_path = AsPath::from_asns(&[Asn(47065)]);
+        let update = UpdateMsg::announce(vec![(p, None)], attrs);
+        // Send only to c1 (peer 0), not c2.
+        let out = h.speakers[0].advertise_raw(PeerId(0), update);
+        h.process(0, out);
+        h.run();
+        assert!(h.speakers[1].loc_rib().best(&p).is_some());
+        assert!(h.speakers[2].loc_rib().best(&p).is_none());
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_routes() {
+        let mut h = pair(false);
+        let before = h.speakers[1].rib_memory_bytes();
+        for i in 0..100u32 {
+            h.originate(
+                0,
+                Prefix::v4(
+                    std::net::Ipv4Addr::new(10, (i / 256) as u8, (i % 256) as u8, 0),
+                    24,
+                )
+                .unwrap(),
+                PathAttributes::originated(addr(1)),
+            );
+        }
+        let after = h.speakers[1].rib_memory_bytes();
+        assert!(after > before + 100 * 100, "memory should grow per route");
+        assert_eq!(h.speakers[1].total_adj_in_paths(), 100);
+    }
+}
+
+#[cfg(test)]
+mod refresh_tests {
+    use super::*;
+    use crate::attrs::PathAttributes;
+    use crate::types::prefix;
+
+    /// Minimal two-speaker wiring for refresh tests.
+    fn wired() -> (Speaker, Speaker) {
+        let mut a = Speaker::new(SpeakerConfig {
+            asn: Asn(100),
+            router_id: RouterId(1),
+        });
+        let mut b = Speaker::new(SpeakerConfig {
+            asn: Asn(200),
+            router_id: RouterId(2),
+        });
+        a.add_peer(
+            PeerId(0),
+            PeerConfig::ebgp(
+                Asn(200),
+                "10.0.0.2".parse().unwrap(),
+                "10.0.0.1".parse().unwrap(),
+            ),
+        );
+        b.add_peer(
+            PeerId(0),
+            PeerConfig::ebgp(
+                Asn(100),
+                "10.0.0.1".parse().unwrap(),
+                "10.0.0.2".parse().unwrap(),
+            )
+            .with_passive(),
+        );
+        (a, b)
+    }
+
+    /// Deliver `init` (produced by `a`) to `b`, then relay until quiet.
+    fn pump2(a: &mut Speaker, b: &mut Speaker, mut init: SpeakerOutput) {
+        let mut to_b: Vec<Vec<u8>> = Vec::new();
+        let mut to_a: Vec<Vec<u8>> = Vec::new();
+        if init
+            .events
+            .iter()
+            .any(|e| matches!(e, SpeakerEvent::TransportOpen(_)))
+        {
+            init.merge(a.on_transport_up(PeerId(0)));
+            let out_b = b.on_transport_up(PeerId(0));
+            to_a.extend(out_b.send.into_iter().map(|(_, bytes)| bytes));
+        }
+        to_b.extend(init.send.drain(..).map(|(_, bytes)| bytes));
+        for _ in 0..50 {
+            if to_a.is_empty() && to_b.is_empty() {
+                break;
+            }
+            for bytes in std::mem::take(&mut to_b) {
+                let out = b.on_bytes(PeerId(0), &bytes);
+                to_a.extend(out.send.into_iter().map(|(_, x)| x));
+            }
+            for bytes in std::mem::take(&mut to_a) {
+                let out = a.on_bytes(PeerId(0), &bytes);
+                to_b.extend(out.send.into_iter().map(|(_, x)| x));
+            }
+        }
+    }
+
+    #[test]
+    fn route_refresh_resends_adj_out() {
+        let (mut a, mut b) = wired();
+        b.start_peer(PeerId(0));
+        let init = a.start_peer(PeerId(0));
+        pump2(&mut a, &mut b, init);
+        assert!(a.is_established(PeerId(0)));
+        let out = a.originate(
+            prefix("184.164.224.0/24"),
+            PathAttributes::originated("10.0.0.1".parse().unwrap()),
+        );
+        pump2(&mut a, &mut b, out);
+        let updates_before = a.peer_stats(PeerId(0)).unwrap().updates_out;
+
+        // b asks for a refresh; a must re-send the route.
+        let req = b.request_route_refresh(PeerId(0), 1);
+        pump2(&mut b, &mut a, req);
+        let after = a.peer_stats(PeerId(0)).unwrap().updates_out;
+        assert!(after > updates_before, "refresh must re-send routes");
+        // And b still has exactly one copy (implicit replace).
+        assert_eq!(b.total_adj_in_paths(), 1);
+    }
+
+    #[test]
+    fn refresh_for_other_family_resends_nothing() {
+        let (mut a, mut b) = wired();
+        b.start_peer(PeerId(0));
+        let init = a.start_peer(PeerId(0));
+        pump2(&mut a, &mut b, init);
+        let out = a.originate(
+            prefix("184.164.224.0/24"),
+            PathAttributes::originated("10.0.0.1".parse().unwrap()),
+        );
+        pump2(&mut a, &mut b, out);
+        let before = a.peer_stats(PeerId(0)).unwrap().updates_out;
+        // IPv6 refresh: nothing to re-send.
+        let req = b.request_route_refresh(PeerId(0), 2);
+        pump2(&mut b, &mut a, req);
+        assert_eq!(a.peer_stats(PeerId(0)).unwrap().updates_out, before);
+    }
+
+    #[test]
+    fn refresh_request_requires_established() {
+        let (mut a, _) = wired();
+        let out = a.request_route_refresh(PeerId(0), 1);
+        assert!(out.send.is_empty());
+    }
+}

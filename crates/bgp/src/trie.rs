@@ -1,0 +1,318 @@
+//! A binary radix trie keyed by IP prefix with longest-prefix-match lookup.
+//!
+//! This is the FIB/RIB backbone: vBGP maintains one routing table per BGP
+//! neighbor (paper §3.2.2), each of which is one of these tries. IPv4 and
+//! IPv6 prefixes share the structure by left-aligning network bits in a
+//! `u128`; the two families live in separate roots so a /0 in one never
+//! matches the other.
+
+use crate::types::{Afi, Prefix};
+use std::net::IpAddr;
+
+struct TrieNode<V> {
+    value: Option<V>,
+    children: [Option<Box<TrieNode<V>>>; 2],
+}
+
+impl<V> TrieNode<V> {
+    fn new() -> Self {
+        TrieNode {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A prefix-keyed map with exact and longest-prefix lookups.
+pub struct PrefixTrie<V> {
+    roots: [TrieNode<V>; 2], // [v4, v6]
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn root_index(afi: Afi) -> usize {
+    match afi {
+        Afi::Ipv4 => 0,
+        Afi::Ipv6 => 1,
+    }
+}
+
+fn bit_at(bits: u128, index: u8) -> usize {
+    ((bits >> (127 - index as u32)) & 1) as usize
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            roots: [TrieNode::new(), TrieNode::new()],
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert or replace the value at `prefix`, returning the previous value.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let bits = prefix.bits();
+        let mut node = &mut self.roots[root_index(prefix.afi())];
+        for i in 0..prefix.len() {
+            let b = bit_at(bits, i);
+            node = node.children[b].get_or_insert_with(|| Box::new(TrieNode::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove the value at exactly `prefix`. (Interior nodes are retained;
+    /// route tables cycle prefixes constantly and reuse the structure.)
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        let bits = prefix.bits();
+        let mut node = &mut self.roots[root_index(prefix.afi())];
+        for i in 0..prefix.len() {
+            let b = bit_at(bits, i);
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let bits = prefix.bits();
+        let mut node = &self.roots[root_index(prefix.afi())];
+        for i in 0..prefix.len() {
+            let b = bit_at(bits, i);
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match lookup, mutable.
+    pub fn get_mut(&mut self, prefix: &Prefix) -> Option<&mut V> {
+        let bits = prefix.bits();
+        let mut node = &mut self.roots[root_index(prefix.afi())];
+        for i in 0..prefix.len() {
+            let b = bit_at(bits, i);
+            node = node.children[b].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Longest-prefix match for a host address: the most specific stored
+    /// prefix covering `addr`, with its value.
+    pub fn lookup(&self, addr: IpAddr) -> Option<(Prefix, &V)> {
+        let (afi, bits, max_len) = match addr {
+            IpAddr::V4(a) => (Afi::Ipv4, (u32::from(a) as u128) << 96, 32),
+            IpAddr::V6(a) => (Afi::Ipv6, u128::from(a), 128),
+        };
+        let mut node = &self.roots[root_index(afi)];
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..max_len {
+            let b = bit_at(bits, i);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            let prefix = match addr {
+                IpAddr::V4(a) => {
+                    let masked = if len == 0 {
+                        0
+                    } else {
+                        u32::from(a) & (u32::MAX << (32 - len as u32))
+                    };
+                    Prefix::V4 {
+                        addr: masked.into(),
+                        len,
+                    }
+                }
+                IpAddr::V6(a) => {
+                    let masked = if len == 0 {
+                        0
+                    } else {
+                        u128::from(a) & (u128::MAX << (128 - len as u32))
+                    };
+                    Prefix::V6 {
+                        addr: masked.into(),
+                        len,
+                    }
+                }
+            };
+            (prefix, v)
+        })
+    }
+
+    /// Iterate over all `(prefix, value)` pairs in lexicographic bit order,
+    /// IPv4 before IPv6.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        collect(&self.roots[0], Afi::Ipv4, 0, 0, &mut out);
+        collect(&self.roots[1], Afi::Ipv6, 0, 0, &mut out);
+        out.into_iter()
+    }
+
+    /// Iterate over stored prefixes covered by `covering` (including itself).
+    pub fn iter_within<'a>(
+        &'a self,
+        covering: &'a Prefix,
+    ) -> impl Iterator<Item = (Prefix, &'a V)> + 'a {
+        self.iter().filter(move |(p, _)| covering.contains(p))
+    }
+}
+
+fn collect<'a, V>(
+    node: &'a TrieNode<V>,
+    afi: Afi,
+    bits: u128,
+    depth: u8,
+    out: &mut Vec<(Prefix, &'a V)>,
+) {
+    if let Some(v) = node.value.as_ref() {
+        let prefix = match afi {
+            Afi::Ipv4 => Prefix::V4 {
+                addr: ((bits >> 96) as u32).into(),
+                len: depth,
+            },
+            Afi::Ipv6 => Prefix::V6 {
+                addr: bits.into(),
+                len: depth,
+            },
+        };
+        out.push((prefix, v));
+    }
+    for (b, child) in node.children.iter().enumerate() {
+        if let Some(child) = child {
+            let bits = bits | ((b as u128) << (127 - depth as u32));
+            collect(child, afi, bits, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::prefix;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(prefix("10.0.0.0/8"), "a"), None);
+        assert_eq!(t.insert(prefix("10.0.0.0/8"), "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&prefix("10.0.0.0/8")), Some(&"b"));
+        assert_eq!(t.get(&prefix("10.0.0.0/16")), None);
+        assert_eq!(t.remove(&prefix("10.0.0.0/8")), Some("b"));
+        assert_eq!(t.remove(&prefix("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let mut t = PrefixTrie::new();
+        t.insert(prefix("0.0.0.0/0"), 0);
+        t.insert(prefix("10.0.0.0/8"), 8);
+        t.insert(prefix("10.1.0.0/16"), 16);
+        t.insert(prefix("10.1.2.0/24"), 24);
+
+        let cases = [
+            ("10.1.2.3", 24, "10.1.2.0/24"),
+            ("10.1.3.1", 16, "10.1.0.0/16"),
+            ("10.9.0.1", 8, "10.0.0.0/8"),
+            ("192.0.2.1", 0, "0.0.0.0/0"),
+        ];
+        for (addr, want, want_prefix) in cases {
+            let (p, v) = t.lookup(addr.parse().unwrap()).unwrap();
+            assert_eq!(*v, want, "addr {addr}");
+            assert_eq!(p, prefix(want_prefix));
+        }
+    }
+
+    #[test]
+    fn no_default_means_no_match() {
+        let mut t = PrefixTrie::new();
+        t.insert(prefix("10.0.0.0/8"), ());
+        assert!(t.lookup("192.0.2.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn families_are_separate() {
+        let mut t = PrefixTrie::new();
+        t.insert(prefix("0.0.0.0/0"), "v4-default");
+        t.insert(prefix("2001:db8::/32"), "v6");
+        assert!(t.lookup("2001:db9::1".parse().unwrap()).is_none());
+        assert_eq!(t.lookup("2001:db8::1".parse().unwrap()).unwrap().1, &"v6");
+        assert_eq!(
+            t.lookup("198.51.100.1".parse().unwrap()).unwrap().1,
+            &"v4-default"
+        );
+    }
+
+    #[test]
+    fn iter_is_ordered_and_complete() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["10.0.0.0/8", "10.1.0.0/16", "9.0.0.0/8", "2001:db8::/32"];
+        for p in prefixes {
+            t.insert(prefix(p), p);
+        }
+        let got: Vec<String> = t.iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(
+            got,
+            vec!["9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16", "2001:db8::/32"]
+        );
+    }
+
+    #[test]
+    fn iter_within() {
+        let mut t = PrefixTrie::new();
+        for p in ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "11.0.0.0/8"] {
+            t.insert(prefix(p), ());
+        }
+        let within: Vec<String> = t
+            .iter_within(&prefix("10.0.0.0/8"))
+            .map(|(p, _)| p.to_string())
+            .collect();
+        assert_eq!(within, vec!["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]);
+    }
+
+    #[test]
+    fn zero_length_prefix_matches_everything_v4() {
+        let mut t = PrefixTrie::new();
+        t.insert(prefix("0.0.0.0/0"), ());
+        assert!(t.lookup("255.255.255.255".parse().unwrap()).is_some());
+        assert!(t.lookup("0.0.0.0".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(prefix("192.0.2.7/32"), "host");
+        assert_eq!(t.lookup("192.0.2.7".parse().unwrap()).unwrap().1, &"host");
+        assert!(t.lookup("192.0.2.8".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,456 @@
+//! Fundamental BGP types: AS numbers, router ids, prefixes, communities.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// A 4-byte Autonomous System Number (RFC 6793). PEERING operates 8 of
+/// these, including three 4-byte ones (§4.2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// AS_TRANS (RFC 6793): stands in for a 4-byte ASN in 2-byte fields.
+    pub const TRANS: Asn = Asn(23456);
+
+    /// Whether this ASN fits in the legacy 2-byte space.
+    pub fn is_2byte(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// Whether the ASN is in a private-use range.
+    pub fn is_private(self) -> bool {
+        (64512..=65534).contains(&self.0) || (4_200_000_000..=4_294_967_294).contains(&self.0)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+/// A BGP identifier (RFC 4271: a 4-byte unsigned integer, conventionally
+/// written as an IPv4 address).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RouterId(pub u32);
+
+impl RouterId {
+    /// Build from dotted-quad notation.
+    pub fn from_ip(ip: Ipv4Addr) -> Self {
+        RouterId(u32::from(ip))
+    }
+
+    /// Render as dotted quad.
+    pub fn as_ip(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.0)
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_ip())
+    }
+}
+
+impl fmt::Debug for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Address family (RFC 4760 AFI values).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Afi {
+    /// IPv4 (AFI 1).
+    Ipv4,
+    /// IPv6 (AFI 2).
+    Ipv6,
+}
+
+impl Afi {
+    /// Wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            Afi::Ipv4 => 1,
+            Afi::Ipv6 => 2,
+        }
+    }
+
+    /// Parse the wire value.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            1 => Some(Afi::Ipv4),
+            2 => Some(Afi::Ipv6),
+            _ => None,
+        }
+    }
+}
+
+/// The ADD-PATH path identifier (RFC 7911). vBGP allocates one per
+/// (prefix, neighbor) so experiments can tell apart the multiple routes it
+/// re-advertises.
+pub type PathId = u32;
+
+/// An IP prefix (IPv4 or IPv6) with host bits required to be zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Prefix {
+    /// An IPv4 prefix.
+    V4 {
+        /// Network address (host bits zero).
+        addr: Ipv4Addr,
+        /// Prefix length, 0–32.
+        len: u8,
+    },
+    /// An IPv6 prefix.
+    V6 {
+        /// Network address (host bits zero).
+        addr: Ipv6Addr,
+        /// Prefix length, 0–128.
+        len: u8,
+    },
+}
+
+/// Error constructing or parsing a [`Prefix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePrefixError {
+    /// Missing or malformed `/len` part or address.
+    Syntax,
+    /// Length exceeds the family maximum.
+    BadLength,
+    /// Host bits below the mask were set.
+    HostBitsSet,
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePrefixError::Syntax => write!(f, "invalid prefix syntax"),
+            ParsePrefixError::BadLength => write!(f, "prefix length out of range"),
+            ParsePrefixError::HostBitsSet => write!(f, "host bits set below prefix length"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+#[allow(clippy::len_without_is_empty)] // `len` is the prefix length, not a container size
+impl Prefix {
+    /// Construct an IPv4 prefix, validating length and host bits.
+    pub fn v4(addr: Ipv4Addr, len: u8) -> Result<Self, ParsePrefixError> {
+        if len > 32 {
+            return Err(ParsePrefixError::BadLength);
+        }
+        let bits = u32::from(addr);
+        let mask = mask_v4(len);
+        if bits & !mask != 0 {
+            return Err(ParsePrefixError::HostBitsSet);
+        }
+        Ok(Prefix::V4 { addr, len })
+    }
+
+    /// Construct an IPv6 prefix, validating length and host bits.
+    pub fn v6(addr: Ipv6Addr, len: u8) -> Result<Self, ParsePrefixError> {
+        if len > 128 {
+            return Err(ParsePrefixError::BadLength);
+        }
+        let bits = u128::from(addr);
+        let mask = mask_v6(len);
+        if bits & !mask != 0 {
+            return Err(ParsePrefixError::HostBitsSet);
+        }
+        Ok(Prefix::V6 { addr, len })
+    }
+
+    /// The address family.
+    pub fn afi(&self) -> Afi {
+        match self {
+            Prefix::V4 { .. } => Afi::Ipv4,
+            Prefix::V6 { .. } => Afi::Ipv6,
+        }
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        match self {
+            Prefix::V4 { len, .. } | Prefix::V6 { len, .. } => *len,
+        }
+    }
+
+    /// Maximum length for this family (32 or 128).
+    pub fn max_len(&self) -> u8 {
+        match self {
+            Prefix::V4 { .. } => 32,
+            Prefix::V6 { .. } => 128,
+        }
+    }
+
+    /// The network address bits, left-aligned in a u128 for uniform trie
+    /// handling across families.
+    pub fn bits(&self) -> u128 {
+        match self {
+            Prefix::V4 { addr, .. } => (u32::from(*addr) as u128) << 96,
+            Prefix::V6 { addr, .. } => u128::from(*addr),
+        }
+    }
+
+    /// Whether `self` contains `other` (same family, `other` at least as
+    /// long, and network bits agree under `self`'s mask).
+    pub fn contains(&self, other: &Prefix) -> bool {
+        if self.afi() != other.afi() || other.len() < self.len() {
+            return false;
+        }
+        let shift = 128 - self.len() as u32;
+        if self.len() == 0 {
+            return true;
+        }
+        (self.bits() >> shift) == (other.bits() >> shift)
+    }
+
+    /// Whether this prefix covers the given host address.
+    pub fn contains_addr(&self, addr: IpAddr) -> bool {
+        let host = match (self, addr) {
+            (Prefix::V4 { .. }, IpAddr::V4(a)) => Prefix::V4 { addr: a, len: 32 },
+            (Prefix::V6 { .. }, IpAddr::V6(a)) => Prefix::V6 { addr: a, len: 128 },
+            _ => return false,
+        };
+        self.contains(&host)
+    }
+}
+
+fn mask_v4(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+fn mask_v6(len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        u128::MAX << (128 - len as u32)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prefix::V4 { addr, len } => write!(f, "{addr}/{len}"),
+            Prefix::V6 { addr, len } => write!(f, "{addr}/{len}"),
+        }
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(ParsePrefixError::Syntax)?;
+        let len: u8 = len.parse().map_err(|_| ParsePrefixError::Syntax)?;
+        if let Ok(v4) = addr.parse::<Ipv4Addr>() {
+            Prefix::v4(v4, len)
+        } else if let Ok(v6) = addr.parse::<Ipv6Addr>() {
+            Prefix::v6(v6, len)
+        } else {
+            Err(ParsePrefixError::Syntax)
+        }
+    }
+}
+
+/// Convenience for tests and examples: parse a prefix, panicking on error.
+pub fn prefix(s: &str) -> Prefix {
+    s.parse().expect("invalid prefix literal")
+}
+
+/// An RFC 1997 community, conventionally written `ASN:value`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// Build from the `high:low` pair.
+    pub fn new(high: u16, low: u16) -> Self {
+        Community(((high as u32) << 16) | low as u32)
+    }
+
+    /// The high 16 bits (conventionally an ASN).
+    pub fn high(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The low 16 bits.
+    pub fn low(self) -> u16 {
+        self.0 as u16
+    }
+
+    /// The well-known NO_EXPORT community.
+    pub const NO_EXPORT: Community = Community(0xFFFF_FF01);
+    /// The well-known NO_ADVERTISE community.
+    pub const NO_ADVERTISE: Community = Community(0xFFFF_FF02);
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.high(), self.low())
+    }
+}
+
+impl fmt::Debug for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Community {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (high, low) = s.split_once(':').ok_or(ParsePrefixError::Syntax)?;
+        let high: u16 = high.parse().map_err(|_| ParsePrefixError::Syntax)?;
+        let low: u16 = low.parse().map_err(|_| ParsePrefixError::Syntax)?;
+        Ok(Community::new(high, low))
+    }
+}
+
+/// An RFC 8092 large community (`global:local1:local2`), which PEERING's
+/// capability framework can permit experiments to attach (§4.7).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LargeCommunity {
+    /// Global administrator (an ASN).
+    pub global: u32,
+    /// First local data part.
+    pub local1: u32,
+    /// Second local data part.
+    pub local2: u32,
+}
+
+impl fmt::Display for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.global, self.local1, self.local2)
+    }
+}
+
+impl fmt::Debug for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_properties() {
+        assert!(Asn(65000).is_2byte());
+        assert!(!Asn(4_200_000_100).is_2byte());
+        assert!(Asn(64512).is_private());
+        assert!(Asn(4_200_000_100).is_private());
+        assert!(!Asn(47065).is_private()); // PEERING's real ASN
+        assert_eq!(Asn::TRANS.0, 23456);
+        assert_eq!(Asn(47065).to_string(), "AS47065");
+    }
+
+    #[test]
+    fn router_id_roundtrip() {
+        let id = RouterId::from_ip(Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(id.as_ip(), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(id.to_string(), "10.0.0.1");
+    }
+
+    #[test]
+    fn prefix_parse_display_roundtrip() {
+        for s in [
+            "0.0.0.0/0",
+            "10.1.0.0/24",
+            "192.168.0.0/16",
+            "2001:db8::/32",
+            "::/0",
+        ] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn prefix_rejects_invalid() {
+        assert_eq!("10.0.0.0".parse::<Prefix>(), Err(ParsePrefixError::Syntax));
+        assert_eq!(
+            "10.0.0.0/33".parse::<Prefix>(),
+            Err(ParsePrefixError::BadLength)
+        );
+        assert_eq!(
+            "10.0.0.1/24".parse::<Prefix>(),
+            Err(ParsePrefixError::HostBitsSet)
+        );
+        assert_eq!(
+            "2001:db8::/129".parse::<Prefix>(),
+            Err(ParsePrefixError::BadLength)
+        );
+        assert_eq!("banana/8".parse::<Prefix>(), Err(ParsePrefixError::Syntax));
+    }
+
+    #[test]
+    fn containment() {
+        let p16 = prefix("10.1.0.0/16");
+        let p24 = prefix("10.1.2.0/24");
+        let other = prefix("10.2.0.0/24");
+        assert!(p16.contains(&p24));
+        assert!(!p24.contains(&p16));
+        assert!(!p16.contains(&other));
+        assert!(p16.contains(&p16));
+        assert!(prefix("0.0.0.0/0").contains(&p16));
+        // Cross-family containment is always false.
+        assert!(!prefix("::/0").contains(&p16));
+    }
+
+    #[test]
+    fn contains_addr() {
+        let p = prefix("184.164.224.0/23");
+        assert!(p.contains_addr("184.164.225.7".parse().unwrap()));
+        assert!(!p.contains_addr("184.164.226.1".parse().unwrap()));
+        assert!(!p.contains_addr("2001:db8::1".parse().unwrap()));
+        let p6 = prefix("2804:269c::/32");
+        assert!(p6.contains_addr("2804:269c::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn community_parts() {
+        let c = Community::new(47065, 2000);
+        assert_eq!(c.high(), 47065);
+        assert_eq!(c.low(), 2000);
+        assert_eq!(c.to_string(), "47065:2000");
+        assert_eq!("47065:2000".parse::<Community>().unwrap(), c);
+        assert!("47065".parse::<Community>().is_err());
+        assert!("70000:1".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn large_community_display() {
+        let lc = LargeCommunity {
+            global: 47065,
+            local1: 1,
+            local2: 2,
+        };
+        assert_eq!(lc.to_string(), "47065:1:2");
+    }
+}

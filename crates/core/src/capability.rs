@@ -1,0 +1,152 @@
+//! The per-experiment capability framework (paper §4.7).
+//!
+//! Following the principle of least privilege, experiments default to
+//! "basic" announcements — originate your allocated prefixes from your
+//! allocated ASN, nothing else. Capabilities are granted per experiment at
+//! approval time and unlock specific behaviours; everything here maps 1:1
+//! to the paper's published capability list.
+
+use std::collections::HashMap;
+
+/// The kinds of capability PEERING grants (paper §4.7's list, plus the 6to4
+/// anecdote).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CapabilityKind {
+    /// Allow a limited number of poisoned ASes in announcements.
+    AsPathPoisoning,
+    /// Allow attaching a limited number of BGP communities / large
+    /// communities to announcements.
+    AttachCommunities,
+    /// Allow optional transitive attributes.
+    TransitiveAttributes,
+    /// Allow announcing routes learned from one network to another
+    /// (legitimately providing transit for an experimental prefix).
+    ProvideTransit,
+    /// Allow announcing 6to4 (2002::/16-derived) IPv6 space.
+    Announce6to4,
+}
+
+/// A capability grant with an optional numeric limit (e.g. "at most 3
+/// poisoned ASes").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Grant {
+    /// What is allowed.
+    pub kind: CapabilityKind,
+    /// Limit where meaningful (`u32::MAX` = unlimited).
+    pub limit: u32,
+}
+
+impl Grant {
+    /// An unlimited grant.
+    pub fn unlimited(kind: CapabilityKind) -> Self {
+        Grant {
+            kind,
+            limit: u32::MAX,
+        }
+    }
+
+    /// A limited grant.
+    pub fn limited(kind: CapabilityKind, limit: u32) -> Self {
+        Grant { kind, limit }
+    }
+}
+
+/// The capability set attached to one experiment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CapabilitySet {
+    grants: HashMap<CapabilityKind, u32>,
+}
+
+impl CapabilitySet {
+    /// The default, most-restricted set: basic announcements only.
+    pub fn basic() -> Self {
+        CapabilitySet::default()
+    }
+
+    /// Build from grants.
+    pub fn with(grants: &[Grant]) -> Self {
+        let mut set = CapabilitySet::default();
+        for g in grants {
+            set.grant(*g);
+        }
+        set
+    }
+
+    /// Add or widen a grant (admins "simply add the capability on the
+    /// approval web form").
+    pub fn grant(&mut self, grant: Grant) {
+        let entry = self.grants.entry(grant.kind).or_insert(0);
+        *entry = (*entry).max(grant.limit);
+    }
+
+    /// Revoke a capability entirely.
+    pub fn revoke(&mut self, kind: CapabilityKind) {
+        self.grants.remove(&kind);
+    }
+
+    /// Whether the capability is granted at all.
+    pub fn allows(&self, kind: CapabilityKind) -> bool {
+        self.grants.contains_key(&kind)
+    }
+
+    /// The numeric limit for a capability (0 when not granted).
+    pub fn limit(&self, kind: CapabilityKind) -> u32 {
+        self.grants.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct grants.
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Whether no capabilities are granted (the default posture).
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_allows_nothing() {
+        let set = CapabilitySet::basic();
+        assert!(set.is_empty());
+        assert!(!set.allows(CapabilityKind::AsPathPoisoning));
+        assert_eq!(set.limit(CapabilityKind::AttachCommunities), 0);
+    }
+
+    #[test]
+    fn grant_and_revoke() {
+        let mut set = CapabilitySet::basic();
+        set.grant(Grant::limited(CapabilityKind::AsPathPoisoning, 3));
+        assert!(set.allows(CapabilityKind::AsPathPoisoning));
+        assert_eq!(set.limit(CapabilityKind::AsPathPoisoning), 3);
+        set.revoke(CapabilityKind::AsPathPoisoning);
+        assert!(!set.allows(CapabilityKind::AsPathPoisoning));
+    }
+
+    #[test]
+    fn widening_keeps_max_limit() {
+        let mut set = CapabilitySet::basic();
+        set.grant(Grant::limited(CapabilityKind::AttachCommunities, 5));
+        set.grant(Grant::limited(CapabilityKind::AttachCommunities, 2));
+        assert_eq!(set.limit(CapabilityKind::AttachCommunities), 5);
+        set.grant(Grant::unlimited(CapabilityKind::AttachCommunities));
+        assert_eq!(set.limit(CapabilityKind::AttachCommunities), u32::MAX);
+    }
+
+    #[test]
+    fn with_builds_full_set() {
+        let set = CapabilitySet::with(&[
+            Grant::limited(CapabilityKind::AsPathPoisoning, 2),
+            Grant::unlimited(CapabilityKind::ProvideTransit),
+            Grant::unlimited(CapabilityKind::Announce6to4),
+        ]);
+        assert_eq!(set.len(), 3);
+        assert!(set.allows(CapabilityKind::ProvideTransit));
+        assert!(set.allows(CapabilityKind::Announce6to4));
+        assert!(!set.allows(CapabilityKind::TransitiveAttributes));
+    }
+}

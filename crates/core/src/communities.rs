@@ -1,0 +1,190 @@
+//! The control-community scheme (paper §3.2.1).
+//!
+//! vBGP defines whitelist/blacklist BGP communities for the neighbors at
+//! every PoP. Experiments label prefix announcements with these communities
+//! to steer which neighbors the announcement propagates to; when no control
+//! community is attached, the announcement goes to all neighbors. Control
+//! communities are stripped before export to the Internet.
+//!
+//! Scheme (mirroring PEERING's real `47065:X` convention):
+//!
+//! * `ASN:nbr`           — announce **only** to neighbor `nbr` (whitelist;
+//!   repeatable to build a set)
+//! * `ASN:(10000+nbr)`   — do **not** announce to neighbor `nbr` (blacklist)
+//!
+//! Neighbor ids are therefore capped at [`MAX_NEIGHBOR_ID`].
+
+use peering_bgp::types::Community;
+
+use crate::ids::NeighborId;
+
+/// Largest neighbor id encodable in the community scheme.
+pub const MAX_NEIGHBOR_ID: u32 = 9_999;
+
+const BLACKLIST_BASE: u16 = 10_000;
+
+/// The control-community codec for one platform ASN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ControlCommunities {
+    /// The platform's (2-byte) ASN owning the community namespace.
+    pub platform_asn: u16,
+}
+
+/// A decoded steering directive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steering {
+    /// Announce only to this neighbor.
+    AnnounceTo(NeighborId),
+    /// Do not announce to this neighbor.
+    DoNotAnnounceTo(NeighborId),
+}
+
+impl ControlCommunities {
+    /// Build the codec for a platform ASN.
+    pub fn new(platform_asn: u16) -> Self {
+        ControlCommunities { platform_asn }
+    }
+
+    /// The whitelist community for a neighbor.
+    pub fn announce_to(&self, nbr: NeighborId) -> Community {
+        assert!(
+            nbr.0 <= MAX_NEIGHBOR_ID,
+            "neighbor id out of community range"
+        );
+        Community::new(self.platform_asn, nbr.0 as u16)
+    }
+
+    /// The blacklist community for a neighbor.
+    pub fn do_not_announce_to(&self, nbr: NeighborId) -> Community {
+        assert!(
+            nbr.0 <= MAX_NEIGHBOR_ID,
+            "neighbor id out of community range"
+        );
+        Community::new(self.platform_asn, BLACKLIST_BASE + nbr.0 as u16)
+    }
+
+    /// Whether a community belongs to this control namespace.
+    pub fn is_control(&self, c: Community) -> bool {
+        c.high() == self.platform_asn
+    }
+
+    /// Decode a community into a steering directive, if it is one.
+    pub fn decode(&self, c: Community) -> Option<Steering> {
+        if !self.is_control(c) {
+            return None;
+        }
+        let low = c.low();
+        if low >= BLACKLIST_BASE && u32::from(low - BLACKLIST_BASE) <= MAX_NEIGHBOR_ID {
+            Some(Steering::DoNotAnnounceTo(NeighborId(u32::from(
+                low - BLACKLIST_BASE,
+            ))))
+        } else {
+            Some(Steering::AnnounceTo(NeighborId(u32::from(low))))
+        }
+    }
+
+    /// Given the communities attached to an announcement, decide whether it
+    /// should be exported to `nbr`:
+    ///
+    /// * any whitelist present → export iff `nbr` is whitelisted;
+    /// * otherwise → export unless `nbr` is blacklisted.
+    pub fn allows_export(&self, communities: &[Community], nbr: NeighborId) -> bool {
+        let mut any_whitelist = false;
+        let mut whitelisted = false;
+        let mut blacklisted = false;
+        for &c in communities {
+            match self.decode(c) {
+                Some(Steering::AnnounceTo(n)) => {
+                    any_whitelist = true;
+                    whitelisted |= n == nbr;
+                }
+                Some(Steering::DoNotAnnounceTo(n)) => {
+                    blacklisted |= n == nbr;
+                }
+                None => {}
+            }
+        }
+        if blacklisted {
+            false
+        } else if any_whitelist {
+            whitelisted
+        } else {
+            true
+        }
+    }
+
+    /// Strip every control community (done before export to the Internet).
+    pub fn strip(&self, communities: &mut Vec<Community>) {
+        communities.retain(|c| !self.is_control(*c));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CC: ControlCommunities = ControlCommunities {
+        platform_asn: 47065,
+    };
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let n = NeighborId(42);
+        assert_eq!(CC.decode(CC.announce_to(n)), Some(Steering::AnnounceTo(n)));
+        assert_eq!(
+            CC.decode(CC.do_not_announce_to(n)),
+            Some(Steering::DoNotAnnounceTo(n))
+        );
+        assert_eq!(CC.decode(Community::new(3356, 42)), None);
+    }
+
+    #[test]
+    fn default_exports_everywhere() {
+        let communities = vec![Community::new(65000, 5)]; // unrelated community
+        assert!(CC.allows_export(&communities, NeighborId(1)));
+        assert!(CC.allows_export(&communities, NeighborId(2)));
+        assert!(CC.allows_export(&[], NeighborId(3)));
+    }
+
+    #[test]
+    fn whitelist_restricts_to_listed_set() {
+        let communities = vec![CC.announce_to(NeighborId(1)), CC.announce_to(NeighborId(3))];
+        assert!(CC.allows_export(&communities, NeighborId(1)));
+        assert!(!CC.allows_export(&communities, NeighborId(2)));
+        assert!(CC.allows_export(&communities, NeighborId(3)));
+    }
+
+    #[test]
+    fn blacklist_excludes() {
+        let communities = vec![CC.do_not_announce_to(NeighborId(2))];
+        assert!(CC.allows_export(&communities, NeighborId(1)));
+        assert!(!CC.allows_export(&communities, NeighborId(2)));
+    }
+
+    #[test]
+    fn blacklist_overrides_whitelist() {
+        let communities = vec![
+            CC.announce_to(NeighborId(2)),
+            CC.do_not_announce_to(NeighborId(2)),
+        ];
+        assert!(!CC.allows_export(&communities, NeighborId(2)));
+    }
+
+    #[test]
+    fn strip_removes_only_control_namespace() {
+        let keep = Community::new(3356, 100);
+        let mut communities = vec![
+            CC.announce_to(NeighborId(1)),
+            keep,
+            CC.do_not_announce_to(NeighborId(9)),
+        ];
+        CC.strip(&mut communities);
+        assert_eq!(communities, vec![keep]);
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor id out of community range")]
+    fn oversized_neighbor_id_panics() {
+        CC.announce_to(NeighborId(MAX_NEIGHBOR_ID + 1));
+    }
+}

@@ -1,0 +1,613 @@
+//! Control-plane enforcement (paper §3.3 "Control plane enforcement" and
+//! §4.7 "Policing rate" / "Policing content" / "Capability framework").
+//!
+//! The engine receives every route announced by an experiment, evaluates it
+//! against the experiment's allocations and capabilities plus the
+//! platform-wide rate limits, and passes only compliant routes onward. It
+//! keeps persistent state (the update-rate ledger) and can be shared across
+//! PoPs to enforce AS-wide policies (§3.3's "state can be synchronized
+//! among vBGP instances"). When overloaded it fails closed, blocking all
+//! experimental announcements rather than risking the Internet (§4.7).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use peering_bgp::attrs::PathAttributes;
+use peering_bgp::message::UpdateMsg;
+use peering_bgp::types::{Asn, Prefix};
+use peering_netsim::SimTime;
+
+use crate::capability::{CapabilityKind, CapabilitySet};
+use crate::communities::ControlCommunities;
+use crate::ids::{ExperimentId, PopId};
+
+/// PEERING's published update-rate limit: 144 updates/day per prefix and
+/// PoP pair — one every 10 minutes on average (§4.7).
+pub const UPDATES_PER_DAY_LIMIT: u32 = 144;
+
+const SECS_PER_DAY: u64 = 86_400;
+
+/// Why an announcement (or part of one) was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rejection {
+    /// The engine is overloaded / unconfigured for this experiment:
+    /// fail closed.
+    FailClosed,
+    /// Prefix is not part of the experiment's allocation (hijack
+    /// prevention).
+    NotAllocated,
+    /// The route does not originate from one of the experiment's ASNs.
+    BadOriginAsn,
+    /// Empty AS path (cannot attribute the announcement).
+    EmptyAsPath,
+    /// Foreign ASNs in the path without the poisoning capability, or more
+    /// than the granted limit.
+    PoisoningNotAllowed,
+    /// Providing transit (re-announcing learned routes) without the
+    /// capability.
+    TransitNotAllowed,
+    /// Non-control communities attached without (or beyond) the communities
+    /// capability.
+    CommunitiesNotAllowed,
+    /// Unknown/optional-transitive attributes without the capability.
+    TransitiveAttrsNotAllowed,
+    /// 6to4 space without the 6to4 capability.
+    SixToFourNotAllowed,
+    /// Per-(prefix, PoP) update budget exhausted.
+    RateLimited,
+}
+
+/// What the platform knows about one approved experiment.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentPolicy {
+    /// Prefixes allocated to the experiment (announcements must fall within
+    /// one of them).
+    pub allocations: Vec<Prefix>,
+    /// ASNs the experiment is authorized to originate from.
+    pub asns: Vec<Asn>,
+    /// Granted capabilities.
+    pub caps: CapabilitySet,
+}
+
+/// The shared, platform-wide update-rate ledger. One per platform, shared
+/// by every PoP's enforcer (AS-wide policy).
+#[derive(Debug, Default)]
+pub struct RateLedger {
+    counts: HashMap<(ExperimentId, Prefix, PopId, u64), u32>,
+}
+
+impl RateLedger {
+    /// Record one update; returns `false` if the daily budget is exceeded.
+    fn charge(&mut self, exp: ExperimentId, prefix: Prefix, pop: PopId, now: SimTime) -> bool {
+        let day = now.as_secs() / SECS_PER_DAY;
+        let count = self.counts.entry((exp, prefix, pop, day)).or_insert(0);
+        if *count >= UPDATES_PER_DAY_LIMIT {
+            return false;
+        }
+        *count += 1;
+        true
+    }
+
+    /// Drop buckets older than the current day (housekeeping).
+    pub fn prune(&mut self, now: SimTime) {
+        let day = now.as_secs() / SECS_PER_DAY;
+        self.counts.retain(|(_, _, _, d), _| *d >= day);
+    }
+
+    /// Updates consumed today for a (prefix, PoP) pair.
+    pub fn used_today(&self, exp: ExperimentId, prefix: Prefix, pop: PopId, now: SimTime) -> u32 {
+        let day = now.as_secs() / SECS_PER_DAY;
+        self.counts
+            .get(&(exp, prefix, pop, day))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Counters for the enforcement pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct ControlStats {
+    /// NLRI entries evaluated (announcements + withdrawals).
+    pub evaluated: u64,
+    /// Entries accepted.
+    pub accepted: u64,
+    /// Rejection counts by reason.
+    pub rejected: HashMap<Rejection, u64>,
+}
+
+/// The control-plane enforcement engine for one PoP.
+pub struct ControlEnforcer {
+    pop: PopId,
+    control: ControlCommunities,
+    experiments: HashMap<ExperimentId, ExperimentPolicy>,
+    ledger: Arc<Mutex<RateLedger>>,
+    /// When set, every announcement is rejected (overload → fail closed).
+    pub fail_closed: bool,
+    /// Pipeline counters.
+    pub stats: ControlStats,
+}
+
+/// 6to4 space: 2002::/16.
+fn is_6to4(prefix: &Prefix) -> bool {
+    match prefix {
+        Prefix::V6 { addr, .. } => addr.octets()[0] == 0x20 && addr.octets()[1] == 0x02,
+        Prefix::V4 { .. } => false,
+    }
+}
+
+impl ControlEnforcer {
+    /// Build an enforcer for a PoP, sharing the platform-wide rate ledger.
+    pub fn new(pop: PopId, control: ControlCommunities, ledger: Arc<Mutex<RateLedger>>) -> Self {
+        ControlEnforcer {
+            pop,
+            control,
+            experiments: HashMap::new(),
+            ledger,
+            fail_closed: false,
+            stats: ControlStats::default(),
+        }
+    }
+
+    /// Convenience: an enforcer with its own private ledger (single-PoP
+    /// deployments and tests).
+    pub fn standalone(pop: PopId, control: ControlCommunities) -> Self {
+        Self::new(pop, control, Arc::new(Mutex::new(RateLedger::default())))
+    }
+
+    /// Register (or update) an experiment's policy.
+    pub fn set_experiment(&mut self, exp: ExperimentId, policy: ExperimentPolicy) {
+        self.experiments.insert(exp, policy);
+    }
+
+    /// Remove an experiment (end of its allocation).
+    pub fn remove_experiment(&mut self, exp: ExperimentId) {
+        self.experiments.remove(&exp);
+    }
+
+    /// Access the shared ledger (for inspection / pruning).
+    pub fn ledger(&self) -> Arc<Mutex<RateLedger>> {
+        Arc::clone(&self.ledger)
+    }
+
+    fn reject(&mut self, reason: Rejection) {
+        *self.stats.rejected.entry(reason).or_insert(0) += 1;
+    }
+
+    fn check_prefix_ownership(policy: &ExperimentPolicy, prefix: &Prefix) -> Result<(), Rejection> {
+        if policy.allocations.iter().any(|a| a.contains(prefix)) {
+            return Ok(());
+        }
+        if is_6to4(prefix) {
+            if policy.caps.allows(CapabilityKind::Announce6to4) {
+                return Ok(());
+            }
+            return Err(Rejection::SixToFourNotAllowed);
+        }
+        Err(Rejection::NotAllocated)
+    }
+
+    fn check_attrs(
+        &self,
+        policy: &ExperimentPolicy,
+        attrs: &PathAttributes,
+    ) -> Result<(), Rejection> {
+        // Origin attribution.
+        let Some(origin) = attrs.as_path.origin_as() else {
+            return Err(Rejection::EmptyAsPath);
+        };
+        let origin_owned = policy.asns.contains(&origin);
+        let transit = policy.caps.allows(CapabilityKind::ProvideTransit);
+        if !origin_owned && !transit {
+            return Err(Rejection::BadOriginAsn);
+        }
+        // Foreign ASNs in the path = poisoning (unless providing transit).
+        if !transit {
+            let mut foreign: Vec<Asn> = attrs
+                .as_path
+                .asns()
+                .into_iter()
+                .filter(|a| !policy.asns.contains(a))
+                .collect();
+            foreign.sort_unstable_by_key(|a| a.0);
+            foreign.dedup();
+            if !foreign.is_empty() {
+                let limit = if policy.caps.allows(CapabilityKind::AsPathPoisoning) {
+                    policy.caps.limit(CapabilityKind::AsPathPoisoning) as usize
+                } else {
+                    0
+                };
+                if foreign.len() > limit {
+                    return Err(Rejection::PoisoningNotAllowed);
+                }
+            }
+        }
+        // Communities: control communities are the steering interface and
+        // always allowed; everything else needs the capability.
+        let non_control = attrs
+            .communities
+            .iter()
+            .filter(|c| !self.control.is_control(**c))
+            .count()
+            + attrs.large_communities.len();
+        if non_control > 0 {
+            let limit = if policy.caps.allows(CapabilityKind::AttachCommunities) {
+                policy.caps.limit(CapabilityKind::AttachCommunities) as usize
+            } else {
+                0
+            };
+            if non_control > limit {
+                return Err(Rejection::CommunitiesNotAllowed);
+            }
+        }
+        // Unknown / optional transitive attributes.
+        if !attrs.unknown.is_empty() && !policy.caps.allows(CapabilityKind::TransitiveAttributes) {
+            return Err(Rejection::TransitiveAttrsNotAllowed);
+        }
+        Ok(())
+    }
+
+    /// Evaluate one UPDATE from an experiment. Returns the compliant subset
+    /// (possibly empty) and the per-prefix rejections.
+    pub fn check_update(
+        &mut self,
+        exp: ExperimentId,
+        update: &UpdateMsg,
+        now: SimTime,
+    ) -> (UpdateMsg, Vec<(Prefix, Rejection)>) {
+        let mut rejections = Vec::new();
+        let mut out = UpdateMsg {
+            withdrawn: Vec::new(),
+            attrs: update.attrs.clone(),
+            announce: Vec::new(),
+        };
+
+        let policy = match self.experiments.get(&exp) {
+            Some(p) if !self.fail_closed => p.clone(),
+            _ => {
+                // Unknown experiment or overloaded engine: fail closed.
+                for (p, _) in update.announce.iter().chain(update.withdrawn.iter()) {
+                    self.stats.evaluated += 1;
+                    self.reject(Rejection::FailClosed);
+                    rejections.push((*p, Rejection::FailClosed));
+                }
+                out.attrs = None;
+                return (out, rejections);
+            }
+        };
+
+        for entry in &update.withdrawn {
+            self.stats.evaluated += 1;
+            let (prefix, _) = entry;
+            if let Err(r) = Self::check_prefix_ownership(&policy, prefix) {
+                self.reject(r);
+                rejections.push((*prefix, r));
+                continue;
+            }
+            if !self.ledger.lock().charge(exp, *prefix, self.pop, now) {
+                self.reject(Rejection::RateLimited);
+                rejections.push((*prefix, Rejection::RateLimited));
+                continue;
+            }
+            self.stats.accepted += 1;
+            out.withdrawn.push(*entry);
+        }
+
+        if let Some(attrs) = &update.attrs {
+            let attr_check = self.check_attrs(&policy, attrs);
+            for entry in &update.announce {
+                self.stats.evaluated += 1;
+                let (prefix, _) = entry;
+                if let Err(r) = attr_check {
+                    self.reject(r);
+                    rejections.push((*prefix, r));
+                    continue;
+                }
+                if let Err(r) = Self::check_prefix_ownership(&policy, prefix) {
+                    self.reject(r);
+                    rejections.push((*prefix, r));
+                    continue;
+                }
+                if !self.ledger.lock().charge(exp, *prefix, self.pop, now) {
+                    self.reject(Rejection::RateLimited);
+                    rejections.push((*prefix, Rejection::RateLimited));
+                    continue;
+                }
+                self.stats.accepted += 1;
+                out.announce.push(*entry);
+            }
+        }
+        if out.announce.is_empty() {
+            out.attrs = None;
+        }
+        (out, rejections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_bgp::attrs::{AsPath, UnknownAttr};
+    use peering_bgp::types::{prefix, Community};
+
+    use crate::capability::Grant;
+
+    const EXP: ExperimentId = ExperimentId(1);
+
+    fn enforcer() -> ControlEnforcer {
+        let mut e = ControlEnforcer::standalone(PopId(0), ControlCommunities::new(47065));
+        e.set_experiment(
+            EXP,
+            ExperimentPolicy {
+                allocations: vec![prefix("184.164.224.0/23"), prefix("2804:269c::/32")],
+                asns: vec![Asn(61574)],
+                caps: CapabilitySet::basic(),
+            },
+        );
+        e
+    }
+
+    fn announce(p: &str, asns: &[u32]) -> UpdateMsg {
+        let attrs = PathAttributes {
+            as_path: AsPath::from_asns(&asns.iter().map(|&a| Asn(a)).collect::<Vec<_>>()),
+            next_hop: Some("10.0.0.1".parse().unwrap()),
+            ..Default::default()
+        };
+        UpdateMsg::announce(vec![(prefix(p), None)], attrs)
+    }
+
+    fn check(e: &mut ControlEnforcer, u: &UpdateMsg) -> (UpdateMsg, Vec<(Prefix, Rejection)>) {
+        e.check_update(EXP, u, SimTime::ZERO)
+    }
+
+    #[test]
+    fn allocated_prefix_accepted() {
+        let mut e = enforcer();
+        let (out, rej) = check(&mut e, &announce("184.164.224.0/24", &[61574]));
+        assert!(rej.is_empty());
+        assert_eq!(out.announce.len(), 1);
+        assert_eq!(e.stats.accepted, 1);
+    }
+
+    #[test]
+    fn hijack_rejected() {
+        let mut e = enforcer();
+        let (out, rej) = check(&mut e, &announce("8.8.8.0/24", &[61574]));
+        assert!(out.announce.is_empty());
+        assert!(out.attrs.is_none());
+        assert_eq!(rej, vec![(prefix("8.8.8.0/24"), Rejection::NotAllocated)]);
+    }
+
+    #[test]
+    fn wrong_origin_asn_rejected() {
+        let mut e = enforcer();
+        let (_, rej) = check(&mut e, &announce("184.164.224.0/24", &[666]));
+        // AS666 is both the origin and a foreign ASN; origin check fires.
+        assert_eq!(rej[0].1, Rejection::BadOriginAsn);
+    }
+
+    #[test]
+    fn empty_as_path_rejected() {
+        let mut e = enforcer();
+        let u = UpdateMsg::announce(
+            vec![(prefix("184.164.224.0/24"), None)],
+            PathAttributes::originated("10.0.0.1".parse().unwrap()),
+        );
+        let (_, rej) = check(&mut e, &u);
+        assert_eq!(rej[0].1, Rejection::EmptyAsPath);
+    }
+
+    #[test]
+    fn poisoning_requires_capability() {
+        let mut e = enforcer();
+        // Path 61574 3356 61574: poisons AS3356.
+        let (_, rej) = check(&mut e, &announce("184.164.224.0/24", &[61574, 3356, 61574]));
+        assert_eq!(rej[0].1, Rejection::PoisoningNotAllowed);
+
+        // Grant poisoning of up to 2 ASes.
+        e.experiments
+            .get_mut(&EXP)
+            .unwrap()
+            .caps
+            .grant(Grant::limited(CapabilityKind::AsPathPoisoning, 2));
+        let (out, rej) = check(&mut e, &announce("184.164.224.0/24", &[61574, 3356, 61574]));
+        assert!(rej.is_empty());
+        assert_eq!(out.announce.len(), 1);
+        // Three distinct poisoned ASes exceeds the limit of 2.
+        let (_, rej) = check(
+            &mut e,
+            &announce("184.164.224.0/24", &[61574, 1, 2, 3, 61574]),
+        );
+        assert_eq!(rej[0].1, Rejection::PoisoningNotAllowed);
+    }
+
+    #[test]
+    fn transit_capability_allows_foreign_paths() {
+        let mut e = enforcer();
+        e.experiments
+            .get_mut(&EXP)
+            .unwrap()
+            .caps
+            .grant(Grant::unlimited(CapabilityKind::ProvideTransit));
+        // Re-announcing a route learned from AS174 (origin not owned).
+        let (out, rej) = check(&mut e, &announce("184.164.225.0/24", &[61574, 174]));
+        assert!(rej.is_empty());
+        assert_eq!(out.announce.len(), 1);
+    }
+
+    #[test]
+    fn communities_require_capability_but_control_ones_are_free() {
+        let mut e = enforcer();
+        let cc = ControlCommunities::new(47065);
+        let mut u = announce("184.164.224.0/24", &[61574]);
+        u.attrs
+            .as_mut()
+            .unwrap()
+            .add_community(cc.announce_to(crate::ids::NeighborId(3)));
+        let (out, rej) = check(&mut e, &u);
+        assert!(rej.is_empty(), "control communities always allowed");
+        assert_eq!(out.announce.len(), 1);
+
+        u.attrs
+            .as_mut()
+            .unwrap()
+            .add_community(Community::new(3356, 70)); // action community at a transit
+        let (_, rej) = check(&mut e, &u);
+        assert_eq!(rej[0].1, Rejection::CommunitiesNotAllowed);
+
+        e.experiments
+            .get_mut(&EXP)
+            .unwrap()
+            .caps
+            .grant(Grant::limited(CapabilityKind::AttachCommunities, 4));
+        let (out, rej) = check(&mut e, &u);
+        assert!(rej.is_empty());
+        assert_eq!(out.announce.len(), 1);
+    }
+
+    #[test]
+    fn transitive_attrs_require_capability() {
+        let mut e = enforcer();
+        let mut u = announce("184.164.224.0/24", &[61574]);
+        u.attrs.as_mut().unwrap().unknown.push(UnknownAttr {
+            flags: 0xC0,
+            type_code: 99,
+            value: vec![1, 2],
+        });
+        let (_, rej) = check(&mut e, &u);
+        assert_eq!(rej[0].1, Rejection::TransitiveAttrsNotAllowed);
+        e.experiments
+            .get_mut(&EXP)
+            .unwrap()
+            .caps
+            .grant(Grant::unlimited(CapabilityKind::TransitiveAttributes));
+        let (_, rej) = check(&mut e, &u);
+        assert!(rej.is_empty());
+    }
+
+    #[test]
+    fn six_to_four_requires_capability() {
+        let mut e = enforcer();
+        let mut u = announce("184.164.224.0/24", &[61574]);
+        u.announce = vec![(prefix("2002:b8a4::/32"), None)];
+        let (_, rej) = check(&mut e, &u);
+        assert_eq!(rej[0].1, Rejection::SixToFourNotAllowed);
+        e.experiments
+            .get_mut(&EXP)
+            .unwrap()
+            .caps
+            .grant(Grant::unlimited(CapabilityKind::Announce6to4));
+        let (out, rej) = check(&mut e, &u);
+        assert!(rej.is_empty());
+        assert_eq!(out.announce.len(), 1);
+    }
+
+    #[test]
+    fn allocated_v6_accepted() {
+        let mut e = enforcer();
+        let mut u = announce("184.164.224.0/24", &[61574]);
+        u.announce = vec![(prefix("2804:269c:fe00::/40"), None)];
+        let (out, rej) = check(&mut e, &u);
+        assert!(rej.is_empty());
+        assert_eq!(out.announce.len(), 1);
+    }
+
+    #[test]
+    fn rate_limit_144_per_day_per_prefix_pop() {
+        let mut e = enforcer();
+        let u = announce("184.164.224.0/24", &[61574]);
+        for i in 0..UPDATES_PER_DAY_LIMIT {
+            let (out, rej) = e.check_update(EXP, &u, SimTime::from_nanos(i as u64));
+            assert!(rej.is_empty(), "update {i} unexpectedly rejected");
+            assert_eq!(out.announce.len(), 1);
+        }
+        let (_, rej) = e.check_update(EXP, &u, SimTime::ZERO);
+        assert_eq!(rej[0].1, Rejection::RateLimited);
+        // A different prefix still has budget.
+        let (out, rej) = check(&mut e, &announce("184.164.225.0/24", &[61574]));
+        assert!(rej.is_empty());
+        assert_eq!(out.announce.len(), 1);
+        // The next simulated day resets the budget.
+        let tomorrow = SimTime::from_nanos(86_401 * 1_000_000_000);
+        let (out, rej) = e.check_update(EXP, &u, tomorrow);
+        assert!(rej.is_empty());
+        assert_eq!(out.announce.len(), 1);
+    }
+
+    #[test]
+    fn withdrawals_are_charged_and_checked() {
+        let mut e = enforcer();
+        let w = UpdateMsg::withdraw(vec![(prefix("184.164.224.0/24"), None)]);
+        let (out, rej) = check(&mut e, &w);
+        assert!(rej.is_empty());
+        assert_eq!(out.withdrawn.len(), 1);
+        // Withdrawing someone else's prefix is filtered.
+        let w = UpdateMsg::withdraw(vec![(prefix("8.8.8.0/24"), None)]);
+        let (out, rej) = check(&mut e, &w);
+        assert!(out.withdrawn.is_empty());
+        assert_eq!(rej[0].1, Rejection::NotAllocated);
+    }
+
+    #[test]
+    fn shared_ledger_enforces_as_wide_budget() {
+        // Two PoPs share the ledger: each has its own 144/day budget per
+        // prefix (the pair key includes the PoP).
+        let ledger = Arc::new(Mutex::new(RateLedger::default()));
+        let cc = ControlCommunities::new(47065);
+        let mut e0 = ControlEnforcer::new(PopId(0), cc, Arc::clone(&ledger));
+        let mut e1 = ControlEnforcer::new(PopId(1), cc, Arc::clone(&ledger));
+        let policy = ExperimentPolicy {
+            allocations: vec![prefix("184.164.224.0/23")],
+            asns: vec![Asn(61574)],
+            caps: CapabilitySet::basic(),
+        };
+        e0.set_experiment(EXP, policy.clone());
+        e1.set_experiment(EXP, policy);
+        let u = announce("184.164.224.0/24", &[61574]);
+        for _ in 0..UPDATES_PER_DAY_LIMIT {
+            let (_, rej) = e0.check_update(EXP, &u, SimTime::ZERO);
+            assert!(rej.is_empty());
+        }
+        let (_, rej) = e0.check_update(EXP, &u, SimTime::ZERO);
+        assert_eq!(rej[0].1, Rejection::RateLimited);
+        // PoP 1 has an independent per-PoP budget but shares the ledger
+        // storage (and both are visible platform-wide).
+        let (_, rej) = e1.check_update(EXP, &u, SimTime::ZERO);
+        assert!(rej.is_empty());
+        assert_eq!(
+            ledger
+                .lock()
+                .used_today(EXP, prefix("184.164.224.0/24"), PopId(1), SimTime::ZERO),
+            1
+        );
+    }
+
+    #[test]
+    fn fail_closed_blocks_everything() {
+        let mut e = enforcer();
+        e.fail_closed = true;
+        let (out, rej) = check(&mut e, &announce("184.164.224.0/24", &[61574]));
+        assert!(out.announce.is_empty());
+        assert_eq!(rej[0].1, Rejection::FailClosed);
+    }
+
+    #[test]
+    fn unknown_experiment_fails_closed() {
+        let mut e = enforcer();
+        let u = announce("184.164.224.0/24", &[61574]);
+        let (out, rej) = e.check_update(ExperimentId(99), &u, SimTime::ZERO);
+        assert!(out.announce.is_empty());
+        assert_eq!(rej[0].1, Rejection::FailClosed);
+    }
+
+    #[test]
+    fn ledger_prune_drops_old_days() {
+        let mut ledger = RateLedger::default();
+        ledger.charge(EXP, prefix("184.164.224.0/24"), PopId(0), SimTime::ZERO);
+        let tomorrow = SimTime::from_nanos(90_000 * 1_000_000_000);
+        ledger.charge(EXP, prefix("184.164.224.0/24"), PopId(0), tomorrow);
+        assert_eq!(ledger.counts.len(), 2);
+        ledger.prune(tomorrow);
+        assert_eq!(ledger.counts.len(), 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! Data-plane enforcement (paper §3.3 "Data plane enforcement", §4.7).
+//!
+//! The paper loads eBPF programs that inspect each packet between the
+//! experiments and the Internet and render stateless or stateful verdicts:
+//! allow, transform, or block. This module reproduces that interposition
+//! point: per-experiment source validation (anti-spoofing — "an experiment
+//! cannot source traffic using address space that is not part of the
+//! experiment's allocation"), per-experiment and per-PoP token-bucket rate
+//! limiting ("Peering shapes traffic at (two) sites with bandwidth
+//! constraints"), and per-neighbor limits.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use peering_bgp::types::Prefix;
+use peering_netsim::{SimDuration, SimTime};
+
+use crate::ids::{ExperimentId, NeighborId};
+
+/// Verdict for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataVerdict {
+    /// Forward the packet.
+    Allow,
+    /// Drop it; the label names the policy that fired (for attribution
+    /// logs, §3.3).
+    Block(&'static str),
+}
+
+impl DataVerdict {
+    /// Whether the packet passes.
+    pub fn is_allow(self) -> bool {
+        matches!(self, DataVerdict::Allow)
+    }
+}
+
+/// A token bucket (the classic shaper the paper's eBPF programs implement).
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Sustained rate in bytes per second.
+    pub rate_bytes_per_sec: u64,
+    /// Bucket depth in bytes.
+    pub burst_bytes: u64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket starting full.
+    pub fn new(rate_bytes_per_sec: u64, burst_bytes: u64) -> Self {
+        TokenBucket {
+            rate_bytes_per_sec,
+            burst_bytes,
+            tokens: burst_bytes as f64,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Try to consume `len` bytes at time `now`.
+    pub fn admit(&mut self, len: usize, now: SimTime) -> bool {
+        let elapsed = now.saturating_since(self.last);
+        self.last = now;
+        self.tokens = (self.tokens + elapsed.as_secs_f64() * self.rate_bytes_per_sec as f64)
+            .min(self.burst_bytes as f64);
+        if self.tokens >= len as f64 {
+            self.tokens -= len as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time until `len` bytes would be admitted (for diagnostics).
+    pub fn time_until(&self, len: usize) -> SimDuration {
+        if self.tokens >= len as f64 || self.rate_bytes_per_sec == 0 {
+            return SimDuration::ZERO;
+        }
+        let deficit = len as f64 - self.tokens;
+        SimDuration::from_secs_f64(deficit / self.rate_bytes_per_sec as f64)
+    }
+}
+
+/// Per-experiment data-plane policy.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentDataPolicy {
+    /// Source prefixes the experiment may emit from (its allocation).
+    pub allowed_sources: Vec<Prefix>,
+    /// Optional per-experiment egress shaper (bytes/s, burst).
+    pub rate: Option<(u64, u64)>,
+}
+
+/// Counters for the data-plane pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct DataStats {
+    /// Packets evaluated.
+    pub evaluated: u64,
+    /// Packets allowed.
+    pub allowed: u64,
+    /// Drops by policy label.
+    pub blocked: HashMap<&'static str, u64>,
+}
+
+/// The data-plane enforcement engine for one PoP.
+#[derive(Debug, Default)]
+pub struct DataEnforcer {
+    policies: HashMap<ExperimentId, ExperimentDataPolicy>,
+    buckets: HashMap<ExperimentId, TokenBucket>,
+    /// Optional whole-PoP shaper (the two bandwidth-constrained sites).
+    pop_shaper: Option<TokenBucket>,
+    /// Optional per-neighbor shapers.
+    neighbor_shapers: HashMap<NeighborId, TokenBucket>,
+    /// Counters.
+    pub stats: DataStats,
+}
+
+impl DataEnforcer {
+    /// An enforcer with no site-wide constraints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configure a whole-PoP egress shaper.
+    pub fn set_pop_shaper(&mut self, rate_bytes_per_sec: u64, burst_bytes: u64) {
+        self.pop_shaper = Some(TokenBucket::new(rate_bytes_per_sec, burst_bytes));
+    }
+
+    /// Configure a per-neighbor shaper.
+    pub fn set_neighbor_shaper(
+        &mut self,
+        nbr: NeighborId,
+        rate_bytes_per_sec: u64,
+        burst_bytes: u64,
+    ) {
+        self.neighbor_shapers
+            .insert(nbr, TokenBucket::new(rate_bytes_per_sec, burst_bytes));
+    }
+
+    /// Register (or update) an experiment's data-plane policy.
+    pub fn set_experiment(&mut self, exp: ExperimentId, policy: ExperimentDataPolicy) {
+        if let Some((rate, burst)) = policy.rate {
+            self.buckets.insert(exp, TokenBucket::new(rate, burst));
+        } else {
+            self.buckets.remove(&exp);
+        }
+        self.policies.insert(exp, policy);
+    }
+
+    /// Remove an experiment.
+    pub fn remove_experiment(&mut self, exp: ExperimentId) {
+        self.policies.remove(&exp);
+        self.buckets.remove(&exp);
+    }
+
+    fn block(&mut self, label: &'static str) -> DataVerdict {
+        *self.stats.blocked.entry(label).or_insert(0) += 1;
+        DataVerdict::Block(label)
+    }
+
+    /// Evaluate one egress packet (experiment → Internet): source
+    /// validation, then per-experiment, per-neighbor and per-PoP shaping.
+    pub fn check_egress(
+        &mut self,
+        exp: ExperimentId,
+        src: IpAddr,
+        len: usize,
+        nbr: Option<NeighborId>,
+        now: SimTime,
+    ) -> DataVerdict {
+        self.stats.evaluated += 1;
+        let Some(policy) = self.policies.get(&exp) else {
+            // Unknown experiment: fail closed.
+            return self.block("unknown-experiment");
+        };
+        // Anti-spoofing: the source must fall in the allocation.
+        if !policy.allowed_sources.iter().any(|p| p.contains_addr(src)) {
+            return self.block("spoofed-source");
+        }
+        if let Some(bucket) = self.buckets.get_mut(&exp) {
+            if !bucket.admit(len, now) {
+                return self.block("experiment-rate-limit");
+            }
+        }
+        if let Some(nbr) = nbr {
+            if let Some(bucket) = self.neighbor_shapers.get_mut(&nbr) {
+                if !bucket.admit(len, now) {
+                    return self.block("neighbor-rate-limit");
+                }
+            }
+        }
+        if let Some(bucket) = self.pop_shaper.as_mut() {
+            if !bucket.admit(len, now) {
+                return self.block("pop-rate-limit");
+            }
+        }
+        self.stats.allowed += 1;
+        DataVerdict::Allow
+    }
+
+    /// Evaluate one ingress packet (Internet → experiment). The platform
+    /// does not police ingress content beyond delivering only traffic for
+    /// the experiment's prefixes (§4.7: "We do not currently police
+    /// dataplane content beyond verifying the source IP address"), so this
+    /// only verifies the destination belongs to the experiment.
+    pub fn check_ingress(&mut self, exp: ExperimentId, dst: IpAddr) -> DataVerdict {
+        self.stats.evaluated += 1;
+        let Some(policy) = self.policies.get(&exp) else {
+            return self.block("unknown-experiment");
+        };
+        if !policy.allowed_sources.iter().any(|p| p.contains_addr(dst)) {
+            return self.block("not-experiment-destination");
+        }
+        self.stats.allowed += 1;
+        DataVerdict::Allow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_bgp::types::prefix;
+
+    const EXP: ExperimentId = ExperimentId(1);
+
+    fn enforcer() -> DataEnforcer {
+        let mut e = DataEnforcer::new();
+        e.set_experiment(
+            EXP,
+            ExperimentDataPolicy {
+                allowed_sources: vec![prefix("184.164.224.0/23")],
+                rate: None,
+            },
+        );
+        e
+    }
+
+    fn src(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn valid_source_allowed() {
+        let mut e = enforcer();
+        let v = e.check_egress(EXP, src("184.164.224.9"), 100, None, SimTime::ZERO);
+        assert_eq!(v, DataVerdict::Allow);
+        assert_eq!(e.stats.allowed, 1);
+    }
+
+    #[test]
+    fn spoofed_source_blocked() {
+        let mut e = enforcer();
+        let v = e.check_egress(EXP, src("8.8.8.8"), 100, None, SimTime::ZERO);
+        assert_eq!(v, DataVerdict::Block("spoofed-source"));
+        assert!(!v.is_allow());
+        assert_eq!(e.stats.blocked["spoofed-source"], 1);
+    }
+
+    #[test]
+    fn unknown_experiment_fails_closed() {
+        let mut e = enforcer();
+        let v = e.check_egress(
+            ExperimentId(9),
+            src("184.164.224.9"),
+            100,
+            None,
+            SimTime::ZERO,
+        );
+        assert_eq!(v, DataVerdict::Block("unknown-experiment"));
+    }
+
+    #[test]
+    fn token_bucket_refills_over_time() {
+        let mut b = TokenBucket::new(1000, 1000); // 1 kB/s, 1 kB burst
+        assert!(b.admit(1000, SimTime::ZERO));
+        assert!(!b.admit(1, SimTime::ZERO));
+        assert!(b.time_until(500) > SimDuration::ZERO);
+        // After 500 ms, 500 bytes refilled.
+        let t = SimTime::ZERO + SimDuration::from_millis(500);
+        assert!(b.admit(400, t));
+        assert!(!b.admit(200, t));
+        // Never exceeds burst depth.
+        let much_later = SimTime::ZERO + SimDuration::from_secs(100);
+        assert!(b.admit(1000, much_later));
+        assert!(!b.admit(1, much_later));
+    }
+
+    #[test]
+    fn experiment_rate_limit_applies() {
+        let mut e = enforcer();
+        e.set_experiment(
+            EXP,
+            ExperimentDataPolicy {
+                allowed_sources: vec![prefix("184.164.224.0/23")],
+                rate: Some((1000, 1500)),
+            },
+        );
+        assert!(e
+            .check_egress(EXP, src("184.164.224.1"), 1500, None, SimTime::ZERO)
+            .is_allow());
+        let v = e.check_egress(EXP, src("184.164.224.1"), 100, None, SimTime::ZERO);
+        assert_eq!(v, DataVerdict::Block("experiment-rate-limit"));
+    }
+
+    #[test]
+    fn pop_shaper_caps_all_experiments() {
+        let mut e = enforcer();
+        e.set_experiment(
+            ExperimentId(2),
+            ExperimentDataPolicy {
+                allowed_sources: vec![prefix("184.164.226.0/24")],
+                rate: None,
+            },
+        );
+        e.set_pop_shaper(1000, 1000);
+        assert!(e
+            .check_egress(EXP, src("184.164.224.1"), 800, None, SimTime::ZERO)
+            .is_allow());
+        // A different experiment shares the site budget.
+        let v = e.check_egress(
+            ExperimentId(2),
+            src("184.164.226.1"),
+            800,
+            None,
+            SimTime::ZERO,
+        );
+        assert_eq!(v, DataVerdict::Block("pop-rate-limit"));
+    }
+
+    #[test]
+    fn neighbor_shaper_is_per_neighbor() {
+        let mut e = enforcer();
+        e.set_neighbor_shaper(NeighborId(1), 1000, 1000);
+        assert!(e
+            .check_egress(
+                EXP,
+                src("184.164.224.1"),
+                900,
+                Some(NeighborId(1)),
+                SimTime::ZERO
+            )
+            .is_allow());
+        let v = e.check_egress(
+            EXP,
+            src("184.164.224.1"),
+            900,
+            Some(NeighborId(1)),
+            SimTime::ZERO,
+        );
+        assert_eq!(v, DataVerdict::Block("neighbor-rate-limit"));
+        // Another neighbor is unconstrained.
+        assert!(e
+            .check_egress(
+                EXP,
+                src("184.164.224.1"),
+                900,
+                Some(NeighborId(2)),
+                SimTime::ZERO
+            )
+            .is_allow());
+    }
+
+    #[test]
+    fn ingress_checks_destination_ownership() {
+        let mut e = enforcer();
+        assert!(e.check_ingress(EXP, src("184.164.225.7")).is_allow());
+        assert_eq!(
+            e.check_ingress(EXP, src("9.9.9.9")),
+            DataVerdict::Block("not-experiment-destination")
+        );
+    }
+
+    #[test]
+    fn removed_experiment_fails_closed() {
+        let mut e = enforcer();
+        e.remove_experiment(EXP);
+        let v = e.check_egress(EXP, src("184.164.224.1"), 10, None, SimTime::ZERO);
+        assert_eq!(v, DataVerdict::Block("unknown-experiment"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Identifiers shared across the vBGP stack.
+
+use std::fmt;
+
+/// A BGP neighbor of a vBGP router (a transit, bilateral peer, route server
+/// or another PoP's neighbor reached over the backbone).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NeighborId(pub u32);
+
+/// An approved experiment on the platform.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ExperimentId(pub u32);
+
+/// A PEERING point of presence.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PopId(pub u32);
+
+impl fmt::Display for NeighborId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nbr{}", self.0)
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exp{}", self.0)
+    }
+}
+
+impl fmt::Display for PopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pop{}", self.0)
+    }
+}

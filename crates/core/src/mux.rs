@@ -1,0 +1,681 @@
+//! The vBGP data-plane mux (paper §3.2.2 and §4.4, Fig. 2b).
+//!
+//! Pure state machine — no simulator types beyond addresses — so every
+//! behaviour is unit-testable, per the paper's argument for decoupling
+//! (§3.3). The mux owns:
+//!
+//! * the virtual next-hop allocator and the **MAC → routing-table**
+//!   classification that turns an experiment's frame into a per-neighbor
+//!   forwarding decision (Fig. 2b steps 8–10);
+//! * one routing table per neighbor (refcounted prefixes fed from the
+//!   control plane);
+//! * the ARP responder for virtual next-hop IPs (steps 6–7) and for
+//!   global-pool addresses owned by this PoP (§4.4);
+//! * the delivery table that maps experiment prefixes to tunnels (local)
+//!   or across the backbone (remote), including the **source-MAC rewrite**
+//!   that tells experiments which neighbor delivered a packet.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use peering_bgp::trie::PrefixTrie;
+use peering_bgp::types::Prefix;
+use peering_netsim::{MacAddr, PortId};
+
+use crate::ids::{ExperimentId, NeighborId};
+use crate::vnh::{Vnh, VnhAllocator};
+
+/// MAC namespace tag for experiment-delivery MACs (answers to backbone ARP
+/// for an experiment tunnel's global address).
+const MAC_TAG_EXP: u32 = 0x4500_0000;
+
+/// What a destination MAC classifies to (Fig. 2b step 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuxTarget {
+    /// Look the packet up in this neighbor's routing table.
+    NeighborTable(NeighborId),
+    /// Deliver down this experiment's tunnel.
+    ExperimentDelivery(ExperimentId),
+}
+
+/// How to reach a neighbor on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NeighborFwd {
+    /// Directly attached: out `port` with the neighbor router's MAC.
+    Local { port: PortId, dst_mac: MacAddr },
+    /// At another PoP: out the backbone `port` toward the neighbor's
+    /// global-pool address (MAC resolved by backbone ARP, §4.4).
+    Remote { port: PortId, global_ip: Ipv4Addr },
+}
+
+/// A concrete forwarding decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Egress {
+    /// Transmit out `port` with the given destination MAC.
+    Frame {
+        /// Egress port.
+        port: PortId,
+        /// Destination MAC.
+        dst_mac: MacAddr,
+    },
+    /// The neighbor is remote and its global address is not yet resolved;
+    /// the caller should trigger an ARP for it and drop/queue the packet.
+    Unresolved {
+        /// Backbone port to resolve over.
+        port: PortId,
+        /// The global-pool address to ARP for.
+        global_ip: Ipv4Addr,
+    },
+}
+
+/// Where traffic for an experiment prefix should go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Delivery {
+    /// Down a local tunnel.
+    Local(ExperimentId),
+    /// Across the backbone toward the owning PoP's global address.
+    Remote { port: PortId, global_ip: Ipv4Addr },
+}
+
+/// Mux counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MuxStats {
+    /// Frames forwarded to a neighbor.
+    pub to_neighbor: u64,
+    /// Frames delivered to a local experiment.
+    pub to_experiment: u64,
+    /// Frames relayed across the backbone.
+    pub to_backbone: u64,
+    /// Drops: destination not in the selected neighbor table.
+    pub no_route: u64,
+    /// Drops: remote neighbor's MAC not yet resolved.
+    pub unresolved: u64,
+    /// ARP queries answered.
+    pub arp_answered: u64,
+}
+
+struct ExperimentEntry {
+    port: PortId,
+    mac: MacAddr,
+    delivery_mac: MacAddr,
+}
+
+/// The mux.
+pub struct VbgpMux {
+    alloc: VnhAllocator,
+    targets: HashMap<MacAddr, MuxTarget>,
+    neighbor_fwd: HashMap<NeighborId, NeighborFwd>,
+    tables: HashMap<NeighborId, PrefixTrie<u32>>,
+    experiments: HashMap<ExperimentId, ExperimentEntry>,
+    delivery: PrefixTrie<(Delivery, u32)>,
+    /// ARP: global/virtual IPs this PoP answers for → answering MAC.
+    owned_ips: HashMap<Ipv4Addr, MacAddr>,
+    /// Backbone ARP cache: global IP → remote MAC.
+    resolved: HashMap<Ipv4Addr, MacAddr>,
+    /// Counters.
+    pub stats: MuxStats,
+}
+
+impl Default for VbgpMux {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VbgpMux {
+    /// An empty mux.
+    pub fn new() -> Self {
+        VbgpMux {
+            alloc: VnhAllocator::new(),
+            targets: HashMap::new(),
+            neighbor_fwd: HashMap::new(),
+            tables: HashMap::new(),
+            experiments: HashMap::new(),
+            delivery: PrefixTrie::new(),
+            owned_ips: HashMap::new(),
+            resolved: HashMap::new(),
+            stats: MuxStats::default(),
+        }
+    }
+
+    /// Register a directly-attached neighbor. `global_ip`, when set, makes
+    /// this PoP answer backbone ARP for it so other PoPs can steer traffic
+    /// out this neighbor (§4.4).
+    pub fn add_local_neighbor(
+        &mut self,
+        id: NeighborId,
+        port: PortId,
+        neighbor_mac: MacAddr,
+        global_ip: Option<Ipv4Addr>,
+    ) -> Vnh {
+        let vnh = self.alloc.allocate(id);
+        self.targets.insert(vnh.mac, MuxTarget::NeighborTable(id));
+        self.neighbor_fwd.insert(
+            id,
+            NeighborFwd::Local {
+                port,
+                dst_mac: neighbor_mac,
+            },
+        );
+        self.tables.entry(id).or_default();
+        self.owned_ips.insert(vnh.ip, vnh.mac);
+        if let Some(gip) = global_ip {
+            self.owned_ips.insert(gip, vnh.mac);
+        }
+        vnh
+    }
+
+    /// Register a neighbor that lives at another PoP, reached over the
+    /// backbone via its global-pool address. Experiments here still get a
+    /// local virtual next hop for it (§4.4's local-pool rewrite).
+    pub fn add_remote_neighbor(
+        &mut self,
+        id: NeighborId,
+        backbone_port: PortId,
+        global_ip: Ipv4Addr,
+    ) -> Vnh {
+        let vnh = self.alloc.allocate(id);
+        self.targets.insert(vnh.mac, MuxTarget::NeighborTable(id));
+        self.neighbor_fwd.insert(
+            id,
+            NeighborFwd::Remote {
+                port: backbone_port,
+                global_ip,
+            },
+        );
+        self.tables.entry(id).or_default();
+        self.owned_ips.insert(vnh.ip, vnh.mac);
+        vnh
+    }
+
+    /// Remove a neighbor entirely.
+    pub fn remove_neighbor(&mut self, id: NeighborId) {
+        if let Some(vnh) = self.alloc.release(id) {
+            self.targets.remove(&vnh.mac);
+            self.owned_ips.remove(&vnh.ip);
+            self.owned_ips.retain(|_, m| *m != vnh.mac);
+        }
+        self.neighbor_fwd.remove(&id);
+        self.tables.remove(&id);
+    }
+
+    /// The virtual next hop assigned to a neighbor.
+    pub fn vnh(&self, id: NeighborId) -> Option<Vnh> {
+        self.alloc.get(id)
+    }
+
+    /// The neighbor owning a virtual next-hop IP (classifying learned
+    /// routes back to their tables).
+    pub fn vnh_neighbor(&self, ip: Ipv4Addr) -> Option<NeighborId> {
+        self.alloc.neighbor_of_ip(ip)
+    }
+
+    /// Register a local experiment tunnel. `global_ip`, when set, lets
+    /// other PoPs deliver traffic for the experiment across the backbone.
+    pub fn add_experiment(
+        &mut self,
+        id: ExperimentId,
+        port: PortId,
+        experiment_mac: MacAddr,
+        global_ip: Option<Ipv4Addr>,
+    ) -> MacAddr {
+        let delivery_mac = MacAddr::from_id(MAC_TAG_EXP | id.0);
+        self.targets
+            .insert(delivery_mac, MuxTarget::ExperimentDelivery(id));
+        if let Some(gip) = global_ip {
+            self.owned_ips.insert(gip, delivery_mac);
+        }
+        self.experiments.insert(
+            id,
+            ExperimentEntry {
+                port,
+                mac: experiment_mac,
+                delivery_mac,
+            },
+        );
+        delivery_mac
+    }
+
+    /// Remove an experiment.
+    pub fn remove_experiment(&mut self, id: ExperimentId) {
+        if let Some(entry) = self.experiments.remove(&id) {
+            self.targets.remove(&entry.delivery_mac);
+            self.owned_ips.retain(|_, m| *m != entry.delivery_mac);
+        }
+        // Delivery entries for its prefixes are withdrawn by the control
+        // plane as the session drops.
+    }
+
+    // ---- control-plane feed ----
+
+    /// A route for `prefix` via `neighbor` was installed (refcounted: one
+    /// per (path, session) the control plane holds).
+    pub fn install_route(&mut self, neighbor: NeighborId, prefix: Prefix) {
+        if let Some(table) = self.tables.get_mut(&neighbor) {
+            match table.get_mut(&prefix) {
+                Some(count) => *count += 1,
+                None => {
+                    table.insert(prefix, 1);
+                }
+            }
+        }
+    }
+
+    /// A route for `prefix` via `neighbor` was removed.
+    pub fn remove_route(&mut self, neighbor: NeighborId, prefix: Prefix) {
+        if let Some(table) = self.tables.get_mut(&neighbor) {
+            if let Some(count) = table.get_mut(&prefix) {
+                *count -= 1;
+                if *count == 0 {
+                    table.remove(&prefix);
+                }
+            }
+        }
+    }
+
+    /// Number of FIB entries for a neighbor.
+    pub fn table_len(&self, neighbor: NeighborId) -> usize {
+        self.tables.get(&neighbor).map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Total FIB entries across all per-neighbor tables (the
+    /// "per-interconnection data plane" overhead of Fig. 6a).
+    pub fn total_fib_entries(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+
+    /// An experiment prefix became deliverable down a local tunnel.
+    pub fn install_delivery_local(&mut self, prefix: Prefix, exp: ExperimentId) {
+        self.install_delivery(prefix, Delivery::Local(exp));
+    }
+
+    /// An experiment prefix became deliverable across the backbone.
+    pub fn install_delivery_remote(&mut self, prefix: Prefix, port: PortId, global_ip: Ipv4Addr) {
+        self.install_delivery(prefix, Delivery::Remote { port, global_ip });
+    }
+
+    fn install_delivery(&mut self, prefix: Prefix, delivery: Delivery) {
+        match self.delivery.get_mut(&prefix) {
+            Some((existing, count)) if *existing == delivery => *count += 1,
+            Some(entry) => *entry = (delivery, 1),
+            None => {
+                self.delivery.insert(prefix, (delivery, 1));
+            }
+        }
+    }
+
+    /// A delivery entry was withdrawn.
+    pub fn remove_delivery(&mut self, prefix: Prefix) {
+        if let Some((_, count)) = self.delivery.get_mut(&prefix) {
+            *count -= 1;
+            if *count == 0 {
+                self.delivery.remove(&prefix);
+            }
+        }
+    }
+
+    // ---- ARP ----
+
+    /// Answer an ARP query: the MAC owning `ip` at this PoP, if any
+    /// (virtual next hops and owned global addresses).
+    pub fn arp_answer(&mut self, ip: Ipv4Addr) -> Option<MacAddr> {
+        let mac = self.owned_ips.get(&ip).copied();
+        if mac.is_some() {
+            self.stats.arp_answered += 1;
+        }
+        mac
+    }
+
+    /// Record a backbone ARP resolution (global IP → remote PoP's MAC).
+    pub fn note_resolution(&mut self, global_ip: Ipv4Addr, mac: MacAddr) {
+        self.resolved.insert(global_ip, mac);
+    }
+
+    /// All remote global addresses that still need resolving (prefetched by
+    /// the router at configuration time).
+    pub fn unresolved_globals(&self) -> Vec<(PortId, Ipv4Addr)> {
+        self.neighbor_fwd
+            .values()
+            .filter_map(|f| match f {
+                NeighborFwd::Remote { port, global_ip }
+                    if !self.resolved.contains_key(global_ip) =>
+                {
+                    Some((*port, *global_ip))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    // ---- forwarding ----
+
+    /// Classify a frame's destination MAC (Fig. 2b step 9).
+    pub fn classify(&self, dst_mac: MacAddr) -> Option<MuxTarget> {
+        self.targets.get(&dst_mac).copied()
+    }
+
+    /// Forward a packet that an experiment steered into `neighbor`'s table:
+    /// longest-prefix-match in that table, then resolve the wire egress
+    /// (Fig. 2b steps 10–11). Returns `None` if the table has no route.
+    pub fn egress_via_neighbor(
+        &mut self,
+        neighbor: NeighborId,
+        dst_ip: Ipv4Addr,
+    ) -> Option<Egress> {
+        let table = self.tables.get(&neighbor)?;
+        if table.lookup(dst_ip.into()).is_none() {
+            self.stats.no_route += 1;
+            return None;
+        }
+        match self.neighbor_fwd.get(&neighbor)? {
+            NeighborFwd::Local { port, dst_mac } => {
+                self.stats.to_neighbor += 1;
+                Some(Egress::Frame {
+                    port: *port,
+                    dst_mac: *dst_mac,
+                })
+            }
+            NeighborFwd::Remote { port, global_ip } => match self.resolved.get(global_ip) {
+                Some(mac) => {
+                    self.stats.to_backbone += 1;
+                    Some(Egress::Frame {
+                        port: *port,
+                        dst_mac: *mac,
+                    })
+                }
+                None => {
+                    self.stats.unresolved += 1;
+                    Some(Egress::Unresolved {
+                        port: *port,
+                        global_ip: *global_ip,
+                    })
+                }
+            },
+        }
+    }
+
+    /// Deliver inbound traffic toward whatever experiment owns `dst_ip`.
+    /// `from_neighbor` names the ingress neighbor when known; the returned
+    /// source MAC is then that neighbor's virtual MAC so the experiment can
+    /// see who delivered the packet (paper §3.2.2 "Routing traffic to
+    /// experiments").
+    pub fn deliver_to_experiment(
+        &mut self,
+        dst_ip: Ipv4Addr,
+        from_neighbor: Option<NeighborId>,
+    ) -> Option<(Egress, Option<MacAddr>, ExperimentId)> {
+        let (_, (delivery, _)) = self.delivery.lookup(dst_ip.into())?;
+        match delivery {
+            Delivery::Local(exp) => {
+                let entry = self.experiments.get(exp)?;
+                let src_rewrite = from_neighbor.and_then(|n| self.alloc.get(n)).map(|v| v.mac);
+                self.stats.to_experiment += 1;
+                Some((
+                    Egress::Frame {
+                        port: entry.port,
+                        dst_mac: entry.mac,
+                    },
+                    src_rewrite,
+                    *exp,
+                ))
+            }
+            Delivery::Remote { port, global_ip } => {
+                let exp = ExperimentId(u32::MAX); // unknown at this PoP
+                match self.resolved.get(global_ip) {
+                    Some(mac) => {
+                        self.stats.to_backbone += 1;
+                        Some((
+                            Egress::Frame {
+                                port: *port,
+                                dst_mac: *mac,
+                            },
+                            None,
+                            exp,
+                        ))
+                    }
+                    None => {
+                        self.stats.unresolved += 1;
+                        Some((
+                            Egress::Unresolved {
+                                port: *port,
+                                global_ip: *global_ip,
+                            },
+                            None,
+                            exp,
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    /// The tunnel port of a local experiment.
+    pub fn experiment_port(&self, id: ExperimentId) -> Option<PortId> {
+        self.experiments.get(&id).map(|e| e.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_bgp::types::prefix;
+
+    const N1: NeighborId = NeighborId(1);
+    const N2: NeighborId = NeighborId(2);
+    const X1: ExperimentId = ExperimentId(1);
+
+    fn mux() -> VbgpMux {
+        let mut m = VbgpMux::new();
+        m.add_local_neighbor(N1, PortId(0), MacAddr::from_id(0x11), None);
+        m.add_local_neighbor(N2, PortId(1), MacAddr::from_id(0x22), None);
+        m
+    }
+
+    #[test]
+    fn per_neighbor_tables_steer_by_mac() {
+        let mut m = mux();
+        let p = prefix("192.168.0.0/24");
+        // Both neighbors announce the same destination (paper Fig. 1).
+        m.install_route(N1, p);
+        m.install_route(N2, p);
+        let vnh2 = m.vnh(N2).unwrap();
+        // A frame addressed to N2's virtual MAC classifies to N2's table...
+        assert_eq!(m.classify(vnh2.mac), Some(MuxTarget::NeighborTable(N2)));
+        // ...and egresses out N2's port, not N1's.
+        let egress = m
+            .egress_via_neighbor(N2, "192.168.0.1".parse().unwrap())
+            .unwrap();
+        assert_eq!(
+            egress,
+            Egress::Frame {
+                port: PortId(1),
+                dst_mac: MacAddr::from_id(0x22)
+            }
+        );
+        assert_eq!(m.stats.to_neighbor, 1);
+    }
+
+    #[test]
+    fn no_route_in_selected_table_drops() {
+        let mut m = mux();
+        m.install_route(N1, prefix("192.168.0.0/24"));
+        // N2's table is empty: steering via N2 fails even though N1 has it.
+        assert!(m
+            .egress_via_neighbor(N2, "192.168.0.1".parse().unwrap())
+            .is_none());
+        assert_eq!(m.stats.no_route, 1);
+    }
+
+    #[test]
+    fn refcounted_routes() {
+        let mut m = mux();
+        let p = prefix("10.0.0.0/8");
+        m.install_route(N1, p);
+        m.install_route(N1, p);
+        assert_eq!(m.table_len(N1), 1);
+        m.remove_route(N1, p);
+        assert!(m
+            .egress_via_neighbor(N1, "10.1.1.1".parse().unwrap())
+            .is_some());
+        m.remove_route(N1, p);
+        assert!(m
+            .egress_via_neighbor(N1, "10.1.1.1".parse().unwrap())
+            .is_none());
+        assert_eq!(m.total_fib_entries(), 0);
+    }
+
+    #[test]
+    fn arp_responder_answers_vnh_queries() {
+        let mut m = mux();
+        let vnh1 = m.vnh(N1).unwrap();
+        assert_eq!(m.arp_answer(vnh1.ip), Some(vnh1.mac));
+        assert_eq!(m.arp_answer("9.9.9.9".parse().unwrap()), None);
+        assert_eq!(m.stats.arp_answered, 1);
+    }
+
+    #[test]
+    fn global_ownership_answers_backbone_arp() {
+        let mut m = mux();
+        let gip: Ipv4Addr = "127.127.0.1".parse().unwrap();
+        let vnh = m.add_local_neighbor(NeighborId(3), PortId(2), MacAddr::from_id(0x33), Some(gip));
+        assert_eq!(m.arp_answer(gip), Some(vnh.mac));
+        // The answering MAC classifies straight to the neighbor's table.
+        assert_eq!(
+            m.classify(vnh.mac),
+            Some(MuxTarget::NeighborTable(NeighborId(3)))
+        );
+    }
+
+    #[test]
+    fn remote_neighbor_resolution_flow() {
+        let mut m = mux();
+        let gip: Ipv4Addr = "127.127.0.9".parse().unwrap();
+        m.add_remote_neighbor(NeighborId(9), PortId(5), gip);
+        m.install_route(NeighborId(9), prefix("192.168.0.0/24"));
+        // Unresolved: caller must ARP.
+        assert_eq!(m.unresolved_globals(), vec![(PortId(5), gip)]);
+        let egress = m
+            .egress_via_neighbor(NeighborId(9), "192.168.0.1".parse().unwrap())
+            .unwrap();
+        assert_eq!(
+            egress,
+            Egress::Unresolved {
+                port: PortId(5),
+                global_ip: gip
+            }
+        );
+        // Resolution arrives.
+        m.note_resolution(gip, MacAddr::from_id(0x99));
+        assert!(m.unresolved_globals().is_empty());
+        let egress = m
+            .egress_via_neighbor(NeighborId(9), "192.168.0.1".parse().unwrap())
+            .unwrap();
+        assert_eq!(
+            egress,
+            Egress::Frame {
+                port: PortId(5),
+                dst_mac: MacAddr::from_id(0x99)
+            }
+        );
+        assert_eq!(m.stats.to_backbone, 1);
+        assert_eq!(m.stats.unresolved, 1);
+    }
+
+    #[test]
+    fn experiment_delivery_rewrites_source_mac() {
+        let mut m = mux();
+        m.add_experiment(X1, PortId(7), MacAddr::from_id(0x77), None);
+        m.install_delivery_local(prefix("184.164.224.0/24"), X1);
+        let (egress, src_rewrite, exp) = m
+            .deliver_to_experiment("184.164.224.9".parse().unwrap(), Some(N1))
+            .unwrap();
+        assert_eq!(exp, X1);
+        assert_eq!(
+            egress,
+            Egress::Frame {
+                port: PortId(7),
+                dst_mac: MacAddr::from_id(0x77)
+            }
+        );
+        // The source MAC is the ingress neighbor's virtual MAC (§3.2.2).
+        assert_eq!(src_rewrite, Some(m.vnh(N1).unwrap().mac));
+        // Unknown ingress → no rewrite hint.
+        let (_, src_rewrite, _) = m
+            .deliver_to_experiment("184.164.224.9".parse().unwrap(), None)
+            .unwrap();
+        assert_eq!(src_rewrite, None);
+    }
+
+    #[test]
+    fn remote_delivery_goes_over_backbone() {
+        let mut m = mux();
+        let gip: Ipv4Addr = "127.127.1.1".parse().unwrap();
+        m.install_delivery_remote(prefix("184.164.226.0/24"), PortId(4), gip);
+        let (egress, _, _) = m
+            .deliver_to_experiment("184.164.226.1".parse().unwrap(), None)
+            .unwrap();
+        assert_eq!(
+            egress,
+            Egress::Unresolved {
+                port: PortId(4),
+                global_ip: gip
+            }
+        );
+        m.note_resolution(gip, MacAddr::from_id(0xAA));
+        let (egress, _, _) = m
+            .deliver_to_experiment("184.164.226.1".parse().unwrap(), None)
+            .unwrap();
+        assert_eq!(
+            egress,
+            Egress::Frame {
+                port: PortId(4),
+                dst_mac: MacAddr::from_id(0xAA)
+            }
+        );
+    }
+
+    #[test]
+    fn delivery_refcounts_and_removal() {
+        let mut m = mux();
+        m.add_experiment(X1, PortId(7), MacAddr::from_id(0x77), None);
+        let p = prefix("184.164.224.0/24");
+        m.install_delivery_local(p, X1);
+        m.install_delivery_local(p, X1);
+        m.remove_delivery(p);
+        assert!(m
+            .deliver_to_experiment("184.164.224.1".parse().unwrap(), None)
+            .is_some());
+        m.remove_delivery(p);
+        assert!(m
+            .deliver_to_experiment("184.164.224.1".parse().unwrap(), None)
+            .is_none());
+    }
+
+    #[test]
+    fn remove_neighbor_cleans_up() {
+        let mut m = mux();
+        let vnh = m.vnh(N1).unwrap();
+        m.install_route(N1, prefix("10.0.0.0/8"));
+        m.remove_neighbor(N1);
+        assert_eq!(m.classify(vnh.mac), None);
+        assert_eq!(m.arp_answer(vnh.ip), None);
+        assert!(m
+            .egress_via_neighbor(N1, "10.0.0.1".parse().unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn remove_experiment_cleans_up() {
+        let mut m = mux();
+        let dmac = m.add_experiment(
+            X1,
+            PortId(7),
+            MacAddr::from_id(0x77),
+            Some("127.127.2.2".parse().unwrap()),
+        );
+        assert_eq!(m.classify(dmac), Some(MuxTarget::ExperimentDelivery(X1)));
+        m.remove_experiment(X1);
+        assert_eq!(m.classify(dmac), None);
+        assert_eq!(m.arp_answer("127.127.2.2".parse().unwrap()), None);
+    }
+}

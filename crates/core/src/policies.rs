@@ -1,0 +1,311 @@
+//! Generated speaker policies — the intent-compiled BIRD filters of the
+//! paper's deployment (§5's templating pipeline emits these; here they are
+//! constructed programmatically from the same inputs).
+//!
+//! Internal route tagging: imports stamp each route with a community in the
+//! platform's control namespace recording where it was learned
+//! (`ASN:20000` from a neighbor, `ASN:20001` from an experiment,
+//! `ASN:20002` via the backbone). Export policies dispatch on the tags —
+//! e.g. "never export neighbor-learned routes to neighbors" is the
+//! platform's no-transit guarantee (§7.4) — and strip the whole control
+//! namespace before anything reaches the Internet.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use peering_bgp::policy::{Action, Match, Policy, Rule, Verdict};
+use peering_bgp::types::Community;
+
+use crate::communities::{ControlCommunities, MAX_NEIGHBOR_ID};
+use crate::ids::NeighborId;
+
+/// Tag: route learned from an Internet neighbor.
+pub fn tag_from_neighbor(platform_asn: u16) -> Community {
+    Community::new(platform_asn, 20_000)
+}
+
+/// Tag: route announced by an experiment.
+pub fn tag_from_experiment(platform_asn: u16) -> Community {
+    Community::new(platform_asn, 20_001)
+}
+
+/// Tag: route relayed across the backbone mesh.
+pub fn tag_via_backbone(platform_asn: u16) -> Community {
+    Community::new(platform_asn, 20_002)
+}
+
+/// Import policy for a directly-attached neighbor: rewrite the next hop to
+/// the neighbor's virtual address (paper Fig. 2a steps 3–4) and tag.
+pub fn neighbor_import(platform_asn: u16, vnh_ip: Ipv4Addr) -> Policy {
+    Policy::new(
+        vec![Rule::transform(
+            Match::Any,
+            vec![
+                Action::SetNextHop(IpAddr::V4(vnh_ip)),
+                Action::AddCommunity(tag_from_neighbor(platform_asn)),
+            ],
+        )],
+        Verdict::Reject,
+    )
+}
+
+/// Export policy toward a neighbor `nbr`: community-steered experiment
+/// announcements only (paper §3.2.1), control namespace stripped.
+pub fn neighbor_export(cc: &ControlCommunities, nbr: NeighborId) -> Policy {
+    let strip = vec![Action::StripCommunitiesOf(cc.platform_asn)];
+    Policy::new(
+        vec![
+            // The platform is not a transit: neighbor-learned routes never
+            // go back out to neighbors.
+            Rule::reject(Match::HasCommunity(tag_from_neighbor(cc.platform_asn))),
+            // Blacklist: experiment said "not this neighbor".
+            Rule::reject(Match::HasCommunity(cc.do_not_announce_to(nbr))),
+            // Whitelist naming this neighbor: export (stripped).
+            Rule::transform(Match::HasCommunity(cc.announce_to(nbr)), strip.clone()),
+            // Some other whitelist present: this neighbor is not in the set.
+            Rule::reject(Match::HasCommunityInRange {
+                high: cc.platform_asn,
+                low_min: 0,
+                low_max: MAX_NEIGHBOR_ID as u16,
+            }),
+            // No steering: announce to all neighbors (stripped).
+            Rule::transform(Match::Any, strip),
+        ],
+        Verdict::Reject,
+    )
+}
+
+/// Import policy for an experiment session (applied after the enforcement
+/// engine's interposition): tag the route as experiment-announced.
+pub fn experiment_import(platform_asn: u16) -> Policy {
+    Policy::new(
+        vec![Rule::transform(
+            Match::Any,
+            vec![Action::AddCommunity(tag_from_experiment(platform_asn))],
+        )],
+        Verdict::Reject,
+    )
+}
+
+/// Export policy toward an experiment: every neighbor/backbone route (the
+/// ADD-PATH fan-out) but never other experiments' announcements —
+/// experiments are isolated from each other (§2.1). Internal tags are
+/// removed; neighbor-attached communities pass through as data.
+pub fn experiment_export(platform_asn: u16) -> Policy {
+    Policy::new(
+        vec![
+            Rule::reject(Match::HasCommunity(tag_from_experiment(platform_asn))),
+            Rule::transform(
+                Match::Any,
+                vec![
+                    Action::RemoveCommunity(tag_from_neighbor(platform_asn)),
+                    Action::RemoveCommunity(tag_via_backbone(platform_asn)),
+                ],
+            ),
+        ],
+        Verdict::Reject,
+    )
+}
+
+/// Import policy for a backbone (iBGP mesh) session: map each remote
+/// neighbor's global-pool next hop to the local virtual next hop allocated
+/// for it (§4.4's hop-by-hop rewrite). Unmapped next hops (remote
+/// experiment tunnels) stay global.
+pub fn backbone_import(mappings: &[(Ipv4Addr, Ipv4Addr)]) -> Policy {
+    let mut rules: Vec<Rule> = mappings
+        .iter()
+        .map(|(global, local)| {
+            Rule::amend(
+                Match::NextHopIs(IpAddr::V4(*global)),
+                vec![Action::SetNextHop(IpAddr::V4(*local))],
+            )
+        })
+        .collect();
+    rules.push(Rule::accept(Match::Any));
+    Policy::new(rules, Verdict::Accept)
+}
+
+/// Export policy toward a backbone peer: relay everything learned locally
+/// (never re-relay backbone routes — the mesh is full), translating local
+/// next hops (neighbor vNHs, experiment tunnel addresses) to their
+/// global-pool equivalents.
+pub fn backbone_export(platform_asn: u16, mappings: &[(Ipv4Addr, Ipv4Addr)]) -> Policy {
+    let mut rules = vec![Rule::reject(Match::HasCommunity(tag_via_backbone(
+        platform_asn,
+    )))];
+    for (local, global) in mappings {
+        rules.push(Rule::amend(
+            Match::NextHopIs(IpAddr::V4(*local)),
+            vec![Action::SetNextHop(IpAddr::V4(*global))],
+        ));
+    }
+    rules.push(Rule::transform(
+        Match::Any,
+        vec![Action::AddCommunity(tag_via_backbone(platform_asn))],
+    ));
+    Policy::new(rules, Verdict::Reject)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peering_bgp::attrs::{AsPath, PathAttributes};
+    use peering_bgp::rib::{PeerId, Route, RouteSource};
+    use peering_bgp::types::{prefix, Asn, Prefix, RouterId};
+
+    const ASN: u16 = 47065;
+
+    fn cc() -> ControlCommunities {
+        ControlCommunities::new(ASN)
+    }
+
+    fn route(p: Prefix, next_hop: IpAddr, communities: Vec<Community>) -> Route {
+        Route {
+            prefix: p,
+            path_id: 0,
+            attrs: PathAttributes {
+                as_path: AsPath::from_asns(&[Asn(61574)]),
+                next_hop: Some(next_hop),
+                communities,
+                ..Default::default()
+            },
+            source: RouteSource::Peer {
+                peer: PeerId(0),
+                ebgp: true,
+                router_id: RouterId(1),
+                addr: "10.0.0.1".parse().unwrap(),
+            },
+            stamp: 0,
+        }
+    }
+
+    #[test]
+    fn neighbor_import_rewrites_and_tags() {
+        let policy = neighbor_import(ASN, "127.65.0.1".parse().unwrap());
+        let r = route(prefix("192.168.0.0/24"), "1.1.1.1".parse().unwrap(), vec![]);
+        let attrs = policy.evaluate(&r).unwrap();
+        assert_eq!(attrs.next_hop, Some("127.65.0.1".parse().unwrap()));
+        assert!(attrs.has_community(tag_from_neighbor(ASN)));
+    }
+
+    #[test]
+    fn neighbor_export_no_transit() {
+        let policy = neighbor_export(&cc(), NeighborId(1));
+        let r = route(
+            prefix("192.168.0.0/24"),
+            "127.65.0.1".parse().unwrap(),
+            vec![tag_from_neighbor(ASN)],
+        );
+        assert!(
+            policy.evaluate(&r).is_none(),
+            "neighbor routes never transit"
+        );
+    }
+
+    #[test]
+    fn neighbor_export_steering_matrix() {
+        let n1 = NeighborId(1);
+        let n2 = NeighborId(2);
+        let p1 = neighbor_export(&cc(), n1);
+        let p2 = neighbor_export(&cc(), n2);
+        let exp_tag = tag_from_experiment(ASN);
+
+        // No steering: exported to both, tags stripped.
+        let r = route(
+            prefix("184.164.224.0/24"),
+            "10.9.0.2".parse().unwrap(),
+            vec![exp_tag],
+        );
+        let a1 = p1.evaluate(&r).unwrap();
+        assert!(p2.evaluate(&r).is_some());
+        assert!(a1.communities.is_empty(), "control namespace stripped");
+
+        // Whitelist n1: only n1.
+        let r = route(
+            prefix("184.164.224.0/24"),
+            "10.9.0.2".parse().unwrap(),
+            vec![exp_tag, cc().announce_to(n1)],
+        );
+        assert!(p1.evaluate(&r).is_some());
+        assert!(p2.evaluate(&r).is_none());
+
+        // Blacklist n2: all but n2.
+        let r = route(
+            prefix("184.164.224.0/24"),
+            "10.9.0.2".parse().unwrap(),
+            vec![exp_tag, cc().do_not_announce_to(n2)],
+        );
+        assert!(p1.evaluate(&r).is_some());
+        assert!(p2.evaluate(&r).is_none());
+    }
+
+    #[test]
+    fn experiment_export_isolates_experiments_and_keeps_data_communities() {
+        let policy = experiment_export(ASN);
+        // Another experiment's route: rejected.
+        let r = route(
+            prefix("184.164.226.0/24"),
+            "10.9.0.3".parse().unwrap(),
+            vec![tag_from_experiment(ASN)],
+        );
+        assert!(policy.evaluate(&r).is_none());
+        // A neighbor route: accepted, internal tags dropped, neighbor's own
+        // communities preserved.
+        let data_comm = Community::new(3356, 7);
+        let r = route(
+            prefix("192.168.0.0/24"),
+            "127.65.0.1".parse().unwrap(),
+            vec![tag_from_neighbor(ASN), data_comm],
+        );
+        let attrs = policy.evaluate(&r).unwrap();
+        assert_eq!(attrs.communities, vec![data_comm]);
+    }
+
+    #[test]
+    fn backbone_round_trip_mapping() {
+        let vnh: Ipv4Addr = "127.65.0.1".parse().unwrap();
+        let global: Ipv4Addr = "127.127.0.5".parse().unwrap();
+        let export = backbone_export(ASN, &[(vnh, global)]);
+        let import = backbone_import(&[(global, vnh)]);
+
+        let r = route(
+            prefix("192.168.0.0/24"),
+            IpAddr::V4(vnh),
+            vec![tag_from_neighbor(ASN)],
+        );
+        let exported = export.evaluate(&r).unwrap();
+        assert_eq!(exported.next_hop, Some(IpAddr::V4(global)));
+        assert!(exported.has_community(tag_via_backbone(ASN)));
+
+        // The receiving PoP maps it back to its own local pool address.
+        let mut relayed = r.clone();
+        relayed.attrs = exported;
+        let imported = import.evaluate(&relayed).unwrap();
+        assert_eq!(imported.next_hop, Some(IpAddr::V4(vnh)));
+    }
+
+    #[test]
+    fn backbone_export_refuses_relay_of_backbone_routes() {
+        let export = backbone_export(ASN, &[]);
+        let r = route(
+            prefix("192.168.0.0/24"),
+            "127.127.0.9".parse().unwrap(),
+            vec![tag_via_backbone(ASN)],
+        );
+        assert!(export.evaluate(&r).is_none(), "full mesh: no re-relay");
+    }
+
+    #[test]
+    fn backbone_import_leaves_unmapped_next_hops_global() {
+        let import = backbone_import(&[(
+            "127.127.0.5".parse().unwrap(),
+            "127.65.0.1".parse().unwrap(),
+        )]);
+        let r = route(
+            prefix("184.164.224.0/24"),
+            "127.127.1.7".parse().unwrap(), // a remote experiment tunnel
+            vec![tag_from_experiment(ASN), tag_via_backbone(ASN)],
+        );
+        let attrs = import.evaluate(&r).unwrap();
+        assert_eq!(attrs.next_hop, Some("127.127.1.7".parse().unwrap()));
+    }
+}

@@ -1,0 +1,705 @@
+//! The complete vBGP edge router as a simulator node (paper §3, Fig. 3).
+//!
+//! [`VbgpRouter`] composes the pieces exactly as the paper's architecture
+//! does:
+//!
+//! * the **routing engine** — a [`peering_bgp::Speaker`] wrapped in a
+//!   [`BgpHost`] (the BIRD role), with per-session generated policies from
+//!   [`crate::policies`];
+//! * the **control-plane enforcement engine** — interposed between
+//!   experiment sessions and the routing engine via the transport's
+//!   interposition hook (the ExaBGP role, §3.3);
+//! * the **data-plane enforcement engine** — consulted on every packet an
+//!   experiment sends (the eBPF role, §3.3);
+//! * the **mux** — per-neighbor tables, MAC classification, the virtual
+//!   next-hop ARP responder, and source-MAC rewriting (§3.2.2, §4.4).
+//!
+//! The router makes no routing decisions of its own: experiments do
+//! (§3.2.2 "Because all routing decisions are delegated to experiments").
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use peering_bgp::policy::Policy;
+use peering_bgp::rib::{PeerId, Route};
+use peering_bgp::speaker::{PeerConfig, Speaker, SpeakerConfig};
+use peering_bgp::types::{Asn, PathId, Prefix, RouterId};
+use peering_netsim::arp::{ArpOp, ArpPacket};
+use peering_netsim::{
+    Ctx, EtherFrame, EtherType, IcmpPacket, IpPacket, IpProto, MacAddr, Node, PortId, SimDuration,
+};
+
+use crate::communities::ControlCommunities;
+use crate::enforcement::control::{ControlEnforcer, ExperimentPolicy};
+use crate::enforcement::data::{DataEnforcer, ExperimentDataPolicy};
+use crate::ids::{ExperimentId, NeighborId, PopId};
+use crate::mux::{Egress, MuxTarget, VbgpMux};
+use crate::policies;
+use crate::transport::{BgpHost, Endpoint, HostEvent};
+use crate::vnh::{self, global_ip};
+
+/// The relationship with a neighbor (paper §4.2's interconnection types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborKind {
+    /// A transit provider (full table, reaches everything).
+    Transit,
+    /// A bilateral peer (its customer cone).
+    Peer,
+    /// An IXP route server (multilateral peering).
+    RouteServer,
+}
+
+/// Configuration for one directly-attached BGP neighbor.
+#[derive(Debug, Clone)]
+pub struct NeighborConfig {
+    /// Platform-wide neighbor id (also the community steering handle).
+    pub id: NeighborId,
+    /// The neighbor's ASN.
+    pub asn: Asn,
+    /// Interconnection type.
+    pub kind: NeighborKind,
+    /// Port the neighbor is reached on (dedicated or shared IXP fabric).
+    pub port: PortId,
+    /// The neighbor router's MAC.
+    pub remote_mac: MacAddr,
+    /// Our address on the session.
+    pub local_addr: Ipv4Addr,
+    /// The neighbor's address (its real next hop, e.g. `1.1.1.1` in Fig. 2).
+    pub remote_addr: Ipv4Addr,
+    /// Platform-global index for the §4.4 pool (`127.127/16`).
+    pub global_index: u16,
+    /// Open passively.
+    pub passive: bool,
+}
+
+/// Configuration for one experiment attachment (a VPN tunnel in the paper).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The experiment.
+    pub id: ExperimentId,
+    /// The experiment's ASN.
+    pub asn: Asn,
+    /// The tunnel port.
+    pub port: PortId,
+    /// The experiment router's MAC.
+    pub remote_mac: MacAddr,
+    /// Our tunnel-side address.
+    pub local_addr: Ipv4Addr,
+    /// The experiment's tunnel-side address.
+    pub remote_addr: Ipv4Addr,
+    /// Platform-global index for delivering its traffic across the
+    /// backbone (`None` for single-PoP experiments).
+    pub global_index: Option<u16>,
+    /// Control-plane allocations/capabilities.
+    pub policy: ExperimentPolicy,
+    /// Data-plane policy (anti-spoof sources, shaping).
+    pub data: ExperimentDataPolicy,
+}
+
+/// A neighbor at another PoP, reachable over a backbone session (§4.4).
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteNeighbor {
+    /// Its platform-wide id.
+    pub id: NeighborId,
+    /// Its global-pool index.
+    pub global_index: u16,
+}
+
+/// Configuration for a backbone (iBGP mesh) session to another PoP.
+#[derive(Debug, Clone)]
+pub struct BackboneConfig {
+    /// Backbone port for this PoP pair.
+    pub port: PortId,
+    /// The remote vBGP router's MAC on that segment.
+    pub remote_mac: MacAddr,
+    /// Our backbone address.
+    pub local_addr: Ipv4Addr,
+    /// The remote router's backbone address.
+    pub remote_addr: Ipv4Addr,
+    /// The neighbors attached at the remote PoP (intent-based central
+    /// config, §5).
+    pub remote_neighbors: Vec<RemoteNeighbor>,
+    /// Open passively (one side of each pair initiates).
+    pub passive: bool,
+}
+
+/// What a learned route was installed as in the mux.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Installed {
+    NeighborRoute(NeighborId),
+    DeliveryEntry,
+}
+
+/// Router counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterStats {
+    /// Packets dropped by the data-plane enforcement engine.
+    pub data_blocked: u64,
+    /// Packets dropped for TTL expiry.
+    pub ttl_expired: u64,
+    /// Packets dropped with no matching route or delivery entry.
+    pub no_route: u64,
+    /// Updates dropped (fully) by the control-plane engine.
+    pub updates_blocked: u64,
+    /// Updates passed (possibly partially) to the routing engine.
+    pub updates_passed: u64,
+}
+
+const TOKEN_ARP_RETRY: u64 = 1;
+
+/// The virtualized edge router.
+pub struct VbgpRouter {
+    pop: PopId,
+    asn: Asn,
+    cc: ControlCommunities,
+    /// The routing engine + transport.
+    pub host: BgpHost,
+    /// The data-plane mux.
+    pub mux: VbgpMux,
+    /// Control-plane enforcement.
+    pub control: ControlEnforcer,
+    /// Data-plane enforcement.
+    pub data: DataEnforcer,
+    /// Counters.
+    pub stats: RouterStats,
+    port_macs: HashMap<PortId, MacAddr>,
+    iface_ips: HashMap<Ipv4Addr, (PortId, MacAddr)>,
+    neighbor_peers: HashMap<PeerId, NeighborId>,
+    exp_peers: HashMap<PeerId, ExperimentId>,
+    exp_ports: HashMap<PortId, ExperimentId>,
+    exp_tunnel_addr: HashMap<ExperimentId, Ipv4Addr>,
+    exp_global: HashMap<ExperimentId, Ipv4Addr>,
+    backbone_peers: HashSet<PeerId>,
+    ingress_neighbor: HashMap<(PortId, MacAddr), NeighborId>,
+    local_neighbor_globals: Vec<(Ipv4Addr, Ipv4Addr)>, // (vnh local, global)
+    installed: HashMap<(PeerId, Prefix, PathId), Installed>,
+    next_peer: u32,
+    started: bool,
+}
+
+impl VbgpRouter {
+    /// Create a router for a PoP.
+    pub fn new(
+        pop: PopId,
+        asn: Asn,
+        router_id: RouterId,
+        control: ControlEnforcer,
+        data: DataEnforcer,
+    ) -> Self {
+        assert!(asn.is_2byte(), "platform ASN must fit the community scheme");
+        let cc = ControlCommunities::new(asn.0 as u16);
+        let speaker = Speaker::new(SpeakerConfig { asn, router_id });
+        VbgpRouter {
+            pop,
+            asn,
+            cc,
+            host: BgpHost::new(speaker),
+            mux: VbgpMux::new(),
+            control,
+            data,
+            stats: RouterStats::default(),
+            port_macs: HashMap::new(),
+            iface_ips: HashMap::new(),
+            neighbor_peers: HashMap::new(),
+            exp_peers: HashMap::new(),
+            exp_ports: HashMap::new(),
+            exp_tunnel_addr: HashMap::new(),
+            exp_global: HashMap::new(),
+            backbone_peers: HashSet::new(),
+            ingress_neighbor: HashMap::new(),
+            local_neighbor_globals: Vec::new(),
+            installed: HashMap::new(),
+            next_peer: 0,
+            started: false,
+        }
+    }
+
+    /// The PoP this router serves.
+    pub fn pop(&self) -> PopId {
+        self.pop
+    }
+
+    /// The platform ASN.
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// The control-community codec.
+    pub fn control_communities(&self) -> ControlCommunities {
+        self.cc
+    }
+
+    /// Declare a port and the MAC this router uses on it.
+    pub fn set_port_mac(&mut self, port: PortId, mac: MacAddr) {
+        self.port_macs.insert(port, mac);
+    }
+
+    fn port_mac(&self, port: PortId) -> MacAddr {
+        self.port_macs
+            .get(&port)
+            .copied()
+            .unwrap_or_else(|| panic!("port {port:?} has no MAC configured"))
+    }
+
+    fn alloc_peer(&mut self) -> PeerId {
+        let id = PeerId(self.next_peer);
+        self.next_peer += 1;
+        id
+    }
+
+    /// Register a directly-attached neighbor.
+    pub fn add_neighbor(&mut self, cfg: NeighborConfig) -> PeerId {
+        let local_mac = self.port_mac(cfg.port);
+        let vnh = self.mux.add_local_neighbor(
+            cfg.id,
+            cfg.port,
+            cfg.remote_mac,
+            Some(global_ip(cfg.global_index)),
+        );
+        self.local_neighbor_globals
+            .push((vnh.ip, global_ip(cfg.global_index)));
+        let peer = self.alloc_peer();
+        let mut peer_cfg = PeerConfig::ebgp(cfg.asn, cfg.remote_addr.into(), cfg.local_addr.into())
+            .with_import(policies::neighbor_import(self.cc.platform_asn, vnh.ip))
+            .with_export(policies::neighbor_export(&self.cc, cfg.id));
+        if cfg.passive {
+            peer_cfg = peer_cfg.with_passive();
+        }
+        self.host.add_session(
+            peer,
+            peer_cfg,
+            Endpoint {
+                port: cfg.port,
+                local_mac,
+                remote_mac: cfg.remote_mac,
+            },
+            false,
+        );
+        self.neighbor_peers.insert(peer, cfg.id);
+        self.iface_ips.insert(cfg.local_addr, (cfg.port, local_mac));
+        self.ingress_neighbor
+            .insert((cfg.port, cfg.remote_mac), cfg.id);
+        peer
+    }
+
+    /// Attach an experiment (its session is interposed by the control-plane
+    /// enforcement engine).
+    pub fn add_experiment(&mut self, cfg: ExperimentConfig) -> PeerId {
+        let local_mac = self.port_mac(cfg.port);
+        let global = cfg.global_index.map(global_ip);
+        self.mux
+            .add_experiment(cfg.id, cfg.port, cfg.remote_mac, global);
+        if let Some(g) = global {
+            self.exp_global.insert(cfg.id, g);
+        }
+        self.control.set_experiment(cfg.id, cfg.policy);
+        self.data.set_experiment(cfg.id, cfg.data);
+        let peer = self.alloc_peer();
+        let peer_cfg = PeerConfig::ebgp(cfg.asn, cfg.remote_addr.into(), cfg.local_addr.into())
+            .with_all_paths()
+            .with_next_hop_unchanged()
+            .with_passive()
+            .with_import(policies::experiment_import(self.cc.platform_asn))
+            .with_export(policies::experiment_export(self.cc.platform_asn));
+        self.host.add_session(
+            peer,
+            peer_cfg,
+            Endpoint {
+                port: cfg.port,
+                local_mac,
+                remote_mac: cfg.remote_mac,
+            },
+            true,
+        );
+        self.exp_peers.insert(peer, cfg.id);
+        self.exp_ports.insert(cfg.port, cfg.id);
+        self.exp_tunnel_addr.insert(cfg.id, cfg.remote_addr);
+        self.iface_ips.insert(cfg.local_addr, (cfg.port, local_mac));
+        self.refresh_backbone_exports();
+        peer
+    }
+
+    /// Deconfigure a directly-attached neighbor at runtime (the §5
+    /// interconnection-management operation): the session is closed, the
+    /// virtual next hop released, and the neighbor's routes leave every
+    /// experiment's view through normal withdrawal processing.
+    pub fn remove_neighbor(&mut self, ctx: &mut Ctx<'_>, id: NeighborId) {
+        let Some((&peer, _)) = self.neighbor_peers.iter().find(|(_, n)| **n == id) else {
+            return;
+        };
+        let events = self.host.remove_session(ctx, peer);
+        self.process_events(ctx, events);
+        self.neighbor_peers.remove(&peer);
+        self.ingress_neighbor.retain(|_, n| *n != id);
+        if let Some(vnh) = self.mux.vnh(id) {
+            self.local_neighbor_globals.retain(|(l, _)| *l != vnh.ip);
+        }
+        self.mux.remove_neighbor(id);
+    }
+
+    /// Detach an experiment (tunnel closed / allocation ended).
+    pub fn remove_experiment(&mut self, ctx: &mut Ctx<'_>, id: ExperimentId) {
+        let Some((&peer, _)) = self.exp_peers.iter().find(|(_, e)| **e == id) else {
+            return;
+        };
+        let events = self.host.remove_session(ctx, peer);
+        self.process_events(ctx, events);
+        self.exp_peers.remove(&peer);
+        self.exp_ports.retain(|_, e| *e != id);
+        self.exp_tunnel_addr.remove(&id);
+        self.exp_global.remove(&id);
+        self.mux.remove_experiment(id);
+        self.control.remove_experiment(id);
+        self.data.remove_experiment(id);
+        self.refresh_backbone_exports();
+    }
+
+    /// Register a backbone session to another PoP.
+    pub fn add_backbone_peer(&mut self, cfg: BackboneConfig) -> PeerId {
+        let local_mac = self.port_mac(cfg.port);
+        let mut import_map = Vec::new();
+        for rn in &cfg.remote_neighbors {
+            let gip = global_ip(rn.global_index);
+            let vnh = self.mux.add_remote_neighbor(rn.id, cfg.port, gip);
+            import_map.push((gip, vnh.ip));
+        }
+        let peer = self.alloc_peer();
+        // iBGP: the remote PoP shares the platform ASN.
+        let mut peer_cfg =
+            PeerConfig::ebgp(self.asn, cfg.remote_addr.into(), cfg.local_addr.into())
+                .with_all_paths()
+                .with_next_hop_unchanged()
+                .with_import(policies::backbone_import(&import_map))
+                .with_export(self.backbone_export_policy());
+        if cfg.passive {
+            peer_cfg = peer_cfg.with_passive();
+        }
+        self.host.add_session(
+            peer,
+            peer_cfg,
+            Endpoint {
+                port: cfg.port,
+                local_mac,
+                remote_mac: cfg.remote_mac,
+            },
+            false,
+        );
+        self.backbone_peers.insert(peer);
+        self.iface_ips.insert(cfg.local_addr, (cfg.port, local_mac));
+        peer
+    }
+
+    fn backbone_export_policy(&self) -> Policy {
+        let mut mappings = self.local_neighbor_globals.clone();
+        for (exp, global) in &self.exp_global {
+            if let Some(tunnel) = self.exp_tunnel_addr.get(exp) {
+                mappings.push((*tunnel, *global));
+            }
+        }
+        policies::backbone_export(self.cc.platform_asn, &mappings)
+    }
+
+    fn refresh_backbone_exports(&mut self) {
+        let policy = self.backbone_export_policy();
+        let peers: Vec<PeerId> = self.backbone_peers.iter().copied().collect();
+        for peer in peers {
+            // Outputs (re-advertisements) are applied next time the node
+            // runs in a ctx; here we only swap policies for future routes.
+            // The platform attaches experiments before starting sessions,
+            // so in practice nothing has been advertised yet.
+            let _ = self.host.speaker.set_export_policy(peer, policy.clone());
+        }
+    }
+
+    /// Start one session (used when sessions are added after [`Self::start`],
+    /// e.g. an experiment attaching to a running PoP — §4.6's "without
+    /// disrupting ongoing experiments or running BGP sessions").
+    pub fn start_session(&mut self, ctx: &mut Ctx<'_>, peer: PeerId) {
+        let events = self.host.start(ctx, peer);
+        self.process_events(ctx, events);
+    }
+
+    /// Start every configured session and prefetch backbone ARP bindings.
+    /// Call once, via [`peering_netsim::Simulator::with_node_ctx`].
+    pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.started = true;
+        let peers = self.host.speaker.peer_ids();
+        for peer in peers {
+            let events = self.host.start(ctx, peer);
+            self.process_events(ctx, events);
+        }
+        self.arp_prefetch(ctx);
+    }
+
+    fn arp_prefetch(&mut self, ctx: &mut Ctx<'_>) {
+        let pending = self.mux.unresolved_globals();
+        for (port, gip) in &pending {
+            let mac = self.port_mac(*port);
+            let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, *gip);
+            ctx.send_frame(
+                *port,
+                EtherFrame::new(MacAddr::BROADCAST, mac, EtherType::Arp, req.encode()),
+            );
+        }
+        if !pending.is_empty() {
+            ctx.set_timer(SimDuration::from_secs(1), TOKEN_ARP_RETRY);
+        }
+    }
+
+    fn process_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<HostEvent>) {
+        for event in events {
+            match event {
+                HostEvent::InterposedUpdate(peer, update) => {
+                    let Some(&exp) = self.exp_peers.get(&peer) else {
+                        continue;
+                    };
+                    let (compliant, rejections) =
+                        self.control.check_update(exp, &update, ctx.now());
+                    if compliant.announce.is_empty()
+                        && compliant.withdrawn.is_empty()
+                        && !update.is_end_of_rib()
+                        && !rejections.is_empty()
+                    {
+                        self.stats.updates_blocked += 1;
+                        continue;
+                    }
+                    self.stats.updates_passed += 1;
+                    let more = self.host.deliver(ctx, peer, compliant);
+                    self.process_events(ctx, more);
+                }
+                HostEvent::RouteLearned(peer, route) => self.on_route_learned(ctx, peer, route),
+                HostEvent::RouteWithdrawn(peer, prefix, path_id) => {
+                    self.on_route_withdrawn(peer, prefix, path_id)
+                }
+                HostEvent::SessionUp(_) | HostEvent::SessionDown(_, _) => {}
+            }
+        }
+    }
+
+    fn on_route_learned(&mut self, ctx: &mut Ctx<'_>, peer: PeerId, route: Route) {
+        let key = (peer, route.prefix, route.path_id);
+        // Replacement: remove the previous installation first.
+        if let Some(old) = self.installed.remove(&key) {
+            self.uninstall(old, route.prefix);
+        }
+        let installed = if let Some(&exp) = self.exp_peers.get(&peer) {
+            self.mux.install_delivery_local(route.prefix, exp);
+            Some(Installed::DeliveryEntry)
+        } else {
+            match route.attrs.next_hop {
+                Some(std::net::IpAddr::V4(nh)) if vnh::is_local(nh) => {
+                    // A neighbor route (local or backbone-mapped): steer into
+                    // the owning neighbor's table.
+                    self.mux.vnh_neighbor(nh).map(|nbr| {
+                        self.mux.install_route(nbr, route.prefix);
+                        Installed::NeighborRoute(nbr)
+                    })
+                }
+                Some(std::net::IpAddr::V4(nh)) if vnh::is_global(nh) => {
+                    // A remote experiment's prefix: deliverable across the
+                    // backbone. Prefetch the global address's MAC so the
+                    // first delivered packet is not lost to resolution.
+                    let port = self
+                        .host
+                        .endpoint(peer)
+                        .map(|ep| ep.port)
+                        .unwrap_or(PortId(0));
+                    self.mux.install_delivery_remote(route.prefix, port, nh);
+                    let mac = self.port_mac(port);
+                    let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, nh);
+                    ctx.send_frame(
+                        port,
+                        EtherFrame::new(MacAddr::BROADCAST, mac, EtherType::Arp, req.encode()),
+                    );
+                    Some(Installed::DeliveryEntry)
+                }
+                _ => None,
+            }
+        };
+        if let Some(installed) = installed {
+            self.installed.insert(key, installed);
+        }
+    }
+
+    fn on_route_withdrawn(&mut self, peer: PeerId, prefix: Prefix, path_id: PathId) {
+        if let Some(installed) = self.installed.remove(&(peer, prefix, path_id)) {
+            self.uninstall(installed, prefix);
+        }
+    }
+
+    fn uninstall(&mut self, installed: Installed, prefix: Prefix) {
+        match installed {
+            Installed::NeighborRoute(nbr) => self.mux.remove_route(nbr, prefix),
+            Installed::DeliveryEntry => self.mux.remove_delivery(prefix),
+        }
+    }
+
+    fn on_arp(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &EtherFrame) {
+        let Some(packet) = ArpPacket::decode(&frame.payload) else {
+            return;
+        };
+        match packet.op {
+            ArpOp::Request => {
+                let answer = self
+                    .mux
+                    .arp_answer(packet.target_ip)
+                    .or_else(|| self.iface_ips.get(&packet.target_ip).map(|(_, mac)| *mac));
+                if let Some(mac) = answer {
+                    let reply = ArpPacket::reply_to(&packet, mac);
+                    ctx.send_frame(
+                        port,
+                        EtherFrame::new(packet.sender_mac, mac, EtherType::Arp, reply.encode()),
+                    );
+                }
+            }
+            ArpOp::Reply => {
+                if vnh::is_global(packet.sender_ip) {
+                    self.mux
+                        .note_resolution(packet.sender_ip, packet.sender_mac);
+                }
+            }
+        }
+    }
+
+    /// RFC 792 time-exceeded, sourced from the ingress interface's address
+    /// (the *primary* address, which is exactly why the paper's network
+    /// controller repairs address ordering — §5). Deliverable only when the
+    /// probe source is an experiment prefix the platform knows.
+    fn send_time_exceeded(&mut self, ctx: &mut Ctx<'_>, expired: &IpPacket, ingress: PortId) {
+        let Some((&our_addr, _)) = self.iface_ips.iter().find(|(_, (p, _))| *p == ingress) else {
+            return;
+        };
+        let te = IcmpPacket::time_exceeded_for(expired);
+        let reply = IpPacket::new(our_addr, expired.header.src, IpProto::Icmp, te.encode());
+        match self.mux.deliver_to_experiment(reply.header.dst, None) {
+            Some((Egress::Frame { port: out, dst_mac }, _, _)) => {
+                let src = self.port_mac(out);
+                ctx.send_frame(
+                    out,
+                    EtherFrame::new(dst_mac, src, EtherType::Ipv4, reply.encode()),
+                );
+            }
+            _ => {
+                self.stats.no_route += 1;
+            }
+        }
+    }
+
+    fn on_ip(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &EtherFrame) {
+        let Some(mut pkt) = IpPacket::decode(&frame.payload) else {
+            return;
+        };
+        match self.mux.classify(frame.dst) {
+            Some(MuxTarget::NeighborTable(nbr)) => {
+                // An experiment (or a remote PoP) steered this packet into a
+                // specific neighbor's table (Fig. 2b steps 8–10).
+                if let Some(&exp) = self.exp_ports.get(&port) {
+                    let verdict = self.data.check_egress(
+                        exp,
+                        pkt.header.src.into(),
+                        frame.wire_len(),
+                        Some(nbr),
+                        ctx.now(),
+                    );
+                    if !verdict.is_allow() {
+                        self.stats.data_blocked += 1;
+                        return;
+                    }
+                }
+                if !pkt.decrement_ttl() {
+                    self.stats.ttl_expired += 1;
+                    self.send_time_exceeded(ctx, &pkt, port);
+                    return;
+                }
+                match self.mux.egress_via_neighbor(nbr, pkt.header.dst) {
+                    Some(Egress::Frame { port: out, dst_mac }) => {
+                        let src = self.port_mac(out);
+                        ctx.send_frame(
+                            out,
+                            EtherFrame::new(dst_mac, src, EtherType::Ipv4, pkt.encode()),
+                        );
+                    }
+                    Some(Egress::Unresolved {
+                        port: out,
+                        global_ip,
+                    }) => {
+                        // Trigger resolution; the packet is dropped (the
+                        // paper's deployment would also drop pre-ARP).
+                        let mac = self.port_mac(out);
+                        let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, global_ip);
+                        ctx.send_frame(
+                            out,
+                            EtherFrame::new(MacAddr::BROADCAST, mac, EtherType::Arp, req.encode()),
+                        );
+                    }
+                    None => self.stats.no_route += 1,
+                }
+            }
+            Some(MuxTarget::ExperimentDelivery(_)) | None => {
+                // Traffic toward an experiment prefix: from a neighbor (dst
+                // is our port MAC), or from the backbone (dst is a delivery
+                // MAC).
+                let from_neighbor = self.ingress_neighbor.get(&(port, frame.src)).copied();
+                if !pkt.decrement_ttl() {
+                    self.stats.ttl_expired += 1;
+                    return;
+                }
+                match self
+                    .mux
+                    .deliver_to_experiment(pkt.header.dst, from_neighbor)
+                {
+                    Some((Egress::Frame { port: out, dst_mac }, src_rewrite, _exp)) => {
+                        let src = src_rewrite.unwrap_or_else(|| self.port_mac(out));
+                        ctx.send_frame(
+                            out,
+                            EtherFrame::new(dst_mac, src, EtherType::Ipv4, pkt.encode()),
+                        );
+                    }
+                    Some((
+                        Egress::Unresolved {
+                            port: out,
+                            global_ip,
+                        },
+                        _,
+                        _,
+                    )) => {
+                        let mac = self.port_mac(out);
+                        let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, global_ip);
+                        ctx.send_frame(
+                            out,
+                            EtherFrame::new(MacAddr::BROADCAST, mac, EtherType::Arp, req.encode()),
+                        );
+                    }
+                    None => self.stats.no_route += 1,
+                }
+            }
+        }
+    }
+}
+
+impl Node for VbgpRouter {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: EtherFrame) {
+        if let Some(events) = self.host.on_frame(ctx, port, &frame) {
+            self.process_events(ctx, events);
+            return;
+        }
+        match frame.ethertype {
+            EtherType::Arp => self.on_arp(ctx, port, &frame),
+            EtherType::Ipv4 => self.on_ip(ctx, port, &frame),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if BgpHost::owns_timer(token) {
+            let events = self.host.on_timer(ctx, token);
+            self.process_events(ctx, events);
+        } else if token == TOKEN_ARP_RETRY {
+            self.arp_prefetch(ctx);
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("vbgp-router {} {}", self.pop, self.asn)
+    }
+}

@@ -1,0 +1,171 @@
+//! Ethernet II frames.
+//!
+//! Frames are what links, switches and the vBGP mux exchange. The payload is
+//! an owned byte buffer; higher layers (ARP, IPv4) provide wire-level
+//! encode/decode so the simulator carries real packet bytes end to end.
+
+use bytes::Bytes;
+use std::fmt;
+
+use crate::mac::MacAddr;
+
+/// The EtherType of a frame's payload.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// IPv6 (0x86DD).
+    Ipv6,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86DD,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parse from the 16-bit wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86DD => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II frame.
+#[derive(Clone, PartialEq, Eq)]
+pub struct EtherFrame {
+    /// Destination MAC. In vBGP this encodes the experiment's egress choice.
+    pub dst: MacAddr,
+    /// Source MAC. vBGP rewrites this on inbound traffic so experiments can
+    /// see which neighbor delivered a packet.
+    pub src: MacAddr,
+    /// Payload type.
+    pub ethertype: EtherType,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Ethernet header length in bytes (no 802.1Q, matching smoltcp's scope).
+pub const ETHER_HEADER_LEN: usize = 14;
+
+impl EtherFrame {
+    /// Build a frame.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Bytes) -> Self {
+        EtherFrame {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
+    }
+
+    /// Total wire length (header + payload), used for serialization delay and
+    /// byte counters.
+    pub fn wire_len(&self) -> usize {
+        ETHER_HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse from wire bytes. Returns `None` if shorter than a header.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < ETHER_HEADER_LEN {
+            return None;
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]]));
+        Some(EtherFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+            payload: Bytes::copy_from_slice(&buf[ETHER_HEADER_LEN..]),
+        })
+    }
+}
+
+impl fmt::Debug for EtherFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EtherFrame {{ {} -> {}, {:?}, {} bytes }}",
+            self.src,
+            self.dst,
+            self.ethertype,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for et in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::Ipv6,
+            EtherType::Other(0x1234),
+        ] {
+            assert_eq!(EtherType::from_u16(et.to_u16()), et);
+        }
+    }
+
+    #[test]
+    fn frame_encode_decode_roundtrip() {
+        let frame = EtherFrame::new(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            EtherType::Ipv4,
+            Bytes::from_static(b"hello world"),
+        );
+        let bytes = frame.encode();
+        assert_eq!(bytes.len(), frame.wire_len());
+        let parsed = EtherFrame::decode(&bytes).unwrap();
+        assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        assert!(EtherFrame::decode(&[0u8; 13]).is_none());
+        assert!(EtherFrame::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn decode_empty_payload() {
+        let frame = EtherFrame::new(
+            MacAddr::BROADCAST,
+            MacAddr::from_id(7),
+            EtherType::Arp,
+            Bytes::new(),
+        );
+        let parsed = EtherFrame::decode(&frame.encode()).unwrap();
+        assert!(parsed.payload.is_empty());
+        assert_eq!(parsed.dst, MacAddr::BROADCAST);
+    }
+}

@@ -1,0 +1,325 @@
+//! Point-to-point links with latency, bandwidth and fault injection.
+//!
+//! Links model the physics the paper's deployment inherits from real networks:
+//! propagation delay, serialization delay (bandwidth), a bounded transmit
+//! queue (tail drop), and — following smoltcp's example programs — optional
+//! fault injection (random loss and corruption) for robustness testing.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration of one link direction (links are symmetric by default but
+/// each direction keeps independent queue state).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Capacity in bits per second. `None` means infinite (zero serialization
+    /// delay), useful for control-plane-only topologies.
+    pub bandwidth_bps: Option<u64>,
+    /// Maximum bytes that may be queued awaiting serialization before tail
+    /// drop kicks in. Ignored when bandwidth is infinite.
+    pub queue_bytes: usize,
+    /// Fault injection knobs.
+    pub faults: FaultInjector,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: SimDuration::from_micros(50),
+            bandwidth_bps: None,
+            queue_bytes: 256 * 1024,
+            faults: FaultInjector::default(),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A link with the given latency and no bandwidth limit.
+    pub fn with_latency(latency: SimDuration) -> Self {
+        LinkConfig {
+            latency,
+            ..Default::default()
+        }
+    }
+
+    /// A provisioned link: latency plus a bandwidth cap, as used for the
+    /// PEERING backbone VLANs over Internet2 AL2S (§4.3.1).
+    pub fn provisioned(latency: SimDuration, bandwidth_bps: u64) -> Self {
+        LinkConfig {
+            latency,
+            bandwidth_bps: Some(bandwidth_bps),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: set fault injection.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder: set the queue bound.
+    pub fn with_queue_bytes(mut self, bytes: usize) -> Self {
+        self.queue_bytes = bytes;
+        self
+    }
+
+    /// Serialization delay for a frame of `len` bytes.
+    pub fn serialization_delay(&self, len: usize) -> SimDuration {
+        match self.bandwidth_bps {
+            None => SimDuration::ZERO,
+            Some(0) => SimDuration::from_secs(u64::MAX / 2_000_000_000), // effectively never
+            Some(bps) => {
+                SimDuration::from_nanos((len as u64 * 8).saturating_mul(1_000_000_000) / bps)
+            }
+        }
+    }
+}
+
+/// Random loss / corruption knobs, mirroring smoltcp's `--drop-chance` and
+/// `--corrupt-chance` example options. Probabilities are in percent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultInjector {
+    /// Percent chance a frame is silently dropped.
+    pub drop_pct: u8,
+    /// Percent chance one octet of the payload is flipped.
+    pub corrupt_pct: u8,
+    /// Frames larger than this are dropped (`None` disables).
+    pub size_limit: Option<usize>,
+    /// Apply loss/corruption only to data-plane frames (IPv4/IPv6). BGP
+    /// control traffic rides TCP in the real system, which retransmits;
+    /// exempting it models that reliability without simulating TCP for
+    /// every session.
+    pub data_plane_only: bool,
+}
+
+impl FaultInjector {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Drop with the given percent probability.
+    pub fn dropping(drop_pct: u8) -> Self {
+        FaultInjector {
+            drop_pct,
+            ..Default::default()
+        }
+    }
+
+    /// Restrict faults to data-plane (IP) frames.
+    pub fn data_plane_only(mut self) -> Self {
+        self.data_plane_only = true;
+        self
+    }
+}
+
+/// Per-direction counters, exposed for experiments and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Frames handed to the link.
+    pub tx_frames: u64,
+    /// Bytes handed to the link.
+    pub tx_bytes: u64,
+    /// Frames delivered to the far end.
+    pub delivered_frames: u64,
+    /// Frames lost to fault injection.
+    pub faulted_frames: u64,
+    /// Frames lost to queue overflow.
+    pub overflow_frames: u64,
+}
+
+/// Internal per-direction state of a link.
+#[derive(Debug)]
+pub struct Link {
+    /// Configuration shared by both directions.
+    pub config: LinkConfig,
+    /// Time each direction's transmitter becomes free.
+    pub next_free: [SimTime; 2],
+    /// Per-direction stats.
+    pub stats: [LinkStats; 2],
+}
+
+/// Outcome of offering a frame to a link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Frame will arrive at the far end at the given time.
+    Deliver(SimTime),
+    /// Frame was dropped (queue overflow or fault injection).
+    Dropped,
+}
+
+impl Link {
+    /// Create a link from a config.
+    pub fn new(config: LinkConfig) -> Self {
+        Link {
+            config,
+            next_free: [SimTime::ZERO; 2],
+            stats: [LinkStats::default(); 2],
+        }
+    }
+
+    /// Offer a frame of `len` bytes to direction `dir` at time `now`.
+    /// `drop_roll` and `corrupt_roll` are pre-drawn uniform [0,100) values so
+    /// the link itself holds no RNG (keeps the simulator's RNG the single
+    /// source of randomness).
+    pub fn transmit(
+        &mut self,
+        dir: usize,
+        now: SimTime,
+        len: usize,
+        drop_roll: u8,
+        corrupt_roll: u8,
+    ) -> (TxOutcome, bool) {
+        self.transmit_typed(dir, now, len, drop_roll, corrupt_roll, true)
+    }
+
+    /// Like [`Link::transmit`], with `is_data_plane` telling the fault
+    /// injector whether the frame carries IP (see
+    /// [`FaultInjector::data_plane_only`]).
+    pub fn transmit_typed(
+        &mut self,
+        dir: usize,
+        now: SimTime,
+        len: usize,
+        drop_roll: u8,
+        corrupt_roll: u8,
+        is_data_plane: bool,
+    ) -> (TxOutcome, bool) {
+        let faults_apply = is_data_plane || !self.config.faults.data_plane_only;
+        let stats = &mut self.stats[dir];
+        stats.tx_frames += 1;
+        stats.tx_bytes += len as u64;
+
+        if let Some(limit) = self.config.faults.size_limit {
+            if len > limit {
+                stats.faulted_frames += 1;
+                return (TxOutcome::Dropped, false);
+            }
+        }
+        if faults_apply && drop_roll < self.config.faults.drop_pct {
+            stats.faulted_frames += 1;
+            return (TxOutcome::Dropped, false);
+        }
+
+        // Queue bound: bytes currently awaiting serialization is the backlog
+        // time times the link rate.
+        if let Some(bps) = self.config.bandwidth_bps {
+            let backlog = self.next_free[dir].saturating_since(now);
+            let backlog_bytes =
+                (backlog.as_nanos() as u128 * bps as u128 / 8 / 1_000_000_000) as usize;
+            if backlog_bytes + len > self.config.queue_bytes {
+                stats.overflow_frames += 1;
+                return (TxOutcome::Dropped, false);
+            }
+        }
+
+        let start = self.next_free[dir].max(now);
+        let departs = start + self.config.serialization_delay(len);
+        self.next_free[dir] = departs;
+        let arrives = departs + self.config.latency;
+        stats.delivered_frames += 1;
+
+        let corrupt = faults_apply && corrupt_roll < self.config.faults.corrupt_pct;
+        (TxOutcome::Deliver(arrives), corrupt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_bandwidth_is_pure_latency() {
+        let mut link = Link::new(LinkConfig::with_latency(SimDuration::from_millis(10)));
+        let (out, corrupt) = link.transmit(0, SimTime::ZERO, 1500, 99, 99);
+        assert_eq!(out, TxOutcome::Deliver(SimTime::from_nanos(10_000_000)));
+        assert!(!corrupt);
+    }
+
+    #[test]
+    fn serialization_delay_accumulates() {
+        // 8 Mbps: a 1000-byte frame takes 1 ms to serialize.
+        let cfg = LinkConfig::provisioned(SimDuration::ZERO, 8_000_000);
+        let mut link = Link::new(cfg);
+        let (o1, _) = link.transmit(0, SimTime::ZERO, 1000, 99, 99);
+        let (o2, _) = link.transmit(0, SimTime::ZERO, 1000, 99, 99);
+        assert_eq!(o1, TxOutcome::Deliver(SimTime::from_nanos(1_000_000)));
+        assert_eq!(o2, TxOutcome::Deliver(SimTime::from_nanos(2_000_000)));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let cfg = LinkConfig::provisioned(SimDuration::ZERO, 8_000_000);
+        let mut link = Link::new(cfg);
+        let (o1, _) = link.transmit(0, SimTime::ZERO, 1000, 99, 99);
+        let (o2, _) = link.transmit(1, SimTime::ZERO, 1000, 99, 99);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn queue_overflow_tail_drops() {
+        // 8 kbps and a 2000-byte queue: the third 1000-byte frame overflows.
+        let cfg = LinkConfig::provisioned(SimDuration::ZERO, 8_000).with_queue_bytes(2000);
+        let mut link = Link::new(cfg);
+        assert!(matches!(
+            link.transmit(0, SimTime::ZERO, 1000, 99, 99).0,
+            TxOutcome::Deliver(_)
+        ));
+        assert!(matches!(
+            link.transmit(0, SimTime::ZERO, 1000, 99, 99).0,
+            TxOutcome::Deliver(_)
+        ));
+        assert_eq!(
+            link.transmit(0, SimTime::ZERO, 1000, 99, 99).0,
+            TxOutcome::Dropped
+        );
+        assert_eq!(link.stats[0].overflow_frames, 1);
+    }
+
+    #[test]
+    fn fault_injection_uses_rolls() {
+        let cfg = LinkConfig::default().with_faults(FaultInjector::dropping(15));
+        let mut link = Link::new(cfg);
+        assert_eq!(
+            link.transmit(0, SimTime::ZERO, 100, 14, 99).0,
+            TxOutcome::Dropped
+        );
+        assert!(matches!(
+            link.transmit(0, SimTime::ZERO, 100, 15, 99).0,
+            TxOutcome::Deliver(_)
+        ));
+        assert_eq!(link.stats[0].faulted_frames, 1);
+    }
+
+    #[test]
+    fn size_limit_drops_jumbo() {
+        let cfg = LinkConfig::default().with_faults(FaultInjector {
+            size_limit: Some(1500),
+            ..Default::default()
+        });
+        let mut link = Link::new(cfg);
+        assert_eq!(
+            link.transmit(0, SimTime::ZERO, 1501, 99, 99).0,
+            TxOutcome::Dropped
+        );
+        assert!(matches!(
+            link.transmit(0, SimTime::ZERO, 1500, 99, 99).0,
+            TxOutcome::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn corruption_flag_propagates() {
+        let cfg = LinkConfig::default().with_faults(FaultInjector {
+            corrupt_pct: 50,
+            ..Default::default()
+        });
+        let mut link = Link::new(cfg);
+        let (_, corrupt) = link.transmit(0, SimTime::ZERO, 100, 99, 10);
+        assert!(corrupt);
+        let (_, corrupt) = link.transmit(0, SimTime::ZERO, 100, 99, 80);
+        assert!(!corrupt);
+    }
+}

@@ -1,0 +1,153 @@
+//! Ethernet MAC addresses.
+//!
+//! vBGP's data-plane delegation hinges on MAC addresses: each BGP neighbor is
+//! assigned a distinct virtual MAC, and the destination MAC of a frame encodes
+//! the experiment's routing decision (paper §3.2.2).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// The all-zero address, used as "unset".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Construct from raw octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// Deterministically derive a locally-administered unicast MAC from a
+    /// 32-bit identifier. The low bit of the first octet (multicast) is kept
+    /// clear and the locally-administered bit set, matching how PEERING
+    /// synthesizes per-neighbor virtual MACs.
+    pub const fn from_id(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// The 32-bit identifier embedded by [`MacAddr::from_id`], if this MAC
+    /// has the synthetic prefix.
+    pub fn id(self) -> Option<u32> {
+        if self.0[0] == 0x02 && self.0[1] == 0x00 {
+            Some(u32::from_be_bytes([
+                self.0[2], self.0[3], self.0[4], self.0[5],
+            ]))
+        } else {
+            None
+        }
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// Whether the multicast bit is set (includes broadcast).
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Whether this is a unicast address.
+    pub fn is_unicast(self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// Raw octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error parsing a MAC address from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError;
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax")
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for octet in octets.iter_mut() {
+            let part = parts.next().ok_or(ParseMacError)?;
+            if part.len() != 2 {
+                return Err(ParseMacError);
+            }
+            *octet = u8::from_str_radix(part, 16).map_err(|_| ParseMacError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError);
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        for id in [0u32, 1, 0xdead_beef, u32::MAX] {
+            let mac = MacAddr::from_id(id);
+            assert!(mac.is_unicast());
+            assert_eq!(mac.id(), Some(id));
+        }
+    }
+
+    #[test]
+    fn broadcast_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::BROADCAST.is_unicast());
+        assert_eq!(MacAddr::BROADCAST.id(), None);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let mac = MacAddr::new([0x02, 0x00, 0x12, 0x34, 0x56, 0x78]);
+        let text = mac.to_string();
+        assert_eq!(text, "02:00:12:34:56:78");
+        assert_eq!(text.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("02:00:12:34:56".parse::<MacAddr>().is_err());
+        assert!("02:00:12:34:56:78:9a".parse::<MacAddr>().is_err());
+        assert!("02:00:12:34:56:zz".parse::<MacAddr>().is_err());
+        assert!("0200:12:34:56:78".parse::<MacAddr>().is_err());
+    }
+}

@@ -1,0 +1,574 @@
+//! The simulator: nodes, ports, links and the event loop.
+//!
+//! A [`Simulator`] owns a set of [`Node`]s connected by point-to-point
+//! [`Link`]s. Nodes react to frames and timers through a [`Ctx`] handle that
+//! collects their outputs; the simulator applies those outputs after each
+//! callback, keeping borrows simple and execution deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::collections::HashMap;
+
+use crate::event::{EventKind, EventQueue};
+use crate::frame::EtherFrame;
+use crate::link::{Link, LinkConfig, LinkStats, TxOutcome};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceDirection, TraceEvent, Tracer};
+
+/// Identifies a node within a simulator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Identifies a port on a node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub u16);
+
+/// Identifies a link within a simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// The two `(node, port)` endpoints of a link.
+pub type LinkEnds = ((NodeId, PortId), (NodeId, PortId));
+
+/// Behaviour plugged into the simulator.
+///
+/// Implementors are event-driven: they receive frames and timer expirations,
+/// and emit frames / arm timers through the [`Ctx`]. The `Any` supertrait
+/// lets callers downcast back to the concrete type via [`Simulator::node`].
+pub trait Node: Any {
+    /// A frame arrived on `port`.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: EtherFrame);
+
+    /// A timer armed with `token` fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Human-readable label for traces.
+    fn label(&self) -> String {
+        "node".to_string()
+    }
+}
+
+enum Action {
+    Send { port: PortId, frame: EtherFrame },
+    Timer { at: SimTime, token: u64 },
+}
+
+/// Handle given to node callbacks for interacting with the simulation.
+pub struct Ctx<'a> {
+    now: SimTime,
+    node: NodeId,
+    actions: &'a mut Vec<Action>,
+    rng: &'a mut StdRng,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node being called.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transmit a frame out of `port`. If the port is unconnected the frame
+    /// is silently discarded (counted by the simulator).
+    pub fn send_frame(&mut self, port: PortId, frame: EtherFrame) {
+        self.actions.push(Action::Send { port, frame });
+    }
+
+    /// Arm a timer that fires after `delay` with the given token.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.actions.push(Action::Timer {
+            at: self.now + delay,
+            token,
+        });
+    }
+
+    /// Deterministic randomness (seeded at simulator construction).
+    pub fn rng(&mut self) -> &mut impl Rng {
+        self.rng
+    }
+}
+
+struct LinkState {
+    link: Link,
+    ends: [(NodeId, PortId); 2],
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    time: SimTime,
+    queue: EventQueue,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    ports: HashMap<(NodeId, PortId), (LinkId, usize)>,
+    links: Vec<LinkState>,
+    rng: StdRng,
+    tracer: Tracer,
+    /// Frames sent to unconnected ports (usually a wiring bug in a scenario).
+    pub unrouted_frames: u64,
+    /// Total events processed.
+    pub processed_events: u64,
+}
+
+impl Simulator {
+    /// Create a simulator with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            time: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            ports: HashMap::new(),
+            links: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            tracer: Tracer::disabled(),
+            unrouted_frames: 0,
+            processed_events: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Enable frame tracing (see [`Tracer`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Access recorded trace events.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Register a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Connect `(a, pa)` to `(b, pb)` with the given link configuration.
+    ///
+    /// # Panics
+    /// Panics if either port is already connected — topology is fixed wiring,
+    /// and double-connecting is always a scenario bug.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        pa: PortId,
+        b: NodeId,
+        pb: PortId,
+        config: LinkConfig,
+    ) -> LinkId {
+        assert!(
+            !self.ports.contains_key(&(a, pa)),
+            "port {pa:?} on {a:?} already connected"
+        );
+        assert!(
+            !self.ports.contains_key(&(b, pb)),
+            "port {pb:?} on {b:?} already connected"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkState {
+            link: Link::new(config),
+            ends: [(a, pa), (b, pb)],
+        });
+        self.ports.insert((a, pa), (id, 0));
+        self.ports.insert((b, pb), (id, 1));
+        id
+    }
+
+    /// Tear down a link (e.g. a session reset test); both ports become
+    /// unconnected. Link stats are retained until the slot is reused.
+    pub fn disconnect(&mut self, link: LinkId) {
+        let ends = self.links[link.0 as usize].ends;
+        for end in ends {
+            self.ports.remove(&end);
+        }
+    }
+
+    /// Per-direction stats for a link.
+    pub fn link_stats(&self, link: LinkId) -> [LinkStats; 2] {
+        self.links[link.0 as usize].link.stats
+    }
+
+    /// All currently-connected links touching `node`, with their endpoints.
+    pub fn links_of(&self, node: NodeId) -> Vec<(LinkId, LinkEnds)> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| {
+                let id = LinkId(*i as u32);
+                (l.ends[0].0 == node || l.ends[1].0 == node)
+                    // Only links still wired (disconnect removes ports).
+                    && self.ports.get(&l.ends[0]) == Some(&(id, 0))
+            })
+            .map(|(i, l)| (LinkId(i as u32), (l.ends[0], l.ends[1])))
+            .collect()
+    }
+
+    /// Downcast a node to its concrete type.
+    pub fn node<T: Node>(&self, id: NodeId) -> Option<&T> {
+        let boxed = self.nodes.get(id.0 as usize)?.as_deref()?;
+        (boxed as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Downcast a node to its concrete type, mutably.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        let boxed = self.nodes.get_mut(id.0 as usize)?.as_deref_mut()?;
+        (boxed as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Inject a frame for delivery to `(node, port)` right now, as if it
+    /// arrived from outside the simulated topology.
+    pub fn inject_frame(&mut self, node: NodeId, port: PortId, frame: EtherFrame) {
+        self.queue
+            .push(self.time, EventKind::FrameDelivery { node, port, frame });
+    }
+
+    /// Transmit a frame from `(node, port)` over its connected link, exactly
+    /// as if the node itself had sent it. Useful for external drivers (the
+    /// experiment toolkit injects traffic this way).
+    pub fn send_from(&mut self, node: NodeId, port: PortId, frame: EtherFrame) {
+        let mut actions = vec![Action::Send { port, frame }];
+        self.apply_actions(node, &mut actions);
+    }
+
+    /// Arm a timer on behalf of a node.
+    pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        self.queue
+            .push(self.time + delay, EventKind::Timer { node, token });
+    }
+
+    /// Invoke a closure with mutable access to a node and a [`Ctx`], so
+    /// external drivers can call node methods that need to emit frames.
+    ///
+    /// # Panics
+    /// Panics if the node id is stale or of the wrong type.
+    pub fn with_node_ctx<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut slot = self.nodes[id.0 as usize].take().expect("node busy/absent");
+        let mut actions = Vec::new();
+        let result = {
+            let mut ctx = Ctx {
+                now: self.time,
+                node: id,
+                actions: &mut actions,
+                rng: &mut self.rng,
+            };
+            let node = (slot.as_mut() as &mut dyn Any)
+                .downcast_mut::<T>()
+                .expect("node type mismatch");
+            f(node, &mut ctx)
+        };
+        self.nodes[id.0 as usize] = Some(slot);
+        self.apply_actions(id, &mut actions);
+        result
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
+            match action {
+                Action::Timer { at, token } => {
+                    self.queue.push(at, EventKind::Timer { node, token });
+                }
+                Action::Send { port, frame } => {
+                    let Some(&(link_id, end)) = self.ports.get(&(node, port)) else {
+                        self.unrouted_frames += 1;
+                        continue;
+                    };
+                    self.tracer.record(TraceEvent {
+                        time: self.time,
+                        node,
+                        port,
+                        direction: TraceDirection::Tx,
+                        src: frame.src,
+                        dst: frame.dst,
+                        ethertype: frame.ethertype,
+                        len: frame.wire_len(),
+                    });
+                    let state = &mut self.links[link_id.0 as usize];
+                    let drop_roll = self.rng.gen_range(0..100u8);
+                    let corrupt_roll = self.rng.gen_range(0..100u8);
+                    let is_data_plane = matches!(
+                        frame.ethertype,
+                        crate::frame::EtherType::Ipv4 | crate::frame::EtherType::Ipv6
+                    );
+                    let (outcome, corrupt) = state.link.transmit_typed(
+                        end,
+                        self.time,
+                        frame.wire_len(),
+                        drop_roll,
+                        corrupt_roll,
+                        is_data_plane,
+                    );
+                    if let TxOutcome::Deliver(at) = outcome {
+                        let (dst_node, dst_port) = state.ends[1 - end];
+                        let mut frame = frame;
+                        if corrupt && !frame.payload.is_empty() {
+                            let mut payload = frame.payload.to_vec();
+                            let idx = self.rng.gen_range(0..payload.len());
+                            payload[idx] ^= 1 << self.rng.gen_range(0..8u8);
+                            frame.payload = payload.into();
+                        }
+                        self.queue.push(
+                            at,
+                            EventKind::FrameDelivery {
+                                node: dst_node,
+                                port: dst_port,
+                                frame,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Process a single event if one is pending. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.time, "time went backwards");
+        self.time = event.at;
+        self.processed_events += 1;
+        match event.kind {
+            EventKind::FrameDelivery { node, port, frame } => {
+                self.tracer.record(TraceEvent {
+                    time: self.time,
+                    node,
+                    port,
+                    direction: TraceDirection::Rx,
+                    src: frame.src,
+                    dst: frame.dst,
+                    ethertype: frame.ethertype,
+                    len: frame.wire_len(),
+                });
+                self.dispatch(node, |node, ctx| node.on_frame(ctx, port, frame));
+            }
+            EventKind::Timer { node, token } => {
+                self.dispatch(node, |node, ctx| node.on_timer(ctx, token));
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        let Some(slot) = self.nodes.get_mut(id.0 as usize) else {
+            return;
+        };
+        let Some(mut node) = slot.take() else {
+            // Node is mid-callback (re-entrant event) — cannot happen with the
+            // action-buffer design, but degrade gracefully.
+            return;
+        };
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.time,
+                node: id,
+                actions: &mut actions,
+                rng: &mut self.rng,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes[id.0 as usize] = Some(node);
+        self.apply_actions(id, &mut actions);
+    }
+
+    /// Run until the queue is exhausted or `deadline` is reached; the clock
+    /// ends at `deadline` if it was reached, otherwise at the last event.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+    }
+
+    /// Run for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.time + duration;
+        self.run_until(deadline);
+    }
+
+    /// Run until no events remain (the network is quiescent), with a safety
+    /// cap on event count to catch livelock in tests.
+    pub fn run_until_idle(&mut self, max_events: u64) -> bool {
+        let mut n = 0;
+        while !self.queue.is_empty() {
+            self.step();
+            n += 1;
+            if n >= max_events {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::EtherType;
+    use crate::mac::MacAddr;
+    use bytes::Bytes;
+
+    /// Echoes every frame back out the port it arrived on, swapping MACs.
+    struct Echo {
+        seen: u64,
+    }
+
+    impl Node for Echo {
+        fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: EtherFrame) {
+            self.seen += 1;
+            let reply = EtherFrame::new(frame.src, frame.dst, frame.ethertype, frame.payload);
+            ctx.send_frame(port, reply);
+        }
+    }
+
+    /// Sends one frame at t=0 via a timer, records replies.
+    struct Pinger {
+        replies: u64,
+        target: MacAddr,
+        me: MacAddr,
+    }
+
+    impl Node for Pinger {
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: EtherFrame) {
+            self.replies += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            ctx.send_frame(
+                PortId(0),
+                EtherFrame::new(
+                    self.target,
+                    self.me,
+                    EtherType::Other(0x9999),
+                    Bytes::from_static(b"ping"),
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn ping_pong_over_link() {
+        let mut sim = Simulator::new(1);
+        let pinger = sim.add_node(Box::new(Pinger {
+            replies: 0,
+            target: MacAddr::from_id(2),
+            me: MacAddr::from_id(1),
+        }));
+        let echo = sim.add_node(Box::new(Echo { seen: 0 }));
+        sim.connect(
+            pinger,
+            PortId(0),
+            echo,
+            PortId(0),
+            LinkConfig::with_latency(SimDuration::from_millis(5)),
+        );
+        sim.set_timer(pinger, SimDuration::ZERO, 0);
+        assert!(sim.run_until_idle(100));
+        assert_eq!(sim.node::<Echo>(echo).unwrap().seen, 1);
+        assert_eq!(sim.node::<Pinger>(pinger).unwrap().replies, 1);
+        // Round trip = 2 × 5 ms.
+        assert_eq!(sim.now().as_millis(), 10);
+    }
+
+    #[test]
+    fn unconnected_port_counts_unrouted() {
+        let mut sim = Simulator::new(1);
+        let pinger = sim.add_node(Box::new(Pinger {
+            replies: 0,
+            target: MacAddr::BROADCAST,
+            me: MacAddr::from_id(1),
+        }));
+        sim.set_timer(pinger, SimDuration::ZERO, 0);
+        sim.run_until_idle(10);
+        assert_eq!(sim.unrouted_frames, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim = Simulator::new(seed);
+            let pinger = sim.add_node(Box::new(Pinger {
+                replies: 0,
+                target: MacAddr::from_id(2),
+                me: MacAddr::from_id(1),
+            }));
+            let echo = sim.add_node(Box::new(Echo { seen: 0 }));
+            let cfg = LinkConfig::default().with_faults(crate::link::FaultInjector::dropping(50));
+            sim.connect(pinger, PortId(0), echo, PortId(0), cfg);
+            for i in 0..50 {
+                sim.set_timer(pinger, SimDuration::from_millis(i), i);
+            }
+            sim.run_until_idle(10_000);
+            (
+                sim.node::<Echo>(echo).unwrap().seen,
+                sim.node::<Pinger>(pinger).unwrap().replies,
+            )
+        }
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn downcast_wrong_type_is_none() {
+        let mut sim = Simulator::new(1);
+        let echo = sim.add_node(Box::new(Echo { seen: 0 }));
+        assert!(sim.node::<Pinger>(echo).is_none());
+        assert!(sim.node::<Echo>(echo).is_some());
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Simulator::new(1);
+        sim.run_until(SimTime::from_nanos(1_000));
+        assert_eq!(sim.now(), SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo { seen: 0 }));
+        let b = sim.add_node(Box::new(Echo { seen: 0 }));
+        sim.connect(a, PortId(0), b, PortId(0), LinkConfig::default());
+        sim.connect(a, PortId(0), b, PortId(1), LinkConfig::default());
+    }
+
+    #[test]
+    fn disconnect_stops_delivery() {
+        let mut sim = Simulator::new(1);
+        let pinger = sim.add_node(Box::new(Pinger {
+            replies: 0,
+            target: MacAddr::from_id(2),
+            me: MacAddr::from_id(1),
+        }));
+        let echo = sim.add_node(Box::new(Echo { seen: 0 }));
+        let link = sim.connect(pinger, PortId(0), echo, PortId(0), LinkConfig::default());
+        sim.disconnect(link);
+        sim.set_timer(pinger, SimDuration::ZERO, 0);
+        sim.run_until_idle(10);
+        assert_eq!(sim.node::<Echo>(echo).unwrap().seen, 0);
+        assert_eq!(sim.unrouted_frames, 1);
+    }
+}

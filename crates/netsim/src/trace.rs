@@ -1,0 +1,176 @@
+//! Frame tracing, in the spirit of smoltcp's `--pcap` option.
+//!
+//! A [`Tracer`] records a bounded ring of [`TraceEvent`]s describing every
+//! frame transmitted and delivered. Scenarios enable it to debug wiring and
+//! tests assert on it to verify, e.g., that vBGP rewrote a source MAC.
+
+use std::collections::VecDeque;
+
+use crate::frame::EtherType;
+use crate::mac::MacAddr;
+use crate::sim::{NodeId, PortId};
+use crate::time::SimTime;
+
+/// Whether a trace event is a transmission or a delivery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceDirection {
+    /// Frame handed to a link by a node.
+    Tx,
+    /// Frame delivered to a node.
+    Rx,
+}
+
+/// One traced frame movement.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// The node transmitting or receiving.
+    pub node: NodeId,
+    /// The port involved.
+    pub port: PortId,
+    /// Tx or Rx.
+    pub direction: TraceDirection,
+    /// Frame source MAC.
+    pub src: MacAddr,
+    /// Frame destination MAC.
+    pub dst: MacAddr,
+    /// Frame EtherType.
+    pub ethertype: EtherType,
+    /// Frame wire length.
+    pub len: usize,
+}
+
+/// Pluggable sink for trace events (e.g. a pcap writer).
+pub trait TraceSink {
+    /// Called once per traced event.
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// The default tracer: optionally records into a bounded ring buffer and
+/// forwards to any number of sinks.
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    ring: VecDeque<TraceEvent>,
+    sinks: Vec<Box<dyn TraceSink>>,
+    /// Total events seen (including those evicted from the ring).
+    pub total: u64,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default for new simulators).
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            capacity: 0,
+            ring: VecDeque::new(),
+            sinks: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// A tracer keeping the most recent `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        Tracer {
+            enabled: true,
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            sinks: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Attach an extra sink.
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.enabled = true;
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Record one event (called by the simulator).
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.total += 1;
+        for sink in &mut self.sinks {
+            sink.record(&event);
+        }
+        if self.capacity > 0 {
+            if self.ring.len() == self.capacity {
+                self.ring.pop_front();
+            }
+            self.ring.push_back(event);
+        }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(n),
+            node: NodeId(0),
+            port: PortId(0),
+            direction: TraceDirection::Tx,
+            src: MacAddr::from_id(1),
+            dst: MacAddr::from_id(2),
+            ethertype: EtherType::Ipv4,
+            len: 64,
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(ev(1));
+        assert_eq!(t.total, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::ring(3);
+        for n in 0..5 {
+            t.record(ev(n));
+        }
+        assert_eq!(t.total, 5);
+        assert_eq!(t.len(), 3);
+        let times: Vec<u64> = t.events().map(|e| e.time.as_nanos()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sinks_see_all_events() {
+        struct Counter(std::rc::Rc<std::cell::Cell<u64>>);
+        impl TraceSink for Counter {
+            fn record(&mut self, _: &TraceEvent) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut t = Tracer::ring(1).with_sink(Box::new(Counter(count.clone())));
+        for n in 0..4 {
+            t.record(ev(n));
+        }
+        assert_eq!(count.get(), 4);
+    }
+}

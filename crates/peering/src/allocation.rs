@@ -1,0 +1,277 @@
+//! The numbered-resource registry (paper §4.2).
+//!
+//! PEERING owns 8 ASNs (three of them 4-byte), 40 IPv4 /24 prefixes and one
+//! IPv6 /32. Each approved experiment leases one or more prefixes (and an
+//! ASN) for a specified duration; concurrency is limited by available IPv4
+//! space (§4.6), though "no experiment has had to wait due to insufficient
+//! IPv4 address space thus far".
+
+use std::collections::BTreeMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use peering_bgp::types::{Asn, Prefix};
+use peering_vbgp::ids::ExperimentId;
+
+/// The platform's real allocations, reproduced from §4.2 / PeeringDB:
+/// 8 ASNs including three 4-byte ones.
+pub fn default_asns() -> Vec<Asn> {
+    vec![
+        Asn(47065), // the main PEERING AS
+        Asn(61574),
+        Asn(61575),
+        Asn(61576),
+        Asn(263842), // 4-byte
+        Asn(263843), // 4-byte
+        Asn(263844), // 4-byte
+        Asn(33207),
+    ]
+}
+
+/// The platform's 40 IPv4 /24s, synthesized as 184.164.224.0/24 …
+/// 184.164.255.0/24 (32 of them) plus 138.185.228.0/24 … 138.185.235.0/24.
+pub fn default_v4_prefixes() -> Vec<Prefix> {
+    let mut out = Vec::with_capacity(40);
+    for i in 224..=255u8 {
+        out.push(Prefix::v4(Ipv4Addr::new(184, 164, i, 0), 24).unwrap());
+    }
+    for i in 228..=235u8 {
+        out.push(Prefix::v4(Ipv4Addr::new(138, 185, i, 0), 24).unwrap());
+    }
+    out
+}
+
+/// The IPv6 /32 (2804:269c::/32), subdivided into /48s for experiments.
+pub fn default_v6_block() -> Prefix {
+    Prefix::v6(Ipv6Addr::new(0x2804, 0x269c, 0, 0, 0, 0, 0, 0), 32).unwrap()
+}
+
+/// A lease handed to an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The experiment.
+    pub experiment: ExperimentId,
+    /// The ASN it originates from.
+    pub asn: Asn,
+    /// IPv4 prefixes dedicated to it.
+    pub v4: Vec<Prefix>,
+    /// Optional IPv6 /48.
+    pub v6: Option<Prefix>,
+    /// Lease duration in days ("for a specified duration", §4.2).
+    pub days: u32,
+}
+
+/// Allocation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocationError {
+    /// Not enough free IPv4 prefixes (the real concurrency limiter, §4.6).
+    V4Exhausted {
+        /// Prefixes requested.
+        requested: usize,
+        /// Prefixes free.
+        available: usize,
+    },
+    /// No free ASN.
+    AsnExhausted,
+    /// Experiment already holds a lease.
+    AlreadyLeased(ExperimentId),
+    /// No lease to release.
+    NoLease(ExperimentId),
+}
+
+impl std::fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocationError::V4Exhausted {
+                requested,
+                available,
+            } => write!(f, "IPv4 exhausted: want {requested}, have {available}"),
+            AllocationError::AsnExhausted => write!(f, "no free ASN"),
+            AllocationError::AlreadyLeased(e) => write!(f, "{e} already holds a lease"),
+            AllocationError::NoLease(e) => write!(f, "{e} holds no lease"),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// The registry.
+#[derive(Debug)]
+pub struct AllocationRegistry {
+    free_asns: Vec<Asn>,
+    free_v4: Vec<Prefix>,
+    v6_block: Prefix,
+    next_v6_subnet: u16,
+    leases: BTreeMap<ExperimentId, Lease>,
+}
+
+impl Default for AllocationRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AllocationRegistry {
+    /// A registry with the platform's published resources.
+    pub fn new() -> Self {
+        AllocationRegistry {
+            free_asns: default_asns()[1..].to_vec(), // 47065 is the platform's own
+            free_v4: default_v4_prefixes(),
+            v6_block: default_v6_block(),
+            next_v6_subnet: 0,
+            leases: BTreeMap::new(),
+        }
+    }
+
+    /// Free IPv4 prefixes remaining.
+    pub fn v4_available(&self) -> usize {
+        self.free_v4.len()
+    }
+
+    /// Active leases.
+    pub fn active_leases(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// The lease held by an experiment.
+    pub fn lease(&self, exp: ExperimentId) -> Option<&Lease> {
+        self.leases.get(&exp)
+    }
+
+    /// Lease `n_v4` prefixes (and optionally a v6 /48) to an experiment.
+    pub fn allocate(
+        &mut self,
+        exp: ExperimentId,
+        n_v4: usize,
+        want_v6: bool,
+        days: u32,
+    ) -> Result<Lease, AllocationError> {
+        if self.leases.contains_key(&exp) {
+            return Err(AllocationError::AlreadyLeased(exp));
+        }
+        if self.free_v4.len() < n_v4 {
+            return Err(AllocationError::V4Exhausted {
+                requested: n_v4,
+                available: self.free_v4.len(),
+            });
+        }
+        let asn = self.free_asns.pop().ok_or(AllocationError::AsnExhausted)?;
+        let v4: Vec<Prefix> = self.free_v4.drain(..n_v4).collect();
+        let v6 = if want_v6 {
+            let subnet = self.next_v6_subnet;
+            self.next_v6_subnet += 1;
+            // Carve the /48 out of the /32 (IPv6 is effectively plentiful).
+            match self.v6_block {
+                Prefix::V6 { addr, .. } => {
+                    let mut seg = addr.segments();
+                    seg[2] = subnet;
+                    Some(Prefix::v6(Ipv6Addr::from(seg), 48).unwrap())
+                }
+                _ => unreachable!("v6 block is v6"),
+            }
+        } else {
+            None
+        };
+        let lease = Lease {
+            experiment: exp,
+            asn,
+            v4,
+            v6,
+            days,
+        };
+        self.leases.insert(exp, lease.clone());
+        Ok(lease)
+    }
+
+    /// Release an experiment's lease, returning resources to the pools.
+    pub fn release(&mut self, exp: ExperimentId) -> Result<(), AllocationError> {
+        let lease = self
+            .leases
+            .remove(&exp)
+            .ok_or(AllocationError::NoLease(exp))?;
+        self.free_asns.push(lease.asn);
+        self.free_v4.extend(lease.v4);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_resource_counts() {
+        assert_eq!(default_asns().len(), 8);
+        assert_eq!(
+            default_asns().iter().filter(|a| !a.is_2byte()).count(),
+            3,
+            "three 4-byte ASNs (§4.2)"
+        );
+        assert_eq!(default_v4_prefixes().len(), 40, "40 /24s (§4.2)");
+        assert!(default_v4_prefixes().iter().all(|p| p.len() == 24));
+        assert_eq!(default_v6_block().len(), 32);
+    }
+
+    #[test]
+    fn allocate_and_release() {
+        let mut reg = AllocationRegistry::new();
+        let lease = reg.allocate(ExperimentId(1), 2, true, 90).unwrap();
+        assert_eq!(lease.v4.len(), 2);
+        assert!(lease.v6.is_some());
+        assert_eq!(lease.v6.unwrap().len(), 48);
+        assert_eq!(reg.v4_available(), 38);
+        assert_eq!(reg.active_leases(), 1);
+        reg.release(ExperimentId(1)).unwrap();
+        assert_eq!(reg.v4_available(), 40);
+        assert_eq!(reg.active_leases(), 0);
+    }
+
+    #[test]
+    fn double_lease_rejected() {
+        let mut reg = AllocationRegistry::new();
+        reg.allocate(ExperimentId(1), 1, false, 30).unwrap();
+        assert_eq!(
+            reg.allocate(ExperimentId(1), 1, false, 30),
+            Err(AllocationError::AlreadyLeased(ExperimentId(1)))
+        );
+    }
+
+    #[test]
+    fn v4_exhaustion_limits_concurrency() {
+        let mut reg = AllocationRegistry::new();
+        // 40 prefixes at 6 each: 6 experiments fit, the 7th does not.
+        for i in 0..6 {
+            reg.allocate(ExperimentId(i), 6, false, 30).unwrap();
+        }
+        let err = reg.allocate(ExperimentId(9), 6, false, 30).unwrap_err();
+        assert_eq!(
+            err,
+            AllocationError::V4Exhausted {
+                requested: 6,
+                available: 4
+            }
+        );
+        // Releasing one frees capacity again ("no experiment has had to
+        // wait" because leases turn over).
+        reg.release(ExperimentId(0)).unwrap();
+        assert!(reg.allocate(ExperimentId(9), 6, false, 30).is_ok());
+    }
+
+    #[test]
+    fn distinct_v6_subnets() {
+        let mut reg = AllocationRegistry::new();
+        let a = reg.allocate(ExperimentId(1), 1, true, 30).unwrap();
+        let b = reg.allocate(ExperimentId(2), 1, true, 30).unwrap();
+        assert_ne!(a.v6, b.v6);
+        assert!(default_v6_block().contains(&a.v6.unwrap()));
+        assert!(default_v6_block().contains(&b.v6.unwrap()));
+    }
+
+    #[test]
+    fn release_unknown_errors() {
+        let mut reg = AllocationRegistry::new();
+        assert_eq!(
+            reg.release(ExperimentId(5)),
+            Err(AllocationError::NoLease(ExperimentId(5)))
+        );
+    }
+}

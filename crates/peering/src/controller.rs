@@ -1,0 +1,370 @@
+//! The network controller with transactional semantics (paper §5).
+//!
+//! Given an *intended* [`NetState`] and the server's *actual* state, the
+//! controller computes a minimal plan — "(i) removes configuration that is
+//! incompatible with the intended state, (ii) keeps any configuration
+//! compatible with the intended state, and (iii) adds any missing
+//! configuration" — and applies it atomically: if any operation fails,
+//! everything already applied is rolled back so the server is never left
+//! inconsistent. It also repairs primary addresses: when an interface's
+//! primary differs from the intent, its addresses are removed and re-added
+//! in the proper order (the Linux kernel cannot change a primary address
+//! in place).
+
+use crate::netconf::{NetState, NetconfError, NetconfOp};
+
+/// Why a transaction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransactionError {
+    /// An operation failed; the plan was rolled back.
+    RolledBack {
+        /// The failing operation.
+        failed: NetconfOp,
+        /// The underlying error.
+        error: NetconfError,
+    },
+    /// Rollback itself failed — the server needs manual repair (the
+    /// namespace-reset hammer of §5's isolation discussion).
+    RollbackFailed {
+        /// The original error.
+        original: NetconfError,
+        /// The rollback error.
+        rollback: NetconfError,
+    },
+}
+
+impl std::fmt::Display for TransactionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransactionError::RolledBack { failed, error } => {
+                write!(f, "transaction rolled back: {failed:?} failed with {error}")
+            }
+            TransactionError::RollbackFailed { original, rollback } => {
+                write!(f, "rollback failed ({rollback}) after {original}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransactionError {}
+
+/// Outcome of a successful apply.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Operations executed (in order).
+    pub ops: Vec<NetconfOp>,
+    /// Whether anything changed at all.
+    pub changed: bool,
+}
+
+/// The controller.
+#[derive(Debug, Default)]
+pub struct NetworkController {
+    /// Transactions applied.
+    pub transactions: u64,
+    /// Transactions rolled back.
+    pub rollbacks: u64,
+}
+
+impl NetworkController {
+    /// New controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compute the minimal plan taking `actual` to `intended`.
+    pub fn plan(intended: &NetState, actual: &NetState) -> Vec<NetconfOp> {
+        let mut ops = Vec::new();
+
+        // (i) remove incompatible: interfaces not in the intent.
+        for name in actual.interfaces.keys() {
+            if !intended.interfaces.contains_key(name) {
+                ops.push(NetconfOp::DelInterface(name.clone()));
+            }
+        }
+        // Routes / rules not intended.
+        for route in &actual.routes {
+            if !intended.routes.contains(route) {
+                ops.push(NetconfOp::DelRoute(*route));
+            }
+        }
+        for rule in &actual.rules {
+            if !intended.rules.contains(rule) {
+                ops.push(NetconfOp::DelRule(*rule));
+            }
+        }
+
+        // (ii)+(iii) per-interface reconciliation.
+        for (name, want) in &intended.interfaces {
+            match actual.interfaces.get(name) {
+                None => {
+                    ops.push(NetconfOp::AddInterface(name.clone()));
+                    if want.up {
+                        ops.push(NetconfOp::SetLink {
+                            name: name.clone(),
+                            up: true,
+                        });
+                    }
+                    for addr in &want.addresses {
+                        ops.push(NetconfOp::AddAddress {
+                            name: name.clone(),
+                            addr: *addr,
+                        });
+                    }
+                }
+                Some(have) => {
+                    if have.up != want.up {
+                        ops.push(NetconfOp::SetLink {
+                            name: name.clone(),
+                            up: want.up,
+                        });
+                    }
+                    if have.addresses == want.addresses {
+                        // compatible: keep untouched
+                    } else if have.primary() == want.primary() {
+                        // Primary is right: surgically remove extras and add
+                        // the missing ones.
+                        for addr in &have.addresses {
+                            if !want.addresses.contains(addr) {
+                                ops.push(NetconfOp::DelAddress {
+                                    name: name.clone(),
+                                    addr: *addr,
+                                });
+                            }
+                        }
+                        for addr in &want.addresses {
+                            if !have.addresses.contains(addr) {
+                                ops.push(NetconfOp::AddAddress {
+                                    name: name.clone(),
+                                    addr: *addr,
+                                });
+                            }
+                        }
+                    } else {
+                        // Wrong primary: the kernel cannot fix it in place —
+                        // remove everything and re-add in intent order (§5).
+                        for addr in &have.addresses {
+                            ops.push(NetconfOp::DelAddress {
+                                name: name.clone(),
+                                addr: *addr,
+                            });
+                        }
+                        for addr in &want.addresses {
+                            ops.push(NetconfOp::AddAddress {
+                                name: name.clone(),
+                                addr: *addr,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        for route in &intended.routes {
+            if !actual.routes.contains(route) {
+                ops.push(NetconfOp::AddRoute(*route));
+            }
+        }
+        for rule in &intended.rules {
+            if !actual.rules.contains(rule) {
+                ops.push(NetconfOp::AddRule(*rule));
+            }
+        }
+        ops
+    }
+
+    /// Plan and apply transactionally. On failure the state is restored and
+    /// an error returned.
+    pub fn apply(
+        &mut self,
+        intended: &NetState,
+        actual: &mut NetState,
+    ) -> Result<ApplyReport, TransactionError> {
+        let ops = Self::plan(intended, actual);
+        let before_txn = actual.clone();
+        for op in &ops {
+            if let Err(error) = actual.apply(op) {
+                // Roll back by reconciling to the pre-transaction snapshot —
+                // reusing the planner restores address ordering (primary
+                // addresses) correctly, which naive per-op inversion cannot.
+                self.rollbacks += 1;
+                // Disable fault injection during rollback: a real controller
+                // retries until restoration succeeds.
+                actual.fail_after = None;
+                for inverse in Self::plan(&before_txn, actual) {
+                    if let Err(rb) = actual.apply(&inverse) {
+                        return Err(TransactionError::RollbackFailed {
+                            original: error,
+                            rollback: rb,
+                        });
+                    }
+                }
+                return Err(TransactionError::RolledBack {
+                    failed: op.clone(),
+                    error,
+                });
+            }
+        }
+        self.transactions += 1;
+        Ok(ApplyReport {
+            changed: !ops.is_empty(),
+            ops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netconf::{Address, Interface, RouteEntry, Rule};
+
+    fn addr(s: &str) -> Address {
+        Address {
+            addr: s.parse().unwrap(),
+            prefix_len: 24,
+        }
+    }
+
+    fn iface(up: bool, addrs: &[&str]) -> Interface {
+        Interface {
+            up,
+            addresses: addrs.iter().map(|a| addr(a)).collect(),
+        }
+    }
+
+    fn intent_one_iface() -> NetState {
+        let mut st = NetState::new();
+        st.interfaces
+            .insert("tap0".into(), iface(true, &["10.0.0.1", "10.0.0.2"]));
+        st.routes.push(RouteEntry {
+            dst: "192.168.0.0/24".parse().unwrap(),
+            via: "127.65.0.1".parse().unwrap(),
+            table: 101,
+        });
+        st.rules.push(Rule {
+            selector: 1,
+            table: 101,
+        });
+        st
+    }
+
+    #[test]
+    fn converges_from_empty() {
+        let intended = intent_one_iface();
+        let mut actual = NetState::new();
+        let mut ctl = NetworkController::new();
+        let report = ctl.apply(&intended, &mut actual).unwrap();
+        assert!(report.changed);
+        assert_eq!(actual.interfaces, intended.interfaces);
+        assert_eq!(actual.routes, intended.routes);
+        assert_eq!(actual.rules, intended.rules);
+    }
+
+    #[test]
+    fn idempotent_apply_is_a_noop() {
+        let intended = intent_one_iface();
+        let mut actual = NetState::new();
+        let mut ctl = NetworkController::new();
+        ctl.apply(&intended, &mut actual).unwrap();
+        let before_ops = actual.ops_applied;
+        let report = ctl.apply(&intended, &mut actual).unwrap();
+        assert!(!report.changed, "steady state must be change-free");
+        assert_eq!(actual.ops_applied, before_ops);
+    }
+
+    #[test]
+    fn removes_incompatible_keeps_compatible() {
+        let intended = intent_one_iface();
+        let mut actual = intent_one_iface();
+        // Stray interface, route and rule that must go.
+        actual
+            .interfaces
+            .insert("stray0".into(), iface(true, &["10.9.9.9"]));
+        actual.routes.push(RouteEntry {
+            dst: "10.8.0.0/16".parse().unwrap(),
+            via: "127.65.0.9".parse().unwrap(),
+            table: 99,
+        });
+        let mut ctl = NetworkController::new();
+        let report = ctl.apply(&intended, &mut actual).unwrap();
+        assert!(report.changed);
+        assert!(!actual.interfaces.contains_key("stray0"));
+        assert_eq!(actual.routes, intended.routes);
+        // Compatible config (tap0, its addresses, the route) was kept, not
+        // recreated: only deletions were planned.
+        assert!(report
+            .ops
+            .iter()
+            .all(|op| matches!(op, NetconfOp::DelInterface(_) | NetconfOp::DelRoute(_))));
+    }
+
+    #[test]
+    fn repairs_wrong_primary_address_by_reordering() {
+        let intended = intent_one_iface(); // primary 10.0.0.1
+        let mut actual = intent_one_iface();
+        // Same addresses, wrong order → wrong primary.
+        actual.interfaces.get_mut("tap0").unwrap().addresses =
+            vec![addr("10.0.0.2"), addr("10.0.0.1")];
+        let mut ctl = NetworkController::new();
+        let report = ctl.apply(&intended, &mut actual).unwrap();
+        assert!(report.changed);
+        assert_eq!(
+            actual.interfaces["tap0"].primary(),
+            Some(addr("10.0.0.1")),
+            "primary repaired"
+        );
+        // The repair is the remove-all/re-add dance.
+        let dels = report
+            .ops
+            .iter()
+            .filter(|o| matches!(o, NetconfOp::DelAddress { .. }))
+            .count();
+        assert_eq!(dels, 2);
+    }
+
+    #[test]
+    fn secondary_addresses_patched_without_touching_primary() {
+        let intended = intent_one_iface();
+        let mut actual = intent_one_iface();
+        // Extra secondary + missing secondary; primary correct.
+        let ifc = actual.interfaces.get_mut("tap0").unwrap();
+        ifc.addresses = vec![addr("10.0.0.1"), addr("10.0.0.7")];
+        let mut ctl = NetworkController::new();
+        let report = ctl.apply(&intended, &mut actual).unwrap();
+        assert_eq!(actual.interfaces, intended.interfaces);
+        // Primary was never removed.
+        assert!(!report.ops.contains(&NetconfOp::DelAddress {
+            name: "tap0".into(),
+            addr: addr("10.0.0.1")
+        }));
+    }
+
+    #[test]
+    fn failure_mid_transaction_rolls_back() {
+        let intended = intent_one_iface();
+        let mut actual = NetState::new();
+        actual.fail_after = Some(3); // fail on the 4th operation
+        let mut ctl = NetworkController::new();
+        let err = ctl.apply(&intended, &mut actual).unwrap_err();
+        assert!(matches!(err, TransactionError::RolledBack { .. }));
+        assert_eq!(ctl.rollbacks, 1);
+        // Structure restored to empty.
+        assert!(actual.interfaces.is_empty());
+        assert!(actual.routes.is_empty());
+        assert!(actual.rules.is_empty());
+        // Retry without the fault succeeds.
+        let report = ctl.apply(&intended, &mut actual).unwrap();
+        assert!(report.changed);
+        assert_eq!(actual.interfaces, intended.interfaces);
+    }
+
+    #[test]
+    fn plan_is_minimal_for_single_drift() {
+        let intended = intent_one_iface();
+        let mut actual = intent_one_iface();
+        actual.routes.clear();
+        let plan = NetworkController::plan(&intended, &actual);
+        assert_eq!(plan.len(), 1);
+        assert!(matches!(plan[0], NetconfOp::AddRoute(_)));
+    }
+}

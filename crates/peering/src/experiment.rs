@@ -1,0 +1,224 @@
+//! Experiment lifecycle (paper §4.6, §4.7, §7.1, §7.3).
+//!
+//! Experimenters submit a proposal (goals, resource requirements, execution
+//! plan) through a web form; proposals are manually reviewed — "We rejected
+//! as risky an experiment proposal that required a large number of AS
+//! poisonings and one that planned to announce AS-paths with thousands of
+//! ASes. We granted all other requests." — and approval generates
+//! credentials and per-PoP configuration without disrupting running
+//! experiments. [`Review`] encodes those published rejection heuristics.
+
+use serde::{Deserialize, Serialize};
+
+use peering_vbgp::capability::{CapabilityKind, CapabilitySet, Grant};
+
+/// A capability request in a proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapabilityRequest {
+    /// Poison up to `max` ASes per announcement.
+    Poisoning {
+        /// Largest number of distinct poisoned ASes needed.
+        max: u32,
+    },
+    /// Attach up to `max` communities.
+    Communities {
+        /// Largest number needed.
+        max: u32,
+    },
+    /// Send optional transitive attributes.
+    TransitiveAttributes,
+    /// Provide transit for an experimental prefix.
+    Transit,
+    /// Announce 6to4 space.
+    SixToFour,
+}
+
+/// An experiment proposal (the §4.6 web form's contents).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Proposal {
+    /// Experiment name.
+    pub name: String,
+    /// Goals (free text, reviewed by humans in the real platform).
+    pub goals: String,
+    /// Execution plan (free text).
+    pub plan: String,
+    /// IPv4 prefixes requested.
+    pub v4_prefixes: usize,
+    /// IPv6 requested.
+    pub want_v6: bool,
+    /// Duration requested in days.
+    pub days: u32,
+    /// PoPs the experiment wants to connect to (empty = all).
+    pub pops: Vec<String>,
+    /// Capability requests.
+    pub capabilities: Vec<CapabilityRequest>,
+    /// Run the experiment in a container colocated on the PEERING servers
+    /// (the §7.4 extension): the "tunnel" becomes a local hop with
+    /// negligible latency, for latency-sensitive experiments.
+    #[serde(default)]
+    pub colocated: bool,
+    /// Longest AS path the experiment will announce (reviewers reject
+    /// thousands-of-ASes paths, §7.1).
+    pub max_as_path_len: usize,
+}
+
+impl Proposal {
+    /// A basic measurement proposal needing nothing special.
+    pub fn basic(name: &str) -> Self {
+        Proposal {
+            name: name.to_string(),
+            goals: "measurement".to_string(),
+            plan: "announce allocated prefixes; send probe traffic".to_string(),
+            v4_prefixes: 1,
+            want_v6: false,
+            days: 90,
+            pops: Vec::new(),
+            capabilities: Vec::new(),
+            colocated: false,
+            max_as_path_len: 8,
+        }
+    }
+}
+
+/// The review outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProposalDecision {
+    /// Approved with this capability set.
+    Approve(CapabilitySet),
+    /// Rejected with the reviewer's reason.
+    Reject(String),
+}
+
+/// Proposal state as tracked by the management system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProposalStatus {
+    /// Awaiting review.
+    Submitted,
+    /// Running with these capabilities.
+    Approved(CapabilitySet),
+    /// Rejected.
+    Rejected(String),
+}
+
+/// The review policy, with the thresholds the paper's anecdotes imply.
+#[derive(Debug, Clone)]
+pub struct Review {
+    /// Largest acceptable poisoning count per announcement.
+    pub max_poisonings: u32,
+    /// Longest acceptable AS path.
+    pub max_as_path_len: usize,
+}
+
+impl Default for Review {
+    fn default() -> Self {
+        Review {
+            max_poisonings: 10,
+            max_as_path_len: 255,
+        }
+    }
+}
+
+impl Review {
+    /// Review a proposal: apply the published rejection heuristics, grant
+    /// everything else following least privilege (only requested
+    /// capabilities are granted, §4.7).
+    pub fn review(&self, proposal: &Proposal) -> ProposalDecision {
+        if proposal.max_as_path_len > self.max_as_path_len {
+            return ProposalDecision::Reject(format!(
+                "AS paths of {} ASes are a risk to remote routers (cf. the \
+                 CVE-2019-5892 incident, §7.3); limit is {}",
+                proposal.max_as_path_len, self.max_as_path_len
+            ));
+        }
+        let mut caps = CapabilitySet::basic();
+        for request in &proposal.capabilities {
+            match request {
+                CapabilityRequest::Poisoning { max } => {
+                    if *max > self.max_poisonings {
+                        return ProposalDecision::Reject(format!(
+                            "{max} poisoned ASes is a large number of AS \
+                             poisonings (§7.1); limit is {}",
+                            self.max_poisonings
+                        ));
+                    }
+                    caps.grant(Grant::limited(CapabilityKind::AsPathPoisoning, *max));
+                }
+                CapabilityRequest::Communities { max } => {
+                    caps.grant(Grant::limited(CapabilityKind::AttachCommunities, *max));
+                }
+                CapabilityRequest::TransitiveAttributes => {
+                    caps.grant(Grant::unlimited(CapabilityKind::TransitiveAttributes));
+                }
+                CapabilityRequest::Transit => {
+                    caps.grant(Grant::unlimited(CapabilityKind::ProvideTransit));
+                }
+                CapabilityRequest::SixToFour => {
+                    caps.grant(Grant::unlimited(CapabilityKind::Announce6to4));
+                }
+            }
+        }
+        ProposalDecision::Approve(caps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_proposal_approved_with_no_capabilities() {
+        let decision = Review::default().review(&Proposal::basic("quickstart"));
+        match decision {
+            ProposalDecision::Approve(caps) => assert!(caps.is_empty()),
+            other => panic!("expected approval, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requested_capabilities_are_granted() {
+        let mut p = Proposal::basic("sico");
+        p.capabilities = vec![
+            CapabilityRequest::Poisoning { max: 3 },
+            CapabilityRequest::Communities { max: 5 },
+            CapabilityRequest::Transit,
+        ];
+        match Review::default().review(&p) {
+            ProposalDecision::Approve(caps) => {
+                assert_eq!(caps.limit(CapabilityKind::AsPathPoisoning), 3);
+                assert_eq!(caps.limit(CapabilityKind::AttachCommunities), 5);
+                assert!(caps.allows(CapabilityKind::ProvideTransit));
+                assert!(!caps.allows(CapabilityKind::Announce6to4));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn excessive_poisoning_rejected_as_risky() {
+        let mut p = Proposal::basic("mass-poison");
+        p.capabilities = vec![CapabilityRequest::Poisoning { max: 500 }];
+        assert!(matches!(
+            Review::default().review(&p),
+            ProposalDecision::Reject(_)
+        ));
+    }
+
+    #[test]
+    fn thousand_as_paths_rejected_as_risky() {
+        let mut p = Proposal::basic("long-path");
+        p.max_as_path_len = 3000;
+        let ProposalDecision::Reject(reason) = Review::default().review(&p) else {
+            panic!("should reject");
+        };
+        assert!(reason.contains("risk"));
+    }
+
+    #[test]
+    fn proposal_serializes_for_the_web_form() {
+        let p = Proposal::basic("serde");
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Proposal = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, "serde");
+        assert_eq!(back.v4_prefixes, 1);
+    }
+}

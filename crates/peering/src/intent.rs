@@ -1,0 +1,402 @@
+//! Intent-based configuration (paper §5).
+//!
+//! "We employ intent-based configuration best-practices to transform a
+//! model containing desired configuration … into service-specific
+//! configuration files." The desired state lives in a central store (the
+//! web-service database of the paper; serialized JSON here), is compiled by
+//! a templating step into per-service configs — routing engine (BIRD in
+//! the paper), OpenVPN, enforcement engines, and the kernel network state —
+//! and the results are versioned so they can be inspected, canaried and
+//! rolled back.
+
+use serde::{Deserialize, Serialize};
+
+use crate::netconf::{Address, Interface, NetState};
+
+/// PoP hosting type (§4.2: "four at IXPs and nine at universities").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PopKind {
+    /// Colocation at an Internet exchange: rich connectivity.
+    Ixp,
+    /// University hosting: transit via the campus AS, easy federation.
+    University,
+}
+
+/// Interconnection role of a neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NeighborRole {
+    /// Transit provider.
+    Transit,
+    /// Bilateral peer.
+    Peer,
+    /// IXP route server (multilateral).
+    RouteServer,
+}
+
+/// One neighbor in the desired state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeighborIntent {
+    /// Platform-wide neighbor id (steering community handle, global pool
+    /// index).
+    pub id: u32,
+    /// Display name.
+    pub name: String,
+    /// The neighbor's ASN.
+    pub asn: u32,
+    /// Role.
+    pub role: NeighborRole,
+    /// For route servers: how many member ASes peer multilaterally behind
+    /// it (the §4.2 totals minus the bilateral counts).
+    #[serde(default)]
+    pub rs_members: u32,
+}
+
+/// One PoP in the desired state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopIntent {
+    /// PoP name ("amsterdam01"…).
+    pub name: String,
+    /// Hosting type.
+    pub kind: PopKind,
+    /// Its neighbors.
+    pub neighbors: Vec<NeighborIntent>,
+    /// Site bandwidth cap, bytes/s (§4.7: two sites have one).
+    pub bandwidth_limit: Option<u64>,
+    /// Member of the backbone mesh (§4.3.1).
+    pub backbone: bool,
+}
+
+/// One approved experiment in the desired state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentIntent {
+    /// Experiment id.
+    pub id: u32,
+    /// Name.
+    pub name: String,
+    /// Its ASN.
+    pub asn: u32,
+    /// Allocated IPv4 prefixes.
+    pub v4_prefixes: Vec<String>,
+    /// Allocated IPv6 prefix.
+    pub v6_prefix: Option<String>,
+    /// Capability grants as (name, limit).
+    pub capabilities: Vec<(String, u32)>,
+    /// PoPs it may connect to (empty = all).
+    pub pops: Vec<String>,
+}
+
+/// The whole desired state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformIntent {
+    /// The platform's ASN.
+    pub platform_asn: u32,
+    /// PoPs.
+    pub pops: Vec<PopIntent>,
+    /// Approved experiments.
+    pub experiments: Vec<ExperimentIntent>,
+}
+
+impl PlatformIntent {
+    /// Serialize for the central store.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("intent serializes")
+    }
+
+    /// Load from the central store.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Find a PoP by name.
+    pub fn pop(&self, name: &str) -> Option<&PopIntent> {
+        self.pops.iter().find(|p| p.name == name)
+    }
+}
+
+/// Compiled per-service configuration for one PoP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceConfigs {
+    /// PoP name.
+    pub pop: String,
+    /// Rendered routing-engine (BIRD-style) configuration text.
+    pub bird: String,
+    /// VPN client common-names allowed to connect.
+    pub vpn_clients: Vec<String>,
+    /// Enforcement entries: (experiment, prefixes, capability names).
+    pub enforcement: Vec<(u32, Vec<String>, Vec<String>)>,
+    /// The intended kernel network state.
+    #[serde(skip)]
+    pub netstate: NetState,
+}
+
+/// Compile the central intent into one PoP's service configs — the
+/// templating step of §5.
+pub fn compile_pop(intent: &PlatformIntent, pop_name: &str) -> Option<ServiceConfigs> {
+    let pop = intent.pop(pop_name)?;
+    let mut bird = String::new();
+    bird.push_str(&format!(
+        "# generated from central intent — do not edit\n\
+         router id auto;\nlocal as {};\nlog syslog all;\n\n",
+        intent.platform_asn
+    ));
+    for nbr in &pop.neighbors {
+        let role = match nbr.role {
+            NeighborRole::Transit => "transit",
+            NeighborRole::Peer => "peer",
+            NeighborRole::RouteServer => "route-server",
+        };
+        bird.push_str(&format!(
+            "protocol bgp nbr_{id} {{\n\
+             \x20   # {name} ({role})\n\
+             \x20   neighbor as {asn};\n\
+             \x20   import filter {{ bgp_next_hop = 127.65.{hi}.{lo}; accept; }};\n\
+             \x20   export filter {{ if from_experiment() then accept; reject; }};\n\
+             \x20   table t_nbr_{id};\n\
+             \x20   add paths off;\n\
+             }}\n\n",
+            id = nbr.id,
+            name = nbr.name,
+            role = role,
+            asn = nbr.asn,
+            hi = nbr.id / 256,
+            lo = nbr.id % 256,
+        ));
+    }
+    let experiments: Vec<&ExperimentIntent> = intent
+        .experiments
+        .iter()
+        .filter(|e| e.pops.is_empty() || e.pops.iter().any(|p| p == pop_name))
+        .collect();
+    for exp in &experiments {
+        bird.push_str(&format!(
+            "protocol bgp exp_{id} {{\n\
+             \x20   # experiment {name}\n\
+             \x20   neighbor as {asn};\n\
+             \x20   import via enforcement;\n\
+             \x20   export filter {{ strip_internal(); accept; }};\n\
+             \x20   add paths tx rx;\n\
+             }}\n\n",
+            id = exp.id,
+            name = exp.name,
+            asn = exp.asn,
+        ));
+    }
+
+    // Kernel state: one tap interface per experiment tunnel, one routing
+    // table rule per neighbor.
+    let mut netstate = NetState::new();
+    for (i, exp) in experiments.iter().enumerate() {
+        let name = format!("tap{}", exp.id);
+        netstate.interfaces.insert(
+            name,
+            Interface {
+                up: true,
+                addresses: vec![Address {
+                    addr: std::net::Ipv4Addr::new(100, 125, (i + 1) as u8, 1),
+                    prefix_len: 30,
+                }],
+            },
+        );
+    }
+    for nbr in &pop.neighbors {
+        netstate.rules.push(crate::netconf::Rule {
+            selector: nbr.id,
+            table: 100 + nbr.id,
+        });
+    }
+
+    Some(ServiceConfigs {
+        pop: pop_name.to_string(),
+        bird,
+        vpn_clients: experiments.iter().map(|e| e.name.clone()).collect(),
+        enforcement: experiments
+            .iter()
+            .map(|e| {
+                (
+                    e.id,
+                    e.v4_prefixes.clone(),
+                    e.capabilities.iter().map(|(n, _)| n.clone()).collect(),
+                )
+            })
+            .collect(),
+        netstate,
+    })
+}
+
+/// A versioned config store with canary + rollback (§5: "All configuration
+/// files deployed to Peering servers are stored in a version-control system
+/// where they can be inspected and rolled back if needed. … we canary the
+/// new configuration on a subset of our production fleet").
+#[derive(Debug, Default)]
+pub struct ConfigStore {
+    versions: Vec<String>,
+    /// Index of the version running fleet-wide.
+    pub deployed: Option<usize>,
+    /// Index of the version running on the canary subset.
+    pub canary: Option<usize>,
+}
+
+impl ConfigStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Commit a new version; returns its index.
+    pub fn commit(&mut self, serialized: String) -> usize {
+        self.versions.push(serialized);
+        self.versions.len() - 1
+    }
+
+    /// Deploy a version to the canary subset.
+    pub fn deploy_canary(&mut self, version: usize) -> bool {
+        if version >= self.versions.len() {
+            return false;
+        }
+        self.canary = Some(version);
+        true
+    }
+
+    /// Promote the canary fleet-wide.
+    pub fn promote(&mut self) -> bool {
+        match self.canary {
+            Some(v) => {
+                self.deployed = Some(v);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Roll the fleet back to a prior version.
+    pub fn rollback(&mut self, version: usize) -> bool {
+        if version >= self.versions.len() {
+            return false;
+        }
+        self.deployed = Some(version);
+        self.canary = None;
+        true
+    }
+
+    /// Fetch a version's contents.
+    pub fn get(&self, version: usize) -> Option<&str> {
+        self.versions.get(version).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_intent() -> PlatformIntent {
+        PlatformIntent {
+            platform_asn: 47065,
+            pops: vec![PopIntent {
+                name: "amsterdam01".to_string(),
+                kind: PopKind::Ixp,
+                neighbors: (1..=4)
+                    .map(|i| NeighborIntent {
+                        id: i,
+                        name: format!("peer{i}"),
+                        asn: 1000 + i,
+                        role: if i == 1 {
+                            NeighborRole::Transit
+                        } else {
+                            NeighborRole::Peer
+                        },
+                        rs_members: 0,
+                    })
+                    .collect(),
+                bandwidth_limit: None,
+                backbone: true,
+            }],
+            experiments: vec![ExperimentIntent {
+                id: 1,
+                name: "quickstart".to_string(),
+                asn: 61574,
+                v4_prefixes: vec!["184.164.224.0/24".to_string()],
+                v6_prefix: None,
+                capabilities: vec![("poisoning".to_string(), 2)],
+                pops: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn intent_json_roundtrip() {
+        let intent = small_intent();
+        let json = intent.to_json();
+        let back = PlatformIntent::from_json(&json).unwrap();
+        assert_eq!(back.platform_asn, 47065);
+        assert_eq!(back.pops[0].neighbors.len(), 4);
+        assert_eq!(back.experiments[0].capabilities[0].1, 2);
+    }
+
+    #[test]
+    fn compile_emits_one_protocol_block_per_session() {
+        let configs = compile_pop(&small_intent(), "amsterdam01").unwrap();
+        assert_eq!(configs.bird.matches("protocol bgp nbr_").count(), 4);
+        assert_eq!(configs.bird.matches("protocol bgp exp_").count(), 1);
+        assert_eq!(configs.vpn_clients, vec!["quickstart"]);
+        assert_eq!(configs.enforcement.len(), 1);
+        assert_eq!(configs.netstate.interfaces.len(), 1);
+        assert_eq!(configs.netstate.rules.len(), 4);
+    }
+
+    #[test]
+    fn compile_unknown_pop_is_none() {
+        assert!(compile_pop(&small_intent(), "nowhere").is_none());
+    }
+
+    #[test]
+    fn large_pops_render_thousands_of_lines() {
+        // §5: "the configuration files for BIRD alone can exceed over
+        // 10,000 lines at large PoPs". At AMS-IX scale our template does too.
+        let mut intent = small_intent();
+        intent.pops[0].neighbors = (1..=860)
+            .map(|i| NeighborIntent {
+                id: i,
+                name: format!("ams-peer-{i}"),
+                asn: 10_000 + i,
+                role: NeighborRole::Peer,
+                rs_members: 0,
+            })
+            .collect();
+        let configs = compile_pop(&intent, "amsterdam01").unwrap();
+        let lines = configs.bird.lines().count();
+        assert!(lines > 7_000, "{lines} lines rendered");
+    }
+
+    #[test]
+    fn experiments_scoped_to_pops() {
+        let mut intent = small_intent();
+        intent.experiments[0].pops = vec!["elsewhere01".to_string()];
+        let configs = compile_pop(&intent, "amsterdam01").unwrap();
+        assert!(configs.vpn_clients.is_empty());
+        assert_eq!(configs.bird.matches("protocol bgp exp_").count(), 0);
+    }
+
+    #[test]
+    fn config_store_canary_flow() {
+        let mut store = ConfigStore::new();
+        let v0 = store.commit("v0".to_string());
+        let v1 = store.commit("v1".to_string());
+        assert!(store.deploy_canary(v1));
+        assert_eq!(store.deployed, None);
+        assert!(store.promote());
+        assert_eq!(store.deployed, Some(v1));
+        // Bad version rejected; rollback restores v0.
+        assert!(!store.deploy_canary(99));
+        assert!(store.rollback(v0));
+        assert_eq!(store.deployed, Some(v0));
+        assert_eq!(store.get(v0), Some("v0"));
+        assert!(store.canary.is_none());
+    }
+
+    #[test]
+    fn promote_without_canary_fails() {
+        let mut store = ConfigStore::new();
+        store.commit("v0".to_string());
+        assert!(!store.promote());
+    }
+}

@@ -1,0 +1,185 @@
+//! The simulated OpenVPN service (paper §4.5, §4.6).
+//!
+//! Approval "automatically generates credentials for the experimenters that
+//! enable VPN connections to vBGP routers". The [`VpnServer`] here does the
+//! credential bookkeeping and connect/disconnect lifecycle per PoP; the
+//! actual tunnel is a simulator link managed by the platform/toolkit.
+
+use std::collections::BTreeMap;
+
+use peering_vbgp::ids::{ExperimentId, PopId};
+
+/// Credentials issued at approval time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VpnCredentials {
+    /// Owning experiment.
+    pub experiment: ExperimentId,
+    /// Opaque token (deterministic in the simulation).
+    pub token: u64,
+}
+
+/// Connection errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VpnError {
+    /// No credentials for this experiment at this PoP.
+    NotAuthorized(ExperimentId),
+    /// Token mismatch.
+    BadToken,
+    /// Already connected.
+    AlreadyConnected(ExperimentId),
+    /// Not connected.
+    NotConnected(ExperimentId),
+}
+
+impl std::fmt::Display for VpnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VpnError::NotAuthorized(e) => write!(f, "{e} is not authorized"),
+            VpnError::BadToken => write!(f, "bad token"),
+            VpnError::AlreadyConnected(e) => write!(f, "{e} already connected"),
+            VpnError::NotConnected(e) => write!(f, "{e} not connected"),
+        }
+    }
+}
+
+impl std::error::Error for VpnError {}
+
+/// The per-PoP VPN endpoint.
+#[derive(Debug)]
+pub struct VpnServer {
+    pop: PopId,
+    authorized: BTreeMap<ExperimentId, u64>,
+    connected: BTreeMap<ExperimentId, u64>,
+    next_token: u64,
+    /// Total successful connections (telemetry).
+    pub connections: u64,
+}
+
+impl VpnServer {
+    /// A server for one PoP.
+    pub fn new(pop: PopId) -> Self {
+        VpnServer {
+            pop,
+            authorized: BTreeMap::new(),
+            connected: BTreeMap::new(),
+            next_token: 1,
+            connections: 0,
+        }
+    }
+
+    /// The PoP served.
+    pub fn pop(&self) -> PopId {
+        self.pop
+    }
+
+    /// Issue credentials for an experiment (at approval). Re-issuing
+    /// rotates the token, invalidating the old one.
+    pub fn authorize(&mut self, exp: ExperimentId) -> VpnCredentials {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.authorized.insert(exp, token);
+        VpnCredentials {
+            experiment: exp,
+            token,
+        }
+    }
+
+    /// Revoke credentials (experiment ended); disconnects too.
+    pub fn revoke(&mut self, exp: ExperimentId) {
+        self.authorized.remove(&exp);
+        self.connected.remove(&exp);
+    }
+
+    /// Connect with credentials.
+    pub fn connect(&mut self, creds: &VpnCredentials) -> Result<(), VpnError> {
+        let expected = self
+            .authorized
+            .get(&creds.experiment)
+            .ok_or(VpnError::NotAuthorized(creds.experiment))?;
+        if *expected != creds.token {
+            return Err(VpnError::BadToken);
+        }
+        if self.connected.contains_key(&creds.experiment) {
+            return Err(VpnError::AlreadyConnected(creds.experiment));
+        }
+        self.connected.insert(creds.experiment, creds.token);
+        self.connections += 1;
+        Ok(())
+    }
+
+    /// Disconnect.
+    pub fn disconnect(&mut self, exp: ExperimentId) -> Result<(), VpnError> {
+        self.connected
+            .remove(&exp)
+            .map(|_| ())
+            .ok_or(VpnError::NotConnected(exp))
+    }
+
+    /// Whether an experiment's tunnel is up.
+    pub fn is_connected(&self, exp: ExperimentId) -> bool {
+        self.connected.contains_key(&exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXP: ExperimentId = ExperimentId(1);
+
+    #[test]
+    fn connect_requires_valid_credentials() {
+        let mut vpn = VpnServer::new(PopId(0));
+        let creds = vpn.authorize(EXP);
+        assert!(vpn.connect(&creds).is_ok());
+        assert!(vpn.is_connected(EXP));
+        assert_eq!(vpn.connections, 1);
+    }
+
+    #[test]
+    fn unauthorized_and_bad_tokens_rejected() {
+        let mut vpn = VpnServer::new(PopId(0));
+        let fake = VpnCredentials {
+            experiment: EXP,
+            token: 42,
+        };
+        assert_eq!(vpn.connect(&fake), Err(VpnError::NotAuthorized(EXP)));
+        let real = vpn.authorize(EXP);
+        let stale = VpnCredentials {
+            token: real.token + 1,
+            ..real
+        };
+        assert_eq!(vpn.connect(&stale), Err(VpnError::BadToken));
+    }
+
+    #[test]
+    fn reissue_rotates_token() {
+        let mut vpn = VpnServer::new(PopId(0));
+        let old = vpn.authorize(EXP);
+        let new = vpn.authorize(EXP);
+        assert_ne!(old.token, new.token);
+        assert_eq!(vpn.connect(&old), Err(VpnError::BadToken));
+        assert!(vpn.connect(&new).is_ok());
+    }
+
+    #[test]
+    fn double_connect_and_disconnect() {
+        let mut vpn = VpnServer::new(PopId(0));
+        let creds = vpn.authorize(EXP);
+        vpn.connect(&creds).unwrap();
+        assert_eq!(vpn.connect(&creds), Err(VpnError::AlreadyConnected(EXP)));
+        vpn.disconnect(EXP).unwrap();
+        assert_eq!(vpn.disconnect(EXP), Err(VpnError::NotConnected(EXP)));
+        assert!(vpn.connect(&creds).is_ok());
+    }
+
+    #[test]
+    fn revoke_disconnects() {
+        let mut vpn = VpnServer::new(PopId(0));
+        let creds = vpn.authorize(EXP);
+        vpn.connect(&creds).unwrap();
+        vpn.revoke(EXP);
+        assert!(!vpn.is_connected(EXP));
+        assert_eq!(vpn.connect(&creds), Err(VpnError::NotAuthorized(EXP)));
+    }
+}

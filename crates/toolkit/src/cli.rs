@@ -1,0 +1,266 @@
+//! Textual command interface over the toolkit, mirroring the `peering`
+//! utility the platform ships (paper §4.5: "a turn-key interface for common
+//! tasks such as establishing BGP sessions or making prefix
+//! announcements").
+//!
+//! Grammar:
+//!
+//! ```text
+//! tunnel open <pop> | tunnel close <pop> | tunnel status
+//! bgp start <pop> | bgp stop <pop> | bgp status
+//! prefix announce <prefix> --pop <pop> [--prepend N] [--poison ASN[,ASN…]]
+//!        [--community H:L]… [--announce-to NBR]… [--no-announce-to NBR]…
+//! prefix withdraw <prefix> --pop <pop>
+//! route show <prefix>
+//! ```
+
+use peering_bgp::types::{Asn, Community, Prefix};
+use peering_netsim::Simulator;
+use peering_vbgp::ids::NeighborId;
+
+use crate::client::{AnnounceOptions, Toolkit};
+
+/// CLI errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Unknown command or subcommand.
+    UnknownCommand(String),
+    /// Missing or malformed argument.
+    BadArgument(String),
+    /// The toolkit refused the operation.
+    Toolkit(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => write!(f, "unknown command: {c}"),
+            CliError::BadArgument(a) => write!(f, "bad argument: {a}"),
+            CliError::Toolkit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn bad(arg: &str) -> CliError {
+    CliError::BadArgument(arg.to_string())
+}
+
+struct Args<'a> {
+    tokens: Vec<&'a str>,
+}
+
+impl<'a> Args<'a> {
+    fn flag_values(&self, flag: &str) -> Vec<&'a str> {
+        self.tokens
+            .windows(2)
+            .filter(|w| w[0] == flag)
+            .map(|w| w[1])
+            .collect()
+    }
+
+    fn flag_value(&self, flag: &str) -> Option<&'a str> {
+        self.flag_values(flag).into_iter().next()
+    }
+}
+
+/// Execute one command line against a toolkit + simulator, returning the
+/// human-readable output.
+pub fn run_command(
+    toolkit: &mut Toolkit,
+    sim: &mut Simulator,
+    line: &str,
+) -> Result<String, CliError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    match tokens.as_slice() {
+        ["tunnel", "open", pop] => {
+            toolkit
+                .open_tunnel(sim, pop)
+                .map_err(|e| CliError::Toolkit(e.to_string()))?;
+            Ok(format!("tunnel {pop}: open"))
+        }
+        ["tunnel", "close", pop] => {
+            toolkit
+                .close_tunnel(sim, pop)
+                .map_err(|e| CliError::Toolkit(e.to_string()))?;
+            Ok(format!("tunnel {pop}: closed"))
+        }
+        ["tunnel", "status"] => {
+            let mut out = String::new();
+            for pop in toolkit.pop_names() {
+                let status = toolkit
+                    .tunnel_status(&pop)
+                    .map_err(|e| CliError::Toolkit(e.to_string()))?;
+                out.push_str(&format!("{pop}: {status:?}\n"));
+            }
+            Ok(out)
+        }
+        ["bgp", "start", pop] => {
+            toolkit
+                .start_bgp(sim, pop)
+                .map_err(|e| CliError::Toolkit(e.to_string()))?;
+            Ok(format!("bgp {pop}: starting"))
+        }
+        ["bgp", "stop", pop] => {
+            toolkit
+                .stop_bgp(sim, pop)
+                .map_err(|e| CliError::Toolkit(e.to_string()))?;
+            Ok(format!("bgp {pop}: stopped"))
+        }
+        ["bgp", "status"] => {
+            let mut out = String::new();
+            for pop in toolkit.pop_names() {
+                let status = toolkit
+                    .session_status(sim, &pop)
+                    .map_err(|e| CliError::Toolkit(e.to_string()))?;
+                out.push_str(&format!("{pop}: {status:?}\n"));
+            }
+            Ok(out)
+        }
+        ["prefix", "announce", prefix, rest @ ..] => {
+            let prefix: Prefix = prefix.parse().map_err(|_| bad(prefix))?;
+            let args = Args {
+                tokens: rest.to_vec(),
+            };
+            let pop = args.flag_value("--pop").ok_or_else(|| bad("--pop"))?;
+            let mut opts = AnnounceOptions::default();
+            if let Some(v) = args.flag_value("--prepend") {
+                opts.prepend = v.parse().map_err(|_| bad(v))?;
+            }
+            if let Some(v) = args.flag_value("--poison") {
+                for asn in v.split(',') {
+                    opts.poison.push(Asn(asn.parse().map_err(|_| bad(asn))?));
+                }
+            }
+            for v in args.flag_values("--community") {
+                opts.communities
+                    .push(v.parse::<Community>().map_err(|_| bad(v))?);
+            }
+            for v in args.flag_values("--announce-to") {
+                opts.announce_to
+                    .push(NeighborId(v.parse().map_err(|_| bad(v))?));
+            }
+            for v in args.flag_values("--no-announce-to") {
+                opts.do_not_announce_to
+                    .push(NeighborId(v.parse().map_err(|_| bad(v))?));
+            }
+            toolkit
+                .announce(sim, pop, prefix, &opts)
+                .map_err(|e| CliError::Toolkit(e.to_string()))?;
+            Ok(format!("announced {prefix} at {pop}"))
+        }
+        ["prefix", "withdraw", prefix, rest @ ..] => {
+            let prefix: Prefix = prefix.parse().map_err(|_| bad(prefix))?;
+            let args = Args {
+                tokens: rest.to_vec(),
+            };
+            let pop = args.flag_value("--pop").ok_or_else(|| bad("--pop"))?;
+            toolkit
+                .withdraw(sim, pop, prefix)
+                .map_err(|e| CliError::Toolkit(e.to_string()))?;
+            Ok(format!("withdrew {prefix} at {pop}"))
+        }
+        ["route", "show", prefix] => {
+            let prefix: Prefix = prefix.parse().map_err(|_| bad(prefix))?;
+            let routes = toolkit.routes(sim, &prefix);
+            if routes.is_empty() {
+                return Ok(format!("{prefix}: no routes"));
+            }
+            let mut out = String::new();
+            for r in routes {
+                out.push_str(&format!(
+                    "{} via {} path [{}]\n",
+                    r.prefix,
+                    r.attrs
+                        .next_hop
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| "?".to_string()),
+                    r.attrs.as_path
+                ));
+            }
+            Ok(out)
+        }
+        [] => Ok(String::new()),
+        other => Err(CliError::UnknownCommand(other.join(" "))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Parsing-level tests (execution-level CLI tests live in the workspace
+    // integration suite where a full platform exists).
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let mut sim = Simulator::new(0);
+        let mut toolkit = Toolkit::new(
+            peering_netsim::NodeId(0),
+            Asn(47065),
+            "10.0.0.1".parse().unwrap(),
+        );
+        let err = run_command(&mut toolkit, &mut sim, "frobnicate now").unwrap_err();
+        assert!(matches!(err, CliError::UnknownCommand(_)));
+    }
+
+    #[test]
+    fn empty_line_is_noop() {
+        let mut sim = Simulator::new(0);
+        let mut toolkit = Toolkit::new(
+            peering_netsim::NodeId(0),
+            Asn(47065),
+            "10.0.0.1".parse().unwrap(),
+        );
+        assert_eq!(run_command(&mut toolkit, &mut sim, "  ").unwrap(), "");
+    }
+
+    #[test]
+    fn announce_requires_pop() {
+        let mut sim = Simulator::new(0);
+        let mut toolkit = Toolkit::new(
+            peering_netsim::NodeId(0),
+            Asn(47065),
+            "10.0.0.1".parse().unwrap(),
+        );
+        let err =
+            run_command(&mut toolkit, &mut sim, "prefix announce 184.164.224.0/24").unwrap_err();
+        assert_eq!(err, CliError::BadArgument("--pop".to_string()));
+    }
+
+    #[test]
+    fn announce_rejects_bad_prefix_and_flags() {
+        let mut sim = Simulator::new(0);
+        let mut toolkit = Toolkit::new(
+            peering_netsim::NodeId(0),
+            Asn(47065),
+            "10.0.0.1".parse().unwrap(),
+        );
+        assert!(run_command(&mut toolkit, &mut sim, "prefix announce banana --pop x").is_err());
+        assert!(run_command(
+            &mut toolkit,
+            &mut sim,
+            "prefix announce 10.0.0.0/8 --pop x --prepend many"
+        )
+        .is_err());
+        assert!(run_command(
+            &mut toolkit,
+            &mut sim,
+            "prefix announce 10.0.0.0/8 --pop x --community banana"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_pop_surfaces_toolkit_error() {
+        let mut sim = Simulator::new(0);
+        let mut toolkit = Toolkit::new(
+            peering_netsim::NodeId(0),
+            Asn(47065),
+            "10.0.0.1".parse().unwrap(),
+        );
+        let err = run_command(&mut toolkit, &mut sim, "tunnel open nowhere").unwrap_err();
+        assert!(matches!(err, CliError::Toolkit(_)));
+    }
+}

@@ -1,0 +1,401 @@
+//! The experiment router node.
+//!
+//! From the paper (§3.2.2): "the experiment can use a standard software or
+//! hardware router (X1) or a more sophisticated controller that uses BGP to
+//! interface with the Internet (X2)". [`ExperimentNode`] plays both roles:
+//! by default it forwards along its decision-process best route; callers
+//! can instead pick any received route (or raw next hop) per packet, which
+//! is the Espresso-style fine-grained control the paper motivates.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use peering_bgp::attrs::{AsPath, PathAttributes};
+use peering_bgp::message::UpdateMsg;
+use peering_bgp::rib::{PeerId, Route};
+use peering_bgp::speaker::{PeerConfig, Speaker, SpeakerConfig};
+use peering_bgp::types::{Asn, Community, Prefix, RouterId};
+use peering_netsim::arp::{ArpCache, ArpOp, ArpPacket};
+use peering_netsim::{Bytes, Ctx, EtherFrame, EtherType, IpPacket, IpProto, MacAddr, Node, PortId};
+use peering_vbgp::transport::{BgpHost, Endpoint, HostEvent};
+
+/// Re-export for convenience in examples.
+pub use peering_netsim::ip::IPV4_HEADER_LEN;
+
+/// A packet received by the experiment, with the delivery metadata vBGP
+/// encodes in the frame (the source MAC names the delivering neighbor).
+#[derive(Debug, Clone)]
+pub struct ReceivedPacket {
+    /// The IP packet.
+    pub packet: IpPacket,
+    /// Source MAC as delivered — a virtual neighbor MAC when the packet
+    /// came through vBGP (§3.2.2 "Routing traffic to experiments").
+    pub src_mac: MacAddr,
+    /// Tunnel port it arrived on.
+    pub port: PortId,
+}
+
+/// A standard experiment router attached to one or more PoPs.
+pub struct ExperimentNode {
+    /// The BGP machinery (sessions over tunnel ports).
+    pub host: BgpHost,
+    asn: Asn,
+    port_macs: HashMap<PortId, MacAddr>,
+    port_addrs: HashMap<PortId, Ipv4Addr>,
+    local_prefixes: Vec<Prefix>,
+    arp: ArpCache,
+    pending: HashMap<Ipv4Addr, Vec<(PortId, IpPacket)>>,
+    /// Packets delivered to this experiment.
+    pub received: Vec<ReceivedPacket>,
+    /// Structural BGP events observed (session up/down, routes learned…).
+    pub events: Vec<HostEvent>,
+    /// Packets sent (for accounting in experiments).
+    pub sent: u64,
+}
+
+impl ExperimentNode {
+    /// Create an experiment router with its own ASN and router id.
+    pub fn new(asn: Asn, router_id: RouterId) -> Self {
+        ExperimentNode {
+            host: BgpHost::new(Speaker::new(SpeakerConfig { asn, router_id })),
+            asn,
+            port_macs: HashMap::new(),
+            port_addrs: HashMap::new(),
+            local_prefixes: Vec::new(),
+            arp: ArpCache::new(),
+            pending: HashMap::new(),
+            received: Vec::new(),
+            events: Vec::new(),
+            sent: 0,
+        }
+    }
+
+    /// The experiment's ASN.
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// Declare a prefix as locally terminated (received traffic for it is
+    /// recorded rather than forwarded).
+    pub fn add_local_prefix(&mut self, prefix: Prefix) {
+        self.local_prefixes.push(prefix);
+    }
+
+    /// Attach a tunnel to a PoP: our MAC/address on the tunnel port plus a
+    /// BGP session to the vBGP router. Returns the session id.
+    #[allow(clippy::too_many_arguments)] // mirrors the session 5-tuple + ids
+    pub fn add_pop_session(
+        &mut self,
+        session: PeerId,
+        port: PortId,
+        local_mac: MacAddr,
+        local_addr: Ipv4Addr,
+        remote_mac: MacAddr,
+        remote_addr: Ipv4Addr,
+        platform_asn: Asn,
+    ) -> PeerId {
+        self.port_macs.insert(port, local_mac);
+        self.port_addrs.insert(port, local_addr);
+        let cfg = PeerConfig::ebgp(platform_asn, remote_addr.into(), local_addr.into())
+            .with_all_paths()
+            .with_next_hop_unchanged();
+        self.host.add_session(
+            session,
+            cfg,
+            Endpoint {
+                port,
+                local_mac,
+                remote_mac,
+            },
+            false,
+        );
+        session
+    }
+
+    /// Start the session toward a PoP.
+    pub fn start_session(&mut self, ctx: &mut Ctx<'_>, session: PeerId) {
+        let events = self.host.start(ctx, session);
+        self.events.extend(events);
+    }
+
+    /// Stop the session toward a PoP.
+    pub fn stop_session(&mut self, ctx: &mut Ctx<'_>, session: PeerId) {
+        let events = self.host.stop(ctx, session);
+        self.events.extend(events);
+    }
+
+    /// Build the attribute set for an announcement originated here.
+    pub fn build_attrs(
+        &self,
+        next_hop: Ipv4Addr,
+        prepend: usize,
+        poison: &[Asn],
+        communities: &[Community],
+    ) -> PathAttributes {
+        // Path shape: [exp ×(1+prepend)] poisons… [exp]. The origin stays
+        // the experiment's ASN so the announcement remains attributable.
+        let mut asns = vec![self.asn; 1 + prepend];
+        if !poison.is_empty() {
+            asns.extend_from_slice(poison);
+            asns.push(self.asn);
+        }
+        PathAttributes {
+            as_path: AsPath::from_asns(&asns),
+            next_hop: Some(next_hop.into()),
+            communities: communities.to_vec(),
+            ..Default::default()
+        }
+    }
+
+    /// Announce a prefix on one specific PoP session (the toolkit's
+    /// per-mux announcements). Raw per-session control is what lets an
+    /// experiment send *different* announcements for the same prefix to
+    /// different PoPs or neighbors (§2.2.2).
+    pub fn announce_via(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        session: PeerId,
+        prefix: Prefix,
+        attrs: PathAttributes,
+    ) {
+        let update = UpdateMsg::announce(vec![(prefix, None)], attrs);
+        self.host.advertise_raw(ctx, session, update);
+    }
+
+    /// Withdraw a prefix on one PoP session.
+    pub fn withdraw_via(&mut self, ctx: &mut Ctx<'_>, session: PeerId, prefix: Prefix) {
+        let update = UpdateMsg::withdraw(vec![(prefix, None)]);
+        self.host.advertise_raw(ctx, session, update);
+    }
+
+    /// All routes currently known for a prefix (the ADD-PATH fan-out from
+    /// vBGP means this includes every neighbor's route, not just one).
+    pub fn routes_for(&self, prefix: &Prefix) -> Vec<Route> {
+        self.host.speaker.loc_rib().candidates(prefix).to_vec()
+    }
+
+    /// Send an IP packet toward `dst` along the current best route.
+    pub fn send_best(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: Bytes,
+    ) -> bool {
+        let Some(route) = self.host.speaker.loc_rib().lookup(dst.into()).cloned() else {
+            return false;
+        };
+        self.send_via_route(ctx, &route, src, dst, payload)
+    }
+
+    /// Send an IP packet steering it via a specific received route — the
+    /// per-packet, per-route control that standard BGP cannot express and
+    /// vBGP delegates (§3.2.2). The routing decision travels in the
+    /// frame's destination MAC.
+    pub fn send_via_route(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        route: &Route,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: Bytes,
+    ) -> bool {
+        let Some(std::net::IpAddr::V4(next_hop)) = route.attrs.next_hop else {
+            return false;
+        };
+        let Some(peer) = route.source.peer() else {
+            return false;
+        };
+        let Some(ep) = self.host.endpoint(peer) else {
+            return false;
+        };
+        let pkt = IpPacket::new(src, dst, IpProto::Udp, payload);
+        self.send_to_next_hop(ctx, ep.port, next_hop, pkt);
+        true
+    }
+
+    /// Send a TTL-limited traceroute probe via a specific route. `ident`
+    /// tags the probe's IP identification field so the time-exceeded reply
+    /// (which embeds the original header, RFC 792) can be matched.
+    pub fn send_probe_with_ttl(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        route: &Route,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        ttl: u8,
+        ident: u16,
+    ) -> bool {
+        let Some(std::net::IpAddr::V4(next_hop)) = route.attrs.next_hop else {
+            return false;
+        };
+        let Some(peer) = route.source.peer() else {
+            return false;
+        };
+        let Some(ep) = self.host.endpoint(peer) else {
+            return false;
+        };
+        let mut pkt = IpPacket::new(src, dst, IpProto::Udp, Bytes::from_static(b"traceroute"));
+        pkt.header.ttl = ttl;
+        pkt.header.ident = ident;
+        self.send_to_next_hop(ctx, ep.port, next_hop, pkt);
+        true
+    }
+
+    /// Time-exceeded replies received for probes tagged `ident`, as
+    /// (replying hop address, original destination) pairs in arrival order
+    /// — a traceroute result.
+    pub fn traceroute_hops(&self, ident: u16) -> Vec<(Ipv4Addr, Ipv4Addr)> {
+        self.received
+            .iter()
+            .filter_map(|r| {
+                if r.packet.header.proto != peering_netsim::IpProto::Icmp {
+                    return None;
+                }
+                let icmp = peering_netsim::IcmpPacket::decode(&r.packet.payload)?;
+                let (probe_ident, original_dst) = icmp.original_probe()?;
+                if probe_ident == ident {
+                    Some((r.packet.header.src, original_dst))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Lower-level: send a packet out `port` toward `next_hop`, resolving
+    /// the MAC by ARP exactly as a real router would (Fig. 2b steps 5–8).
+    pub fn send_to_next_hop(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        next_hop: Ipv4Addr,
+        pkt: IpPacket,
+    ) {
+        let now = ctx.now();
+        match self.arp.lookup(next_hop, now) {
+            Some(mac) => self.transmit(ctx, port, mac, pkt),
+            None => {
+                self.pending.entry(next_hop).or_default().push((port, pkt));
+                if self.arp.may_request(next_hop, now) {
+                    let local_mac = self.port_macs[&port];
+                    let local_addr = self.port_addrs[&port];
+                    let req = ArpPacket::request(local_mac, local_addr, next_hop);
+                    ctx.send_frame(
+                        port,
+                        EtherFrame::new(
+                            MacAddr::BROADCAST,
+                            local_mac,
+                            EtherType::Arp,
+                            req.encode(),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, port: PortId, dst_mac: MacAddr, pkt: IpPacket) {
+        let src_mac = self.port_macs[&port];
+        self.sent += 1;
+        ctx.send_frame(
+            port,
+            EtherFrame::new(dst_mac, src_mac, EtherType::Ipv4, pkt.encode()),
+        );
+    }
+
+    fn on_arp(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &EtherFrame) {
+        let Some(packet) = ArpPacket::decode(&frame.payload) else {
+            return;
+        };
+        match packet.op {
+            ArpOp::Request => {
+                if self.port_addrs.get(&port) == Some(&packet.target_ip) {
+                    let mac = self.port_macs[&port];
+                    let reply = ArpPacket::reply_to(&packet, mac);
+                    ctx.send_frame(
+                        port,
+                        EtherFrame::new(packet.sender_mac, mac, EtherType::Arp, reply.encode()),
+                    );
+                }
+            }
+            ArpOp::Reply => {
+                self.arp
+                    .insert(packet.sender_ip, packet.sender_mac, ctx.now());
+                if let Some(queued) = self.pending.remove(&packet.sender_ip) {
+                    for (port, pkt) in queued {
+                        self.transmit(ctx, port, packet.sender_mac, pkt);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Node for ExperimentNode {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: EtherFrame) {
+        if let Some(events) = self.host.on_frame(ctx, port, &frame) {
+            self.events.extend(events);
+            return;
+        }
+        match frame.ethertype {
+            EtherType::Arp => self.on_arp(ctx, port, &frame),
+            EtherType::Ipv4 => {
+                if let Some(packet) = IpPacket::decode(&frame.payload) {
+                    self.received.push(ReceivedPacket {
+                        packet,
+                        src_mac: frame.src,
+                        port,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if BgpHost::owns_timer(token) {
+            let events = self.host.on_timer(ctx, token);
+            self.events.extend(events);
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("experiment {}", self.asn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attrs_builder_shapes_paths() {
+        let node = ExperimentNode::new(Asn(61574), RouterId(1));
+        let nh: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        // Plain origination.
+        let attrs = node.build_attrs(nh, 0, &[], &[]);
+        assert_eq!(attrs.as_path.asns(), vec![Asn(61574)]);
+        // Prepend ×2.
+        let attrs = node.build_attrs(nh, 2, &[], &[]);
+        assert_eq!(attrs.as_path.asns(), vec![Asn(61574); 3]);
+        // Poisoning AS3356: origin stays the experiment.
+        let attrs = node.build_attrs(nh, 0, &[Asn(3356)], &[]);
+        assert_eq!(
+            attrs.as_path.asns(),
+            vec![Asn(61574), Asn(3356), Asn(61574)]
+        );
+        assert_eq!(attrs.as_path.origin_as(), Some(Asn(61574)));
+        // Communities attach.
+        let c = Community::new(47065, 2);
+        let attrs = node.build_attrs(nh, 0, &[], &[c]);
+        assert!(attrs.has_community(c));
+    }
+
+    #[test]
+    fn local_prefix_registration() {
+        let mut node = ExperimentNode::new(Asn(61574), RouterId(1));
+        node.add_local_prefix("184.164.224.0/24".parse().unwrap());
+        assert_eq!(node.local_prefixes.len(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! A controlled experiment (paper §7.1): probing route-origin-validation
+//! policies by "varying only whether an announcement was valid".
+//!
+//! The paper describes a study [69] that had previously been attempted with
+//! *uncontrolled* observation — and could "misdiagnose unrelated traffic
+//! engineering as evidence of security policies". With PEERING, the
+//! experiment announces the *same prefix* twice, once with its authorized
+//! origin ASN and once with a different origin (requires the transit
+//! capability), to the *same* neighbors, and observes which neighbors
+//! accept which announcement. The only variable is validity.
+//!
+//! Run with: `cargo run --example controlled_experiment`
+
+use peering_repro::bgp::policy::{Match, Policy, Rule, Verdict};
+use peering_repro::bgp::types::{prefix, Asn, RouterId};
+use peering_repro::bgp::PeerId;
+use peering_repro::netsim::{LinkConfig, MacAddr, PortId, SimDuration, Simulator};
+use peering_repro::platform::internet::{InternetAs, Relationship};
+use peering_repro::toolkit::node::ExperimentNode;
+use peering_repro::vbgp::enforcement::control::ExperimentPolicy;
+use peering_repro::vbgp::enforcement::data::ExperimentDataPolicy;
+use peering_repro::vbgp::{
+    CapabilityKind, CapabilitySet, ControlCommunities, ControlEnforcer, DataEnforcer,
+    ExperimentConfig, ExperimentId, Grant, NeighborConfig, NeighborId, NeighborKind, PopId,
+    VbgpRouter,
+};
+
+const EXP_PREFIX: &str = "184.164.224.0/24";
+const EXP_ASN: u32 = 61574;
+const OTHER_ASN: u32 = 65530; // the "unauthorized" origin
+
+fn main() {
+    println!("== controlled experiment: who validates route origins? (paper §7.1) ==\n");
+    let mut sim = Simulator::new(21);
+
+    // One PoP, two neighbors. N1 enforces origin validation for the
+    // experiment prefix (it "registered" EXP_ASN as the only valid origin);
+    // N2 accepts anything. The experiment does not know which is which —
+    // that is what it measures.
+    let control = ControlEnforcer::standalone(PopId(0), ControlCommunities::new(47065));
+    let mut router = VbgpRouter::new(
+        PopId(0),
+        Asn(47065),
+        RouterId(1),
+        control,
+        DataEnforcer::new(),
+    );
+    for port in 0..3u16 {
+        router.set_port_mac(PortId(port), MacAddr::from_id(0x1000 + port as u32));
+    }
+    for (id, asn, port, mac, laddr, raddr) in [
+        (1u32, 100u32, 0u16, 0x100u32, "10.0.1.2", "1.1.1.1"),
+        (2, 200, 1, 0x200, "10.0.2.2", "2.2.2.2"),
+    ] {
+        router.add_neighbor(NeighborConfig {
+            id: NeighborId(id),
+            asn: Asn(asn),
+            kind: NeighborKind::Transit,
+            port: PortId(port),
+            remote_mac: MacAddr::from_id(mac),
+            local_addr: laddr.parse().unwrap(),
+            remote_addr: raddr.parse().unwrap(),
+            global_index: id as u16,
+            passive: false,
+        });
+    }
+    // The transit capability lets the experiment originate from another ASN
+    // (the paper reviewed and approved such experiments, §4.7).
+    router.add_experiment(ExperimentConfig {
+        id: ExperimentId(1),
+        asn: Asn(EXP_ASN),
+        port: PortId(2),
+        remote_mac: MacAddr::from_id(0x300),
+        local_addr: "100.125.1.1".parse().unwrap(),
+        remote_addr: "100.125.1.2".parse().unwrap(),
+        global_index: None,
+        policy: ExperimentPolicy {
+            allocations: vec![prefix(EXP_PREFIX)],
+            asns: vec![Asn(EXP_ASN)],
+            caps: CapabilitySet::with(&[Grant::unlimited(CapabilityKind::ProvideTransit)]),
+        },
+        data: ExperimentDataPolicy {
+            allowed_sources: vec![prefix(EXP_PREFIX)],
+            rate: None,
+        },
+    });
+    let router = sim.add_node(Box::new(router));
+
+    // N1: strict origin validation on the experiment prefix.
+    let rov_policy = Policy::new(
+        vec![
+            Rule::accept(Match::All(vec![
+                Match::PrefixExact(prefix(EXP_PREFIX)),
+                Match::OriginAs(Asn(EXP_ASN)),
+            ])),
+            Rule::reject(Match::PrefixExact(prefix(EXP_PREFIX))),
+            Rule::accept(Match::Any),
+        ],
+        Verdict::Accept,
+    );
+    let mut n1 = InternetAs::new(Asn(100), RouterId(100));
+    n1.add_session(
+        PeerId(0),
+        Relationship::Customer,
+        Asn(47065),
+        PortId(0),
+        MacAddr::from_id(0x100),
+        "1.1.1.1".parse().unwrap(),
+        MacAddr::from_id(0x1000),
+        "10.0.1.2".parse().unwrap(),
+        true,
+    );
+    // Install the ROV policy as N1's import filter before any routes flow.
+    n1.host.speaker.set_import_policy(PeerId(0), rov_policy);
+    let n1_node = sim.add_node(Box::new(n1));
+
+    let mut n2 = InternetAs::new(Asn(200), RouterId(200));
+    n2.add_session(
+        PeerId(0),
+        Relationship::Customer,
+        Asn(47065),
+        PortId(0),
+        MacAddr::from_id(0x200),
+        "2.2.2.2".parse().unwrap(),
+        MacAddr::from_id(0x1001),
+        "10.0.2.2".parse().unwrap(),
+        true,
+    );
+    let n2_node = sim.add_node(Box::new(n2));
+
+    let mut exp = ExperimentNode::new(Asn(EXP_ASN), RouterId(3));
+    exp.add_pop_session(
+        PeerId(0),
+        PortId(0),
+        MacAddr::from_id(0x300),
+        "100.125.1.2".parse().unwrap(),
+        MacAddr::from_id(0x1002),
+        "100.125.1.1".parse().unwrap(),
+        Asn(47065),
+    );
+    let exp_node = sim.add_node(Box::new(exp));
+
+    let link = LinkConfig::with_latency(SimDuration::from_millis(5));
+    sim.connect(router, PortId(0), n1_node, PortId(0), link);
+    sim.connect(router, PortId(1), n2_node, PortId(0), link);
+    sim.connect(router, PortId(2), exp_node, PortId(0), link);
+    sim.with_node_ctx::<VbgpRouter, _>(router, |r, ctx| r.start(ctx));
+    for node in [n1_node, n2_node] {
+        sim.with_node_ctx::<InternetAs, _>(node, |n, ctx| n.start(ctx));
+    }
+    sim.with_node_ctx::<ExperimentNode, _>(exp_node, |n, ctx| n.start_session(ctx, PeerId(0)));
+    sim.run_for(SimDuration::from_secs(5));
+
+    let observe = |sim: &Simulator, label: &str| {
+        for (name, node) in [("AS100", n1_node), ("AS200", n2_node)] {
+            let n = sim.node::<InternetAs>(node).unwrap();
+            let verdict = if n
+                .host
+                .speaker
+                .loc_rib()
+                .candidates(&prefix(EXP_PREFIX))
+                .is_empty()
+            {
+                "REJECTED"
+            } else {
+                "accepted"
+            };
+            println!("  {label} at {name}: {verdict}");
+        }
+    };
+
+    // Round 1: valid announcement (authorized origin).
+    println!("round 1: announce {EXP_PREFIX} with VALID origin AS{EXP_ASN}");
+    sim.with_node_ctx::<ExperimentNode, _>(exp_node, |n, ctx| {
+        let attrs = n.build_attrs("100.125.1.2".parse().unwrap(), 0, &[], &[]);
+        n.announce_via(ctx, PeerId(0), prefix(EXP_PREFIX), attrs);
+    });
+    sim.run_for(SimDuration::from_secs(3));
+    observe(&sim, "valid origin");
+
+    // Round 2: same prefix, INVALID origin (transit capability lets the
+    // path end in a different ASN).
+    println!("\nround 2: announce {EXP_PREFIX} with INVALID origin AS{OTHER_ASN}");
+    sim.with_node_ctx::<ExperimentNode, _>(exp_node, |n, ctx| {
+        let mut attrs = n.build_attrs("100.125.1.2".parse().unwrap(), 0, &[], &[]);
+        attrs.as_path = peering_repro::bgp::AsPath::from_asns(&[Asn(EXP_ASN), Asn(OTHER_ASN)]);
+        n.announce_via(ctx, PeerId(0), prefix(EXP_PREFIX), attrs);
+    });
+    sim.run_for(SimDuration::from_secs(3));
+    observe(&sim, "invalid origin");
+
+    println!(
+        "\nconclusion: AS100 filters invalid origins (it validates), AS200 does\n\
+         not — established by varying ONLY announcement validity, the\n\
+         controlled methodology §7.1 credits the platform with enabling."
+    );
+}

@@ -1,0 +1,86 @@
+//! A tour of the experiment toolkit (paper §4.5, Table 1) through its
+//! command-line interface — every operation the paper's Table 1 lists.
+//!
+//! Run with: `cargo run --example toolkit_tour`
+
+use peering_repro::netsim::SimDuration;
+use peering_repro::platform::experiment::Proposal;
+use peering_repro::platform::platform::Peering;
+use peering_repro::platform::topology::{paper_intent, TopologyParams};
+use peering_repro::toolkit::cli::run_command;
+
+fn main() {
+    println!("== experiment toolkit tour (paper Table 1) ==\n");
+    let mut p = Peering::build(paper_intent(&TopologyParams::tiny()), 99);
+    let pops = p.pop_names();
+    let mut proposal = Proposal::basic("toolkit-tour");
+    proposal.pops = vec![pops[0].clone(), pops[1].clone()];
+    let mut exp = p.submit(proposal).unwrap();
+    let prefix = exp.lease.v4[0].to_string();
+    println!(
+        "experiment {} allocated {} from {}\n",
+        exp.id, prefix, exp.lease.asn
+    );
+
+    let pop0 = pops[0].clone();
+    let pop1 = pops[1].clone();
+    let run = |p: &mut Peering,
+               exp: &mut peering_repro::platform::platform::AttachedExperiment,
+               cmd: &str| {
+        println!("$ peering {cmd}");
+        match run_command(&mut exp.toolkit, &mut p.sim, cmd) {
+            Ok(out) => {
+                for line in out.lines() {
+                    println!("  {line}");
+                }
+            }
+            Err(e) => println!("  error: {e}"),
+        }
+        p.run_for(SimDuration::from_secs(5));
+    };
+
+    // OpenVPN category: open/close/check status of tunnels.
+    run(&mut p, &mut exp, "tunnel status");
+    run(&mut p, &mut exp, &format!("tunnel open {pop0}"));
+    run(&mut p, &mut exp, &format!("tunnel open {pop1}"));
+    run(&mut p, &mut exp, "tunnel status");
+
+    // BGP/BIRD category: start/stop sessions, status.
+    run(&mut p, &mut exp, &format!("bgp start {pop0}"));
+    run(&mut p, &mut exp, &format!("bgp start {pop1}"));
+    run(&mut p, &mut exp, "bgp status");
+
+    // Prefix management: announce/withdraw, community and AS-path
+    // manipulation.
+    run(
+        &mut p,
+        &mut exp,
+        &format!("prefix announce {prefix} --pop {pop0}"),
+    );
+    run(
+        &mut p,
+        &mut exp,
+        &format!("prefix announce {prefix} --pop {pop1} --prepend 2"),
+    );
+    run(&mut p, &mut exp, &format!("route show {prefix}"));
+    run(
+        &mut p,
+        &mut exp,
+        &format!("prefix withdraw {prefix} --pop {pop1}"),
+    );
+    run(
+        &mut p,
+        &mut exp,
+        &format!("prefix announce {prefix} --pop {pop0} --announce-to 2"),
+    );
+
+    // Access to routes (the "Access BIRD CLI" row): show what vBGP fans out
+    // for an Internet destination.
+    run(&mut p, &mut exp, "route show 198.18.1.0/24");
+
+    // Stop everything.
+    run(&mut p, &mut exp, &format!("bgp stop {pop0}"));
+    run(&mut p, &mut exp, &format!("tunnel close {pop0}"));
+    run(&mut p, &mut exp, "tunnel status");
+    println!("tour complete.");
+}

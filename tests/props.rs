@@ -1,0 +1,589 @@
+//! Property-based tests (proptest) on the core invariants:
+//! wire-codec roundtrips, trie correctness against a reference model,
+//! policy-engine totality, and enforcement conservation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use peering_repro::bgp::attrs::{AsPath, AsPathSegment, Origin, PathAttributes, UnknownAttr};
+use peering_repro::bgp::message::{Message, SessionCodecCtx, UpdateMsg};
+use peering_repro::bgp::trie::PrefixTrie;
+use peering_repro::bgp::types::{Asn, Community, LargeCommunity, Prefix};
+
+fn arb_prefix_v4() -> impl Strategy<Value = Prefix> {
+    (0u8..=32, any::<u32>()).prop_map(|(len, bits)| {
+        let mask = if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        };
+        Prefix::v4(Ipv4Addr::from(bits & mask), len).unwrap()
+    })
+}
+
+fn arb_prefix_v6() -> impl Strategy<Value = Prefix> {
+    (0u8..=128, any::<u128>()).prop_map(|(len, bits)| {
+        let mask = if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len as u32)
+        };
+        Prefix::v6(Ipv6Addr::from(bits & mask), len).unwrap()
+    })
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![arb_prefix_v4(), arb_prefix_v6()]
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    vec(
+        prop_oneof![
+            vec(any::<u32>().prop_map(Asn), 1..8).prop_map(AsPathSegment::Sequence),
+            vec(any::<u32>().prop_map(Asn), 1..5).prop_map(AsPathSegment::Set),
+        ],
+        0..4,
+    )
+    .prop_map(|segments| AsPath { segments })
+}
+
+prop_compose! {
+    fn arb_attrs()(
+        origin in prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)],
+        as_path in arb_as_path(),
+        next_hop in any::<u32>(),
+        med in proptest::option::of(any::<u32>()),
+        local_pref in proptest::option::of(any::<u32>()),
+        atomic in any::<bool>(),
+        aggregator in proptest::option::of((any::<u32>(), any::<u32>())),
+        communities in vec(any::<u32>().prop_map(Community), 0..6),
+        large in vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..3),
+        unknown_val in vec(any::<u8>(), 0..16),
+        has_unknown in any::<bool>(),
+    ) -> PathAttributes {
+        let mut communities = communities;
+        communities.dedup();
+        PathAttributes {
+            origin,
+            as_path,
+            next_hop: Some(Ipv4Addr::from(next_hop).into()),
+            med,
+            local_pref,
+            atomic_aggregate: atomic,
+            aggregator: aggregator.map(|(a, ip)| (Asn(a), Ipv4Addr::from(ip))),
+            communities,
+            large_communities: large
+                .into_iter()
+                .map(|(global, local1, local2)| LargeCommunity { global, local1, local2 })
+                .collect(),
+            unknown: if has_unknown {
+                vec![UnknownAttr { flags: 0xC0, type_code: 201, value: unknown_val }]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+proptest! {
+    /// Any UPDATE survives a wire encode/decode roundtrip, with and without
+    /// ADD-PATH negotiated.
+    #[test]
+    fn update_roundtrip(
+        announce in vec(arb_prefix_v4(), 0..5),
+        withdraw in vec(arb_prefix_v4(), 0..5),
+        attrs in arb_attrs(),
+        add_path in any::<bool>(),
+        path_ids in vec(any::<u32>(), 5),
+    ) {
+        let ctx = if add_path { SessionCodecCtx::add_path_both() } else { SessionCodecCtx::default() };
+        let pid = |i: usize| if add_path { Some(path_ids[i % 5]) } else { None };
+        let msg = UpdateMsg {
+            withdrawn: withdraw.iter().enumerate().map(|(i, p)| (*p, pid(i))).collect(),
+            attrs: if announce.is_empty() { None } else { Some(attrs) },
+            announce: announce.iter().enumerate().map(|(i, p)| (*p, pid(i))).collect(),
+        };
+        let wire = Message::Update(msg.clone()).encode(&ctx);
+        let (decoded, used) = Message::decode(&wire, &ctx).unwrap();
+        prop_assert_eq!(used, wire.len());
+        match decoded {
+            Message::Update(u) => {
+                // Announce order is preserved; withdrawn order too (v4 only here).
+                prop_assert_eq!(u.announce, msg.announce);
+                prop_assert_eq!(u.withdrawn, msg.withdrawn);
+                prop_assert_eq!(u.attrs, msg.attrs);
+            }
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    /// IPv6 NLRI also roundtrips, through the MP attributes.
+    #[test]
+    fn update_roundtrip_v6(
+        announce in vec(arb_prefix_v6(), 1..4),
+        attrs in arb_attrs(),
+    ) {
+        let ctx = SessionCodecCtx::default();
+        let mut attrs = attrs;
+        attrs.next_hop = Some("2001:db8::1".parse().unwrap());
+        let msg = UpdateMsg::announce(announce.iter().map(|p| (*p, None)).collect(), attrs);
+        let wire = Message::Update(msg.clone()).encode(&ctx);
+        let (decoded, _) = Message::decode(&wire, &ctx).unwrap();
+        match decoded {
+            Message::Update(u) => prop_assert_eq!(u.announce, msg.announce),
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    /// Truncating a message never panics and never yields a phantom parse
+    /// of the full message.
+    #[test]
+    fn truncated_messages_never_panic(
+        announce in vec(arb_prefix_v4(), 1..4),
+        attrs in arb_attrs(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let ctx = SessionCodecCtx::default();
+        let msg = UpdateMsg::announce(announce.iter().map(|p| (*p, None)).collect(), attrs);
+        let wire = Message::Update(msg).encode(&ctx);
+        let cut = cut.index(wire.len());
+        let _ = Message::decode(&wire[..cut], &ctx); // must not panic
+    }
+
+    /// Flipping any single byte of an encoded message never panics the
+    /// decoder (it may still parse — BGP has no checksum; TCP provides
+    /// integrity in the real stack).
+    #[test]
+    fn corrupted_messages_never_panic(
+        announce in vec(arb_prefix_v4(), 1..4),
+        attrs in arb_attrs(),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let ctx = SessionCodecCtx::default();
+        let msg = UpdateMsg::announce(announce.iter().map(|p| (*p, None)).collect(), attrs);
+        let mut wire = Message::Update(msg).encode(&ctx);
+        let pos = pos.index(wire.len());
+        wire[pos] ^= 1 << bit;
+        let _ = Message::decode(&wire, &ctx); // must not panic
+    }
+
+    /// The prefix trie agrees with a naive reference model on inserts,
+    /// removals, exact gets and longest-prefix lookups.
+    #[test]
+    fn trie_matches_reference_model(
+        ops in vec((arb_prefix_v4(), any::<bool>(), any::<u32>()), 1..60),
+        lookups in vec(any::<u32>(), 20),
+    ) {
+        let mut trie: PrefixTrie<u32> = PrefixTrie::new();
+        let mut model: std::collections::HashMap<Prefix, u32> = std::collections::HashMap::new();
+        for (p, insert, v) in &ops {
+            if *insert {
+                prop_assert_eq!(trie.insert(*p, *v), model.insert(*p, *v));
+            } else {
+                prop_assert_eq!(trie.remove(p), model.remove(p));
+            }
+            prop_assert_eq!(trie.len(), model.len());
+        }
+        for (p, _, _) in &ops {
+            prop_assert_eq!(trie.get(p), model.get(p));
+        }
+        for addr_bits in lookups {
+            let addr = Ipv4Addr::from(addr_bits);
+            let expected = model
+                .iter()
+                .filter(|(p, _)| p.contains_addr(addr.into()))
+                .max_by_key(|(p, _)| p.len());
+            let got = trie.lookup(addr.into());
+            match (expected, got) {
+                (None, None) => {}
+                (Some((ep, ev)), Some((gp, gv))) => {
+                    prop_assert_eq!(*ep, gp);
+                    prop_assert_eq!(ev, gv);
+                }
+                (e, g) => prop_assert!(false, "model {:?} trie {:?}", e, g.map(|(p, _)| p)),
+            }
+        }
+    }
+
+    /// Prefix display/parse roundtrips.
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        prop_assert_eq!(s.parse::<Prefix>().unwrap(), p);
+    }
+
+    /// AS-path length and containment are stable under prepending.
+    #[test]
+    fn prepend_invariants(path in arb_as_path(), asn in any::<u32>(), n in 0usize..10) {
+        let mut p = path.clone();
+        let before = p.path_len();
+        p.prepend(Asn(asn), n);
+        prop_assert_eq!(p.path_len(), before + n);
+        if n > 0 {
+            prop_assert!(p.contains(Asn(asn)));
+            prop_assert_eq!(p.first_as(), Some(Asn(asn)));
+        }
+    }
+
+    /// The control enforcer conserves NLRI: every announced prefix is
+    /// either in the compliant output or in the rejection list, never both,
+    /// never dropped silently.
+    #[test]
+    fn enforcement_conserves_nlri(
+        prefixes in vec(arb_prefix_v4(), 1..8),
+        asns in vec(any::<u32>().prop_map(Asn), 1..4),
+    ) {
+        use peering_repro::netsim::SimTime;
+        use peering_repro::vbgp::enforcement::control::ExperimentPolicy;
+        use peering_repro::vbgp::{CapabilitySet, ControlCommunities, ControlEnforcer, ExperimentId, PopId};
+        let mut e = ControlEnforcer::standalone(PopId(0), ControlCommunities::new(47065));
+        e.set_experiment(ExperimentId(1), ExperimentPolicy {
+            allocations: vec!["184.164.224.0/19".parse().unwrap()],
+            asns: vec![Asn(61574)],
+            caps: CapabilitySet::basic(),
+        });
+        let attrs = PathAttributes {
+            as_path: AsPath::from_asns(&asns),
+            next_hop: Some("100.125.1.2".parse().unwrap()),
+            ..Default::default()
+        };
+        let update = UpdateMsg::announce(prefixes.iter().map(|p| (*p, None)).collect(), attrs);
+        let (out, rejections) = e.check_update(ExperimentId(1), &update, SimTime::ZERO);
+        prop_assert_eq!(out.announce.len() + rejections.len(), prefixes.len());
+        for (p, _) in &out.announce {
+            prop_assert!(!rejections.iter().any(|(rp, _)| rp == p && out.announce.iter().filter(|(ap, _)| ap == p).count() == 1));
+        }
+    }
+}
+
+mod controller_props {
+    use super::*;
+    use peering_repro::platform::controller::NetworkController;
+    use peering_repro::platform::netconf::{Address, Interface, NetState, RouteEntry, Rule};
+
+    fn arb_address() -> impl Strategy<Value = Address> {
+        (0u8..4, 1u8..250).prop_map(|(a, b)| Address {
+            addr: Ipv4Addr::new(10, 0, a, b),
+            prefix_len: 24,
+        })
+    }
+
+    fn arb_interface() -> impl Strategy<Value = Interface> {
+        (any::<bool>(), vec(arb_address(), 0..4)).prop_map(|(up, mut addresses)| {
+            addresses.sort();
+            addresses.dedup();
+            Interface { up, addresses }
+        })
+    }
+
+    fn arb_netstate() -> impl Strategy<Value = NetState> {
+        (
+            vec((0u8..5, arb_interface()), 0..4),
+            vec((0u8..8, 0u8..4, 100u32..104), 0..5),
+            vec((1u32..6, 100u32..104), 0..4),
+        )
+            .prop_map(|(ifaces, routes, rules)| {
+                let mut st = NetState::new();
+                for (n, iface) in ifaces {
+                    st.interfaces.insert(format!("tap{n}"), iface);
+                }
+                for (a, b, table) in routes {
+                    let r = RouteEntry {
+                        dst: format!("192.168.{}.0/24", a * 4 + b).parse().unwrap(),
+                        via: Ipv4Addr::new(127, 65, 0, b + 1),
+                        table,
+                    };
+                    if !st.routes.contains(&r) {
+                        st.routes.push(r);
+                    }
+                }
+                for (selector, table) in rules {
+                    let r = Rule { selector, table };
+                    if !st.rules.contains(&r) {
+                        st.rules.push(r);
+                    }
+                }
+                st
+            })
+    }
+
+    fn structurally_equal(a: &NetState, b: &NetState) -> bool {
+        let sorted = |v: &Vec<RouteEntry>| {
+            let mut v: Vec<String> = v.iter().map(|r| format!("{r:?}")).collect();
+            v.sort();
+            v
+        };
+        let sorted_rules = |v: &Vec<Rule>| {
+            let mut v = v.clone();
+            v.sort();
+            v
+        };
+        a.interfaces == b.interfaces
+            && sorted(&a.routes) == sorted(&b.routes)
+            && sorted_rules(&a.rules) == sorted_rules(&b.rules)
+    }
+
+    proptest! {
+        /// The transactional controller always converges any actual state to
+        /// any intended state, and a second apply is a no-op.
+        #[test]
+        fn controller_converges_any_pair(intended in arb_netstate(), mut actual in arb_netstate()) {
+            let mut ctl = NetworkController::new();
+            ctl.apply(&intended, &mut actual).unwrap();
+            prop_assert!(structurally_equal(&intended, &actual));
+            let report = ctl.apply(&intended, &mut actual).unwrap();
+            prop_assert!(!report.changed, "steady state must be a no-op: {:?}", report.ops);
+        }
+
+        /// A mid-transaction failure always rolls back to the exact prior
+        /// structure, and the retry succeeds.
+        #[test]
+        fn controller_rolls_back_on_any_fault(
+            intended in arb_netstate(),
+            mut actual in arb_netstate(),
+            fail_at in 0u32..12,
+        ) {
+            let plan_len = NetworkController::plan(&intended, &actual).len() as u32;
+            prop_assume!(plan_len > 0);
+            let snapshot = actual.clone();
+            actual.fail_after = Some(fail_at % plan_len);
+            let mut ctl = NetworkController::new();
+            let result = ctl.apply(&intended, &mut actual);
+            prop_assert!(result.is_err());
+            prop_assert!(structurally_equal(&snapshot, &actual), "rollback must restore");
+            // Retry without the fault.
+            actual.fail_after = None;
+            ctl.apply(&intended, &mut actual).unwrap();
+            prop_assert!(structurally_equal(&intended, &actual));
+        }
+    }
+}
+
+mod decision_props {
+    use super::*;
+    use peering_repro::bgp::decision::compare;
+    use peering_repro::bgp::rib::{PeerId, Route, RouteSource};
+    use peering_repro::bgp::types::RouterId;
+    use std::cmp::Ordering;
+
+    prop_compose! {
+        fn arb_route()(
+            path_len in 0usize..5,
+            seed in any::<u32>(),
+            local_pref in proptest::option::of(0u32..300),
+            med in proptest::option::of(0u32..100),
+            origin in 0u8..3,
+            ebgp in any::<bool>(),
+            stamp in 0u64..10,
+            router_id in 1u32..6,
+            path_id in 0u32..3,
+        ) -> Route {
+            let asns: Vec<Asn> = (0..path_len).map(|k| Asn(100 + ((seed as usize + k) % 7) as u32)).collect();
+            Route {
+                prefix: "192.168.0.0/24".parse().unwrap(),
+                path_id,
+                attrs: PathAttributes {
+                    origin: peering_repro::bgp::Origin::from_u8(origin).unwrap(),
+                    as_path: AsPath::from_asns(&asns),
+                    next_hop: Some(Ipv4Addr::new(10, 0, 0, 1).into()),
+                    med,
+                    local_pref,
+                    ..Default::default()
+                },
+                source: RouteSource::Peer {
+                    peer: PeerId(router_id),
+                    ebgp,
+                    router_id: RouterId(router_id),
+                    addr: Ipv4Addr::new(10, 0, 0, router_id as u8).into(),
+                },
+                stamp,
+            }
+        }
+    }
+
+    proptest! {
+        /// The decision process is antisymmetric and transitive — a genuine
+        /// total order — so sorting candidate lists is deterministic and
+        /// never panics. (MED's same-neighbor-only comparison is a classic
+        /// source of intransitivity in real BGP; the implementation must
+        /// order its steps so that cannot happen.)
+        #[test]
+        fn decision_is_a_total_order(routes in vec(arb_route(), 3)) {
+            let (a, b, c) = (&routes[0], &routes[1], &routes[2]);
+            // Antisymmetry.
+            prop_assert_eq!(compare(a, b), compare(b, a).reverse());
+            // Transitivity over this triple.
+            if compare(a, b) != Ordering::Greater && compare(b, c) != Ordering::Greater {
+                prop_assert_ne!(compare(a, c), Ordering::Greater);
+            }
+        }
+
+        /// best_path agrees with sorting.
+        #[test]
+        fn best_is_sort_head(routes in vec(arb_route(), 1..6)) {
+            let mut sorted = routes.clone();
+            peering_repro::bgp::decision::sort_candidates(&mut sorted);
+            let best = peering_repro::bgp::best_path(&routes).unwrap();
+            prop_assert_eq!(compare(best, &sorted[0]), Ordering::Equal);
+        }
+    }
+}
+
+mod tcp_props {
+    use super::*;
+    use peering_repro::netsim::{
+        FaultInjector, LinkConfig, MacAddr, PortId, SimDuration, SimTime, Simulator, TcpFlowConfig,
+        TcpReceiver, TcpSender,
+    };
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// The TCP flow model completes any transfer under ≤5% random loss,
+        /// arbitrary seeds and a range of latencies — no deadlocks, no data
+        /// corruption in the byte count.
+        #[test]
+        fn tcp_completes_under_loss(
+            seed in any::<u64>(),
+            loss in 0u8..=5,
+            latency_ms in 1u64..30,
+            kb in 50u64..500,
+        ) {
+            let mut sim = Simulator::new(seed);
+            let total = kb * 1000;
+            let cfg = TcpFlowConfig::new(
+                MacAddr::from_id(1),
+                MacAddr::from_id(2),
+                "10.0.0.1".parse().unwrap(),
+                "10.0.0.2".parse().unwrap(),
+                total,
+            );
+            let tx = sim.add_node(Box::new(TcpSender::new(cfg)));
+            let rx = sim.add_node(Box::new(TcpReceiver::new(
+                MacAddr::from_id(2),
+                "10.0.0.2".parse().unwrap(),
+            )));
+            let link = LinkConfig::provisioned(SimDuration::from_millis(latency_ms), 50_000_000)
+                .with_queue_bytes(512 * 1024)
+                .with_faults(FaultInjector::dropping(loss).data_plane_only());
+            sim.connect(tx, PortId(0), rx, PortId(0), link);
+            sim.set_timer(tx, SimDuration::ZERO, 0);
+            sim.run_until(SimTime::from_nanos(900_000_000_000));
+            let receiver = sim.node::<TcpReceiver>(rx).unwrap();
+            prop_assert_eq!(receiver.bytes_received, total, "transfer incomplete");
+            let sender = sim.node::<TcpSender>(tx).unwrap();
+            prop_assert!(sender.completed.is_some());
+        }
+    }
+}
+
+mod fsm_props {
+    use super::*;
+    use peering_repro::bgp::fsm::{FsmConfig, FsmEvent, SessionFsm, TimerKind};
+    use peering_repro::bgp::message::{Message, NotificationMsg, OpenMsg, UpdateMsg};
+    use peering_repro::bgp::types::RouterId;
+
+    fn arb_event() -> impl Strategy<Value = FsmEvent> {
+        prop_oneof![
+            Just(FsmEvent::ManualStart),
+            Just(FsmEvent::ManualStop),
+            Just(FsmEvent::TcpConnected),
+            Just(FsmEvent::TcpClosed),
+            Just(FsmEvent::Timer(TimerKind::ConnectRetry)),
+            Just(FsmEvent::Timer(TimerKind::Hold)),
+            Just(FsmEvent::Timer(TimerKind::Keepalive)),
+            Just(FsmEvent::Msg(Message::Keepalive)),
+            Just(FsmEvent::Msg(Message::Update(UpdateMsg::end_of_rib()))),
+            Just(FsmEvent::Msg(Message::Notification(NotificationMsg::cease()))),
+            (any::<u32>(), any::<bool>()).prop_map(|(asn, add_path)| {
+                FsmEvent::Msg(Message::Open(OpenMsg::standard(
+                    Asn(asn),
+                    90,
+                    RouterId(9),
+                    add_path,
+                )))
+            }),
+            Just(FsmEvent::Msg(Message::RouteRefresh { afi: 1, safi: 1 })),
+        ]
+    }
+
+    proptest! {
+        /// The session FSM is total: any event sequence (including
+        /// adversarial OPENs with wrong ASNs, stray timers and repeated
+        /// stops) never panics, and UPDATEs are only ever delivered while
+        /// Established.
+        #[test]
+        fn fsm_never_panics_and_gates_updates(events in vec(arb_event(), 1..60)) {
+            let mut fsm = SessionFsm::new(FsmConfig::ebgp(
+                Asn(47065),
+                RouterId(1),
+                Asn(100),
+            ));
+            for event in events {
+                let established_before = fsm.is_established();
+                let actions = fsm.handle(event);
+                for action in &actions {
+                    if matches!(action, peering_repro::bgp::fsm::FsmAction::DeliverUpdate(_)) {
+                        prop_assert!(
+                            established_before,
+                            "updates must only be delivered when Established"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+mod steering_props {
+    use super::*;
+    use peering_repro::vbgp::communities::{ControlCommunities, MAX_NEIGHBOR_ID};
+    use peering_repro::vbgp::NeighborId;
+
+    proptest! {
+        /// The §3.2.1 steering algebra: blacklist always wins; any whitelist
+        /// restricts export to exactly the whitelisted set; no steering
+        /// communities means export to everyone; unrelated communities are
+        /// inert.
+        #[test]
+        fn steering_semantics(
+            whitelist in vec(0u32..50, 0..4),
+            blacklist in vec(0u32..50, 0..4),
+            noise in vec(any::<u32>().prop_map(Community), 0..3),
+            probe in 0u32..50,
+        ) {
+            let cc = ControlCommunities::new(47065);
+            let mut communities: Vec<Community> = noise
+                .into_iter()
+                // Keep noise out of the control namespace.
+                .filter(|c| c.high() != 47065)
+                .collect();
+            for &n in &whitelist {
+                communities.push(cc.announce_to(NeighborId(n)));
+            }
+            for &n in &blacklist {
+                communities.push(cc.do_not_announce_to(NeighborId(n)));
+            }
+            let nbr = NeighborId(probe);
+            prop_assert!(probe <= MAX_NEIGHBOR_ID);
+            let allowed = cc.allows_export(&communities, nbr);
+            let expected = if blacklist.contains(&probe) {
+                false
+            } else if !whitelist.is_empty() {
+                whitelist.contains(&probe)
+            } else {
+                true
+            };
+            prop_assert_eq!(allowed, expected);
+            // Stripping removes every control community and nothing else.
+            let mut stripped = communities.clone();
+            cc.strip(&mut stripped);
+            prop_assert!(stripped.iter().all(|c| c.high() != 47065));
+            prop_assert_eq!(
+                stripped.len(),
+                communities.iter().filter(|c| c.high() != 47065).count()
+            );
+        }
+    }
+}

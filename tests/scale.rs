@@ -1,0 +1,93 @@
+//! Scalability smoke test: a single IXP PoP at a third of AMS-IX's
+//! published footprint — hundreds of member ASes behind the route server,
+//! dozens of bilateral peers — must converge with every session Established
+//! and the vBGP router holding a route from every origin.
+//!
+//! (The full-scale instance is exercised by the `footprint` and
+//! `amsix_scale` harnesses; this keeps CI honest at a size that still runs
+//! in seconds.)
+
+use peering_repro::netsim::SimDuration;
+use peering_repro::platform::intent::NeighborRole;
+use peering_repro::platform::platform::Peering;
+use peering_repro::platform::topology::{paper_intent, TopologyParams};
+use peering_repro::vbgp::VbgpRouter;
+
+#[test]
+fn one_third_scale_amsterdam_converges() {
+    let params = TopologyParams {
+        scale: 0.3,
+        backbone: false,
+        max_pops: 1,
+    };
+    let intent = paper_intent(&params);
+    let expected_bilateral = intent.pops[0]
+        .neighbors
+        .iter()
+        .filter(|n| n.role == NeighborRole::Peer)
+        .count();
+    let expected_members: u32 = intent.pops[0].neighbors.iter().map(|n| n.rs_members).sum();
+    assert!(expected_bilateral >= 30, "scale sanity");
+    assert!(expected_members >= 200, "scale sanity");
+
+    let mut p = Peering::build(intent, 77);
+    p.run_for(SimDuration::from_secs(30));
+
+    let router = p
+        .sim
+        .node::<VbgpRouter>(p.router_node("amsterdam01").unwrap())
+        .unwrap();
+    // Every neighbor session Established.
+    let mut established = 0;
+    for peer in router.host.speaker.peer_ids() {
+        assert!(
+            router.host.speaker.is_established(peer),
+            "session {peer:?} down at scale"
+        );
+        established += 1;
+    }
+    assert_eq!(established, expected_bilateral + 2); // + transit + RS
+
+    // The router holds a distinct origin prefix per peer and per RS member.
+    let prefixes = router.host.speaker.loc_rib().prefix_count();
+    let expected_origins = expected_bilateral + 1 + expected_members as usize;
+    assert!(
+        prefixes >= expected_origins,
+        "expected at least {expected_origins} prefixes, have {prefixes}"
+    );
+
+    // Per-neighbor FIBs are populated (the per-interconnection data plane).
+    assert!(
+        router.mux.total_fib_entries() >= expected_origins,
+        "mux FIBs underpopulated: {}",
+        router.mux.total_fib_entries()
+    );
+}
+
+#[test]
+fn platform_is_deterministic_for_a_seed() {
+    // Two identical builds from the same seed must agree on every
+    // observable: session counts, route counts, mux stats.
+    fn fingerprint(seed: u64) -> Vec<(usize, usize, u64)> {
+        let mut p = Peering::build(paper_intent(&TopologyParams::tiny()), seed);
+        p.run_for(SimDuration::from_secs(20));
+        p.pop_names()
+            .iter()
+            .map(|pop| {
+                let r = p
+                    .sim
+                    .node::<VbgpRouter>(p.router_node(pop).unwrap())
+                    .unwrap();
+                (
+                    r.host.speaker.loc_rib().prefix_count(),
+                    r.mux.total_fib_entries(),
+                    r.host.speaker.total_adj_in_paths() as u64,
+                )
+            })
+            .collect()
+    }
+    let a = fingerprint(42);
+    let b = fingerprint(42);
+    assert_eq!(a, b, "same seed must reproduce exactly");
+    assert!(a.iter().all(|(p, f, r)| *p > 0 && *f > 0 && *r > 0));
+}

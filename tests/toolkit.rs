@@ -1,0 +1,141 @@
+//! Table 1 end-to-end: drive every toolkit operation through the CLI
+//! against a live platform and assert on the outputs and resulting state.
+
+use peering_repro::netsim::SimDuration;
+use peering_repro::platform::experiment::Proposal;
+use peering_repro::platform::platform::{AttachedExperiment, Peering};
+use peering_repro::platform::topology::{paper_intent, TopologyParams};
+use peering_repro::toolkit::cli::{run_command, CliError};
+
+fn setup() -> (Peering, AttachedExperiment, String) {
+    let mut p = Peering::build(paper_intent(&TopologyParams::tiny()), 3);
+    let pop = p.pop_names()[0].clone();
+    let mut proposal = Proposal::basic("cli");
+    proposal.pops = vec![pop.clone()];
+    let exp = p.submit(proposal).unwrap();
+    (p, exp, pop)
+}
+
+fn run(p: &mut Peering, exp: &mut AttachedExperiment, cmd: &str) -> String {
+    let out =
+        run_command(&mut exp.toolkit, &mut p.sim, cmd).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+    p.run_for(SimDuration::from_secs(3));
+    out
+}
+
+#[test]
+fn tunnel_lifecycle_via_cli() {
+    let (mut p, mut exp, pop) = setup();
+    assert!(run(&mut p, &mut exp, "tunnel status").contains("Closed"));
+    assert_eq!(
+        run(&mut p, &mut exp, &format!("tunnel open {pop}")),
+        format!("tunnel {pop}: open")
+    );
+    assert!(run(&mut p, &mut exp, "tunnel status").contains("Open"));
+    // Double open is an error.
+    let err = run_command(&mut exp.toolkit, &mut p.sim, &format!("tunnel open {pop}")).unwrap_err();
+    assert!(matches!(err, CliError::Toolkit(_)));
+    assert_eq!(
+        run(&mut p, &mut exp, &format!("tunnel close {pop}")),
+        format!("tunnel {pop}: closed")
+    );
+}
+
+#[test]
+fn bgp_lifecycle_via_cli() {
+    let (mut p, mut exp, pop) = setup();
+    // bgp start before the tunnel is open fails.
+    let err = run_command(&mut exp.toolkit, &mut p.sim, &format!("bgp start {pop}")).unwrap_err();
+    assert!(matches!(err, CliError::Toolkit(_)));
+    run(&mut p, &mut exp, &format!("tunnel open {pop}"));
+    run(&mut p, &mut exp, &format!("bgp start {pop}"));
+    p.run_for(SimDuration::from_secs(5));
+    assert!(run(&mut p, &mut exp, "bgp status").contains("Established"));
+    run(&mut p, &mut exp, &format!("bgp stop {pop}"));
+    p.run_for(SimDuration::from_secs(2));
+    assert!(run(&mut p, &mut exp, "bgp status").contains("Down"));
+}
+
+#[test]
+fn prefix_management_via_cli() {
+    let (mut p, mut exp, pop) = setup();
+    let prefix = exp.lease.v4[0];
+    run(&mut p, &mut exp, &format!("tunnel open {pop}"));
+    run(&mut p, &mut exp, &format!("bgp start {pop}"));
+    p.run_for(SimDuration::from_secs(5));
+
+    let out = run(
+        &mut p,
+        &mut exp,
+        &format!("prefix announce {prefix} --pop {pop} --prepend 2"),
+    );
+    assert!(out.contains("announced"));
+    p.run_for(SimDuration::from_secs(3));
+
+    // The looking glass sees the prepended path.
+    let transit = p.neighbors_at(&pop)[0].0;
+    let dst = match prefix {
+        peering_repro::bgp::Prefix::V4 { addr, .. } => {
+            std::net::Ipv4Addr::from(u32::from(addr) + 1)
+        }
+        _ => unreachable!(),
+    };
+    let route = p.looking_glass(transit, dst).expect("announced");
+    // prepend 2 → the experiment ASN appears 3 times.
+    let own = exp.lease.asn;
+    assert_eq!(
+        route
+            .attrs
+            .as_path
+            .asns()
+            .iter()
+            .filter(|a| **a == own)
+            .count(),
+        3
+    );
+
+    // `route show` lists the vBGP fan-out for an Internet prefix.
+    let out = run(&mut p, &mut exp, "route show 198.18.1.0/24");
+    assert!(out.contains("via 127.65."), "expected vNH next hops: {out}");
+
+    let out = run(
+        &mut p,
+        &mut exp,
+        &format!("prefix withdraw {prefix} --pop {pop}"),
+    );
+    assert!(out.contains("withdrew"));
+    p.run_for(SimDuration::from_secs(3));
+    assert!(p.looking_glass(transit, dst).is_none());
+}
+
+#[test]
+fn steering_flags_via_cli() {
+    let (mut p, mut exp, pop) = setup();
+    let prefix = exp.lease.v4[0];
+    run(&mut p, &mut exp, &format!("tunnel open {pop}"));
+    run(&mut p, &mut exp, &format!("bgp start {pop}"));
+    p.run_for(SimDuration::from_secs(5));
+
+    let neighbors = p.neighbors_at(&pop);
+    let (first, second) = (neighbors[0].0, neighbors[1].0);
+    run(
+        &mut p,
+        &mut exp,
+        &format!(
+            "prefix announce {prefix} --pop {pop} --no-announce-to {}",
+            second.0
+        ),
+    );
+    p.run_for(SimDuration::from_secs(3));
+    let dst = match prefix {
+        peering_repro::bgp::Prefix::V4 { addr, .. } => {
+            std::net::Ipv4Addr::from(u32::from(addr) + 1)
+        }
+        _ => unreachable!(),
+    };
+    assert!(p.looking_glass(first, dst).is_some());
+    assert!(
+        p.looking_glass(second, dst).is_none(),
+        "blacklisted neighbor"
+    );
+}
