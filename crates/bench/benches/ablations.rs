@@ -8,8 +8,7 @@
 //! * **Per-neighbor tables (§3.2.2)** — classification + longest-prefix
 //!   lookup through the mux versus a plain single-table lookup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use peering_bench::{synth_prefix, SpeakerPair};
+use peering_bench::{synth_prefix, timing, SpeakerPair};
 use peering_bgp::policy::Policy;
 use peering_bgp::speaker::PeerConfig;
 use peering_bgp::types::Asn;
@@ -21,7 +20,7 @@ use peering_vbgp::mux::VbgpMux;
 use peering_vbgp::{CapabilitySet, ControlCommunities};
 
 /// Control-plane enforcement: per-update evaluation cost.
-fn control_enforcement(c: &mut Criterion) {
+fn control_enforcement() {
     let mut e = ControlEnforcer::standalone(PopId(0), ControlCommunities::new(47065));
     e.set_experiment(
         ExperimentId(1),
@@ -43,19 +42,18 @@ fn control_enforcement(c: &mut Criterion) {
         vec![("8.8.8.0/24".parse().unwrap(), None)],
         accepted.attrs.clone().unwrap(),
     );
-    let mut group = c.benchmark_group("ablation/control_enforcement");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("compliant_update", |b| {
-        b.iter(|| std::hint::black_box(e.check_update(ExperimentId(1), &accepted, SimTime::ZERO)))
+    timing::bench(
+        "ablation/control_enforcement/compliant_update",
+        10_000,
+        || e.check_update(ExperimentId(1), &accepted, SimTime::ZERO),
+    );
+    timing::bench("ablation/control_enforcement/hijack_update", 10_000, || {
+        e.check_update(ExperimentId(1), &rejected, SimTime::ZERO)
     });
-    group.bench_function("hijack_update", |b| {
-        b.iter(|| std::hint::black_box(e.check_update(ExperimentId(1), &rejected, SimTime::ZERO)))
-    });
-    group.finish();
 }
 
 /// Data-plane enforcement: per-packet verdict cost (the eBPF stand-in).
-fn data_enforcement(c: &mut Criterion) {
+fn data_enforcement() {
     let mut e = DataEnforcer::new();
     e.set_experiment(
         ExperimentId(1),
@@ -65,61 +63,55 @@ fn data_enforcement(c: &mut Criterion) {
         },
     );
     let src: std::net::IpAddr = "184.164.224.9".parse().unwrap();
-    let mut group = c.benchmark_group("ablation/data_enforcement");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("per_packet_verdict", |b| {
-        b.iter(|| {
-            std::hint::black_box(e.check_egress(
+    timing::bench(
+        "ablation/data_enforcement/per_packet_verdict",
+        100_000,
+        || {
+            e.check_egress(
                 ExperimentId(1),
                 src,
                 1500,
                 Some(NeighborId(1)),
                 SimTime::ZERO,
-            ))
-        })
-    });
-    group.finish();
+            )
+        },
+    );
 }
 
 /// ADD-PATH fan-out: per-update cost with 0, 2, 8 attached experiments.
-fn addpath_fanout(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/addpath_fanout");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(500));
+fn addpath_fanout() {
     for &n_exp in &[0usize, 2, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(n_exp), &n_exp, |b, &n| {
-            b.iter_batched(
-                || {
-                    let exports = (0..n)
-                        .map(|i| {
-                            PeerConfig::ebgp(
-                                Asn(61574 + i as u32),
-                                format!("100.125.{}.2", i + 1).parse().unwrap(),
-                                format!("100.125.{}.1", i + 1).parse().unwrap(),
-                            )
-                            .with_all_paths()
-                            .with_next_hop_unchanged()
-                        })
-                        .collect();
-                    let pair = SpeakerPair::establish(Policy::accept_all(), exports);
-                    let updates = pair.encoded_updates(500);
-                    (pair, updates)
-                },
-                |(mut pair, updates)| {
-                    for u in &updates {
-                        pair.feed(u);
-                    }
-                    pair
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        timing::bench_batched(
+            &format!("ablation/addpath_fanout/{n_exp} (500 updates)"),
+            10,
+            || {
+                let exports = (0..n_exp)
+                    .map(|i| {
+                        PeerConfig::ebgp(
+                            Asn(61574 + i as u32),
+                            format!("100.125.{}.2", i + 1).parse().unwrap(),
+                            format!("100.125.{}.1", i + 1).parse().unwrap(),
+                        )
+                        .with_all_paths()
+                        .with_next_hop_unchanged()
+                    })
+                    .collect();
+                let pair = SpeakerPair::establish(Policy::accept_all(), exports);
+                let updates = pair.encoded_updates(500);
+                (pair, updates)
+            },
+            |(mut pair, updates)| {
+                for u in &updates {
+                    pair.feed(u);
+                }
+                pair
+            },
+        );
     }
-    group.finish();
 }
 
 /// The mux data path: classify + per-neighbor LPM + egress resolution.
-fn mux_forwarding(c: &mut Criterion) {
+fn mux_forwarding() {
     let mut mux = VbgpMux::new();
     let vnh = mux.add_local_neighbor(NeighborId(1), PortId(0), MacAddr::from_id(0x11), None);
     for i in 0..100_000u64 {
@@ -127,26 +119,22 @@ fn mux_forwarding(c: &mut Criterion) {
     }
     let dst: std::net::Ipv4Addr = "10.1.2.3".parse().unwrap();
     mux.install_route(NeighborId(1), "10.0.0.0/8".parse().unwrap());
-    let mut group = c.benchmark_group("ablation/mux");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("classify_and_forward_100k_fib", |b| {
-        b.iter(|| {
+    timing::bench(
+        "ablation/mux/classify_and_forward_100k_fib",
+        100_000,
+        || {
             let target = mux.classify(vnh.mac).unwrap();
-            let egress = match target {
+            match target {
                 peering_vbgp::MuxTarget::NeighborTable(n) => mux.egress_via_neighbor(n, dst),
                 _ => None,
-            };
-            std::hint::black_box(egress)
-        })
-    });
-    group.finish();
+            }
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    control_enforcement,
-    data_enforcement,
-    addpath_fanout,
-    mux_forwarding
-);
-criterion_main!(benches);
+fn main() {
+    control_enforcement();
+    data_enforcement();
+    addpath_fanout();
+    mux_forwarding();
+}

@@ -1,9 +1,9 @@
-//! Criterion companion to the §6 backbone-throughput experiment: wall-clock
-//! cost of simulating one TCP transfer over a provisioned backbone link
-//! (the simulator must stay fast enough that the full PoP-pair matrix is a
+//! Companion to the §6 backbone-throughput experiment: wall-clock cost of
+//! simulating one TCP transfer over a provisioned backbone link (the
+//! simulator must stay fast enough that the full PoP-pair matrix is a
 //! seconds-scale harness, not an hours-scale one).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use peering_bench::timing;
 use peering_netsim::{
     LinkConfig, MacAddr, PortId, SimDuration, SimTime, Simulator, TcpFlowConfig, TcpReceiver,
     TcpSender,
@@ -34,17 +34,10 @@ fn transfer(bytes: u64) -> f64 {
         .unwrap_or(0.0)
 }
 
-fn tcp_transfer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("backbone/tcp_transfer");
-    group.sample_size(10);
+fn main() {
     for &mb in &[1u64, 5] {
-        group.throughput(Throughput::Bytes(mb * 1_000_000));
-        group.bench_with_input(BenchmarkId::new("megabytes", mb), &mb, |b, &mb| {
-            b.iter(|| std::hint::black_box(transfer(mb * 1_000_000)))
+        timing::bench(&format!("backbone/tcp_transfer/{mb}MB"), 10, || {
+            transfer(mb * 1_000_000)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, tcp_transfer);
-criterion_main!(benches);

@@ -1,56 +1,50 @@
-//! Criterion companion to Figure 6a: the time cost of growing the RIBs
-//! that the figure's memory accounting covers — route insertion into the
+//! Companion to Figure 6a: the time cost of growing the RIBs that the
+//! figure's memory accounting covers — route insertion into the
 //! Adj-RIB-In at increasing table sizes (memory growth is linear iff
 //! per-route insertion stays O(prefix length)).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use peering_bench::synth_route;
+use peering_bench::{synth_route, timing};
 use peering_bgp::rib::{AdjRibIn, PeerId};
 
-fn rib_insertion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6a/rib_insert");
-    group.sample_size(20);
+fn rib_insertion() {
     for &base in &[10_000u64, 100_000, 500_000] {
-        group.throughput(Throughput::Elements(1_000));
-        group.bench_with_input(BenchmarkId::from_parameter(base), &base, |b, &base| {
-            // Pre-fill to `base`, then measure inserting 1 000 more.
-            let mut rib = AdjRibIn::new();
-            for i in 0..base {
-                rib.insert(synth_route(i, PeerId(i as u32 % 240)));
-            }
-            let fresh: Vec<_> = (base..base + 1_000)
-                .map(|i| synth_route(i, PeerId(i as u32 % 240)))
-                .collect();
-            b.iter(|| {
+        // Pre-fill to `base`, then measure inserting 1 000 more.
+        let mut rib = AdjRibIn::new();
+        for i in 0..base {
+            rib.insert(synth_route(i, PeerId(i as u32 % 240)));
+        }
+        let fresh: Vec<_> = (base..base + 1_000)
+            .map(|i| synth_route(i, PeerId(i as u32 % 240)))
+            .collect();
+        timing::bench(
+            &format!("fig6a/rib_insert/{base} (1000 routes)"),
+            20,
+            || {
                 for r in &fresh {
                     rib.insert(r.clone());
                 }
                 for r in &fresh {
                     rib.remove(&r.prefix, r.path_id);
                 }
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn memory_accounting(c: &mut Criterion) {
+fn memory_accounting() {
     // The accounting function itself must stay cheap enough to sample in
     // production telemetry.
     let mut rib = AdjRibIn::new();
     for i in 0..100_000 {
         rib.insert(synth_route(i, PeerId(i as u32 % 240)));
     }
-    let mut group = c.benchmark_group("fig6a");
-    group.sample_size(20);
-    group.bench_function("memory_accounting_100k", |b| {
-        b.iter(|| {
-            let bytes: usize = rib.iter().map(peering_bgp::rib::route_memory_bytes).sum();
-            std::hint::black_box(bytes)
-        })
+    timing::bench("fig6a/memory_accounting_100k", 20, || {
+        let bytes: usize = rib.iter().map(peering_bgp::rib::route_memory_bytes).sum();
+        bytes
     });
-    group.finish();
 }
 
-criterion_group!(benches, rib_insertion, memory_accounting);
-criterion_main!(benches);
+fn main() {
+    rib_insertion();
+    memory_accounting();
+}

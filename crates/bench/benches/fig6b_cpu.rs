@@ -1,45 +1,30 @@
-//! Criterion companion to Figure 6b: per-update processing cost through
-//! the three filter configurations (accept / single-router vBGP /
-//! multi-router vBGP). The figure's lines are `rate × this cost`; the
-//! paper's claim under test is that the vBGP filters do not dominate.
+//! Companion to Figure 6b: per-update processing cost through the three
+//! filter configurations (accept / single-router vBGP / multi-router
+//! vBGP). The figure's lines are `rate × this cost`; the paper's claim
+//! under test is that the vBGP filters do not dominate.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use peering_bench::{fig6b_configs, SpeakerPair};
+use peering_bench::{fig6b_configs, timing, SpeakerPair};
 
-fn bench_config(c: &mut Criterion, name: &str, make: fn() -> SpeakerPair) {
-    let mut group = c.benchmark_group("fig6b");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(1_000));
-    group.bench_function(name, |b| {
-        b.iter_batched(
-            || {
-                let pair = make();
-                let updates = pair.encoded_updates(1_000);
-                (pair, updates)
-            },
-            |(mut pair, updates)| {
-                for u in &updates {
-                    pair.feed(u);
-                }
-                pair
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+fn bench_config(name: &str, make: fn() -> SpeakerPair) {
+    timing::bench_batched(
+        &format!("fig6b/{name} (1000 updates)"),
+        20,
+        || {
+            let pair = make();
+            let updates = pair.encoded_updates(1_000);
+            (pair, updates)
+        },
+        |(mut pair, updates)| {
+            for u in &updates {
+                pair.feed(u);
+            }
+            pair
+        },
+    );
 }
 
-fn accept(c: &mut Criterion) {
-    bench_config(c, "accept", fig6b_configs::accept);
+fn main() {
+    bench_config("accept", fig6b_configs::accept);
+    bench_config("single_router_vbgp", fig6b_configs::single_router);
+    bench_config("multi_router_vbgp", fig6b_configs::multi_router);
 }
-
-fn single_router(c: &mut Criterion) {
-    bench_config(c, "single_router_vbgp", fig6b_configs::single_router);
-}
-
-fn multi_router(c: &mut Criterion) {
-    bench_config(c, "multi_router_vbgp", fig6b_configs::multi_router);
-}
-
-criterion_group!(benches, accept, single_router, multi_router);
-criterion_main!(benches);

@@ -98,4 +98,18 @@ fn main() {
         "  linear in rate (cost batch-independent within 2x): {}",
         ratio > 0.5 && ratio < 2.0
     );
+
+    // Update batching: messages emitted toward the 3 attached ADD-PATH
+    // experiment sessions per bursty churn round, per-delta vs coalesced.
+    let rounds = 20;
+    let burst = 256;
+    let per_delta = peering_bench::churn_fanout(false, rounds, burst);
+    let coalesced = peering_bench::churn_fanout(true, rounds, burst);
+    println!("\n# update batching ({rounds} rounds × {burst}-prefix double-write bursts)");
+    println!("  baseline (per-delta emission):  {per_delta:>8.1} UPDATEs/round");
+    println!("  optimized (coalesced flush):    {coalesced:>8.1} UPDATEs/round");
+    println!(
+        "  reduction: {:.1}x fewer messages (acceptance bar: strictly fewer)",
+        per_delta / coalesced
+    );
 }

@@ -21,6 +21,57 @@ use peering_bgp::rib::{PeerId, Route, RouteSource};
 use peering_bgp::speaker::{PeerConfig, Speaker, SpeakerConfig, SpeakerOutput};
 use peering_bgp::types::{Asn, Prefix, RouterId};
 
+/// Minimal wall-clock benchmark runner. The seed used Criterion; that is
+/// unavailable offline, and these harnesses only need stable
+/// per-iteration timings printed to stdout.
+pub mod timing {
+    use std::time::Instant;
+
+    /// Run `f` `iters` times (after one warmup call) and print + return the
+    /// mean seconds per iteration.
+    pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+        assert!(iters > 0);
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let per = start.elapsed().as_secs_f64() / iters as f64;
+        report(name, per);
+        per
+    }
+
+    /// Like [`bench`] but rebuilds state with `setup` before every timed
+    /// call (Criterion's `iter_batched`): setup time is excluded.
+    pub fn bench_batched<S, R>(
+        name: &str,
+        iters: u32,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+    ) -> f64 {
+        assert!(iters > 0);
+        std::hint::black_box(f(setup()));
+        let mut total = 0.0f64;
+        for _ in 0..iters {
+            let state = setup();
+            let start = Instant::now();
+            std::hint::black_box(f(state));
+            total += start.elapsed().as_secs_f64();
+        }
+        let per = total / iters as f64;
+        report(name, per);
+        per
+    }
+
+    fn report(name: &str, per: f64) {
+        if per >= 1e-3 {
+            println!("{name:<52} {:>12.3} ms/iter", per * 1e3);
+        } else {
+            println!("{name:<52} {:>12.3} µs/iter", per * 1e6);
+        }
+    }
+}
+
 /// Deterministically synthesize the `i`-th route prefix (IXP-table-like
 /// spread of /16–/24s).
 pub fn synth_prefix(i: u64) -> Prefix {
@@ -30,22 +81,30 @@ pub fn synth_prefix(i: u64) -> Prefix {
     Prefix::v4(Ipv4Addr::from(addr), len).expect("synthetic prefix valid")
 }
 
+/// Distinct attribute sets in the synthetic workload. Real tables share
+/// attribute data heavily — an IXP feed of hundreds of thousands of
+/// prefixes draws from only tens of thousands of distinct AS paths — and
+/// the hash-consed attribute store exploits exactly that redundancy.
+pub const ATTR_POOL: u64 = 4_096;
+
 /// Synthesize attributes for the `i`-th route: realistic AS-path lengths
-/// (2–6 hops) and occasional communities.
+/// (2–6 hops), occasional communities, and table-like redundancy (the
+/// `i`-th route draws its path from a pool of [`ATTR_POOL`] variants).
 pub fn synth_attrs(i: u64, next_hop: Ipv4Addr) -> PathAttributes {
-    let path_len = 2 + (i % 5) as usize;
+    let v = i % ATTR_POOL;
+    let path_len = 2 + (v % 5) as usize;
     let asns: Vec<Asn> = (0..path_len)
-        .map(|k| Asn(1_000 + ((i.wrapping_mul(31).wrapping_add(k as u64 * 7)) % 60_000) as u32))
+        .map(|k| Asn(1_000 + ((v.wrapping_mul(31).wrapping_add(k as u64 * 7)) % 60_000) as u32))
         .collect();
     let mut attrs = PathAttributes {
         as_path: AsPath::from_asns(&asns),
         next_hop: Some(next_hop.into()),
         ..Default::default()
     };
-    if i.is_multiple_of(4) {
+    if v.is_multiple_of(4) {
         attrs
             .communities
-            .push(peering_bgp::types::Community::new(3356, (i % 1000) as u16));
+            .push(peering_bgp::types::Community::new(3356, (v % 1000) as u16));
     }
     attrs
 }
@@ -55,7 +114,7 @@ pub fn synth_route(i: u64, peer: PeerId) -> Route {
     Route {
         prefix: synth_prefix(i),
         path_id: 0,
-        attrs: synth_attrs(i, Ipv4Addr::new(10, 0, 0, 1)),
+        attrs: synth_attrs(i, Ipv4Addr::new(10, 0, 0, 1)).into(),
         source: RouteSource::Peer {
             peer,
             ebgp: true,
@@ -240,7 +299,7 @@ pub mod fig6b_configs {
     use super::*;
     use peering_vbgp::policies;
 
-    fn experiment_peers() -> Vec<PeerConfig> {
+    pub fn experiment_peers() -> Vec<PeerConfig> {
         (0..3)
             .map(|i| {
                 PeerConfig::ebgp(
@@ -336,6 +395,59 @@ pub fn memory_sweep(points: &[u64], interconnections: u32) -> Vec<MemoryPoint> {
     out
 }
 
+/// Fig. 6a companion (PR 1): load `n` synthetic routes through a real
+/// established session and return `(naive_bytes, interned_bytes)` — the
+/// RIB footprint under per-route-owned attributes vs the hash-consed
+/// attribute store actually in use.
+pub fn interned_memory(n: u64) -> (usize, usize) {
+    let mut pair = fig6b_configs::accept();
+    let updates = pair.encoded_updates(n);
+    for u in &updates {
+        pair.feed(u);
+    }
+    (
+        pair.dut.naive_rib_memory_bytes(),
+        pair.dut.rib_memory_bytes(),
+    )
+}
+
+/// Fig. 6b companion (PR 1): mean UPDATE messages emitted toward the
+/// attached experiment sessions per churn round. Each round delivers one
+/// burst re-announcing `burst` prefixes twice with changing attributes
+/// (flap-like churn drawing final paths from a small pool); `batching`
+/// selects per-delta emission (the pre-batching speaker) or the coalesced
+/// per-round flush.
+pub fn churn_fanout(batching: bool, rounds: u64, burst: u64) -> f64 {
+    use peering_bgp::message::Message;
+    let mut pair = SpeakerPair::establish(Policy::accept_all(), fig6b_configs::experiment_peers());
+    let _ = pair.dut.set_batching(batching);
+    let ctx = pair.dut.codec_ctx(pair.dut_peer);
+    let exp_peers: Vec<PeerId> = (1..=3).map(PeerId).collect();
+    let before: u64 = exp_peers
+        .iter()
+        .map(|&p| pair.dut.peer_stats(p).unwrap().updates_out)
+        .sum();
+    for r in 0..rounds {
+        let mut wire = Vec::new();
+        for i in 0..burst {
+            for pass in 0..2u64 {
+                let attrs = synth_attrs(
+                    (i % 16).wrapping_add((r * 2 + pass).wrapping_mul(7_919)),
+                    Ipv4Addr::new(10, 0, 0, 1),
+                );
+                let update = UpdateMsg::announce(vec![(synth_prefix(i), None)], attrs);
+                wire.extend(Message::Update(update).encode(&ctx));
+            }
+        }
+        pair.feed(&wire);
+    }
+    let after: u64 = exp_peers
+        .iter()
+        .map(|&p| pair.dut.peer_stats(p).unwrap().updates_out)
+        .sum();
+    (after - before) as f64 / rounds as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +493,25 @@ mod tests {
             pair.feed(u);
         }
         assert!(pair.dut.total_adj_in_paths() > 40);
+    }
+
+    #[test]
+    fn interning_reduces_rib_memory() {
+        let (naive, interned) = interned_memory(20_000);
+        assert!(
+            (interned as f64) <= naive as f64 * 0.7,
+            "expected ≥30% reduction: naive {naive} vs interned {interned}"
+        );
+    }
+
+    #[test]
+    fn batching_reduces_churn_fanout() {
+        let per_delta = churn_fanout(false, 4, 64);
+        let coalesced = churn_fanout(true, 4, 64);
+        assert!(
+            coalesced < per_delta,
+            "coalesced {coalesced} must be strictly below per-delta {per_delta}"
+        );
     }
 
     #[test]

@@ -221,7 +221,7 @@ impl fmt::Display for AsPath {
 
 /// An attribute we do not model, preserved byte-for-byte. PEERING's
 /// capability framework decides per experiment whether these may pass (§4.7).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct UnknownAttr {
     /// Attribute flags as received (partial bit may be set in transit).
     pub flags: u8,
@@ -261,7 +261,7 @@ const FLAG_TRANSITIVE: u8 = 0x40;
 const FLAG_EXT_LEN: u8 = 0x10;
 
 /// The parsed attribute set of a route.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct PathAttributes {
     /// ORIGIN (well-known mandatory).
     pub origin: Origin,
@@ -580,6 +580,90 @@ pub fn decode_attrs(buf: &[u8], ctx: &SessionCodecCtx) -> Result<DecodedAttrs, C
         mp_announce,
         mp_withdraw,
     })
+}
+
+/// A hash-consing store for [`PathAttributes`].
+///
+/// BGP tables are massively redundant in attribute space: a full feed of
+/// ~800k routes carries only tens of thousands of distinct attribute sets,
+/// and PEERING's 240-interconnection fan-in re-announces the *same* paths
+/// across sessions (§6, Fig. 6a). Interning gives every RIB — Adj-RIB-In,
+/// Loc-RIB, Adj-RIB-Out and the enforcement views — one shared allocation
+/// per distinct set instead of a deep copy per route.
+///
+/// `intern` is the only way attribute sets enter the RIBs; equality of the
+/// returned `Arc`s (pointer equality) then coincides with value equality,
+/// which the update batcher exploits to group NLRI by attribute set in
+/// O(1) per route.
+#[derive(Debug, Default)]
+pub struct AttrStore {
+    set: std::collections::HashSet<std::sync::Arc<PathAttributes>>,
+    /// Interning calls that found an existing allocation.
+    pub hits: u64,
+    /// Interning calls that had to allocate.
+    pub misses: u64,
+}
+
+impl AttrStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the canonical shared allocation for `attrs`.
+    pub fn intern(&mut self, attrs: PathAttributes) -> std::sync::Arc<PathAttributes> {
+        if let Some(existing) = self.set.get(&attrs) {
+            self.hits += 1;
+            return std::sync::Arc::clone(existing);
+        }
+        self.misses += 1;
+        let arc = std::sync::Arc::new(attrs);
+        self.set.insert(std::sync::Arc::clone(&arc));
+        arc
+    }
+
+    /// Canonicalize an already-shared allocation (e.g. one produced by a
+    /// policy engine that did not consult the store). If an equal set is
+    /// already interned the canonical one is returned and `attrs` dropped.
+    pub fn intern_arc(
+        &mut self,
+        attrs: std::sync::Arc<PathAttributes>,
+    ) -> std::sync::Arc<PathAttributes> {
+        if let Some(existing) = self.set.get(&*attrs) {
+            self.hits += 1;
+            return std::sync::Arc::clone(existing);
+        }
+        self.misses += 1;
+        self.set.insert(std::sync::Arc::clone(&attrs));
+        attrs
+    }
+
+    /// Number of distinct attribute sets held.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Drop every set no RIB references any more (strong count 1 = only
+    /// the store's own reference). Returns how many were released. Called
+    /// after withdraw churn; O(distinct sets).
+    pub fn gc(&mut self) -> usize {
+        let before = self.set.len();
+        self.set.retain(|arc| std::sync::Arc::strong_count(arc) > 1);
+        before - self.set.len()
+    }
+
+    /// Total bytes of the distinct attribute bodies currently held.
+    pub fn body_bytes(&self) -> usize {
+        self.set
+            .iter()
+            .map(|a| crate::rib::attr_body_bytes(a))
+            .sum()
+    }
 }
 
 #[cfg(test)]

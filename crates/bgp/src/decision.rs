@@ -103,7 +103,8 @@ mod tests {
                 as_path: AsPath::from_asns(&[Asn(peer), Asn(500)]),
                 next_hop: Some("10.0.0.1".parse().unwrap()),
                 ..Default::default()
-            },
+            }
+            .into(),
             source: RouteSource::Peer {
                 peer: PeerId(peer),
                 ebgp: true,
@@ -117,8 +118,8 @@ mod tests {
     #[test]
     fn local_pref_dominates() {
         let mut a = base(1);
-        a.attrs.local_pref = Some(200);
-        a.attrs.as_path = AsPath::from_asns(&[Asn(1), Asn(2), Asn(3), Asn(4)]);
+        a.attrs_mut().local_pref = Some(200);
+        a.attrs_mut().as_path = AsPath::from_asns(&[Asn(1), Asn(2), Asn(3), Asn(4)]);
         let b = base(2); // default LP 100, shorter path
         assert_eq!(compare(&a, &b), Ordering::Less);
         assert_eq!(best_path(&[b, a.clone()]).unwrap(), &a);
@@ -128,7 +129,7 @@ mod tests {
     fn shorter_as_path_wins() {
         let a = base(1);
         let mut b = base(2);
-        b.attrs.as_path.prepend(Asn(2), 2);
+        b.attrs_mut().as_path.prepend(Asn(2), 2);
         assert_eq!(compare(&a, &b), Ordering::Less);
     }
 
@@ -136,7 +137,7 @@ mod tests {
     fn origin_breaks_tie() {
         let a = base(1);
         let mut b = base(1);
-        b.attrs.origin = Origin::Incomplete;
+        b.attrs_mut().origin = Origin::Incomplete;
         assert_eq!(compare(&a, &b), Ordering::Less);
     }
 
@@ -144,9 +145,9 @@ mod tests {
     fn med_only_compared_same_neighbor_as() {
         // Same neighbor AS: lower MED wins.
         let mut a = base(1);
-        a.attrs.med = Some(10);
+        a.attrs_mut().med = Some(10);
         let mut b = base(1);
-        b.attrs.med = Some(20);
+        b.attrs_mut().med = Some(20);
         b.source = RouteSource::Peer {
             peer: PeerId(2),
             ebgp: true,
@@ -156,7 +157,7 @@ mod tests {
         assert_eq!(compare(&a, &b), Ordering::Less);
         // Different neighbor AS: MED ignored, falls through to router id.
         let mut c = base(2);
-        c.attrs.med = Some(999);
+        c.attrs_mut().med = Some(999);
         let a2 = base(1);
         assert_eq!(compare(&a2, &c), Ordering::Less); // router id 1 < 2
     }
@@ -198,7 +199,7 @@ mod tests {
     #[test]
     fn sort_is_total_and_deterministic() {
         let mut routes = vec![base(3), base(1), base(2)];
-        routes[0].attrs.local_pref = Some(50);
+        routes[0].attrs_mut().local_pref = Some(50);
         sort_candidates(&mut routes);
         let ids: Vec<u32> = routes
             .iter()
@@ -226,7 +227,7 @@ mod tests {
         assert_eq!(compare(&b, &a), Ordering::Less);
         // But a locally-originated route usually has an empty AS path:
         let mut a2 = a.clone();
-        a2.attrs.as_path = AsPath::empty();
+        a2.attrs_mut().as_path = AsPath::empty();
         assert_eq!(compare(&a2, &b), Ordering::Less);
     }
 }

@@ -8,6 +8,7 @@
 //! community-directed announcement steering (§3.2).
 
 use std::net::IpAddr;
+use std::sync::Arc;
 
 use crate::attrs::PathAttributes;
 use crate::rib::{PeerId, Route};
@@ -236,13 +237,19 @@ impl Policy {
     }
 
     /// Evaluate: returns the transformed attributes if accepted, `None` if
-    /// rejected. The input route is not modified.
-    pub fn evaluate(&self, route: &Route) -> Option<PathAttributes> {
+    /// rejected. The input route is not modified. Copy-on-write: when no
+    /// matched rule carries actions, the returned `Arc` is the route's own
+    /// (shared) attribute set — the common accept-all path allocates
+    /// nothing.
+    pub fn evaluate(&self, route: &Route) -> Option<Arc<PathAttributes>> {
         let mut working = route.clone();
         for rule in &self.rules {
             if rule.matches.matches(&working) {
-                for action in &rule.actions {
-                    action.apply(&mut working.attrs);
+                if !rule.actions.is_empty() {
+                    let attrs = Arc::make_mut(&mut working.attrs);
+                    for action in &rule.actions {
+                        action.apply(attrs);
+                    }
                 }
                 match rule.verdict {
                     Verdict::Accept => return Some(working.attrs),
@@ -274,7 +281,8 @@ mod tests {
                 next_hop: Some("10.0.0.1".parse().unwrap()),
                 communities: communities.to_vec(),
                 ..Default::default()
-            },
+            }
+            .into(),
             source: RouteSource::Peer {
                 peer: PeerId(1),
                 ebgp: true,

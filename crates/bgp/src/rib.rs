@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 use crate::attrs::PathAttributes;
 use crate::trie::PrefixTrie;
@@ -56,13 +57,25 @@ pub struct Route {
     pub prefix: Prefix,
     /// ADD-PATH id it was received with (0 on plain sessions).
     pub path_id: PathId,
-    /// Path attributes.
-    pub attrs: PathAttributes,
+    /// Path attributes, shared via the speaker's hash-consing
+    /// [`crate::attrs::AttrStore`]: every RIB holding the same attribute
+    /// set points at one allocation (the Fig. 6a memory lever).
+    pub attrs: Arc<PathAttributes>,
     /// Provenance.
     pub source: RouteSource,
     /// Arrival order stamp: lower = older (decision prefers older routes to
     /// damp oscillation, a common BGP implementation behaviour).
     pub stamp: u64,
+}
+
+impl Route {
+    /// Mutable access to the attributes, copy-on-write: if the set is
+    /// shared (interned), it is cloned first so other holders are
+    /// untouched. The result is un-interned; re-intern it before storing
+    /// back into a RIB.
+    pub fn attrs_mut(&mut self) -> &mut PathAttributes {
+        Arc::make_mut(&mut self.attrs)
+    }
 }
 
 /// Key identifying one path within a RIB.
@@ -217,13 +230,14 @@ impl LocRib {
     }
 }
 
-/// Approximate heap bytes used by one route — the unit of the paper's
-/// Fig. 6a memory accounting (they measure ~327 B/route in BIRD).
-pub fn route_memory_bytes(route: &Route) -> usize {
+/// Bytes of one attribute-set allocation: the `PathAttributes` struct plus
+/// its owned heap (AS-path segments, communities, unknown attrs). With
+/// interning this is paid once per *distinct* attribute set, however many
+/// routes share it.
+pub fn attr_body_bytes(attrs: &PathAttributes) -> usize {
     use std::mem::size_of;
-    let mut bytes = size_of::<Route>();
-    bytes += route
-        .attrs
+    let mut bytes = size_of::<PathAttributes>();
+    bytes += attrs
         .as_path
         .segments
         .iter()
@@ -231,20 +245,33 @@ pub fn route_memory_bytes(route: &Route) -> usize {
             let v = match s {
                 crate::attrs::AsPathSegment::Sequence(v) | crate::attrs::AsPathSegment::Set(v) => v,
             };
-            std::mem::size_of::<crate::types::Asn>() * v.len() + 24
+            size_of::<crate::types::Asn>() * v.len() + 24
         })
         .sum::<usize>();
-    bytes += route.attrs.communities.len() * 4;
-    bytes += route.attrs.large_communities.len() * 12;
-    bytes += route
-        .attrs
+    bytes += attrs.communities.len() * 4;
+    bytes += attrs.large_communities.len() * 12;
+    bytes += attrs
         .unknown
         .iter()
         .map(|u| u.value.len() + 24)
         .sum::<usize>();
-    // Trie node + map entry overhead.
-    bytes += 48;
     bytes
+}
+
+/// Per-route bytes excluding the (possibly shared) attribute body: the
+/// `Route` struct itself plus trie node + map entry overhead.
+pub fn route_overhead_bytes() -> usize {
+    std::mem::size_of::<Route>() + 48
+}
+
+/// Approximate heap bytes used by one route — the unit of the paper's
+/// Fig. 6a memory accounting (they measure ~327 B/route in BIRD). This is
+/// the *unshared* accounting: each route is charged its full attribute
+/// body, as if attributes were stored inline per route. Interned
+/// accounting (see `Speaker::rib_memory_bytes`) charges each distinct
+/// attribute allocation once.
+pub fn route_memory_bytes(route: &Route) -> usize {
+    route_overhead_bytes() + attr_body_bytes(&route.attrs)
 }
 
 #[cfg(test)]
@@ -261,7 +288,8 @@ mod tests {
                 as_path: AsPath::from_asns(&[Asn(peer)]),
                 next_hop: Some("10.0.0.1".parse().unwrap()),
                 ..Default::default()
-            },
+            }
+            .into(),
             source: RouteSource::Peer {
                 peer: PeerId(peer),
                 ebgp: true,
@@ -329,8 +357,10 @@ mod tests {
     fn memory_accounting_scales_with_attributes() {
         let small = route("10.0.0.0/8", 1, 1);
         let mut big = small.clone();
-        big.attrs.as_path = AsPath::from_asns(&[Asn(1); 50]);
-        big.attrs.communities = vec![crate::types::Community(1); 20];
+        let mut big_attrs = (*big.attrs).clone();
+        big_attrs.as_path = AsPath::from_asns(&[Asn(1); 50]);
+        big_attrs.communities = vec![crate::types::Community(1); 20];
+        big.attrs = big_attrs.into();
         assert!(route_memory_bytes(&big) > route_memory_bytes(&small));
         // Sanity: the paper reports ~327 B/route for BIRD; ours should be
         // the same order of magnitude for a plain route.

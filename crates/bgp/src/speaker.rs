@@ -15,13 +15,16 @@
 //!   (§3.2.1), with per-neighbor next-hop rewriting layered on via generated
 //!   export policies.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::IpAddr;
+use std::sync::Arc;
 
-use crate::attrs::PathAttributes;
+use crate::attrs::{AttrStore, PathAttributes};
 use crate::decision::sort_candidates;
 use crate::fsm::{FsmAction, FsmConfig, FsmEvent, FsmState, SessionFsm, TimerKind};
-use crate::message::{CodecError, Message, NotificationMsg, SessionCodecCtx, UpdateMsg};
+use crate::message::{
+    CodecError, Message, NotificationMsg, SessionCodecCtx, UpdateMsg, MAX_MESSAGE_LEN,
+};
 use crate::policy::Policy;
 use crate::rib::{AdjRibIn, LocRib, PeerId, Route, RouteSource};
 use crate::trie::PrefixTrie;
@@ -163,15 +166,40 @@ pub struct PeerStats {
     pub codec_errors: u64,
 }
 
+/// Per-peer dirty set of advertisements queued for the next flush. The
+/// Adj-RIB-Out is updated eagerly at diff time; the wire lags until
+/// [`Speaker`] flushes at the end of the public entry point, so N changes
+/// to one prefix within a burst collapse into at most one emission.
+#[derive(Debug, Default)]
+struct PendingAdverts {
+    /// (prefix, export path-id) → attributes to announce. Keys here are
+    /// never simultaneously in `withdraw`.
+    announce: BTreeMap<(Prefix, PathId), Arc<PathAttributes>>,
+    /// (prefix, export path-id) pairs to withdraw.
+    withdraw: BTreeSet<(Prefix, PathId)>,
+}
+
+impl PendingAdverts {
+    fn is_empty(&self) -> bool {
+        self.announce.is_empty() && self.withdraw.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.announce.clear();
+        self.withdraw.clear();
+    }
+}
+
 struct Peer {
     cfg: PeerConfig,
     fsm: SessionFsm,
     adj_in: AdjRibIn,
-    adj_out: PrefixTrie<BTreeMap<PathId, PathAttributes>>,
+    adj_out: PrefixTrie<BTreeMap<PathId, Arc<PathAttributes>>>,
     rx_buf: Vec<u8>,
     /// Stable export path-id per Loc-RIB route key.
     export_ids: HashMap<(Option<PeerId>, PathId), PathId>,
     next_export_id: PathId,
+    pending: PendingAdverts,
     stats: PeerStats,
 }
 
@@ -220,6 +248,15 @@ pub struct Speaker {
     loc_rib: LocRib,
     local_routes: PrefixTrie<Route>,
     stamp: u64,
+    /// Hash-consed attribute store: every attribute set held by the RIBs
+    /// is one shared allocation per distinct value.
+    attr_store: AttrStore,
+    /// Intern-store GC watermark (amortized sweeping of dead entries).
+    gc_watermark: usize,
+    /// Coalesce re-advertisements into multi-NLRI UPDATEs flushed once per
+    /// entry-point round (the ADD-PATH fan-out optimisation). When off,
+    /// every Adj-RIB-Out delta is emitted immediately as its own message.
+    batching: bool,
 }
 
 impl Speaker {
@@ -231,6 +268,9 @@ impl Speaker {
             loc_rib: LocRib::new(),
             local_routes: PrefixTrie::new(),
             stamp: 0,
+            attr_store: AttrStore::new(),
+            gc_watermark: 1024,
+            batching: true,
         }
     }
 
@@ -263,9 +303,39 @@ impl Speaker {
             rx_buf: Vec::new(),
             export_ids: HashMap::new(),
             next_export_id: 1,
+            pending: PendingAdverts::default(),
             stats: PeerStats::default(),
         };
         self.peers.insert(id, peer);
+    }
+
+    /// Toggle update batching. Turning it off first flushes anything
+    /// pending so no advertisement is stranded, then reverts to immediate
+    /// per-delta emission (the pre-batching behaviour; the Fig. 6b
+    /// baseline and the differential tests rely on it).
+    pub fn set_batching(&mut self, on: bool) -> SpeakerOutput {
+        let mut out = SpeakerOutput::default();
+        if !on {
+            self.flush_all(&mut out);
+        }
+        self.batching = on;
+        out
+    }
+
+    /// Whether update batching is enabled.
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// The hash-consed attribute store (interning stats; Fig. 6a).
+    pub fn attr_store(&self) -> &AttrStore {
+        &self.attr_store
+    }
+
+    /// Drop interned attribute sets no longer referenced by any RIB;
+    /// returns how many were released.
+    pub fn gc_attrs(&mut self) -> usize {
+        self.attr_store.gc()
     }
 
     /// Remove a peer entirely (used by the platform when an experiment
@@ -276,6 +346,7 @@ impl Speaker {
         if existed {
             self.drop_peer_routes(id, &mut out);
             self.peers.remove(&id);
+            self.flush_all(&mut out);
         }
         (existed, out)
     }
@@ -340,32 +411,43 @@ impl Speaker {
         for prefix in prefixes {
             self.export_prefix_to(id, prefix, &mut out);
         }
+        self.flush_peer(id, &mut out);
         out
     }
 
     /// Start a peer's session.
     pub fn start_peer(&mut self, id: PeerId) -> SpeakerOutput {
-        self.drive(id, FsmEvent::ManualStart)
+        let mut out = self.drive(id, FsmEvent::ManualStart);
+        self.flush_all(&mut out);
+        out
     }
 
     /// Stop a peer's session (sends CEASE when established).
     pub fn stop_peer(&mut self, id: PeerId) -> SpeakerOutput {
-        self.drive(id, FsmEvent::ManualStop)
+        let mut out = self.drive(id, FsmEvent::ManualStop);
+        self.flush_all(&mut out);
+        out
     }
 
     /// Transport came up for a peer.
     pub fn on_transport_up(&mut self, id: PeerId) -> SpeakerOutput {
-        self.drive(id, FsmEvent::TcpConnected)
+        let mut out = self.drive(id, FsmEvent::TcpConnected);
+        self.flush_all(&mut out);
+        out
     }
 
     /// Transport failed/closed.
     pub fn on_transport_down(&mut self, id: PeerId) -> SpeakerOutput {
-        self.drive(id, FsmEvent::TcpClosed)
+        let mut out = self.drive(id, FsmEvent::TcpClosed);
+        self.flush_all(&mut out);
+        out
     }
 
     /// A timer armed via [`SpeakerEvent::ArmTimer`] fired.
     pub fn on_timer(&mut self, id: PeerId, kind: TimerKind) -> SpeakerOutput {
-        self.drive(id, FsmEvent::Timer(kind))
+        let mut out = self.drive(id, FsmEvent::Timer(kind));
+        self.flush_all(&mut out);
+        out
     }
 
     /// Bytes arrived from the peer's transport. Partial messages are
@@ -409,6 +491,7 @@ impl Speaker {
                 }
             }
         }
+        self.flush_all(&mut out);
         out
     }
 
@@ -418,13 +501,14 @@ impl Speaker {
         let route = Route {
             prefix,
             path_id: 0,
-            attrs,
+            attrs: self.attr_store.intern(attrs),
             source: RouteSource::Local,
             stamp: self.stamp,
         };
         self.local_routes.insert(prefix, route);
         let mut out = SpeakerOutput::default();
         self.recompute(prefix, &mut out);
+        self.flush_all(&mut out);
         out
     }
 
@@ -433,6 +517,7 @@ impl Speaker {
         let mut out = SpeakerOutput::default();
         if self.local_routes.remove(&prefix).is_some() {
             self.recompute(prefix, &mut out);
+            self.flush_all(&mut out);
         }
         out
     }
@@ -565,6 +650,8 @@ impl Speaker {
         for prefix in prefixes {
             self.export_prefix_to(id, prefix, out);
         }
+        // The initial table must hit the wire before the End-of-RIB marker.
+        self.flush_peer(id, out);
         if let Some(peer) = self.peers.get_mut(&id) {
             let ctx = peer.fsm.codec_ctx();
             peer.stats.msgs_out += 1;
@@ -581,6 +668,7 @@ impl Speaker {
         peer.rx_buf.clear();
         peer.adj_out = PrefixTrie::new();
         peer.export_ids.clear();
+        peer.pending.clear();
         let dropped = peer.adj_in.clear();
         let mut prefixes: Vec<Prefix> = dropped.iter().map(|r| r.prefix).collect();
         prefixes.sort();
@@ -592,6 +680,7 @@ impl Speaker {
         for prefix in prefixes {
             self.recompute(prefix, out);
         }
+        self.attr_store.gc();
     }
 
     fn process_update(&mut self, id: PeerId, update: UpdateMsg, out: &mut SpeakerOutput) {
@@ -604,6 +693,12 @@ impl Speaker {
         let negotiated = *peer.fsm.negotiated();
         let ebgp = peer.cfg.remote_asn != self.cfg.asn;
         let mut touched: Vec<Prefix> = Vec::new();
+        // Every NLRI in the update shares one attribute set: intern it once
+        // so all resulting Adj-RIB-In entries share one allocation.
+        let shared_attrs = update
+            .attrs
+            .as_ref()
+            .map(|a| self.attr_store.intern(a.clone()));
 
         for (prefix, path_id) in &update.withdrawn {
             let peer = self.peers.get_mut(&id).unwrap();
@@ -618,7 +713,7 @@ impl Speaker {
             }
         }
 
-        if let Some(attrs) = &update.attrs {
+        if let Some(attrs) = &shared_attrs {
             for (prefix, path_id) in &update.announce {
                 let peer = self.peers.get_mut(&id).unwrap();
                 let path_id = path_id.unwrap_or(0);
@@ -631,7 +726,7 @@ impl Speaker {
                 let candidate = Route {
                     prefix: *prefix,
                     path_id,
-                    attrs: attrs.clone(),
+                    attrs: Arc::clone(attrs),
                     source: RouteSource::Peer {
                         peer: id,
                         ebgp,
@@ -643,7 +738,7 @@ impl Speaker {
                 match peer.cfg.import.evaluate(&candidate) {
                     Some(imported_attrs) => {
                         let mut imported = candidate;
-                        imported.attrs = imported_attrs;
+                        imported.attrs = self.attr_store.intern_arc(imported_attrs);
                         // Replacing an existing path keeps the old stamp so
                         // re-announcement does not look "newer" to decision.
                         if let Some(old) = peer.adj_in.insert(imported.clone()) {
@@ -676,6 +771,11 @@ impl Speaker {
         touched.dedup();
         for prefix in touched {
             self.recompute(prefix, out);
+        }
+        // Amortized sweep of interned sets that churn has orphaned.
+        if self.attr_store.len() >= self.gc_watermark {
+            self.attr_store.gc();
+            self.gc_watermark = (self.attr_store.len() * 2).max(1024);
         }
     }
 
@@ -711,8 +811,8 @@ impl Speaker {
             AdvertiseMode::AllPaths => self.loc_rib.candidates(&prefix).to_vec(),
         };
 
-        // Desired advertisement set: path-id -> attrs.
-        let mut desired: BTreeMap<PathId, PathAttributes> = BTreeMap::new();
+        // Desired advertisement set: path-id -> interned attrs.
+        let mut desired: BTreeMap<PathId, Arc<PathAttributes>> = BTreeMap::new();
         {
             let peer = self.peers.get_mut(&id).unwrap();
             let use_add_path = peer.fsm.codec_ctx().add_path_v4 || peer.fsm.codec_ctx().add_path_v6;
@@ -729,16 +829,21 @@ impl Speaker {
                     continue;
                 };
                 if ebgp {
+                    let edited = Arc::make_mut(&mut attrs);
                     if !peer.cfg.transparent {
-                        attrs.as_path.prepend(self.cfg.asn, 1);
+                        edited.as_path.prepend(self.cfg.asn, 1);
                     }
-                    attrs.local_pref = None;
+                    edited.local_pref = None;
                     // Next-hop-self unless export policy set one explicitly
                     // or the peer is configured next-hop-unchanged.
-                    if !peer.cfg.next_hop_unchanged && attrs.next_hop == route.attrs.next_hop {
-                        attrs.next_hop = Some(peer.cfg.local_addr);
+                    if !peer.cfg.next_hop_unchanged && edited.next_hop == route.attrs.next_hop {
+                        edited.next_hop = Some(peer.cfg.local_addr);
                     }
                 }
+                // Re-intern so equal exports (e.g. one route fanned out to
+                // many experiment sessions) share one allocation, and so
+                // pointer equality below means value equality.
+                let attrs = self.attr_store.intern_arc(attrs);
                 let export_id = if use_add_path && mode == AdvertiseMode::AllPaths {
                     let key = (route.source.peer(), route.path_id);
                     if let Some(&eid) = peer.export_ids.get(&key) {
@@ -759,32 +864,50 @@ impl Speaker {
             }
         }
 
-        // Diff against adj-out.
+        // Diff against adj-out (the previously *desired* state; with
+        // batching on, the wire may lag it until the flush).
+        let batching = self.batching;
         let peer = self.peers.get_mut(&id).unwrap();
         let ctx = peer.fsm.codec_ctx();
         let add_path_session = match prefix {
             Prefix::V4 { .. } => ctx.add_path_v4,
             Prefix::V6 { .. } => ctx.add_path_v6,
         };
-        let current: BTreeMap<PathId, PathAttributes> =
+        let current: BTreeMap<PathId, Arc<PathAttributes>> =
             peer.adj_out.get(&prefix).cloned().unwrap_or_default();
 
         let mut msgs: Vec<UpdateMsg> = Vec::new();
         let mut withdrawals = Vec::new();
         for pid in current.keys() {
             if !desired.contains_key(pid) {
-                withdrawals.push((prefix, add_path_session.then_some(*pid)));
+                if batching {
+                    peer.pending.announce.remove(&(prefix, *pid));
+                    peer.pending.withdraw.insert((prefix, *pid));
+                } else {
+                    withdrawals.push((prefix, add_path_session.then_some(*pid)));
+                }
             }
         }
         if !withdrawals.is_empty() {
             msgs.push(UpdateMsg::withdraw(withdrawals));
         }
         for (pid, attrs) in &desired {
-            if current.get(pid) != Some(attrs) {
-                msgs.push(UpdateMsg::announce(
-                    vec![(prefix, add_path_session.then_some(*pid))],
-                    attrs.clone(),
-                ));
+            // Both sides are interned, so pointer equality is value
+            // equality (stale entries stay live in the store while the
+            // Adj-RIB-Out holds them).
+            let changed = !current.get(pid).is_some_and(|cur| Arc::ptr_eq(cur, attrs));
+            if changed {
+                if batching {
+                    peer.pending.withdraw.remove(&(prefix, *pid));
+                    peer.pending
+                        .announce
+                        .insert((prefix, *pid), Arc::clone(attrs));
+                } else {
+                    msgs.push(UpdateMsg::announce(
+                        vec![(prefix, add_path_session.then_some(*pid))],
+                        (**attrs).clone(),
+                    ));
+                }
             }
         }
 
@@ -800,6 +923,71 @@ impl Speaker {
         }
     }
 
+    /// Flush one peer's pending dirty set as packed multi-NLRI UPDATEs:
+    /// withdrawals first (one message), then announcements grouped by
+    /// shared attribute set, each split as needed to fit the 4096-byte
+    /// message limit.
+    fn flush_peer(&mut self, id: PeerId, out: &mut SpeakerOutput) {
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return;
+        };
+        if peer.pending.is_empty() {
+            return;
+        }
+        if !peer.fsm.is_established() {
+            peer.pending.clear();
+            return;
+        }
+        let ctx = peer.fsm.codec_ctx();
+        let nlri = |p: Prefix, pid: PathId| {
+            let add_path = match p {
+                Prefix::V4 { .. } => ctx.add_path_v4,
+                Prefix::V6 { .. } => ctx.add_path_v6,
+            };
+            (p, add_path.then_some(pid))
+        };
+        let withdraw = std::mem::take(&mut peer.pending.withdraw);
+        let announce = std::mem::take(&mut peer.pending.announce);
+
+        let mut msgs: Vec<UpdateMsg> = Vec::new();
+        if !withdraw.is_empty() {
+            let entries = withdraw.iter().map(|&(p, pid)| nlri(p, pid)).collect();
+            push_chunked(&mut msgs, UpdateMsg::withdraw(entries), &ctx);
+        }
+        // Group announcements by attribute identity (interned, so pointer
+        // identity suffices), preserving first-appearance order.
+        type AttrGroup = (Arc<PathAttributes>, Vec<(Prefix, Option<PathId>)>);
+        let mut groups: Vec<AttrGroup> = Vec::new();
+        let mut index: HashMap<*const PathAttributes, usize> = HashMap::new();
+        for (&(p, pid), attrs) in &announce {
+            let slot = *index.entry(Arc::as_ptr(attrs)).or_insert_with(|| {
+                groups.push((Arc::clone(attrs), Vec::new()));
+                groups.len() - 1
+            });
+            groups[slot].1.push(nlri(p, pid));
+        }
+        for (attrs, entries) in groups {
+            push_chunked(
+                &mut msgs,
+                UpdateMsg::announce(entries, (*attrs).clone()),
+                &ctx,
+            );
+        }
+        for msg in msgs {
+            peer.stats.msgs_out += 1;
+            peer.stats.updates_out += 1;
+            out.send.push((id, Message::Update(msg).encode(&ctx)));
+        }
+    }
+
+    /// Flush every peer's pending advertisements (deterministic order).
+    fn flush_all(&mut self, out: &mut SpeakerOutput) {
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        for id in ids {
+            self.flush_peer(id, out);
+        }
+    }
+
     /// Number of routes held across all Adj-RIBs-In (Fig. 6a's x-axis).
     pub fn total_adj_in_paths(&self) -> usize {
         self.peers.values().map(|p| p.adj_in.path_count).sum()
@@ -807,7 +995,41 @@ impl Speaker {
 
     /// Approximate memory footprint of all RIBs, in bytes (Fig. 6a's
     /// y-axis): Adj-RIB-In + Loc-RIB candidates + Adj-RIB-Out entries.
+    /// Attribute bodies are hash-consed, so each distinct set is charged
+    /// once no matter how many RIB views reference it.
     pub fn rib_memory_bytes(&self) -> usize {
+        let mut seen: std::collections::HashSet<*const PathAttributes> =
+            std::collections::HashSet::new();
+        let mut bytes = 0;
+        let mut charge = |attrs: &Arc<PathAttributes>, bytes: &mut usize| {
+            if seen.insert(Arc::as_ptr(attrs)) {
+                *bytes += crate::rib::attr_body_bytes(attrs);
+            }
+        };
+        for peer in self.peers.values() {
+            for route in peer.adj_in.iter() {
+                bytes += crate::rib::route_overhead_bytes();
+                charge(&route.attrs, &mut bytes);
+            }
+            for (_, m) in peer.adj_out.iter() {
+                bytes += 48 + m.len() * 40;
+                for attrs in m.values() {
+                    charge(attrs, &mut bytes);
+                }
+            }
+        }
+        for (_, candidates) in self.loc_rib.iter() {
+            for route in candidates {
+                bytes += crate::rib::route_overhead_bytes();
+                charge(&route.attrs, &mut bytes);
+            }
+        }
+        bytes
+    }
+
+    /// What the same tables would cost with per-route owned attribute
+    /// copies (the pre-interning layout) — the Fig. 6a baseline.
+    pub fn naive_rib_memory_bytes(&self) -> usize {
         let mut bytes = 0;
         for peer in self.peers.values() {
             for route in peer.adj_in.iter() {
@@ -815,6 +1037,9 @@ impl Speaker {
             }
             for (_, m) in peer.adj_out.iter() {
                 bytes += 48 + m.len() * 64;
+                for attrs in m.values() {
+                    bytes += crate::rib::attr_body_bytes(attrs);
+                }
             }
         }
         for (_, candidates) in self.loc_rib.iter() {
@@ -823,6 +1048,42 @@ impl Speaker {
             }
         }
         bytes
+    }
+
+    /// Snapshot of a peer's Adj-RIB-Out as `(prefix, [(path-id, attrs)])`
+    /// in deterministic order (differential-testing observability).
+    pub fn adj_rib_out_snapshot(&self, id: PeerId) -> Vec<(Prefix, Vec<(PathId, PathAttributes)>)> {
+        let Some(peer) = self.peers.get(&id) else {
+            return Vec::new();
+        };
+        let mut entries: Vec<(Prefix, Vec<(PathId, PathAttributes)>)> = peer
+            .adj_out
+            .iter()
+            .map(|(p, m)| (p, m.iter().map(|(pid, a)| (*pid, (**a).clone())).collect()))
+            .collect();
+        entries.sort_by_key(|(p, _)| *p);
+        entries
+    }
+}
+
+/// Append `msg` to `msgs`, recursively halving its NLRI list until each
+/// piece encodes within [`MAX_MESSAGE_LEN`].
+fn push_chunked(msgs: &mut Vec<UpdateMsg>, msg: UpdateMsg, ctx: &SessionCodecCtx) {
+    let nlri_count = msg.withdrawn.len().max(msg.announce.len());
+    if nlri_count <= 1 || Message::Update(msg.clone()).encode(ctx).len() <= MAX_MESSAGE_LEN {
+        msgs.push(msg);
+        return;
+    }
+    let mid = nlri_count / 2;
+    if msg.announce.is_empty() {
+        let (a, b) = msg.withdrawn.split_at(mid);
+        push_chunked(msgs, UpdateMsg::withdraw(a.to_vec()), ctx);
+        push_chunked(msgs, UpdateMsg::withdraw(b.to_vec()), ctx);
+    } else {
+        let attrs = msg.attrs.clone().unwrap_or_default();
+        let (a, b) = msg.announce.split_at(mid);
+        push_chunked(msgs, UpdateMsg::announce(a.to_vec(), attrs.clone()), ctx);
+        push_chunked(msgs, UpdateMsg::announce(b.to_vec(), attrs), ctx);
     }
 }
 

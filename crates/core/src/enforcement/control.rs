@@ -12,11 +12,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use peering_bgp::attrs::PathAttributes;
 use peering_bgp::message::UpdateMsg;
 use peering_bgp::types::{Asn, Prefix};
 use peering_netsim::SimTime;
+use std::sync::Mutex;
 
 use crate::capability::{CapabilityKind, CapabilitySet};
 use crate::communities::ControlCommunities;
@@ -284,7 +284,12 @@ impl ControlEnforcer {
                 rejections.push((*prefix, r));
                 continue;
             }
-            if !self.ledger.lock().charge(exp, *prefix, self.pop, now) {
+            if !self
+                .ledger
+                .lock()
+                .unwrap()
+                .charge(exp, *prefix, self.pop, now)
+            {
                 self.reject(Rejection::RateLimited);
                 rejections.push((*prefix, Rejection::RateLimited));
                 continue;
@@ -308,7 +313,12 @@ impl ControlEnforcer {
                     rejections.push((*prefix, r));
                     continue;
                 }
-                if !self.ledger.lock().charge(exp, *prefix, self.pop, now) {
+                if !self
+                    .ledger
+                    .lock()
+                    .unwrap()
+                    .charge(exp, *prefix, self.pop, now)
+                {
                     self.reject(Rejection::RateLimited);
                     rejections.push((*prefix, Rejection::RateLimited));
                     continue;
@@ -575,9 +585,12 @@ mod tests {
         let (_, rej) = e1.check_update(EXP, &u, SimTime::ZERO);
         assert!(rej.is_empty());
         assert_eq!(
-            ledger
-                .lock()
-                .used_today(EXP, prefix("184.164.224.0/24"), PopId(1), SimTime::ZERO),
+            ledger.lock().unwrap().used_today(
+                EXP,
+                prefix("184.164.224.0/24"),
+                PopId(1),
+                SimTime::ZERO
+            ),
             1
         );
     }

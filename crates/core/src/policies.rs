@@ -167,7 +167,8 @@ mod tests {
                 next_hop: Some(next_hop),
                 communities,
                 ..Default::default()
-            },
+            }
+            .into(),
             source: RouteSource::Peer {
                 peer: PeerId(0),
                 ebgp: true,

@@ -6,7 +6,7 @@
 //! mirrors smoltcp's behaviour: entries expire after one minute and requests
 //! for the same address are paced.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 

@@ -4,7 +4,7 @@
 //! an owned byte buffer; higher layers (ARP, IPv4) provide wire-level
 //! encode/decode so the simulator carries real packet bytes end to end.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use std::fmt;
 
 use crate::mac::MacAddr;

@@ -7,7 +7,7 @@
 //! echo request/reply (ping) and time-exceeded (traceroute), with wire
 //! encode/decode and the RFC 792 checksum.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 use crate::ip::{IpPacket, IPV4_HEADER_LEN};
 

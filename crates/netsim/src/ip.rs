@@ -6,7 +6,7 @@
 //! and parsed from real wire bytes (including the header checksum) so tests
 //! exercise the same paths a kernel would.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use std::fmt;
 use std::net::Ipv4Addr;
 

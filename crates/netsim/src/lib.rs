@@ -22,6 +22,7 @@
 //! ```
 
 pub mod arp;
+pub mod bytes;
 pub mod event;
 pub mod frame;
 pub mod icmp;
@@ -35,8 +36,8 @@ pub mod tcp;
 pub mod time;
 pub mod trace;
 
+pub use crate::bytes::Bytes;
 pub use arp::{ArpCache, ArpOp, ArpPacket};
-pub use bytes::Bytes;
 pub use event::{Event, EventKind, EventQueue};
 pub use frame::{EtherFrame, EtherType};
 pub use icmp::IcmpPacket;

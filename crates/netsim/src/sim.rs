@@ -5,8 +5,6 @@
 //! collects their outputs; the simulator applies those outputs after each
 //! callback, keeping borrows simple and execution deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -30,6 +28,40 @@ pub struct LinkId(pub u32);
 
 /// The two `(node, port)` endpoints of a link.
 pub type LinkEnds = ((NodeId, PortId), (NodeId, PortId));
+
+/// Deterministic pseudo-random source for fault injection (SplitMix64).
+///
+/// Everything random in the simulator — loss rolls, corruption positions —
+/// draws from one of these, seeded at construction, so runs replay exactly.
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift mapping: fine for fault injection, avoids modulo
+        // bias better than `% bound` for small bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
 
 /// Behaviour plugged into the simulator.
 ///
@@ -59,7 +91,7 @@ pub struct Ctx<'a> {
     now: SimTime,
     node: NodeId,
     actions: &'a mut Vec<Action>,
-    rng: &'a mut StdRng,
+    rng: &'a mut SimRng,
 }
 
 impl<'a> Ctx<'a> {
@@ -88,7 +120,7 @@ impl<'a> Ctx<'a> {
     }
 
     /// Deterministic randomness (seeded at simulator construction).
-    pub fn rng(&mut self) -> &mut impl Rng {
+    pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 }
@@ -105,7 +137,7 @@ pub struct Simulator {
     nodes: Vec<Option<Box<dyn Node>>>,
     ports: HashMap<(NodeId, PortId), (LinkId, usize)>,
     links: Vec<LinkState>,
-    rng: StdRng,
+    rng: SimRng,
     tracer: Tracer,
     /// Frames sent to unconnected ports (usually a wiring bug in a scenario).
     pub unrouted_frames: u64,
@@ -122,7 +154,7 @@ impl Simulator {
             nodes: Vec::new(),
             ports: HashMap::new(),
             links: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::new(seed),
             tracer: Tracer::disabled(),
             unrouted_frames: 0,
             processed_events: 0,
@@ -295,8 +327,8 @@ impl Simulator {
                         len: frame.wire_len(),
                     });
                     let state = &mut self.links[link_id.0 as usize];
-                    let drop_roll = self.rng.gen_range(0..100u8);
-                    let corrupt_roll = self.rng.gen_range(0..100u8);
+                    let drop_roll = self.rng.below(100) as u8;
+                    let corrupt_roll = self.rng.below(100) as u8;
                     let is_data_plane = matches!(
                         frame.ethertype,
                         crate::frame::EtherType::Ipv4 | crate::frame::EtherType::Ipv6
@@ -314,8 +346,8 @@ impl Simulator {
                         let mut frame = frame;
                         if corrupt && !frame.payload.is_empty() {
                             let mut payload = frame.payload.to_vec();
-                            let idx = self.rng.gen_range(0..payload.len());
-                            payload[idx] ^= 1 << self.rng.gen_range(0..8u8);
+                            let idx = self.rng.below(payload.len() as u64) as usize;
+                            payload[idx] ^= 1 << self.rng.below(8);
                             frame.payload = payload.into();
                         }
                         self.queue.push(
@@ -428,9 +460,9 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytes::Bytes;
     use crate::frame::EtherType;
     use crate::mac::MacAddr;
-    use bytes::Bytes;
 
     /// Echoes every frame back out the port it arrived on, swapping MACs.
     struct Echo {

@@ -119,10 +119,10 @@ impl Node for LearningSwitch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytes::Bytes;
     use crate::frame::EtherType;
     use crate::link::LinkConfig;
     use crate::sim::{NodeId, Simulator};
-    use bytes::Bytes;
 
     /// Records every received frame.
     struct Sink {

@@ -10,7 +10,7 @@
 //! bandwidth, queueing and loss configured in the topology, which is exactly
 //! what the §6 experiment varies.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 

@@ -8,12 +8,12 @@
 //! credentials and per-PoP configuration without disrupting running
 //! experiments. [`Review`] encodes those published rejection heuristics.
 
-use serde::{Deserialize, Serialize};
-
 use peering_vbgp::capability::{CapabilityKind, CapabilitySet, Grant};
 
+use crate::json::{obj, str_arr, Json, JsonError};
+
 /// A capability request in a proposal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CapabilityRequest {
     /// Poison up to `max` ASes per announcement.
     Poisoning {
@@ -34,7 +34,7 @@ pub enum CapabilityRequest {
 }
 
 /// An experiment proposal (the §4.6 web form's contents).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Proposal {
     /// Experiment name.
     pub name: String,
@@ -54,15 +54,103 @@ pub struct Proposal {
     pub capabilities: Vec<CapabilityRequest>,
     /// Run the experiment in a container colocated on the PEERING servers
     /// (the §7.4 extension): the "tunnel" becomes a local hop with
-    /// negligible latency, for latency-sensitive experiments.
-    #[serde(default)]
+    /// negligible latency, for latency-sensitive experiments. Defaults to
+    /// false when absent from stored JSON.
     pub colocated: bool,
     /// Longest AS path the experiment will announce (reviewers reject
     /// thousands-of-ASes paths, §7.1).
     pub max_as_path_len: usize,
 }
 
+impl CapabilityRequest {
+    fn to_json(self) -> Json {
+        match self {
+            CapabilityRequest::Poisoning { max } => obj(vec![
+                ("kind", Json::Str("Poisoning".to_string())),
+                ("max", Json::Num(max as u64)),
+            ]),
+            CapabilityRequest::Communities { max } => obj(vec![
+                ("kind", Json::Str("Communities".to_string())),
+                ("max", Json::Num(max as u64)),
+            ]),
+            CapabilityRequest::TransitiveAttributes => obj(vec![(
+                "kind",
+                Json::Str("TransitiveAttributes".to_string()),
+            )]),
+            CapabilityRequest::Transit => obj(vec![("kind", Json::Str("Transit".to_string()))]),
+            CapabilityRequest::SixToFour => obj(vec![("kind", Json::Str("SixToFour".to_string()))]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.field("kind")?.as_str()? {
+            "Poisoning" => Ok(CapabilityRequest::Poisoning {
+                max: v.field("max")?.as_u64()? as u32,
+            }),
+            "Communities" => Ok(CapabilityRequest::Communities {
+                max: v.field("max")?.as_u64()? as u32,
+            }),
+            "TransitiveAttributes" => Ok(CapabilityRequest::TransitiveAttributes),
+            "Transit" => Ok(CapabilityRequest::Transit),
+            "SixToFour" => Ok(CapabilityRequest::SixToFour),
+            other => Err(Json::shape_err(format!(
+                "unknown CapabilityRequest `{other}`"
+            ))),
+        }
+    }
+}
+
 impl Proposal {
+    /// Serialize for the web form / management database.
+    pub fn to_json(&self) -> String {
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("goals", Json::Str(self.goals.clone())),
+            ("plan", Json::Str(self.plan.clone())),
+            ("v4_prefixes", Json::Num(self.v4_prefixes as u64)),
+            ("want_v6", Json::Bool(self.want_v6)),
+            ("days", Json::Num(self.days as u64)),
+            ("pops", str_arr(&self.pops)),
+            (
+                "capabilities",
+                Json::Arr(self.capabilities.iter().map(|c| c.to_json()).collect()),
+            ),
+            ("colocated", Json::Bool(self.colocated)),
+            ("max_as_path_len", Json::Num(self.max_as_path_len as u64)),
+        ])
+        .compact()
+    }
+
+    /// Parse a submitted form.
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(json)?;
+        Ok(Proposal {
+            name: v.field("name")?.as_str()?.to_string(),
+            goals: v.field("goals")?.as_str()?.to_string(),
+            plan: v.field("plan")?.as_str()?.to_string(),
+            v4_prefixes: v.field("v4_prefixes")?.as_u64()? as usize,
+            want_v6: v.field("want_v6")?.as_bool()?,
+            days: v.field("days")?.as_u64()? as u32,
+            pops: v
+                .field("pops")?
+                .as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect::<Result<_, _>>()?,
+            capabilities: v
+                .field("capabilities")?
+                .as_arr()?
+                .iter()
+                .map(CapabilityRequest::from_json)
+                .collect::<Result<_, _>>()?,
+            colocated: match v.opt_field("colocated") {
+                Some(b) => b.as_bool()?,
+                None => false,
+            },
+            max_as_path_len: v.field("max_as_path_len")?.as_u64()? as usize,
+        })
+    }
+
     /// A basic measurement proposal needing nothing special.
     pub fn basic(name: &str) -> Self {
         Proposal {
@@ -215,10 +303,16 @@ mod tests {
 
     #[test]
     fn proposal_serializes_for_the_web_form() {
-        let p = Proposal::basic("serde");
-        let json = serde_json::to_string(&p).unwrap();
-        let back: Proposal = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.name, "serde");
+        let mut p = Proposal::basic("webform");
+        p.capabilities = vec![
+            CapabilityRequest::Poisoning { max: 3 },
+            CapabilityRequest::Transit,
+        ];
+        let json = p.to_json();
+        let back = Proposal::from_json(&json).unwrap();
+        assert_eq!(back.name, "webform");
         assert_eq!(back.v4_prefixes, 1);
+        assert_eq!(back.capabilities, p.capabilities);
+        assert!(!back.colocated);
     }
 }

@@ -9,12 +9,11 @@
 //! and the results are versioned so they can be inspected, canaried and
 //! rolled back.
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::{obj, str_arr, Json, JsonError};
 use crate::netconf::{Address, Interface, NetState};
 
 /// PoP hosting type (§4.2: "four at IXPs and nine at universities").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PopKind {
     /// Colocation at an Internet exchange: rich connectivity.
     Ixp,
@@ -23,7 +22,7 @@ pub enum PopKind {
 }
 
 /// Interconnection role of a neighbor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NeighborRole {
     /// Transit provider.
     Transit,
@@ -34,7 +33,7 @@ pub enum NeighborRole {
 }
 
 /// One neighbor in the desired state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NeighborIntent {
     /// Platform-wide neighbor id (steering community handle, global pool
     /// index).
@@ -46,13 +45,13 @@ pub struct NeighborIntent {
     /// Role.
     pub role: NeighborRole,
     /// For route servers: how many member ASes peer multilaterally behind
-    /// it (the §4.2 totals minus the bilateral counts).
-    #[serde(default)]
+    /// it (the §4.2 totals minus the bilateral counts; defaults to 0 when
+    /// absent from stored JSON).
     pub rs_members: u32,
 }
 
 /// One PoP in the desired state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PopIntent {
     /// PoP name ("amsterdam01"…).
     pub name: String,
@@ -67,7 +66,7 @@ pub struct PopIntent {
 }
 
 /// One approved experiment in the desired state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentIntent {
     /// Experiment id.
     pub id: u32,
@@ -86,7 +85,7 @@ pub struct ExperimentIntent {
 }
 
 /// The whole desired state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PlatformIntent {
     /// The platform's ASN.
     pub platform_asn: u32,
@@ -96,15 +95,210 @@ pub struct PlatformIntent {
     pub experiments: Vec<ExperimentIntent>,
 }
 
+impl PopKind {
+    fn to_json(self) -> Json {
+        Json::Str(
+            match self {
+                PopKind::Ixp => "Ixp",
+                PopKind::University => "University",
+            }
+            .to_string(),
+        )
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "Ixp" => Ok(PopKind::Ixp),
+            "University" => Ok(PopKind::University),
+            other => Err(Json::shape_err(format!("unknown PopKind `{other}`"))),
+        }
+    }
+}
+
+impl NeighborRole {
+    fn to_json(self) -> Json {
+        Json::Str(
+            match self {
+                NeighborRole::Transit => "Transit",
+                NeighborRole::Peer => "Peer",
+                NeighborRole::RouteServer => "RouteServer",
+            }
+            .to_string(),
+        )
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "Transit" => Ok(NeighborRole::Transit),
+            "Peer" => Ok(NeighborRole::Peer),
+            "RouteServer" => Ok(NeighborRole::RouteServer),
+            other => Err(Json::shape_err(format!("unknown NeighborRole `{other}`"))),
+        }
+    }
+}
+
+impl NeighborIntent {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("id", Json::Num(self.id as u64)),
+            ("name", Json::Str(self.name.clone())),
+            ("asn", Json::Num(self.asn as u64)),
+            ("role", self.role.to_json()),
+            ("rs_members", Json::Num(self.rs_members as u64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(NeighborIntent {
+            id: v.field("id")?.as_u64()? as u32,
+            name: v.field("name")?.as_str()?.to_string(),
+            asn: v.field("asn")?.as_u64()? as u32,
+            role: NeighborRole::from_json(v.field("role")?)?,
+            rs_members: match v.opt_field("rs_members") {
+                Some(n) => n.as_u64()? as u32,
+                None => 0,
+            },
+        })
+    }
+}
+
+impl PopIntent {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("kind", self.kind.to_json()),
+            (
+                "neighbors",
+                Json::Arr(self.neighbors.iter().map(|n| n.to_json()).collect()),
+            ),
+            (
+                "bandwidth_limit",
+                match self.bandwidth_limit {
+                    Some(b) => Json::Num(b),
+                    None => Json::Null,
+                },
+            ),
+            ("backbone", Json::Bool(self.backbone)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(PopIntent {
+            name: v.field("name")?.as_str()?.to_string(),
+            kind: PopKind::from_json(v.field("kind")?)?,
+            neighbors: v
+                .field("neighbors")?
+                .as_arr()?
+                .iter()
+                .map(NeighborIntent::from_json)
+                .collect::<Result<_, _>>()?,
+            bandwidth_limit: match v.opt_field("bandwidth_limit") {
+                Some(b) => Some(b.as_u64()?),
+                None => None,
+            },
+            backbone: v.field("backbone")?.as_bool()?,
+        })
+    }
+}
+
+impl ExperimentIntent {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("id", Json::Num(self.id as u64)),
+            ("name", Json::Str(self.name.clone())),
+            ("asn", Json::Num(self.asn as u64)),
+            ("v4_prefixes", str_arr(&self.v4_prefixes)),
+            (
+                "v6_prefix",
+                match &self.v6_prefix {
+                    Some(p) => Json::Str(p.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "capabilities",
+                Json::Arr(
+                    self.capabilities
+                        .iter()
+                        .map(|(name, limit)| {
+                            Json::Arr(vec![Json::Str(name.clone()), Json::Num(*limit as u64)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("pops", str_arr(&self.pops)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let strings = |field: &Json| -> Result<Vec<String>, JsonError> {
+            field
+                .as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect()
+        };
+        Ok(ExperimentIntent {
+            id: v.field("id")?.as_u64()? as u32,
+            name: v.field("name")?.as_str()?.to_string(),
+            asn: v.field("asn")?.as_u64()? as u32,
+            v4_prefixes: strings(v.field("v4_prefixes")?)?,
+            v6_prefix: match v.opt_field("v6_prefix") {
+                Some(p) => Some(p.as_str()?.to_string()),
+                None => None,
+            },
+            capabilities: v
+                .field("capabilities")?
+                .as_arr()?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr()?;
+                    if pair.len() != 2 {
+                        return Err(Json::shape_err("capability entry is not a pair"));
+                    }
+                    Ok((pair[0].as_str()?.to_string(), pair[1].as_u64()? as u32))
+                })
+                .collect::<Result<_, _>>()?,
+            pops: strings(v.field("pops")?)?,
+        })
+    }
+}
+
 impl PlatformIntent {
     /// Serialize for the central store.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("intent serializes")
+        obj(vec![
+            ("platform_asn", Json::Num(self.platform_asn as u64)),
+            (
+                "pops",
+                Json::Arr(self.pops.iter().map(|p| p.to_json()).collect()),
+            ),
+            (
+                "experiments",
+                Json::Arr(self.experiments.iter().map(|e| e.to_json()).collect()),
+            ),
+        ])
+        .pretty()
     }
 
     /// Load from the central store.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(json)?;
+        Ok(PlatformIntent {
+            platform_asn: v.field("platform_asn")?.as_u64()? as u32,
+            pops: v
+                .field("pops")?
+                .as_arr()?
+                .iter()
+                .map(PopIntent::from_json)
+                .collect::<Result<_, _>>()?,
+            experiments: v
+                .field("experiments")?
+                .as_arr()?
+                .iter()
+                .map(ExperimentIntent::from_json)
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     /// Find a PoP by name.
@@ -114,7 +308,7 @@ impl PlatformIntent {
 }
 
 /// Compiled per-service configuration for one PoP.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfigs {
     /// PoP name.
     pub pop: String,
@@ -124,8 +318,7 @@ pub struct ServiceConfigs {
     pub vpn_clients: Vec<String>,
     /// Enforcement entries: (experiment, prefixes, capability names).
     pub enforcement: Vec<(u32, Vec<String>, Vec<String>)>,
-    /// The intended kernel network state.
-    #[serde(skip)]
+    /// The intended kernel network state (not serialized to the store).
     pub netstate: NetState,
 }
 

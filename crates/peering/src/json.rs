@@ -1,0 +1,461 @@
+//! A minimal JSON value, parser and pretty-printer.
+//!
+//! The intent store (§5) serializes desired state as JSON; this module
+//! keeps that working without external dependencies (builds must succeed
+//! with the registry unreachable). It covers exactly the subset the
+//! platform writes: objects, arrays, strings, unsigned integers, booleans
+//! and null, with `\uXXXX` escapes accepted on input.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (all numbers the intent model uses).
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved for stable output.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON syntax or shape error, with byte offset where applicable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input (0 for shape errors found after parsing).
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Shorthand for a shape error (wrong type / missing field).
+    pub fn shape_err(message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: 0,
+        }
+    }
+
+    /// The value as a u64, or a shape error.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(Json::shape_err(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a bool, or a shape error.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(Json::shape_err(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as a string slice, or a shape error.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(Json::shape_err(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice, or a shape error.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(Json::shape_err(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Fetch a required object field.
+    pub fn field(&self, name: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Json::shape_err(format!("missing field `{name}`"))),
+            other => Err(Json::shape_err(format!("expected object, got {other:?}"))),
+        }
+    }
+
+    /// Fetch an optional object field (`None` when absent or `null`) — the
+    /// replacement for `#[serde(default)]`.
+    pub fn opt_field(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .filter(|v| **v != Json::Null),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document (the whole input must be one value).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                message: "trailing characters".to_string(),
+                offset: pos,
+            });
+        }
+        Ok(value)
+    }
+
+    /// Serialize with 2-space indentation (the store's human-inspectable
+    /// format).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    /// Serialize compactly.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&n.to_string()),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+/// Convenience: build an object from (key, value) pairs.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Convenience: an array of strings.
+pub fn str_arr(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn err(message: &str, offset: usize) -> JsonError {
+    JsonError {
+        message: message.to_string(),
+        offset,
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(&format!("expected `{}`", b as char), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err("unexpected end of input", *pos)),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, b"true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, b"null", Json::Null),
+        Some(c) if c.is_ascii_digit() => parse_num(bytes, pos),
+        Some(c) => Err(err(&format!("unexpected `{}`", *c as char), *pos)),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Json) -> Result<Json, JsonError> {
+    if bytes.len() >= *pos + lit.len() && &bytes[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err("invalid literal", *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are utf8");
+    text.parse::<u64>()
+        .map(Json::Num)
+        .map_err(|_| err("number out of range", start))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        if *pos + 4 >= bytes.len() {
+                            return Err(err("truncated \\u escape", *pos));
+                        }
+                        let hex = std::str::from_utf8(&bytes[*pos + 1..*pos + 5])
+                            .map_err(|_| err("bad \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err("bad \\u escape", *pos))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err("bad escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str so
+                // boundaries are valid).
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err("invalid utf8", *pos))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err("expected `,` or `]`", *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    let mut seen: BTreeMap<String, ()> = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        if seen.insert(key.clone(), ()).is_none() {
+            fields.push((key, value));
+        }
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(err("expected `,` or `}`", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pretty_and_compact() {
+        let v = obj(vec![
+            ("name", Json::Str("amsterdam01".into())),
+            ("count", Json::Num(42)),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+            (
+                "items",
+                Json::Arr(vec![Json::Num(1), Json::Str("two\n\"quoted\"".into())]),
+            ),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        for text in [v.pretty(), v.compact()] {
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"abc").is_err());
+        assert!(Json::parse("{}junk").is_err());
+        let e = Json::parse("   x").unwrap_err();
+        assert_eq!(e.offset, 3);
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let v = Json::parse(r#"{"a": 1, "b": [true], "s": "x"}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_u64().unwrap(), 1);
+        assert!(v.field("b").unwrap().as_arr().unwrap()[0]
+            .as_bool()
+            .unwrap());
+        assert_eq!(v.field("s").unwrap().as_str().unwrap(), "x");
+        assert!(v.field("nope").is_err());
+        assert!(v.opt_field("nope").is_none());
+        assert!(v.as_u64().is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = Json::parse(r#""Aé""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "Aé");
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first() {
+        let v = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_u64().unwrap(), 1);
+    }
+}

@@ -20,6 +20,7 @@ pub mod controller;
 pub mod experiment;
 pub mod intent;
 pub mod internet;
+pub mod json;
 pub mod netconf;
 pub mod platform;
 pub mod topology;

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use peering_bgp::rib::{PeerId, Route};
 use peering_bgp::types::{Asn, Prefix, RouterId};

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amsix_scale-0453df67e646f4e4.d: crates/bench/src/bin/amsix_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamsix_scale-0453df67e646f4e4.rmeta: crates/bench/src/bin/amsix_scale.rs Cargo.toml
+
+crates/bench/src/bin/amsix_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

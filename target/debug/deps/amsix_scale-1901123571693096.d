@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amsix_scale-1901123571693096.d: crates/bench/src/bin/amsix_scale.rs
+
+/root/repo/target/debug/deps/amsix_scale-1901123571693096: crates/bench/src/bin/amsix_scale.rs
+
+crates/bench/src/bin/amsix_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amsix_scale-4c5e14e7fdcba074.d: crates/bench/src/bin/amsix_scale.rs
+
+/root/repo/target/debug/deps/amsix_scale-4c5e14e7fdcba074: crates/bench/src/bin/amsix_scale.rs
+
+crates/bench/src/bin/amsix_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backbone_throughput-438d07b8e254d0b3.d: crates/bench/benches/backbone_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_throughput-438d07b8e254d0b3.rmeta: crates/bench/benches/backbone_throughput.rs Cargo.toml
+
+crates/bench/benches/backbone_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backbone_tput-33890265e8f6c3b5.d: crates/bench/src/bin/backbone_tput.rs
+
+/root/repo/target/debug/deps/backbone_tput-33890265e8f6c3b5: crates/bench/src/bin/backbone_tput.rs
+
+crates/bench/src/bin/backbone_tput.rs:

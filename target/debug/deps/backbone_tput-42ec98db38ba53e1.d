@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backbone_tput-42ec98db38ba53e1.d: crates/bench/src/bin/backbone_tput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_tput-42ec98db38ba53e1.rmeta: crates/bench/src/bin/backbone_tput.rs Cargo.toml
+
+crates/bench/src/bin/backbone_tput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

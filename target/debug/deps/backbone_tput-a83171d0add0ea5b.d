@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backbone_tput-a83171d0add0ea5b.d: crates/bench/src/bin/backbone_tput.rs
+
+/root/repo/target/debug/deps/backbone_tput-a83171d0add0ea5b: crates/bench/src/bin/backbone_tput.rs
+
+crates/bench/src/bin/backbone_tput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delegation-b8c1107e286eeb2b.d: tests/delegation.rs
+
+/root/repo/target/debug/deps/delegation-b8c1107e286eeb2b: tests/delegation.rs
+
+tests/delegation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delegation-eae28cf9b4c1d2a1.d: tests/delegation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelegation-eae28cf9b4c1d2a1.rmeta: tests/delegation.rs Cargo.toml
+
+tests/delegation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-4e10a5a9d1dece93.d: tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-4e10a5a9d1dece93.rmeta: tests/differential.rs Cargo.toml
+
+tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

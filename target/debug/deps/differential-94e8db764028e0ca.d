@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-94e8db764028e0ca.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-94e8db764028e0ca: tests/differential.rs
+
+tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enforcement_matrix-5cc60f0b7773adf9.d: tests/enforcement_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenforcement_matrix-5cc60f0b7773adf9.rmeta: tests/enforcement_matrix.rs Cargo.toml
+
+tests/enforcement_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

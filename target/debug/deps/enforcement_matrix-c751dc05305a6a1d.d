@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enforcement_matrix-c751dc05305a6a1d.d: tests/enforcement_matrix.rs
+
+/root/repo/target/debug/deps/enforcement_matrix-c751dc05305a6a1d: tests/enforcement_matrix.rs
+
+tests/enforcement_matrix.rs:

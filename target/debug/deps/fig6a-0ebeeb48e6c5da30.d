@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a-0ebeeb48e6c5da30.d: crates/bench/src/bin/fig6a.rs
+
+/root/repo/target/debug/deps/fig6a-0ebeeb48e6c5da30: crates/bench/src/bin/fig6a.rs
+
+crates/bench/src/bin/fig6a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6a-3a917c6fd0c93b0b.d: crates/bench/src/bin/fig6a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6a-3a917c6fd0c93b0b.rmeta: crates/bench/src/bin/fig6a.rs Cargo.toml
+
+crates/bench/src/bin/fig6a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a-5506af800dcfab4a.d: crates/bench/src/bin/fig6a.rs
+
+/root/repo/target/debug/deps/fig6a-5506af800dcfab4a: crates/bench/src/bin/fig6a.rs
+
+crates/bench/src/bin/fig6a.rs:

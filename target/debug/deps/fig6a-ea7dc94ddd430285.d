@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6a-ea7dc94ddd430285.d: crates/bench/src/bin/fig6a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6a-ea7dc94ddd430285.rmeta: crates/bench/src/bin/fig6a.rs Cargo.toml
+
+crates/bench/src/bin/fig6a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

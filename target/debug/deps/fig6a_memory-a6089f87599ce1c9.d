@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6a_memory-a6089f87599ce1c9.d: crates/bench/benches/fig6a_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6a_memory-a6089f87599ce1c9.rmeta: crates/bench/benches/fig6a_memory.rs Cargo.toml
+
+crates/bench/benches/fig6a_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6b-2b12adfac4426c93.d: crates/bench/src/bin/fig6b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6b-2b12adfac4426c93.rmeta: crates/bench/src/bin/fig6b.rs Cargo.toml
+
+crates/bench/src/bin/fig6b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

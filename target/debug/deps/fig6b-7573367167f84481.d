@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b-7573367167f84481.d: crates/bench/src/bin/fig6b.rs
+
+/root/repo/target/debug/deps/fig6b-7573367167f84481: crates/bench/src/bin/fig6b.rs
+
+crates/bench/src/bin/fig6b.rs:

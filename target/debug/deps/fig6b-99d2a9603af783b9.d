@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b-99d2a9603af783b9.d: crates/bench/src/bin/fig6b.rs
+
+/root/repo/target/debug/deps/fig6b-99d2a9603af783b9: crates/bench/src/bin/fig6b.rs
+
+crates/bench/src/bin/fig6b.rs:

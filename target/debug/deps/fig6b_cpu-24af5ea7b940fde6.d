@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6b_cpu-24af5ea7b940fde6.d: crates/bench/benches/fig6b_cpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6b_cpu-24af5ea7b940fde6.rmeta: crates/bench/benches/fig6b_cpu.rs Cargo.toml
+
+crates/bench/benches/fig6b_cpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/footprint-1dcc7bd86f09038d.d: crates/bench/src/bin/footprint.rs
+
+/root/repo/target/debug/deps/footprint-1dcc7bd86f09038d: crates/bench/src/bin/footprint.rs
+
+crates/bench/src/bin/footprint.rs:

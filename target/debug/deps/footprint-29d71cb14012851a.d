@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/footprint-29d71cb14012851a.d: crates/bench/src/bin/footprint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfootprint-29d71cb14012851a.rmeta: crates/bench/src/bin/footprint.rs Cargo.toml
+
+crates/bench/src/bin/footprint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/footprint-3ccb118ff4d97819.d: crates/bench/src/bin/footprint.rs
+
+/root/repo/target/debug/deps/footprint-3ccb118ff4d97819: crates/bench/src/bin/footprint.rs
+
+crates/bench/src/bin/footprint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-253b4f6b2d71d0d4.d: tests/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-253b4f6b2d71d0d4.rmeta: tests/parallel.rs Cargo.toml
+
+tests/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

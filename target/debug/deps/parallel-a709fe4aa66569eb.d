@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-a709fe4aa66569eb.d: tests/parallel.rs
+
+/root/repo/target/debug/deps/parallel-a709fe4aa66569eb: tests/parallel.rs
+
+tests/parallel.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/peering_bench-f5d2b9c9e6614ab3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpeering_bench-f5d2b9c9e6614ab3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpeering_bench-f5d2b9c9e6614ab3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peering_bench-ff923e11df1d454e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/peering_bench-ff923e11df1d454e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/peering_bgp-11b59902abe6b54b.d: crates/bgp/src/lib.rs crates/bgp/src/attrs.rs crates/bgp/src/decision.rs crates/bgp/src/fsm.rs crates/bgp/src/message/mod.rs crates/bgp/src/message/nlri.rs crates/bgp/src/message/notification.rs crates/bgp/src/message/open.rs crates/bgp/src/message/update.rs crates/bgp/src/policy.rs crates/bgp/src/rib.rs crates/bgp/src/speaker.rs crates/bgp/src/trie.rs crates/bgp/src/types.rs
+
+/root/repo/target/debug/deps/libpeering_bgp-11b59902abe6b54b.rlib: crates/bgp/src/lib.rs crates/bgp/src/attrs.rs crates/bgp/src/decision.rs crates/bgp/src/fsm.rs crates/bgp/src/message/mod.rs crates/bgp/src/message/nlri.rs crates/bgp/src/message/notification.rs crates/bgp/src/message/open.rs crates/bgp/src/message/update.rs crates/bgp/src/policy.rs crates/bgp/src/rib.rs crates/bgp/src/speaker.rs crates/bgp/src/trie.rs crates/bgp/src/types.rs
+
+/root/repo/target/debug/deps/libpeering_bgp-11b59902abe6b54b.rmeta: crates/bgp/src/lib.rs crates/bgp/src/attrs.rs crates/bgp/src/decision.rs crates/bgp/src/fsm.rs crates/bgp/src/message/mod.rs crates/bgp/src/message/nlri.rs crates/bgp/src/message/notification.rs crates/bgp/src/message/open.rs crates/bgp/src/message/update.rs crates/bgp/src/policy.rs crates/bgp/src/rib.rs crates/bgp/src/speaker.rs crates/bgp/src/trie.rs crates/bgp/src/types.rs
+
+crates/bgp/src/lib.rs:
+crates/bgp/src/attrs.rs:
+crates/bgp/src/decision.rs:
+crates/bgp/src/fsm.rs:
+crates/bgp/src/message/mod.rs:
+crates/bgp/src/message/nlri.rs:
+crates/bgp/src/message/notification.rs:
+crates/bgp/src/message/open.rs:
+crates/bgp/src/message/update.rs:
+crates/bgp/src/policy.rs:
+crates/bgp/src/rib.rs:
+crates/bgp/src/speaker.rs:
+crates/bgp/src/trie.rs:
+crates/bgp/src/types.rs:

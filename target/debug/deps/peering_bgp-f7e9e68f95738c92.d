@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/peering_bgp-f7e9e68f95738c92.d: crates/bgp/src/lib.rs crates/bgp/src/attrs.rs crates/bgp/src/decision.rs crates/bgp/src/fsm.rs crates/bgp/src/message/mod.rs crates/bgp/src/message/nlri.rs crates/bgp/src/message/notification.rs crates/bgp/src/message/open.rs crates/bgp/src/message/update.rs crates/bgp/src/policy.rs crates/bgp/src/rib.rs crates/bgp/src/speaker.rs crates/bgp/src/trie.rs crates/bgp/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeering_bgp-f7e9e68f95738c92.rmeta: crates/bgp/src/lib.rs crates/bgp/src/attrs.rs crates/bgp/src/decision.rs crates/bgp/src/fsm.rs crates/bgp/src/message/mod.rs crates/bgp/src/message/nlri.rs crates/bgp/src/message/notification.rs crates/bgp/src/message/open.rs crates/bgp/src/message/update.rs crates/bgp/src/policy.rs crates/bgp/src/rib.rs crates/bgp/src/speaker.rs crates/bgp/src/trie.rs crates/bgp/src/types.rs Cargo.toml
+
+crates/bgp/src/lib.rs:
+crates/bgp/src/attrs.rs:
+crates/bgp/src/decision.rs:
+crates/bgp/src/fsm.rs:
+crates/bgp/src/message/mod.rs:
+crates/bgp/src/message/nlri.rs:
+crates/bgp/src/message/notification.rs:
+crates/bgp/src/message/open.rs:
+crates/bgp/src/message/update.rs:
+crates/bgp/src/policy.rs:
+crates/bgp/src/rib.rs:
+crates/bgp/src/speaker.rs:
+crates/bgp/src/trie.rs:
+crates/bgp/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

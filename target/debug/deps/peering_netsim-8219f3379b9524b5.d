@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/peering_netsim-8219f3379b9524b5.d: crates/netsim/src/lib.rs crates/netsim/src/arp.rs crates/netsim/src/bytes.rs crates/netsim/src/event.rs crates/netsim/src/frame.rs crates/netsim/src/icmp.rs crates/netsim/src/ip.rs crates/netsim/src/link.rs crates/netsim/src/mac.rs crates/netsim/src/pcap.rs crates/netsim/src/sim.rs crates/netsim/src/switch.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeering_netsim-8219f3379b9524b5.rmeta: crates/netsim/src/lib.rs crates/netsim/src/arp.rs crates/netsim/src/bytes.rs crates/netsim/src/event.rs crates/netsim/src/frame.rs crates/netsim/src/icmp.rs crates/netsim/src/ip.rs crates/netsim/src/link.rs crates/netsim/src/mac.rs crates/netsim/src/pcap.rs crates/netsim/src/sim.rs crates/netsim/src/switch.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/arp.rs:
+crates/netsim/src/bytes.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/frame.rs:
+crates/netsim/src/icmp.rs:
+crates/netsim/src/ip.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/mac.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/switch.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

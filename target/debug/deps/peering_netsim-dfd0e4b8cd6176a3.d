@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/peering_netsim-dfd0e4b8cd6176a3.d: crates/netsim/src/lib.rs crates/netsim/src/arp.rs crates/netsim/src/bytes.rs crates/netsim/src/event.rs crates/netsim/src/frame.rs crates/netsim/src/icmp.rs crates/netsim/src/ip.rs crates/netsim/src/link.rs crates/netsim/src/mac.rs crates/netsim/src/pcap.rs crates/netsim/src/sim.rs crates/netsim/src/switch.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libpeering_netsim-dfd0e4b8cd6176a3.rlib: crates/netsim/src/lib.rs crates/netsim/src/arp.rs crates/netsim/src/bytes.rs crates/netsim/src/event.rs crates/netsim/src/frame.rs crates/netsim/src/icmp.rs crates/netsim/src/ip.rs crates/netsim/src/link.rs crates/netsim/src/mac.rs crates/netsim/src/pcap.rs crates/netsim/src/sim.rs crates/netsim/src/switch.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libpeering_netsim-dfd0e4b8cd6176a3.rmeta: crates/netsim/src/lib.rs crates/netsim/src/arp.rs crates/netsim/src/bytes.rs crates/netsim/src/event.rs crates/netsim/src/frame.rs crates/netsim/src/icmp.rs crates/netsim/src/ip.rs crates/netsim/src/link.rs crates/netsim/src/mac.rs crates/netsim/src/pcap.rs crates/netsim/src/sim.rs crates/netsim/src/switch.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/arp.rs:
+crates/netsim/src/bytes.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/frame.rs:
+crates/netsim/src/icmp.rs:
+crates/netsim/src/ip.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/mac.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/switch.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:

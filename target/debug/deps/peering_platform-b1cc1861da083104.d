@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/peering_platform-b1cc1861da083104.d: crates/peering/src/lib.rs crates/peering/src/allocation.rs crates/peering/src/controller.rs crates/peering/src/experiment.rs crates/peering/src/intent.rs crates/peering/src/internet.rs crates/peering/src/json.rs crates/peering/src/netconf.rs crates/peering/src/platform.rs crates/peering/src/topology.rs crates/peering/src/vpn.rs
+
+/root/repo/target/debug/deps/libpeering_platform-b1cc1861da083104.rlib: crates/peering/src/lib.rs crates/peering/src/allocation.rs crates/peering/src/controller.rs crates/peering/src/experiment.rs crates/peering/src/intent.rs crates/peering/src/internet.rs crates/peering/src/json.rs crates/peering/src/netconf.rs crates/peering/src/platform.rs crates/peering/src/topology.rs crates/peering/src/vpn.rs
+
+/root/repo/target/debug/deps/libpeering_platform-b1cc1861da083104.rmeta: crates/peering/src/lib.rs crates/peering/src/allocation.rs crates/peering/src/controller.rs crates/peering/src/experiment.rs crates/peering/src/intent.rs crates/peering/src/internet.rs crates/peering/src/json.rs crates/peering/src/netconf.rs crates/peering/src/platform.rs crates/peering/src/topology.rs crates/peering/src/vpn.rs
+
+crates/peering/src/lib.rs:
+crates/peering/src/allocation.rs:
+crates/peering/src/controller.rs:
+crates/peering/src/experiment.rs:
+crates/peering/src/intent.rs:
+crates/peering/src/internet.rs:
+crates/peering/src/json.rs:
+crates/peering/src/netconf.rs:
+crates/peering/src/platform.rs:
+crates/peering/src/topology.rs:
+crates/peering/src/vpn.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/peering_platform-ca6645feefa7cf87.d: crates/peering/src/lib.rs crates/peering/src/allocation.rs crates/peering/src/controller.rs crates/peering/src/experiment.rs crates/peering/src/intent.rs crates/peering/src/internet.rs crates/peering/src/json.rs crates/peering/src/netconf.rs crates/peering/src/platform.rs crates/peering/src/topology.rs crates/peering/src/vpn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeering_platform-ca6645feefa7cf87.rmeta: crates/peering/src/lib.rs crates/peering/src/allocation.rs crates/peering/src/controller.rs crates/peering/src/experiment.rs crates/peering/src/intent.rs crates/peering/src/internet.rs crates/peering/src/json.rs crates/peering/src/netconf.rs crates/peering/src/platform.rs crates/peering/src/topology.rs crates/peering/src/vpn.rs Cargo.toml
+
+crates/peering/src/lib.rs:
+crates/peering/src/allocation.rs:
+crates/peering/src/controller.rs:
+crates/peering/src/experiment.rs:
+crates/peering/src/intent.rs:
+crates/peering/src/internet.rs:
+crates/peering/src/json.rs:
+crates/peering/src/netconf.rs:
+crates/peering/src/platform.rs:
+crates/peering/src/topology.rs:
+crates/peering/src/vpn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

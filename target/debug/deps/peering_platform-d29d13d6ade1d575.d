@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/peering_platform-d29d13d6ade1d575.d: crates/peering/src/lib.rs crates/peering/src/allocation.rs crates/peering/src/controller.rs crates/peering/src/experiment.rs crates/peering/src/intent.rs crates/peering/src/internet.rs crates/peering/src/json.rs crates/peering/src/netconf.rs crates/peering/src/platform.rs crates/peering/src/topology.rs crates/peering/src/vpn.rs
+
+/root/repo/target/debug/deps/peering_platform-d29d13d6ade1d575: crates/peering/src/lib.rs crates/peering/src/allocation.rs crates/peering/src/controller.rs crates/peering/src/experiment.rs crates/peering/src/intent.rs crates/peering/src/internet.rs crates/peering/src/json.rs crates/peering/src/netconf.rs crates/peering/src/platform.rs crates/peering/src/topology.rs crates/peering/src/vpn.rs
+
+crates/peering/src/lib.rs:
+crates/peering/src/allocation.rs:
+crates/peering/src/controller.rs:
+crates/peering/src/experiment.rs:
+crates/peering/src/intent.rs:
+crates/peering/src/internet.rs:
+crates/peering/src/json.rs:
+crates/peering/src/netconf.rs:
+crates/peering/src/platform.rs:
+crates/peering/src/topology.rs:
+crates/peering/src/vpn.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/peering_repro-748a3f71c023b907.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpeering_repro-748a3f71c023b907.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpeering_repro-748a3f71c023b907.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peering_repro-e37b8cd27b8ad2de.d: src/lib.rs
+
+/root/repo/target/debug/deps/peering_repro-e37b8cd27b8ad2de: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/peering_toolkit-6c10f111dd0646c3.d: crates/toolkit/src/lib.rs crates/toolkit/src/cli.rs crates/toolkit/src/client.rs crates/toolkit/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeering_toolkit-6c10f111dd0646c3.rmeta: crates/toolkit/src/lib.rs crates/toolkit/src/cli.rs crates/toolkit/src/client.rs crates/toolkit/src/node.rs Cargo.toml
+
+crates/toolkit/src/lib.rs:
+crates/toolkit/src/cli.rs:
+crates/toolkit/src/client.rs:
+crates/toolkit/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

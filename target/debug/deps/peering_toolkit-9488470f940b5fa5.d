@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/peering_toolkit-9488470f940b5fa5.d: crates/toolkit/src/lib.rs crates/toolkit/src/cli.rs crates/toolkit/src/client.rs crates/toolkit/src/node.rs
+
+/root/repo/target/debug/deps/libpeering_toolkit-9488470f940b5fa5.rlib: crates/toolkit/src/lib.rs crates/toolkit/src/cli.rs crates/toolkit/src/client.rs crates/toolkit/src/node.rs
+
+/root/repo/target/debug/deps/libpeering_toolkit-9488470f940b5fa5.rmeta: crates/toolkit/src/lib.rs crates/toolkit/src/cli.rs crates/toolkit/src/client.rs crates/toolkit/src/node.rs
+
+crates/toolkit/src/lib.rs:
+crates/toolkit/src/cli.rs:
+crates/toolkit/src/client.rs:
+crates/toolkit/src/node.rs:

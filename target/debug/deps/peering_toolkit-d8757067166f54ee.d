@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/peering_toolkit-d8757067166f54ee.d: crates/toolkit/src/lib.rs crates/toolkit/src/cli.rs crates/toolkit/src/client.rs crates/toolkit/src/node.rs
+
+/root/repo/target/debug/deps/peering_toolkit-d8757067166f54ee: crates/toolkit/src/lib.rs crates/toolkit/src/cli.rs crates/toolkit/src/client.rs crates/toolkit/src/node.rs
+
+crates/toolkit/src/lib.rs:
+crates/toolkit/src/cli.rs:
+crates/toolkit/src/client.rs:
+crates/toolkit/src/node.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/peering_vbgp-7c92cae807974d68.d: crates/core/src/lib.rs crates/core/src/capability.rs crates/core/src/communities.rs crates/core/src/enforcement/mod.rs crates/core/src/enforcement/control.rs crates/core/src/enforcement/data.rs crates/core/src/ids.rs crates/core/src/mux.rs crates/core/src/policies.rs crates/core/src/router.rs crates/core/src/transport.rs crates/core/src/vnh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeering_vbgp-7c92cae807974d68.rmeta: crates/core/src/lib.rs crates/core/src/capability.rs crates/core/src/communities.rs crates/core/src/enforcement/mod.rs crates/core/src/enforcement/control.rs crates/core/src/enforcement/data.rs crates/core/src/ids.rs crates/core/src/mux.rs crates/core/src/policies.rs crates/core/src/router.rs crates/core/src/transport.rs crates/core/src/vnh.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/capability.rs:
+crates/core/src/communities.rs:
+crates/core/src/enforcement/mod.rs:
+crates/core/src/enforcement/control.rs:
+crates/core/src/enforcement/data.rs:
+crates/core/src/ids.rs:
+crates/core/src/mux.rs:
+crates/core/src/policies.rs:
+crates/core/src/router.rs:
+crates/core/src/transport.rs:
+crates/core/src/vnh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

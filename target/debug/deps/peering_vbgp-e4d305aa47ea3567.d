@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/peering_vbgp-e4d305aa47ea3567.d: crates/core/src/lib.rs crates/core/src/capability.rs crates/core/src/communities.rs crates/core/src/enforcement/mod.rs crates/core/src/enforcement/control.rs crates/core/src/enforcement/data.rs crates/core/src/ids.rs crates/core/src/mux.rs crates/core/src/policies.rs crates/core/src/router.rs crates/core/src/transport.rs crates/core/src/vnh.rs
+
+/root/repo/target/debug/deps/peering_vbgp-e4d305aa47ea3567: crates/core/src/lib.rs crates/core/src/capability.rs crates/core/src/communities.rs crates/core/src/enforcement/mod.rs crates/core/src/enforcement/control.rs crates/core/src/enforcement/data.rs crates/core/src/ids.rs crates/core/src/mux.rs crates/core/src/policies.rs crates/core/src/router.rs crates/core/src/transport.rs crates/core/src/vnh.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capability.rs:
+crates/core/src/communities.rs:
+crates/core/src/enforcement/mod.rs:
+crates/core/src/enforcement/control.rs:
+crates/core/src/enforcement/data.rs:
+crates/core/src/ids.rs:
+crates/core/src/mux.rs:
+crates/core/src/policies.rs:
+crates/core/src/router.rs:
+crates/core/src/transport.rs:
+crates/core/src/vnh.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform_backbone-cff143669eae3a37.d: tests/platform_backbone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_backbone-cff143669eae3a37.rmeta: tests/platform_backbone.rs Cargo.toml
+
+tests/platform_backbone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/platform_backbone-feefa7a6f87338a5.d: tests/platform_backbone.rs
+
+/root/repo/target/debug/deps/platform_backbone-feefa7a6f87338a5: tests/platform_backbone.rs
+
+tests/platform_backbone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-62ed39a0cd67fee8.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-62ed39a0cd67fee8: tests/props.rs
+
+tests/props.rs:

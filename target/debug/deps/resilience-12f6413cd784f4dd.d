@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-12f6413cd784f4dd.d: tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-12f6413cd784f4dd: tests/resilience.rs
+
+tests/resilience.rs:

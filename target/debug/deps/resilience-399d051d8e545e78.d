@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-399d051d8e545e78.d: tests/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-399d051d8e545e78.rmeta: tests/resilience.rs Cargo.toml
+
+tests/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-11d85443af5fed5d.d: tests/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-11d85443af5fed5d.rmeta: tests/scale.rs Cargo.toml
+
+tests/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

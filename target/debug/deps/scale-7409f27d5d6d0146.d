@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-7409f27d5d6d0146.d: tests/scale.rs
+
+/root/repo/target/debug/deps/scale-7409f27d5d6d0146: tests/scale.rs
+
+tests/scale.rs:

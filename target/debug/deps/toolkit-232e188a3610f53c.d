@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/toolkit-232e188a3610f53c.d: tests/toolkit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtoolkit-232e188a3610f53c.rmeta: tests/toolkit.rs Cargo.toml
+
+tests/toolkit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/toolkit-4e6632beadc85cdf.d: tests/toolkit.rs
+
+/root/repo/target/debug/deps/toolkit-4e6632beadc85cdf: tests/toolkit.rs
+
+tests/toolkit.rs:

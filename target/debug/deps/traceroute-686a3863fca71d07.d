@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traceroute-686a3863fca71d07.d: tests/traceroute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraceroute-686a3863fca71d07.rmeta: tests/traceroute.rs Cargo.toml
+
+tests/traceroute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traceroute-a10e5e07ea0f10c3.d: tests/traceroute.rs
+
+/root/repo/target/debug/deps/traceroute-a10e5e07ea0f10c3: tests/traceroute.rs
+
+tests/traceroute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backbone-bf6914fb2ca78b37.d: examples/backbone.rs
+
+/root/repo/target/debug/examples/backbone-bf6914fb2ca78b37: examples/backbone.rs
+
+examples/backbone.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/backbone-f59d087dfa25458c.d: examples/backbone.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbackbone-f59d087dfa25458c.rmeta: examples/backbone.rs Cargo.toml
+
+examples/backbone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

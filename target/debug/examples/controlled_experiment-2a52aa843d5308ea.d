@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/controlled_experiment-2a52aa843d5308ea.d: examples/controlled_experiment.rs
+
+/root/repo/target/debug/examples/controlled_experiment-2a52aa843d5308ea: examples/controlled_experiment.rs
+
+examples/controlled_experiment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/controlled_experiment-7d63fb0ce6a1ff6a.d: examples/controlled_experiment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontrolled_experiment-7d63fb0ce6a1ff6a.rmeta: examples/controlled_experiment.rs Cargo.toml
+
+examples/controlled_experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hidden_routes-8d43f4fceb7ee01c.d: examples/hidden_routes.rs
+
+/root/repo/target/debug/examples/hidden_routes-8d43f4fceb7ee01c: examples/hidden_routes.rs
+
+examples/hidden_routes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hidden_routes-a277cf528f186ebc.d: examples/hidden_routes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhidden_routes-a277cf528f186ebc.rmeta: examples/hidden_routes.rs Cargo.toml
+
+examples/hidden_routes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

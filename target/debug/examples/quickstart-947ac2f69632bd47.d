@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-947ac2f69632bd47.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-947ac2f69632bd47: examples/quickstart.rs
+
+examples/quickstart.rs:

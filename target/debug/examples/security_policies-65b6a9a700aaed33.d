@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/security_policies-65b6a9a700aaed33.d: examples/security_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecurity_policies-65b6a9a700aaed33.rmeta: examples/security_policies.rs Cargo.toml
+
+examples/security_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

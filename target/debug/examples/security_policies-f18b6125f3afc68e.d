@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/security_policies-f18b6125f3afc68e.d: examples/security_policies.rs
+
+/root/repo/target/debug/examples/security_policies-f18b6125f3afc68e: examples/security_policies.rs
+
+examples/security_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/toolkit_tour-c256ba7ea8d0b76e.d: examples/toolkit_tour.rs
+
+/root/repo/target/debug/examples/toolkit_tour-c256ba7ea8d0b76e: examples/toolkit_tour.rs
+
+examples/toolkit_tour.rs:

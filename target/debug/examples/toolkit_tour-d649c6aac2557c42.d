@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/toolkit_tour-d649c6aac2557c42.d: examples/toolkit_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtoolkit_tour-d649c6aac2557c42.rmeta: examples/toolkit_tour.rs Cargo.toml
+
+examples/toolkit_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_engineering-248fe92b5d6cb466.d: examples/traffic_engineering.rs
+
+/root/repo/target/debug/examples/traffic_engineering-248fe92b5d6cb466: examples/traffic_engineering.rs
+
+examples/traffic_engineering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/traffic_engineering-4297cf8758490ceb.d: examples/traffic_engineering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraffic_engineering-4297cf8758490ceb.rmeta: examples/traffic_engineering.rs Cargo.toml
+
+examples/traffic_engineering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

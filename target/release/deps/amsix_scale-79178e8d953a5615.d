@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/amsix_scale-79178e8d953a5615.d: crates/bench/src/bin/amsix_scale.rs
+
+/root/repo/target/release/deps/amsix_scale-79178e8d953a5615: crates/bench/src/bin/amsix_scale.rs
+
+crates/bench/src/bin/amsix_scale.rs:

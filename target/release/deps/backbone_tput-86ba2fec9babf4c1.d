@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/backbone_tput-86ba2fec9babf4c1.d: crates/bench/src/bin/backbone_tput.rs
+
+/root/repo/target/release/deps/backbone_tput-86ba2fec9babf4c1: crates/bench/src/bin/backbone_tput.rs
+
+crates/bench/src/bin/backbone_tput.rs:

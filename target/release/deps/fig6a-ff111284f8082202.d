@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6a-ff111284f8082202.d: crates/bench/src/bin/fig6a.rs
+
+/root/repo/target/release/deps/fig6a-ff111284f8082202: crates/bench/src/bin/fig6a.rs
+
+crates/bench/src/bin/fig6a.rs:

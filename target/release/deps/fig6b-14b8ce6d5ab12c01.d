@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6b-14b8ce6d5ab12c01.d: crates/bench/src/bin/fig6b.rs
+
+/root/repo/target/release/deps/fig6b-14b8ce6d5ab12c01: crates/bench/src/bin/fig6b.rs
+
+crates/bench/src/bin/fig6b.rs:

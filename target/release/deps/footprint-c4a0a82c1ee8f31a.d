@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/footprint-c4a0a82c1ee8f31a.d: crates/bench/src/bin/footprint.rs
+
+/root/repo/target/release/deps/footprint-c4a0a82c1ee8f31a: crates/bench/src/bin/footprint.rs
+
+crates/bench/src/bin/footprint.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/peering_bench-a85eb58fe6b7860f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpeering_bench-a85eb58fe6b7860f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpeering_bench-a85eb58fe6b7860f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

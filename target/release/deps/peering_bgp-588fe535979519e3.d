@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/peering_bgp-588fe535979519e3.d: crates/bgp/src/lib.rs crates/bgp/src/attrs.rs crates/bgp/src/decision.rs crates/bgp/src/fsm.rs crates/bgp/src/message/mod.rs crates/bgp/src/message/nlri.rs crates/bgp/src/message/notification.rs crates/bgp/src/message/open.rs crates/bgp/src/message/update.rs crates/bgp/src/policy.rs crates/bgp/src/rib.rs crates/bgp/src/speaker.rs crates/bgp/src/trie.rs crates/bgp/src/types.rs
+
+/root/repo/target/release/deps/libpeering_bgp-588fe535979519e3.rlib: crates/bgp/src/lib.rs crates/bgp/src/attrs.rs crates/bgp/src/decision.rs crates/bgp/src/fsm.rs crates/bgp/src/message/mod.rs crates/bgp/src/message/nlri.rs crates/bgp/src/message/notification.rs crates/bgp/src/message/open.rs crates/bgp/src/message/update.rs crates/bgp/src/policy.rs crates/bgp/src/rib.rs crates/bgp/src/speaker.rs crates/bgp/src/trie.rs crates/bgp/src/types.rs
+
+/root/repo/target/release/deps/libpeering_bgp-588fe535979519e3.rmeta: crates/bgp/src/lib.rs crates/bgp/src/attrs.rs crates/bgp/src/decision.rs crates/bgp/src/fsm.rs crates/bgp/src/message/mod.rs crates/bgp/src/message/nlri.rs crates/bgp/src/message/notification.rs crates/bgp/src/message/open.rs crates/bgp/src/message/update.rs crates/bgp/src/policy.rs crates/bgp/src/rib.rs crates/bgp/src/speaker.rs crates/bgp/src/trie.rs crates/bgp/src/types.rs
+
+crates/bgp/src/lib.rs:
+crates/bgp/src/attrs.rs:
+crates/bgp/src/decision.rs:
+crates/bgp/src/fsm.rs:
+crates/bgp/src/message/mod.rs:
+crates/bgp/src/message/nlri.rs:
+crates/bgp/src/message/notification.rs:
+crates/bgp/src/message/open.rs:
+crates/bgp/src/message/update.rs:
+crates/bgp/src/policy.rs:
+crates/bgp/src/rib.rs:
+crates/bgp/src/speaker.rs:
+crates/bgp/src/trie.rs:
+crates/bgp/src/types.rs:

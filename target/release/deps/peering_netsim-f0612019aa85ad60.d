@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/peering_netsim-f0612019aa85ad60.d: crates/netsim/src/lib.rs crates/netsim/src/arp.rs crates/netsim/src/bytes.rs crates/netsim/src/event.rs crates/netsim/src/frame.rs crates/netsim/src/icmp.rs crates/netsim/src/ip.rs crates/netsim/src/link.rs crates/netsim/src/mac.rs crates/netsim/src/pcap.rs crates/netsim/src/sim.rs crates/netsim/src/switch.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libpeering_netsim-f0612019aa85ad60.rlib: crates/netsim/src/lib.rs crates/netsim/src/arp.rs crates/netsim/src/bytes.rs crates/netsim/src/event.rs crates/netsim/src/frame.rs crates/netsim/src/icmp.rs crates/netsim/src/ip.rs crates/netsim/src/link.rs crates/netsim/src/mac.rs crates/netsim/src/pcap.rs crates/netsim/src/sim.rs crates/netsim/src/switch.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libpeering_netsim-f0612019aa85ad60.rmeta: crates/netsim/src/lib.rs crates/netsim/src/arp.rs crates/netsim/src/bytes.rs crates/netsim/src/event.rs crates/netsim/src/frame.rs crates/netsim/src/icmp.rs crates/netsim/src/ip.rs crates/netsim/src/link.rs crates/netsim/src/mac.rs crates/netsim/src/pcap.rs crates/netsim/src/sim.rs crates/netsim/src/switch.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/arp.rs:
+crates/netsim/src/bytes.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/frame.rs:
+crates/netsim/src/icmp.rs:
+crates/netsim/src/ip.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/mac.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/switch.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/peering_platform-5186a4e75d280e98.d: crates/peering/src/lib.rs crates/peering/src/allocation.rs crates/peering/src/controller.rs crates/peering/src/experiment.rs crates/peering/src/intent.rs crates/peering/src/internet.rs crates/peering/src/json.rs crates/peering/src/netconf.rs crates/peering/src/platform.rs crates/peering/src/topology.rs crates/peering/src/vpn.rs
+
+/root/repo/target/release/deps/libpeering_platform-5186a4e75d280e98.rlib: crates/peering/src/lib.rs crates/peering/src/allocation.rs crates/peering/src/controller.rs crates/peering/src/experiment.rs crates/peering/src/intent.rs crates/peering/src/internet.rs crates/peering/src/json.rs crates/peering/src/netconf.rs crates/peering/src/platform.rs crates/peering/src/topology.rs crates/peering/src/vpn.rs
+
+/root/repo/target/release/deps/libpeering_platform-5186a4e75d280e98.rmeta: crates/peering/src/lib.rs crates/peering/src/allocation.rs crates/peering/src/controller.rs crates/peering/src/experiment.rs crates/peering/src/intent.rs crates/peering/src/internet.rs crates/peering/src/json.rs crates/peering/src/netconf.rs crates/peering/src/platform.rs crates/peering/src/topology.rs crates/peering/src/vpn.rs
+
+crates/peering/src/lib.rs:
+crates/peering/src/allocation.rs:
+crates/peering/src/controller.rs:
+crates/peering/src/experiment.rs:
+crates/peering/src/intent.rs:
+crates/peering/src/internet.rs:
+crates/peering/src/json.rs:
+crates/peering/src/netconf.rs:
+crates/peering/src/platform.rs:
+crates/peering/src/topology.rs:
+crates/peering/src/vpn.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/peering_repro-b204b7cb449bcec9.d: src/lib.rs
+
+/root/repo/target/release/deps/libpeering_repro-b204b7cb449bcec9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpeering_repro-b204b7cb449bcec9.rmeta: src/lib.rs
+
+src/lib.rs:

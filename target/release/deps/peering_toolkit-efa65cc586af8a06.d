@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/peering_toolkit-efa65cc586af8a06.d: crates/toolkit/src/lib.rs crates/toolkit/src/cli.rs crates/toolkit/src/client.rs crates/toolkit/src/node.rs
+
+/root/repo/target/release/deps/libpeering_toolkit-efa65cc586af8a06.rlib: crates/toolkit/src/lib.rs crates/toolkit/src/cli.rs crates/toolkit/src/client.rs crates/toolkit/src/node.rs
+
+/root/repo/target/release/deps/libpeering_toolkit-efa65cc586af8a06.rmeta: crates/toolkit/src/lib.rs crates/toolkit/src/cli.rs crates/toolkit/src/client.rs crates/toolkit/src/node.rs
+
+crates/toolkit/src/lib.rs:
+crates/toolkit/src/cli.rs:
+crates/toolkit/src/client.rs:
+crates/toolkit/src/node.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/peering_vbgp-b8c0751eeb95a1f6.d: crates/core/src/lib.rs crates/core/src/capability.rs crates/core/src/communities.rs crates/core/src/enforcement/mod.rs crates/core/src/enforcement/control.rs crates/core/src/enforcement/data.rs crates/core/src/ids.rs crates/core/src/mux.rs crates/core/src/policies.rs crates/core/src/router.rs crates/core/src/transport.rs crates/core/src/vnh.rs
+
+/root/repo/target/release/deps/libpeering_vbgp-b8c0751eeb95a1f6.rlib: crates/core/src/lib.rs crates/core/src/capability.rs crates/core/src/communities.rs crates/core/src/enforcement/mod.rs crates/core/src/enforcement/control.rs crates/core/src/enforcement/data.rs crates/core/src/ids.rs crates/core/src/mux.rs crates/core/src/policies.rs crates/core/src/router.rs crates/core/src/transport.rs crates/core/src/vnh.rs
+
+/root/repo/target/release/deps/libpeering_vbgp-b8c0751eeb95a1f6.rmeta: crates/core/src/lib.rs crates/core/src/capability.rs crates/core/src/communities.rs crates/core/src/enforcement/mod.rs crates/core/src/enforcement/control.rs crates/core/src/enforcement/data.rs crates/core/src/ids.rs crates/core/src/mux.rs crates/core/src/policies.rs crates/core/src/router.rs crates/core/src/transport.rs crates/core/src/vnh.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capability.rs:
+crates/core/src/communities.rs:
+crates/core/src/enforcement/mod.rs:
+crates/core/src/enforcement/control.rs:
+crates/core/src/enforcement/data.rs:
+crates/core/src/ids.rs:
+crates/core/src/mux.rs:
+crates/core/src/policies.rs:
+crates/core/src/router.rs:
+crates/core/src/transport.rs:
+crates/core/src/vnh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-cb404018c3215046.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-cb404018c3215046: examples/quickstart.rs
+
+examples/quickstart.rs:

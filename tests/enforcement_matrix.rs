@@ -261,6 +261,185 @@ fn hijack_blocked_in_every_configuration() {
     }
 }
 
+/// Build a 2-neighbor, 1-experiment rig (for announcement-steering cases).
+fn rig2(caps: CapabilitySet) -> (Rig, NodeId) {
+    let mut sim = Simulator::new(8);
+    let control =
+        ControlEnforcer::standalone(PopId(0), ControlCommunities::new(PLATFORM_ASN as u16));
+    let mut router = VbgpRouter::new(
+        PopId(0),
+        Asn(PLATFORM_ASN),
+        RouterId(1),
+        control,
+        DataEnforcer::new(),
+    );
+    router.set_port_mac(PortId(0), MacAddr::from_id(0x1000));
+    router.set_port_mac(PortId(1), MacAddr::from_id(0x1001));
+    router.set_port_mac(PortId(2), MacAddr::from_id(0x1002));
+    for (nid, port, mac, laddr, raddr, gidx) in [
+        (1u32, 0u16, 0x100u32, "10.0.1.2", "1.1.1.1", 1u16),
+        (2, 2, 0x200, "10.0.2.2", "2.2.2.2", 2),
+    ] {
+        router.add_neighbor(NeighborConfig {
+            id: NeighborId(nid),
+            asn: Asn(100 + nid),
+            kind: NeighborKind::Transit,
+            port: PortId(port),
+            remote_mac: MacAddr::from_id(mac),
+            local_addr: laddr.parse().unwrap(),
+            remote_addr: raddr.parse().unwrap(),
+            global_index: gidx,
+            passive: false,
+        });
+    }
+    router.add_experiment(ExperimentConfig {
+        id: ExperimentId(1),
+        asn: Asn(EXP_ASN),
+        port: PortId(1),
+        remote_mac: MacAddr::from_id(0x300),
+        local_addr: "100.125.1.1".parse().unwrap(),
+        remote_addr: "100.125.1.2".parse().unwrap(),
+        global_index: None,
+        policy: ExperimentPolicy {
+            allocations: vec![prefix(EXP_PREFIX)],
+            asns: vec![Asn(EXP_ASN)],
+            caps,
+        },
+        data: ExperimentDataPolicy {
+            allowed_sources: vec![prefix(EXP_PREFIX)],
+            rate: None,
+        },
+    });
+    let router = sim.add_node(Box::new(router));
+    let mut nbr1 = ExperimentNode::new(Asn(101), RouterId(2));
+    nbr1.add_pop_session(
+        PeerId(0),
+        PortId(0),
+        MacAddr::from_id(0x100),
+        "1.1.1.1".parse().unwrap(),
+        MacAddr::from_id(0x1000),
+        "10.0.1.2".parse().unwrap(),
+        Asn(PLATFORM_ASN),
+    );
+    let neighbor1 = sim.add_node(Box::new(nbr1));
+    let mut nbr2 = ExperimentNode::new(Asn(102), RouterId(4));
+    nbr2.add_pop_session(
+        PeerId(0),
+        PortId(0),
+        MacAddr::from_id(0x200),
+        "2.2.2.2".parse().unwrap(),
+        MacAddr::from_id(0x1002),
+        "10.0.2.2".parse().unwrap(),
+        Asn(PLATFORM_ASN),
+    );
+    let neighbor2 = sim.add_node(Box::new(nbr2));
+    let mut exp = ExperimentNode::new(Asn(EXP_ASN), RouterId(3));
+    exp.add_pop_session(
+        PeerId(0),
+        PortId(0),
+        MacAddr::from_id(0x300),
+        "100.125.1.2".parse().unwrap(),
+        MacAddr::from_id(0x1001),
+        "100.125.1.1".parse().unwrap(),
+        Asn(PLATFORM_ASN),
+    );
+    let experiment = sim.add_node(Box::new(exp));
+    let link = LinkConfig::with_latency(SimDuration::from_millis(2));
+    sim.connect(router, PortId(0), neighbor1, PortId(0), link);
+    sim.connect(router, PortId(2), neighbor2, PortId(0), link);
+    sim.connect(router, PortId(1), experiment, PortId(0), link);
+    sim.with_node_ctx::<VbgpRouter, _>(router, |r, ctx| r.start(ctx));
+    for n in [neighbor1, neighbor2, experiment] {
+        sim.with_node_ctx::<ExperimentNode, _>(n, |node, ctx| node.start_session(ctx, PeerId(0)));
+    }
+    sim.run_for(SimDuration::from_secs(5));
+    (
+        Rig {
+            sim,
+            router,
+            neighbor: neighbor1,
+            experiment,
+        },
+        neighbor2,
+    )
+}
+
+/// Batched-announcement steering: the experiment re-announces the same
+/// prefix with *different* steering communities within one burst. The
+/// speaker's update batching coalesces the per-neighbor fan-out, and every
+/// announce-to / do-not-announce-to community must still be honored — the
+/// coalesced wire state has to equal the per-update state.
+#[test]
+fn matrix_batched_steering_honors_every_community() {
+    let cc = ControlCommunities::new(PLATFORM_ASN as u16);
+    let (mut r, neighbor2) = rig2(CapabilitySet::basic());
+
+    // Burst 1, two announcements in the same round: the prefix whitelisted
+    // to neighbor 1, then immediately re-announced blacklisting neighbor 2
+    // (equivalent steering, exercising both community directions).
+    r.sim
+        .with_node_ctx::<ExperimentNode, _>(r.experiment, |n, ctx| {
+            let mut attrs = n.build_attrs("100.125.1.2".parse().unwrap(), 0, &[], &[]);
+            attrs.add_community(cc.announce_to(NeighborId(1)));
+            n.announce_via(ctx, PeerId(0), prefix(EXP_PREFIX), attrs);
+            let mut attrs = n.build_attrs("100.125.1.2".parse().unwrap(), 0, &[], &[]);
+            attrs.add_community(cc.do_not_announce_to(NeighborId(2)));
+            n.announce_via(ctx, PeerId(0), prefix(EXP_PREFIX), attrs);
+        });
+    r.sim.run_for(SimDuration::from_secs(3));
+    let n1_routes = r
+        .sim
+        .node::<ExperimentNode>(r.neighbor)
+        .unwrap()
+        .routes_for(&prefix(EXP_PREFIX));
+    let n2_routes = r
+        .sim
+        .node::<ExperimentNode>(neighbor2)
+        .unwrap()
+        .routes_for(&prefix(EXP_PREFIX));
+    assert_eq!(
+        n1_routes.len(),
+        1,
+        "neighbor 1 must hold the coalesced announcement"
+    );
+    assert!(
+        n2_routes.is_empty(),
+        "do-not-announce-to(2) must hold after coalescing"
+    );
+
+    // Burst 2: flip the steering to whitelist neighbor 2 only. The batched
+    // flush must pair the withdraw toward neighbor 1 with the announce
+    // toward neighbor 2.
+    r.sim
+        .with_node_ctx::<ExperimentNode, _>(r.experiment, |n, ctx| {
+            let mut attrs = n.build_attrs("100.125.1.2".parse().unwrap(), 0, &[], &[]);
+            attrs.add_community(cc.announce_to(NeighborId(2)));
+            n.announce_via(ctx, PeerId(0), prefix(EXP_PREFIX), attrs);
+        });
+    r.sim.run_for(SimDuration::from_secs(3));
+    let n1_routes = r
+        .sim
+        .node::<ExperimentNode>(r.neighbor)
+        .unwrap()
+        .routes_for(&prefix(EXP_PREFIX));
+    let n2_routes = r
+        .sim
+        .node::<ExperimentNode>(neighbor2)
+        .unwrap()
+        .routes_for(&prefix(EXP_PREFIX));
+    assert!(
+        n1_routes.is_empty(),
+        "flipping the whitelist must withdraw from neighbor 1"
+    );
+    assert_eq!(n2_routes.len(), 1, "neighbor 2 must now hold the route");
+    // The steering namespace never leaks to the Internet side.
+    assert!(n2_routes[0]
+        .attrs
+        .communities
+        .iter()
+        .all(|c| c.high() != PLATFORM_ASN as u16));
+}
+
 #[test]
 fn rate_limit_enforced_through_the_session() {
     let mut r = rig(CapabilitySet::basic());

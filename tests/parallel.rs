@@ -125,9 +125,7 @@ fn three_concurrent_experiments_do_not_interfere() {
         let got = node
             .received
             .iter()
-            .filter(|r| {
-                r.packet.header.proto == peering_repro::netsim::IpProto::Udp
-            })
+            .filter(|r| r.packet.header.proto == peering_repro::netsim::IpProto::Udp)
             .count();
         assert_eq!(got, expected, "exp{i} delivery count");
     }
@@ -141,10 +139,7 @@ fn three_concurrent_experiments_do_not_interfere() {
     p.run_for(SimDuration::from_secs(5));
     // exp1 can still update.
     let prefix1 = exps[1].lease.v4[0];
-    exps[1]
-        .toolkit
-        .withdraw(&mut p.sim, &pop, prefix1)
-        .unwrap();
+    exps[1].toolkit.withdraw(&mut p.sim, &pop, prefix1).unwrap();
     p.run_for(SimDuration::from_secs(5));
     assert!(
         p.looking_glass(transit, dst_of(prefixes[1], 1)).is_none(),
