@@ -36,6 +36,10 @@ pub enum TimerKind {
     Hold,
     /// Send the next KEEPALIVE.
     Keepalive,
+    /// Route-retention deadline: retained (stale) Adj-RIB-In routes from a
+    /// down session are swept when this fires. Armed and consumed by the
+    /// [`crate::speaker::Speaker`], not the FSM itself.
+    StaleSweep,
 }
 
 /// Inputs to the FSM.
@@ -84,6 +88,79 @@ pub enum FsmAction {
     },
 }
 
+/// Connect-retry timing policy: exponential backoff with deterministic
+/// jitter and idle-hold damping after repeated resets.
+///
+/// The paper's platform peers over tunnels that flap; a fleet of sessions
+/// retrying in lockstep re-synchronizes the very storms it is recovering
+/// from. The delay before retry `n` (counting consecutive failures since
+/// the last stable session) is
+/// `min(base * 2^(n-1), cap)`, plus `step * (n - damping_after)` once the
+/// session has failed more than `damping_after` times in a row (bounded by
+/// `damping_cap`), plus a jitter of up to `jitter_pct` percent drawn from a
+/// SplitMix64 stream seeded from the session identity — deterministic for a
+/// given config, de-synchronized across sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerConfig {
+    /// First-retry delay (seconds).
+    pub retry_base_secs: u16,
+    /// Exponential backoff ceiling (seconds).
+    pub retry_cap_secs: u16,
+    /// Double the delay on each consecutive failure.
+    pub backoff: bool,
+    /// Jitter added on top of the delay, as a percentage of it. Zero
+    /// disables the RNG draw entirely, so fixed configs replay the exact
+    /// legacy timer stream.
+    pub jitter_pct: u8,
+    /// Extra seed material for the jitter stream, mixed with the local
+    /// router id and peer ASN.
+    pub jitter_seed: u64,
+    /// Consecutive failures after which idle-hold damping kicks in.
+    pub damping_after: u32,
+    /// Additional idle seconds per failure beyond `damping_after`.
+    pub damping_step_secs: u16,
+    /// Ceiling on the damped, pre-jitter delay (seconds).
+    pub damping_cap_secs: u16,
+}
+
+impl Default for TimerConfig {
+    fn default() -> Self {
+        TimerConfig {
+            retry_base_secs: 30,
+            retry_cap_secs: 120,
+            backoff: true,
+            jitter_pct: 25,
+            jitter_seed: 0,
+            damping_after: 4,
+            damping_step_secs: 30,
+            damping_cap_secs: 240,
+        }
+    }
+}
+
+impl TimerConfig {
+    /// The pre-backoff behavior: a fixed retry interval, no jitter, no
+    /// damping. Tests that assert exact timings use this.
+    pub fn fixed(secs: u16) -> Self {
+        TimerConfig {
+            retry_base_secs: secs,
+            retry_cap_secs: secs,
+            backoff: false,
+            jitter_pct: 0,
+            jitter_seed: 0,
+            damping_after: u32::MAX,
+            damping_step_secs: 0,
+            damping_cap_secs: secs,
+        }
+    }
+
+    /// Override the jitter seed.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+}
+
 /// Static session configuration.
 #[derive(Debug, Clone)]
 pub struct FsmConfig {
@@ -98,14 +175,14 @@ pub struct FsmConfig {
     /// Offer ADD-PATH both directions for v4+v6 (vBGP always does on
     /// experiment-facing sessions).
     pub add_path: bool,
-    /// Connect-retry interval (seconds).
-    pub connect_retry_secs: u16,
+    /// Connect-retry timing (backoff, jitter, damping).
+    pub timers: TimerConfig,
     /// Start passively: wait for the peer to open the transport.
     pub passive: bool,
 }
 
 impl FsmConfig {
-    /// A typical eBGP config with 90 s hold time.
+    /// A typical eBGP config with 90 s hold time and default backoff.
     pub fn ebgp(local_asn: Asn, local_id: RouterId, peer_asn: Asn) -> Self {
         FsmConfig {
             local_asn,
@@ -113,7 +190,7 @@ impl FsmConfig {
             peer_asn,
             hold_time: 90,
             add_path: false,
-            connect_retry_secs: 30,
+            timers: TimerConfig::default(),
             passive: false,
         }
     }
@@ -127,6 +204,12 @@ impl FsmConfig {
     /// Wait for the peer to connect instead of initiating.
     pub fn with_passive(mut self) -> Self {
         self.passive = true;
+        self
+    }
+
+    /// Replace the connect-retry timing policy.
+    pub fn with_timers(mut self, timers: TimerConfig) -> Self {
+        self.timers = timers;
         self
     }
 }
@@ -151,17 +234,38 @@ pub struct SessionFsm {
     negotiated: Negotiated,
     /// Count of state transitions into Established (flap counter).
     pub established_count: u64,
+    /// Consecutive session failures since the last stable session; drives
+    /// the backoff exponent and idle-hold damping.
+    failures: u32,
+    /// SplitMix64 state for the jitter stream.
+    jitter_state: u64,
 }
 
 impl SessionFsm {
     /// Create an FSM in Idle.
     pub fn new(cfg: FsmConfig) -> Self {
+        // Seed the jitter stream from the session identity so every session
+        // gets its own deterministic stream even under one shared config.
+        let jitter_state = cfg
+            .timers
+            .jitter_seed
+            .wrapping_add((cfg.local_id.0 as u64) << 32)
+            .wrapping_add(cfg.peer_asn.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            | 1;
         SessionFsm {
             cfg,
             state: FsmState::Idle,
             negotiated: Negotiated::default(),
             established_count: 0,
+            failures: 0,
+            jitter_state,
         }
+    }
+
+    /// Consecutive failures since the last stable session.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.failures
     }
 
     /// Current state.
@@ -197,6 +301,38 @@ impl SessionFsm {
         (hold / 3).max(1)
     }
 
+    fn next_jitter(&mut self, span: u64) -> u64 {
+        self.jitter_state = self.jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if span == 0 {
+            0
+        } else {
+            z % span
+        }
+    }
+
+    /// Current connect-retry delay: exponential in the consecutive-failure
+    /// count, capped, damped after repeated resets, then jittered.
+    fn retry_delay(&mut self) -> u16 {
+        let t = self.cfg.timers;
+        let mut delay = t.retry_base_secs as u64;
+        if t.backoff {
+            let exp = self.failures.saturating_sub(1).min(8);
+            delay = (delay << exp).min(t.retry_cap_secs as u64);
+            if self.failures > t.damping_after {
+                let extra = (self.failures - t.damping_after) as u64 * t.damping_step_secs as u64;
+                delay = (delay + extra).min(t.damping_cap_secs as u64);
+            }
+        }
+        if t.jitter_pct > 0 {
+            delay += self.next_jitter(delay * t.jitter_pct as u64 / 100 + 1);
+        }
+        delay.min(u16::MAX as u64) as u16
+    }
+
     fn drop_session(
         &mut self,
         actions: &mut Vec<FsmAction>,
@@ -214,12 +350,12 @@ impl SessionFsm {
         actions.push(FsmAction::CloseTransport);
         self.state = FsmState::Idle;
         self.negotiated = Negotiated::default();
+        self.failures = self.failures.saturating_add(1);
         // Automatic restart: arm the connect-retry timer so the session
-        // recovers without operator action (IdleHoldTimer in the RFC).
-        actions.push(FsmAction::ArmTimer(
-            TimerKind::ConnectRetry,
-            self.cfg.connect_retry_secs,
-        ));
+        // recovers without operator action (IdleHoldTimer in the RFC). The
+        // delay backs off with the consecutive-failure count.
+        let delay = self.retry_delay();
+        actions.push(FsmAction::ArmTimer(TimerKind::ConnectRetry, delay));
     }
 
     fn handle_open(&mut self, open: OpenMsg, actions: &mut Vec<FsmAction>) {
@@ -272,10 +408,8 @@ impl SessionFsm {
                     self.state = S::Active;
                 } else {
                     actions.push(FsmAction::OpenTransport);
-                    actions.push(FsmAction::ArmTimer(
-                        TimerKind::ConnectRetry,
-                        self.cfg.connect_retry_secs,
-                    ));
+                    let delay = self.retry_delay();
+                    actions.push(FsmAction::ArmTimer(TimerKind::ConnectRetry, delay));
                     self.state = S::Connect;
                 }
             }
@@ -288,25 +422,19 @@ impl SessionFsm {
             }
             (S::Connect, E::Timer(TimerKind::ConnectRetry)) => {
                 actions.push(FsmAction::OpenTransport);
-                actions.push(FsmAction::ArmTimer(
-                    TimerKind::ConnectRetry,
-                    self.cfg.connect_retry_secs,
-                ));
+                let delay = self.retry_delay();
+                actions.push(FsmAction::ArmTimer(TimerKind::ConnectRetry, delay));
             }
             (S::Connect, E::TcpClosed) | (S::Active, E::TcpClosed) => {
                 self.state = S::Active;
-                actions.push(FsmAction::ArmTimer(
-                    TimerKind::ConnectRetry,
-                    self.cfg.connect_retry_secs,
-                ));
+                let delay = self.retry_delay();
+                actions.push(FsmAction::ArmTimer(TimerKind::ConnectRetry, delay));
             }
             (S::Active, E::Timer(TimerKind::ConnectRetry))
                 if !self.cfg.passive => {
                     actions.push(FsmAction::OpenTransport);
-                    actions.push(FsmAction::ArmTimer(
-                        TimerKind::ConnectRetry,
-                        self.cfg.connect_retry_secs,
-                    ));
+                    let delay = self.retry_delay();
+                    actions.push(FsmAction::ArmTimer(TimerKind::ConnectRetry, delay));
                     self.state = S::Connect;
                 }
             (S::OpenSent, E::Msg(Message::Open(open)))
@@ -328,15 +456,20 @@ impl SessionFsm {
             }
             (S::Established, E::Msg(Message::Keepalive))
                 if self.negotiated.hold_time > 0 => {
+                    // The peer is alive past OPEN exchange: the session has
+                    // proven stable, so the backoff schedule resets.
+                    self.failures = 0;
                     actions.push(FsmAction::ArmTimer(TimerKind::Hold, self.negotiated.hold_time));
                 }
             (S::Established, E::Msg(Message::Update(update))) => {
+                self.failures = 0;
                 if self.negotiated.hold_time > 0 {
                     actions.push(FsmAction::ArmTimer(TimerKind::Hold, self.negotiated.hold_time));
                 }
                 actions.push(FsmAction::DeliverUpdate(update));
             }
             (S::Established, E::Msg(Message::RouteRefresh { afi, safi })) => {
+                self.failures = 0;
                 if self.negotiated.hold_time > 0 {
                     actions.push(FsmAction::ArmTimer(TimerKind::Hold, self.negotiated.hold_time));
                 }
@@ -559,6 +692,103 @@ mod tests {
             .iter()
             .any(|x| matches!(x, FsmAction::SessionDown("notification received"))));
         assert_eq!(a.established_count, 1);
+    }
+
+    fn armed_retry(actions: &[FsmAction]) -> Option<u16> {
+        actions.iter().find_map(|a| match a {
+            FsmAction::ArmTimer(TimerKind::ConnectRetry, secs) => Some(*secs),
+            _ => None,
+        })
+    }
+
+    fn no_jitter() -> TimerConfig {
+        TimerConfig {
+            jitter_pct: 0,
+            ..TimerConfig::default()
+        }
+    }
+
+    #[test]
+    fn retry_backoff_doubles_caps_and_damps() {
+        let mut a =
+            SessionFsm::new(FsmConfig::ebgp(Asn(1), RouterId(1), Asn(2)).with_timers(no_jitter()));
+        // Each TcpClosed is a session reset; the retry delay must follow
+        // min(30 * 2^(n-1), 120), then gain 30 s per reset past the fourth,
+        // bounded by 240 s.
+        let expect = [30, 60, 120, 120, 150, 180, 210, 240, 240];
+        for (n, want) in expect.iter().enumerate() {
+            let actions = a.handle(FsmEvent::TcpClosed);
+            assert_eq!(
+                armed_retry(&actions),
+                Some(*want),
+                "reset #{} must arm {}s",
+                n + 1,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_timers_preserve_legacy_delay() {
+        let mut a = SessionFsm::new(
+            FsmConfig::ebgp(Asn(1), RouterId(1), Asn(2)).with_timers(TimerConfig::fixed(30)),
+        );
+        for _ in 0..6 {
+            let actions = a.handle(FsmEvent::TcpClosed);
+            assert_eq!(armed_retry(&actions), Some(30));
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let run = || {
+            let mut a = SessionFsm::new(FsmConfig::ebgp(Asn(1), RouterId(1), Asn(2)));
+            (0..8)
+                .map(|_| armed_retry(&a.handle(FsmEvent::TcpClosed)).unwrap())
+                .collect::<Vec<u16>>()
+        };
+        let first = run();
+        assert_eq!(first, run(), "same config, same jitter stream");
+        // First reset: 30 s base plus at most 25% jitter.
+        assert!(
+            (30..=37).contains(&first[0]),
+            "delay {} out of range",
+            first[0]
+        );
+        // Damped ceiling: 240 s plus at most 25%.
+        assert!(first.iter().all(|&d| d <= 300));
+        // Different sessions de-synchronize.
+        let mut b = SessionFsm::new(FsmConfig::ebgp(Asn(1), RouterId(7), Asn(9)));
+        let other: Vec<u16> = (0..8)
+            .map(|_| armed_retry(&b.handle(FsmEvent::TcpClosed)).unwrap())
+            .collect();
+        assert_ne!(first, other, "distinct identities draw distinct jitter");
+    }
+
+    #[test]
+    fn stable_session_resets_backoff() {
+        let cfg = FsmConfig::ebgp(Asn(47065), RouterId(1), Asn(100))
+            .with_add_path()
+            .with_timers(no_jitter());
+        let mut a = SessionFsm::new(cfg);
+        let mut b = SessionFsm::new(
+            FsmConfig::ebgp(Asn(100), RouterId(2), Asn(47065))
+                .with_add_path()
+                .with_passive(),
+        );
+        // Two raw resets escalate the schedule.
+        a.handle(FsmEvent::TcpClosed);
+        let actions = a.handle(FsmEvent::TcpClosed);
+        assert_eq!(armed_retry(&actions), Some(60));
+        assert_eq!(a.consecutive_failures(), 2);
+        // Establish and prove stability with a KEEPALIVE.
+        converge(&mut a, &mut b);
+        assert!(a.is_established());
+        a.handle(FsmEvent::Msg(Message::Keepalive));
+        assert_eq!(a.consecutive_failures(), 0);
+        // The next reset starts over at the base delay.
+        let actions = a.handle(FsmEvent::TcpClosed);
+        assert_eq!(armed_retry(&actions), Some(30));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! neighbor (Adj-RIB-In), and per-interconnection forwarding state on top.
 //! [`route_memory_bytes`] reports the same accounting the paper plots.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::IpAddr;
 use std::sync::Arc;
 
@@ -94,6 +94,10 @@ pub struct AdjRibIn {
     routes: PrefixTrie<BTreeMap<PathId, Route>>,
     /// Count of currently held paths (not prefixes).
     pub path_count: usize,
+    /// Routes retained from a down session (graceful-restart-style
+    /// retention): still valid for decision, but swept unless the peer
+    /// re-announces them before the retention deadline.
+    stale: BTreeSet<(Prefix, PathId)>,
 }
 
 impl AdjRibIn {
@@ -102,8 +106,10 @@ impl AdjRibIn {
         Self::default()
     }
 
-    /// Insert or replace; returns the displaced route.
+    /// Insert or replace; returns the displaced route. A (re-)announcement
+    /// refreshes any stale mark on the path.
     pub fn insert(&mut self, route: Route) -> Option<Route> {
+        self.stale.remove(&(route.prefix, route.path_id));
         let map = match self.routes.get_mut(&route.prefix) {
             Some(m) => m,
             None => {
@@ -120,6 +126,7 @@ impl AdjRibIn {
 
     /// Remove one path; returns it if present.
     pub fn remove(&mut self, prefix: &Prefix, path_id: PathId) -> Option<Route> {
+        self.stale.remove(&(*prefix, path_id));
         let map = self.routes.get_mut(prefix)?;
         let old = map.remove(&path_id);
         if old.is_some() {
@@ -136,10 +143,41 @@ impl AdjRibIn {
         match self.routes.remove(prefix) {
             Some(map) => {
                 self.path_count -= map.len();
+                for pid in map.keys() {
+                    self.stale.remove(&(*prefix, *pid));
+                }
                 map.into_values().collect()
             }
             None => Vec::new(),
         }
+    }
+
+    /// Mark every held path stale (session went down with retention).
+    pub fn mark_all_stale(&mut self) {
+        self.stale = self
+            .routes
+            .iter()
+            .flat_map(|(p, m)| m.keys().map(move |pid| (p, *pid)))
+            .collect();
+    }
+
+    /// Remove and return every still-stale path (retention deadline, or
+    /// End-of-RIB after re-establishment).
+    pub fn sweep_stale(&mut self) -> Vec<Route> {
+        let keys: Vec<(Prefix, PathId)> = std::mem::take(&mut self.stale).into_iter().collect();
+        keys.iter()
+            .filter_map(|(p, pid)| self.remove(p, *pid))
+            .collect()
+    }
+
+    /// Number of paths currently marked stale.
+    pub fn stale_count(&self) -> usize {
+        self.stale.len()
+    }
+
+    /// Whether a specific path is marked stale.
+    pub fn is_stale(&self, prefix: &Prefix, path_id: PathId) -> bool {
+        self.stale.contains(&(*prefix, path_id))
     }
 
     /// All paths for a prefix.
@@ -329,6 +367,29 @@ mod tests {
         assert_eq!(drained.len(), 10);
         assert_eq!(rib.path_count, 0);
         assert!(rib.iter().next().is_none());
+    }
+
+    #[test]
+    fn stale_marking_refresh_and_sweep() {
+        let mut rib = AdjRibIn::new();
+        rib.insert(route("10.0.0.0/8", 1, 7));
+        rib.insert(route("10.1.0.0/16", 1, 7));
+        rib.insert(route("10.1.0.0/16", 2, 7));
+        rib.mark_all_stale();
+        assert_eq!(rib.stale_count(), 3);
+        assert!(rib.is_stale(&prefix("10.0.0.0/8"), 1));
+        // Re-announcement refreshes one path; explicit withdraw drops one.
+        rib.insert(route("10.1.0.0/16", 1, 7));
+        assert!(!rib.is_stale(&prefix("10.1.0.0/16"), 1));
+        rib.remove(&prefix("10.1.0.0/16"), 2);
+        assert_eq!(rib.stale_count(), 1);
+        // Sweep removes only what is still stale.
+        let swept = rib.sweep_stale();
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].prefix, prefix("10.0.0.0/8"));
+        assert_eq!(rib.path_count, 1);
+        assert_eq!(rib.stale_count(), 0);
+        assert!(rib.sweep_stale().is_empty());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use crate::attrs::{AttrStore, PathAttributes};
 use crate::decision::sort_candidates;
-use crate::fsm::{FsmAction, FsmConfig, FsmEvent, FsmState, SessionFsm, TimerKind};
+use crate::fsm::{FsmAction, FsmConfig, FsmEvent, FsmState, SessionFsm, TimerConfig, TimerKind};
 use crate::message::{
     CodecError, Message, NotificationMsg, SessionCodecCtx, UpdateMsg, MAX_MESSAGE_LEN,
 };
@@ -81,6 +81,15 @@ pub struct PeerConfig {
     /// (IXP route servers are not part of the data path and stay out of
     /// the AS path — paper §4.2's multilateral peering).
     pub transparent: bool,
+    /// Connect-retry timing (backoff, jitter, idle-hold damping).
+    pub timers: TimerConfig,
+    /// Route retention on session loss, in seconds. Zero (the default)
+    /// flushes the Adj-RIB-In immediately; non-zero keeps the routes,
+    /// marked stale, until the peer re-announces or replaces them, the
+    /// re-established session's End-of-RIB arrives, or this deadline
+    /// sweeps the leftovers — graceful-restart-style damping so a brief
+    /// session flap does not ripple withdrawals platform-wide.
+    pub retention_secs: u16,
 }
 
 impl PeerConfig {
@@ -99,6 +108,8 @@ impl PeerConfig {
             allow_own_asn_in: false,
             next_hop_unchanged: false,
             transparent: false,
+            timers: TimerConfig::default(),
+            retention_secs: 0,
         }
     }
 
@@ -143,6 +154,18 @@ impl PeerConfig {
     /// Builder: ADD-PATH negotiation without all-paths advertisement.
     pub fn with_add_path(mut self) -> Self {
         self.add_path = true;
+        self
+    }
+
+    /// Builder: connect-retry timing policy.
+    pub fn with_timers(mut self, timers: TimerConfig) -> Self {
+        self.timers = timers;
+        self
+    }
+
+    /// Builder: retain routes for `secs` seconds after session loss.
+    pub fn with_retention(mut self, secs: u16) -> Self {
+        self.retention_secs = secs;
         self
     }
 }
@@ -257,6 +280,11 @@ pub struct Speaker {
     /// entry-point round (the ADD-PATH fan-out optimisation). When off,
     /// every Adj-RIB-Out delta is emitted immediately as its own message.
     batching: bool,
+    /// Fault-injection hook for the convergence oracle's self-test: when
+    /// set, session re-establishment updates the Adj-RIB-Out bookkeeping
+    /// but suppresses the wire replay — exactly the resync bug the oracle
+    /// exists to catch. Never set outside tests.
+    fault_skip_session_up_replay: bool,
 }
 
 impl Speaker {
@@ -271,7 +299,14 @@ impl Speaker {
             attr_store: AttrStore::new(),
             gc_watermark: 1024,
             batching: true,
+            fault_skip_session_up_replay: false,
         }
+    }
+
+    /// Enable the deliberate resync bug (skip the Adj-RIB-Out wire replay
+    /// on session re-establishment). Oracle self-test only.
+    pub fn set_fault_skip_session_up_replay(&mut self, on: bool) {
+        self.fault_skip_session_up_replay = on;
     }
 
     /// Local ASN.
@@ -286,13 +321,18 @@ impl Speaker {
 
     /// Register a peer. Ids must be unique.
     pub fn add_peer(&mut self, id: PeerId, cfg: PeerConfig) {
+        // Mix the peer id into the jitter seed so sessions sharing one
+        // config (and even one remote ASN) still de-synchronize.
+        let timers = cfg
+            .timers
+            .with_jitter_seed(cfg.timers.jitter_seed ^ ((id.0 as u64 + 1) << 40));
         let fsm_cfg = FsmConfig {
             local_asn: self.cfg.asn,
             local_id: self.cfg.router_id,
             peer_asn: cfg.remote_asn,
             hold_time: cfg.hold_time,
             add_path: cfg.add_path,
-            connect_retry_secs: 30,
+            timers,
             passive: cfg.passive,
         };
         let peer = Peer {
@@ -445,6 +485,14 @@ impl Speaker {
 
     /// A timer armed via [`SpeakerEvent::ArmTimer`] fired.
     pub fn on_timer(&mut self, id: PeerId, kind: TimerKind) -> SpeakerOutput {
+        // The stale sweep is the speaker's own timer, not an FSM input:
+        // retained routes from a down session expire now.
+        if kind == TimerKind::StaleSweep {
+            let mut out = SpeakerOutput::default();
+            self.sweep_stale_routes(id, &mut out);
+            self.flush_all(&mut out);
+            return out;
+        }
         let mut out = self.drive(id, FsmEvent::Timer(kind));
         self.flush_all(&mut out);
         out
@@ -582,7 +630,16 @@ impl Speaker {
         if let Some(reason) = session_down {
             out.events.push(SpeakerEvent::SessionDown(id, reason));
             if was_established {
-                self.drop_peer_routes(id, &mut out);
+                let retention = self
+                    .peers
+                    .get(&id)
+                    .map(|p| p.cfg.retention_secs)
+                    .unwrap_or(0);
+                if retention > 0 {
+                    self.retain_peer_routes(id, retention, &mut out);
+                } else {
+                    self.drop_peer_routes(id, &mut out);
+                }
             }
         }
         for update in updates {
@@ -646,12 +703,27 @@ impl Speaker {
 
     fn on_session_up(&mut self, id: PeerId, out: &mut SpeakerOutput) {
         // Advertise the current table to the new peer, then End-of-RIB.
+        // (Re-establishment resynchronizes the Adj-RIB-Out from scratch: it
+        // was cleared when the session dropped, so the diff below replays
+        // the full table.)
         let prefixes: Vec<Prefix> = self.loc_rib.iter().map(|(p, _)| p).collect();
-        for prefix in prefixes {
-            self.export_prefix_to(id, prefix, out);
+        if self.fault_skip_session_up_replay {
+            // Deliberate resync bug (oracle self-test): keep the Adj-RIB-Out
+            // bookkeeping but never let the replay reach the wire.
+            let mut discard = SpeakerOutput::default();
+            for prefix in prefixes {
+                self.export_prefix_to(id, prefix, &mut discard);
+            }
+            if let Some(peer) = self.peers.get_mut(&id) {
+                peer.pending.clear();
+            }
+        } else {
+            for prefix in prefixes {
+                self.export_prefix_to(id, prefix, out);
+            }
+            // The initial table must hit the wire before the End-of-RIB marker.
+            self.flush_peer(id, out);
         }
-        // The initial table must hit the wire before the End-of-RIB marker.
-        self.flush_peer(id, out);
         if let Some(peer) = self.peers.get_mut(&id) {
             let ctx = peer.fsm.codec_ctx();
             peer.stats.msgs_out += 1;
@@ -659,6 +731,50 @@ impl Speaker {
             out.send
                 .push((id, Message::Update(UpdateMsg::end_of_rib()).encode(&ctx)));
         }
+    }
+
+    /// Session loss with retention: keep the Adj-RIB-In, marked stale, so
+    /// the routes survive a brief flap; clear everything outbound so
+    /// re-establishment replays a fresh Adj-RIB-Out. The armed
+    /// [`TimerKind::StaleSweep`] bounds how long leftovers may linger.
+    fn retain_peer_routes(&mut self, id: PeerId, retention_secs: u16, out: &mut SpeakerOutput) {
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return;
+        };
+        peer.rx_buf.clear();
+        peer.adj_out = PrefixTrie::new();
+        peer.export_ids.clear();
+        peer.pending.clear();
+        peer.adj_in.mark_all_stale();
+        out.events.push(SpeakerEvent::ArmTimer(
+            id,
+            TimerKind::StaleSweep,
+            retention_secs,
+        ));
+    }
+
+    /// Withdraw every route still marked stale for `id` (retention deadline
+    /// passed, or the re-established session's End-of-RIB said the peer is
+    /// done re-announcing).
+    fn sweep_stale_routes(&mut self, id: PeerId, out: &mut SpeakerOutput) {
+        let Some(peer) = self.peers.get_mut(&id) else {
+            return;
+        };
+        let swept = peer.adj_in.sweep_stale();
+        if swept.is_empty() {
+            return;
+        }
+        let mut prefixes: Vec<Prefix> = swept.iter().map(|r| r.prefix).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        for r in &swept {
+            out.events
+                .push(SpeakerEvent::RouteWithdrawn(id, r.prefix, r.path_id));
+        }
+        for prefix in prefixes {
+            self.recompute(prefix, out);
+        }
+        self.attr_store.gc();
     }
 
     fn drop_peer_routes(&mut self, id: PeerId, out: &mut SpeakerOutput) {
@@ -685,6 +801,18 @@ impl Speaker {
 
     fn process_update(&mut self, id: PeerId, update: UpdateMsg, out: &mut SpeakerOutput) {
         if update.is_end_of_rib() {
+            // The peer finished (re-)announcing: any retained route it did
+            // not refresh is gone for real. The retention timer becomes
+            // redundant once the sweep runs here.
+            let retained = self
+                .peers
+                .get(&id)
+                .is_some_and(|p| p.cfg.retention_secs > 0);
+            if retained {
+                self.sweep_stale_routes(id, out);
+                out.events
+                    .push(SpeakerEvent::StopTimer(id, TimerKind::StaleSweep));
+            }
             return;
         }
         let Some(peer) = self.peers.get_mut(&id) else {
@@ -1063,6 +1191,65 @@ impl Speaker {
             .collect();
         entries.sort_by_key(|(p, _)| *p);
         entries
+    }
+
+    /// Snapshot of a peer's Adj-RIB-In as `(prefix, [(path-id, attrs)])` in
+    /// deterministic order (convergence-oracle observability).
+    pub fn adj_rib_in_snapshot(&self, id: PeerId) -> Vec<(Prefix, Vec<(PathId, PathAttributes)>)> {
+        let Some(peer) = self.peers.get(&id) else {
+            return Vec::new();
+        };
+        let mut by_prefix: BTreeMap<Prefix, Vec<(PathId, PathAttributes)>> = BTreeMap::new();
+        for route in peer.adj_in.iter() {
+            by_prefix
+                .entry(route.prefix)
+                .or_default()
+                .push((route.path_id, (*route.attrs).clone()));
+        }
+        for paths in by_prefix.values_mut() {
+            paths.sort_by_key(|(pid, _)| *pid);
+        }
+        by_prefix.into_iter().collect()
+    }
+
+    /// Number of retained (stale) paths for a peer.
+    pub fn stale_path_count(&self, id: PeerId) -> usize {
+        self.peers.get(&id).map_or(0, |p| p.adj_in.stale_count())
+    }
+
+    /// What the import pipeline would do with an announcement of `attrs`
+    /// for `prefix` from peer `id`: `None` if the AS-path loop check or the
+    /// import policy rejects it, otherwise the post-import attributes.
+    /// Convergence-oracle support: the oracle compares one side's
+    /// Adj-RIB-Out against the other side's Adj-RIB-In, and legitimate
+    /// differences (loop drops, next-hop rewrites, local-pref stamping)
+    /// are exactly what this function predicts.
+    pub fn would_accept(
+        &self,
+        id: PeerId,
+        prefix: Prefix,
+        path_id: PathId,
+        attrs: &PathAttributes,
+    ) -> Option<PathAttributes> {
+        let peer = self.peers.get(&id)?;
+        let ebgp = peer.cfg.remote_asn != self.cfg.asn;
+        if ebgp && !peer.cfg.allow_own_asn_in && attrs.as_path.contains(self.cfg.asn) {
+            return None;
+        }
+        let negotiated = *peer.fsm.negotiated();
+        let candidate = Route {
+            prefix,
+            path_id,
+            attrs: Arc::new(attrs.clone()),
+            source: RouteSource::Peer {
+                peer: id,
+                ebgp,
+                router_id: negotiated.peer_id,
+                addr: peer.cfg.remote_addr,
+            },
+            stamp: 0,
+        };
+        peer.cfg.import.evaluate(&candidate).map(|a| (*a).clone())
     }
 }
 
@@ -1573,6 +1760,137 @@ mod tests {
         let after = h.speakers[1].rib_memory_bytes();
         assert!(after > before + 100 * 100, "memory should grow per route");
         assert_eq!(h.speakers[1].total_adj_in_paths(), 100);
+    }
+
+    #[test]
+    fn retention_keeps_routes_until_sweep_timer() {
+        let mut h = pair(false);
+        h.speakers[1]
+            .peers
+            .get_mut(&PeerId(0))
+            .unwrap()
+            .cfg
+            .retention_secs = 30;
+        let p = prefix("184.164.224.0/24");
+        h.originate(0, p, PathAttributes::originated(addr(1)));
+        assert!(h.speakers[1].loc_rib().best(&p).is_some());
+
+        let out = h.speakers[1].on_transport_down(PeerId(0));
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, SpeakerEvent::SessionDown(_, _))));
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, SpeakerEvent::ArmTimer(_, TimerKind::StaleSweep, 30))));
+        // The route survives the flap, marked stale.
+        assert!(h.speakers[1].loc_rib().best(&p).is_some());
+        assert_eq!(h.speakers[1].stale_path_count(PeerId(0)), 1);
+
+        // Retention deadline: the leftover is withdrawn for real.
+        let out = h.speakers[1].on_timer(PeerId(0), TimerKind::StaleSweep);
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, SpeakerEvent::RouteWithdrawn(_, _, _))));
+        assert!(h.speakers[1].loc_rib().best(&p).is_none());
+        assert_eq!(h.speakers[1].stale_path_count(PeerId(0)), 0);
+    }
+
+    #[test]
+    fn reestablishment_refreshes_retained_routes() {
+        let mut h = pair(false);
+        h.speakers[1]
+            .peers
+            .get_mut(&PeerId(0))
+            .unwrap()
+            .cfg
+            .retention_secs = 30;
+        let p = prefix("184.164.224.0/24");
+        h.originate(0, p, PathAttributes::originated(addr(1)));
+
+        // Flap both ends of the transport.
+        let out = h.speakers[0].on_transport_down(PeerId(0));
+        h.process(0, out);
+        let out = h.speakers[1].on_transport_down(PeerId(0));
+        h.process(1, out);
+        h.transports_up.clear();
+        h.run();
+        assert!(!h.speakers[1].is_established(PeerId(0)));
+        assert!(
+            h.speakers[1].loc_rib().best(&p).is_some(),
+            "route retained across the flap"
+        );
+        assert_eq!(h.speakers[1].stale_path_count(PeerId(0)), 1);
+
+        // Re-establish: the peer's replay + End-of-RIB resynchronize the
+        // table; nothing is withdrawn, nothing stays stale.
+        h.start(1, 0);
+        h.start(0, 0);
+        assert!(h.speakers[1].is_established(PeerId(0)));
+        assert!(h.speakers[1].loc_rib().best(&p).is_some());
+        assert_eq!(h.speakers[1].stale_path_count(PeerId(0)), 0);
+        assert_eq!(h.speakers[1].total_adj_in_paths(), 1);
+    }
+
+    #[test]
+    fn stale_route_dropped_when_not_reannounced() {
+        let mut h = pair(false);
+        h.speakers[1]
+            .peers
+            .get_mut(&PeerId(0))
+            .unwrap()
+            .cfg
+            .retention_secs = 30;
+        let p = prefix("184.164.224.0/24");
+        h.originate(0, p, PathAttributes::originated(addr(1)));
+
+        // a withdraws the origin while b's view of the session is down: b
+        // must not resurrect the route after resync.
+        let out = h.speakers[1].on_transport_down(PeerId(0));
+        h.process(1, out);
+        let out = h.speakers[0].on_transport_down(PeerId(0));
+        h.process(0, out);
+        h.transports_up.clear();
+        h.run();
+        let out = h.speakers[0].withdraw_origin(p);
+        h.process(0, out);
+        h.run();
+        assert!(h.speakers[1].loc_rib().best(&p).is_some(), "still retained");
+
+        h.start(1, 0);
+        h.start(0, 0);
+        // End-of-RIB from a's replay sweeps the unrefreshed leftover.
+        assert!(
+            h.speakers[1].loc_rib().best(&p).is_none(),
+            "stale route must not survive resync"
+        );
+        assert_eq!(h.speakers[1].stale_path_count(PeerId(0)), 0);
+    }
+
+    #[test]
+    fn fault_skip_replay_desyncs_adj_out_from_peer() {
+        let mut h = pair(false);
+        let p = prefix("184.164.224.0/24");
+        h.originate(0, p, PathAttributes::originated(addr(1)));
+        h.speakers[0].set_fault_skip_session_up_replay(true);
+
+        let out = h.speakers[0].on_transport_down(PeerId(0));
+        h.process(0, out);
+        let out = h.speakers[1].on_transport_down(PeerId(0));
+        h.process(1, out);
+        h.transports_up.clear();
+        h.run();
+        h.start(1, 0);
+        h.start(0, 0);
+        assert!(h.speakers[0].is_established(PeerId(0)));
+        // The bug: a's Adj-RIB-Out says the route was advertised...
+        assert_eq!(h.speakers[0].adj_rib_out_snapshot(PeerId(0)).len(), 1);
+        // ...but it never hit the wire, so b has nothing — the exact
+        // divergence the convergence oracle asserts against.
+        assert_eq!(h.speakers[1].total_adj_in_paths(), 0);
+        assert!(h.speakers[1].loc_rib().best(&p).is_none());
     }
 }
 

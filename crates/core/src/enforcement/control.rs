@@ -165,6 +165,11 @@ impl ControlEnforcer {
         self.experiments.remove(&exp);
     }
 
+    /// Whether an experiment has a registered policy.
+    pub fn has_experiment(&self, exp: ExperimentId) -> bool {
+        self.experiments.contains_key(&exp)
+    }
+
     /// Access the shared ledger (for inspection / pruning).
     pub fn ledger(&self) -> Arc<Mutex<RateLedger>> {
         Arc::clone(&self.ledger)

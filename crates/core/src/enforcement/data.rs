@@ -151,6 +151,11 @@ impl DataEnforcer {
         self.buckets.remove(&exp);
     }
 
+    /// Whether an experiment has a registered policy.
+    pub fn has_experiment(&self, exp: ExperimentId) -> bool {
+        self.policies.contains_key(&exp)
+    }
+
     fn block(&mut self, label: &'static str) -> DataVerdict {
         *self.stats.blocked.entry(label).or_insert(0) += 1;
         DataVerdict::Block(label)

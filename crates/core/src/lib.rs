@@ -46,7 +46,7 @@ pub use communities::ControlCommunities;
 pub use enforcement::control::{ControlEnforcer, ExperimentPolicy, Rejection};
 pub use enforcement::data::{DataEnforcer, DataVerdict};
 pub use ids::{ExperimentId, NeighborId, PopId};
-pub use mux::{Egress, MuxTarget, VbgpMux};
+pub use mux::{Delivery, Egress, MuxTarget, VbgpMux};
 pub use router::{
     BackboneConfig, ExperimentConfig, NeighborConfig, NeighborKind, RemoteNeighbor, VbgpRouter,
 };

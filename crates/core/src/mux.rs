@@ -69,12 +69,41 @@ pub enum Egress {
 }
 
 /// Where traffic for an experiment prefix should go.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Delivery {
+///
+/// The variant order is load-bearing: `Ord` ranks `Local` ahead of
+/// `Remote`, and [`DeliverySet::active`] picks the minimum — a packet is
+/// always handed down a local tunnel when one exists rather than relayed
+/// across the backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Delivery {
     /// Down a local tunnel.
     Local(ExperimentId),
     /// Across the backbone toward the owning PoP's global address.
-    Remote { port: PortId, global_ip: Ipv4Addr },
+    Remote {
+        /// Backbone port to send out of.
+        port: PortId,
+        /// The global-pool address to ARP for.
+        global_ip: Ipv4Addr,
+    },
+}
+
+/// Refcounted delivery options for one prefix. Several control-plane
+/// routes can make the same prefix deliverable at once — its own tunnel
+/// plus copies re-advertised across the backbone — and the data plane must
+/// keep serving the best remaining option as individual routes come and
+/// go, not just the most recently installed one.
+struct DeliverySet {
+    entries: Vec<(Delivery, u32)>,
+}
+
+impl DeliverySet {
+    fn active(&self) -> Delivery {
+        self.entries
+            .iter()
+            .map(|(d, _)| *d)
+            .min()
+            .expect("delivery sets are removed when emptied")
+    }
 }
 
 /// Mux counters.
@@ -107,7 +136,7 @@ pub struct VbgpMux {
     neighbor_fwd: HashMap<NeighborId, NeighborFwd>,
     tables: HashMap<NeighborId, PrefixTrie<u32>>,
     experiments: HashMap<ExperimentId, ExperimentEntry>,
-    delivery: PrefixTrie<(Delivery, u32)>,
+    delivery: PrefixTrie<DeliverySet>,
     /// ARP: global/virtual IPs this PoP answers for → answering MAC.
     owned_ips: HashMap<Ipv4Addr, MacAddr>,
     /// Backbone ARP cache: global IP → remote MAC.
@@ -285,32 +314,63 @@ impl VbgpMux {
     }
 
     /// An experiment prefix became deliverable down a local tunnel.
-    pub fn install_delivery_local(&mut self, prefix: Prefix, exp: ExperimentId) {
-        self.install_delivery(prefix, Delivery::Local(exp));
+    /// Returns the installed entry so the caller can remove exactly it
+    /// when the backing route is withdrawn.
+    pub fn install_delivery_local(&mut self, prefix: Prefix, exp: ExperimentId) -> Delivery {
+        let delivery = Delivery::Local(exp);
+        self.install_delivery(prefix, delivery);
+        delivery
     }
 
     /// An experiment prefix became deliverable across the backbone.
-    pub fn install_delivery_remote(&mut self, prefix: Prefix, port: PortId, global_ip: Ipv4Addr) {
-        self.install_delivery(prefix, Delivery::Remote { port, global_ip });
+    /// Returns the installed entry so the caller can remove exactly it
+    /// when the backing route is withdrawn.
+    pub fn install_delivery_remote(
+        &mut self,
+        prefix: Prefix,
+        port: PortId,
+        global_ip: Ipv4Addr,
+    ) -> Delivery {
+        let delivery = Delivery::Remote { port, global_ip };
+        self.install_delivery(prefix, delivery);
+        delivery
     }
 
     fn install_delivery(&mut self, prefix: Prefix, delivery: Delivery) {
         match self.delivery.get_mut(&prefix) {
-            Some((existing, count)) if *existing == delivery => *count += 1,
-            Some(entry) => *entry = (delivery, 1),
+            Some(set) => {
+                if let Some(entry) = set.entries.iter_mut().find(|(d, _)| *d == delivery) {
+                    entry.1 += 1;
+                } else {
+                    set.entries.push((delivery, 1));
+                }
+            }
             None => {
-                self.delivery.insert(prefix, (delivery, 1));
+                self.delivery.insert(
+                    prefix,
+                    DeliverySet {
+                        entries: vec![(delivery, 1)],
+                    },
+                );
             }
         }
     }
 
-    /// A delivery entry was withdrawn.
-    pub fn remove_delivery(&mut self, prefix: Prefix) {
-        if let Some((_, count)) = self.delivery.get_mut(&prefix) {
-            *count -= 1;
-            if *count == 0 {
-                self.delivery.remove(&prefix);
-            }
+    /// One backing route for a delivery entry was withdrawn. The prefix
+    /// stays deliverable as long as any other backing route remains.
+    pub fn remove_delivery(&mut self, prefix: Prefix, delivery: &Delivery) {
+        let Some(set) = self.delivery.get_mut(&prefix) else {
+            return;
+        };
+        let Some(pos) = set.entries.iter().position(|(d, _)| d == delivery) else {
+            return;
+        };
+        set.entries[pos].1 -= 1;
+        if set.entries[pos].1 == 0 {
+            set.entries.remove(pos);
+        }
+        if set.entries.is_empty() {
+            self.delivery.remove(&prefix);
         }
     }
 
@@ -404,10 +464,10 @@ impl VbgpMux {
         dst_ip: Ipv4Addr,
         from_neighbor: Option<NeighborId>,
     ) -> Option<(Egress, Option<MacAddr>, ExperimentId)> {
-        let (_, (delivery, _)) = self.delivery.lookup(dst_ip.into())?;
-        match delivery {
+        let (_, set) = self.delivery.lookup(dst_ip.into())?;
+        match set.active() {
             Delivery::Local(exp) => {
-                let entry = self.experiments.get(exp)?;
+                let entry = self.experiments.get(&exp)?;
                 let src_rewrite = from_neighbor.and_then(|n| self.alloc.get(n)).map(|v| v.mac);
                 self.stats.to_experiment += 1;
                 Some((
@@ -416,17 +476,17 @@ impl VbgpMux {
                         dst_mac: entry.mac,
                     },
                     src_rewrite,
-                    *exp,
+                    exp,
                 ))
             }
             Delivery::Remote { port, global_ip } => {
                 let exp = ExperimentId(u32::MAX); // unknown at this PoP
-                match self.resolved.get(global_ip) {
+                match self.resolved.get(&global_ip) {
                     Some(mac) => {
                         self.stats.to_backbone += 1;
                         Some((
                             Egress::Frame {
-                                port: *port,
+                                port,
                                 dst_mac: *mac,
                             },
                             None,
@@ -435,14 +495,7 @@ impl VbgpMux {
                     }
                     None => {
                         self.stats.unresolved += 1;
-                        Some((
-                            Egress::Unresolved {
-                                port: *port,
-                                global_ip: *global_ip,
-                            },
-                            None,
-                            exp,
-                        ))
+                        Some((Egress::Unresolved { port, global_ip }, None, exp))
                     }
                 }
             }
@@ -452,6 +505,46 @@ impl VbgpMux {
     /// The tunnel port of a local experiment.
     pub fn experiment_port(&self, id: ExperimentId) -> Option<PortId> {
         self.experiments.get(&id).map(|e| e.port)
+    }
+
+    // ---- inspection (consistency checking) ----
+
+    /// Every neighbor with a routing table at this PoP, sorted.
+    pub fn neighbor_ids(&self) -> Vec<NeighborId> {
+        let mut ids: Vec<NeighborId> = self.tables.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The `(prefix, refcount)` entries of one neighbor's table.
+    pub fn table_entries(&self, neighbor: NeighborId) -> Vec<(Prefix, u32)> {
+        self.tables
+            .get(&neighbor)
+            .map(|t| t.iter().map(|(p, c)| (p, *c)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The delivery table as `(prefix, refcount, owner)`; the owner is
+    /// `None` for entries relayed across the backbone.
+    pub fn delivery_entries(&self) -> Vec<(Prefix, u32, Option<ExperimentId>)> {
+        self.delivery
+            .iter()
+            .map(|(p, set)| {
+                let total = set.entries.iter().map(|(_, c)| *c).sum();
+                let exp = match set.active() {
+                    Delivery::Local(e) => Some(e),
+                    Delivery::Remote { .. } => None,
+                };
+                (p, total, exp)
+            })
+            .collect()
+    }
+
+    /// Local experiments registered with the mux, sorted.
+    pub fn experiment_ids(&self) -> Vec<ExperimentId> {
+        let mut ids: Vec<ExperimentId> = self.experiments.keys().copied().collect();
+        ids.sort();
+        ids
     }
 }
 
@@ -639,16 +732,53 @@ mod tests {
         let mut m = mux();
         m.add_experiment(X1, PortId(7), MacAddr::from_id(0x77), None);
         let p = prefix("184.164.224.0/24");
+        let d = m.install_delivery_local(p, X1);
         m.install_delivery_local(p, X1);
-        m.install_delivery_local(p, X1);
-        m.remove_delivery(p);
+        m.remove_delivery(p, &d);
         assert!(m
             .deliver_to_experiment("184.164.224.1".parse().unwrap(), None)
             .is_some());
-        m.remove_delivery(p);
+        m.remove_delivery(p, &d);
         assert!(m
             .deliver_to_experiment("184.164.224.1".parse().unwrap(), None)
             .is_none());
+    }
+
+    #[test]
+    fn local_delivery_outranks_backbone_and_survives_partial_withdraw() {
+        let mut m = mux();
+        m.add_experiment(X1, PortId(7), MacAddr::from_id(0x77), None);
+        let p = prefix("184.164.224.0/24");
+        // Backbone copy learned first, then the experiment's own tunnel.
+        let remote = m.install_delivery_remote(p, PortId(2), "100.125.0.1".parse().unwrap());
+        let local = m.install_delivery_local(p, X1);
+        // Local wins regardless of install order.
+        let (egress, _, exp) = m
+            .deliver_to_experiment("184.164.224.1".parse().unwrap(), None)
+            .unwrap();
+        assert_eq!(exp, X1);
+        assert_eq!(
+            egress,
+            Egress::Frame {
+                port: PortId(7),
+                dst_mac: MacAddr::from_id(0x77)
+            }
+        );
+        // Withdrawing the backbone copy must not tear down local delivery.
+        m.remove_delivery(p, &remote);
+        assert!(m
+            .deliver_to_experiment("184.164.224.1".parse().unwrap(), None)
+            .is_some());
+        // And vice versa: after the tunnel route goes, the backbone copy
+        // (re-installed) still delivers.
+        m.remove_delivery(p, &local);
+        assert!(m
+            .deliver_to_experiment("184.164.224.1".parse().unwrap(), None)
+            .is_none());
+        m.install_delivery_remote(p, PortId(2), "100.125.0.1".parse().unwrap());
+        assert!(m
+            .deliver_to_experiment("184.164.224.1".parse().unwrap(), None)
+            .is_some());
     }
 
     #[test]

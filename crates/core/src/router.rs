@@ -33,7 +33,7 @@ use crate::communities::ControlCommunities;
 use crate::enforcement::control::{ControlEnforcer, ExperimentPolicy};
 use crate::enforcement::data::{DataEnforcer, ExperimentDataPolicy};
 use crate::ids::{ExperimentId, NeighborId, PopId};
-use crate::mux::{Egress, MuxTarget, VbgpMux};
+use crate::mux::{Delivery, Egress, MuxTarget, VbgpMux};
 use crate::policies;
 use crate::transport::{BgpHost, Endpoint, HostEvent};
 use crate::vnh::{self, global_ip};
@@ -127,7 +127,7 @@ pub struct BackboneConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Installed {
     NeighborRoute(NeighborId),
-    DeliveryEntry,
+    DeliveryEntry(Delivery),
 }
 
 /// Router counters.
@@ -146,6 +146,13 @@ pub struct RouterStats {
 }
 
 const TOKEN_ARP_RETRY: u64 = 1;
+
+/// How long the routing engine retains routes learned from a neighbor or
+/// backbone session after it drops, giving the peer a chance to
+/// re-establish and refresh them before they are flushed. Experiment
+/// sessions get no retention: a dead tunnel must lose its routes at once
+/// so announcements never outlive the experiment's connectivity.
+const SESSION_RETENTION_SECS: u16 = 30;
 
 /// The virtualized edge router.
 pub struct VbgpRouter {
@@ -260,6 +267,7 @@ impl VbgpRouter {
             .push((vnh.ip, global_ip(cfg.global_index)));
         let peer = self.alloc_peer();
         let mut peer_cfg = PeerConfig::ebgp(cfg.asn, cfg.remote_addr.into(), cfg.local_addr.into())
+            .with_retention(SESSION_RETENTION_SECS)
             .with_import(policies::neighbor_import(self.cc.platform_asn, vnh.ip))
             .with_export(policies::neighbor_export(&self.cc, cfg.id));
         if cfg.passive {
@@ -369,6 +377,7 @@ impl VbgpRouter {
             PeerConfig::ebgp(self.asn, cfg.remote_addr.into(), cfg.local_addr.into())
                 .with_all_paths()
                 .with_next_hop_unchanged()
+                .with_retention(SESSION_RETENTION_SECS)
                 .with_import(policies::backbone_import(&import_map))
                 .with_export(self.backbone_export_policy());
         if cfg.passive {
@@ -483,8 +492,8 @@ impl VbgpRouter {
             self.uninstall(old, route.prefix);
         }
         let installed = if let Some(&exp) = self.exp_peers.get(&peer) {
-            self.mux.install_delivery_local(route.prefix, exp);
-            Some(Installed::DeliveryEntry)
+            let delivery = self.mux.install_delivery_local(route.prefix, exp);
+            Some(Installed::DeliveryEntry(delivery))
         } else {
             match route.attrs.next_hop {
                 Some(std::net::IpAddr::V4(nh)) if vnh::is_local(nh) => {
@@ -504,14 +513,14 @@ impl VbgpRouter {
                         .endpoint(peer)
                         .map(|ep| ep.port)
                         .unwrap_or(PortId(0));
-                    self.mux.install_delivery_remote(route.prefix, port, nh);
+                    let delivery = self.mux.install_delivery_remote(route.prefix, port, nh);
                     let mac = self.port_mac(port);
                     let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, nh);
                     ctx.send_frame(
                         port,
                         EtherFrame::new(MacAddr::BROADCAST, mac, EtherType::Arp, req.encode()),
                     );
-                    Some(Installed::DeliveryEntry)
+                    Some(Installed::DeliveryEntry(delivery))
                 }
                 _ => None,
             }
@@ -530,8 +539,195 @@ impl VbgpRouter {
     fn uninstall(&mut self, installed: Installed, prefix: Prefix) {
         match installed {
             Installed::NeighborRoute(nbr) => self.mux.remove_route(nbr, prefix),
-            Installed::DeliveryEntry => self.mux.remove_delivery(prefix),
+            Installed::DeliveryEntry(delivery) => self.mux.remove_delivery(prefix, &delivery),
         }
+    }
+
+    /// The experiment attached over a peer session, if any.
+    pub fn experiment_of_peer(&self, peer: PeerId) -> Option<ExperimentId> {
+        self.exp_peers.get(&peer).copied()
+    }
+
+    /// The neighbor on a peer session, if any.
+    pub fn neighbor_of_peer(&self, peer: PeerId) -> Option<NeighborId> {
+        self.neighbor_peers.get(&peer).copied()
+    }
+
+    /// Whether a peer session is a backbone (inter-PoP) session.
+    pub fn is_backbone_peer(&self, peer: PeerId) -> bool {
+        self.backbone_peers.contains(&peer)
+    }
+
+    /// Fault hook for the chaos harness's self-test: when enabled, the
+    /// routing engine skips replaying its Adj-RIB-Out when a session
+    /// re-establishes (the resync bug the convergence oracle must catch).
+    pub fn set_fault_skip_session_up_replay(&mut self, on: bool) {
+        self.host.speaker.set_fault_skip_session_up_replay(on);
+    }
+
+    /// Cross-check this router's layers against each other: the mux's
+    /// per-neighbor tables and delivery table against the control plane's
+    /// installation bookkeeping, that bookkeeping against the routing
+    /// engine's Adj-RIBs-In, dead experiment tunnels against retained
+    /// routes, and the enforcement engines against attached experiments.
+    /// Returns one human-readable line per violation; empty means
+    /// consistent. Used by the convergence oracle after chaos quiesces.
+    pub fn verify_consistency(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+
+        // What the mux should hold, recomputed from scratch.
+        let mut want_tables: HashMap<(NeighborId, Prefix), u32> = HashMap::new();
+        let mut want_delivery: HashMap<Prefix, u32> = HashMap::new();
+        for ((_, prefix, _), what) in &self.installed {
+            match what {
+                Installed::NeighborRoute(nbr) => {
+                    *want_tables.entry((*nbr, *prefix)).or_insert(0) += 1
+                }
+                Installed::DeliveryEntry(_) => *want_delivery.entry(*prefix).or_insert(0) += 1,
+            }
+        }
+
+        let mut seen_tables: HashMap<(NeighborId, Prefix), u32> = HashMap::new();
+        for nbr in self.mux.neighbor_ids() {
+            for (prefix, count) in self.mux.table_entries(nbr) {
+                seen_tables.insert((nbr, prefix), count);
+            }
+        }
+        for (key, want) in &want_tables {
+            match seen_tables.get(key) {
+                Some(got) if got == want => {}
+                Some(got) => problems.push(format!(
+                    "{}: neighbor {} table {}: mux refcount {got}, {want} installed",
+                    self.pop, key.0 .0, key.1
+                )),
+                None => problems.push(format!(
+                    "{}: neighbor {} table missing {} ({want} installed)",
+                    self.pop, key.0 .0, key.1
+                )),
+            }
+        }
+        for (key, got) in &seen_tables {
+            if !want_tables.contains_key(key) {
+                problems.push(format!(
+                    "{}: neighbor {} table has orphan {} (refcount {got})",
+                    self.pop, key.0 .0, key.1
+                ));
+            }
+        }
+
+        let mut seen_delivery: HashMap<Prefix, u32> = HashMap::new();
+        for (prefix, count, _) in self.mux.delivery_entries() {
+            seen_delivery.insert(prefix, count);
+        }
+        for (prefix, want) in &want_delivery {
+            match seen_delivery.get(prefix) {
+                Some(got) if got == want => {}
+                Some(got) => problems.push(format!(
+                    "{}: delivery {prefix}: mux refcount {got}, {want} installed",
+                    self.pop
+                )),
+                None => problems.push(format!(
+                    "{}: delivery table missing {prefix} ({want} installed)",
+                    self.pop
+                )),
+            }
+        }
+        for (prefix, got) in &seen_delivery {
+            if !want_delivery.contains_key(prefix) {
+                problems.push(format!(
+                    "{}: delivery table has orphan {prefix} (refcount {got})",
+                    self.pop
+                ));
+            }
+        }
+
+        // Every installation is backed by a path still in an Adj-RIB-In,
+        // and every Adj-RIB-In path the mux can place is installed.
+        for (peer, prefix, pid) in self.installed.keys() {
+            let backed = self
+                .host
+                .speaker
+                .adj_rib_in(*peer)
+                .map(|rib| rib.paths(prefix).any(|r| r.path_id == *pid))
+                .unwrap_or(false);
+            if !backed {
+                problems.push(format!(
+                    "{}: installed entry {prefix} path {} not in peer {}'s adj-rib-in",
+                    self.pop, pid, peer.0
+                ));
+            }
+        }
+        for peer in self.host.speaker.peer_ids() {
+            let Some(rib) = self.host.speaker.adj_rib_in(peer) else {
+                continue;
+            };
+            for route in rib.iter() {
+                let placeable = if self.exp_peers.contains_key(&peer) {
+                    true
+                } else {
+                    match route.attrs.next_hop {
+                        Some(std::net::IpAddr::V4(nh)) if vnh::is_local(nh) => {
+                            self.mux.vnh_neighbor(nh).is_some()
+                        }
+                        Some(std::net::IpAddr::V4(nh)) => vnh::is_global(nh),
+                        _ => false,
+                    }
+                };
+                if placeable
+                    && !self
+                        .installed
+                        .contains_key(&(peer, route.prefix, route.path_id))
+                {
+                    problems.push(format!(
+                        "{}: adj-rib-in route {} path {} on peer {} not installed in mux",
+                        self.pop, route.prefix, route.path_id, peer.0
+                    ));
+                }
+            }
+        }
+
+        // A dead tunnel holds no routes (experiments get no retention).
+        for (peer, exp) in &self.exp_peers {
+            if !self.host.speaker.is_established(*peer) {
+                let held = self
+                    .host
+                    .speaker
+                    .adj_rib_in(*peer)
+                    .map(|rib| rib.iter().count())
+                    .unwrap_or(0);
+                if held > 0 {
+                    problems.push(format!(
+                        "{}: experiment {} session is down but still holds {held} routes",
+                        self.pop, exp.0
+                    ));
+                }
+            }
+        }
+
+        // Enforcement engines and mux know every attached experiment.
+        for exp in self.exp_peers.values() {
+            if !self.control.has_experiment(*exp) {
+                problems.push(format!(
+                    "{}: experiment {} has no control-plane policy",
+                    self.pop, exp.0
+                ));
+            }
+            if !self.data.has_experiment(*exp) {
+                problems.push(format!(
+                    "{}: experiment {} has no data-plane policy",
+                    self.pop, exp.0
+                ));
+            }
+            if self.mux.experiment_port(*exp).is_none() {
+                problems.push(format!(
+                    "{}: experiment {} has no mux delivery entry",
+                    self.pop, exp.0
+                ));
+            }
+        }
+
+        problems.sort();
+        problems
     }
 
     fn on_arp(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &EtherFrame) {

@@ -72,6 +72,14 @@ pub struct BgpHost {
     interposed: HashSet<PeerId>,
     rx_buf: HashMap<PeerId, Vec<u8>>,
     transport_up: HashSet<PeerId>,
+    /// Next sequence number to send / expect per session. Real BGP rides
+    /// TCP, which either delivers the byte stream intact or kills the
+    /// connection; these counters give the frame transport the same
+    /// property. A gap (lost or reordered frame) resets the connection, so
+    /// a session can never silently diverge from its peer — it dies and
+    /// resynchronizes through the FSM instead.
+    tx_seq: HashMap<PeerId, u32>,
+    rx_seq: HashMap<PeerId, u32>,
 }
 
 fn timer_kind_index(kind: TimerKind) -> u8 {
@@ -79,6 +87,7 @@ fn timer_kind_index(kind: TimerKind) -> u8 {
         TimerKind::ConnectRetry => 0,
         TimerKind::Hold => 1,
         TimerKind::Keepalive => 2,
+        TimerKind::StaleSweep => 3,
     }
 }
 
@@ -87,6 +96,7 @@ fn timer_kind_from_index(idx: u8) -> Option<TimerKind> {
         0 => Some(TimerKind::ConnectRetry),
         1 => Some(TimerKind::Hold),
         2 => Some(TimerKind::Keepalive),
+        3 => Some(TimerKind::StaleSweep),
         _ => None,
     }
 }
@@ -106,6 +116,8 @@ impl BgpHost {
             interposed: HashSet::new(),
             rx_buf: HashMap::new(),
             transport_up: HashSet::new(),
+            tx_seq: HashMap::new(),
+            rx_seq: HashMap::new(),
         }
     }
 
@@ -137,6 +149,8 @@ impl BgpHost {
         self.interposed.remove(&id);
         self.rx_buf.remove(&id);
         self.transport_up.remove(&id);
+        self.tx_seq.remove(&id);
+        self.rx_seq.remove(&id);
         let (_, out) = self.speaker.remove_peer(id);
         self.handle_output(ctx, out, &mut events);
         events
@@ -224,6 +238,14 @@ impl BgpHost {
                     self.send_op(ctx, &ep, OP_SYNACK, &[]);
                 }
                 if self.transport_up.insert(peer) {
+                    // The handshake that actually brings the transport up
+                    // begins a fresh byte stream on both directions. A
+                    // duplicate SYN on an already-up transport (e.g. from
+                    // simultaneous open) must NOT reset the counters — the
+                    // stream it belongs to is the one already running.
+                    self.tx_seq.insert(peer, 0);
+                    self.rx_seq.insert(peer, 0);
+                    self.rx_buf.remove(&peer);
                     let out = self.speaker.on_transport_up(peer);
                     self.handle_output(ctx, out, &mut events);
                 }
@@ -234,10 +256,30 @@ impl BgpHost {
                 self.handle_output(ctx, out, &mut events);
             }
             OP_DATA => {
+                if data.len() < 4 {
+                    return Some(events);
+                }
+                let (seq_bytes, payload) = data.split_at(4);
+                let seq = u32::from_be_bytes(seq_bytes.try_into().expect("4 bytes"));
+                let expected = self.rx_seq.get(&peer).copied().unwrap_or(0);
+                if seq < expected {
+                    // A stale duplicate; the stream already moved past it.
+                    return Some(events);
+                }
+                if seq > expected {
+                    // A frame went missing or arrived out of order. TCP
+                    // would retransmit or kill the connection; the frame
+                    // transport has no retransmission, so reset — the FSM
+                    // reconnects (with backoff) and resynchronizes rather
+                    // than silently diverging from its peer.
+                    self.reset_transport(ctx, peer, &mut events);
+                    return Some(events);
+                }
+                self.rx_seq.insert(peer, expected.wrapping_add(1));
                 if self.interposed.contains(&peer) {
-                    self.on_interposed_bytes(ctx, peer, data, &mut events);
+                    self.on_interposed_bytes(ctx, peer, payload, &mut events);
                 } else {
-                    let out = self.speaker.on_bytes(peer, data);
+                    let out = self.speaker.on_bytes(peer, payload);
                     self.handle_output(ctx, out, &mut events);
                 }
             }
@@ -317,6 +359,18 @@ impl BgpHost {
         events
     }
 
+    /// Tear a session's transport down after a sequence gap: notify the
+    /// peer (best effort, like a RST) and let the speaker's FSM retry.
+    fn reset_transport(&mut self, ctx: &mut Ctx<'_>, peer: PeerId, events: &mut Vec<HostEvent>) {
+        if let Some(ep) = self.endpoints.get(&peer).copied() {
+            self.send_op(ctx, &ep, OP_FIN, &[]);
+        }
+        self.transport_up.remove(&peer);
+        self.rx_buf.remove(&peer);
+        let out = self.speaker.on_transport_down(peer);
+        self.handle_output(ctx, out, events);
+    }
+
     fn send_op(&self, ctx: &mut Ctx<'_>, ep: &Endpoint, op: u8, data: &[u8]) {
         let mut payload = Vec::with_capacity(1 + data.len());
         payload.push(op);
@@ -335,12 +389,23 @@ impl BgpHost {
     ) {
         for (peer, bytes) in out.send {
             if let Some(ep) = self.endpoints.get(&peer).copied() {
-                self.send_op(ctx, &ep, OP_DATA, &bytes);
+                let seq = self.tx_seq.entry(peer).or_insert(0);
+                let mut payload = Vec::with_capacity(5 + bytes.len());
+                payload.push(OP_DATA);
+                payload.extend_from_slice(&seq.to_be_bytes());
+                *seq = seq.wrapping_add(1);
+                payload.extend_from_slice(&bytes);
+                ctx.send_frame(
+                    ep.port,
+                    EtherFrame::new(ep.remote_mac, ep.local_mac, ETHERTYPE_BGP, payload.into()),
+                );
             }
         }
         for ev in out.events {
             match ev {
                 SpeakerEvent::TransportOpen(peer) => {
+                    self.tx_seq.insert(peer, 0);
+                    self.rx_seq.insert(peer, 0);
                     if let Some(ep) = self.endpoints.get(&peer).copied() {
                         self.send_op(ctx, &ep, OP_SYN, &[]);
                     }
@@ -352,6 +417,8 @@ impl BgpHost {
                         }
                     }
                     self.rx_buf.remove(&peer);
+                    self.tx_seq.remove(&peer);
+                    self.rx_seq.remove(&peer);
                 }
                 SpeakerEvent::ArmTimer(peer, kind, secs) => {
                     let gen = self
@@ -590,6 +657,54 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, HostEvent::SessionDown(_, _))));
+    }
+
+    #[test]
+    fn sequence_gap_resets_and_session_recovers() {
+        let (mut sim, a, b) = setup(false);
+        sim.run_for(SimDuration::from_secs(2));
+        assert!(sim
+            .node::<SpeakerNode>(b)
+            .unwrap()
+            .host
+            .speaker
+            .is_established(PeerId(0)));
+        // Forge a DATA frame from a with a future sequence number, as if
+        // the frames in between were lost on the wire.
+        let mut payload = vec![OP_DATA];
+        payload.extend_from_slice(&99u32.to_be_bytes());
+        payload.extend_from_slice(&[0u8; 19]);
+        sim.with_node_ctx::<SpeakerNode, _>(b, |node, ctx| {
+            let frame = EtherFrame::new(
+                MacAddr::from_id(2),
+                MacAddr::from_id(1),
+                ETHERTYPE_BGP,
+                payload.into(),
+            );
+            let evs = node.host.on_frame(ctx, PortId(0), &frame).unwrap();
+            node.events.extend(evs);
+        });
+        let node_b = sim.node::<SpeakerNode>(b).unwrap();
+        assert!(!node_b.host.speaker.is_established(PeerId(0)));
+        assert!(node_b
+            .events
+            .iter()
+            .any(|e| matches!(e, HostEvent::SessionDown(_, _))));
+        // The gap acted like a connection reset: the peer saw the FIN and
+        // both sides re-establish through the FSM's retry path.
+        sim.run_for(SimDuration::from_secs(120));
+        assert!(sim
+            .node::<SpeakerNode>(a)
+            .unwrap()
+            .host
+            .speaker
+            .is_established(PeerId(0)));
+        assert!(sim
+            .node::<SpeakerNode>(b)
+            .unwrap()
+            .host
+            .speaker
+            .is_established(PeerId(0)));
     }
 
     #[test]

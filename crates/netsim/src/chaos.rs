@@ -1,0 +1,361 @@
+//! Scriptable chaos plans: seeded schedules of link flaps, partitions and
+//! packet-level fault bursts.
+//!
+//! The paper's platform runs over real tunnels and exchange fabrics where
+//! links flap and packets are lost, reordered, duplicated and corrupted
+//! (§3.3, §5). A [`ChaosPlan`] scripts those failures against any set of
+//! links: it is a list of [`Incident`]s, each a bounded disturbance with a
+//! start offset and a duration. Incidents lower to timed [`ChaosStep`]s
+//! that [`crate::Simulator::schedule_chaos`] places on the event queue, so
+//! chaos interleaves deterministically with frame deliveries and timers —
+//! the same seed always produces the same run.
+//!
+//! Plans are generated from the simulator's own seeded RNG
+//! ([`ChaosPlan::generate`]) and shrink naturally at incident granularity:
+//! removing an incident yields a strictly smaller, still-valid plan, which
+//! is what a failing-seed minimizer wants to bisect over.
+
+use crate::link::FaultInjector;
+use crate::sim::{LinkId, SimRng};
+use crate::time::SimDuration;
+
+/// One atomic mutation of link state, applied by the simulator's event
+/// loop at a scheduled instant.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosStep {
+    /// The link to mutate.
+    pub link: LinkId,
+    /// The mutation.
+    pub change: ChaosChange,
+}
+
+/// What a [`ChaosStep`] does to its link.
+#[derive(Debug, Clone, Copy)]
+pub enum ChaosChange {
+    /// Administratively lower the link: every frame drops.
+    LinkDown,
+    /// Raise the link again.
+    LinkUp,
+    /// Replace the link's fault injector (start of a burst).
+    SetFaults(FaultInjector),
+    /// Restore the injector the link was created with (end of a burst).
+    RestoreFaults,
+}
+
+/// The kind of disturbance an [`Incident`] inflicts on its links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// Links go down at `start` and come back at `start + duration`:
+    /// a flap when one link is hit, a partition when several are, a tunnel
+    /// reset when the link is an experiment tunnel.
+    Outage,
+    /// Links run with degraded fault injection for the duration, then
+    /// revert to their configured base faults.
+    FaultBurst,
+}
+
+/// A bounded disturbance against one or more links.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Offset from the moment the plan is scheduled.
+    pub start: SimDuration,
+    /// How long the disturbance lasts.
+    pub duration: SimDuration,
+    /// The links affected (one for a flap, several for a partition).
+    pub links: Vec<LinkId>,
+    /// Outage or fault burst.
+    pub kind: IncidentKind,
+    /// Burst injector, used when `kind` is [`IncidentKind::FaultBurst`].
+    pub faults: FaultInjector,
+}
+
+impl Incident {
+    /// A single-link flap (or tunnel reset).
+    pub fn flap(link: LinkId, start: SimDuration, duration: SimDuration) -> Self {
+        Incident {
+            start,
+            duration,
+            links: vec![link],
+            kind: IncidentKind::Outage,
+            faults: FaultInjector::none(),
+        }
+    }
+
+    /// A partition: several links down together.
+    pub fn partition(links: Vec<LinkId>, start: SimDuration, duration: SimDuration) -> Self {
+        Incident {
+            start,
+            duration,
+            links,
+            kind: IncidentKind::Outage,
+            faults: FaultInjector::none(),
+        }
+    }
+
+    /// A fault burst with the given injector.
+    pub fn burst(
+        link: LinkId,
+        start: SimDuration,
+        duration: SimDuration,
+        faults: FaultInjector,
+    ) -> Self {
+        Incident {
+            start,
+            duration,
+            links: vec![link],
+            kind: IncidentKind::FaultBurst,
+            faults,
+        }
+    }
+
+    /// When the disturbance is over.
+    pub fn end(&self) -> SimDuration {
+        self.start + self.duration
+    }
+
+    fn steps(&self) -> impl Iterator<Item = (SimDuration, ChaosStep)> + '_ {
+        let (begin, finish) = match self.kind {
+            IncidentKind::Outage => (ChaosChange::LinkDown, ChaosChange::LinkUp),
+            IncidentKind::FaultBurst => (
+                ChaosChange::SetFaults(self.faults),
+                ChaosChange::RestoreFaults,
+            ),
+        };
+        self.links.iter().flat_map(move |&link| {
+            [
+                (
+                    self.start,
+                    ChaosStep {
+                        link,
+                        change: begin,
+                    },
+                ),
+                (
+                    self.end(),
+                    ChaosStep {
+                        link,
+                        change: finish,
+                    },
+                ),
+            ]
+        })
+    }
+}
+
+/// A deterministic schedule of incidents.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    /// The incidents, in no particular order (each carries its own start).
+    pub incidents: Vec<Incident>,
+}
+
+impl ChaosPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an incident.
+    pub fn push(&mut self, incident: Incident) {
+        self.incidents.push(incident);
+    }
+
+    /// Offset of the last state restoration — after this the network is
+    /// merely recovering, not being disturbed.
+    pub fn end(&self) -> SimDuration {
+        self.incidents
+            .iter()
+            .map(Incident::end)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Lower every incident to its timed steps.
+    pub fn steps(&self) -> Vec<(SimDuration, ChaosStep)> {
+        let mut steps: Vec<(SimDuration, ChaosStep)> = self
+            .incidents
+            .iter()
+            .flat_map(|i| i.steps().collect::<Vec<_>>())
+            .collect();
+        // Deterministic order regardless of incident order, so shrunken
+        // plans replay identically.
+        steps.sort_by_key(|(at, step)| (*at, step.link.0));
+        steps
+    }
+
+    /// A copy of the plan with incident `index` removed (shrinking).
+    pub fn without(&self, index: usize) -> ChaosPlan {
+        let mut incidents = self.incidents.clone();
+        incidents.remove(index);
+        ChaosPlan { incidents }
+    }
+
+    /// Generate a random plan of at most `max_incidents` incidents against
+    /// `targets`, starting within `window`. Drawing from the simulator's
+    /// seeded RNG keeps the whole run reproducible from one seed.
+    ///
+    /// Overlapping outages on the same link are avoided so every flap has
+    /// a well-defined down interval (and so removing any single incident
+    /// leaves the rest meaningful — what the shrinker relies on).
+    pub fn generate(
+        rng: &mut SimRng,
+        targets: &[LinkId],
+        window: SimDuration,
+        max_incidents: usize,
+    ) -> ChaosPlan {
+        let mut plan = ChaosPlan::new();
+        if targets.is_empty() || max_incidents == 0 {
+            return plan;
+        }
+        let n = 1 + rng.below(max_incidents as u64) as usize;
+        // Per-link time until which an outage already holds the link down.
+        let mut busy_until: Vec<(LinkId, SimDuration)> = Vec::new();
+        for _ in 0..n {
+            let start = SimDuration::from_nanos(rng.below(window.as_nanos().max(1)));
+            match rng.below(5) {
+                // Link flap / tunnel reset: 2–45 s down.
+                0 | 1 => {
+                    let link = targets[rng.below(targets.len() as u64) as usize];
+                    let duration = SimDuration::from_secs(2 + rng.below(44));
+                    if !overlaps(&busy_until, link, start) {
+                        busy_until.push((link, start + duration));
+                        plan.push(Incident::flap(link, start, duration));
+                    }
+                }
+                // Partition: 2–4 distinct links down together, 5–60 s.
+                2 => {
+                    let want = 2 + rng.below(3) as usize;
+                    let mut links: Vec<LinkId> = Vec::new();
+                    for _ in 0..want * 3 {
+                        let link = targets[rng.below(targets.len() as u64) as usize];
+                        if !links.contains(&link) && !overlaps(&busy_until, link, start) {
+                            links.push(link);
+                        }
+                        if links.len() == want {
+                            break;
+                        }
+                    }
+                    if links.len() >= 2 {
+                        let duration = SimDuration::from_secs(5 + rng.below(56));
+                        for &l in &links {
+                            busy_until.push((l, start + duration));
+                        }
+                        plan.push(Incident::partition(links, start, duration));
+                    }
+                }
+                // Loss burst: heavy drop on everything (control included —
+                // the real platform's tunnels lose BGP segments too).
+                3 => {
+                    let link = targets[rng.below(targets.len() as u64) as usize];
+                    let duration = SimDuration::from_secs(5 + rng.below(36));
+                    let faults = FaultInjector::dropping(20 + rng.below(60) as u8);
+                    plan.push(Incident::burst(link, start, duration, faults));
+                }
+                // Reorder + duplication + corruption burst.
+                _ => {
+                    let link = targets[rng.below(targets.len() as u64) as usize];
+                    let duration = SimDuration::from_secs(5 + rng.below(36));
+                    let faults = FaultInjector::none()
+                        .reordering(
+                            20 + rng.below(40) as u8,
+                            SimDuration::from_millis(50 + rng.below(450)),
+                        )
+                        .duplicating(10 + rng.below(30) as u8)
+                        .corrupting(5 + rng.below(25) as u8);
+                    plan.push(Incident::burst(link, start, duration, faults));
+                }
+            }
+        }
+        plan
+    }
+}
+
+fn overlaps(busy: &[(LinkId, SimDuration)], link: LinkId, start: SimDuration) -> bool {
+    busy.iter().any(|&(l, until)| l == link && start < until)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incidents_lower_to_paired_steps() {
+        let mut plan = ChaosPlan::new();
+        plan.push(Incident::flap(
+            LinkId(3),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(4),
+        ));
+        plan.push(Incident::partition(
+            vec![LinkId(1), LinkId(2)],
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(2),
+        ));
+        let steps = plan.steps();
+        assert_eq!(steps.len(), 6);
+        // Sorted by time, then link.
+        assert!(steps.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(plan.end(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_bounded() {
+        let targets: Vec<LinkId> = (0..6).map(LinkId).collect();
+        let gen = |seed| {
+            let mut rng = SimRng::new(seed);
+            ChaosPlan::generate(&mut rng, &targets, SimDuration::from_secs(100), 8)
+        };
+        let a = gen(42);
+        let b = gen(42);
+        assert_eq!(a.incidents.len(), b.incidents.len());
+        for (x, y) in a.incidents.iter().zip(&b.incidents) {
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.links, y.links);
+            assert_eq!(x.kind, y.kind);
+        }
+        assert!(a.incidents.len() <= 8);
+        assert!(!a.incidents.is_empty());
+    }
+
+    #[test]
+    fn outages_never_overlap_per_link() {
+        for seed in 0..50u64 {
+            let targets: Vec<LinkId> = (0..4).map(LinkId).collect();
+            let mut rng = SimRng::new(seed);
+            let plan = ChaosPlan::generate(&mut rng, &targets, SimDuration::from_secs(120), 10);
+            let outages: Vec<&Incident> = plan
+                .incidents
+                .iter()
+                .filter(|i| i.kind == IncidentKind::Outage)
+                .collect();
+            for (i, a) in outages.iter().enumerate() {
+                for b in &outages[i + 1..] {
+                    for l in &a.links {
+                        if b.links.contains(l) {
+                            assert!(
+                                a.end() <= b.start || b.end() <= a.start,
+                                "overlapping outages on {l:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_removes_one_incident() {
+        let mut plan = ChaosPlan::new();
+        for k in 0..3 {
+            plan.push(Incident::flap(
+                LinkId(k),
+                SimDuration::from_secs(k as u64),
+                SimDuration::from_secs(1),
+            ));
+        }
+        let smaller = plan.without(1);
+        assert_eq!(smaller.incidents.len(), 2);
+        assert_eq!(smaller.incidents[0].links, vec![LinkId(0)]);
+        assert_eq!(smaller.incidents[1].links, vec![LinkId(2)]);
+    }
+}

@@ -7,6 +7,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::chaos::ChaosStep;
 use crate::frame::EtherFrame;
 use crate::sim::{NodeId, PortId};
 use crate::time::SimTime;
@@ -30,6 +31,8 @@ pub enum EventKind {
         /// Opaque token chosen by the node when the timer was set.
         token: u64,
     },
+    /// A scheduled chaos-plan step mutates link state (flap, fault burst).
+    Chaos(ChaosStep),
 }
 
 /// A scheduled event.

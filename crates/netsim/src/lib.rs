@@ -23,6 +23,7 @@
 
 pub mod arp;
 pub mod bytes;
+pub mod chaos;
 pub mod event;
 pub mod frame;
 pub mod icmp;
@@ -38,6 +39,7 @@ pub mod trace;
 
 pub use crate::bytes::Bytes;
 pub use arp::{ArpCache, ArpOp, ArpPacket};
+pub use chaos::{ChaosChange, ChaosPlan, ChaosStep, Incident, IncidentKind};
 pub use event::{Event, EventKind, EventQueue};
 pub use frame::{EtherFrame, EtherType};
 pub use icmp::IcmpPacket;
@@ -45,7 +47,7 @@ pub use ip::{IpPacket, IpProto, Ipv4Header};
 pub use link::{FaultInjector, Link, LinkConfig, LinkStats};
 pub use mac::MacAddr;
 pub use pcap::PcapWriter;
-pub use sim::{Ctx, LinkId, Node, NodeId, PortId, Simulator};
+pub use sim::{Ctx, LinkId, Node, NodeId, PortId, SimRng, Simulator};
 pub use switch::LearningSwitch;
 pub use tcp::{TcpFlowConfig, TcpReceiver, TcpSegment, TcpSender};
 pub use time::{SimDuration, SimTime};

@@ -85,6 +85,14 @@ pub struct FaultInjector {
     pub drop_pct: u8,
     /// Percent chance one octet of the payload is flipped.
     pub corrupt_pct: u8,
+    /// Percent chance a frame's delivery is delayed by a random extra
+    /// amount up to [`FaultInjector::reorder_window`], letting later frames
+    /// overtake it.
+    pub reorder_pct: u8,
+    /// Maximum extra delay applied to reordered frames.
+    pub reorder_window: SimDuration,
+    /// Percent chance a delivered frame arrives twice.
+    pub duplicate_pct: u8,
     /// Frames larger than this are dropped (`None` disables).
     pub size_limit: Option<usize>,
     /// Apply loss/corruption only to data-plane frames (IPv4/IPv6). BGP
@@ -113,6 +121,34 @@ impl FaultInjector {
         self.data_plane_only = true;
         self
     }
+
+    /// Builder: reorder with the given probability, delaying affected
+    /// frames by up to `window`.
+    pub fn reordering(mut self, reorder_pct: u8, window: SimDuration) -> Self {
+        self.reorder_pct = reorder_pct;
+        self.reorder_window = window;
+        self
+    }
+
+    /// Builder: duplicate delivered frames with the given probability.
+    pub fn duplicating(mut self, duplicate_pct: u8) -> Self {
+        self.duplicate_pct = duplicate_pct;
+        self
+    }
+
+    /// Builder: corrupt one payload octet with the given probability.
+    pub fn corrupting(mut self, corrupt_pct: u8) -> Self {
+        self.corrupt_pct = corrupt_pct;
+        self
+    }
+
+    /// True when reordering or duplication is configured (the simulator
+    /// only draws the extra RNG rolls these need when they can matter, so
+    /// enabling them never perturbs the random stream of runs that do not
+    /// use them).
+    pub fn perturbs_delivery(&self) -> bool {
+        self.reorder_pct > 0 || self.duplicate_pct > 0
+    }
 }
 
 /// Per-direction counters, exposed for experiments and tests.
@@ -135,6 +171,13 @@ pub struct LinkStats {
 pub struct Link {
     /// Configuration shared by both directions.
     pub config: LinkConfig,
+    /// Administrative state: a downed link drops every frame (chaos-plan
+    /// link flaps and partitions) but keeps its ports wired so it can come
+    /// back up in place.
+    pub up: bool,
+    /// The fault injector the link was created with, restored when a chaos
+    /// fault burst ends.
+    pub base_faults: FaultInjector,
     /// Time each direction's transmitter becomes free.
     pub next_free: [SimTime; 2],
     /// Per-direction stats.
@@ -154,7 +197,9 @@ impl Link {
     /// Create a link from a config.
     pub fn new(config: LinkConfig) -> Self {
         Link {
+            base_faults: config.faults,
             config,
+            up: true,
             next_free: [SimTime::ZERO; 2],
             stats: [LinkStats::default(); 2],
         }
@@ -192,6 +237,10 @@ impl Link {
         stats.tx_frames += 1;
         stats.tx_bytes += len as u64;
 
+        if !self.up {
+            stats.faulted_frames += 1;
+            return (TxOutcome::Dropped, false);
+        }
         if let Some(limit) = self.config.faults.size_limit {
             if len > limit {
                 stats.faulted_frames += 1;
@@ -306,6 +355,22 @@ mod tests {
         );
         assert!(matches!(
             link.transmit(0, SimTime::ZERO, 1500, 99, 99).0,
+            TxOutcome::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn downed_link_drops_everything() {
+        let mut link = Link::new(LinkConfig::default());
+        link.up = false;
+        assert_eq!(
+            link.transmit(0, SimTime::ZERO, 100, 99, 99).0,
+            TxOutcome::Dropped
+        );
+        assert_eq!(link.stats[0].faulted_frames, 1);
+        link.up = true;
+        assert!(matches!(
+            link.transmit(0, SimTime::ZERO, 100, 99, 99).0,
             TxOutcome::Deliver(_)
         ));
     }

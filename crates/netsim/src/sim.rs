@@ -8,9 +8,10 @@
 use std::any::Any;
 use std::collections::HashMap;
 
+use crate::chaos::{ChaosChange, ChaosPlan, ChaosStep};
 use crate::event::{EventKind, EventQueue};
 use crate::frame::EtherFrame;
-use crate::link::{Link, LinkConfig, LinkStats, TxOutcome};
+use crate::link::{FaultInjector, Link, LinkConfig, LinkStats, TxOutcome};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceDirection, TraceEvent, Tracer};
 
@@ -183,6 +184,12 @@ impl Simulator {
         id
     }
 
+    /// Every registered node id, in registration order. Harnesses use this
+    /// to sweep the whole topology without tracking ids themselves.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId).collect()
+    }
+
     /// Connect `(a, pa)` to `(b, pb)` with the given link configuration.
     ///
     /// # Panics
@@ -226,6 +233,49 @@ impl Simulator {
     /// Per-direction stats for a link.
     pub fn link_stats(&self, link: LinkId) -> [LinkStats; 2] {
         self.links[link.0 as usize].link.stats
+    }
+
+    /// Administratively raise or lower a link. A downed link stays wired
+    /// but drops every frame until raised again — the substrate for chaos
+    /// link flaps, partitions and tunnel resets.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.links[link.0 as usize].link.up = up;
+    }
+
+    /// Whether a link is administratively up.
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.links[link.0 as usize].link.up
+    }
+
+    /// Replace a link's fault injector (chaos fault bursts).
+    pub fn set_link_faults(&mut self, link: LinkId, faults: FaultInjector) {
+        self.links[link.0 as usize].link.config.faults = faults;
+    }
+
+    /// A link's current fault injector.
+    pub fn link_faults(&self, link: LinkId) -> FaultInjector {
+        self.links[link.0 as usize].link.config.faults
+    }
+
+    /// Restore a link's fault injector to the configuration it was created
+    /// with (ends a chaos fault burst).
+    pub fn restore_link_faults(&mut self, link: LinkId) {
+        let state = &mut self.links[link.0 as usize];
+        state.link.config.faults = state.link.base_faults;
+    }
+
+    /// Mutable access to the simulator's seeded RNG, so chaos plans can be
+    /// generated from the same deterministic stream the run itself uses.
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedule every step of a chaos plan relative to the current time.
+    /// Steps execute inline in the event loop at their appointed instants.
+    pub fn schedule_chaos(&mut self, plan: &ChaosPlan) {
+        for (offset, step) in plan.steps() {
+            self.queue.push(self.time + offset, EventKind::Chaos(step));
+        }
     }
 
     /// All currently-connected links touching `node`, with their endpoints.
@@ -350,6 +400,34 @@ impl Simulator {
                             payload[idx] ^= 1 << self.rng.below(8);
                             frame.payload = payload.into();
                         }
+                        // Reorder/duplicate rolls are only drawn when the
+                        // link configures them, so runs without these faults
+                        // keep their exact RNG stream.
+                        let faults = self.links[link_id.0 as usize].link.config.faults;
+                        let mut at = at;
+                        let mut duplicate = false;
+                        if faults.perturbs_delivery() && (is_data_plane || !faults.data_plane_only)
+                        {
+                            let reorder_roll = self.rng.below(100) as u8;
+                            let dup_roll = self.rng.below(100) as u8;
+                            if reorder_roll < faults.reorder_pct
+                                && faults.reorder_window > SimDuration::ZERO
+                            {
+                                let extra = self.rng.below(faults.reorder_window.as_nanos().max(1));
+                                at += SimDuration::from_nanos(extra);
+                            }
+                            duplicate = dup_roll < faults.duplicate_pct;
+                        }
+                        if duplicate {
+                            self.queue.push(
+                                at,
+                                EventKind::FrameDelivery {
+                                    node: dst_node,
+                                    port: dst_port,
+                                    frame: frame.clone(),
+                                },
+                            );
+                        }
                         self.queue.push(
                             at,
                             EventKind::FrameDelivery {
@@ -390,8 +468,21 @@ impl Simulator {
             EventKind::Timer { node, token } => {
                 self.dispatch(node, |node, ctx| node.on_timer(ctx, token));
             }
+            EventKind::Chaos(step) => self.apply_chaos(step),
         }
         true
+    }
+
+    fn apply_chaos(&mut self, step: ChaosStep) {
+        let Some(state) = self.links.get_mut(step.link.0 as usize) else {
+            return;
+        };
+        match step.change {
+            ChaosChange::LinkDown => state.link.up = false,
+            ChaosChange::LinkUp => state.link.up = true,
+            ChaosChange::SetFaults(faults) => state.link.config.faults = faults,
+            ChaosChange::RestoreFaults => state.link.config.faults = state.link.base_faults,
+        }
     }
 
     fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {

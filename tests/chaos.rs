@@ -1,0 +1,150 @@
+//! Seeded chaos schedules against the paper topology, checked by the
+//! convergence oracle (see `docs/chaos-testing.md`).
+//!
+//! Every run is fully determined by its seed: the platform build, the
+//! generated incident schedule, and each packet-level perturbation all
+//! draw from seeded SplitMix64 streams. A failing seed replays exactly,
+//! and the harness shrinks its schedule to a minimal reproducer before
+//! reporting — the assertion message is the bug report.
+
+use peering_repro::netsim::{ChaosPlan, Incident, SimDuration};
+use peering_repro::platform::platform::Peering;
+use peering_repro::platform::topology::{paper_intent, TopologyParams};
+use peering_testkit::harness::{
+    fabric_link, run_chaos_schedule, run_plan, shrink_failing_plan, HarnessOptions,
+};
+
+/// Seed for the deterministic (hand-written plan) tests below.
+const SEED: u64 = 555;
+
+#[test]
+fn quiescent_platform_satisfies_the_oracle() {
+    // Baseline soundness: with no chaos at all, the steady state after the
+    // build + experiment announcement must already satisfy every invariant.
+    // If this fails the oracle is wrong, not the platform.
+    let out = run_plan(SEED, &ChaosPlan::new(), &HarnessOptions::default());
+    assert!(
+        out.converged(),
+        "oracle rejects the undisturbed platform:\n{:#?}",
+        out.problems
+    );
+}
+
+#[test]
+fn seeded_chaos_schedules_converge() {
+    let opts = HarnessOptions::default();
+    let mut total_drops = 0usize;
+    for seed in 0..50u64 {
+        let out = run_chaos_schedule(seed, &opts);
+        total_drops += out.sessions_dropped;
+        if !out.converged() {
+            // Shrink before reporting: the minimal plan plus the seed is a
+            // complete reproducer (`run_plan(seed, &plan, &default)`).
+            let minimal = shrink_failing_plan(seed, &out.plan, &opts);
+            let replay = run_plan(seed, &minimal, &opts);
+            panic!(
+                "seed {seed} failed the oracle.\nminimal reproducer ({} of {} incidents):\n{:#?}\nviolations:\n{:#?}",
+                minimal.incidents.len(),
+                out.plan.incidents.len(),
+                minimal.incidents,
+                replay.problems,
+            );
+        }
+    }
+    // An all-green sweep where no session ever dropped would mean the
+    // chaos never actually stressed the resync machinery.
+    assert!(
+        total_drops > 50,
+        "only {total_drops} session drops across 50 schedules — chaos too tame"
+    );
+}
+
+/// A flap long enough to expire the 90 s hold timer on every session that
+/// rides the first PoP's fabric link, forcing a full drop + resync cycle.
+fn fabric_outage_plan() -> ChaosPlan {
+    let p = Peering::build(paper_intent(&TopologyParams::tiny()), SEED);
+    let pop = p.pop_names()[0].clone();
+    let link = fabric_link(&p, &pop).expect("fabric link");
+    let mut plan = ChaosPlan::new();
+    plan.push(Incident::flap(
+        link,
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(100),
+    ));
+    plan
+}
+
+#[test]
+fn resync_replays_adj_rib_out_after_fabric_outage() {
+    // The healthy platform recovers from a hold-timer-expiring outage: the
+    // re-established sessions replay the Adj-RIB-Out and the oracle is
+    // satisfied.
+    let out = run_plan(SEED, &fabric_outage_plan(), &HarnessOptions::default());
+    assert!(
+        out.converged(),
+        "healthy resync failed the oracle:\n{:#?}",
+        out.problems
+    );
+}
+
+#[test]
+fn oracle_catches_skipped_session_up_replay() {
+    // Deliberately break resynchronization — re-established sessions keep
+    // their Adj-RIB-Out bookkeeping but never put the replay on the wire —
+    // and the oracle must notice the divergence. This is the oracle's own
+    // regression test: if this passes silently, the oracle checks nothing.
+    let opts = HarnessOptions {
+        skip_session_up_replay: true,
+        ..HarnessOptions::default()
+    };
+    let out = run_plan(SEED, &fabric_outage_plan(), &opts);
+    assert!(
+        !out.converged(),
+        "oracle missed the deliberately-broken Adj-RIB-Out replay"
+    );
+    assert!(
+        out.problems
+            .iter()
+            .any(|p| p.contains("missing from peer's Adj-RIB-In")),
+        "expected a missing-route violation, got:\n{:#?}",
+        out.problems
+    );
+}
+
+#[test]
+fn shrinker_strips_irrelevant_incidents() {
+    // Start from the failing fabric outage plus two incidents on another
+    // PoP's fabric link that do not matter for the failure (with the
+    // resync bug injected everywhere, the single long flap suffices).
+    // Shrinking must strip the irrelevant incidents and keep failing.
+    let opts = HarnessOptions {
+        skip_session_up_replay: true,
+        ..HarnessOptions::default()
+    };
+    let mut plan = fabric_outage_plan();
+    {
+        let p = Peering::build(paper_intent(&TopologyParams::tiny()), SEED);
+        let pops = p.pop_names();
+        let other = fabric_link(&p, &pops[1]).expect("fabric link");
+        plan.push(Incident::flap(
+            other,
+            SimDuration::from_secs(150),
+            SimDuration::from_secs(10),
+        ));
+        plan.push(Incident::flap(
+            other,
+            SimDuration::from_secs(170),
+            SimDuration::from_secs(10),
+        ));
+    }
+    assert!(!run_plan(SEED, &plan, &opts).converged());
+    let minimal = shrink_failing_plan(SEED, &plan, &opts);
+    assert!(
+        minimal.incidents.len() < plan.incidents.len(),
+        "shrinker removed nothing from a plan with irrelevant incidents"
+    );
+    assert!(
+        !run_plan(SEED, &minimal, &opts).converged(),
+        "shrunk plan no longer reproduces the failure"
+    );
+}

@@ -262,6 +262,90 @@ fn corrupted_messages_never_panic() {
     });
 }
 
+/// Any OPEN survives a wire encode/decode roundtrip, including unknown
+/// capabilities preserved verbatim.
+#[test]
+fn open_roundtrip() {
+    use peering_repro::bgp::message::{Capability, OpenMsg};
+    use peering_repro::bgp::types::RouterId;
+    check("open_roundtrip", 256, |g| {
+        let mut msg = OpenMsg::standard(
+            Asn(g.u32()),
+            // Hold time 0 (keepalives off) or ≥ 3 per RFC 4271.
+            if g.bool() { 0 } else { g.range(3, 400) as u16 },
+            RouterId(g.u32()),
+            g.bool(),
+        );
+        if g.bool() {
+            msg.capabilities.push(Capability::Unknown {
+                code: 200,
+                value: (0..g.below(12)).map(|_| g.u64() as u8).collect(),
+            });
+        }
+        let ctx = SessionCodecCtx::default();
+        let wire = Message::Open(msg.clone()).encode(&ctx);
+        let (decoded, used) = Message::decode(&wire, &ctx).unwrap();
+        assert_eq!(used, wire.len());
+        match decoded {
+            Message::Open(o) => assert_eq!(o, msg),
+            other => panic!("decoded {other:?}"),
+        }
+    });
+}
+
+/// Any NOTIFICATION survives a wire encode/decode roundtrip, with
+/// arbitrary diagnostic data.
+#[test]
+fn notification_roundtrip() {
+    use peering_repro::bgp::message::NotificationMsg;
+    check("notification_roundtrip", 256, |g| {
+        let msg = NotificationMsg {
+            code: g.u64() as u8,
+            subcode: g.u64() as u8,
+            data: (0..g.below(24)).map(|_| g.u64() as u8).collect(),
+        };
+        let ctx = SessionCodecCtx::default();
+        let wire = Message::Notification(msg.clone()).encode(&ctx);
+        let (decoded, used) = Message::decode(&wire, &ctx).unwrap();
+        assert_eq!(used, wire.len());
+        match decoded {
+            Message::Notification(n) => assert_eq!(n, msg),
+            other => panic!("decoded {other:?}"),
+        }
+    });
+}
+
+/// Truncating or bit-flipping OPENs and NOTIFICATIONs errors cleanly —
+/// the decoder must never panic on a damaged control message.
+#[test]
+fn corrupted_open_and_notification_never_panic() {
+    use peering_repro::bgp::message::{NotificationMsg, OpenMsg};
+    use peering_repro::bgp::types::RouterId;
+    check("corrupted_open_and_notification_never_panic", 256, |g| {
+        let ctx = SessionCodecCtx::default();
+        let wire = if g.bool() {
+            let msg = OpenMsg::standard(Asn(g.u32()), 90, RouterId(g.u32()), g.bool());
+            Message::Open(msg).encode(&ctx)
+        } else {
+            let msg = NotificationMsg {
+                code: g.u64() as u8,
+                subcode: g.u64() as u8,
+                data: (0..g.below(24)).map(|_| g.u64() as u8).collect(),
+            };
+            Message::Notification(msg).encode(&ctx)
+        };
+        if g.bool() {
+            let cut = g.below(wire.len() as u64) as usize;
+            let _ = Message::decode(&wire[..cut], &ctx); // must not panic
+        } else {
+            let mut wire = wire;
+            let pos = g.below(wire.len() as u64) as usize;
+            wire[pos] ^= 1 << g.below(8);
+            let _ = Message::decode(&wire, &ctx); // must not panic
+        }
+    });
+}
+
 /// The prefix trie agrees with a naive reference model on inserts,
 /// removals, exact gets and longest-prefix lookups.
 #[test]
@@ -732,6 +816,79 @@ mod fsm_props {
                             "updates must only be delivered when Established"
                         );
                     }
+                }
+            }
+        });
+    }
+
+    /// Idle refuses everything: no event handled while Idle may put a
+    /// message on the wire (RFC 4271 §8.2.2 — Idle "refuses all incoming
+    /// BGP connections").
+    #[test]
+    fn fsm_never_sends_from_idle() {
+        use peering_repro::bgp::fsm::{FsmAction, FsmState};
+        check("fsm_never_sends_from_idle", 256, |g| {
+            let mut fsm = SessionFsm::new(FsmConfig::ebgp(Asn(47065), RouterId(1), Asn(100)));
+            for _ in 0..g.range(1, 60) {
+                let was_idle = fsm.state() == FsmState::Idle;
+                let event = gen_event(g);
+                let actions = fsm.handle(event);
+                if was_idle {
+                    assert!(
+                        !actions.iter().any(|a| matches!(a, FsmAction::Send(_))),
+                        "Idle emitted a message: {actions:?}"
+                    );
+                }
+            }
+        });
+    }
+
+    /// Every message that arrives on an Established session (and leaves it
+    /// Established) re-arms the Hold timer — exactly once. Zero re-arms
+    /// means the session dies of a phantom hold-timeout under steady
+    /// keepalives; more than one is a latent double-arm bug.
+    #[test]
+    fn established_rearms_exactly_one_hold_timer() {
+        use peering_repro::bgp::fsm::FsmAction;
+        check("established_rearms_exactly_one_hold_timer", 128, |g| {
+            let mut fsm = SessionFsm::new(FsmConfig::ebgp(Asn(47065), RouterId(1), Asn(100)));
+            // Deterministic establishment handshake.
+            fsm.handle(FsmEvent::ManualStart);
+            fsm.handle(FsmEvent::TcpConnected);
+            fsm.handle(FsmEvent::Msg(Message::Open(OpenMsg::standard(
+                Asn(100),
+                90,
+                RouterId(9),
+                false,
+            ))));
+            fsm.handle(FsmEvent::Msg(Message::Keepalive));
+            assert!(fsm.is_established());
+            for _ in 0..g.range(1, 40) {
+                // Benign in-session traffic only: keepalives, updates,
+                // refreshes, and our own keepalive timer.
+                let event = match g.below(4) {
+                    0 => FsmEvent::Msg(Message::Keepalive),
+                    1 => FsmEvent::Msg(Message::Update(UpdateMsg::end_of_rib())),
+                    2 => FsmEvent::Msg(Message::RouteRefresh { afi: 1, safi: 1 }),
+                    _ => FsmEvent::Timer(TimerKind::Keepalive),
+                };
+                let from_peer = matches!(event, FsmEvent::Msg(_));
+                let actions = fsm.handle(event);
+                assert!(fsm.is_established());
+                let hold_rearms = actions
+                    .iter()
+                    .filter(|a| matches!(a, FsmAction::ArmTimer(TimerKind::Hold, _)))
+                    .count();
+                if from_peer {
+                    assert_eq!(
+                        hold_rearms, 1,
+                        "peer traffic must re-arm the Hold timer exactly once: {actions:?}"
+                    );
+                } else {
+                    assert_eq!(
+                        hold_rearms, 0,
+                        "our own keepalive timer must not touch the Hold timer: {actions:?}"
+                    );
                 }
             }
         });

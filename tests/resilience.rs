@@ -153,8 +153,9 @@ fn corrupted_control_stream_drops_and_recovers_session() {
     let router = p.router_node(&pops[0]).unwrap();
     let nbr = p.neighbors_at(&pops[0])[0].0;
     let nbr_node = p.neighbor_node(nbr).unwrap();
-    // Craft a garbage BGP frame from the neighbor's MAC: the router's
-    // speaker must kill the session (fail closed) and then auto-recover.
+    // Craft a garbage BGP frame from the neighbor's MAC. Its wild sequence
+    // number reads as a gap in the stream, so the transport must kill the
+    // session (fail closed) and then auto-recover.
     let nbr_mac = {
         let r = p.sim.node::<VbgpRouter>(router).unwrap();
         // ingress map knows the neighbor's MAC: reuse the platform's
@@ -163,6 +164,7 @@ fn corrupted_control_stream_drops_and_recovers_session() {
         MacAddr::from_id(0x0200_0000 | nbr.0)
     };
     let mut garbage = vec![3u8]; // OP_DATA
+    garbage.extend_from_slice(&u32::MAX.to_be_bytes()); // wild sequence number
     garbage.extend_from_slice(&[0u8; 19]); // zeroed "BGP header": bad marker
     let frame = EtherFrame::new(
         MacAddr::from_id(0x0100_0000), // router port-0 MAC (pop 0, port 0)
