@@ -81,6 +81,26 @@ pub fn synth_prefix(i: u64) -> Prefix {
     Prefix::v4(Ipv4Addr::from(addr), len).expect("synthetic prefix valid")
 }
 
+/// Deterministically synthesize the `i`-th data-plane FIB prefix: like
+/// [`synth_prefix`] but spanning /16–/28, so a compiled DIR-24-8 FIB also
+/// exercises its longer-than-/24 overflow chunks, not just the base table.
+pub fn synth_fib_prefix(i: u64) -> Prefix {
+    let len = 16 + (i % 13) as u8; // 16..=28
+    let base = (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16) as u32;
+    let addr = ((base | 0x0100_0000) & 0x7fff_ffff) & (u32::MAX << (32 - len as u32));
+    Prefix::v4(Ipv4Addr::from(addr), len).expect("synthetic prefix valid")
+}
+
+/// SplitMix64 step — the deterministic address stream generator the
+/// data-plane benchmark and tests draw probe addresses from.
+pub fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Distinct attribute sets in the synthetic workload. Real tables share
 /// attribute data heavily — an IXP feed of hundreds of thousands of
 /// prefixes draws from only tens of thousands of distinct AS paths — and

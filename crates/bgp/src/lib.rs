@@ -54,6 +54,7 @@
 
 pub mod attrs;
 pub mod decision;
+pub mod flatfib;
 pub mod fsm;
 pub mod message;
 pub mod policy;
@@ -64,6 +65,7 @@ pub mod types;
 
 pub use attrs::{AsPath, AsPathSegment, Origin, PathAttributes};
 pub use decision::best_path;
+pub use flatfib::FlatFib;
 pub use fsm::{FsmEvent, FsmState, SessionFsm, TimerKind};
 pub use message::{AddPathDirection, Capability, Message, NotificationMsg, OpenMsg, UpdateMsg};
 pub use policy::{Action, Match, Policy, Rule, Verdict};

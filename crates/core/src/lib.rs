@@ -34,6 +34,7 @@
 pub mod capability;
 pub mod communities;
 pub mod enforcement;
+pub mod fasthash;
 pub mod ids;
 pub mod mux;
 pub mod policies;
@@ -45,6 +46,7 @@ pub use capability::{CapabilityKind, CapabilitySet, Grant};
 pub use communities::ControlCommunities;
 pub use enforcement::control::{ControlEnforcer, ExperimentPolicy, Rejection};
 pub use enforcement::data::{DataEnforcer, DataVerdict};
+pub use fasthash::{FastHashMap, FxHasher};
 pub use ids::{ExperimentId, NeighborId, PopId};
 pub use mux::{Delivery, Egress, MuxTarget, VbgpMux};
 pub use router::{

@@ -14,16 +14,34 @@
 //! * the delivery table that maps experiment prefixes to tunnels (local)
 //!   or across the backbone (remote), including the **source-MAC rewrite**
 //!   that tells experiments which neighbor delivered a packet.
+//!
+//! # The fast path
+//!
+//! Per-neighbor tables and the delivery table are [`PrefixTrie`]s — the
+//! mutable source of truth the control plane edits. Forwarding does not
+//! walk them per packet: each table lazily compiles a
+//! [`FlatFib`](peering_bgp::flatfib::FlatFib) (DIR-24-8 for IPv4, stride-8
+//! for IPv6) and fronts it with a small direct-mapped flow cache keyed on
+//! the destination address and the FIB's generation counter. Route
+//! install/remove marks the FIB dirty; the next lookup re-syncs it, which
+//! bumps the generation and thereby invalidates the flow cache without
+//! touching it. [`VbgpMux::set_fast_path`] disables all of this (pure trie
+//! walks) for differential testing and baseline benchmarks.
+//!
+//! Neighbor and experiment state lives in dense slot arrays indexed by
+//! compact ids handed out at `add_*` time; the classifier decodes the
+//! destination MAC's tag bits straight into those slots.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use peering_bgp::flatfib::FlatFib;
 use peering_bgp::trie::PrefixTrie;
 use peering_bgp::types::Prefix;
 use peering_netsim::{MacAddr, PortId};
 
+use crate::fasthash::{hash_u32, FastHashMap};
 use crate::ids::{ExperimentId, NeighborId};
-use crate::vnh::{Vnh, VnhAllocator};
+use crate::vnh::{self, Vnh, VnhAllocator};
 
 /// MAC namespace tag for experiment-delivery MACs (answers to backbone ARP
 /// for an experiment tunnel's global address).
@@ -121,9 +139,79 @@ pub struct MuxStats {
     pub unresolved: u64,
     /// ARP queries answered.
     pub arp_answered: u64,
+    /// Forwarding lookups served by a flow cache without touching a FIB.
+    pub flow_cache_hits: u64,
+}
+
+/// Direct-mapped flow cache: dst address → last lookup outcome, valid only
+/// while the backing FIB's generation is unchanged. Invalidated wholesale
+/// by a generation bump (no per-entry work on route churn).
+struct FlowCache<T> {
+    /// `(dst ip, generation, value)`; generation 0 = empty (real
+    /// generations start at 1).
+    slots: Box<[(u32, u64, T)]>,
+}
+
+const FLOW_CACHE_SLOTS: usize = 8192;
+
+impl<T: Copy + Default> FlowCache<T> {
+    fn new() -> Self {
+        FlowCache {
+            slots: vec![(0, 0, T::default()); FLOW_CACHE_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, ip: u32, generation: u64) -> Option<T> {
+        let s = &self.slots[hash_u32(ip) as usize & (FLOW_CACHE_SLOTS - 1)];
+        if s.0 == ip && s.1 == generation {
+            Some(s.2)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, ip: u32, generation: u64, value: T) {
+        self.slots[hash_u32(ip) as usize & (FLOW_CACHE_SLOTS - 1)] = (ip, generation, value);
+    }
+}
+
+/// Dense per-neighbor state, held in a slot array indexed by the compact
+/// id handed out at `add_*_neighbor` time.
+struct NeighborEntry {
+    id: NeighborId,
+    fwd: NeighborFwd,
+    /// Source of truth, edited by the control plane (refcount per prefix).
+    table: PrefixTrie<u32>,
+    /// Compiled fast path; built lazily on first forwarded packet.
+    fib: Option<FlatFib>,
+    cache: Option<Box<FlowCache<bool>>>,
+    /// The local-pool MAC index (for classifier cleanup on removal).
+    vnh_idx: u32,
+}
+
+impl NeighborEntry {
+    /// Whether `dst_ip` has a route, via the compiled FIB + flow cache.
+    #[inline]
+    fn fast_has_route(&mut self, dst_ip: Ipv4Addr, cache_hits: &mut u64) -> bool {
+        let fib = self.fib.get_or_insert_with(FlatFib::new);
+        fib.sync(&self.table);
+        let generation = fib.generation();
+        let key = u32::from(dst_ip);
+        let cache = self.cache.get_or_insert_with(|| Box::new(FlowCache::new()));
+        if let Some(hit) = cache.get(key, generation) {
+            *cache_hits += 1;
+            return hit;
+        }
+        let hit = fib.covers(dst_ip.into());
+        cache.put(key, generation, hit);
+        hit
+    }
 }
 
 struct ExperimentEntry {
+    id: ExperimentId,
     port: PortId,
     mac: MacAddr,
     delivery_mac: MacAddr,
@@ -132,15 +220,27 @@ struct ExperimentEntry {
 /// The mux.
 pub struct VbgpMux {
     alloc: VnhAllocator,
-    targets: HashMap<MacAddr, MuxTarget>,
-    neighbor_fwd: HashMap<NeighborId, NeighborFwd>,
-    tables: HashMap<NeighborId, PrefixTrie<u32>>,
-    experiments: HashMap<ExperimentId, ExperimentEntry>,
-    delivery: PrefixTrie<DeliverySet>,
+    /// Fast path on (compiled FIBs + flow caches) or off (pure trie walks,
+    /// for baselines and differential tests).
+    fast_path: bool,
+    neighbors: Vec<Option<NeighborEntry>>,
+    free_neighbor_slots: Vec<u32>,
+    neighbor_slot: FastHashMap<NeighborId, u32>,
+    /// Classifier: local-pool MAC index → neighbor slot + 1 (0 = none).
+    vnh_mac_slots: Vec<u32>,
+    experiments: Vec<Option<ExperimentEntry>>,
+    free_experiment_slots: Vec<u32>,
+    experiment_slot: FastHashMap<ExperimentId, u32>,
+    /// Delivery source of truth: prefix → index into `delivery_sets`.
+    delivery: PrefixTrie<u32>,
+    delivery_sets: Vec<Option<DeliverySet>>,
+    free_delivery_sets: Vec<u32>,
+    delivery_fib: Option<FlatFib>,
+    delivery_cache: Option<Box<FlowCache<Option<u32>>>>,
     /// ARP: global/virtual IPs this PoP answers for → answering MAC.
-    owned_ips: HashMap<Ipv4Addr, MacAddr>,
+    owned_ips: FastHashMap<Ipv4Addr, MacAddr>,
     /// Backbone ARP cache: global IP → remote MAC.
-    resolved: HashMap<Ipv4Addr, MacAddr>,
+    resolved: FastHashMap<Ipv4Addr, MacAddr>,
     /// Counters.
     pub stats: MuxStats,
 }
@@ -152,19 +252,66 @@ impl Default for VbgpMux {
 }
 
 impl VbgpMux {
-    /// An empty mux.
+    /// An empty mux (fast path enabled).
     pub fn new() -> Self {
         VbgpMux {
             alloc: VnhAllocator::new(),
-            targets: HashMap::new(),
-            neighbor_fwd: HashMap::new(),
-            tables: HashMap::new(),
-            experiments: HashMap::new(),
+            fast_path: true,
+            neighbors: Vec::new(),
+            free_neighbor_slots: Vec::new(),
+            neighbor_slot: FastHashMap::default(),
+            vnh_mac_slots: Vec::new(),
+            experiments: Vec::new(),
+            free_experiment_slots: Vec::new(),
+            experiment_slot: FastHashMap::default(),
             delivery: PrefixTrie::new(),
-            owned_ips: HashMap::new(),
-            resolved: HashMap::new(),
+            delivery_sets: Vec::new(),
+            free_delivery_sets: Vec::new(),
+            delivery_fib: None,
+            delivery_cache: None,
+            owned_ips: FastHashMap::default(),
+            resolved: FastHashMap::default(),
             stats: MuxStats::default(),
         }
+    }
+
+    /// Toggle the compiled fast path. Off = every lookup walks the source
+    /// tries directly; used for baseline benchmarks and to differentially
+    /// test the compiled structures against the reference.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+    }
+
+    /// Whether the compiled fast path is enabled.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    fn insert_neighbor_entry(&mut self, entry: NeighborEntry) -> u32 {
+        let slot = match self.free_neighbor_slots.pop() {
+            Some(s) => {
+                self.neighbors[s as usize] = Some(entry);
+                s
+            }
+            None => {
+                self.neighbors.push(Some(entry));
+                self.neighbors.len() as u32 - 1
+            }
+        };
+        self.neighbor_slot.insert(
+            self.neighbors[slot as usize].as_ref().expect("just set").id,
+            slot,
+        );
+        slot
+    }
+
+    fn register_vnh_mac(&mut self, vnh: &Vnh, slot: u32) -> u32 {
+        let idx = (vnh.mac.id().expect("vnh MACs are synthetic") & 0x00ff_ffff) as usize;
+        if self.vnh_mac_slots.len() <= idx {
+            self.vnh_mac_slots.resize(idx + 1, 0);
+        }
+        self.vnh_mac_slots[idx] = slot + 1;
+        idx as u32
     }
 
     /// Register a directly-attached neighbor. `global_ip`, when set, makes
@@ -178,15 +325,22 @@ impl VbgpMux {
         global_ip: Option<Ipv4Addr>,
     ) -> Vnh {
         let vnh = self.alloc.allocate(id);
-        self.targets.insert(vnh.mac, MuxTarget::NeighborTable(id));
-        self.neighbor_fwd.insert(
+        let slot = self.insert_neighbor_entry(NeighborEntry {
             id,
-            NeighborFwd::Local {
+            fwd: NeighborFwd::Local {
                 port,
                 dst_mac: neighbor_mac,
             },
-        );
-        self.tables.entry(id).or_default();
+            table: PrefixTrie::new(),
+            fib: None,
+            cache: None,
+            vnh_idx: 0,
+        });
+        let idx = self.register_vnh_mac(&vnh, slot);
+        self.neighbors[slot as usize]
+            .as_mut()
+            .expect("just set")
+            .vnh_idx = idx;
         self.owned_ips.insert(vnh.ip, vnh.mac);
         if let Some(gip) = global_ip {
             self.owned_ips.insert(gip, vnh.mac);
@@ -204,15 +358,22 @@ impl VbgpMux {
         global_ip: Ipv4Addr,
     ) -> Vnh {
         let vnh = self.alloc.allocate(id);
-        self.targets.insert(vnh.mac, MuxTarget::NeighborTable(id));
-        self.neighbor_fwd.insert(
+        let slot = self.insert_neighbor_entry(NeighborEntry {
             id,
-            NeighborFwd::Remote {
+            fwd: NeighborFwd::Remote {
                 port: backbone_port,
                 global_ip,
             },
-        );
-        self.tables.entry(id).or_default();
+            table: PrefixTrie::new(),
+            fib: None,
+            cache: None,
+            vnh_idx: 0,
+        });
+        let idx = self.register_vnh_mac(&vnh, slot);
+        self.neighbors[slot as usize]
+            .as_mut()
+            .expect("just set")
+            .vnh_idx = idx;
         self.owned_ips.insert(vnh.ip, vnh.mac);
         vnh
     }
@@ -220,12 +381,20 @@ impl VbgpMux {
     /// Remove a neighbor entirely.
     pub fn remove_neighbor(&mut self, id: NeighborId) {
         if let Some(vnh) = self.alloc.release(id) {
-            self.targets.remove(&vnh.mac);
             self.owned_ips.remove(&vnh.ip);
             self.owned_ips.retain(|_, m| *m != vnh.mac);
         }
-        self.neighbor_fwd.remove(&id);
-        self.tables.remove(&id);
+        if let Some(slot) = self.neighbor_slot.remove(&id) {
+            if let Some(entry) = self.neighbors[slot as usize].take() {
+                self.vnh_mac_slots[entry.vnh_idx as usize] = 0;
+            }
+            self.free_neighbor_slots.push(slot);
+        }
+    }
+
+    fn neighbor(&self, id: NeighborId) -> Option<&NeighborEntry> {
+        let &slot = self.neighbor_slot.get(&id)?;
+        self.neighbors[slot as usize].as_ref()
     }
 
     /// The virtual next hop assigned to a neighbor.
@@ -249,30 +418,44 @@ impl VbgpMux {
         global_ip: Option<Ipv4Addr>,
     ) -> MacAddr {
         let delivery_mac = MacAddr::from_id(MAC_TAG_EXP | id.0);
-        self.targets
-            .insert(delivery_mac, MuxTarget::ExperimentDelivery(id));
         if let Some(gip) = global_ip {
             self.owned_ips.insert(gip, delivery_mac);
         }
-        self.experiments.insert(
+        let entry = ExperimentEntry {
             id,
-            ExperimentEntry {
-                port,
-                mac: experiment_mac,
-                delivery_mac,
-            },
-        );
+            port,
+            mac: experiment_mac,
+            delivery_mac,
+        };
+        let slot = match self.free_experiment_slots.pop() {
+            Some(s) => {
+                self.experiments[s as usize] = Some(entry);
+                s
+            }
+            None => {
+                self.experiments.push(Some(entry));
+                self.experiments.len() as u32 - 1
+            }
+        };
+        self.experiment_slot.insert(id, slot);
         delivery_mac
     }
 
     /// Remove an experiment.
     pub fn remove_experiment(&mut self, id: ExperimentId) {
-        if let Some(entry) = self.experiments.remove(&id) {
-            self.targets.remove(&entry.delivery_mac);
-            self.owned_ips.retain(|_, m| *m != entry.delivery_mac);
+        if let Some(slot) = self.experiment_slot.remove(&id) {
+            if let Some(entry) = self.experiments[slot as usize].take() {
+                self.owned_ips.retain(|_, m| *m != entry.delivery_mac);
+            }
+            self.free_experiment_slots.push(slot);
         }
         // Delivery entries for its prefixes are withdrawn by the control
         // plane as the session drops.
+    }
+
+    fn experiment(&self, id: ExperimentId) -> Option<&ExperimentEntry> {
+        let &slot = self.experiment_slot.get(&id)?;
+        self.experiments[slot as usize].as_ref()
     }
 
     // ---- control-plane feed ----
@@ -280,11 +463,18 @@ impl VbgpMux {
     /// A route for `prefix` via `neighbor` was installed (refcounted: one
     /// per (path, session) the control plane holds).
     pub fn install_route(&mut self, neighbor: NeighborId, prefix: Prefix) {
-        if let Some(table) = self.tables.get_mut(&neighbor) {
-            match table.get_mut(&prefix) {
-                Some(count) => *count += 1,
-                None => {
-                    table.insert(prefix, 1);
+        let Some(&slot) = self.neighbor_slot.get(&neighbor) else {
+            return;
+        };
+        let Some(entry) = self.neighbors[slot as usize].as_mut() else {
+            return;
+        };
+        match entry.table.get_mut(&prefix) {
+            Some(count) => *count += 1, // presence unchanged: FIB stays clean
+            None => {
+                entry.table.insert(prefix, 1);
+                if let Some(fib) = &mut entry.fib {
+                    fib.mark_dirty(&prefix);
                 }
             }
         }
@@ -292,11 +482,18 @@ impl VbgpMux {
 
     /// A route for `prefix` via `neighbor` was removed.
     pub fn remove_route(&mut self, neighbor: NeighborId, prefix: Prefix) {
-        if let Some(table) = self.tables.get_mut(&neighbor) {
-            if let Some(count) = table.get_mut(&prefix) {
-                *count -= 1;
-                if *count == 0 {
-                    table.remove(&prefix);
+        let Some(&slot) = self.neighbor_slot.get(&neighbor) else {
+            return;
+        };
+        let Some(entry) = self.neighbors[slot as usize].as_mut() else {
+            return;
+        };
+        if let Some(count) = entry.table.get_mut(&prefix) {
+            *count -= 1;
+            if *count == 0 {
+                entry.table.remove(&prefix);
+                if let Some(fib) = &mut entry.fib {
+                    fib.mark_dirty(&prefix);
                 }
             }
         }
@@ -304,13 +501,13 @@ impl VbgpMux {
 
     /// Number of FIB entries for a neighbor.
     pub fn table_len(&self, neighbor: NeighborId) -> usize {
-        self.tables.get(&neighbor).map(|t| t.len()).unwrap_or(0)
+        self.neighbor(neighbor).map(|e| e.table.len()).unwrap_or(0)
     }
 
     /// Total FIB entries across all per-neighbor tables (the
     /// "per-interconnection data plane" overhead of Fig. 6a).
     pub fn total_fib_entries(&self) -> usize {
-        self.tables.values().map(|t| t.len()).sum()
+        self.neighbors.iter().flatten().map(|e| e.table.len()).sum()
     }
 
     /// An experiment prefix became deliverable down a local tunnel.
@@ -337,31 +534,47 @@ impl VbgpMux {
     }
 
     fn install_delivery(&mut self, prefix: Prefix, delivery: Delivery) {
-        match self.delivery.get_mut(&prefix) {
-            Some(set) => {
-                if let Some(entry) = set.entries.iter_mut().find(|(d, _)| *d == delivery) {
-                    entry.1 += 1;
-                } else {
-                    set.entries.push((delivery, 1));
-                }
+        if let Some(&idx) = self.delivery.get(&prefix) {
+            let set = self.delivery_sets[idx as usize]
+                .as_mut()
+                .expect("trie points at live set");
+            if let Some(entry) = set.entries.iter_mut().find(|(d, _)| *d == delivery) {
+                entry.1 += 1;
+            } else {
+                set.entries.push((delivery, 1));
+            }
+            // The set's membership changed but the prefix → set mapping did
+            // not; flow caches store the set index, so nothing to invalidate.
+            return;
+        }
+        let set = DeliverySet {
+            entries: vec![(delivery, 1)],
+        };
+        let idx = match self.free_delivery_sets.pop() {
+            Some(i) => {
+                self.delivery_sets[i as usize] = Some(set);
+                i
             }
             None => {
-                self.delivery.insert(
-                    prefix,
-                    DeliverySet {
-                        entries: vec![(delivery, 1)],
-                    },
-                );
+                self.delivery_sets.push(Some(set));
+                self.delivery_sets.len() as u32 - 1
             }
+        };
+        self.delivery.insert(prefix, idx);
+        if let Some(fib) = &mut self.delivery_fib {
+            fib.mark_dirty(&prefix);
         }
     }
 
     /// One backing route for a delivery entry was withdrawn. The prefix
     /// stays deliverable as long as any other backing route remains.
     pub fn remove_delivery(&mut self, prefix: Prefix, delivery: &Delivery) {
-        let Some(set) = self.delivery.get_mut(&prefix) else {
+        let Some(&idx) = self.delivery.get(&prefix) else {
             return;
         };
+        let set = self.delivery_sets[idx as usize]
+            .as_mut()
+            .expect("trie points at live set");
         let Some(pos) = set.entries.iter().position(|(d, _)| d == delivery) else {
             return;
         };
@@ -370,7 +583,12 @@ impl VbgpMux {
             set.entries.remove(pos);
         }
         if set.entries.is_empty() {
+            self.delivery_sets[idx as usize] = None;
+            self.free_delivery_sets.push(idx);
             self.delivery.remove(&prefix);
+            if let Some(fib) = &mut self.delivery_fib {
+                fib.mark_dirty(&prefix);
+            }
         }
     }
 
@@ -392,26 +610,65 @@ impl VbgpMux {
     }
 
     /// All remote global addresses that still need resolving (prefetched by
-    /// the router at configuration time).
-    pub fn unresolved_globals(&self) -> Vec<(PortId, Ipv4Addr)> {
-        self.neighbor_fwd
-            .values()
-            .filter_map(|f| match f {
-                NeighborFwd::Remote { port, global_ip }
-                    if !self.resolved.contains_key(global_ip) =>
-                {
-                    Some((*port, *global_ip))
-                }
-                _ => None,
-            })
-            .collect()
+    /// the router at configuration time). Lazy — called from the router's
+    /// tick loop, so it must not allocate.
+    pub fn unresolved_globals(&self) -> impl Iterator<Item = (PortId, Ipv4Addr)> + '_ {
+        self.neighbors.iter().flatten().filter_map(|e| match e.fwd {
+            NeighborFwd::Remote { port, global_ip } if !self.resolved.contains_key(&global_ip) => {
+                Some((port, global_ip))
+            }
+            _ => None,
+        })
     }
 
     // ---- forwarding ----
 
-    /// Classify a frame's destination MAC (Fig. 2b step 9).
+    /// Classify a frame's destination MAC (Fig. 2b step 9): decode the
+    /// synthetic MAC's tag bits straight into the dense slot arrays.
     pub fn classify(&self, dst_mac: MacAddr) -> Option<MuxTarget> {
-        self.targets.get(&dst_mac).copied()
+        let id = dst_mac.id()?;
+        let idx = (id & 0x00ff_ffff) as usize;
+        match id & 0xff00_0000 {
+            vnh::MAC_TAG_LOCAL => {
+                let &slot = self.vnh_mac_slots.get(idx)?;
+                if slot == 0 {
+                    return None;
+                }
+                self.neighbors[(slot - 1) as usize]
+                    .as_ref()
+                    .map(|e| MuxTarget::NeighborTable(e.id))
+            }
+            MAC_TAG_EXP => {
+                let eid = ExperimentId(idx as u32);
+                self.experiment(eid)
+                    .map(|_| MuxTarget::ExperimentDelivery(eid))
+            }
+            _ => None,
+        }
+    }
+
+    /// Resolve a neighbor's wire egress (assumes a route exists).
+    fn resolve_fwd(fwd: NeighborFwd, resolved: &FastHashMap<Ipv4Addr, MacAddr>) -> Egress {
+        match fwd {
+            NeighborFwd::Local { port, dst_mac } => Egress::Frame { port, dst_mac },
+            NeighborFwd::Remote { port, global_ip } => match resolved.get(&global_ip) {
+                Some(mac) => Egress::Frame {
+                    port,
+                    dst_mac: *mac,
+                },
+                None => Egress::Unresolved { port, global_ip },
+            },
+        }
+    }
+
+    fn count_egress(stats: &mut MuxStats, fwd: NeighborFwd, egress: Egress) {
+        match egress {
+            Egress::Frame { .. } => match fwd {
+                NeighborFwd::Local { .. } => stats.to_neighbor += 1,
+                NeighborFwd::Remote { .. } => stats.to_backbone += 1,
+            },
+            Egress::Unresolved { .. } => stats.unresolved += 1,
+        }
     }
 
     /// Forward a packet that an experiment steered into `neighbor`'s table:
@@ -422,62 +679,130 @@ impl VbgpMux {
         neighbor: NeighborId,
         dst_ip: Ipv4Addr,
     ) -> Option<Egress> {
-        let table = self.tables.get(&neighbor)?;
-        if table.lookup(dst_ip.into()).is_none() {
+        let &slot = self.neighbor_slot.get(&neighbor)?;
+        let entry = self.neighbors[slot as usize].as_mut()?;
+        let has_route = if self.fast_path {
+            entry.fast_has_route(dst_ip, &mut self.stats.flow_cache_hits)
+        } else {
+            entry.table.lookup(dst_ip.into()).is_some()
+        };
+        if !has_route {
             self.stats.no_route += 1;
             return None;
         }
-        match self.neighbor_fwd.get(&neighbor)? {
-            NeighborFwd::Local { port, dst_mac } => {
-                self.stats.to_neighbor += 1;
-                Some(Egress::Frame {
-                    port: *port,
-                    dst_mac: *dst_mac,
-                })
+        let egress = Self::resolve_fwd(entry.fwd, &self.resolved);
+        Self::count_egress(&mut self.stats, entry.fwd, egress);
+        Some(egress)
+    }
+
+    /// Batched [`Self::egress_via_neighbor`]: one table selection, one FIB
+    /// sync and one wire-egress resolution for a whole run of frames that
+    /// classified to the same neighbor. `out[i]` corresponds to
+    /// `dst_ips[i]`; `out` is cleared first (caller-owned scratch).
+    pub fn egress_via_neighbor_batch(
+        &mut self,
+        neighbor: NeighborId,
+        dst_ips: &[Ipv4Addr],
+        out: &mut Vec<Option<Egress>>,
+    ) {
+        out.clear();
+        let Some(&slot) = self.neighbor_slot.get(&neighbor) else {
+            out.resize(dst_ips.len(), None);
+            return;
+        };
+        let Some(entry) = self.neighbors[slot as usize].as_mut() else {
+            out.resize(dst_ips.len(), None);
+            return;
+        };
+        // Resolution state cannot change mid-batch: compute the hit egress
+        // once and reuse it for every frame with a route.
+        let egress = Self::resolve_fwd(entry.fwd, &self.resolved);
+        if self.fast_path {
+            // One sync for the whole run, then prefetch every frame's
+            // base-table slot before resolving any of them: the random
+            // DRAM loads that dominate a cold lookup overlap instead of
+            // serializing per packet.
+            entry
+                .fib
+                .get_or_insert_with(FlatFib::new)
+                .sync(&entry.table);
+            let fib = entry.fib.as_ref().expect("just built");
+            let generation = fib.generation();
+            let cache = entry
+                .cache
+                .get_or_insert_with(|| Box::new(FlowCache::new()));
+            for &ip in dst_ips {
+                fib.prefetch_v4(ip);
             }
-            NeighborFwd::Remote { port, global_ip } => match self.resolved.get(global_ip) {
-                Some(mac) => {
-                    self.stats.to_backbone += 1;
-                    Some(Egress::Frame {
-                        port: *port,
-                        dst_mac: *mac,
-                    })
+            for &ip in dst_ips {
+                let key = u32::from(ip);
+                let has_route = match cache.get(key, generation) {
+                    Some(hit) => {
+                        self.stats.flow_cache_hits += 1;
+                        hit
+                    }
+                    None => {
+                        let hit = fib.covers(ip.into());
+                        cache.put(key, generation, hit);
+                        hit
+                    }
+                };
+                if has_route {
+                    Self::count_egress(&mut self.stats, entry.fwd, egress);
+                    out.push(Some(egress));
+                } else {
+                    self.stats.no_route += 1;
+                    out.push(None);
                 }
-                None => {
-                    self.stats.unresolved += 1;
-                    Some(Egress::Unresolved {
-                        port: *port,
-                        global_ip: *global_ip,
-                    })
+            }
+        } else {
+            for &ip in dst_ips {
+                if entry.table.lookup(ip.into()).is_some() {
+                    Self::count_egress(&mut self.stats, entry.fwd, egress);
+                    out.push(Some(egress));
+                } else {
+                    self.stats.no_route += 1;
+                    out.push(None);
                 }
-            },
+            }
         }
     }
 
-    /// Deliver inbound traffic toward whatever experiment owns `dst_ip`.
-    /// `from_neighbor` names the ingress neighbor when known; the returned
-    /// source MAC is then that neighbor's virtual MAC so the experiment can
-    /// see who delivered the packet (paper §3.2.2 "Routing traffic to
-    /// experiments").
-    pub fn deliver_to_experiment(
+    /// Look up the delivery set covering `dst_ip` (fast or slow path).
+    #[inline]
+    fn delivery_set_for(&mut self, dst_ip: Ipv4Addr) -> Option<u32> {
+        if self.fast_path {
+            let fib = self.delivery_fib.get_or_insert_with(FlatFib::new);
+            fib.sync(&self.delivery);
+            let generation = fib.generation();
+            let key = u32::from(dst_ip);
+            let cache = self
+                .delivery_cache
+                .get_or_insert_with(|| Box::new(FlowCache::new()));
+            if let Some(hit) = cache.get(key, generation) {
+                self.stats.flow_cache_hits += 1;
+                return hit;
+            }
+            let hit = fib.lookup(dst_ip.into()).map(|(_, idx)| idx);
+            cache.put(key, generation, hit);
+            hit
+        } else {
+            self.delivery.lookup(dst_ip.into()).map(|(_, idx)| *idx)
+        }
+    }
+
+    fn delivery_decision(
         &mut self,
-        dst_ip: Ipv4Addr,
-        from_neighbor: Option<NeighborId>,
+        set_idx: u32,
+        src_rewrite: Option<MacAddr>,
     ) -> Option<(Egress, Option<MacAddr>, ExperimentId)> {
-        let (_, set) = self.delivery.lookup(dst_ip.into())?;
+        let set = self.delivery_sets[set_idx as usize].as_ref()?;
         match set.active() {
             Delivery::Local(exp) => {
-                let entry = self.experiments.get(&exp)?;
-                let src_rewrite = from_neighbor.and_then(|n| self.alloc.get(n)).map(|v| v.mac);
+                let entry = self.experiment(exp)?;
+                let (port, mac) = (entry.port, entry.mac);
                 self.stats.to_experiment += 1;
-                Some((
-                    Egress::Frame {
-                        port: entry.port,
-                        dst_mac: entry.mac,
-                    },
-                    src_rewrite,
-                    exp,
-                ))
+                Some((Egress::Frame { port, dst_mac: mac }, src_rewrite, exp))
             }
             Delivery::Remote { port, global_ip } => {
                 let exp = ExperimentId(u32::MAX); // unknown at this PoP
@@ -502,49 +827,159 @@ impl VbgpMux {
         }
     }
 
+    /// Deliver inbound traffic toward whatever experiment owns `dst_ip`.
+    /// `from_neighbor` names the ingress neighbor when known; the returned
+    /// source MAC is then that neighbor's virtual MAC so the experiment can
+    /// see who delivered the packet (paper §3.2.2 "Routing traffic to
+    /// experiments").
+    pub fn deliver_to_experiment(
+        &mut self,
+        dst_ip: Ipv4Addr,
+        from_neighbor: Option<NeighborId>,
+    ) -> Option<(Egress, Option<MacAddr>, ExperimentId)> {
+        let set_idx = self.delivery_set_for(dst_ip)?;
+        let src_rewrite = from_neighbor.and_then(|n| self.alloc.get(n)).map(|v| v.mac);
+        self.delivery_decision(set_idx, src_rewrite)
+    }
+
+    /// Batched [`Self::deliver_to_experiment`]: the ingress-neighbor MAC
+    /// rewrite is resolved once for the whole run. `out[i]` corresponds to
+    /// `dst_ips[i]`; `out` is cleared first (caller-owned scratch).
+    #[allow(clippy::type_complexity)]
+    pub fn deliver_to_experiment_batch(
+        &mut self,
+        dst_ips: &[Ipv4Addr],
+        from_neighbor: Option<NeighborId>,
+        out: &mut Vec<Option<(Egress, Option<MacAddr>, ExperimentId)>>,
+    ) {
+        out.clear();
+        let src_rewrite = from_neighbor.and_then(|n| self.alloc.get(n)).map(|v| v.mac);
+        for &ip in dst_ips {
+            let decision = self
+                .delivery_set_for(ip)
+                .and_then(|idx| self.delivery_decision(idx, src_rewrite));
+            out.push(decision);
+        }
+    }
+
     /// The tunnel port of a local experiment.
     pub fn experiment_port(&self, id: ExperimentId) -> Option<PortId> {
-        self.experiments.get(&id).map(|e| e.port)
+        self.experiment(id).map(|e| e.port)
     }
 
     // ---- inspection (consistency checking) ----
 
     /// Every neighbor with a routing table at this PoP, sorted.
     pub fn neighbor_ids(&self) -> Vec<NeighborId> {
-        let mut ids: Vec<NeighborId> = self.tables.keys().copied().collect();
+        let mut ids: Vec<NeighborId> = self.neighbors.iter().flatten().map(|e| e.id).collect();
         ids.sort();
         ids
     }
 
-    /// The `(prefix, refcount)` entries of one neighbor's table.
-    pub fn table_entries(&self, neighbor: NeighborId) -> Vec<(Prefix, u32)> {
-        self.tables
-            .get(&neighbor)
-            .map(|t| t.iter().map(|(p, c)| (p, *c)).collect())
-            .unwrap_or_default()
+    /// The `(prefix, refcount)` entries of one neighbor's table. Lazy —
+    /// no per-call allocation.
+    pub fn table_entries(&self, neighbor: NeighborId) -> impl Iterator<Item = (Prefix, u32)> + '_ {
+        self.neighbor(neighbor)
+            .into_iter()
+            .flat_map(|e| e.table.iter().map(|(p, c)| (p, *c)))
     }
 
     /// The delivery table as `(prefix, refcount, owner)`; the owner is
-    /// `None` for entries relayed across the backbone.
-    pub fn delivery_entries(&self) -> Vec<(Prefix, u32, Option<ExperimentId>)> {
-        self.delivery
-            .iter()
-            .map(|(p, set)| {
-                let total = set.entries.iter().map(|(_, c)| *c).sum();
-                let exp = match set.active() {
-                    Delivery::Local(e) => Some(e),
-                    Delivery::Remote { .. } => None,
-                };
-                (p, total, exp)
-            })
-            .collect()
+    /// `None` for entries relayed across the backbone. Lazy — no per-call
+    /// allocation.
+    pub fn delivery_entries(
+        &self,
+    ) -> impl Iterator<Item = (Prefix, u32, Option<ExperimentId>)> + '_ {
+        self.delivery.iter().map(|(p, idx)| {
+            let set = self.delivery_sets[*idx as usize]
+                .as_ref()
+                .expect("trie points at live set");
+            let total = set.entries.iter().map(|(_, c)| *c).sum();
+            let exp = match set.active() {
+                Delivery::Local(e) => Some(e),
+                Delivery::Remote { .. } => None,
+            };
+            (p, total, exp)
+        })
     }
 
     /// Local experiments registered with the mux, sorted.
     pub fn experiment_ids(&self) -> Vec<ExperimentId> {
-        let mut ids: Vec<ExperimentId> = self.experiments.keys().copied().collect();
+        let mut ids: Vec<ExperimentId> = self.experiments.iter().flatten().map(|e| e.id).collect();
         ids.sort();
         ids
+    }
+
+    /// Force-compile every FIB and cross-check it against its source trie:
+    /// for each stored prefix, the compiled structure and the trie must
+    /// agree on the longest match at the prefix's first and last covered
+    /// addresses. Returns one line per divergence; used by the convergence
+    /// oracle after chaos quiesces.
+    pub fn verify_fast_path(&mut self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for entry in self.neighbors.iter_mut().flatten() {
+            let fib = entry.fib.get_or_insert_with(FlatFib::new);
+            fib.sync(&entry.table);
+            for (prefix, _) in entry.table.iter() {
+                for addr in probe_addrs(&prefix) {
+                    let want = entry.table.lookup(addr).map(|(p, _)| p);
+                    let got = fib.lookup(addr).map(|(p, _)| p);
+                    if want != got {
+                        problems.push(format!(
+                            "neighbor {}: compiled FIB disagrees at {addr}: trie {want:?}, fib {got:?}",
+                            entry.id.0
+                        ));
+                    }
+                }
+            }
+        }
+        let fib = self.delivery_fib.get_or_insert_with(FlatFib::new);
+        fib.sync(&self.delivery);
+        for (prefix, idx) in self.delivery.iter() {
+            for addr in probe_addrs(&prefix) {
+                let want = self.delivery.lookup(addr).map(|(p, v)| (p, *v));
+                let got = fib.lookup(addr);
+                if want != got {
+                    problems.push(format!(
+                        "delivery: compiled FIB disagrees at {addr}: trie {want:?}, fib {got:?}"
+                    ));
+                }
+            }
+            if self.delivery_sets[*idx as usize].is_none() {
+                problems.push(format!("delivery: {prefix} points at a freed set"));
+            }
+        }
+        problems
+    }
+}
+
+/// The first and last host addresses a prefix covers (LPM probe points).
+fn probe_addrs(prefix: &Prefix) -> [std::net::IpAddr; 2] {
+    match prefix {
+        Prefix::V4 { addr, len } => {
+            let base = u32::from(*addr);
+            let mask = if *len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - *len as u32)
+            };
+            [
+                std::net::IpAddr::V4(Ipv4Addr::from(base)),
+                std::net::IpAddr::V4(Ipv4Addr::from(base | !mask)),
+            ]
+        }
+        Prefix::V6 { addr, len } => {
+            let base = u128::from(*addr);
+            let mask = if *len == 0 {
+                0
+            } else {
+                u128::MAX << (128 - *len as u32)
+            };
+            [
+                std::net::IpAddr::V6(std::net::Ipv6Addr::from(base)),
+                std::net::IpAddr::V6(std::net::Ipv6Addr::from(base | !mask)),
+            ]
+        }
     }
 }
 
@@ -646,7 +1081,10 @@ mod tests {
         m.add_remote_neighbor(NeighborId(9), PortId(5), gip);
         m.install_route(NeighborId(9), prefix("192.168.0.0/24"));
         // Unresolved: caller must ARP.
-        assert_eq!(m.unresolved_globals(), vec![(PortId(5), gip)]);
+        assert_eq!(
+            m.unresolved_globals().collect::<Vec<_>>(),
+            vec![(PortId(5), gip)]
+        );
         let egress = m
             .egress_via_neighbor(NeighborId(9), "192.168.0.1".parse().unwrap())
             .unwrap();
@@ -659,7 +1097,7 @@ mod tests {
         );
         // Resolution arrives.
         m.note_resolution(gip, MacAddr::from_id(0x99));
-        assert!(m.unresolved_globals().is_empty());
+        assert!(m.unresolved_globals().next().is_none());
         let egress = m
             .egress_via_neighbor(NeighborId(9), "192.168.0.1".parse().unwrap())
             .unwrap();
@@ -807,5 +1245,100 @@ mod tests {
         m.remove_experiment(X1);
         assert_eq!(m.classify(dmac), None);
         assert_eq!(m.arp_answer("127.127.2.2".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree_under_churn() {
+        let mut m = mux();
+        let prefixes = [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.2.0/24",
+            "10.1.2.128/25",
+            "10.1.2.200/32",
+        ];
+        let probes: Vec<Ipv4Addr> = [
+            "10.1.2.200",
+            "10.1.2.127",
+            "10.1.2.129",
+            "10.9.9.9",
+            "192.0.2.1",
+        ]
+        .iter()
+        .map(|a| a.parse().unwrap())
+        .collect();
+        for p in prefixes {
+            m.install_route(N1, prefix(p));
+            for &probe in &probes {
+                m.set_fast_path(true);
+                let fast = m.egress_via_neighbor(N1, probe);
+                m.set_fast_path(false);
+                let slow = m.egress_via_neighbor(N1, probe);
+                assert_eq!(fast, slow, "probe {probe} after install {p}");
+            }
+        }
+        for p in prefixes {
+            m.remove_route(N1, prefix(p));
+            for &probe in &probes {
+                m.set_fast_path(true);
+                let fast = m.egress_via_neighbor(N1, probe);
+                m.set_fast_path(false);
+                let slow = m.egress_via_neighbor(N1, probe);
+                assert_eq!(fast, slow, "probe {probe} after remove {p}");
+            }
+        }
+        assert!(m.verify_fast_path().is_empty());
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let mut m = mux();
+        m.install_route(N1, prefix("10.0.0.0/8"));
+        m.install_route(N1, prefix("10.1.0.0/16"));
+        let ips: Vec<Ipv4Addr> = ["10.1.0.1", "10.2.0.1", "11.0.0.1", "10.1.0.1"]
+            .iter()
+            .map(|a| a.parse().unwrap())
+            .collect();
+        let mut batched = Vec::new();
+        m.egress_via_neighbor_batch(N1, &ips, &mut batched);
+        let singles: Vec<_> = ips
+            .iter()
+            .map(|&ip| m.egress_via_neighbor(N1, ip))
+            .collect();
+        assert_eq!(batched, singles);
+
+        m.add_experiment(X1, PortId(7), MacAddr::from_id(0x77), None);
+        m.install_delivery_local(prefix("184.164.224.0/24"), X1);
+        let dips: Vec<Ipv4Addr> = ["184.164.224.9", "184.164.225.9", "184.164.224.1"]
+            .iter()
+            .map(|a| a.parse().unwrap())
+            .collect();
+        let mut dbatched = Vec::new();
+        m.deliver_to_experiment_batch(&dips, Some(N1), &mut dbatched);
+        let dsingles: Vec<_> = dips
+            .iter()
+            .map(|&ip| m.deliver_to_experiment(ip, Some(N1)))
+            .collect();
+        assert_eq!(dbatched, dsingles);
+    }
+
+    #[test]
+    fn flow_cache_serves_repeats_and_invalidates_on_change() {
+        let mut m = mux();
+        m.install_route(N1, prefix("10.0.0.0/8"));
+        let ip: Ipv4Addr = "10.1.1.1".parse().unwrap();
+        assert!(m.egress_via_neighbor(N1, ip).is_some()); // compile + miss
+        let before = m.stats.flow_cache_hits;
+        assert!(m.egress_via_neighbor(N1, ip).is_some());
+        assert_eq!(m.stats.flow_cache_hits, before + 1);
+        // A more specific install must invalidate the cached answer.
+        m.install_route(N1, prefix("10.1.0.0/16"));
+        m.remove_route(N1, prefix("10.0.0.0/8"));
+        assert!(m.egress_via_neighbor(N1, ip).is_some()); // via the /16 now
+        assert!(m
+            .egress_via_neighbor(N1, "10.2.0.1".parse().unwrap())
+            .is_none());
+        assert!(m.verify_fast_path().is_empty());
     }
 }

@@ -18,7 +18,7 @@
 //! (§3.2.2 "Because all routing decisions are delegated to experiments").
 
 use std::collections::{HashMap, HashSet};
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr};
 
 use peering_bgp::policy::Policy;
 use peering_bgp::rib::{PeerId, Route};
@@ -31,7 +31,8 @@ use peering_netsim::{
 
 use crate::communities::ControlCommunities;
 use crate::enforcement::control::{ControlEnforcer, ExperimentPolicy};
-use crate::enforcement::data::{DataEnforcer, ExperimentDataPolicy};
+use crate::enforcement::data::{DataEnforcer, DataVerdict, ExperimentDataPolicy};
+use crate::fasthash::FastHashMap;
 use crate::ids::{ExperimentId, NeighborId, PopId};
 use crate::mux::{Delivery, Egress, MuxTarget, VbgpMux};
 use crate::policies;
@@ -169,19 +170,33 @@ pub struct VbgpRouter {
     pub data: DataEnforcer,
     /// Counters.
     pub stats: RouterStats,
-    port_macs: HashMap<PortId, MacAddr>,
+    // The two maps on the per-packet path use the fast hasher; the rest are
+    // control-plane-rate only.
+    port_macs: FastHashMap<PortId, MacAddr>,
     iface_ips: HashMap<Ipv4Addr, (PortId, MacAddr)>,
     neighbor_peers: HashMap<PeerId, NeighborId>,
     exp_peers: HashMap<PeerId, ExperimentId>,
-    exp_ports: HashMap<PortId, ExperimentId>,
+    exp_ports: FastHashMap<PortId, ExperimentId>,
     exp_tunnel_addr: HashMap<ExperimentId, Ipv4Addr>,
     exp_global: HashMap<ExperimentId, Ipv4Addr>,
     backbone_peers: HashSet<PeerId>,
-    ingress_neighbor: HashMap<(PortId, MacAddr), NeighborId>,
+    ingress_neighbor: FastHashMap<(PortId, MacAddr), NeighborId>,
     local_neighbor_globals: Vec<(Ipv4Addr, Ipv4Addr)>, // (vnh local, global)
     installed: HashMap<(PeerId, Prefix, PathId), Installed>,
     next_peer: u32,
     started: bool,
+    // Reused batch scratch (cleared by each callee).
+    egress_scratch: Vec<Option<Egress>>,
+    delivery_scratch: Vec<Option<(Egress, Option<MacAddr>, ExperimentId)>>,
+    verdict_scratch: Vec<DataVerdict>,
+}
+
+/// How a run of same-instant IPv4 frames will be forwarded; consecutive
+/// frames sharing a plan are processed as one batch.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum IpPlan {
+    Neighbor(NeighborId),
+    Delivery(Option<NeighborId>),
 }
 
 impl VbgpRouter {
@@ -205,19 +220,22 @@ impl VbgpRouter {
             control,
             data,
             stats: RouterStats::default(),
-            port_macs: HashMap::new(),
+            port_macs: FastHashMap::default(),
             iface_ips: HashMap::new(),
             neighbor_peers: HashMap::new(),
             exp_peers: HashMap::new(),
-            exp_ports: HashMap::new(),
+            exp_ports: FastHashMap::default(),
             exp_tunnel_addr: HashMap::new(),
             exp_global: HashMap::new(),
             backbone_peers: HashSet::new(),
-            ingress_neighbor: HashMap::new(),
+            ingress_neighbor: FastHashMap::default(),
             local_neighbor_globals: Vec::new(),
             installed: HashMap::new(),
             next_peer: 0,
             started: false,
+            egress_scratch: Vec::new(),
+            delivery_scratch: Vec::new(),
+            verdict_scratch: Vec::new(),
         }
     }
 
@@ -441,16 +459,17 @@ impl VbgpRouter {
     }
 
     fn arp_prefetch(&mut self, ctx: &mut Ctx<'_>) {
-        let pending = self.mux.unresolved_globals();
-        for (port, gip) in &pending {
-            let mac = self.port_mac(*port);
-            let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, *gip);
+        let mut pending = false;
+        for (port, gip) in self.mux.unresolved_globals() {
+            pending = true;
+            let mac = self.port_mac(port);
+            let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, gip);
             ctx.send_frame(
-                *port,
+                port,
                 EtherFrame::new(MacAddr::BROADCAST, mac, EtherType::Arp, req.encode()),
             );
         }
-        if !pending.is_empty() {
+        if pending {
             ctx.set_timer(SimDuration::from_secs(1), TOKEN_ARP_RETRY);
         }
     }
@@ -781,95 +800,190 @@ impl VbgpRouter {
         }
     }
 
-    fn on_ip(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &EtherFrame) {
-        let Some(mut pkt) = IpPacket::decode(&frame.payload) else {
-            return;
-        };
+    /// The plan for one IPv4 frame (which batch it can join).
+    fn plan_for(&self, port: PortId, frame: &EtherFrame) -> IpPlan {
         match self.mux.classify(frame.dst) {
-            Some(MuxTarget::NeighborTable(nbr)) => {
-                // An experiment (or a remote PoP) steered this packet into a
-                // specific neighbor's table (Fig. 2b steps 8–10).
-                if let Some(&exp) = self.exp_ports.get(&port) {
-                    let verdict = self.data.check_egress(
-                        exp,
-                        pkt.header.src.into(),
-                        frame.wire_len(),
-                        Some(nbr),
-                        ctx.now(),
-                    );
-                    if !verdict.is_allow() {
-                        self.stats.data_blocked += 1;
-                        return;
-                    }
-                }
-                if !pkt.decrement_ttl() {
-                    self.stats.ttl_expired += 1;
-                    self.send_time_exceeded(ctx, &pkt, port);
-                    return;
-                }
-                match self.mux.egress_via_neighbor(nbr, pkt.header.dst) {
-                    Some(Egress::Frame { port: out, dst_mac }) => {
-                        let src = self.port_mac(out);
-                        ctx.send_frame(
-                            out,
-                            EtherFrame::new(dst_mac, src, EtherType::Ipv4, pkt.encode()),
-                        );
-                    }
-                    Some(Egress::Unresolved {
-                        port: out,
-                        global_ip,
-                    }) => {
-                        // Trigger resolution; the packet is dropped (the
-                        // paper's deployment would also drop pre-ARP).
-                        let mac = self.port_mac(out);
-                        let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, global_ip);
-                        ctx.send_frame(
-                            out,
-                            EtherFrame::new(MacAddr::BROADCAST, mac, EtherType::Arp, req.encode()),
-                        );
-                    }
-                    None => self.stats.no_route += 1,
-                }
-            }
+            Some(MuxTarget::NeighborTable(nbr)) => IpPlan::Neighbor(nbr),
+            // Traffic toward an experiment prefix: from a neighbor (dst is
+            // our port MAC), or from the backbone (dst is a delivery MAC).
             Some(MuxTarget::ExperimentDelivery(_)) | None => {
-                // Traffic toward an experiment prefix: from a neighbor (dst
-                // is our port MAC), or from the backbone (dst is a delivery
-                // MAC).
-                let from_neighbor = self.ingress_neighbor.get(&(port, frame.src)).copied();
-                if !pkt.decrement_ttl() {
-                    self.stats.ttl_expired += 1;
-                    return;
-                }
-                match self
-                    .mux
-                    .deliver_to_experiment(pkt.header.dst, from_neighbor)
-                {
-                    Some((Egress::Frame { port: out, dst_mac }, src_rewrite, _exp)) => {
-                        let src = src_rewrite.unwrap_or_else(|| self.port_mac(out));
-                        ctx.send_frame(
-                            out,
-                            EtherFrame::new(dst_mac, src, EtherType::Ipv4, pkt.encode()),
-                        );
-                    }
-                    Some((
-                        Egress::Unresolved {
-                            port: out,
-                            global_ip,
-                        },
-                        _,
-                        _,
-                    )) => {
-                        let mac = self.port_mac(out);
-                        let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, global_ip);
-                        ctx.send_frame(
-                            out,
-                            EtherFrame::new(MacAddr::BROADCAST, mac, EtherType::Arp, req.encode()),
-                        );
-                    }
-                    None => self.stats.no_route += 1,
-                }
+                IpPlan::Delivery(self.ingress_neighbor.get(&(port, frame.src)).copied())
             }
         }
+    }
+
+    fn on_ip(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: &EtherFrame) {
+        match self.plan_for(port, frame) {
+            IpPlan::Neighbor(nbr) => {
+                self.forward_via_neighbor(ctx, port, nbr, std::slice::from_ref(frame))
+            }
+            IpPlan::Delivery(from) => self.deliver_frames(ctx, from, std::slice::from_ref(frame)),
+        }
+    }
+
+    /// Forward a run of frames that an experiment (or remote PoP) steered
+    /// into `nbr`'s table (Fig. 2b steps 8–10). Enforcement, TTL, lookup
+    /// and emission run as batch passes — verdicts, stats and the emitted
+    /// frame order are identical to handling each frame alone, but the
+    /// table selection, FIB sync and wire-egress resolution are paid once.
+    fn forward_via_neighbor(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: PortId,
+        nbr: NeighborId,
+        frames: &[EtherFrame],
+    ) {
+        // Undecodable frames drop silently, as in the single-frame path.
+        let mut pkts: Vec<Option<IpPacket>> = frames
+            .iter()
+            .map(|f| IpPacket::decode(&f.payload))
+            .collect();
+        // Data-plane enforcement first: a blocked packet must not consume
+        // TTL or trigger resolution.
+        if let Some(&exp) = self.exp_ports.get(&port) {
+            let meta: Vec<(IpAddr, usize)> = pkts
+                .iter()
+                .zip(frames)
+                .filter_map(|(p, f)| p.as_ref().map(|p| (p.header.src.into(), f.wire_len())))
+                .collect();
+            let mut verdicts = std::mem::take(&mut self.verdict_scratch);
+            self.data
+                .check_egress_batch(exp, &meta, Some(nbr), ctx.now(), &mut verdicts);
+            let mut vi = 0;
+            for p in pkts.iter_mut() {
+                if p.is_some() {
+                    if !verdicts[vi].is_allow() {
+                        self.stats.data_blocked += 1;
+                        *p = None;
+                    }
+                    vi += 1;
+                }
+            }
+            self.verdict_scratch = verdicts;
+        }
+        // TTL; expired packets are set aside (their ICMP replies are sent in
+        // the emission pass, keeping the single-path frame order) and do not
+        // consume a lookup.
+        let mut expired: Vec<Option<IpPacket>> = vec![None; pkts.len()];
+        let mut dsts: Vec<Ipv4Addr> = Vec::with_capacity(pkts.len());
+        for (i, p) in pkts.iter_mut().enumerate() {
+            let Some(pkt) = p else { continue };
+            if !pkt.decrement_ttl() {
+                self.stats.ttl_expired += 1;
+                expired[i] = p.take();
+                continue;
+            }
+            dsts.push(pkt.header.dst);
+        }
+        // One batched lookup for the surviving packets.
+        let mut egress = std::mem::take(&mut self.egress_scratch);
+        self.mux.egress_via_neighbor_batch(nbr, &dsts, &mut egress);
+        // Emission, in original frame order.
+        let mut ei = 0;
+        for (i, p) in pkts.iter().enumerate() {
+            if let Some(ex) = &expired[i] {
+                self.send_time_exceeded(ctx, ex, port);
+                continue;
+            }
+            let Some(pkt) = p else { continue };
+            match egress[ei] {
+                Some(Egress::Frame { port: out, dst_mac }) => {
+                    let src = self.port_mac(out);
+                    ctx.send_frame(
+                        out,
+                        EtherFrame::new(dst_mac, src, EtherType::Ipv4, pkt.encode()),
+                    );
+                }
+                Some(Egress::Unresolved {
+                    port: out,
+                    global_ip,
+                }) => {
+                    // Trigger resolution; the packet is dropped (the paper's
+                    // deployment would also drop pre-ARP).
+                    let mac = self.port_mac(out);
+                    let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, global_ip);
+                    ctx.send_frame(
+                        out,
+                        EtherFrame::new(MacAddr::BROADCAST, mac, EtherType::Arp, req.encode()),
+                    );
+                }
+                None => self.stats.no_route += 1,
+            }
+            ei += 1;
+        }
+        self.egress_scratch = egress;
+    }
+
+    /// Deliver a run of frames toward whatever experiments own their
+    /// destinations; `from` names the ingress neighbor (resolved once per
+    /// run — it determines the source-MAC rewrite the experiment sees).
+    fn deliver_frames(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: Option<NeighborId>,
+        frames: &[EtherFrame],
+    ) {
+        let mut pkts: Vec<Option<IpPacket>> = frames
+            .iter()
+            .map(|f| IpPacket::decode(&f.payload))
+            .collect();
+        let mut dsts: Vec<Ipv4Addr> = Vec::with_capacity(pkts.len());
+        for p in pkts.iter_mut() {
+            let Some(pkt) = p else { continue };
+            if !pkt.decrement_ttl() {
+                self.stats.ttl_expired += 1;
+                *p = None;
+                continue;
+            }
+            dsts.push(pkt.header.dst);
+        }
+        let mut decisions = std::mem::take(&mut self.delivery_scratch);
+        self.mux
+            .deliver_to_experiment_batch(&dsts, from, &mut decisions);
+        for (di, pkt) in pkts.iter().flatten().enumerate() {
+            match decisions[di] {
+                Some((Egress::Frame { port: out, dst_mac }, src_rewrite, _exp)) => {
+                    let src = src_rewrite.unwrap_or_else(|| self.port_mac(out));
+                    ctx.send_frame(
+                        out,
+                        EtherFrame::new(dst_mac, src, EtherType::Ipv4, pkt.encode()),
+                    );
+                }
+                Some((
+                    Egress::Unresolved {
+                        port: out,
+                        global_ip,
+                    },
+                    _,
+                    _,
+                )) => {
+                    let mac = self.port_mac(out);
+                    let req = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, global_ip);
+                    ctx.send_frame(
+                        out,
+                        EtherFrame::new(MacAddr::BROADCAST, mac, EtherType::Arp, req.encode()),
+                    );
+                }
+                None => self.stats.no_route += 1,
+            }
+        }
+        self.delivery_scratch = decisions;
+    }
+
+    /// Force-compile the mux's fast-path structures (flat FIBs) and
+    /// cross-check them against the source tables they were compiled from.
+    /// Returns one line per divergence; the convergence oracle runs this
+    /// after chaos quiesces.
+    pub fn verify_data_plane(&mut self) -> Vec<String> {
+        let pop = self.pop;
+        let mut problems: Vec<String> = self
+            .mux
+            .verify_fast_path()
+            .into_iter()
+            .map(|p| format!("{pop}: {p}"))
+            .collect();
+        problems.sort();
+        problems
     }
 }
 
@@ -883,6 +997,47 @@ impl Node for VbgpRouter {
             EtherType::Arp => self.on_arp(ctx, port, &frame),
             EtherType::Ipv4 => self.on_ip(ctx, port, &frame),
             _ => {}
+        }
+    }
+
+    /// Same-instant frames on one port: consecutive IPv4 frames that
+    /// classify to the same forwarding plan are handled as one batch;
+    /// everything else (BGP transport, ARP) is processed singly, in order.
+    /// Plans are computed as each frame is reached, so a control-plane
+    /// frame mid-batch still affects the frames behind it.
+    fn on_frames(&mut self, ctx: &mut Ctx<'_>, port: PortId, frames: Vec<EtherFrame>) {
+        let mut run: Vec<EtherFrame> = Vec::new();
+        let mut run_plan: Option<IpPlan> = None;
+        for frame in frames {
+            let plan = if frame.ethertype == EtherType::Ipv4 {
+                Some(self.plan_for(port, &frame))
+            } else {
+                None
+            };
+            if plan.is_some() && plan == run_plan {
+                run.push(frame);
+                continue;
+            }
+            if let Some(prev) = run_plan.take() {
+                match prev {
+                    IpPlan::Neighbor(nbr) => self.forward_via_neighbor(ctx, port, nbr, &run),
+                    IpPlan::Delivery(from) => self.deliver_frames(ctx, from, &run),
+                }
+                run.clear();
+            }
+            match plan {
+                Some(p) => {
+                    run_plan = Some(p);
+                    run.push(frame);
+                }
+                None => self.on_frame(ctx, port, frame),
+            }
+        }
+        if let Some(prev) = run_plan {
+            match prev {
+                IpPlan::Neighbor(nbr) => self.forward_via_neighbor(ctx, port, nbr, &run),
+                IpPlan::Delivery(from) => self.deliver_frames(ctx, from, &run),
+            }
         }
     }
 

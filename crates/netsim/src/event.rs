@@ -95,6 +95,12 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// The earliest event without removing it (the simulator uses this to
+    /// coalesce same-instant deliveries to one node into a batch).
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek()
+    }
+
     /// When the next event fires, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)

@@ -73,6 +73,16 @@ pub trait Node: Any {
     /// A frame arrived on `port`.
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: EtherFrame);
 
+    /// Several frames arrived on `port` at the same instant. The simulator
+    /// coalesces same-time deliveries to one `(node, port)` into a single
+    /// call so nodes with a batched fast path can amortize per-packet work;
+    /// the default just replays them through [`Node::on_frame`] in order.
+    fn on_frames(&mut self, ctx: &mut Ctx<'_>, port: PortId, frames: Vec<EtherFrame>) {
+        for frame in frames {
+            self.on_frame(ctx, port, frame);
+        }
+    }
+
     /// A timer armed with `token` fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
 
@@ -463,7 +473,49 @@ impl Simulator {
                     ethertype: frame.ethertype,
                     len: frame.wire_len(),
                 });
-                self.dispatch(node, |node, ctx| node.on_frame(ctx, port, frame));
+                // Coalesce the consecutive deliveries for the same instant,
+                // node and port into one batched callback. Only head-of-queue
+                // events are taken, so the scheduled (time, seq) order across
+                // nodes is untouched.
+                let mut batch: Option<Vec<EtherFrame>> = None;
+                while let Some(next) = self.queue.peek() {
+                    let same = next.at == self.time
+                        && matches!(
+                            &next.kind,
+                            EventKind::FrameDelivery { node: n, port: p, .. }
+                                if *n == node && *p == port
+                        );
+                    if !same {
+                        break;
+                    }
+                    let Some(ev) = self.queue.pop() else {
+                        break;
+                    };
+                    let EventKind::FrameDelivery { frame, .. } = ev.kind else {
+                        unreachable!("peek said FrameDelivery");
+                    };
+                    self.processed_events += 1;
+                    self.tracer.record(TraceEvent {
+                        time: self.time,
+                        node,
+                        port,
+                        direction: TraceDirection::Rx,
+                        src: frame.src,
+                        dst: frame.dst,
+                        ethertype: frame.ethertype,
+                        len: frame.wire_len(),
+                    });
+                    batch
+                        .get_or_insert_with(|| Vec::with_capacity(4))
+                        .push(frame);
+                }
+                match batch {
+                    None => self.dispatch(node, |node, ctx| node.on_frame(ctx, port, frame)),
+                    Some(mut rest) => {
+                        rest.insert(0, frame);
+                        self.dispatch(node, |node, ctx| node.on_frames(ctx, port, rest));
+                    }
+                }
             }
             EventKind::Timer { node, token } => {
                 self.dispatch(node, |node, ctx| node.on_timer(ctx, token));

@@ -149,7 +149,7 @@ fn run_scheduled(
 ) -> ChaosOutcome {
     p.sim.schedule_chaos(&plan);
     p.run_for(plan.end().max(opts.window) + opts.settle);
-    let problems = check_convergence(&p);
+    let problems = check_convergence(&mut p);
     let sessions_dropped = count_session_drops(&p);
     ChaosOutcome {
         seed,

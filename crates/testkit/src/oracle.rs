@@ -19,9 +19,15 @@
 //!    bookkeeping, Adj-RIB-Ins and enforcement engines must mutually agree
 //!    ([`VbgpRouter::verify_consistency`], which also asserts that no
 //!    experiment route survives a dead tunnel).
+//! 5. **Data-plane compilation.** Each router's compiled fast-path FIBs
+//!    (the DIR-24-8 / stride-8 structures packets actually consult) must
+//!    agree with the per-neighbor and delivery tables they were compiled
+//!    from ([`VbgpRouter::verify_data_plane`]) — a stale generation or a
+//!    bad incremental patch after churn shows up here.
 //!
 //! [`Speaker::would_accept`]: peering_bgp::speaker::Speaker::would_accept
 //! [`VbgpRouter::verify_consistency`]: peering_vbgp::VbgpRouter::verify_consistency
+//! [`VbgpRouter::verify_data_plane`]: peering_vbgp::VbgpRouter::verify_data_plane
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -137,7 +143,9 @@ fn check_direction(
 
 /// Run every global invariant; returns human-readable violations (empty =
 /// converged). The list is sorted so failures are stable across runs.
-pub fn check_convergence(p: &Peering) -> Vec<String> {
+/// Takes `&mut` because the data-plane check force-compiles each router's
+/// fast-path FIBs before comparing them to their source tables.
+pub fn check_convergence(p: &mut Peering) -> Vec<String> {
     let mut problems = Vec::new();
     let views = collect_sessions(&p.sim);
 
@@ -191,11 +199,16 @@ pub fn check_convergence(p: &Peering) -> Vec<String> {
     }
 
     // Router-internal invariants: mux vs installed vs Adj-RIB-In vs
-    // enforcement, and the dead-tunnel rule.
+    // enforcement, and the dead-tunnel rule. Then the compiled data plane:
+    // the fast-path FIBs must match the tables the control plane converged
+    // to, no matter what churn the chaos schedule drove through them.
     for pop in p.pop_names() {
         if let Some(router) = p.router_node(&pop) {
             if let Some(r) = p.sim.node::<VbgpRouter>(router) {
                 problems.extend(r.verify_consistency());
+            }
+            if let Some(r) = p.sim.node_mut::<VbgpRouter>(router) {
+                problems.extend(r.verify_data_plane());
             }
         }
     }
