@@ -35,9 +35,11 @@ use std::net::Ipv4Addr;
 use peering_bench::{splitmix, synth_fib_prefix, timing};
 use peering_bgp::types::Prefix;
 use peering_netsim::{MacAddr, PortId};
+use peering_obs::Obs;
 use peering_vbgp::{NeighborId, VbgpMux};
 
 const RESULTS: &str = "docs/results/BENCH_dataplane.json";
+const OBS_RESULTS: &str = "docs/results/OBS_dataplane.txt";
 const NEIGHBOR: NeighborId = NeighborId(1);
 
 /// Draw `count` probe addresses covered by installed prefixes, cycling a
@@ -134,6 +136,8 @@ fn main() {
 
     let prefixes: Vec<Prefix> = (0..n_prefixes as u64).map(synth_fib_prefix).collect();
     let mut mux = build_mux(&prefixes);
+    let obs = Obs::new();
+    mux.set_obs(obs.clone());
     let table_entries = mux.table_entries(NEIGHBOR).count();
     println!("dataplane_pps: {n_prefixes} installs -> {table_entries} unique prefixes (/16-/28)");
 
@@ -160,6 +164,16 @@ fn main() {
     println!("fastpath-batch   256k dist, x64   {batch_pps:>12.0}    {batch_speedup:.2}x");
     println!("flow cache hits: {}", mux.stats.flow_cache_hits);
 
+    // Mirror the mux counters into the registry and show what the run did
+    // to the data plane (cache hit/miss split, FIB patches vs rebuilds).
+    mux.publish_obs();
+    let snap = obs.snapshot();
+    println!();
+    println!("registry snapshot ({} series):", snap.len());
+    for line in snap.to_text().lines() {
+        println!("  {line}");
+    }
+
     if check {
         let committed = std::fs::read_to_string(RESULTS)
             .unwrap_or_else(|e| panic!("--check needs {RESULTS}: {e}"));
@@ -184,7 +198,7 @@ fn main() {
     if write {
         let json = format!(
             r#"{{
-  "generated": "2026-08-05",
+  "generated": "2026-08-06",
   "commands": {{
     "regenerate": "cargo run --release -p peering-bench --bin dataplane_pps -- {n_prefixes} --write",
     "ci_smoke": "cargo run --release -p peering-bench --bin dataplane_pps -- 20000 --check"
@@ -213,5 +227,7 @@ fn main() {
         );
         std::fs::write(RESULTS, json).expect("write results JSON");
         println!("wrote {RESULTS}");
+        std::fs::write(OBS_RESULTS, snap.to_text()).expect("write obs snapshot");
+        println!("wrote {OBS_RESULTS}");
     }
 }

@@ -25,8 +25,17 @@ fn origin_rank(origin: Origin) -> u8 {
     origin.to_u8() // IGP(0) < EGP(1) < INCOMPLETE(2); lower wins
 }
 
+/// The neighboring AS for the MED comparison. RFC 4271 §9.1.2.2 defines it
+/// as the first AS of an AS_SEQUENCE-headed path; a path that begins with
+/// an AS_SET (an aggregate) has no determinate neighbor AS, so MED must
+/// not be compared for it — `first_as()` alone would happily return an
+/// arbitrary member of the set and make two aggregates look comparable.
 fn neighbor_as(route: &Route) -> Option<crate::types::Asn> {
-    route.attrs.as_path.first_as()
+    use crate::attrs::AsPathSegment;
+    match route.attrs.as_path.segments.first()? {
+        AsPathSegment::Sequence(v) => v.first().copied(),
+        AsPathSegment::Set(_) => None,
+    }
 }
 
 /// Compare two routes; `Ordering::Less` means `a` is preferred.
@@ -214,6 +223,59 @@ mod tests {
     #[test]
     fn best_of_empty_is_none() {
         assert!(best_path(&[]).is_none());
+    }
+
+    #[test]
+    fn med_skipped_for_as_set_headed_paths() {
+        use crate::attrs::AsPathSegment;
+        // Both routes are aggregates whose paths begin with an AS_SET
+        // containing the same first member. `first_as()` would call their
+        // neighbor ASes equal; RFC 4271 says the neighbor AS of an
+        // AS_SET-headed path is indeterminate, so MED must not decide.
+        let mut a = base(1);
+        a.attrs_mut().as_path = AsPath {
+            segments: vec![AsPathSegment::Set(vec![Asn(1), Asn(7)])],
+        };
+        a.attrs_mut().med = Some(999);
+        let mut b = base(2);
+        b.attrs_mut().as_path = AsPath {
+            segments: vec![AsPathSegment::Set(vec![Asn(1), Asn(9)])],
+        };
+        b.attrs_mut().med = Some(0);
+        // MED ignored: falls through to the router-id tiebreak (1 < 2),
+        // despite a's much larger MED.
+        assert_eq!(compare(&a, &b), Ordering::Less);
+
+        // One AS_SET-headed path against a sequence-headed one sharing the
+        // "same" leading ASN: still no MED comparison.
+        let mut c = base(1);
+        c.attrs_mut().as_path = AsPath {
+            segments: vec![AsPathSegment::Set(vec![Asn(2), Asn(8)])],
+        };
+        c.attrs_mut().med = Some(0);
+        let mut d = base(2);
+        d.attrs_mut().as_path = AsPath::from_asns(&[Asn(2)]);
+        d.attrs_mut().med = Some(500);
+        // Path length 1 each, origins equal; MED skipped, router id 1 < 2.
+        assert_eq!(compare(&c, &d), Ordering::Less);
+    }
+
+    #[test]
+    fn med_skipped_for_empty_paths() {
+        // Two iBGP-learned routes with empty AS paths: no neighbor AS
+        // exists, so MED stays out of the decision and the stamp breaks
+        // the tie toward the older route — even though the newer route
+        // carries the lower MED.
+        let mut a = base(1);
+        a.attrs_mut().as_path = AsPath::empty();
+        a.attrs_mut().med = Some(10);
+        a.stamp = 5;
+        let mut b = base(2);
+        b.attrs_mut().as_path = AsPath::empty();
+        b.attrs_mut().med = Some(0);
+        b.stamp = 6;
+        assert_eq!(compare(&a, &b), Ordering::Less);
+        assert_eq!(compare(&b, &a), Ordering::Greater);
     }
 
     #[test]

@@ -97,6 +97,15 @@ pub struct FlatFib {
     /// Set once the first sync/build has run; an unbuilt FlatFib must not
     /// serve lookups (it would claim "no route" for everything).
     built: bool,
+    /// What the most recent effective sync did (None until one has run):
+    /// `(rebuilt, prefixes_patched)`. A full rebuild reports 0 patched.
+    last_sync: Option<(bool, u64)>,
+    /// Cumulative full rebuilds across the FIB's lifetime.
+    rebuilds: u64,
+    /// Cumulative incremental patch rounds.
+    patch_rounds: u64,
+    /// Cumulative individual prefixes patched across all patch rounds.
+    patched_prefixes: u64,
 }
 
 impl Default for FlatFib {
@@ -120,6 +129,10 @@ impl FlatFib {
             dirty_v6: false,
             generation: 0,
             built: false,
+            last_sync: None,
+            rebuilds: 0,
+            patch_rounds: 0,
+            patched_prefixes: 0,
         }
     }
 
@@ -131,6 +144,17 @@ impl FlatFib {
     /// Whether the FIB has been compiled at least once.
     pub fn is_built(&self) -> bool {
         self.built
+    }
+
+    /// What the most recent effective sync did: `(rebuilt, prefixes_patched)`.
+    /// `None` until a sync has done work.
+    pub fn last_sync(&self) -> Option<(bool, u64)> {
+        self.last_sync
+    }
+
+    /// Lifetime sync totals: `(full rebuilds, patch rounds, prefixes patched)`.
+    pub fn sync_totals(&self) -> (u64, u64, u64) {
+        (self.rebuilds, self.patch_rounds, self.patched_prefixes)
     }
 
     /// Whether a sync would do any work.
@@ -173,6 +197,8 @@ impl FlatFib {
         }
         if !self.built || self.dirty_v4.is_none() {
             self.rebuild(trie);
+            self.rebuilds += 1;
+            self.last_sync = Some((true, 0));
         } else {
             let dirty = std::mem::take(&mut self.dirty_v4).unwrap_or_default();
             for p in &dirty {
@@ -182,6 +208,9 @@ impl FlatFib {
             if self.dirty_v6 {
                 self.rebuild_v6(trie);
             }
+            self.patch_rounds += 1;
+            self.patched_prefixes += dirty.len() as u64;
+            self.last_sync = Some((false, dirty.len() as u64));
         }
         self.dirty_v6 = false;
         if self.dirty_v4.is_none() {

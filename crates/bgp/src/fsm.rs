@@ -27,6 +27,21 @@ pub enum FsmState {
     Established,
 }
 
+impl FsmState {
+    /// Stable short name, used as the transition-matrix metric label and
+    /// in journal events.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsmState::Idle => "Idle",
+            FsmState::Connect => "Connect",
+            FsmState::Active => "Active",
+            FsmState::OpenSent => "OpenSent",
+            FsmState::OpenConfirm => "OpenConfirm",
+            FsmState::Established => "Established",
+        }
+    }
+}
+
 /// Timers the FSM asks its embedding to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TimerKind {

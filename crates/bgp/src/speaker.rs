@@ -19,6 +19,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::IpAddr;
 use std::sync::Arc;
 
+use peering_obs::{EventKind as ObsEvent, Histogram, Obs};
+
 use crate::attrs::{AttrStore, PathAttributes};
 use crate::decision::sort_candidates;
 use crate::fsm::{FsmAction, FsmConfig, FsmEvent, FsmState, SessionFsm, TimerConfig, TimerKind};
@@ -187,6 +189,9 @@ pub struct PeerStats {
     pub loop_rejected: u64,
     /// Codec errors on this session.
     pub codec_errors: u64,
+    /// ADD-PATH re-announcements that replaced an already-held
+    /// (prefix, path-id) entry in the Adj-RIB-In.
+    pub addpath_dups: u64,
 }
 
 /// Per-peer dirty set of advertisements queued for the next flush. The
@@ -285,11 +290,20 @@ pub struct Speaker {
     /// but suppresses the wire replay — exactly the resync bug the oracle
     /// exists to catch. Never set outside tests.
     fault_skip_session_up_replay: bool,
+    /// Observability handle: FSM transition matrix, resync replays and the
+    /// coalescing flush-size histogram land here.
+    obs: Obs,
+    h_flush: Histogram,
 }
+
+/// Bucket bounds for the coalescing flush-size histogram (NLRI entries
+/// put on the wire by one flush).
+const FLUSH_NLRI_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
 
 impl Speaker {
     /// Create a speaker.
     pub fn new(cfg: SpeakerConfig) -> Self {
+        let obs = Obs::new();
         Speaker {
             cfg,
             peers: BTreeMap::new(),
@@ -300,7 +314,21 @@ impl Speaker {
             gc_watermark: 1024,
             batching: true,
             fault_skip_session_up_replay: false,
+            h_flush: obs.histogram("bgp.flush_nlri", FLUSH_NLRI_BOUNDS),
+            obs,
         }
+    }
+
+    /// Adopt a shared observability handle (replacing the speaker's
+    /// private default registry).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.h_flush = obs.histogram("bgp.flush_nlri", FLUSH_NLRI_BOUNDS);
+        self.obs = obs;
+    }
+
+    /// The speaker's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Enable the deliberate resync bug (skip the Adj-RIB-Out wire replay
@@ -595,7 +623,30 @@ impl Speaker {
             return out;
         };
         let was_established = peer.fsm.is_established();
+        let state_before = peer.fsm.state();
         let actions = peer.fsm.handle(event);
+        let state_after = peer.fsm.state();
+        let failures = peer.fsm.consecutive_failures();
+        if state_after != state_before {
+            self.obs
+                .counter(&format!(
+                    "bgp.fsm_transition{{edge={}->{}}}",
+                    state_before.name(),
+                    state_after.name()
+                ))
+                .inc();
+            self.obs.record(ObsEvent::SessionTransition {
+                peer: id.0,
+                from: state_before.name(),
+                to: state_after.name(),
+            });
+            if state_after == FsmState::Idle && failures > 0 {
+                self.obs.record(ObsEvent::SessionBackoff {
+                    peer: id.0,
+                    level: failures,
+                });
+            }
+        }
         let mut updates = Vec::new();
         let mut refreshes = Vec::new();
         let mut session_up = false;
@@ -718,11 +769,15 @@ impl Speaker {
                 peer.pending.clear();
             }
         } else {
+            let routes = prefixes.len() as u64;
             for prefix in prefixes {
                 self.export_prefix_to(id, prefix, out);
             }
             // The initial table must hit the wire before the End-of-RIB marker.
             self.flush_peer(id, out);
+            self.obs.counter("bgp.resync_replays").inc();
+            self.obs
+                .record(ObsEvent::ResyncReplay { peer: id.0, routes });
         }
         if let Some(peer) = self.peers.get_mut(&id) {
             let ctx = peer.fsm.codec_ctx();
@@ -870,6 +925,7 @@ impl Speaker {
                         // Replacing an existing path keeps the old stamp so
                         // re-announcement does not look "newer" to decision.
                         if let Some(old) = peer.adj_in.insert(imported.clone()) {
+                            peer.stats.addpath_dups += 1;
                             let refreshed = Route {
                                 stamp: old.stamp,
                                 ..imported.clone()
@@ -1076,6 +1132,8 @@ impl Speaker {
         };
         let withdraw = std::mem::take(&mut peer.pending.withdraw);
         let announce = std::mem::take(&mut peer.pending.announce);
+        self.h_flush
+            .observe((withdraw.len() + announce.len()) as u64);
 
         let mut msgs: Vec<UpdateMsg> = Vec::new();
         if !withdraw.is_empty() {
@@ -1114,6 +1172,36 @@ impl Speaker {
         for id in ids {
             self.flush_peer(id, out);
         }
+    }
+
+    /// Mirror per-peer counters and RIB levels into the registry. The hot
+    /// paths keep bumping plain [`PeerStats`] fields; this copies them into
+    /// the shared registry so `Registry::snapshot()` sees current values.
+    pub fn publish_obs(&self) {
+        for (id, peer) in &self.peers {
+            let s = &peer.stats;
+            let set = |name: &str, v: u64| self.obs.counter_dim(name, "peer", id.0).set(v);
+            set("bgp.msgs_in", s.msgs_in);
+            set("bgp.msgs_out", s.msgs_out);
+            set("bgp.updates_in", s.updates_in);
+            set("bgp.updates_out", s.updates_out);
+            set("bgp.import_rejected", s.import_rejected);
+            set("bgp.loop_rejected", s.loop_rejected);
+            set("bgp.codec_errors", s.codec_errors);
+            set("bgp.addpath_dups", s.addpath_dups);
+            self.obs
+                .gauge_dim("bgp.adj_in_paths", "peer", id.0)
+                .set(peer.adj_in.path_count as i64);
+            self.obs
+                .gauge_dim("bgp.backoff_level", "peer", id.0)
+                .set(peer.fsm.consecutive_failures() as i64);
+        }
+        self.obs
+            .gauge("bgp.interned_attrs")
+            .set(self.attr_store.len() as i64);
+        self.obs
+            .gauge("bgp.adj_in_paths_total")
+            .set(self.total_adj_in_paths() as i64);
     }
 
     /// Number of routes held across all Adj-RIBs-In (Fig. 6a's x-axis).

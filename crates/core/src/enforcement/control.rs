@@ -58,6 +58,24 @@ pub enum Rejection {
     RateLimited,
 }
 
+impl Rejection {
+    /// Stable kebab-case reason code (journal events, metric labels).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rejection::FailClosed => "fail-closed",
+            Rejection::NotAllocated => "not-allocated",
+            Rejection::BadOriginAsn => "bad-origin-asn",
+            Rejection::EmptyAsPath => "empty-as-path",
+            Rejection::PoisoningNotAllowed => "poisoning-not-allowed",
+            Rejection::TransitNotAllowed => "transit-not-allowed",
+            Rejection::CommunitiesNotAllowed => "communities-not-allowed",
+            Rejection::TransitiveAttrsNotAllowed => "transitive-attrs-not-allowed",
+            Rejection::SixToFourNotAllowed => "6to4-not-allowed",
+            Rejection::RateLimited => "rate-limited",
+        }
+    }
+}
+
 /// What the platform knows about one approved experiment.
 #[derive(Debug, Clone, Default)]
 pub struct ExperimentPolicy {

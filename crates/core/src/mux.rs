@@ -38,6 +38,7 @@ use peering_bgp::flatfib::FlatFib;
 use peering_bgp::trie::PrefixTrie;
 use peering_bgp::types::Prefix;
 use peering_netsim::{MacAddr, PortId};
+use peering_obs::{EventKind as ObsEvent, Obs, DELIVERY_TABLE};
 
 use crate::fasthash::{hash_u32, FastHashMap};
 use crate::ids::{ExperimentId, NeighborId};
@@ -141,6 +142,43 @@ pub struct MuxStats {
     pub arp_answered: u64,
     /// Forwarding lookups served by a flow cache without touching a FIB.
     pub flow_cache_hits: u64,
+    /// Forwarding lookups that missed every flow cache and hit a FIB.
+    pub flow_cache_misses: u64,
+    /// Flow-cache invalidations (one per effective FIB sync — the
+    /// generation bump invalidates the whole cache without touching it).
+    pub flow_invalidations: u64,
+    /// FIB syncs satisfied by a full recompile.
+    pub fib_rebuilds: u64,
+    /// FIB syncs satisfied by patching only the dirty prefixes.
+    pub fib_patch_rounds: u64,
+    /// Individual prefixes patched across all patch rounds.
+    pub fib_prefixes_patched: u64,
+}
+
+impl MuxStats {
+    /// Record an effective FIB sync: classify patch vs rebuild from the
+    /// FIB's own report, count it, and journal the sync + the flow-cache
+    /// invalidation it implies. `neighbor` is [`DELIVERY_TABLE`] for the
+    /// experiment delivery table.
+    fn note_fib_sync(&mut self, obs: &Obs, neighbor: u32, fib: &FlatFib) {
+        let (rebuild, changed) = fib.last_sync().unwrap_or((true, 0));
+        if rebuild {
+            self.fib_rebuilds += 1;
+        } else {
+            self.fib_patch_rounds += 1;
+            self.fib_prefixes_patched += changed;
+        }
+        self.flow_invalidations += 1;
+        obs.record(ObsEvent::FibSync {
+            neighbor,
+            rebuild,
+            changed,
+        });
+        obs.record(ObsEvent::FlowCacheInvalidation {
+            neighbor,
+            generation: fib.generation(),
+        });
+    }
 }
 
 /// Direct-mapped flow cache: dst address → last lookup outcome, valid only
@@ -189,21 +227,28 @@ struct NeighborEntry {
     cache: Option<Box<FlowCache<bool>>>,
     /// The local-pool MAC index (for classifier cleanup on removal).
     vnh_idx: u32,
+    /// Packets forwarded out via this neighbor's table.
+    pkts_out: u64,
+    /// Packets delivered to an experiment that ingressed via this neighbor.
+    pkts_in: u64,
 }
 
 impl NeighborEntry {
     /// Whether `dst_ip` has a route, via the compiled FIB + flow cache.
     #[inline]
-    fn fast_has_route(&mut self, dst_ip: Ipv4Addr, cache_hits: &mut u64) -> bool {
+    fn fast_has_route(&mut self, dst_ip: Ipv4Addr, stats: &mut MuxStats, obs: &Obs) -> bool {
         let fib = self.fib.get_or_insert_with(FlatFib::new);
-        fib.sync(&self.table);
+        if fib.sync(&self.table) {
+            stats.note_fib_sync(obs, self.id.0, fib);
+        }
         let generation = fib.generation();
         let key = u32::from(dst_ip);
         let cache = self.cache.get_or_insert_with(|| Box::new(FlowCache::new()));
         if let Some(hit) = cache.get(key, generation) {
-            *cache_hits += 1;
+            stats.flow_cache_hits += 1;
             return hit;
         }
+        stats.flow_cache_misses += 1;
         let hit = fib.covers(dst_ip.into());
         cache.put(key, generation, hit);
         hit
@@ -243,6 +288,9 @@ pub struct VbgpMux {
     resolved: FastHashMap<Ipv4Addr, MacAddr>,
     /// Counters.
     pub stats: MuxStats,
+    /// Observability handle (journal events live; counters mirrored by
+    /// [`VbgpMux::publish_obs`]).
+    obs: Obs,
 }
 
 impl Default for VbgpMux {
@@ -272,7 +320,47 @@ impl VbgpMux {
             owned_ips: FastHashMap::default(),
             resolved: FastHashMap::default(),
             stats: MuxStats::default(),
+            obs: Obs::new(),
         }
+    }
+
+    /// Attach a shared observability handle (typically already scoped to
+    /// this PoP). Until called, events land in a private default store.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Mirror the mux's plain-integer counters into the metrics registry.
+    /// Called at snapshot points (not per packet) so the forwarding hot
+    /// path never touches the registry.
+    pub fn publish_obs(&self) {
+        let s = &self.stats;
+        let o = &self.obs;
+        o.counter("mux.to_neighbor").set(s.to_neighbor);
+        o.counter("mux.to_experiment").set(s.to_experiment);
+        o.counter("mux.to_backbone").set(s.to_backbone);
+        o.counter("mux.no_route").set(s.no_route);
+        o.counter("mux.unresolved").set(s.unresolved);
+        o.counter("mux.arp_answered").set(s.arp_answered);
+        o.counter("mux.flow_cache_hits").set(s.flow_cache_hits);
+        o.counter("mux.flow_cache_misses").set(s.flow_cache_misses);
+        o.counter("mux.flow_invalidations")
+            .set(s.flow_invalidations);
+        o.counter("mux.fib_rebuilds").set(s.fib_rebuilds);
+        o.counter("mux.fib_patch_rounds").set(s.fib_patch_rounds);
+        o.counter("mux.fib_prefixes_patched")
+            .set(s.fib_prefixes_patched);
+        for entry in self.neighbors.iter().flatten() {
+            let nbr = entry.id.0;
+            o.counter_dim("mux.egress_pkts", "nbr", nbr)
+                .set(entry.pkts_out);
+            o.counter_dim("mux.ingress_pkts", "nbr", nbr)
+                .set(entry.pkts_in);
+            o.gauge_dim("mux.table_routes", "nbr", nbr)
+                .set(entry.table.len() as i64);
+        }
+        o.gauge("mux.delivery_routes")
+            .set(self.delivery.len() as i64);
     }
 
     /// Toggle the compiled fast path. Off = every lookup walks the source
@@ -335,6 +423,8 @@ impl VbgpMux {
             fib: None,
             cache: None,
             vnh_idx: 0,
+            pkts_out: 0,
+            pkts_in: 0,
         });
         let idx = self.register_vnh_mac(&vnh, slot);
         self.neighbors[slot as usize]
@@ -368,6 +458,8 @@ impl VbgpMux {
             fib: None,
             cache: None,
             vnh_idx: 0,
+            pkts_out: 0,
+            pkts_in: 0,
         });
         let idx = self.register_vnh_mac(&vnh, slot);
         self.neighbors[slot as usize]
@@ -395,6 +487,11 @@ impl VbgpMux {
     fn neighbor(&self, id: NeighborId) -> Option<&NeighborEntry> {
         let &slot = self.neighbor_slot.get(&id)?;
         self.neighbors[slot as usize].as_ref()
+    }
+
+    fn neighbor_mut(&mut self, id: NeighborId) -> Option<&mut NeighborEntry> {
+        let &slot = self.neighbor_slot.get(&id)?;
+        self.neighbors[slot as usize].as_mut()
     }
 
     /// The virtual next hop assigned to a neighbor.
@@ -682,7 +779,7 @@ impl VbgpMux {
         let &slot = self.neighbor_slot.get(&neighbor)?;
         let entry = self.neighbors[slot as usize].as_mut()?;
         let has_route = if self.fast_path {
-            entry.fast_has_route(dst_ip, &mut self.stats.flow_cache_hits)
+            entry.fast_has_route(dst_ip, &mut self.stats, &self.obs)
         } else {
             entry.table.lookup(dst_ip.into()).is_some()
         };
@@ -692,6 +789,7 @@ impl VbgpMux {
         }
         let egress = Self::resolve_fwd(entry.fwd, &self.resolved);
         Self::count_egress(&mut self.stats, entry.fwd, egress);
+        entry.pkts_out += 1;
         Some(egress)
     }
 
@@ -722,10 +820,10 @@ impl VbgpMux {
             // base-table slot before resolving any of them: the random
             // DRAM loads that dominate a cold lookup overlap instead of
             // serializing per packet.
-            entry
-                .fib
-                .get_or_insert_with(FlatFib::new)
-                .sync(&entry.table);
+            let fib = entry.fib.get_or_insert_with(FlatFib::new);
+            if fib.sync(&entry.table) {
+                self.stats.note_fib_sync(&self.obs, entry.id.0, fib);
+            }
             let fib = entry.fib.as_ref().expect("just built");
             let generation = fib.generation();
             let cache = entry
@@ -742,6 +840,7 @@ impl VbgpMux {
                         hit
                     }
                     None => {
+                        self.stats.flow_cache_misses += 1;
                         let hit = fib.covers(ip.into());
                         cache.put(key, generation, hit);
                         hit
@@ -749,6 +848,7 @@ impl VbgpMux {
                 };
                 if has_route {
                     Self::count_egress(&mut self.stats, entry.fwd, egress);
+                    entry.pkts_out += 1;
                     out.push(Some(egress));
                 } else {
                     self.stats.no_route += 1;
@@ -759,6 +859,7 @@ impl VbgpMux {
             for &ip in dst_ips {
                 if entry.table.lookup(ip.into()).is_some() {
                     Self::count_egress(&mut self.stats, entry.fwd, egress);
+                    entry.pkts_out += 1;
                     out.push(Some(egress));
                 } else {
                     self.stats.no_route += 1;
@@ -773,7 +874,9 @@ impl VbgpMux {
     fn delivery_set_for(&mut self, dst_ip: Ipv4Addr) -> Option<u32> {
         if self.fast_path {
             let fib = self.delivery_fib.get_or_insert_with(FlatFib::new);
-            fib.sync(&self.delivery);
+            if fib.sync(&self.delivery) {
+                self.stats.note_fib_sync(&self.obs, DELIVERY_TABLE, fib);
+            }
             let generation = fib.generation();
             let key = u32::from(dst_ip);
             let cache = self
@@ -783,6 +886,7 @@ impl VbgpMux {
                 self.stats.flow_cache_hits += 1;
                 return hit;
             }
+            self.stats.flow_cache_misses += 1;
             let hit = fib.lookup(dst_ip.into()).map(|(_, idx)| idx);
             cache.put(key, generation, hit);
             hit
@@ -839,7 +943,13 @@ impl VbgpMux {
     ) -> Option<(Egress, Option<MacAddr>, ExperimentId)> {
         let set_idx = self.delivery_set_for(dst_ip)?;
         let src_rewrite = from_neighbor.and_then(|n| self.alloc.get(n)).map(|v| v.mac);
-        self.delivery_decision(set_idx, src_rewrite)
+        let decision = self.delivery_decision(set_idx, src_rewrite);
+        if decision.is_some() {
+            if let Some(entry) = from_neighbor.and_then(|n| self.neighbor_mut(n)) {
+                entry.pkts_in += 1;
+            }
+        }
+        decision
     }
 
     /// Batched [`Self::deliver_to_experiment`]: the ingress-neighbor MAC
@@ -854,11 +964,20 @@ impl VbgpMux {
     ) {
         out.clear();
         let src_rewrite = from_neighbor.and_then(|n| self.alloc.get(n)).map(|v| v.mac);
+        let mut delivered = 0u64;
         for &ip in dst_ips {
             let decision = self
                 .delivery_set_for(ip)
                 .and_then(|idx| self.delivery_decision(idx, src_rewrite));
+            if decision.is_some() {
+                delivered += 1;
+            }
             out.push(decision);
+        }
+        if delivered > 0 {
+            if let Some(entry) = from_neighbor.and_then(|n| self.neighbor_mut(n)) {
+                entry.pkts_in += delivered;
+            }
         }
     }
 
@@ -919,7 +1038,9 @@ impl VbgpMux {
         let mut problems = Vec::new();
         for entry in self.neighbors.iter_mut().flatten() {
             let fib = entry.fib.get_or_insert_with(FlatFib::new);
-            fib.sync(&entry.table);
+            if fib.sync(&entry.table) {
+                self.stats.note_fib_sync(&self.obs, entry.id.0, fib);
+            }
             for (prefix, _) in entry.table.iter() {
                 for addr in probe_addrs(&prefix) {
                     let want = entry.table.lookup(addr).map(|(p, _)| p);
@@ -934,7 +1055,9 @@ impl VbgpMux {
             }
         }
         let fib = self.delivery_fib.get_or_insert_with(FlatFib::new);
-        fib.sync(&self.delivery);
+        if fib.sync(&self.delivery) {
+            self.stats.note_fib_sync(&self.obs, DELIVERY_TABLE, fib);
+        }
         for (prefix, idx) in self.delivery.iter() {
             for addr in probe_addrs(&prefix) {
                 let want = self.delivery.lookup(addr).map(|(p, v)| (p, *v));

@@ -29,9 +29,11 @@ use peering_netsim::{
     Ctx, EtherFrame, EtherType, IcmpPacket, IpPacket, IpProto, MacAddr, Node, PortId, SimDuration,
 };
 
+use peering_obs::{EventKind as ObsEvent, Obs};
+
 use crate::communities::ControlCommunities;
 use crate::enforcement::control::{ControlEnforcer, ExperimentPolicy};
-use crate::enforcement::data::{DataEnforcer, DataVerdict, ExperimentDataPolicy};
+use crate::enforcement::data::{DataEnforcer, DataVerdict, ExperimentDataPolicy, TokenBucket};
 use crate::fasthash::FastHashMap;
 use crate::ids::{ExperimentId, NeighborId, PopId};
 use crate::mux::{Delivery, Egress, MuxTarget, VbgpMux};
@@ -144,9 +146,30 @@ pub struct RouterStats {
     pub updates_blocked: u64,
     /// Updates passed (possibly partially) to the routing engine.
     pub updates_passed: u64,
+    /// ICMP error messages generated.
+    pub icmp_sent: u64,
+    /// ICMP errors suppressed because the offending packet was itself an
+    /// ICMP error (RFC 1122 §3.2.2).
+    pub icmp_suppressed_error: u64,
+    /// ICMP errors suppressed by the per-router rate limit.
+    pub icmp_rate_limited: u64,
 }
 
 const TOKEN_ARP_RETRY: u64 = 1;
+
+/// ICMP error generation rate limit (RFC 1812 §4.3.2.8): sustained
+/// messages per second and burst depth. Bucket tokens are whole messages.
+const ICMP_ERRORS_PER_SEC: u64 = 100;
+const ICMP_ERROR_BURST: u64 = 50;
+
+/// ICMP message types that are themselves error reports (destination
+/// unreachable, source quench, redirect, time exceeded, parameter
+/// problem). RFC 1122 §3.2.2: an ICMP error message must never be sent in
+/// response to one of these. A raw first-byte peek suffices — a packet
+/// too mangled to classify gets no error either way.
+fn icmp_is_error(payload: &[u8]) -> bool {
+    matches!(payload.first(), Some(3 | 4 | 5 | 11 | 12))
+}
 
 /// How long the routing engine retains routes learned from a neighbor or
 /// backbone session after it drops, giving the peer a chance to
@@ -170,6 +193,11 @@ pub struct VbgpRouter {
     pub data: DataEnforcer,
     /// Counters.
     pub stats: RouterStats,
+    /// Observability (journal events live, counters mirrored by
+    /// [`VbgpRouter::publish_obs`]).
+    obs: Obs,
+    /// Per-router ICMP error-generation limiter (RFC 1812 §4.3.2.8).
+    icmp_bucket: TokenBucket,
     // The two maps on the per-packet path use the fast hasher; the rest are
     // control-plane-rate only.
     port_macs: FastHashMap<PortId, MacAddr>,
@@ -220,6 +248,8 @@ impl VbgpRouter {
             control,
             data,
             stats: RouterStats::default(),
+            obs: Obs::new(),
+            icmp_bucket: TokenBucket::new(ICMP_ERRORS_PER_SEC, ICMP_ERROR_BURST),
             port_macs: FastHashMap::default(),
             iface_ips: HashMap::new(),
             neighbor_peers: HashMap::new(),
@@ -242,6 +272,48 @@ impl VbgpRouter {
     /// The PoP this router serves.
     pub fn pop(&self) -> PopId {
         self.pop
+    }
+
+    /// Attach a shared observability handle (typically scoped per PoP by
+    /// the platform) and cascade it into the mux and the routing engine.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.mux.set_obs(obs.clone());
+        self.host.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Mirror this router's plain-integer counters (and those of its mux,
+    /// enforcement engines and routing engine) into the metrics registry.
+    /// Called at snapshot points, never on the forwarding hot path.
+    pub fn publish_obs(&self) {
+        let o = &self.obs;
+        let s = &self.stats;
+        o.counter("router.data_blocked").set(s.data_blocked);
+        o.counter("router.ttl_expired").set(s.ttl_expired);
+        o.counter("router.no_route").set(s.no_route);
+        o.counter("router.updates_blocked").set(s.updates_blocked);
+        o.counter("router.updates_passed").set(s.updates_passed);
+        o.counter("router.icmp_sent").set(s.icmp_sent);
+        o.counter("router.icmp_suppressed_error")
+            .set(s.icmp_suppressed_error);
+        o.counter("router.icmp_rate_limited")
+            .set(s.icmp_rate_limited);
+        let cs = &self.control.stats;
+        o.counter("control.evaluated").set(cs.evaluated);
+        o.counter("control.accepted").set(cs.accepted);
+        for (r, n) in &cs.rejected {
+            o.counter(&format!("control.rejected{{reason={}}}", r.code()))
+                .set(*n);
+        }
+        let ds = &self.data.stats;
+        o.counter("data.evaluated").set(ds.evaluated);
+        o.counter("data.allowed").set(ds.allowed);
+        for (label, n) in &ds.blocked {
+            o.counter(&format!("data.blocked{{policy={label}}}"))
+                .set(*n);
+        }
+        self.mux.publish_obs();
+        self.host.publish_obs();
     }
 
     /// The platform ASN.
@@ -483,6 +555,12 @@ impl VbgpRouter {
                     };
                     let (compliant, rejections) =
                         self.control.check_update(exp, &update, ctx.now());
+                    for (_, r) in &rejections {
+                        self.obs.record(ObsEvent::EnforcementReject {
+                            experiment: exp.0,
+                            reason: r.code(),
+                        });
+                    }
                     if compliant.announce.is_empty()
                         && compliant.withdrawn.is_empty()
                         && !update.is_end_of_rib()
@@ -781,14 +859,36 @@ impl VbgpRouter {
     /// controller repairs address ordering — §5). Deliverable only when the
     /// probe source is an experiment prefix the platform knows.
     fn send_time_exceeded(&mut self, ctx: &mut Ctx<'_>, expired: &IpPacket, ingress: PortId) {
+        // RFC 1122 §3.2.2: never answer an ICMP error with another ICMP
+        // error — otherwise two misconfigured hops can ping-pong
+        // TTL-exceeded-for-TTL-exceeded forever. Informational ICMP (echo
+        // probes) still elicits one, which traceroute-over-ICMP needs.
+        if expired.header.proto == IpProto::Icmp && icmp_is_error(&expired.payload) {
+            self.stats.icmp_suppressed_error += 1;
+            self.obs.record(ObsEvent::IcmpSuppressed {
+                reason: "error-for-error",
+            });
+            return;
+        }
         let Some((&our_addr, _)) = self.iface_ips.iter().find(|(_, (p, _))| *p == ingress) else {
             return;
         };
+        // RFC 1812 §4.3.2.8: bound the error-generation rate per router so
+        // a line-rate TTL-expiring flood cannot be amplified into a
+        // line-rate ICMP flood toward the (possibly spoofed) source.
+        if !self.icmp_bucket.admit(1, ctx.now()) {
+            self.stats.icmp_rate_limited += 1;
+            self.obs.record(ObsEvent::IcmpSuppressed {
+                reason: "rate-limit",
+            });
+            return;
+        }
         let te = IcmpPacket::time_exceeded_for(expired);
         let reply = IpPacket::new(our_addr, expired.header.src, IpProto::Icmp, te.encode());
         match self.mux.deliver_to_experiment(reply.header.dst, None) {
             Some((Egress::Frame { port: out, dst_mac }, _, _)) => {
                 let src = self.port_mac(out);
+                self.stats.icmp_sent += 1;
                 ctx.send_frame(
                     out,
                     EtherFrame::new(dst_mac, src, EtherType::Ipv4, reply.encode()),
@@ -852,8 +952,12 @@ impl VbgpRouter {
             let mut vi = 0;
             for p in pkts.iter_mut() {
                 if p.is_some() {
-                    if !verdicts[vi].is_allow() {
+                    if let DataVerdict::Block(reason) = verdicts[vi] {
                         self.stats.data_blocked += 1;
+                        self.obs.record(ObsEvent::DataBlocked {
+                            experiment: exp.0,
+                            reason,
+                        });
                         *p = None;
                     }
                     vi += 1;

@@ -22,6 +22,7 @@ use peering_bgp::rib::{PeerId, Route};
 use peering_bgp::speaker::{PeerConfig, Speaker, SpeakerEvent, SpeakerOutput};
 use peering_bgp::types::{PathId, Prefix};
 use peering_netsim::{Ctx, EtherFrame, EtherType, MacAddr, PortId, SimDuration};
+use peering_obs::{EventKind as ObsEvent, Obs};
 
 /// EtherType used for the simulated BGP transport.
 pub const ETHERTYPE_BGP: EtherType = EtherType::Other(0x0B69);
@@ -80,6 +81,20 @@ pub struct BgpHost {
     /// resynchronizes through the FSM instead.
     tx_seq: HashMap<PeerId, u32>,
     rx_seq: HashMap<PeerId, u32>,
+    /// Counters.
+    pub stats: TransportStats,
+    obs: Obs,
+}
+
+/// Transport counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportStats {
+    /// Connections reset after a sequence gap (a frame lost or reordered
+    /// under the byte stream).
+    pub gap_resets: u64,
+    /// Connections reset after an undecodable BGP message on an
+    /// interposed session.
+    pub decode_resets: u64,
 }
 
 fn timer_kind_index(kind: TimerKind) -> u8 {
@@ -118,7 +133,27 @@ impl BgpHost {
             transport_up: HashSet::new(),
             tx_seq: HashMap::new(),
             rx_seq: HashMap::new(),
+            stats: TransportStats::default(),
+            obs: Obs::new(),
         }
+    }
+
+    /// Attach a shared observability handle and cascade it to the speaker.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.speaker.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Mirror transport counters into the registry and cascade to the
+    /// speaker's own mirror.
+    pub fn publish_obs(&self) {
+        self.obs
+            .counter("transport.gap_resets")
+            .set(self.stats.gap_resets);
+        self.obs
+            .counter("transport.decode_resets")
+            .set(self.stats.decode_resets);
+        self.speaker.publish_obs();
     }
 
     /// Register a session: speaker peer config plus its transport endpoint.
@@ -272,6 +307,11 @@ impl BgpHost {
                     // transport has no retransmission, so reset — the FSM
                     // reconnects (with backoff) and resynchronizes rather
                     // than silently diverging from its peer.
+                    self.stats.gap_resets += 1;
+                    self.obs.record(ObsEvent::TransportReset {
+                        peer: peer.0,
+                        reason: "sequence-gap",
+                    });
                     self.reset_transport(ctx, peer, &mut events);
                     return Some(events);
                 }
@@ -319,6 +359,11 @@ impl BgpHost {
                 Err(CodecError::Truncated) => break,
                 Err(_) => {
                     buf.clear();
+                    self.stats.decode_resets += 1;
+                    self.obs.record(ObsEvent::TransportReset {
+                        peer: peer.0,
+                        reason: "decode-error",
+                    });
                     let out = self.speaker.on_transport_down(peer);
                     self.handle_output(ctx, out, events);
                     break;

@@ -8,6 +8,8 @@
 use std::any::Any;
 use std::collections::HashMap;
 
+use peering_obs::{Counter, EventKind as ObsEvent, Obs};
+
 use crate::chaos::{ChaosChange, ChaosPlan, ChaosStep};
 use crate::event::{EventKind, EventQueue};
 use crate::frame::EtherFrame;
@@ -154,11 +156,20 @@ pub struct Simulator {
     pub unrouted_frames: u64,
     /// Total events processed.
     pub processed_events: u64,
+    obs: Obs,
+    c_link_drops: Counter,
+    c_corrupted: Counter,
+    c_duplicated: Counter,
+    c_reordered: Counter,
+    c_chaos_steps: Counter,
 }
 
 impl Simulator {
     /// Create a simulator with a deterministic RNG seed.
     pub fn new(seed: u64) -> Self {
+        let obs = Obs::new();
+        let (c_link_drops, c_corrupted, c_duplicated, c_reordered, c_chaos_steps) =
+            Self::register_counters(&obs);
         Simulator {
             time: SimTime::ZERO,
             queue: EventQueue::new(),
@@ -169,7 +180,43 @@ impl Simulator {
             tracer: Tracer::disabled(),
             unrouted_frames: 0,
             processed_events: 0,
+            obs,
+            c_link_drops,
+            c_corrupted,
+            c_duplicated,
+            c_reordered,
+            c_chaos_steps,
         }
+    }
+
+    fn register_counters(obs: &Obs) -> (Counter, Counter, Counter, Counter, Counter) {
+        (
+            obs.counter("netsim.link_drops"),
+            obs.counter("netsim.frames_corrupted"),
+            obs.counter("netsim.frames_duplicated"),
+            obs.counter("netsim.frames_reordered"),
+            obs.counter("netsim.chaos_steps"),
+        )
+    }
+
+    /// Adopt a shared observability handle (the platform installs one
+    /// registry for the whole topology); the simulator's own counters and
+    /// chaos events move to it, and the journal clock tracks `now()`.
+    pub fn set_obs(&mut self, obs: Obs) {
+        let (c_link_drops, c_corrupted, c_duplicated, c_reordered, c_chaos_steps) =
+            Self::register_counters(&obs);
+        obs.set_now_nanos(self.time.as_nanos());
+        self.obs = obs;
+        self.c_link_drops = c_link_drops;
+        self.c_corrupted = c_corrupted;
+        self.c_duplicated = c_duplicated;
+        self.c_reordered = c_reordered;
+        self.c_chaos_steps = c_chaos_steps;
+    }
+
+    /// The simulator's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Current simulated time.
@@ -401,6 +448,9 @@ impl Simulator {
                         corrupt_roll,
                         is_data_plane,
                     );
+                    if matches!(outcome, TxOutcome::Dropped) {
+                        self.c_link_drops.inc();
+                    }
                     if let TxOutcome::Deliver(at) = outcome {
                         let (dst_node, dst_port) = state.ends[1 - end];
                         let mut frame = frame;
@@ -409,6 +459,7 @@ impl Simulator {
                             let idx = self.rng.below(payload.len() as u64) as usize;
                             payload[idx] ^= 1 << self.rng.below(8);
                             frame.payload = payload.into();
+                            self.c_corrupted.inc();
                         }
                         // Reorder/duplicate rolls are only drawn when the
                         // link configures them, so runs without these faults
@@ -425,10 +476,12 @@ impl Simulator {
                             {
                                 let extra = self.rng.below(faults.reorder_window.as_nanos().max(1));
                                 at += SimDuration::from_nanos(extra);
+                                self.c_reordered.inc();
                             }
                             duplicate = dup_roll < faults.duplicate_pct;
                         }
                         if duplicate {
+                            self.c_duplicated.inc();
                             self.queue.push(
                                 at,
                                 EventKind::FrameDelivery {
@@ -460,6 +513,7 @@ impl Simulator {
         };
         debug_assert!(event.at >= self.time, "time went backwards");
         self.time = event.at;
+        self.obs.set_now_nanos(self.time.as_nanos());
         self.processed_events += 1;
         match event.kind {
             EventKind::FrameDelivery { node, port, frame } => {
@@ -529,12 +583,29 @@ impl Simulator {
         let Some(state) = self.links.get_mut(step.link.0 as usize) else {
             return;
         };
-        match step.change {
-            ChaosChange::LinkDown => state.link.up = false,
-            ChaosChange::LinkUp => state.link.up = true,
-            ChaosChange::SetFaults(faults) => state.link.config.faults = faults,
-            ChaosChange::RestoreFaults => state.link.config.faults = state.link.base_faults,
-        }
+        let change = match step.change {
+            ChaosChange::LinkDown => {
+                state.link.up = false;
+                "link-down"
+            }
+            ChaosChange::LinkUp => {
+                state.link.up = true;
+                "link-up"
+            }
+            ChaosChange::SetFaults(faults) => {
+                state.link.config.faults = faults;
+                "set-faults"
+            }
+            ChaosChange::RestoreFaults => {
+                state.link.config.faults = state.link.base_faults;
+                "restore-faults"
+            }
+        };
+        self.c_chaos_steps.inc();
+        self.obs.record(ObsEvent::ChaosInjection {
+            link: step.link.0,
+            change,
+        });
     }
 
     fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
@@ -571,6 +642,7 @@ impl Simulator {
         }
         if self.time < deadline {
             self.time = deadline;
+            self.obs.set_now_nanos(self.time.as_nanos());
         }
     }
 

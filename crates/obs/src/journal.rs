@@ -1,0 +1,167 @@
+//! Bounded structured event journal.
+//!
+//! Events are small, typed, and carry only integers and `'static`
+//! strings, so recording one never allocates; the ring buffer is
+//! preallocated to capacity and evicts the oldest entry when full.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Default ring capacity. Big enough to hold the interesting tail of a
+/// chaos run (every session transition, rejection and injection), small
+/// enough that an unbounded event source cannot grow memory.
+pub const JOURNAL_CAPACITY: usize = 4096;
+
+/// Sentinel `neighbor` label for FIB/flow-cache events on a table that has
+/// no owning neighbor (the experiment delivery table).
+pub const DELIVERY_TABLE: u32 = u32::MAX;
+
+fn nbr_label(neighbor: u32, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if neighbor == DELIVERY_TABLE {
+        write!(f, "delivery")
+    } else {
+        write!(f, "{neighbor}")
+    }
+}
+
+/// What happened. Reason strings are `'static` reason codes, label
+/// integers are the same compact slot indexes the metrics use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A BGP session FSM moved between states.
+    SessionTransition {
+        peer: u32,
+        from: &'static str,
+        to: &'static str,
+    },
+    /// A session dropped back to Idle with exponential backoff applied.
+    SessionBackoff { peer: u32, level: u32 },
+    /// The control-plane enforcer rejected part of an experiment UPDATE.
+    EnforcementReject {
+        experiment: u32,
+        reason: &'static str,
+    },
+    /// The data-plane enforcer blocked an experiment packet class.
+    DataBlocked {
+        experiment: u32,
+        reason: &'static str,
+    },
+    /// A re-established session replayed its Adj-RIB-Out.
+    ResyncReplay { peer: u32, routes: u64 },
+    /// A neighbor table's flow cache was invalidated by a generation bump.
+    FlowCacheInvalidation { neighbor: u32, generation: u64 },
+    /// A compiled FIB caught up with its table, by patch or rebuild.
+    FibSync {
+        neighbor: u32,
+        rebuild: bool,
+        changed: u64,
+    },
+    /// The sequenced BGP transport reset after a gap or remote close.
+    TransportReset { peer: u32, reason: &'static str },
+    /// A chaos step fired on a link.
+    ChaosInjection { link: u32, change: &'static str },
+    /// The router declined to generate an ICMP error.
+    IcmpSuppressed { reason: &'static str },
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::SessionTransition { peer, from, to } => {
+                write!(f, "session peer={peer} {from}->{to}")
+            }
+            EventKind::SessionBackoff { peer, level } => {
+                write!(f, "backoff peer={peer} level={level}")
+            }
+            EventKind::EnforcementReject { experiment, reason } => {
+                write!(f, "reject exp={experiment} reason={reason}")
+            }
+            EventKind::DataBlocked { experiment, reason } => {
+                write!(f, "data-block exp={experiment} reason={reason}")
+            }
+            EventKind::ResyncReplay { peer, routes } => {
+                write!(f, "resync peer={peer} routes={routes}")
+            }
+            EventKind::FlowCacheInvalidation {
+                neighbor,
+                generation,
+            } => {
+                write!(f, "flow-cache-invalidate nbr=")?;
+                nbr_label(*neighbor, f)?;
+                write!(f, " gen={generation}")
+            }
+            EventKind::FibSync {
+                neighbor,
+                rebuild,
+                changed,
+            } => {
+                write!(f, "fib-sync nbr=")?;
+                nbr_label(*neighbor, f)?;
+                write!(
+                    f,
+                    " mode={} changed={changed}",
+                    if *rebuild { "rebuild" } else { "patch" }
+                )
+            }
+            EventKind::TransportReset { peer, reason } => {
+                write!(f, "transport-reset peer={peer} reason={reason}")
+            }
+            EventKind::ChaosInjection { link, change } => {
+                write!(f, "chaos link={link} change={change}")
+            }
+            EventKind::IcmpSuppressed { reason } => write!(f, "icmp-suppressed reason={reason}"),
+        }
+    }
+}
+
+/// One journal entry: a deterministic timestamp plus the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time in nanoseconds (zero for standalone components).
+    pub t_nanos: u64,
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.t_nanos / 1_000_000_000;
+        let millis = (self.t_nanos / 1_000_000) % 1_000;
+        write!(f, "[{secs:>5}.{millis:03}s] {}", self.kind)
+    }
+}
+
+pub(crate) struct Journal {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Journal {
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, event: Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.iter().copied().collect()
+    }
+}

@@ -1,0 +1,274 @@
+//! Platform-wide observability: a metrics registry and a structured
+//! event journal, both deterministic and allocation-free on hot paths.
+//!
+//! The registry interns metric names to dense [`MetricId`]s and hands out
+//! cheap clone-able handles ([`Counter`], [`Gauge`], [`Histogram`]) backed
+//! by shared cells, so instrumented code increments a plain integer —
+//! no lock, no lookup, no allocation per event. Label dimensions
+//! (per-neighbor, per-experiment, per-pop) are encoded into the metric
+//! name at registration time from the same compact slot indexes the data
+//! plane already uses, so a hot loop never formats a string.
+//!
+//! The journal is a bounded ring buffer of typed [`Event`]s stamped from
+//! a clock cell the simulator advances; runs are seeded and
+//! single-threaded, so identical seeds produce byte-identical journals
+//! and [`Registry snapshots`](Obs::snapshot) — which is what lets tests
+//! assert on them and lets the convergence oracle attach "what led up to
+//! this" to an invariant violation.
+
+mod journal;
+mod registry;
+mod snapshot;
+
+pub use journal::{Event, EventKind, DELIVERY_TABLE, JOURNAL_CAPACITY};
+pub use registry::{Counter, Gauge, Histogram, MetricId};
+pub use snapshot::{Snapshot, SnapshotValue};
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use journal::Journal;
+use registry::Registry;
+
+/// Shared observability handle: one underlying registry + journal +
+/// deterministic clock, cheaply cloned into every instrumented component.
+///
+/// Cloning shares the same storage; [`Obs::scoped`] returns a handle that
+/// prefixes every metric it registers (e.g. `pop0/`), which is how one
+/// platform-wide registry hosts many routers without name collisions.
+#[derive(Clone)]
+pub struct Obs {
+    prefix: String,
+    clock_nanos: Rc<Cell<u64>>,
+    registry: Rc<RefCell<Registry>>,
+    journal: Rc<RefCell<Journal>>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+impl Obs {
+    /// A fresh registry + journal with the clock at zero.
+    pub fn new() -> Self {
+        Obs {
+            prefix: String::new(),
+            clock_nanos: Rc::new(Cell::new(0)),
+            registry: Rc::new(RefCell::new(Registry::new())),
+            journal: Rc::new(RefCell::new(Journal::new(JOURNAL_CAPACITY))),
+        }
+    }
+
+    /// A handle onto the same storage that registers every metric under
+    /// `scope` + `/`. Scopes nest: `obs.scoped("pop0").scoped("mux")`
+    /// registers under `pop0/mux/`.
+    pub fn scoped(&self, scope: &str) -> Obs {
+        let mut child = self.clone();
+        child.prefix = format!("{}{scope}/", self.prefix);
+        child
+    }
+
+    /// True if `other` shares this handle's underlying storage.
+    pub fn same_store(&self, other: &Obs) -> bool {
+        Rc::ptr_eq(&self.registry, &other.registry)
+    }
+
+    // --- deterministic clock ---------------------------------------------
+
+    /// Advance the journal clock (the simulator calls this as simulated
+    /// time moves; standalone components leave it at zero).
+    pub fn set_now_nanos(&self, nanos: u64) {
+        self.clock_nanos.set(nanos);
+    }
+
+    /// Current journal clock.
+    pub fn now_nanos(&self) -> u64 {
+        self.clock_nanos.get()
+    }
+
+    // --- metric registration ---------------------------------------------
+
+    fn full_name(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}{name}", self.prefix)
+        }
+    }
+
+    /// Intern a metric name (scoped by this handle's prefix) to its id.
+    pub fn metric_id(&self, name: &str) -> MetricId {
+        self.registry.borrow_mut().intern(&self.full_name(name))
+    }
+
+    /// A monotonic counter handle. Idempotent: the same name always
+    /// resolves to the same underlying cell.
+    ///
+    /// # Panics
+    /// Panics if `name` was already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let id = self.metric_id(name);
+        self.registry.borrow_mut().counter(id)
+    }
+
+    /// A counter carrying one label dimension encoded as a compact index,
+    /// e.g. `counter_dim("mux.egress_pkts", "nbr", 3)` registers
+    /// `mux.egress_pkts{nbr=3}`. The formatting happens once, here.
+    pub fn counter_dim(&self, name: &str, dim: &str, idx: u32) -> Counter {
+        self.counter(&format!("{name}{{{dim}={idx}}}"))
+    }
+
+    /// A gauge handle (a settable signed level).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let id = self.metric_id(name);
+        self.registry.borrow_mut().gauge(id)
+    }
+
+    /// A gauge carrying one label dimension (see [`Obs::counter_dim`]).
+    pub fn gauge_dim(&self, name: &str, dim: &str, idx: u32) -> Gauge {
+        self.gauge(&format!("{name}{{{dim}={idx}}}"))
+    }
+
+    /// A fixed-bucket histogram handle. `bounds` are inclusive upper
+    /// bucket bounds; one overflow bucket is added past the last bound.
+    /// Re-registering must use identical bounds.
+    pub fn histogram(&self, name: &str, bounds: &'static [u64]) -> Histogram {
+        let id = self.metric_id(name);
+        self.registry.borrow_mut().histogram(id, bounds)
+    }
+
+    // --- journal ----------------------------------------------------------
+
+    /// Append a typed event, stamped with the current clock.
+    pub fn record(&self, kind: EventKind) {
+        self.journal.borrow_mut().push(Event {
+            t_nanos: self.clock_nanos.get(),
+            kind,
+        });
+    }
+
+    /// Copy of the journal contents, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.journal.borrow().events()
+    }
+
+    /// Number of events currently retained.
+    pub fn journal_len(&self) -> usize {
+        self.journal.borrow().len()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn journal_dropped(&self) -> u64 {
+        self.journal.borrow().dropped()
+    }
+
+    /// Render the most recent `last` events, one per line — the
+    /// attachment the oracle ships with an invariant violation.
+    pub fn journal_tail(&self, last: usize) -> String {
+        let events = self.events();
+        let skip = events.len().saturating_sub(last);
+        let mut out = String::new();
+        for ev in &events[skip..] {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    // --- snapshot ---------------------------------------------------------
+
+    /// A stable, name-sorted snapshot of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.borrow().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_storage() {
+        let obs = Obs::new();
+        let a = obs.counter("x.count");
+        let b = obs.counter("x.count");
+        a.add(3);
+        b.inc();
+        assert_eq!(obs.snapshot().counter("x.count"), Some(4));
+    }
+
+    #[test]
+    fn scoped_handles_prefix_names() {
+        let obs = Obs::new();
+        let pop = obs.scoped("pop0");
+        pop.counter("router.drops").add(2);
+        assert_eq!(obs.snapshot().counter("pop0/router.drops"), Some(2));
+        assert!(obs.same_store(&pop));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable_across_registration_order() {
+        let a = Obs::new();
+        a.counter("b").inc();
+        a.gauge("a").set(7);
+        let b = Obs::new();
+        b.gauge("a").set(7);
+        b.counter("b").inc();
+        assert_eq!(a.snapshot().to_text(), b.snapshot().to_text());
+        let snap = a.snapshot();
+        let names: Vec<&str> = snap.names().collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a different kind")]
+    fn kind_mismatch_panics() {
+        let obs = Obs::new();
+        obs.counter("x");
+        obs.gauge("x");
+    }
+
+    #[test]
+    fn journal_stamps_from_clock_and_bounds_size() {
+        let obs = Obs::new();
+        obs.set_now_nanos(5_000_000_000);
+        obs.record(EventKind::ChaosInjection {
+            link: 3,
+            change: "link-down",
+        });
+        let events = obs.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t_nanos, 5_000_000_000);
+        for _ in 0..(JOURNAL_CAPACITY + 10) {
+            obs.record(EventKind::IcmpSuppressed { reason: "test" });
+        }
+        assert_eq!(obs.journal_len(), JOURNAL_CAPACITY);
+        assert_eq!(obs.journal_dropped(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_observe() {
+        let obs = Obs::new();
+        let h = obs.histogram("sizes", &[1, 8, 64]);
+        for v in [0, 1, 5, 9, 100] {
+            h.observe(v);
+        }
+        let snap = obs.snapshot();
+        let Some(SnapshotValue::Histogram {
+            buckets,
+            count,
+            sum,
+            ..
+        }) = snap.get("sizes")
+        else {
+            panic!("missing histogram");
+        };
+        assert_eq!(buckets, &[2, 1, 1, 1]);
+        assert_eq!(*count, 5);
+        assert_eq!(*sum, 115);
+    }
+}

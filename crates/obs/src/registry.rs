@@ -1,0 +1,251 @@
+//! Metric storage: interned names, dense ids, shared-cell handles.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::snapshot::{Snapshot, SnapshotValue};
+
+/// Dense id for an interned metric name. Stable for the life of the
+/// registry; the id is the index into the registry's slot vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricId(pub u32);
+
+/// A monotonic counter. Cloning shares the cell; incrementing is a plain
+/// integer add — no lock, no lookup, no allocation.
+#[derive(Clone)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Overwrite the value — for mirroring an existing plain-u64 stats
+    /// field into the registry at publish time.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A settable signed level.
+#[derive(Clone)]
+pub struct Gauge(Rc<Cell<i64>>);
+
+impl Gauge {
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.set(v);
+    }
+
+    /// Adjust the level by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.set(self.0.get().wrapping_add(delta));
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.get()
+    }
+}
+
+pub(crate) struct HistState {
+    pub bounds: &'static [u64],
+    /// One count per bound, plus the overflow bucket.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+/// A fixed-bucket histogram (latencies, batch sizes). Observation is a
+/// linear scan over a handful of bounds — no allocation.
+#[derive(Clone)]
+pub struct Histogram(Rc<RefCell<HistState>>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let mut h = self.0.borrow_mut();
+        let idx = h
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(h.bounds.len());
+        h.buckets[idx] += 1;
+        h.count += 1;
+        h.sum = h.sum.wrapping_add(v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count
+    }
+}
+
+enum MetricStore {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl MetricStore {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricStore::Counter(_) => "counter",
+            MetricStore::Gauge(_) => "gauge",
+            MetricStore::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Slot {
+    name: String,
+    store: Option<MetricStore>,
+}
+
+/// Name-interning metric table. Not public: callers go through
+/// [`crate::Obs`], which adds scope prefixes and the shared clock.
+pub(crate) struct Registry {
+    ids: HashMap<String, MetricId>,
+    slots: Vec<Slot>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            ids: HashMap::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Intern `name`, creating an empty slot on first sight.
+    pub fn intern(&mut self, name: &str) -> MetricId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = MetricId(self.slots.len() as u32);
+        self.slots.push(Slot {
+            name: name.to_string(),
+            store: None,
+        });
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn slot(&mut self, id: MetricId) -> &mut Slot {
+        &mut self.slots[id.0 as usize]
+    }
+
+    pub fn counter(&mut self, id: MetricId) -> Counter {
+        let slot = self.slot(id);
+        match &slot.store {
+            None => {
+                let c = Counter(Rc::new(Cell::new(0)));
+                slot.store = Some(MetricStore::Counter(c.clone()));
+                c
+            }
+            Some(MetricStore::Counter(c)) => c.clone(),
+            Some(other) => panic!(
+                "metric `{}` already registered as a different kind ({})",
+                slot.name,
+                other.kind()
+            ),
+        }
+    }
+
+    pub fn gauge(&mut self, id: MetricId) -> Gauge {
+        let slot = self.slot(id);
+        match &slot.store {
+            None => {
+                let g = Gauge(Rc::new(Cell::new(0)));
+                slot.store = Some(MetricStore::Gauge(g.clone()));
+                g
+            }
+            Some(MetricStore::Gauge(g)) => g.clone(),
+            Some(other) => panic!(
+                "metric `{}` already registered as a different kind ({})",
+                slot.name,
+                other.kind()
+            ),
+        }
+    }
+
+    pub fn histogram(&mut self, id: MetricId, bounds: &'static [u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let slot = self.slot(id);
+        match &slot.store {
+            None => {
+                let h = Histogram(Rc::new(RefCell::new(HistState {
+                    bounds,
+                    buckets: vec![0; bounds.len() + 1],
+                    count: 0,
+                    sum: 0,
+                })));
+                slot.store = Some(MetricStore::Histogram(h.clone()));
+                h
+            }
+            Some(MetricStore::Histogram(h)) => {
+                assert_eq!(
+                    h.0.borrow().bounds,
+                    bounds,
+                    "metric `{}` re-registered with different bounds",
+                    slot.name
+                );
+                h.clone()
+            }
+            Some(other) => panic!(
+                "metric `{}` already registered as a different kind ({})",
+                slot.name,
+                other.kind()
+            ),
+        }
+    }
+
+    /// Name-sorted snapshot of every populated slot.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries: Vec<(String, SnapshotValue)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                let value = match slot.store.as_ref()? {
+                    MetricStore::Counter(c) => SnapshotValue::Counter(c.get()),
+                    MetricStore::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    MetricStore::Histogram(h) => {
+                        let h = h.0.borrow();
+                        SnapshotValue::Histogram {
+                            bounds: h.bounds,
+                            buckets: h.buckets.clone(),
+                            count: h.count,
+                            sum: h.sum,
+                        }
+                    }
+                };
+                Some((slot.name.clone(), value))
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot::from_entries(entries)
+    }
+}

@@ -1,0 +1,254 @@
+//! Stable snapshot rendering: name-sorted, text and JSON.
+//!
+//! Two snapshots of the same metric state render byte-identically no
+//! matter the registration order, so tests can assert on the rendering
+//! and the oracle can diff a post-chaos snapshot against a baseline.
+
+use std::fmt::Write as _;
+
+/// One metric's captured value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram {
+        bounds: &'static [u64],
+        /// One count per bound, plus the overflow bucket.
+        buckets: Vec<u64>,
+        count: u64,
+        sum: u64,
+    },
+}
+
+/// A point-in-time, name-sorted capture of a registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    entries: Vec<(String, SnapshotValue)>,
+}
+
+impl Snapshot {
+    pub(crate) fn from_entries(entries: Vec<(String, SnapshotValue)>) -> Self {
+        Snapshot { entries }
+    }
+
+    /// Metric names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of captured metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value by name, if registered as a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            SnapshotValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge level by name, if registered as a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            SnapshotValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Sum of every counter whose name starts with `prefix` — handy for
+    /// totalling a labelled family like `bgp.updates_in{peer=..}`.
+    pub fn counter_family(&self, prefix: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .filter_map(|(_, v)| match v {
+                SnapshotValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// One line per metric: `name value` (histograms expand to their
+    /// buckets plus `_count`/`_sum`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                SnapshotValue::Counter(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                SnapshotValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                SnapshotValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    for (i, b) in buckets.iter().enumerate() {
+                        match bounds.get(i) {
+                            Some(bound) => {
+                                let _ = writeln!(out, "{name}{{le={bound}}} {b}");
+                            }
+                            None => {
+                                let _ = writeln!(out, "{name}{{le=+inf}} {b}");
+                            }
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_count {count}");
+                    let _ = writeln!(out, "{name}_sum {sum}");
+                }
+            }
+        }
+        out
+    }
+
+    /// A flat JSON object, keys in sorted order (the platform's JSON is
+    /// integer-only, which is all a registry holds).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            match value {
+                SnapshotValue::Counter(v) => {
+                    let _ = writeln!(out, "  {}: {v}{comma}", json_string(name));
+                }
+                SnapshotValue::Gauge(v) => {
+                    let _ = writeln!(out, "  {}: {v}{comma}", json_string(name));
+                }
+                SnapshotValue::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                    ..
+                } => {
+                    let list = buckets
+                        .iter()
+                        .map(|b| b.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let _ = writeln!(
+                        out,
+                        "  {}: {{\"buckets\": [{list}], \"count\": {count}, \"sum\": {sum}}}{comma}",
+                        json_string(name)
+                    );
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable differences `earlier -> self`, sorted by name.
+    /// Unchanged metrics are omitted; metrics only present on one side
+    /// show as `(absent)`.
+    pub fn diff(&self, earlier: &Snapshot) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut a = earlier.entries.iter().peekable();
+        let mut b = self.entries.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (None, None) => break,
+                (Some((n, v)), None) => {
+                    out.push(format!("{n}: {} -> (absent)", render_short(v)));
+                    a.next();
+                }
+                (None, Some((n, v))) => {
+                    out.push(format!("{n}: (absent) -> {}", render_short(v)));
+                    b.next();
+                }
+                (Some((an, av)), Some((bn, bv))) => match an.cmp(bn) {
+                    std::cmp::Ordering::Less => {
+                        out.push(format!("{an}: {} -> (absent)", render_short(av)));
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push(format!("{bn}: (absent) -> {}", render_short(bv)));
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        if av != bv {
+                            out.push(format!(
+                                "{an}: {} -> {}",
+                                render_short(av),
+                                render_short(bv)
+                            ));
+                        }
+                        a.next();
+                        b.next();
+                    }
+                },
+            }
+        }
+        out
+    }
+}
+
+fn render_short(v: &SnapshotValue) -> String {
+    match v {
+        SnapshotValue::Counter(c) => c.to_string(),
+        SnapshotValue::Gauge(g) => g.to_string(),
+        SnapshotValue::Histogram { count, sum, .. } => format!("hist(count={count}, sum={sum})"),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_reports_changes_only() {
+        let a = Snapshot::from_entries(vec![
+            ("gone".into(), SnapshotValue::Counter(1)),
+            ("same".into(), SnapshotValue::Counter(5)),
+            ("up".into(), SnapshotValue::Counter(2)),
+        ]);
+        let b = Snapshot::from_entries(vec![
+            ("new".into(), SnapshotValue::Gauge(-3)),
+            ("same".into(), SnapshotValue::Counter(5)),
+            ("up".into(), SnapshotValue::Counter(9)),
+        ]);
+        let d = b.diff(&a);
+        assert_eq!(
+            d,
+            vec![
+                "gone: 1 -> (absent)".to_string(),
+                "new: (absent) -> -3".to_string(),
+                "up: 2 -> 9".to_string(),
+            ]
+        );
+    }
+}

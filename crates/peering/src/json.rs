@@ -323,15 +323,30 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => out.push('\u{0008}'),
                     Some(b'f') => out.push('\u{000c}'),
                     Some(b'u') => {
-                        if *pos + 4 >= bytes.len() {
-                            return Err(err("truncated \\u escape", *pos));
-                        }
-                        let hex = std::str::from_utf8(&bytes[*pos + 1..*pos + 5])
-                            .map_err(|_| err("bad \\u escape", *pos))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| err("bad \\u escape", *pos))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        match code {
+                            // High surrogate: must be followed by a low
+                            // surrogate escape; combine into one scalar.
+                            0xd800..=0xdbff => {
+                                if bytes.get(*pos + 1) != Some(&b'\\')
+                                    || bytes.get(*pos + 2) != Some(&b'u')
+                                {
+                                    return Err(err("lone high surrogate", *pos));
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xdc00..=0xdfff).contains(&low) {
+                                    return Err(err("lone high surrogate", *pos));
+                                }
+                                let scalar = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                out.push(char::from_u32(scalar).expect("valid scalar"));
+                                *pos += 6;
+                            }
+                            0xdc00..=0xdfff => {
+                                return Err(err("lone low surrogate", *pos));
+                            }
+                            _ => out.push(char::from_u32(code).expect("non-surrogate BMP")),
+                        }
                     }
                     _ => return Err(err("bad escape", *pos)),
                 }
@@ -348,6 +363,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             }
         }
     }
+}
+
+/// Read four hex digits starting at `at` as a code unit.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, JsonError> {
+    if at + 4 > bytes.len() {
+        return Err(err("truncated \\u escape", at));
+    }
+    let hex = std::str::from_utf8(&bytes[at..at + 4]).map_err(|_| err("bad \\u escape", at))?;
+    u32::from_str_radix(hex, 16).map_err(|_| err("bad \\u escape", at))
 }
 
 fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
@@ -451,6 +475,40 @@ mod tests {
     fn unicode_escapes_parse() {
         let v = Json::parse(r#""Aé""#).unwrap();
         assert_eq!(v.as_str().unwrap(), "Aé");
+        let v = Json::parse("\"A\\u00e9\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "A\u{e9}");
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        // U+1F600 GRINNING FACE.
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{1f600}");
+        // U+10000, the lowest astral scalar.
+        let v = Json::parse("\"\\ud800\\udc00\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{10000}");
+        // U+10FFFF, the highest.
+        let v = Json::parse("\"\\udbff\\udfff\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{10ffff}");
+        // Pair embedded in surrounding text.
+        let v = Json::parse("\"a\\ud83d\\ude00b\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\u{1f600}b");
+    }
+
+    #[test]
+    fn lone_surrogates_are_errors() {
+        // High surrogate at end of string.
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        // High surrogate followed by a non-escape char.
+        assert!(Json::parse(r#""\ud83dx""#).is_err());
+        // High surrogate followed by a non-surrogate escape.
+        assert!(Json::parse(r#""\ud83d\u0041""#).is_err());
+        // Two high surrogates in a row.
+        assert!(Json::parse(r#""\ud83d\ud83d""#).is_err());
+        // Unpaired low surrogate.
+        assert!(Json::parse(r#""\ude00""#).is_err());
+        // Truncated escapes still error.
+        assert!(Json::parse(r#""\ud83d\ud""#).is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::sync::Mutex;
 use peering_bgp::rib::{PeerId, Route};
 use peering_bgp::types::{Asn, Prefix, RouterId};
 use peering_netsim::{LearningSwitch, LinkConfig, MacAddr, NodeId, PortId, SimDuration, Simulator};
+use peering_obs::{Obs, Snapshot};
 use peering_toolkit::client::{default_tunnel_link, PopAttachment, Toolkit};
 use peering_toolkit::node::ExperimentNode;
 use peering_vbgp::enforcement::control::{ControlEnforcer, ExperimentPolicy, RateLedger};
@@ -98,6 +99,10 @@ pub struct Peering {
     neighbor_nodes: BTreeMap<NeighborId, NodeId>,
     /// Route-server member nodes per RS neighbor id.
     rs_member_nodes: BTreeMap<NeighborId, Vec<NodeId>>,
+    /// Platform-wide observability store: one registry + journal shared by
+    /// the simulator clock, every vBGP router (scoped per PoP) and their
+    /// muxes, enforcement engines and routing engines.
+    obs: Obs,
 }
 
 fn router_port_mac(pop: u32, port: u16) -> MacAddr {
@@ -125,6 +130,8 @@ impl Peering {
     /// starts every session and runs the simulator until BGP converges.
     pub fn build(intent: PlatformIntent, seed: u64) -> Self {
         let mut sim = Simulator::new(seed);
+        let obs = Obs::new();
+        sim.set_obs(obs.clone());
         let platform_asn = Asn(intent.platform_asn);
         let cc = ControlCommunities::new(intent.platform_asn as u16);
         let ledger = Arc::new(Mutex::new(RateLedger::default()));
@@ -153,6 +160,7 @@ impl Peering {
                 data,
             );
             router.set_port_mac(PortId(0), router_port_mac(pop_index as u32, 0));
+            router.set_obs(obs.scoped(&pop_intent.name));
             let router_fabric_addr = Ipv4Addr::new(10, fabric_subnet, 255, 254);
 
             // One switch per PoP fabric: the router + every neighbor node +
@@ -474,7 +482,30 @@ impl Peering {
             next_exp: 1,
             neighbor_nodes,
             rs_member_nodes,
+            obs,
         }
+    }
+
+    /// The platform-wide observability handle (registry + journal).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mirror every router's (and its layers') counters into the registry.
+    /// Journal events are always live; this refreshes the counter side.
+    pub fn publish_obs(&mut self) {
+        let routers: Vec<NodeId> = self.pops.iter().map(|p| p.router).collect();
+        for r in routers {
+            self.sim
+                .with_node_ctx::<VbgpRouter, _>(r, |router, _| router.publish_obs());
+        }
+    }
+
+    /// Publish and snapshot the full metrics registry (stable,
+    /// name-sorted; identical seeds yield identical snapshots).
+    pub fn obs_snapshot(&mut self) -> Snapshot {
+        self.publish_obs();
+        self.obs.snapshot()
     }
 
     /// The platform ASN.

@@ -8,6 +8,7 @@
 //! single incident can be dropped without the failure disappearing.
 
 use peering_netsim::{ChaosPlan, LinkId, PortId, SimDuration, SimRng};
+use peering_obs::Snapshot;
 use peering_platform::topology::paper_intent;
 use peering_platform::{InternetAs, Peering, Proposal, TopologyParams};
 use peering_toolkit::{AnnounceOptions, ExperimentNode};
@@ -63,6 +64,14 @@ pub struct ChaosOutcome {
     /// the whole run. Tells a test whether the chaos actually bit (an
     /// all-converged sweep where nothing ever dropped proves nothing).
     pub sessions_dropped: usize,
+    /// Metrics registry snapshot after quiescence, with every layer's
+    /// counters freshly published.
+    pub snapshot: Snapshot,
+    /// Registry lines that changed between the pre-chaos steady state and
+    /// quiescence — what the schedule actually exercised.
+    pub metric_deltas: Vec<String>,
+    /// Rendered tail of the structured event journal (newest last).
+    pub journal_tail: String,
 }
 
 impl ChaosOutcome {
@@ -147,15 +156,25 @@ fn run_scheduled(
     plan: ChaosPlan,
     opts: &HarnessOptions,
 ) -> ChaosOutcome {
+    let baseline = p.obs_snapshot();
     p.sim.schedule_chaos(&plan);
     p.run_for(plan.end().max(opts.window) + opts.settle);
+    // Capture the journal before the oracle runs: its data-plane check
+    // force-syncs every FIB, and those syncs would crowd the run's own
+    // story (session flaps, resyncs, chaos injections) out of the tail.
+    let journal_tail = p.obs().journal_tail(256);
     let problems = check_convergence(&mut p);
     let sessions_dropped = count_session_drops(&p);
+    let snapshot = p.obs_snapshot();
+    let metric_deltas = snapshot.diff(&baseline);
     ChaosOutcome {
         seed,
         plan,
         problems,
         sessions_dropped,
+        snapshot,
+        metric_deltas,
+        journal_tail,
     }
 }
 

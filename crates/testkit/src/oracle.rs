@@ -214,5 +214,16 @@ pub fn check_convergence(p: &mut Peering) -> Vec<String> {
     }
 
     problems.sort();
+
+    // Violations ship with their context: the tail of the structured event
+    // journal (session transitions, resync rounds, enforcement rejections,
+    // chaos injections) is appended after the sorted violations so a
+    // failing seed's report already contains the timeline that led there.
+    if !problems.is_empty() {
+        let tail = p.obs().journal_tail(32);
+        for line in tail.lines() {
+            problems.push(format!("journal: {line}"));
+        }
+    }
     problems
 }

@@ -10,6 +10,7 @@
 
 pub use peering_bgp as bgp;
 pub use peering_netsim as netsim;
+pub use peering_obs as obs;
 pub use peering_platform as platform;
 pub use peering_toolkit as toolkit;
 pub use peering_vbgp as vbgp;

@@ -85,6 +85,59 @@ fn resync_replays_adj_rib_out_after_fabric_outage() {
         "healthy resync failed the oracle:\n{:#?}",
         out.problems
     );
+    // The registry snapshot and journal must show what the run did: the
+    // chaos fired, sessions transitioned, and the resync replay ran.
+    let steps = out.snapshot.counter("netsim.chaos_steps").unwrap_or(0);
+    assert!(steps > 0, "chaos ran but netsim.chaos_steps is {steps}");
+    let transitions: u64 = out
+        .snapshot
+        .names()
+        .filter(|n| n.contains("bgp.fsm_transition"))
+        .map(|n| out.snapshot.counter(n).unwrap_or(0))
+        .sum();
+    assert!(transitions > 0, "no FSM transitions in the snapshot");
+    let replays: u64 = out
+        .snapshot
+        .names()
+        .filter(|n| n.contains("bgp.resync_replays"))
+        .map(|n| out.snapshot.counter(n).unwrap_or(0))
+        .sum();
+    assert!(replays > 0, "fabric outage never triggered a resync replay");
+    assert!(
+        out.journal_tail.contains("session"),
+        "journal tail records no session transitions:\n{}",
+        out.journal_tail
+    );
+    assert!(
+        !out.metric_deltas.is_empty(),
+        "chaos left no trace in the metric deltas"
+    );
+}
+
+#[test]
+fn quiescent_run_still_counts_chaos_free_baseline() {
+    // With an empty plan the chaos counters stay zero but the control
+    // plane's own activity (session establishment, UPDATE exchange) is
+    // visible — the observability layer is not chaos-only.
+    let out = run_plan(SEED, &ChaosPlan::new(), &HarnessOptions::default());
+    assert!(out.converged());
+    assert_eq!(out.snapshot.counter("netsim.chaos_steps"), Some(0));
+    let updates: u64 = out
+        .snapshot
+        .names()
+        .filter(|n| n.contains("bgp.updates_in"))
+        .map(|n| out.snapshot.counter(n).unwrap_or(0))
+        .sum();
+    assert!(updates > 0, "no UPDATEs counted on a converged platform");
+    // Snapshot rendering is deterministic — the artifact format the bench
+    // bins commit to docs/results/ reproduces byte-for-byte on re-render.
+    assert_eq!(out.snapshot.to_text(), out.snapshot.to_text());
+    let rerun = run_plan(SEED, &ChaosPlan::new(), &HarnessOptions::default());
+    assert_eq!(
+        out.snapshot.to_text(),
+        rerun.snapshot.to_text(),
+        "identical seeds must yield identical snapshots"
+    );
 }
 
 #[test]

@@ -214,3 +214,77 @@ fn mux_fast_path_matches_slow_path_under_churn() {
         "churn test never exercised the flow cache"
     );
 }
+
+/// The observability layer sees exactly what the data plane did: cache
+/// hits and misses, FIB patches vs rebuilds, and flow-cache invalidations
+/// all land in the registry snapshot, and the sync/invalidation events
+/// land in the journal.
+#[test]
+fn mux_observability_tracks_the_fast_path() {
+    use peering_repro::obs::Obs;
+    const NBR: NeighborId = NeighborId(3);
+    let mut g = Gen(0x0b5);
+    let obs = Obs::new();
+    let mut mux = VbgpMux::new();
+    mux.set_obs(obs.clone());
+    mux.add_local_neighbor(NBR, PortId(1), MacAddr([2, 0, 0, 0, 0, 3]), None);
+    for _ in 0..200 {
+        let p = g.v4_prefix();
+        mux.install_route(NBR, p);
+    }
+    let probes: Vec<Ipv4Addr> = (0..64)
+        .map(|_| match g.v4_addr() {
+            IpAddr::V4(a) => a,
+            IpAddr::V6(_) => unreachable!(),
+        })
+        .collect();
+    // First pass compiles the FIB and misses the cold flow cache; the
+    // second pass over the same stream hits it.
+    for pass in 0..2 {
+        for &ip in &probes {
+            let _ = mux.egress_via_neighbor(NBR, ip);
+        }
+        let _ = pass;
+    }
+    // A post-traffic route change invalidates the flow cache on the next
+    // lookup (generation bump), via the incremental patch path.
+    let extra = g.v4_prefix();
+    mux.install_route(NBR, extra);
+    let _ = mux.egress_via_neighbor(NBR, probes[0]);
+
+    mux.publish_obs();
+    let snap = obs.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    assert!(
+        counter("mux.flow_cache_misses") > 0,
+        "no cache misses counted"
+    );
+    assert!(counter("mux.flow_cache_hits") > 0, "no cache hits counted");
+    assert_eq!(
+        counter("mux.fib_rebuilds") + counter("mux.fib_patch_rounds"),
+        counter("mux.flow_invalidations"),
+        "every FIB sync must invalidate the flow caches exactly once"
+    );
+    assert!(
+        counter("mux.flow_invalidations") >= 2,
+        "initial compile + post-churn patch both sync"
+    );
+    assert_eq!(
+        counter("mux.egress_pkts{nbr=3}"),
+        2 * probes.len() as u64 + 1,
+        "per-neighbor egress packet count"
+    );
+    assert!(snap.gauge("mux.table_routes{nbr=3}").unwrap_or(0) > 0);
+    let tail = obs.journal_tail(16);
+    assert!(
+        tail.contains("fib-sync"),
+        "journal lacks fib-sync events:\n{tail}"
+    );
+    assert!(
+        tail.contains("flow-cache-invalidate"),
+        "journal lacks invalidation events:\n{tail}"
+    );
+    // Snapshots of the same state render identically (the differential
+    // artifact the bench bin writes is reproducible).
+    assert_eq!(snap.to_text(), obs.snapshot().to_text());
+}

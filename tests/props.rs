@@ -573,12 +573,32 @@ mod decision_props {
         let asns: Vec<Asn> = (0..path_len)
             .map(|k| Asn(100 + ((seed as usize + k) % 7) as u32))
             .collect();
+        // Mostly plain sequences, but also empty paths (locally originated)
+        // and AS_SET-headed paths (aggregates) — the shapes that force the
+        // RFC 4271 §9.1.2.2 "skip MED when neighbor AS is ambiguous" rule,
+        // the classic source of decision-process intransitivity.
+        let as_path = match g.below(6) {
+            0 => AsPath {
+                segments: Vec::new(),
+            },
+            1 => {
+                let set: Vec<Asn> = (0..g.range(1, 4))
+                    .map(|_| Asn(100 + g.below(7) as u32))
+                    .collect();
+                let mut segments = vec![AsPathSegment::Set(set)];
+                if !asns.is_empty() {
+                    segments.push(AsPathSegment::Sequence(asns.clone()));
+                }
+                AsPath { segments }
+            }
+            _ => AsPath::from_asns(&asns),
+        };
         Route {
             prefix: "192.168.0.0/24".parse().unwrap(),
             path_id: g.below(3) as u32,
             attrs: PathAttributes {
                 origin: Origin::from_u8(g.below(3) as u8).unwrap(),
-                as_path: AsPath::from_asns(&asns),
+                as_path,
                 next_hop: Some(Ipv4Addr::new(10, 0, 0, 1).into()),
                 med: g.opt(|g| g.below(100) as u32),
                 local_pref: g.opt(|g| g.below(300) as u32),
@@ -609,6 +629,27 @@ mod decision_props {
             // Transitivity over this triple.
             if compare(&a, &b) != Ordering::Greater && compare(&b, &c) != Ordering::Greater {
                 assert_ne!(compare(&a, &c), Ordering::Greater);
+            }
+        });
+    }
+
+    /// Sorting any candidate list yields a pairwise-consistent order: no
+    /// earlier element compares Greater than a later one. With AS_SET and
+    /// empty paths in the mix this would fail if MED were compared across
+    /// ambiguous neighbor ASes.
+    #[test]
+    fn sort_is_pairwise_consistent() {
+        check("sort_is_pairwise_consistent", 256, |g| {
+            let mut routes: Vec<Route> = (0..g.range(2, 9)).map(|_| gen_route(g)).collect();
+            peering_repro::bgp::decision::sort_candidates(&mut routes);
+            for i in 0..routes.len() {
+                for j in i + 1..routes.len() {
+                    assert_ne!(
+                        compare(&routes[i], &routes[j]),
+                        Ordering::Greater,
+                        "sorted[{i}] ranks below sorted[{j}]"
+                    );
+                }
             }
         });
     }
@@ -891,6 +932,97 @@ mod fsm_props {
                     );
                 }
             }
+        });
+    }
+}
+
+mod obs_props {
+    use super::*;
+    use peering_repro::obs::{EventKind, Obs};
+
+    /// `Registry::snapshot()` renders a stable, name-sorted view:
+    /// registration order never changes the output, rendering is
+    /// deterministic, and the text lines really are sorted (tests and the
+    /// convergence oracle diff these snapshots line-by-line).
+    #[test]
+    fn snapshot_ordering_is_stable() {
+        check("snapshot_ordering_is_stable", 64, |g| {
+            let names: Vec<String> = (0..g.range(1, 24))
+                .map(|i| format!("layer{}.metric{i}", g.below(4)))
+                .collect();
+            let values: Vec<u64> = names.iter().map(|_| g.below(1_000_000)).collect();
+            let forward = Obs::new();
+            let reversed = Obs::new();
+            for (n, v) in names.iter().zip(&values) {
+                forward.counter(n).add(*v);
+            }
+            for (n, v) in names.iter().zip(&values).rev() {
+                reversed.counter(n).add(*v);
+            }
+            let text = forward.snapshot().to_text();
+            assert_eq!(text, reversed.snapshot().to_text());
+            assert_eq!(text, forward.snapshot().to_text(), "re-render must agree");
+            assert_eq!(forward.snapshot().to_json(), reversed.snapshot().to_json());
+            let lines: Vec<&str> = text.lines().collect();
+            let mut sorted = lines.clone();
+            sorted.sort_unstable();
+            assert_eq!(lines, sorted, "snapshot text must be name-sorted");
+        });
+    }
+
+    /// Labelled series (`name{dim=idx}`) sort stably alongside their plain
+    /// neighbors, and a snapshot diff against an older snapshot reports
+    /// exactly the series that changed.
+    #[test]
+    fn snapshot_diff_reports_exactly_the_changes() {
+        check("snapshot_diff_reports_exactly_the_changes", 64, |g| {
+            let obs = Obs::new();
+            let n = g.range(2, 10) as u32;
+            for i in 0..n {
+                obs.counter_dim("mux.egress_pkts", "nbr", i)
+                    .add(g.below(50) + 1);
+            }
+            let before = obs.snapshot();
+            let bump: Vec<u32> = (0..n).filter(|_| g.bool()).collect();
+            for &i in &bump {
+                obs.counter_dim("mux.egress_pkts", "nbr", i)
+                    .add(1 + g.below(9));
+            }
+            let diff = obs.snapshot().diff(&before);
+            assert_eq!(diff.len(), bump.len(), "diff lines: {diff:?}");
+            for &i in &bump {
+                let needle = format!("mux.egress_pkts{{nbr={i}}}");
+                assert!(
+                    diff.iter().any(|d| d.contains(&needle)),
+                    "missing {needle} in {diff:?}"
+                );
+            }
+        });
+    }
+
+    /// The journal is a bounded ring: it never grows past its capacity,
+    /// keeps the newest events, and reports exactly how many it shed.
+    #[test]
+    fn journal_is_bounded_and_keeps_newest() {
+        check("journal_is_bounded_and_keeps_newest", 16, |g| {
+            use peering_repro::obs::JOURNAL_CAPACITY;
+            let obs = Obs::new();
+            let total = JOURNAL_CAPACITY as u64 + g.range(1, 500);
+            for i in 0..total {
+                obs.set_now_nanos(i);
+                obs.record(EventKind::SessionBackoff {
+                    peer: i as u32,
+                    level: 1,
+                });
+            }
+            assert_eq!(obs.journal_len(), JOURNAL_CAPACITY);
+            assert_eq!(obs.journal_dropped(), total - JOURNAL_CAPACITY as u64);
+            let events = obs.events();
+            assert_eq!(
+                events.first().unwrap().t_nanos,
+                total - JOURNAL_CAPACITY as u64
+            );
+            assert_eq!(events.last().unwrap().t_nanos, total - 1);
         });
     }
 }
