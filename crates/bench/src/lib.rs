@@ -41,7 +41,7 @@ pub mod timing {
         per
     }
 
-    /// Like [`bench`] but rebuilds state with `setup` before every timed
+    /// Like [`bench()`] but rebuilds state with `setup` before every timed
     /// call (Criterion's `iter_batched`): setup time is excluded.
     pub fn bench_batched<S, R>(
         name: &str,

@@ -20,7 +20,7 @@
 //! Per-neighbor tables and the delivery table are [`PrefixTrie`]s — the
 //! mutable source of truth the control plane edits. Forwarding does not
 //! walk them per packet: each table lazily compiles a
-//! [`FlatFib`](peering_bgp::flatfib::FlatFib) (DIR-24-8 for IPv4, stride-8
+//! [`FlatFib`] (DIR-24-8 for IPv4, stride-8
 //! for IPv6) and fronts it with a small direct-mapped flow cache keyed on
 //! the destination address and the FIB's generation counter. Route
 //! install/remove marks the FIB dirty; the next lookup re-syncs it, which
@@ -90,7 +90,7 @@ pub enum Egress {
 /// Where traffic for an experiment prefix should go.
 ///
 /// The variant order is load-bearing: `Ord` ranks `Local` ahead of
-/// `Remote`, and [`DeliverySet::active`] picks the minimum — a packet is
+/// `Remote`, and `DeliverySet::active` picks the minimum — a packet is
 /// always handed down a local tunnel when one exists rather than relayed
 /// across the backbone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

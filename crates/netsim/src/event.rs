@@ -1,8 +1,13 @@
 //! The discrete-event queue.
 //!
-//! Events are ordered by simulated time, with a monotonically increasing
-//! sequence number breaking ties so that simultaneous events execute in the
-//! order they were scheduled — this is what makes runs deterministic.
+//! Events are ordered by an intrinsic [`EventKey`] — `(time, class,
+//! destination node, source, per-source sequence)` — rather than by a
+//! global insertion counter. Every component of the key is determined by
+//! the simulation itself (when the event fires, which node produced it,
+//! how many events that producer had emitted before), so the total order
+//! is identical no matter how the simulator's work is partitioned across
+//! shards. That property is what lets the sharded-parallel engine replay
+//! runs bit-identically to the single-threaded baseline.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -11,6 +16,38 @@ use crate::chaos::ChaosStep;
 use crate::frame::EtherFrame;
 use crate::sim::{NodeId, PortId};
 use crate::time::SimTime;
+
+/// `src` value for events pushed from outside the event loop (external
+/// drivers, traffic injection). Sorts after node-sourced events that share
+/// a `(time, class, dst)`.
+pub const EXTERNAL_SRC: u32 = u32::MAX;
+
+/// Event class for chaos steps: they sort before node events at the same
+/// instant, so a link flap at time `t` affects every frame sent at `t`.
+pub const CLASS_CHAOS: u8 = 0;
+
+/// Event class for node events (frame deliveries and timers).
+pub const CLASS_NODE: u8 = 1;
+
+/// The total order on simulator events.
+///
+/// Lexicographic over `(at, class, dst, src, seq)`. `seq` is a per-source
+/// counter (each node numbers the events it emits; external pushes share
+/// one counter), so two events never compare equal and the order never
+/// depends on wall-clock scheduling or shard layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// When the event fires.
+    pub at: SimTime,
+    /// [`CLASS_CHAOS`] or [`CLASS_NODE`].
+    pub class: u8,
+    /// Node the event is delivered to (the link index for chaos steps).
+    pub dst: u32,
+    /// Node that emitted the event, or [`EXTERNAL_SRC`].
+    pub src: u32,
+    /// Per-source sequence number.
+    pub seq: u64,
+}
 
 /// What happens when an event fires.
 #[derive(Debug)]
@@ -38,17 +75,15 @@ pub enum EventKind {
 /// A scheduled event.
 #[derive(Debug)]
 pub struct Event {
-    /// When the event fires.
-    pub at: SimTime,
-    /// FIFO tiebreak for identical timestamps.
-    pub seq: u64,
+    /// The event's position in the simulation's total order.
+    pub key: EventKey,
     /// The action.
     pub kind: EventKind,
 }
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 
@@ -63,18 +98,14 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse so the earliest event pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
-/// A time-ordered event queue.
+/// A key-ordered event queue (one per shard in sharded runs).
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Event>,
-    next_seq: u64,
 }
 
 impl EventQueue {
@@ -83,11 +114,9 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Schedule `kind` at time `at`.
-    pub fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+    /// Schedule `kind` at its key's position in the total order.
+    pub fn push(&mut self, key: EventKey, kind: EventKind) {
+        self.heap.push(Event { key, kind });
     }
 
     /// Remove and return the earliest event.
@@ -101,9 +130,21 @@ impl EventQueue {
         self.heap.peek()
     }
 
+    /// The earliest event's key, if any (shards compare heads to find the
+    /// global minimum).
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|e| e.key)
+    }
+
     /// When the next event fires, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.peek().map(|e| e.key.at)
+    }
+
+    /// Remove every event, returning them in no particular order (used
+    /// when re-partitioning nodes across shards).
+    pub fn drain(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.heap).into_vec()
     }
 
     /// Number of pending events.
@@ -128,12 +169,22 @@ mod tests {
         }
     }
 
+    fn key(at: u64, dst: u32, src: u32, seq: u64) -> EventKey {
+        EventKey {
+            at: SimTime::from_nanos(at),
+            class: CLASS_NODE,
+            dst,
+            src,
+            seq,
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(30), timer(0, 3));
-        q.push(SimTime::from_nanos(10), timer(0, 1));
-        q.push(SimTime::from_nanos(20), timer(0, 2));
+        q.push(key(30, 0, 0, 0), timer(0, 3));
+        q.push(key(10, 0, 0, 1), timer(0, 1));
+        q.push(key(20, 0, 0, 2), timer(0, 2));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Timer { token, .. } => token,
@@ -144,28 +195,41 @@ mod tests {
     }
 
     #[test]
-    fn ties_break_fifo() {
+    fn ties_break_by_dst_then_src_then_seq() {
         let mut q = EventQueue::new();
-        let t = SimTime::from_nanos(5);
-        for token in 0..10 {
-            q.push(t, timer(0, token));
-        }
+        q.push(key(5, 2, 0, 0), timer(2, 3));
+        q.push(key(5, 1, 9, 0), timer(1, 2));
+        q.push(key(5, 1, 0, 5), timer(1, 1));
+        q.push(key(5, 1, 0, 2), timer(1, 0));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Timer { token, .. } => token,
                 _ => unreachable!(),
             })
             .collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chaos_class_sorts_before_node_class_at_same_time() {
+        let a = EventKey {
+            at: SimTime::from_nanos(5),
+            class: CLASS_CHAOS,
+            dst: 99,
+            src: 0,
+            seq: 0,
+        };
+        let b = key(5, 0, 0, 0);
+        assert!(a < b);
     }
 
     #[test]
     fn peek_time_tracks_head() {
         let mut q = EventQueue::new();
         assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_nanos(7), timer(0, 0));
+        q.push(key(7, 0, 0, 0), timer(0, 0));
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
-        q.push(SimTime::from_nanos(3), timer(0, 1));
+        q.push(key(3, 0, 0, 1), timer(0, 1));
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
         assert_eq!(q.len(), 2);
     }

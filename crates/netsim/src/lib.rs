@@ -12,6 +12,10 @@
 //! randomness (loss, corruption) is drawn from a seeded RNG so every run is
 //! reproducible.
 //!
+//! Runs can also be sharded across worker threads without changing any
+//! observable output: see [`Simulator::set_shards`] and the module docs of
+//! [`sim`] for the conservative-lookahead design.
+//!
 //! ```
 //! use peering_netsim::{Simulator, SimDuration, LinkConfig};
 //! let mut sim = Simulator::new(42);
@@ -20,6 +24,8 @@
 //! assert_eq!(sim.now().as_millis(), 5);
 //! let _cfg = LinkConfig::default();
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod arp;
 pub mod bytes;
@@ -40,7 +46,7 @@ pub mod trace;
 pub use crate::bytes::Bytes;
 pub use arp::{ArpCache, ArpOp, ArpPacket};
 pub use chaos::{ChaosChange, ChaosPlan, ChaosStep, Incident, IncidentKind};
-pub use event::{Event, EventKind, EventQueue};
+pub use event::{Event, EventKey, EventKind, EventQueue, CLASS_CHAOS, CLASS_NODE, EXTERNAL_SRC};
 pub use frame::{EtherFrame, EtherType};
 pub use icmp::IcmpPacket;
 pub use ip::{IpPacket, IpProto, Ipv4Header};

@@ -4,14 +4,45 @@
 //! [`Link`]s. Nodes react to frames and timers through a [`Ctx`] handle that
 //! collects their outputs; the simulator applies those outputs after each
 //! callback, keeping borrows simple and execution deterministic.
+//!
+//! # Sharded-parallel execution
+//!
+//! [`Simulator::set_shards`] partitions the nodes into shards, each with its
+//! own event queue, and [`Simulator::run_until`] then advances them on worker
+//! threads using conservative lookahead windows: a window `[gvt, end)` is
+//! opened from the global minimum event time `gvt` to
+//! `gvt + min cross-shard link latency`, and within it every shard can run
+//! independently because no frame emitted inside the window can cross a
+//! shard boundary before the window closes. Cross-shard deliveries land in
+//! per-shard inboxes that are drained at the window barrier; chaos steps are
+//! applied on the main thread between windows (a window never crosses a
+//! chaos timestamp), so link state is frozen while workers run.
+//!
+//! Runs are bit-identical at any shard count because nothing observable
+//! depends on the layout:
+//!
+//! * events are ordered by an intrinsic [`EventKey`] rather than a global
+//!   insertion counter, so each shard pops its events in the same order the
+//!   single-threaded run would;
+//! * every node and every link direction draws from its own seeded
+//!   [`SimRng`] stream, so the random rolls a frame sees depend only on
+//!   which link carried it and how many frames preceded it there;
+//! * observability records carry their dispatch key and merge canonically
+//!   (see `peering-obs`), so snapshots and journal digests match too.
+//!
+//! [`Simulator::run_until_idle`] always runs sequentially — idle detection
+//! needs the global queue view — and the sequential engine is the canonical
+//! semantics the parallel one must (and does) reproduce.
 
 use std::any::Any;
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
 
-use peering_obs::{Counter, EventKind as ObsEvent, Obs};
+use peering_obs::{Counter, DispatchKey, EventKind as ObsEvent, Obs, MAX_LANES};
 
-use crate::chaos::{ChaosChange, ChaosPlan, ChaosStep};
-use crate::event::{EventKind, EventQueue};
+use crate::chaos::{ChaosChange, ChaosPlan};
+use crate::event::{Event, EventKey, EventKind, EventQueue, CLASS_CHAOS, CLASS_NODE, EXTERNAL_SRC};
 use crate::frame::EtherFrame;
 use crate::link::{FaultInjector, Link, LinkConfig, LinkStats, TxOutcome};
 use crate::time::{SimDuration, SimTime};
@@ -35,7 +66,11 @@ pub type LinkEnds = ((NodeId, PortId), (NodeId, PortId));
 /// Deterministic pseudo-random source for fault injection (SplitMix64).
 ///
 /// Everything random in the simulator — loss rolls, corruption positions —
-/// draws from one of these, seeded at construction, so runs replay exactly.
+/// draws from one of these. Each node and each link direction owns an
+/// independent stream derived from the simulator seed, so the rolls a
+/// component sees depend only on its own history, never on how the
+/// simulator's work is partitioned across shards.
+#[derive(Clone)]
 pub struct SimRng {
     state: u64,
 }
@@ -66,12 +101,26 @@ impl SimRng {
     }
 }
 
+/// Salt mixed into per-node RNG streams (`"NODE"` in ASCII, high bits).
+const NODE_STREAM_SALT: u64 = 0x4E4F_4445_0000_0000;
+
+/// Salt mixed into per-link-direction RNG streams (`"LINK"` in ASCII).
+const LINK_STREAM_SALT: u64 = 0x4C49_4E4B_0000_0000;
+
+/// Derive an independent stream from the simulator seed and a stable salt.
+fn stream(seed: u64, salt: u64) -> SimRng {
+    let mut mixer = SimRng::new(salt);
+    SimRng::new(seed ^ mixer.next_u64())
+}
+
 /// Behaviour plugged into the simulator.
 ///
 /// Implementors are event-driven: they receive frames and timer expirations,
 /// and emit frames / arm timers through the [`Ctx`]. The `Any` supertrait
-/// lets callers downcast back to the concrete type via [`Simulator::node`].
-pub trait Node: Any {
+/// lets callers downcast back to the concrete type via [`Simulator::node`];
+/// the `Send` supertrait lets sharded-parallel runs move whole shards onto
+/// worker threads.
+pub trait Node: Any + Send {
     /// A frame arrived on `port`.
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: EtherFrame);
 
@@ -132,24 +181,355 @@ impl<'a> Ctx<'a> {
         });
     }
 
-    /// Deterministic randomness (seeded at simulator construction).
+    /// Deterministic randomness: this node's private stream, derived from
+    /// the simulator seed at registration.
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 }
 
+/// A node's storage: the behaviour box, its private RNG stream and the
+/// per-source sequence counter that numbers the events it emits.
+struct NodeSlot {
+    node: Option<Box<dyn Node>>,
+    rng: SimRng,
+    seq: u64,
+}
+
+/// `UnsafeCell` wrapper so shards on different worker threads can each
+/// mutate their own nodes through a shared `&Topo`.
+///
+/// # Safety discipline
+///
+/// Exclusive access to a slot is guaranteed structurally, never checked:
+///
+/// * outside `run_parallel_until`, only the main thread touches slots —
+///   `&mut self` methods have exclusive access by the borrow rules, and
+///   `&self` methods ([`Simulator::node`]) only read;
+/// * inside a parallel window, exactly one worker owns each shard and only
+///   dispatches events whose destination is in that shard, so two workers
+///   never reach the same slot.
+struct NodeCell(UnsafeCell<NodeSlot>);
+
+// SAFETY: see the discipline above — all access is single-writer.
+unsafe impl Sync for NodeCell {}
+
+/// A link plus its endpoints and the two per-direction fault-roll streams.
 struct LinkState {
     link: Link,
     ends: [(NodeId, PortId); 2],
+    rngs: [SimRng; 2],
+}
+
+/// Immutable-during-a-window topology shared with worker threads. Links sit
+/// behind mutexes because two shards may legitimately transmit the two
+/// directions of one cross-shard link concurrently; each direction's state
+/// (queue backlog, stats, RNG) still has a single deterministic writer.
+struct Topo {
+    nodes: Vec<NodeCell>,
+    links: Vec<Mutex<LinkState>>,
+    ports: HashMap<(NodeId, PortId), (LinkId, usize)>,
+}
+
+/// The simulator's own metric handles (cloneable, atomics-backed).
+#[derive(Clone)]
+struct SimCounters {
+    link_drops: Counter,
+    corrupted: Counter,
+    duplicated: Counter,
+    reordered: Counter,
+    chaos_steps: Counter,
+}
+
+impl SimCounters {
+    fn register(obs: &Obs) -> Self {
+        SimCounters {
+            link_drops: obs.counter("netsim.link_drops"),
+            corrupted: obs.counter("netsim.frames_corrupted"),
+            duplicated: obs.counter("netsim.frames_duplicated"),
+            reordered: obs.counter("netsim.frames_reordered"),
+            chaos_steps: obs.counter("netsim.chaos_steps"),
+        }
+    }
+}
+
+/// Per-dispatch tallies, merged into the simulator after each event (or
+/// each parallel window — the sums are commutative, so merge order cannot
+/// affect the result).
+#[derive(Default)]
+struct LocalStats {
+    unrouted: u64,
+    processed: u64,
+}
+
+/// Everything an event dispatch needs besides the queue it pops from.
+struct DispatchEnv<'a> {
+    topo: &'a Topo,
+    counters: &'a SimCounters,
+    out: &'a mut Vec<Event>,
+    stats: &'a mut LocalStats,
+    tracer: Option<&'a mut Tracer>,
+}
+
+fn key_for(at: SimTime, dst: u32, src: u32, seq: &mut u64) -> EventKey {
+    let key = EventKey {
+        at,
+        class: CLASS_NODE,
+        dst,
+        src,
+        seq: *seq,
+    };
+    *seq += 1;
+    key
+}
+
+/// Apply a node's (or an external driver's) buffered actions: arm timers and
+/// offer frames to links. Emitted events go to `env.out`; the caller routes
+/// them to the right shard queue.
+fn apply_actions(
+    env: &mut DispatchEnv<'_>,
+    node: NodeId,
+    now: SimTime,
+    actions: &mut Vec<Action>,
+    src: u32,
+    seq: &mut u64,
+) {
+    for action in actions.drain(..) {
+        match action {
+            Action::Timer { at, token } => {
+                env.out.push(Event {
+                    key: key_for(at, node.0, src, seq),
+                    kind: EventKind::Timer { node, token },
+                });
+            }
+            Action::Send { port, frame } => {
+                let Some(&(link_id, end)) = env.topo.ports.get(&(node, port)) else {
+                    env.stats.unrouted += 1;
+                    continue;
+                };
+                if let Some(tracer) = env.tracer.as_deref_mut() {
+                    tracer.record(TraceEvent {
+                        time: now,
+                        node,
+                        port,
+                        direction: TraceDirection::Tx,
+                        src: frame.src,
+                        dst: frame.dst,
+                        ethertype: frame.ethertype,
+                        len: frame.wire_len(),
+                    });
+                }
+                let mut guard = env.topo.links[link_id.0 as usize]
+                    .lock()
+                    .expect("link lock poisoned");
+                let state = &mut *guard;
+                let rng = &mut state.rngs[end];
+                let drop_roll = rng.below(100) as u8;
+                let corrupt_roll = rng.below(100) as u8;
+                let is_data_plane = matches!(
+                    frame.ethertype,
+                    crate::frame::EtherType::Ipv4 | crate::frame::EtherType::Ipv6
+                );
+                let (outcome, corrupt) = state.link.transmit_typed(
+                    end,
+                    now,
+                    frame.wire_len(),
+                    drop_roll,
+                    corrupt_roll,
+                    is_data_plane,
+                );
+                if matches!(outcome, TxOutcome::Dropped) {
+                    env.counters.link_drops.inc();
+                }
+                if let TxOutcome::Deliver(at) = outcome {
+                    let (dst_node, dst_port) = state.ends[1 - end];
+                    let faults = state.link.config.faults;
+                    let rng = &mut state.rngs[end];
+                    let mut frame = frame;
+                    if corrupt && !frame.payload.is_empty() {
+                        let mut payload = frame.payload.to_vec();
+                        let idx = rng.below(payload.len() as u64) as usize;
+                        payload[idx] ^= 1 << rng.below(8);
+                        frame.payload = payload.into();
+                        env.counters.corrupted.inc();
+                    }
+                    // Reorder/duplicate rolls are only drawn when the
+                    // link configures them, so runs without these faults
+                    // keep their exact RNG stream.
+                    let mut at = at;
+                    let mut duplicate = false;
+                    if faults.perturbs_delivery() && (is_data_plane || !faults.data_plane_only) {
+                        let reorder_roll = rng.below(100) as u8;
+                        let dup_roll = rng.below(100) as u8;
+                        if reorder_roll < faults.reorder_pct
+                            && faults.reorder_window > SimDuration::ZERO
+                        {
+                            let extra = rng.below(faults.reorder_window.as_nanos().max(1));
+                            at += SimDuration::from_nanos(extra);
+                            env.counters.reordered.inc();
+                        }
+                        duplicate = dup_roll < faults.duplicate_pct;
+                    }
+                    if duplicate {
+                        env.counters.duplicated.inc();
+                        env.out.push(Event {
+                            key: key_for(at, dst_node.0, src, seq),
+                            kind: EventKind::FrameDelivery {
+                                node: dst_node,
+                                port: dst_port,
+                                frame: frame.clone(),
+                            },
+                        });
+                    }
+                    env.out.push(Event {
+                        key: key_for(at, dst_node.0, src, seq),
+                        kind: EventKind::FrameDelivery {
+                            node: dst_node,
+                            port: dst_port,
+                            frame,
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Run one node callback and apply the actions it buffered.
+fn dispatch_node(
+    env: &mut DispatchEnv<'_>,
+    now: SimTime,
+    id: NodeId,
+    f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>),
+) {
+    let Some(cell) = env.topo.nodes.get(id.0 as usize) else {
+        return;
+    };
+    // SAFETY: per the NodeCell discipline — the caller is either the main
+    // thread holding `&mut Simulator`, or the one worker that owns this
+    // node's shard for the current window — this is the only live access.
+    let slot = unsafe { &mut *cell.0.get() };
+    let Some(mut node) = slot.node.take() else {
+        // Node is mid-callback (re-entrant event) — cannot happen with the
+        // action-buffer design, but degrade gracefully.
+        return;
+    };
+    let mut actions = Vec::new();
+    {
+        let mut ctx = Ctx {
+            now,
+            node: id,
+            actions: &mut actions,
+            rng: &mut slot.rng,
+        };
+        f(node.as_mut(), &mut ctx);
+    }
+    slot.node = Some(node);
+    apply_actions(env, id, now, &mut actions, id.0, &mut slot.seq);
+}
+
+fn trace_rx(
+    env: &mut DispatchEnv<'_>,
+    now: SimTime,
+    node: NodeId,
+    port: PortId,
+    frame: &EtherFrame,
+) {
+    if let Some(tracer) = env.tracer.as_deref_mut() {
+        tracer.record(TraceEvent {
+            time: now,
+            node,
+            port,
+            direction: TraceDirection::Rx,
+            src: frame.src,
+            dst: frame.dst,
+            ethertype: frame.ethertype,
+            len: frame.wire_len(),
+        });
+    }
+}
+
+/// Process one node event popped from `queue` (same-instant deliveries to
+/// the same `(node, port)` are coalesced from the queue head into one
+/// batched callback). Chaos events never reach here — they live in the
+/// main thread's dedicated queue.
+fn process_node_event(env: &mut DispatchEnv<'_>, obs: &Obs, event: Event, queue: &mut EventQueue) {
+    let key = event.key;
+    let now = key.at;
+    obs.set_now_nanos(now.as_nanos());
+    peering_obs::set_dispatch_key(DispatchKey {
+        at_nanos: now.as_nanos(),
+        class: key.class,
+        dst: key.dst,
+        src: key.src,
+        seq: key.seq,
+    });
+    env.stats.processed += 1;
+    match event.kind {
+        EventKind::FrameDelivery { node, port, frame } => {
+            trace_rx(env, now, node, port, &frame);
+            // Coalesce the consecutive deliveries for the same instant,
+            // node and port into one batched callback. Only head-of-queue
+            // events are taken, so the key order across nodes is untouched.
+            let mut batch: Option<Vec<EtherFrame>> = None;
+            while let Some(next) = queue.peek() {
+                let same = next.key.at == now
+                    && matches!(
+                        &next.kind,
+                        EventKind::FrameDelivery { node: n, port: p, .. }
+                            if *n == node && *p == port
+                    );
+                if !same {
+                    break;
+                }
+                let Some(ev) = queue.pop() else {
+                    break;
+                };
+                let EventKind::FrameDelivery { frame, .. } = ev.kind else {
+                    unreachable!("peek said FrameDelivery");
+                };
+                env.stats.processed += 1;
+                trace_rx(env, now, node, port, &frame);
+                batch
+                    .get_or_insert_with(|| Vec::with_capacity(4))
+                    .push(frame);
+            }
+            match batch {
+                None => dispatch_node(env, now, node, |n, ctx| n.on_frame(ctx, port, frame)),
+                Some(mut rest) => {
+                    rest.insert(0, frame);
+                    dispatch_node(env, now, node, |n, ctx| n.on_frames(ctx, port, rest));
+                }
+            }
+        }
+        EventKind::Timer { node, token } => {
+            dispatch_node(env, now, node, |n, ctx| n.on_timer(ctx, token));
+        }
+        EventKind::Chaos(_) => unreachable!("chaos events are scheduled on the main thread only"),
+    }
 }
 
 /// The discrete-event simulator.
 pub struct Simulator {
     time: SimTime,
-    queue: EventQueue,
-    nodes: Vec<Option<Box<dyn Node>>>,
-    ports: HashMap<(NodeId, PortId), (LinkId, usize)>,
-    links: Vec<LinkState>,
+    /// Requested shard count; `queues` matches it after `ensure_partition`.
+    shards: usize,
+    /// Shard assignment per node id.
+    node_shard: Vec<u32>,
+    /// One event queue per shard (node events only).
+    queues: Vec<EventQueue>,
+    /// Chaos steps, kept on the main thread: windows never cross a chaos
+    /// timestamp, so link state is frozen while workers run.
+    chaos_queue: EventQueue,
+    /// Sequence counter for externally-pushed events (`src = EXTERNAL_SRC`).
+    ext_seq: u64,
+    /// Sequence counter for chaos events.
+    chaos_seq: u64,
+    needs_repartition: bool,
+    topo: Topo,
+    seed: u64,
+    /// Control-plane stream for callers ([`Simulator::rng_mut`]), e.g. chaos
+    /// plan generation; node callbacks use their own per-node streams.
     rng: SimRng,
     tracer: Tracer,
     /// Frames sent to unconnected ports (usually a wiring bug in a scenario).
@@ -157,61 +537,46 @@ pub struct Simulator {
     /// Total events processed.
     pub processed_events: u64,
     obs: Obs,
-    c_link_drops: Counter,
-    c_corrupted: Counter,
-    c_duplicated: Counter,
-    c_reordered: Counter,
-    c_chaos_steps: Counter,
+    counters: SimCounters,
 }
 
 impl Simulator {
     /// Create a simulator with a deterministic RNG seed.
     pub fn new(seed: u64) -> Self {
         let obs = Obs::new();
-        let (c_link_drops, c_corrupted, c_duplicated, c_reordered, c_chaos_steps) =
-            Self::register_counters(&obs);
+        let counters = SimCounters::register(&obs);
         Simulator {
             time: SimTime::ZERO,
-            queue: EventQueue::new(),
-            nodes: Vec::new(),
-            ports: HashMap::new(),
-            links: Vec::new(),
+            shards: 1,
+            node_shard: Vec::new(),
+            queues: vec![EventQueue::new()],
+            chaos_queue: EventQueue::new(),
+            ext_seq: 0,
+            chaos_seq: 0,
+            needs_repartition: false,
+            topo: Topo {
+                nodes: Vec::new(),
+                links: Vec::new(),
+                ports: HashMap::new(),
+            },
+            seed,
             rng: SimRng::new(seed),
             tracer: Tracer::disabled(),
             unrouted_frames: 0,
             processed_events: 0,
             obs,
-            c_link_drops,
-            c_corrupted,
-            c_duplicated,
-            c_reordered,
-            c_chaos_steps,
+            counters,
         }
-    }
-
-    fn register_counters(obs: &Obs) -> (Counter, Counter, Counter, Counter, Counter) {
-        (
-            obs.counter("netsim.link_drops"),
-            obs.counter("netsim.frames_corrupted"),
-            obs.counter("netsim.frames_duplicated"),
-            obs.counter("netsim.frames_reordered"),
-            obs.counter("netsim.chaos_steps"),
-        )
     }
 
     /// Adopt a shared observability handle (the platform installs one
     /// registry for the whole topology); the simulator's own counters and
     /// chaos events move to it, and the journal clock tracks `now()`.
     pub fn set_obs(&mut self, obs: Obs) {
-        let (c_link_drops, c_corrupted, c_duplicated, c_reordered, c_chaos_steps) =
-            Self::register_counters(&obs);
+        let counters = SimCounters::register(&obs);
         obs.set_now_nanos(self.time.as_nanos());
         self.obs = obs;
-        self.c_link_drops = c_link_drops;
-        self.c_corrupted = c_corrupted;
-        self.c_duplicated = c_duplicated;
-        self.c_reordered = c_reordered;
-        self.c_chaos_steps = c_chaos_steps;
+        self.counters = counters;
     }
 
     /// The simulator's observability handle.
@@ -224,7 +589,9 @@ impl Simulator {
         self.time
     }
 
-    /// Enable frame tracing (see [`Tracer`]).
+    /// Enable frame tracing (see [`Tracer`]). Tracing pins execution to the
+    /// sequential engine (the trace ring is not thread-safe and its order is
+    /// part of the observable output).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
@@ -234,17 +601,104 @@ impl Simulator {
         &self.tracer
     }
 
+    /// Partition nodes into `shards` event-queue shards, round-robin by node
+    /// id (use [`Simulator::set_node_shard`] to refine). Clamped to
+    /// `1..=63` so every shard gets its own observability journal lane.
+    /// With more than one shard, [`Simulator::run_until`] executes windows
+    /// of events on worker threads; results are bit-identical to one shard.
+    pub fn set_shards(&mut self, shards: usize) {
+        let shards = shards.clamp(1, MAX_LANES - 1);
+        self.shards = shards;
+        for (i, s) in self.node_shard.iter_mut().enumerate() {
+            *s = (i % shards) as u32;
+        }
+        self.needs_repartition = true;
+    }
+
+    /// Current shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Pin a node to a specific shard (e.g. the platform places each PoP's
+    /// routers together so only inter-PoP links cross shards).
+    ///
+    /// # Panics
+    /// Panics if `shard >= self.shards()`.
+    pub fn set_node_shard(&mut self, node: NodeId, shard: usize) {
+        assert!(
+            shard < self.shards,
+            "shard {shard} out of range (shards={})",
+            self.shards
+        );
+        self.node_shard[node.0 as usize] = shard as u32;
+        self.needs_repartition = true;
+    }
+
+    /// The shard a node is currently assigned to.
+    pub fn node_shard(&self, node: NodeId) -> usize {
+        self.node_shard.get(node.0 as usize).copied().unwrap_or(0) as usize
+    }
+
+    fn shard_of(&self, dst: u32) -> usize {
+        let s = self.node_shard.get(dst as usize).copied().unwrap_or(0) as usize;
+        s.min(self.queues.len() - 1)
+    }
+
+    /// Rebuild the per-shard queues after a shard-layout change, preserving
+    /// every pending event.
+    fn ensure_partition(&mut self) {
+        if !self.needs_repartition {
+            return;
+        }
+        self.needs_repartition = false;
+        let mut events = Vec::new();
+        for q in &mut self.queues {
+            events.append(&mut q.drain());
+        }
+        self.queues = (0..self.shards).map(|_| EventQueue::new()).collect();
+        for e in events {
+            let shard = self.shard_of(e.key.dst);
+            self.queues[shard].push(e.key, e.kind);
+        }
+    }
+
+    fn route_events(&mut self, out: Vec<Event>) {
+        self.ensure_partition();
+        for e in out {
+            let shard = self.shard_of(e.key.dst);
+            self.queues[shard].push(e.key, e.kind);
+        }
+    }
+
+    fn ext_key(&mut self, at: SimTime, dst: u32) -> EventKey {
+        let seq = self.ext_seq;
+        self.ext_seq += 1;
+        EventKey {
+            at,
+            class: CLASS_NODE,
+            dst,
+            src: EXTERNAL_SRC,
+            seq,
+        }
+    }
+
     /// Register a node, returning its id.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Some(node));
-        id
+        let id = self.topo.nodes.len() as u32;
+        self.topo.nodes.push(NodeCell(UnsafeCell::new(NodeSlot {
+            node: Some(node),
+            rng: stream(self.seed, NODE_STREAM_SALT | id as u64),
+            seq: 0,
+        })));
+        self.node_shard.push((id as usize % self.shards) as u32);
+        NodeId(id)
     }
 
     /// Every registered node id, in registration order. Harnesses use this
     /// to sweep the whole topology without tracking ids themselves.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        (0..self.nodes.len() as u32).map(NodeId).collect()
+        (0..self.topo.nodes.len() as u32).map(NodeId).collect()
     }
 
     /// Connect `(a, pa)` to `(b, pb)` with the given link configuration.
@@ -261,112 +715,141 @@ impl Simulator {
         config: LinkConfig,
     ) -> LinkId {
         assert!(
-            !self.ports.contains_key(&(a, pa)),
+            !self.topo.ports.contains_key(&(a, pa)),
             "port {pa:?} on {a:?} already connected"
         );
         assert!(
-            !self.ports.contains_key(&(b, pb)),
+            !self.topo.ports.contains_key(&(b, pb)),
             "port {pb:?} on {b:?} already connected"
         );
-        let id = LinkId(self.links.len() as u32);
-        self.links.push(LinkState {
+        let id = LinkId(self.topo.links.len() as u32);
+        let base = LINK_STREAM_SALT | ((id.0 as u64) << 1);
+        self.topo.links.push(Mutex::new(LinkState {
             link: Link::new(config),
             ends: [(a, pa), (b, pb)],
-        });
-        self.ports.insert((a, pa), (id, 0));
-        self.ports.insert((b, pb), (id, 1));
+            rngs: [stream(self.seed, base), stream(self.seed, base | 1)],
+        }));
+        self.topo.ports.insert((a, pa), (id, 0));
+        self.topo.ports.insert((b, pb), (id, 1));
         id
+    }
+
+    fn link_state(&self, link: LinkId) -> MutexGuard<'_, LinkState> {
+        self.topo.links[link.0 as usize]
+            .lock()
+            .expect("link lock poisoned")
     }
 
     /// Tear down a link (e.g. a session reset test); both ports become
     /// unconnected. Link stats are retained until the slot is reused.
     pub fn disconnect(&mut self, link: LinkId) {
-        let ends = self.links[link.0 as usize].ends;
+        let ends = self.link_state(link).ends;
         for end in ends {
-            self.ports.remove(&end);
+            self.topo.ports.remove(&end);
         }
     }
 
     /// Per-direction stats for a link.
     pub fn link_stats(&self, link: LinkId) -> [LinkStats; 2] {
-        self.links[link.0 as usize].link.stats
+        self.link_state(link).link.stats
     }
 
     /// Administratively raise or lower a link. A downed link stays wired
     /// but drops every frame until raised again — the substrate for chaos
     /// link flaps, partitions and tunnel resets.
     pub fn set_link_up(&mut self, link: LinkId, up: bool) {
-        self.links[link.0 as usize].link.up = up;
+        self.link_state(link).link.up = up;
     }
 
     /// Whether a link is administratively up.
     pub fn link_up(&self, link: LinkId) -> bool {
-        self.links[link.0 as usize].link.up
+        self.link_state(link).link.up
     }
 
     /// Replace a link's fault injector (chaos fault bursts).
     pub fn set_link_faults(&mut self, link: LinkId, faults: FaultInjector) {
-        self.links[link.0 as usize].link.config.faults = faults;
+        self.link_state(link).link.config.faults = faults;
     }
 
     /// A link's current fault injector.
     pub fn link_faults(&self, link: LinkId) -> FaultInjector {
-        self.links[link.0 as usize].link.config.faults
+        self.link_state(link).link.config.faults
     }
 
     /// Restore a link's fault injector to the configuration it was created
     /// with (ends a chaos fault burst).
     pub fn restore_link_faults(&mut self, link: LinkId) {
-        let state = &mut self.links[link.0 as usize];
+        let mut state = self.link_state(link);
         state.link.config.faults = state.link.base_faults;
     }
 
-    /// Mutable access to the simulator's seeded RNG, so chaos plans can be
-    /// generated from the same deterministic stream the run itself uses.
+    /// Mutable access to the simulator's control RNG stream, so chaos plans
+    /// can be generated from a deterministic stream tied to the seed.
     pub fn rng_mut(&mut self) -> &mut SimRng {
         &mut self.rng
     }
 
     /// Schedule every step of a chaos plan relative to the current time.
-    /// Steps execute inline in the event loop at their appointed instants.
+    /// Steps execute on the main thread at their appointed instants; in
+    /// sharded runs, parallel windows never cross a chaos timestamp.
     pub fn schedule_chaos(&mut self, plan: &ChaosPlan) {
         for (offset, step) in plan.steps() {
-            self.queue.push(self.time + offset, EventKind::Chaos(step));
+            let key = EventKey {
+                at: self.time + offset,
+                class: CLASS_CHAOS,
+                dst: step.link.0,
+                src: EXTERNAL_SRC,
+                seq: self.chaos_seq,
+            };
+            self.chaos_seq += 1;
+            self.chaos_queue.push(key, EventKind::Chaos(step));
         }
     }
 
     /// All currently-connected links touching `node`, with their endpoints.
     pub fn links_of(&self, node: NodeId) -> Vec<(LinkId, LinkEnds)> {
-        self.links
+        self.topo
+            .links
             .iter()
             .enumerate()
-            .filter(|(i, l)| {
-                let id = LinkId(*i as u32);
-                (l.ends[0].0 == node || l.ends[1].0 == node)
-                    // Only links still wired (disconnect removes ports).
-                    && self.ports.get(&l.ends[0]) == Some(&(id, 0))
+            .filter_map(|(i, slot)| {
+                let id = LinkId(i as u32);
+                let state = slot.lock().expect("link lock poisoned");
+                let touches = state.ends[0].0 == node || state.ends[1].0 == node;
+                // Only links still wired (disconnect removes ports).
+                let wired = self.topo.ports.get(&state.ends[0]) == Some(&(id, 0));
+                (touches && wired).then_some((id, (state.ends[0], state.ends[1])))
             })
-            .map(|(i, l)| (LinkId(i as u32), (l.ends[0], l.ends[1])))
             .collect()
     }
 
     /// Downcast a node to its concrete type.
     pub fn node<T: Node>(&self, id: NodeId) -> Option<&T> {
-        let boxed = self.nodes.get(id.0 as usize)?.as_deref()?;
+        let cell = self.topo.nodes.get(id.0 as usize)?;
+        // SAFETY: `&self` methods never overlap `&mut self` methods, and no
+        // worker thread is live outside `run_parallel_until` (which takes
+        // `&mut self`), so the slot cannot be mutated while this shared
+        // borrow is alive.
+        let slot = unsafe { &*cell.0.get() };
+        let boxed = slot.node.as_deref()?;
         (boxed as &dyn Any).downcast_ref::<T>()
     }
 
     /// Downcast a node to its concrete type, mutably.
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
-        let boxed = self.nodes.get_mut(id.0 as usize)?.as_deref_mut()?;
+        let slot = self.topo.nodes.get_mut(id.0 as usize)?.0.get_mut();
+        let boxed = slot.node.as_deref_mut()?;
         (boxed as &mut dyn Any).downcast_mut::<T>()
     }
 
     /// Inject a frame for delivery to `(node, port)` right now, as if it
     /// arrived from outside the simulated topology.
     pub fn inject_frame(&mut self, node: NodeId, port: PortId, frame: EtherFrame) {
-        self.queue
-            .push(self.time, EventKind::FrameDelivery { node, port, frame });
+        let key = self.ext_key(self.time, node.0);
+        self.route_events(vec![Event {
+            key,
+            kind: EventKind::FrameDelivery { node, port, frame },
+        }]);
     }
 
     /// Transmit a frame from `(node, port)` over its connected link, exactly
@@ -374,13 +857,16 @@ impl Simulator {
     /// experiment toolkit injects traffic this way).
     pub fn send_from(&mut self, node: NodeId, port: PortId, frame: EtherFrame) {
         let mut actions = vec![Action::Send { port, frame }];
-        self.apply_actions(node, &mut actions);
+        self.apply_external_actions(node, &mut actions);
     }
 
     /// Arm a timer on behalf of a node.
     pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
-        self.queue
-            .push(self.time + delay, EventKind::Timer { node, token });
+        let key = self.ext_key(self.time + delay, node.0);
+        self.route_events(vec![Event {
+            key,
+            kind: EventKind::Timer { node, token },
+        }]);
     }
 
     /// Invoke a closure with mutable access to a node and a [`Ctx`], so
@@ -393,252 +879,215 @@ impl Simulator {
         id: NodeId,
         f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
     ) -> R {
-        let mut slot = self.nodes[id.0 as usize].take().expect("node busy/absent");
+        let slot = self.topo.nodes[id.0 as usize].0.get_mut();
+        let mut node = slot.node.take().expect("node busy/absent");
         let mut actions = Vec::new();
         let result = {
             let mut ctx = Ctx {
                 now: self.time,
                 node: id,
                 actions: &mut actions,
-                rng: &mut self.rng,
+                rng: &mut slot.rng,
             };
-            let node = (slot.as_mut() as &mut dyn Any)
+            let node = (node.as_mut() as &mut dyn Any)
                 .downcast_mut::<T>()
                 .expect("node type mismatch");
             f(node, &mut ctx)
         };
-        self.nodes[id.0 as usize] = Some(slot);
-        self.apply_actions(id, &mut actions);
+        slot.node = Some(node);
+        self.apply_external_actions(id, &mut actions);
         result
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action>) {
-        for action in actions.drain(..) {
-            match action {
-                Action::Timer { at, token } => {
-                    self.queue.push(at, EventKind::Timer { node, token });
-                }
-                Action::Send { port, frame } => {
-                    let Some(&(link_id, end)) = self.ports.get(&(node, port)) else {
-                        self.unrouted_frames += 1;
-                        continue;
-                    };
-                    self.tracer.record(TraceEvent {
-                        time: self.time,
-                        node,
-                        port,
-                        direction: TraceDirection::Tx,
-                        src: frame.src,
-                        dst: frame.dst,
-                        ethertype: frame.ethertype,
-                        len: frame.wire_len(),
-                    });
-                    let state = &mut self.links[link_id.0 as usize];
-                    let drop_roll = self.rng.below(100) as u8;
-                    let corrupt_roll = self.rng.below(100) as u8;
-                    let is_data_plane = matches!(
-                        frame.ethertype,
-                        crate::frame::EtherType::Ipv4 | crate::frame::EtherType::Ipv6
-                    );
-                    let (outcome, corrupt) = state.link.transmit_typed(
-                        end,
-                        self.time,
-                        frame.wire_len(),
-                        drop_roll,
-                        corrupt_roll,
-                        is_data_plane,
-                    );
-                    if matches!(outcome, TxOutcome::Dropped) {
-                        self.c_link_drops.inc();
-                    }
-                    if let TxOutcome::Deliver(at) = outcome {
-                        let (dst_node, dst_port) = state.ends[1 - end];
-                        let mut frame = frame;
-                        if corrupt && !frame.payload.is_empty() {
-                            let mut payload = frame.payload.to_vec();
-                            let idx = self.rng.below(payload.len() as u64) as usize;
-                            payload[idx] ^= 1 << self.rng.below(8);
-                            frame.payload = payload.into();
-                            self.c_corrupted.inc();
-                        }
-                        // Reorder/duplicate rolls are only drawn when the
-                        // link configures them, so runs without these faults
-                        // keep their exact RNG stream.
-                        let faults = self.links[link_id.0 as usize].link.config.faults;
-                        let mut at = at;
-                        let mut duplicate = false;
-                        if faults.perturbs_delivery() && (is_data_plane || !faults.data_plane_only)
-                        {
-                            let reorder_roll = self.rng.below(100) as u8;
-                            let dup_roll = self.rng.below(100) as u8;
-                            if reorder_roll < faults.reorder_pct
-                                && faults.reorder_window > SimDuration::ZERO
-                            {
-                                let extra = self.rng.below(faults.reorder_window.as_nanos().max(1));
-                                at += SimDuration::from_nanos(extra);
-                                self.c_reordered.inc();
-                            }
-                            duplicate = dup_roll < faults.duplicate_pct;
-                        }
-                        if duplicate {
-                            self.c_duplicated.inc();
-                            self.queue.push(
-                                at,
-                                EventKind::FrameDelivery {
-                                    node: dst_node,
-                                    port: dst_port,
-                                    frame: frame.clone(),
-                                },
-                            );
-                        }
-                        self.queue.push(
-                            at,
-                            EventKind::FrameDelivery {
-                                node: dst_node,
-                                port: dst_port,
-                                frame,
-                            },
-                        );
-                    }
-                }
+    /// Apply actions buffered by an external driver (traffic injection,
+    /// `with_node_ctx`): these draw their event sequence numbers from the
+    /// shared external counter.
+    fn apply_external_actions(&mut self, node: NodeId, actions: &mut Vec<Action>) {
+        let mut out = Vec::new();
+        let mut stats = LocalStats::default();
+        {
+            let mut env = DispatchEnv {
+                topo: &self.topo,
+                counters: &self.counters,
+                out: &mut out,
+                stats: &mut stats,
+                tracer: Some(&mut self.tracer),
+            };
+            apply_actions(
+                &mut env,
+                node,
+                self.time,
+                actions,
+                EXTERNAL_SRC,
+                &mut self.ext_seq,
+            );
+        }
+        self.unrouted_frames += stats.unrouted;
+        self.route_events(out);
+    }
+
+    /// The key of the next event in the global order, if any.
+    fn next_key(&self) -> Option<EventKey> {
+        let mut best = self.chaos_queue.peek_key();
+        for q in &self.queues {
+            let Some(k) = q.peek_key() else { continue };
+            match best {
+                Some(b) if b <= k => {}
+                _ => best = Some(k),
             }
         }
+        best
     }
 
     /// Process a single event if one is pending. Returns `false` when the
-    /// queue is empty.
+    /// queues are empty. Always sequential — this is the canonical
+    /// semantics the parallel engine reproduces.
     pub fn step(&mut self) -> bool {
-        let Some(event) = self.queue.pop() else {
-            return false;
-        };
-        debug_assert!(event.at >= self.time, "time went backwards");
-        self.time = event.at;
-        self.obs.set_now_nanos(self.time.as_nanos());
-        self.processed_events += 1;
-        match event.kind {
-            EventKind::FrameDelivery { node, port, frame } => {
-                self.tracer.record(TraceEvent {
-                    time: self.time,
-                    node,
-                    port,
-                    direction: TraceDirection::Rx,
-                    src: frame.src,
-                    dst: frame.dst,
-                    ethertype: frame.ethertype,
-                    len: frame.wire_len(),
-                });
-                // Coalesce the consecutive deliveries for the same instant,
-                // node and port into one batched callback. Only head-of-queue
-                // events are taken, so the scheduled (time, seq) order across
-                // nodes is untouched.
-                let mut batch: Option<Vec<EtherFrame>> = None;
-                while let Some(next) = self.queue.peek() {
-                    let same = next.at == self.time
-                        && matches!(
-                            &next.kind,
-                            EventKind::FrameDelivery { node: n, port: p, .. }
-                                if *n == node && *p == port
-                        );
-                    if !same {
-                        break;
-                    }
-                    let Some(ev) = self.queue.pop() else {
-                        break;
-                    };
-                    let EventKind::FrameDelivery { frame, .. } = ev.kind else {
-                        unreachable!("peek said FrameDelivery");
-                    };
-                    self.processed_events += 1;
-                    self.tracer.record(TraceEvent {
-                        time: self.time,
-                        node,
-                        port,
-                        direction: TraceDirection::Rx,
-                        src: frame.src,
-                        dst: frame.dst,
-                        ethertype: frame.ethertype,
-                        len: frame.wire_len(),
-                    });
-                    batch
-                        .get_or_insert_with(|| Vec::with_capacity(4))
-                        .push(frame);
-                }
-                match batch {
-                    None => self.dispatch(node, |node, ctx| node.on_frame(ctx, port, frame)),
-                    Some(mut rest) => {
-                        rest.insert(0, frame);
-                        self.dispatch(node, |node, ctx| node.on_frames(ctx, port, rest));
-                    }
-                }
+        self.ensure_partition();
+        let chaos = self.chaos_queue.peek_key();
+        let mut best: Option<(usize, EventKey)> = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            let Some(k) = q.peek_key() else { continue };
+            match best {
+                Some((_, b)) if b <= k => {}
+                _ => best = Some((i, k)),
             }
-            EventKind::Timer { node, token } => {
-                self.dispatch(node, |node, ctx| node.on_timer(ctx, token));
-            }
-            EventKind::Chaos(step) => self.apply_chaos(step),
         }
+        let take_chaos = match (chaos, best) {
+            (None, None) => return false,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(c), Some((_, n))) => c < n,
+        };
+        if take_chaos {
+            let ev = self.chaos_queue.pop().expect("peeked chaos event");
+            self.apply_chaos_event(ev);
+            return true;
+        }
+        let (i, _) = best.expect("peeked node event");
+        let ev = self.queues[i].pop().expect("peeked node event");
+        debug_assert!(ev.key.at >= self.time, "time went backwards");
+        self.time = ev.key.at;
+        let mut out = Vec::new();
+        let mut stats = LocalStats::default();
+        {
+            let mut env = DispatchEnv {
+                topo: &self.topo,
+                counters: &self.counters,
+                out: &mut out,
+                stats: &mut stats,
+                tracer: Some(&mut self.tracer),
+            };
+            process_node_event(&mut env, &self.obs, ev, &mut self.queues[i]);
+        }
+        peering_obs::clear_dispatch_key();
+        self.unrouted_frames += stats.unrouted;
+        self.processed_events += stats.processed;
+        self.route_events(out);
         true
     }
 
-    fn apply_chaos(&mut self, step: ChaosStep) {
-        let Some(state) = self.links.get_mut(step.link.0 as usize) else {
-            return;
-        };
-        let change = match step.change {
-            ChaosChange::LinkDown => {
-                state.link.up = false;
-                "link-down"
-            }
-            ChaosChange::LinkUp => {
-                state.link.up = true;
-                "link-up"
-            }
-            ChaosChange::SetFaults(faults) => {
-                state.link.config.faults = faults;
-                "set-faults"
-            }
-            ChaosChange::RestoreFaults => {
-                state.link.config.faults = state.link.base_faults;
-                "restore-faults"
-            }
-        };
-        self.c_chaos_steps.inc();
-        self.obs.record(ObsEvent::ChaosInjection {
-            link: step.link.0,
-            change,
+    /// Apply one chaos step on the main thread (chaos never runs on worker
+    /// threads: windows stop at chaos timestamps so link state is frozen
+    /// while shards execute).
+    fn apply_chaos_event(&mut self, ev: Event) {
+        let key = ev.key;
+        debug_assert!(key.at >= self.time, "time went backwards");
+        self.time = key.at;
+        self.obs.set_now_nanos(self.time.as_nanos());
+        peering_obs::set_dispatch_key(DispatchKey {
+            at_nanos: key.at.as_nanos(),
+            class: key.class,
+            dst: key.dst,
+            src: key.src,
+            seq: key.seq,
         });
+        self.processed_events += 1;
+        let EventKind::Chaos(step) = ev.kind else {
+            unreachable!("chaos queue holds only chaos events");
+        };
+        if let Some(slot) = self.topo.links.get(step.link.0 as usize) {
+            let mut state = slot.lock().expect("link lock poisoned");
+            let change = match step.change {
+                ChaosChange::LinkDown => {
+                    state.link.up = false;
+                    "link-down"
+                }
+                ChaosChange::LinkUp => {
+                    state.link.up = true;
+                    "link-up"
+                }
+                ChaosChange::SetFaults(faults) => {
+                    state.link.config.faults = faults;
+                    "set-faults"
+                }
+                ChaosChange::RestoreFaults => {
+                    state.link.config.faults = state.link.base_faults;
+                    "restore-faults"
+                }
+            };
+            drop(state);
+            self.counters.chaos_steps.inc();
+            self.obs.record(ObsEvent::ChaosInjection {
+                link: step.link.0,
+                change,
+            });
+        }
+        peering_obs::clear_dispatch_key();
     }
 
-    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
-        let Some(slot) = self.nodes.get_mut(id.0 as usize) else {
-            return;
-        };
-        let Some(mut node) = slot.take() else {
-            // Node is mid-callback (re-entrant event) — cannot happen with the
-            // action-buffer design, but degrade gracefully.
-            return;
-        };
-        let mut actions = Vec::new();
-        {
-            let mut ctx = Ctx {
-                now: self.time,
-                node: id,
-                actions: &mut actions,
-                rng: &mut self.rng,
-            };
-            f(node.as_mut(), &mut ctx);
+    /// Conservative lookahead: the minimum latency over still-connected
+    /// links whose endpoints live in different shards. `None` disables the
+    /// parallel engine (a zero-latency cross-shard link leaves no safe
+    /// window).
+    fn cross_shard_lookahead(&self) -> Option<SimDuration> {
+        let mut min: Option<SimDuration> = None;
+        for (i, slot) in self.topo.links.iter().enumerate() {
+            let state = slot.lock().expect("link lock poisoned");
+            let id = LinkId(i as u32);
+            if self.topo.ports.get(&state.ends[0]) != Some(&(id, 0)) {
+                continue; // disconnected: no frames can cross it
+            }
+            let a = self.shard_of(state.ends[0].0 .0);
+            let b = self.shard_of(state.ends[1].0 .0);
+            if a == b {
+                continue;
+            }
+            let latency = state.link.config.latency;
+            if latency == SimDuration::ZERO {
+                return None;
+            }
+            min = Some(match min {
+                None => latency,
+                Some(m) => m.min(latency),
+            });
         }
-        self.nodes[id.0 as usize] = Some(node);
-        self.apply_actions(id, &mut actions);
+        // No cross-shard links at all: the shards are fully independent and
+        // any window length is safe.
+        Some(min.unwrap_or(SimDuration::from_secs(3600)))
     }
 
     /// Run until the queue is exhausted or `deadline` is reached; the clock
     /// ends at `deadline` if it was reached, otherwise at the last event.
+    ///
+    /// With more than one shard (and tracing disabled), events execute in
+    /// parallel lookahead windows on worker threads; the results — node
+    /// state, counters, journal, clock — are bit-identical to a
+    /// single-shard run.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
+        self.ensure_partition();
+        let lookahead = if self.queues.len() > 1 && !self.tracer.enabled() {
+            self.cross_shard_lookahead()
+        } else {
+            None
+        };
+        match lookahead {
+            Some(la) => self.run_parallel_until(deadline, la),
+            None => {
+                while self.next_key().is_some_and(|k| k.at <= deadline) {
+                    self.step();
+                }
             }
-            self.step();
         }
         if self.time < deadline {
             self.time = deadline;
@@ -652,11 +1101,119 @@ impl Simulator {
         self.run_until(deadline);
     }
 
+    /// The parallel engine: advance in conservative windows `[gvt, end)`
+    /// where `end = min(gvt + lookahead, next chaos step, deadline+1ns)`.
+    /// Shards process their own queues on scoped worker threads; deliveries
+    /// to other shards land in inboxes drained at the window barrier (they
+    /// cannot fire inside the window — every cross-shard link adds at least
+    /// `lookahead` of latency).
+    fn run_parallel_until(&mut self, deadline: SimTime, lookahead: SimDuration) {
+        let shard_count = self.queues.len();
+        let inboxes: Vec<Mutex<Vec<Event>>> =
+            (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
+        loop {
+            let t_chaos = self.chaos_queue.peek_time();
+            let t_node = self.queues.iter().filter_map(|q| q.peek_time()).min();
+            let gvt = match (t_chaos, t_node) {
+                (None, None) => break,
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+            };
+            if gvt > deadline {
+                break;
+            }
+            if t_chaos == Some(gvt) {
+                // Chaos sorts before node events at the same instant
+                // (CLASS_CHAOS), so apply every step due now before opening
+                // a window.
+                while self.chaos_queue.peek_time() == Some(gvt) {
+                    let ev = self.chaos_queue.pop().expect("peeked chaos event");
+                    self.apply_chaos_event(ev);
+                }
+                continue;
+            }
+            let mut end = gvt + lookahead;
+            if let Some(tc) = t_chaos {
+                end = end.min(tc);
+            }
+            end = end.min(deadline + SimDuration::from_nanos(1));
+            let mut queues = std::mem::take(&mut self.queues);
+            let topo = &self.topo;
+            let counters = &self.counters;
+            let obs = &self.obs;
+            let node_shard: &[u32] = &self.node_shard;
+            let results: Vec<(LocalStats, SimTime)> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (shard, queue) in queues.iter_mut().enumerate() {
+                    if queue.peek_time().is_none_or(|t| t >= end) {
+                        continue; // nothing to do this window
+                    }
+                    let inboxes = &inboxes;
+                    handles.push(scope.spawn(move || {
+                        // Lane 0 is the main thread; workers are 1-based so
+                        // each shard's journal records stay distinguishable.
+                        peering_obs::set_thread_lane(shard + 1);
+                        let mut stats = LocalStats::default();
+                        let mut out = Vec::new();
+                        let mut last = gvt;
+                        while queue.peek_time().is_some_and(|t| t < end) {
+                            let ev = queue.pop().expect("peeked event");
+                            debug_assert!(ev.key.at >= last, "time went backwards");
+                            last = ev.key.at;
+                            let mut env = DispatchEnv {
+                                topo,
+                                counters,
+                                out: &mut out,
+                                stats: &mut stats,
+                                tracer: None,
+                            };
+                            process_node_event(&mut env, obs, ev, queue);
+                            for e in out.drain(..) {
+                                let dst = node_shard.get(e.key.dst as usize).copied().unwrap_or(0)
+                                    as usize;
+                                if dst == shard {
+                                    queue.push(e.key, e.kind);
+                                } else {
+                                    inboxes[dst].lock().expect("inbox poisoned").push(e);
+                                }
+                            }
+                        }
+                        peering_obs::clear_dispatch_key();
+                        (stats, last)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+            self.queues = queues;
+            for (stats, last) in results {
+                self.unrouted_frames += stats.unrouted;
+                self.processed_events += stats.processed;
+                if last > self.time {
+                    self.time = last;
+                }
+            }
+            for (shard, inbox) in inboxes.iter().enumerate() {
+                let mut inbox = inbox.lock().expect("inbox poisoned");
+                for e in inbox.drain(..) {
+                    self.queues[shard].push(e.key, e.kind);
+                }
+            }
+            self.obs.set_now_nanos(self.time.as_nanos());
+        }
+    }
+
     /// Run until no events remain (the network is quiescent), with a safety
-    /// cap on event count to catch livelock in tests.
+    /// cap on event count to catch livelock in tests. Always sequential:
+    /// idle detection needs the global queue view, and quiescence runs are
+    /// the baseline sharded runs are checked against.
     pub fn run_until_idle(&mut self, max_events: u64) -> bool {
+        self.ensure_partition();
         let mut n = 0;
-        while !self.queue.is_empty() {
+        while self.pending_events() > 0 {
             self.step();
             n += 1;
             if n >= max_events {
@@ -666,9 +1223,9 @@ impl Simulator {
         true
     }
 
-    /// Number of pending events.
+    /// Number of pending events (all shards plus scheduled chaos steps).
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.queues.iter().map(|q| q.len()).sum::<usize>() + self.chaos_queue.len()
     }
 }
 
@@ -817,5 +1374,59 @@ mod tests {
         sim.run_until_idle(10);
         assert_eq!(sim.node::<Echo>(echo).unwrap().seen, 0);
         assert_eq!(sim.unrouted_frames, 1);
+    }
+
+    /// A faulty ping-pong workload whose observable outcome must not depend
+    /// on the shard count (the tentpole property).
+    fn sharded_outcome(shards: usize) -> (u64, u64, u64, u64, u64) {
+        let mut sim = Simulator::new(42);
+        let pinger = sim.add_node(Box::new(Pinger {
+            replies: 0,
+            target: MacAddr::from_id(2),
+            me: MacAddr::from_id(1),
+        }));
+        let echo = sim.add_node(Box::new(Echo { seen: 0 }));
+        let cfg = LinkConfig::with_latency(SimDuration::from_millis(2))
+            .with_faults(FaultInjector::dropping(20));
+        sim.connect(pinger, PortId(0), echo, PortId(0), cfg);
+        sim.set_shards(shards);
+        for i in 0..40 {
+            sim.set_timer(pinger, SimDuration::from_millis(i), i);
+        }
+        sim.run_until(SimTime::from_nanos(1_000_000_000));
+        (
+            sim.node::<Echo>(echo).unwrap().seen,
+            sim.node::<Pinger>(pinger).unwrap().replies,
+            sim.processed_events,
+            sim.unrouted_frames,
+            sim.now().as_nanos(),
+        )
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential() {
+        let base = sharded_outcome(1);
+        assert!(base.0 > 0, "workload should deliver some frames");
+        assert_eq!(sharded_outcome(2), base);
+        assert_eq!(sharded_outcome(4), base);
+    }
+
+    #[test]
+    fn repartition_preserves_pending_events() {
+        let mut sim = Simulator::new(3);
+        let pinger = sim.add_node(Box::new(Pinger {
+            replies: 0,
+            target: MacAddr::from_id(2),
+            me: MacAddr::from_id(1),
+        }));
+        let echo = sim.add_node(Box::new(Echo { seen: 0 }));
+        sim.connect(pinger, PortId(0), echo, PortId(0), LinkConfig::default());
+        sim.set_timer(pinger, SimDuration::from_millis(1), 0);
+        // Re-shard with an event already queued: it must survive the move.
+        sim.set_shards(2);
+        sim.set_node_shard(echo, 1);
+        assert!(sim.run_until_idle(100));
+        assert_eq!(sim.node::<Echo>(echo).unwrap().seen, 1);
+        assert_eq!(sim.node::<Pinger>(pinger).unwrap().replies, 1);
     }
 }

@@ -88,6 +88,13 @@ impl Tracer {
         self
     }
 
+    /// Whether this tracer records anything. The simulator pins tracing
+    /// runs to the sequential engine, since the ring's order is part of the
+    /// observable output.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Record one event (called by the simulator).
     pub fn record(&mut self, event: TraceEvent) {
         if !self.enabled {

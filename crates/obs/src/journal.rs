@@ -1,26 +1,78 @@
-//! Bounded structured event journal.
+//! Bounded structured event journal with a canonical, shard-count-invariant
+//! order.
 //!
-//! Events are small, typed, and carry only integers and `'static`
-//! strings, so recording one never allocates; the ring buffer is
-//! preallocated to capacity and evicts the oldest entry when full.
+//! Events are small, typed, and carry only integers and `'static` strings,
+//! so recording one never allocates on the heap beyond the lane buffer's
+//! amortized growth. To stay deterministic when the simulator runs sharded
+//! across worker threads, the journal is split into per-shard *lanes*:
+//! each worker appends only to its own lane, and every record carries the
+//! [`DispatchKey`] of the simulator event whose handler produced it. Reads
+//! merge the lanes in `(dispatch key, lane, intra-dispatch order)` order —
+//! a total order fixed by the simulation itself, not by thread timing — so
+//! the same seed yields a byte-identical journal at 1, 2 or N shards.
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Mutex;
 
-/// Default ring capacity. Big enough to hold the interesting tail of a
-/// chaos run (every session transition, rejection and injection), small
-/// enough that an unbounded event source cannot grow memory.
+/// Default retained-event bound. Big enough to hold the interesting tail
+/// of a chaos run (every session transition, rejection and injection),
+/// small enough that an unbounded event source cannot grow memory.
 pub const JOURNAL_CAPACITY: usize = 4096;
+
+/// Maximum number of journal lanes (one per simulator shard, plus lane 0
+/// for everything recorded outside a worker thread).
+pub const MAX_LANES: usize = 64;
+
+/// Per-lane raw-record bound. This is a memory safety valve, not the
+/// retention policy: [`JOURNAL_CAPACITY`] governs what reads return. It is
+/// sized so no realistic run ever trips it — if one does, eviction happens
+/// per-lane and the merged order is no longer guaranteed shard-count
+/// invariant (visible in [`Journal::dropped`]).
+const LANE_SOFT_CAP: usize = 1 << 20;
 
 /// Sentinel `neighbor` label for FIB/flow-cache events on a table that has
 /// no owning neighbor (the experiment delivery table).
 pub const DELIVERY_TABLE: u32 = u32::MAX;
 
-fn nbr_label(neighbor: u32, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-    if neighbor == DELIVERY_TABLE {
-        write!(f, "delivery")
-    } else {
-        write!(f, "{neighbor}")
+/// Canonical position of one journal record in the simulation's total
+/// order: the queue key of the simulator event being dispatched when the
+/// record was made.
+///
+/// The simulator orders events by `(time, class, destination node, source,
+/// sequence)`; that order is independent of how nodes are partitioned into
+/// shards, which is exactly what makes the merged journal deterministic.
+/// Records made outside the event loop (platform build, test drivers, the
+/// oracle) use [`DispatchKey::outside`], which sorts after any in-loop
+/// record at the same timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DispatchKey {
+    /// Event time in simulated nanoseconds.
+    pub at_nanos: u64,
+    /// Event class rank (chaos steps sort before node events; see the
+    /// simulator's event ordering).
+    pub class: u8,
+    /// Destination node of the dispatched event.
+    pub dst: u32,
+    /// Source node of the dispatched event (`u32::MAX` for external).
+    pub src: u32,
+    /// Per-source sequence number of the dispatched event.
+    pub seq: u64,
+}
+
+impl DispatchKey {
+    /// Class rank used for records made outside any event dispatch.
+    pub const OUTSIDE_CLASS: u8 = u8::MAX;
+
+    /// The key for a record made outside the event loop at clock `nanos`.
+    pub fn outside(nanos: u64) -> Self {
+        DispatchKey {
+            at_nanos: nanos,
+            class: Self::OUTSIDE_CLASS,
+            dst: u32::MAX,
+            src: u32::MAX,
+            seq: 0,
+        }
     }
 }
 
@@ -30,38 +82,84 @@ fn nbr_label(neighbor: u32, f: &mut fmt::Formatter<'_>) -> fmt::Result {
 pub enum EventKind {
     /// A BGP session FSM moved between states.
     SessionTransition {
+        /// Peer slot index.
         peer: u32,
+        /// State left.
         from: &'static str,
+        /// State entered.
         to: &'static str,
     },
     /// A session dropped back to Idle with exponential backoff applied.
-    SessionBackoff { peer: u32, level: u32 },
+    SessionBackoff {
+        /// Peer slot index.
+        peer: u32,
+        /// Backoff level reached.
+        level: u32,
+    },
     /// The control-plane enforcer rejected part of an experiment UPDATE.
     EnforcementReject {
+        /// Experiment slot index.
         experiment: u32,
+        /// Static reason code.
         reason: &'static str,
     },
     /// The data-plane enforcer blocked an experiment packet class.
     DataBlocked {
+        /// Experiment slot index.
         experiment: u32,
+        /// Static reason code.
         reason: &'static str,
     },
     /// A re-established session replayed its Adj-RIB-Out.
-    ResyncReplay { peer: u32, routes: u64 },
+    ResyncReplay {
+        /// Peer slot index.
+        peer: u32,
+        /// Routes replayed.
+        routes: u64,
+    },
     /// A neighbor table's flow cache was invalidated by a generation bump.
-    FlowCacheInvalidation { neighbor: u32, generation: u64 },
+    FlowCacheInvalidation {
+        /// Neighbor slot index (or [`DELIVERY_TABLE`]).
+        neighbor: u32,
+        /// New generation.
+        generation: u64,
+    },
     /// A compiled FIB caught up with its table, by patch or rebuild.
     FibSync {
+        /// Neighbor slot index (or [`DELIVERY_TABLE`]).
         neighbor: u32,
+        /// Whether the sync was a wholesale rebuild.
         rebuild: bool,
+        /// Entries changed.
         changed: u64,
     },
     /// The sequenced BGP transport reset after a gap or remote close.
-    TransportReset { peer: u32, reason: &'static str },
+    TransportReset {
+        /// Peer slot index.
+        peer: u32,
+        /// Static reason code.
+        reason: &'static str,
+    },
     /// A chaos step fired on a link.
-    ChaosInjection { link: u32, change: &'static str },
+    ChaosInjection {
+        /// Link index.
+        link: u32,
+        /// Static change code (`link-down`, `set-faults`, ...).
+        change: &'static str,
+    },
     /// The router declined to generate an ICMP error.
-    IcmpSuppressed { reason: &'static str },
+    IcmpSuppressed {
+        /// Static reason code.
+        reason: &'static str,
+    },
+}
+
+fn nbr_label(neighbor: u32, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if neighbor == DELIVERY_TABLE {
+        write!(f, "delivery")
+    } else {
+        write!(f, "{neighbor}")
+    }
 }
 
 impl fmt::Display for EventKind {
@@ -119,6 +217,7 @@ impl fmt::Display for EventKind {
 pub struct Event {
     /// Simulated time in nanoseconds (zero for standalone components).
     pub t_nanos: u64,
+    /// What happened.
     pub kind: EventKind,
 }
 
@@ -130,38 +229,160 @@ impl fmt::Display for Event {
     }
 }
 
+/// One lane record: the event plus its canonical position.
+#[derive(Clone, Copy)]
+struct TaggedEvent {
+    tag: DispatchKey,
+    sub: u64,
+    event: Event,
+}
+
+#[derive(Default)]
+struct LaneBuf {
+    records: VecDeque<TaggedEvent>,
+    next_sub: u64,
+    evicted: u64,
+}
+
+/// Lane-striped journal. Lane 0 is the main thread / sequential engine;
+/// sharded simulator workers write lanes `1..n`.
 pub(crate) struct Journal {
-    ring: VecDeque<Event>,
+    lanes: [Mutex<LaneBuf>; MAX_LANES],
     capacity: usize,
-    dropped: u64,
 }
 
 impl Journal {
     pub fn new(capacity: usize) -> Self {
         Journal {
-            ring: VecDeque::with_capacity(capacity),
+            lanes: std::array::from_fn(|_| Mutex::new(LaneBuf::default())),
             capacity,
-            dropped: 0,
         }
     }
 
-    pub fn push(&mut self, event: Event) {
-        if self.ring.len() == self.capacity {
-            self.ring.pop_front();
-            self.dropped += 1;
+    pub fn push(&self, lane: usize, tag: DispatchKey, event: Event) {
+        let mut buf = self.lanes[lane.min(MAX_LANES - 1)]
+            .lock()
+            .expect("journal lane poisoned");
+        let sub = buf.next_sub;
+        buf.next_sub += 1;
+        if buf.records.len() == LANE_SOFT_CAP {
+            buf.records.pop_front();
+            buf.evicted += 1;
         }
-        self.ring.push_back(event);
+        buf.records.push_back(TaggedEvent { tag, sub, event });
+    }
+
+    /// All records, merged into canonical order (not yet capped).
+    fn merged(&self) -> (Vec<TaggedEvent>, u64) {
+        let mut all: Vec<(TaggedEvent, usize)> = Vec::new();
+        let mut evicted = 0;
+        for (lane, buf) in self.lanes.iter().enumerate() {
+            let buf = buf.lock().expect("journal lane poisoned");
+            evicted += buf.evicted;
+            all.extend(buf.records.iter().map(|r| (*r, lane)));
+        }
+        all.sort_by_key(|(r, lane)| (r.tag, *lane, r.sub));
+        (all.into_iter().map(|(r, _)| r).collect(), evicted)
     }
 
     pub fn len(&self) -> usize {
-        self.ring.len()
+        let total: usize = self
+            .lanes
+            .iter()
+            .map(|b| b.lock().expect("journal lane poisoned").records.len())
+            .sum();
+        total.min(self.capacity)
     }
 
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        let mut total = 0usize;
+        let mut evicted = 0u64;
+        for buf in &self.lanes {
+            let buf = buf.lock().expect("journal lane poisoned");
+            total += buf.records.len();
+            evicted += buf.evicted;
+        }
+        evicted + total.saturating_sub(self.capacity) as u64
     }
 
+    /// Retained events in canonical order, oldest first: the last
+    /// `capacity` records of the merged stream.
     pub fn events(&self) -> Vec<Event> {
-        self.ring.iter().copied().collect()
+        let (merged, _) = self.merged();
+        let skip = merged.len().saturating_sub(self.capacity);
+        merged[skip..].iter().map(|r| r.event).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, peer: u32) -> Event {
+        Event {
+            t_nanos: t,
+            kind: EventKind::SessionBackoff { peer, level: 1 },
+        }
+    }
+
+    fn key(at: u64, dst: u32, src: u32, seq: u64) -> DispatchKey {
+        DispatchKey {
+            at_nanos: at,
+            class: 1,
+            dst,
+            src,
+            seq,
+        }
+    }
+
+    #[test]
+    fn lanes_merge_in_dispatch_order_not_arrival_order() {
+        let j = Journal::new(16);
+        // Lane 2 records "later" events first — wall-clock arrival order
+        // must not matter.
+        j.push(2, key(10, 7, 1, 0), ev(10, 7));
+        j.push(1, key(5, 3, 0, 0), ev(5, 3));
+        j.push(1, key(10, 2, 9, 4), ev(10, 2));
+        let events = j.events();
+        let times: Vec<u64> = events.iter().map(|e| e.t_nanos).collect();
+        assert_eq!(times, vec![5, 10, 10]);
+        // At t=10, dst 2 sorts before dst 7.
+        let peers: Vec<u32> = events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::SessionBackoff { peer, .. } => peer,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(peers, vec![3, 2, 7]);
+    }
+
+    #[test]
+    fn outside_records_sort_after_in_loop_records_at_same_time() {
+        let j = Journal::new(16);
+        j.push(0, DispatchKey::outside(10), ev(10, 100));
+        j.push(1, key(10, 0, 0, 0), ev(10, 200));
+        let events = j.events();
+        let peers: Vec<u32> = events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::SessionBackoff { peer, .. } => peer,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(peers, vec![200, 100]);
+    }
+
+    #[test]
+    fn capacity_keeps_newest_and_counts_dropped() {
+        let j = Journal::new(4);
+        for i in 0..10u64 {
+            j.push(0, DispatchKey::outside(i), ev(i, i as u32));
+        }
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.dropped(), 6);
+        let events = j.events();
+        assert_eq!(events.first().unwrap().t_nanos, 6);
+        assert_eq!(events.last().unwrap().t_nanos, 9);
     }
 }

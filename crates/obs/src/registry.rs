@@ -1,8 +1,14 @@
 //! Metric storage: interned names, dense ids, shared-cell handles.
+//!
+//! Handles are backed by atomics so instrumented components can run on
+//! simulator worker threads (sharded-parallel runs). All operations use
+//! `Relaxed` ordering: metrics are commutative sums, and the simulator's
+//! window barriers (thread join / `Barrier::wait`) provide the
+//! happens-before edges a snapshot needs.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::snapshot::{Snapshot, SnapshotValue};
 
@@ -11,10 +17,10 @@ use crate::snapshot::{Snapshot, SnapshotValue};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MetricId(pub u32);
 
-/// A monotonic counter. Cloning shares the cell; incrementing is a plain
-/// integer add — no lock, no lookup, no allocation.
+/// A monotonic counter. Cloning shares the cell; incrementing is a single
+/// relaxed atomic add — no lock, no lookup, no allocation.
 #[derive(Clone)]
-pub struct Counter(Rc<Cell<u64>>);
+pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
     /// Add one.
@@ -26,77 +32,78 @@ impl Counter {
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.set(self.0.get().wrapping_add(n));
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Overwrite the value — for mirroring an existing plain-u64 stats
     /// field into the registry at publish time.
     #[inline]
     pub fn set(&self, v: u64) {
-        self.0.set(v);
+        self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 }
 
 /// A settable signed level.
 #[derive(Clone)]
-pub struct Gauge(Rc<Cell<i64>>);
+pub struct Gauge(Arc<AtomicI64>);
 
 impl Gauge {
     /// Overwrite the level.
     #[inline]
     pub fn set(&self, v: i64) {
-        self.0.set(v);
+        self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adjust the level by `delta`.
     #[inline]
     pub fn add(&self, delta: i64) {
-        self.0.set(self.0.get().wrapping_add(delta));
+        self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current level.
     #[inline]
     pub fn get(&self) -> i64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 }
 
 pub(crate) struct HistState {
     pub bounds: &'static [u64],
     /// One count per bound, plus the overflow bucket.
-    pub buckets: Vec<u64>,
-    pub count: u64,
-    pub sum: u64,
+    pub buckets: Box<[AtomicU64]>,
+    pub count: AtomicU64,
+    pub sum: AtomicU64,
 }
 
 /// A fixed-bucket histogram (latencies, batch sizes). Observation is a
-/// linear scan over a handful of bounds — no allocation.
+/// linear scan over a handful of bounds plus three relaxed atomic adds —
+/// no allocation.
 #[derive(Clone)]
-pub struct Histogram(Rc<RefCell<HistState>>);
+pub struct Histogram(Arc<HistState>);
 
 impl Histogram {
     /// Record one observation.
     pub fn observe(&self, v: u64) {
-        let mut h = self.0.borrow_mut();
+        let h = &self.0;
         let idx = h
             .bounds
             .iter()
             .position(|&b| v <= b)
             .unwrap_or(h.bounds.len());
-        h.buckets[idx] += 1;
-        h.count += 1;
-        h.sum = h.sum.wrapping_add(v);
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
     }
 
     /// Total observations.
     pub fn count(&self) -> u64 {
-        self.0.borrow().count
+        self.0.count.load(Ordering::Relaxed)
     }
 }
 
@@ -128,6 +135,10 @@ pub(crate) struct Registry {
     slots: Vec<Slot>,
 }
 
+/// Registration goes through a mutex (cold path); the handles it returns
+/// touch only their own atomics afterwards.
+pub(crate) type SharedRegistry = Mutex<Registry>;
+
 impl Registry {
     pub fn new() -> Self {
         Registry {
@@ -158,7 +169,7 @@ impl Registry {
         let slot = self.slot(id);
         match &slot.store {
             None => {
-                let c = Counter(Rc::new(Cell::new(0)));
+                let c = Counter(Arc::new(AtomicU64::new(0)));
                 slot.store = Some(MetricStore::Counter(c.clone()));
                 c
             }
@@ -175,7 +186,7 @@ impl Registry {
         let slot = self.slot(id);
         match &slot.store {
             None => {
-                let g = Gauge(Rc::new(Cell::new(0)));
+                let g = Gauge(Arc::new(AtomicI64::new(0)));
                 slot.store = Some(MetricStore::Gauge(g.clone()));
                 g
             }
@@ -197,19 +208,20 @@ impl Registry {
         let slot = self.slot(id);
         match &slot.store {
             None => {
-                let h = Histogram(Rc::new(RefCell::new(HistState {
+                let buckets: Box<[AtomicU64]> =
+                    (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+                let h = Histogram(Arc::new(HistState {
                     bounds,
-                    buckets: vec![0; bounds.len() + 1],
-                    count: 0,
-                    sum: 0,
-                })));
+                    buckets,
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                }));
                 slot.store = Some(MetricStore::Histogram(h.clone()));
                 h
             }
             Some(MetricStore::Histogram(h)) => {
                 assert_eq!(
-                    h.0.borrow().bounds,
-                    bounds,
+                    h.0.bounds, bounds,
                     "metric `{}` re-registered with different bounds",
                     slot.name
                 );
@@ -233,12 +245,16 @@ impl Registry {
                     MetricStore::Counter(c) => SnapshotValue::Counter(c.get()),
                     MetricStore::Gauge(g) => SnapshotValue::Gauge(g.get()),
                     MetricStore::Histogram(h) => {
-                        let h = h.0.borrow();
+                        let h = &h.0;
                         SnapshotValue::Histogram {
                             bounds: h.bounds,
-                            buckets: h.buckets.clone(),
-                            count: h.count,
-                            sum: h.sum,
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: h.sum.load(Ordering::Relaxed),
                         }
                     }
                 };

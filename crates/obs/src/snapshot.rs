@@ -9,13 +9,19 @@ use std::fmt::Write as _;
 /// One metric's captured value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotValue {
+    /// A monotonic counter's value.
     Counter(u64),
+    /// A gauge's signed level.
     Gauge(i64),
+    /// A fixed-bucket histogram's full state.
     Histogram {
+        /// Inclusive upper bucket bounds.
         bounds: &'static [u64],
         /// One count per bound, plus the overflow bucket.
         buckets: Vec<u64>,
+        /// Total observations.
         count: u64,
+        /// Sum of all observed values.
         sum: u64,
     },
 }

@@ -182,6 +182,24 @@ impl AllocationRegistry {
         Ok(lease)
     }
 
+    /// Append synthetic resources beyond the platform's published pools.
+    ///
+    /// The paper's footprint (8 ASNs, 40 /24s) caps concurrency at seven
+    /// simultaneous leases — faithful to §4.2, but far below what the
+    /// scale bench needs when it attaches dozens of experiments to a
+    /// ≥16-PoP topology. Synthetic ASNs come from the 4-byte private
+    /// range and prefixes from 10.0.0.0/8, so they cannot collide with
+    /// the published resources.
+    pub fn grow_synthetic(&mut self, extra_asns: usize, extra_v4: usize) {
+        for i in 0..extra_asns {
+            self.free_asns.push(Asn(4_200_000_000 + i as u32));
+        }
+        for i in 0..extra_v4 {
+            let addr = Ipv4Addr::new(10, (i / 256) as u8, (i % 256) as u8, 0);
+            self.free_v4.push(Prefix::v4(addr, 24).unwrap());
+        }
+    }
+
     /// Release an experiment's lease, returning resources to the pools.
     pub fn release(&mut self, exp: ExperimentId) -> Result<(), AllocationError> {
         let lease = self

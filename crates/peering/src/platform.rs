@@ -82,6 +82,9 @@ struct PopHandle {
     vpn: VpnServer,
     backbone: bool,
     neighbor_ids: Vec<(NeighborId, NeighborRole)>,
+    /// Every simulator node living at this PoP (router, fabric switch,
+    /// neighbor ASes, route-server members) — the unit of shard placement.
+    nodes: Vec<NodeId>,
 }
 
 /// The running platform.
@@ -172,6 +175,7 @@ impl Peering {
             ));
             let fabric_link = LinkConfig::with_latency(SimDuration::from_micros(100));
             let mut next_switch_port: u16 = 0;
+            let mut pop_nodes: Vec<NodeId> = vec![switch];
 
             // Neighbor nodes.
             let mut neighbor_node_cfgs: Vec<(NodeId, NeighborId)> = Vec::new();
@@ -207,6 +211,7 @@ impl Peering {
                 let node_id = sim.add_node(Box::new(node));
                 neighbor_nodes.insert(nid, node_id);
                 neighbor_node_cfgs.push((node_id, nid));
+                pop_nodes.push(node_id);
                 router.add_neighbor(NeighborConfig {
                     id: nid,
                     asn: Asn(nbr.asn),
@@ -284,12 +289,14 @@ impl Peering {
                         });
                         let _ = rs_asn;
                     }
+                    pop_nodes.extend(members.iter().copied());
                     rs_member_nodes.insert(nid, members.clone());
                     rs_and_members.push((rs_node, members));
                 }
             }
 
             let router_node = sim.add_node(Box::new(router));
+            pop_nodes.push(router_node);
             sim.connect(
                 router_node,
                 PortId(0),
@@ -338,6 +345,7 @@ impl Peering {
                     .iter()
                     .map(|n| (NeighborId(n.id), n.role))
                     .collect(),
+                nodes: pop_nodes,
             });
         }
 
@@ -489,6 +497,43 @@ impl Peering {
     /// The platform-wide observability handle (registry + journal).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Shard the simulator for parallel execution: each PoP's nodes
+    /// (router, fabric switch, neighbor ASes, RS members) are placed
+    /// together on shard `pop_index % shards`, while global nodes — the
+    /// internet-core switch and experiment routers — stay on shard 0. Only
+    /// inter-PoP links (backbone VLANs, core peerings, tunnels) cross shard
+    /// boundaries, and all of them have real propagation delay, so the
+    /// simulator gets a useful conservative lookahead. Results are
+    /// bit-identical to `shards = 1` (see the `peering-netsim` docs).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.sim.set_shards(shards);
+        let shards = self.sim.shards();
+        if shards == 1 {
+            return;
+        }
+        for id in self.sim.node_ids() {
+            self.sim.set_node_shard(id, 0);
+        }
+        let assignments: Vec<(NodeId, usize)> = self
+            .pops
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| p.nodes.iter().map(move |n| (*n, i % shards)))
+            .collect();
+        for (node, shard) in assignments {
+            self.sim.set_node_shard(node, shard);
+        }
+    }
+
+    /// Grow the allocation pools past the published footprint with
+    /// synthetic ASNs and RFC1918 /24s. The real platform's resources cap
+    /// concurrency at seven leases; scale benches attaching dozens of
+    /// experiments call this first (see
+    /// [`AllocationRegistry::grow_synthetic`]).
+    pub fn grow_allocation_pools(&mut self, extra_asns: usize, extra_v4: usize) {
+        self.registry.grow_synthetic(extra_asns, extra_v4);
     }
 
     /// Mirror every router's (and its layers') counters into the registry.

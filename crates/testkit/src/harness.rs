@@ -38,6 +38,10 @@ pub struct HarnessOptions {
     /// a session re-establishes) into every router. Exists so the test
     /// suite can prove the oracle actually catches resync divergence.
     pub skip_session_up_replay: bool,
+    /// Number of simulator shards to run on (1 = sequential engine). The
+    /// outcome is bit-identical at any shard count; tests sweep this to
+    /// prove it.
+    pub shards: usize,
 }
 
 impl Default for HarnessOptions {
@@ -47,6 +51,7 @@ impl Default for HarnessOptions {
             max_incidents: 6,
             settle: SimDuration::from_secs(450),
             skip_session_up_replay: false,
+            shards: 1,
         }
     }
 }
@@ -72,6 +77,10 @@ pub struct ChaosOutcome {
     pub metric_deltas: Vec<String>,
     /// Rendered tail of the structured event journal (newest last).
     pub journal_tail: String,
+    /// Order-sensitive digest of the full event journal at quiescence,
+    /// taken before the oracle's own probes run. Two runs with the same
+    /// seed must produce the same digest at any shard count.
+    pub journal_digest: u64,
 }
 
 impl ChaosOutcome {
@@ -85,6 +94,7 @@ impl ChaosOutcome {
 /// announce its allocation everywhere — the steady state chaos perturbs.
 fn build_platform(seed: u64, opts: &HarnessOptions) -> Peering {
     let mut p = Peering::build(paper_intent(&TopologyParams::tiny()), seed);
+    p.set_shards(opts.shards);
     let pops = p.pop_names();
     let mut proposal = Proposal::basic("chaos");
     proposal.pops = pops.clone();
@@ -163,6 +173,7 @@ fn run_scheduled(
     // force-syncs every FIB, and those syncs would crowd the run's own
     // story (session flaps, resyncs, chaos injections) out of the tail.
     let journal_tail = p.obs().journal_tail(256);
+    let journal_digest = p.obs().journal_digest();
     let problems = check_convergence(&mut p);
     let sessions_dropped = count_session_drops(&p);
     let snapshot = p.obs_snapshot();
@@ -175,6 +186,7 @@ fn run_scheduled(
         snapshot,
         metric_deltas,
         journal_tail,
+        journal_digest,
     }
 }
 

@@ -1,0 +1,66 @@
+//! Sharded-parallel determinism regression (see `docs/architecture.md`).
+//!
+//! The simulator's contract is that sharding is invisible: the same seed
+//! must produce bit-identical output whether the run executes on the
+//! sequential engine (1 shard) or across worker threads (2, 8 shards).
+//! "Output" here is everything a test or bench could observe — the
+//! metrics snapshot rendering, the order-sensitive journal digest, the
+//! oracle verdict, and the per-node session-drop counts.
+//!
+//! These runs use the full chaos harness, so the workload includes link
+//! flaps, fault bursts, hold-timer expiries, and Adj-RIB-Out resyncs —
+//! not a toy topology. A divergence at any shard count is a determinism
+//! bug in the conservative-lookahead engine, not flakiness.
+
+use peering_testkit::harness::{run_chaos_schedule, ChaosOutcome, HarnessOptions};
+
+/// Chaos seeds for the battery. 555 matches the hand-written-plan tests
+/// in `tests/chaos.rs`; the others are arbitrary but fixed.
+const SEEDS: [u64; 3] = [555, 7, 23];
+
+fn run(seed: u64, shards: usize) -> ChaosOutcome {
+    let opts = HarnessOptions {
+        shards,
+        ..HarnessOptions::default()
+    };
+    run_chaos_schedule(seed, &opts)
+}
+
+#[test]
+fn sharded_chaos_runs_replay_bit_identically() {
+    let mut total_drops = 0usize;
+    for seed in SEEDS {
+        let baseline = run(seed, 1);
+        total_drops += baseline.sessions_dropped;
+        for shards in [2usize, 8] {
+            let sharded = run(seed, shards);
+            assert_eq!(
+                baseline.snapshot.to_text(),
+                sharded.snapshot.to_text(),
+                "seed {seed}: metrics snapshot diverged at {shards} shards"
+            );
+            assert_eq!(
+                baseline.journal_digest, sharded.journal_digest,
+                "seed {seed}: journal digest diverged at {shards} shards"
+            );
+            assert_eq!(
+                baseline.journal_tail, sharded.journal_tail,
+                "seed {seed}: journal tail diverged at {shards} shards"
+            );
+            assert_eq!(
+                baseline.problems, sharded.problems,
+                "seed {seed}: oracle verdict diverged at {shards} shards"
+            );
+            assert_eq!(
+                baseline.sessions_dropped, sharded.sessions_dropped,
+                "seed {seed}: session-drop count diverged at {shards} shards"
+            );
+        }
+    }
+    // If no chaos schedule in the battery ever dropped a session, the
+    // equality above proves nothing about perturbed runs.
+    assert!(
+        total_drops > 0,
+        "chaos battery never dropped a session — seeds too tame to test determinism"
+    );
+}
