@@ -405,7 +405,12 @@ pub fn encode_attrs(
     if !mp_announce.is_empty() {
         let nh = match attrs.next_hop {
             Some(IpAddr::V6(nh)) => nh,
-            _ => Ipv6Addr::UNSPECIFIED,
+            // A v4 next-hop over a v4-addressed fabric still has to ride
+            // in the (16-byte) MP_REACH next-hop slot: use the v4-mapped
+            // form, which the decoder folds back to V4 so the attribute
+            // round-trips losslessly (the RFC 5549 situation, simplified).
+            Some(IpAddr::V4(nh)) => nh.to_ipv6_mapped(),
+            None => Ipv6Addr::UNSPECIFIED,
         };
         let mut v = Vec::new();
         v.extend_from_slice(&Afi::Ipv6.to_u16().to_be_bytes());
@@ -547,7 +552,13 @@ pub fn decode_attrs(buf: &[u8], ctx: &SessionCodecCtx) -> Result<DecodedAttrs, C
                 if afi == Afi::Ipv6 && nh_len >= 16 {
                     let mut octets = [0u8; 16];
                     octets.copy_from_slice(&value[4..20]);
-                    attrs.next_hop = Some(IpAddr::V6(Ipv6Addr::from(octets)));
+                    let nh = Ipv6Addr::from(octets);
+                    // Fold a v4-mapped next-hop back to V4 (the encoder's
+                    // RFC 5549-style carriage of v4 next-hops for v6 NLRI).
+                    attrs.next_hop = Some(match nh.to_ipv4_mapped() {
+                        Some(v4) => IpAddr::V4(v4),
+                        None => IpAddr::V6(nh),
+                    });
                 }
                 let nlri_start = 4 + nh_len + 1;
                 let add_path = match afi {

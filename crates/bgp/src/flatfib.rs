@@ -174,6 +174,17 @@ impl FlatFib {
         match prefix.afi() {
             Afi::Ipv4 => {
                 if let Some(dirty) = &mut self.dirty_v4 {
+                    // Dedup before counting toward the threshold: sustained
+                    // churn concentrated on a few prefixes (one flapping
+                    // session re-dirtying the same /24 every update) must
+                    // not masquerade as a wide dirty set and force a
+                    // wholesale rebuild. The crossover to rebuild is then
+                    // monotone in the number of DISTINCT dirty prefixes.
+                    // Linear scan is fine: the list is capped at
+                    // CHURN_REBUILD_THRESHOLD entries.
+                    if dirty.contains(prefix) {
+                        return;
+                    }
                     if dirty.len() >= CHURN_REBUILD_THRESHOLD {
                         self.dirty_v4 = None;
                     } else {
@@ -714,6 +725,67 @@ mod tests {
         f.sync(&t);
         assert_agree(&t, &f, "192.0.2.1");
         assert_agree(&t, &f, "10.1.1.1");
+    }
+
+    #[test]
+    fn repeated_marks_of_one_prefix_patch_not_rebuild() {
+        // Regression: mark_dirty used to count duplicates toward the
+        // rebuild threshold, so a single flapping prefix re-marked 64+
+        // times between syncs forced a wholesale rebuild of the 16M-slot
+        // table. Sustained churn on one prefix must stay a 1-prefix patch.
+        let (mut t, mut f) = built(&[("10.0.0.0/8", 1), ("10.1.2.0/24", 2)]);
+        let (rebuilds_before, ..) = f.sync_totals();
+        let p = prefix("10.1.2.0/24");
+        for i in 0..(CHURN_REBUILD_THRESHOLD as u32 * 4) {
+            t.insert(p, 100 + i);
+            f.mark_dirty(&p);
+        }
+        assert!(f.sync(&t));
+        assert_eq!(
+            f.last_sync(),
+            Some((false, 1)),
+            "one flapping prefix must patch one prefix, not rebuild"
+        );
+        let (rebuilds_after, ..) = f.sync_totals();
+        assert_eq!(rebuilds_before, rebuilds_after);
+        assert_agree(&t, &f, "10.1.2.1");
+    }
+
+    #[test]
+    fn rebuild_crossover_monotone_in_distinct_prefixes() {
+        // The patch-vs-rebuild decision must be a monotone function of the
+        // number of DISTINCT dirty prefixes: patch at or below the
+        // threshold, rebuild above it — regardless of how many times each
+        // prefix was re-marked.
+        for distinct in [
+            1usize,
+            7,
+            CHURN_REBUILD_THRESHOLD,
+            CHURN_REBUILD_THRESHOLD + 1,
+        ] {
+            let (mut t, mut f) = built(&[("10.0.0.0/8", 1)]);
+            for round in 0..3u32 {
+                for i in 0..distinct as u32 {
+                    let p = Prefix::v4(Ipv4Addr::from(0x0a00_0000 | (i << 8)), 24).unwrap();
+                    t.insert(p, 100 + i + round);
+                    f.mark_dirty(&p);
+                }
+            }
+            assert!(f.sync(&t));
+            let want_rebuild = distinct > CHURN_REBUILD_THRESHOLD;
+            let (was_rebuild, patched) = f.last_sync().expect("sync happened");
+            assert_eq!(
+                was_rebuild, want_rebuild,
+                "{distinct} distinct dirty prefixes: rebuild={was_rebuild}"
+            );
+            if !want_rebuild {
+                assert_eq!(patched as usize, distinct, "patched exactly the dirty set");
+            }
+            for i in 0..distinct as u32 {
+                let a = IpAddr::V4(Ipv4Addr::from(0x0a00_0001 | (i << 8)));
+                assert_eq!(f.lookup(a).map(|(_, v)| v), Some(100 + i + 2));
+            }
+        }
     }
 
     #[test]

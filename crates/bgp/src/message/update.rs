@@ -233,6 +233,21 @@ mod tests {
     }
 
     #[test]
+    fn v6_announce_with_v4_next_hop_roundtrips() {
+        // Members on a v4-addressed fabric export v6 NLRI with a v4
+        // next-hop-self; the MP_REACH slot carries it v4-mapped and the
+        // decoder folds it back, so the attribute survives the wire.
+        let ctx = SessionCodecCtx::default();
+        let attrs = PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(30001)]),
+            next_hop: Some("10.2.200.7".parse().unwrap()),
+            ..Default::default()
+        };
+        let msg = UpdateMsg::announce(vec![(prefix("2610:e0::/32"), None)], attrs);
+        assert_eq!(roundtrip(msg.clone(), &ctx), msg);
+    }
+
+    #[test]
     fn end_of_rib() {
         let ctx = SessionCodecCtx::default();
         let msg = UpdateMsg::end_of_rib();

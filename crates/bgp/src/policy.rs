@@ -231,6 +231,15 @@ impl Policy {
         }
     }
 
+    /// True when the policy can never accept any route: no rules and a
+    /// `Reject` default. Speakers use this to skip export evaluation
+    /// entirely for feed-only sessions — at a route server with hundreds
+    /// of member sessions, evaluating a reject-all export per prefix per
+    /// member dominates convergence time for no observable effect.
+    pub fn is_reject_all(&self) -> bool {
+        self.rules.is_empty() && self.default == Verdict::Reject
+    }
+
     /// Build from rules with a default verdict.
     pub fn new(rules: Vec<Rule>, default: Verdict) -> Self {
         Policy { rules, default }

@@ -588,6 +588,35 @@ impl Speaker {
         out
     }
 
+    /// Originate many routes with one coalesced flush at the end.
+    ///
+    /// Semantically identical to calling [`Speaker::originate`] per route,
+    /// but that flushes after every insertion — one UPDATE per route on the
+    /// wire. Bulk feeds (a route-server member announcing its slice of a
+    /// synthetic full table) want the multi-NLRI packing the batching layer
+    /// exists for: insert and recompute everything first, then let a single
+    /// flush group announcements by shared attribute set.
+    pub fn originate_many(
+        &mut self,
+        routes: impl IntoIterator<Item = (Prefix, PathAttributes)>,
+    ) -> SpeakerOutput {
+        let mut out = SpeakerOutput::default();
+        for (prefix, attrs) in routes {
+            self.stamp += 1;
+            let route = Route {
+                prefix,
+                path_id: 0,
+                attrs: self.attr_store.intern(attrs),
+                source: RouteSource::Local,
+                stamp: self.stamp,
+            };
+            self.local_routes.insert(prefix, route);
+            self.recompute(prefix, &mut out);
+        }
+        self.flush_all(&mut out);
+        out
+    }
+
     /// Withdraw a locally-originated route.
     pub fn withdraw_origin(&mut self, prefix: Prefix) -> SpeakerOutput {
         let mut out = SpeakerOutput::default();
@@ -988,6 +1017,14 @@ impl Speaker {
         if !peer.fsm.is_established() {
             return;
         }
+        // Feed-only sessions (reject-all export, nothing previously
+        // advertised for this prefix) skip candidate collection and policy
+        // evaluation outright. A route server carrying a full table for
+        // hundreds of members would otherwise spend O(prefixes × members)
+        // in this function computing empty advertisement sets.
+        if peer.cfg.export.is_reject_all() && peer.adj_out.get(&prefix).is_none() {
+            return;
+        }
         let mode = peer.cfg.mode;
         let ebgp = peer.cfg.remote_asn != self.cfg.asn;
         let candidates: Vec<Route> = match mode {
@@ -1141,12 +1178,17 @@ impl Speaker {
             push_chunked(&mut msgs, UpdateMsg::withdraw(entries), &ctx);
         }
         // Group announcements by attribute identity (interned, so pointer
-        // identity suffices), preserving first-appearance order.
+        // identity suffices) AND address family, preserving
+        // first-appearance order. The family split matters: one UPDATE
+        // carries a single next-hop per family slot (classic NEXT_HOP for
+        // v4, MP_REACH for v6), so packing both families under one shared
+        // attribute set would ship the wrong next-hop to one of them.
         type AttrGroup = (Arc<PathAttributes>, Vec<(Prefix, Option<PathId>)>);
         let mut groups: Vec<AttrGroup> = Vec::new();
-        let mut index: HashMap<*const PathAttributes, usize> = HashMap::new();
+        let mut index: HashMap<(*const PathAttributes, bool), usize> = HashMap::new();
         for (&(p, pid), attrs) in &announce {
-            let slot = *index.entry(Arc::as_ptr(attrs)).or_insert_with(|| {
+            let v6 = matches!(p, Prefix::V6 { .. });
+            let slot = *index.entry((Arc::as_ptr(attrs), v6)).or_insert_with(|| {
                 groups.push((Arc::clone(attrs), Vec::new()));
                 groups.len() - 1
             });
@@ -1920,6 +1962,37 @@ mod tests {
         assert!(h.speakers[1].loc_rib().best(&p).is_some());
         assert_eq!(h.speakers[1].stale_path_count(PeerId(0)), 0);
         assert_eq!(h.speakers[1].total_adj_in_paths(), 1);
+    }
+
+    #[test]
+    fn mixed_family_batch_keeps_per_family_next_hops() {
+        // Two prefixes of different families sharing ONE interned
+        // attribute set (the DFZ-workload shape) must not be packed into
+        // a single UPDATE: one message carries one next-hop per family
+        // slot, so family-blind attr grouping would ship the v6 MP_REACH
+        // next-hop to the v4 routes (or vice versa). Regression for the
+        // flush grouping key.
+        let mut h = pair(false);
+        let p4 = prefix("20.0.12.0/24");
+        let p6 = prefix("2610:e0::/32");
+        let shared = PathAttributes {
+            as_path: AsPath::from_asns(&[Asn(777)]),
+            ..Default::default()
+        };
+        let out = h.speakers[0].originate_many(vec![(p4, shared.clone()), (p6, shared)]);
+        h.process(0, out);
+        h.run();
+        for (prefix, paths) in h.speakers[1].adj_rib_in_snapshot(PeerId(0)) {
+            for (_, attrs) in paths {
+                assert_eq!(
+                    attrs.next_hop,
+                    Some(addr(1)),
+                    "wrong next-hop for {prefix} after mixed-family flush"
+                );
+            }
+        }
+        assert!(h.speakers[1].loc_rib().best(&p4).is_some());
+        assert!(h.speakers[1].loc_rib().best(&p6).is_some());
     }
 
     #[test]

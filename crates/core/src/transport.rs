@@ -69,7 +69,7 @@ pub struct BgpHost {
     pub speaker: Speaker,
     endpoints: HashMap<PeerId, Endpoint>,
     by_addr: HashMap<(PortId, MacAddr), PeerId>,
-    timer_gen: HashMap<(PeerId, u8), u16>,
+    timer_gen: HashMap<(PeerId, u8), u64>,
     interposed: HashSet<PeerId>,
     rx_buf: HashMap<PeerId, Vec<u8>>,
     transport_up: HashSet<PeerId>,
@@ -116,8 +116,24 @@ fn timer_kind_from_index(idx: u8) -> Option<TimerKind> {
     }
 }
 
-fn encode_token(peer: PeerId, kind: TimerKind, gen: u16) -> u64 {
-    BGP_TIMER_BIT | ((peer.0 as u64) << 24) | ((timer_kind_index(kind) as u64) << 16) | gen as u64
+/// Timer-token layout: bit 63 the ownership flag, bits 39..63 the peer
+/// id, bits 37..39 the timer kind, bits 0..37 the arm generation.
+///
+/// The generation field must be wide. Hold timers are re-armed on every
+/// received message and stale arms are only *invalidated*, never
+/// cancelled — each one stays queued in the simulator for its full 90 s.
+/// A full-table feed re-arms a session's hold timer millions of times,
+/// so a 16-bit generation wraps while stale timers are still queued and
+/// a 90-second-old hold expiry fires with a colliding generation,
+/// killing a perfectly live session. 37 bits needs ~10^11 re-arms to
+/// wrap within one hold interval.
+const GEN_MASK: u64 = (1 << 37) - 1;
+
+fn encode_token(peer: PeerId, kind: TimerKind, gen: u64) -> u64 {
+    BGP_TIMER_BIT
+        | ((peer.0 as u64) << 39)
+        | ((timer_kind_index(kind) as u64) << 37)
+        | (gen & GEN_MASK)
 }
 
 impl BgpHost {
@@ -233,12 +249,16 @@ impl BgpHost {
         if !Self::owns_timer(token) {
             return events;
         }
-        let peer = PeerId(((token >> 24) & 0xffff_ffff) as u32);
-        let Some(kind) = timer_kind_from_index(((token >> 16) & 0xff) as u8) else {
+        let peer = PeerId(((token >> 39) & 0xff_ffff) as u32);
+        let Some(kind) = timer_kind_from_index(((token >> 37) & 0x3) as u8) else {
             return events;
         };
-        let gen = (token & 0xffff) as u16;
-        if self.timer_gen.get(&(peer, timer_kind_index(kind))) != Some(&gen) {
+        let gen = token & GEN_MASK;
+        let current = self
+            .timer_gen
+            .get(&(peer, timer_kind_index(kind)))
+            .map(|g| g & GEN_MASK);
+        if current != Some(gen) {
             return events; // stale timer
         }
         let out = self.speaker.on_timer(peer, kind);
@@ -756,9 +776,57 @@ mod tests {
     fn timer_token_roundtrip() {
         let token = encode_token(PeerId(0xabcd), TimerKind::Hold, 7);
         assert!(BgpHost::owns_timer(token));
-        assert_eq!(((token >> 24) & 0xffff_ffff) as u32, 0xabcd);
-        assert_eq!(((token >> 16) & 0xff) as u8, 1);
-        assert_eq!((token & 0xffff) as u16, 7);
+        assert_eq!(((token >> 39) & 0xff_ffff) as u32, 0xabcd);
+        assert_eq!(((token >> 37) & 0x3) as u8, 1);
+        assert_eq!(token & GEN_MASK, 7);
         assert!(!BgpHost::owns_timer(42));
+    }
+
+    #[test]
+    fn timer_generations_distinct_beyond_u16() {
+        // Regression: hold timers are re-armed per received message and a
+        // full-table feed re-arms them >65 536 times while stale arms are
+        // still queued. Generations one u16-wrap apart must NOT collide.
+        let a = encode_token(PeerId(3), TimerKind::Hold, 5);
+        let b = encode_token(PeerId(3), TimerKind::Hold, 5 + (1 << 16));
+        assert_ne!(a, b);
+        // Still distinct a few billion arms later.
+        let c = encode_token(PeerId(3), TimerKind::Hold, 5 + (1 << 32));
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn session_survives_u16_generation_wrap_of_hold_timer() {
+        // Regression for a live-session kill at full-DFZ scale: 65 536
+        // hold re-arms in one burst leave 65 536 stale 90 s timers
+        // queued; with a 16-bit generation the current counter wraps to
+        // meet one of them, the stale expiry is taken as genuine, and an
+        // actively-trafficked session dies. Drive exactly that shape:
+        // one burst of arms, then normal keepalive traffic across the
+        // 90 s mark where the stale burst fires.
+        let (mut sim, a, _b) = setup(false);
+        sim.run_for(SimDuration::from_secs(2));
+        sim.with_node_ctx::<SpeakerNode, _>(a, |node, ctx| {
+            let mut out = SpeakerOutput::default();
+            for _ in 0..(1 << 16) {
+                out.events
+                    .push(SpeakerEvent::ArmTimer(PeerId(0), TimerKind::Hold, 90));
+            }
+            let evs = node.host.apply(ctx, out);
+            node.events.extend(evs);
+        });
+        // Cross t+90 s, when the burst's stale timers all fire. Keepalives
+        // continue to re-arm legitimately throughout.
+        sim.run_for(SimDuration::from_secs(120));
+        let node_a = sim.node::<SpeakerNode>(a).unwrap();
+        assert!(
+            node_a.host.speaker.is_established(PeerId(0)),
+            "stale hold timer from a wrapped generation killed a live session"
+        );
+        assert!(!node_a
+            .events
+            .iter()
+            .any(|e| matches!(e, HostEvent::SessionDown(_, _))));
     }
 }

@@ -1,0 +1,354 @@
+//! Seeded synthetic default-free-zone (DFZ) generator.
+//!
+//! Produces a full-Internet-scale route table — on the order of 1M IPv4
+//! and 200k IPv6 routes — deterministically from a `u64` seed, with
+//! prefix-length and AS-path-length histograms shaped like the real DFZ
+//! (RouteViews-style mass concentrated at /24 and /48, path lengths
+//! centred on 3–4 hops). The generator is random-access and streaming:
+//! [`DfzGenerator::route`] computes route `i` in O(path length) with no
+//! table materialized anywhere, so callers only ever hold the routes
+//! their RIBs need.
+//!
+//! **Uniqueness by construction.** Within one prefix length, the i-th
+//! prefix's address bits come from a bijection (multiplication by an odd
+//! constant modulo a power of two) of the in-bucket index, so no two
+//! routes of the same length share an address; routes of different
+//! lengths are distinct NLRI by definition. Overlap *across* lengths
+//! (a /22 covering some /24s) is allowed and realistic.
+//!
+//! **Address-space discipline.** IPv4 prefixes live in 20.0.0.0 …
+//! 83.255.255.255 and IPv6 prefixes in 2610::/16 — disjoint from every
+//! range the platform itself uses (fabrics in 10/8, neighbor baselines
+//! in 198.18/15+, leases in 184.164/16, 138.185/16 and 10/8, tunnels in
+//! 100.64/10). AS-path hops are drawn from [131072, 393216) — 4-byte
+//! public space that cannot collide with platform, neighbor, or
+//! route-server-member ASNs, keeping every generated path loop-free
+//! through the whole propagation chain.
+
+use peering_bgp::attrs::{AsPath, Origin, PathAttributes};
+use peering_bgp::types::{Asn, Prefix};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// IPv4 prefix-length histogram, in permille of the v4 route count. The
+/// real DFZ's /8–/15 tail (~2%) is folded into /16; property tests check
+/// the generated stream against THIS table, and the docs note the
+/// truncation.
+pub const V4_LENGTH_PERMILLE: [(u8, u32); 9] = [
+    (16, 13),
+    (17, 8),
+    (18, 14),
+    (19, 26),
+    (20, 43),
+    (21, 48),
+    (22, 120),
+    (23, 130),
+    (24, 598),
+];
+
+/// IPv6 prefix-length histogram, in permille of the v6 route count
+/// (/48-heavy, as in the real table).
+pub const V6_LENGTH_PERMILLE: [(u8, u32); 7] = [
+    (32, 130),
+    (36, 50),
+    (40, 70),
+    (44, 100),
+    (48, 520),
+    (56, 70),
+    (64, 60),
+];
+
+/// AS-path length histogram, in permille of the path pool (post-member
+/// paths as seen at the route server; the member's own prepend adds one
+/// more hop on the wire).
+pub const AS_PATH_LEN_PERMILLE: [(u8, u32); 8] = [
+    (1, 20),
+    (2, 100),
+    (3, 300),
+    (4, 300),
+    (5, 150),
+    (6, 80),
+    (7, 30),
+    (8, 20),
+];
+
+/// First AS number paths draw hops from (start of 4-byte public space).
+pub const FIRST_PATH_ASN: u32 = 131_072;
+/// Number of AS numbers paths draw hops from.
+pub const PATH_ASN_SPAN: u32 = 262_144;
+
+const V4_BASE: u32 = 20 << 24; // 20.0.0.0
+const V6_BASE: u128 = 0x2610 << 112; // 2610::/16
+
+/// SplitMix64: the workspace's standard small deterministic mixer.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Configuration for a synthetic DFZ.
+#[derive(Debug, Clone)]
+pub struct DfzConfig {
+    /// Seed; same seed + same counts → identical route stream.
+    pub seed: u64,
+    /// IPv4 route count.
+    pub v4_routes: usize,
+    /// IPv6 route count.
+    pub v6_routes: usize,
+    /// Number of distinct AS-path/attribute variants shared across the
+    /// table. The real DFZ holds ~1M routes over <100k distinct attribute
+    /// sets; this ratio is what AttrStore dedup feeds on.
+    pub path_pool: usize,
+}
+
+impl DfzConfig {
+    /// Full-scale table: ~1M IPv4 + ~200k IPv6 (the paper's §6 context).
+    pub fn full(seed: u64) -> Self {
+        DfzConfig::sized(seed, 1_000_000, 200_000)
+    }
+
+    /// A table of the given size with the ratio-preserving path pool
+    /// (one attribute variant per ~15 routes, as in the real DFZ).
+    pub fn sized(seed: u64, v4_routes: usize, v6_routes: usize) -> Self {
+        DfzConfig {
+            seed,
+            v4_routes,
+            v6_routes,
+            path_pool: ((v4_routes + v6_routes) / 15).max(1),
+        }
+    }
+}
+
+/// One length bucket: `count` prefixes of length `len`, addressed via a
+/// bijection over `mask + 1` slots.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    len: u8,
+    start: usize,
+    count: usize,
+    mult: u64,
+    mask: u64,
+}
+
+fn build_buckets(seed: u64, total: usize, table: &[(u8, u32)], salt: u64) -> Vec<Bucket> {
+    let mut buckets = Vec::with_capacity(table.len());
+    let mut start = 0usize;
+    for (i, &(len, permille)) in table.iter().enumerate() {
+        let count = if i + 1 == table.len() {
+            total - start // last bucket absorbs rounding remainder
+        } else {
+            total * permille as usize / 1000
+        };
+        // Power-of-two slot space ≥ count so an odd multiplier is a
+        // bijection; the histogram only depends on `count`.
+        let bits = usize::BITS - count.max(1).next_power_of_two().leading_zeros() - 1;
+        let mask = (1u64 << bits) - 1;
+        let mult = splitmix(seed ^ salt ^ ((len as u64) << 8)) | 1;
+        buckets.push(Bucket {
+            len,
+            start,
+            count,
+            mult,
+            mask,
+        });
+        start += count;
+    }
+    debug_assert_eq!(start, total);
+    buckets
+}
+
+/// One synthetic route: an NLRI plus the attributes its member originates
+/// it with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfzRoute {
+    /// The NLRI.
+    pub prefix: Prefix,
+    /// Attributes (origin + AS path; next hop is set by the announcing
+    /// member's export pipeline).
+    pub attrs: PathAttributes,
+}
+
+/// Deterministic random-access generator over a synthetic DFZ. Route
+/// indices run 0..[`DfzGenerator::len`], IPv4 first.
+#[derive(Debug, Clone)]
+pub struct DfzGenerator {
+    cfg: DfzConfig,
+    v4: Vec<Bucket>,
+    v6: Vec<Bucket>,
+}
+
+impl DfzGenerator {
+    /// Build the bucket plan for `cfg` (cheap: no routes materialize).
+    pub fn new(cfg: DfzConfig) -> Self {
+        let v4 = build_buckets(cfg.seed, cfg.v4_routes, &V4_LENGTH_PERMILLE, 0x4444);
+        let v6 = build_buckets(cfg.seed, cfg.v6_routes, &V6_LENGTH_PERMILLE, 0x6666);
+        DfzGenerator { cfg, v4, v6 }
+    }
+
+    /// The configuration this generator was built from.
+    pub fn config(&self) -> &DfzConfig {
+        &self.cfg
+    }
+
+    /// Total route count (IPv4 + IPv6).
+    pub fn len(&self) -> usize {
+        self.cfg.v4_routes + self.cfg.v6_routes
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The NLRI of route `i`.
+    pub fn prefix(&self, i: usize) -> Prefix {
+        assert!(i < self.len(), "route index {i} out of range");
+        if i < self.cfg.v4_routes {
+            let b = bucket_of(&self.v4, i);
+            let slot = ((i - b.start) as u64).wrapping_mul(b.mult) & b.mask;
+            let addr = V4_BASE + ((slot as u32) << (32 - b.len));
+            Prefix::v4(Ipv4Addr::from(addr), b.len).expect("generated v4 prefix valid")
+        } else {
+            let j = i - self.cfg.v4_routes;
+            let b = bucket_of(&self.v6, j);
+            let slot = ((j - b.start) as u64).wrapping_mul(b.mult) & b.mask;
+            let addr = V6_BASE | ((slot as u128) << (128 - b.len as u32));
+            Prefix::v6(Ipv6Addr::from(addr), b.len).expect("generated v6 prefix valid")
+        }
+    }
+
+    /// The attribute-variant index route `i` uses after `bump` flaps
+    /// (churn re-announces a route with the next pool variant, modelling
+    /// a path change).
+    ///
+    /// Consecutive routes share a variant in runs of
+    /// `⌈total/path_pool⌉` (≈ 15 with [`DfzConfig::sized`]): real DFZ
+    /// tables announce runs of adjacent prefixes from one origin with
+    /// identical attributes, and it is exactly this locality that
+    /// attribute interning and flush-time NLRI coalescing exploit.
+    pub fn variant_of(&self, i: usize, bump: u32) -> usize {
+        let run_len = self.len().div_ceil(self.cfg.path_pool).max(1);
+        (i / run_len + bump as usize) % self.cfg.path_pool
+    }
+
+    /// The attributes of pool variant `v`: an origin and a loop-free AS
+    /// path with length drawn from [`AS_PATH_LEN_PERMILLE`], hops from
+    /// `[FIRST_PATH_ASN, FIRST_PATH_ASN + PATH_ASN_SPAN)`.
+    pub fn pool_attrs(&self, v: usize) -> PathAttributes {
+        let mut state = splitmix(self.cfg.seed ^ variant_salt(v));
+        let mut next = || {
+            state = splitmix(state);
+            state
+        };
+        let draw = (next() % 1000) as u32;
+        let mut acc = 0u32;
+        let mut path_len = AS_PATH_LEN_PERMILLE[AS_PATH_LEN_PERMILLE.len() - 1].0;
+        for &(len, permille) in &AS_PATH_LEN_PERMILLE {
+            acc += permille;
+            if draw < acc {
+                path_len = len;
+                break;
+            }
+        }
+        let mut hops: Vec<Asn> = Vec::with_capacity(path_len as usize);
+        while hops.len() < path_len as usize {
+            let hop = Asn(FIRST_PATH_ASN + (next() % PATH_ASN_SPAN as u64) as u32);
+            // Loop-freeness by rejection: paths are ≤ 8 hops over a 262k
+            // ASN space, so re-draws are vanishingly rare.
+            if !hops.contains(&hop) {
+                hops.push(hop);
+            }
+        }
+        PathAttributes {
+            origin: Origin::Igp,
+            as_path: AsPath::from_asns(&hops),
+            ..Default::default()
+        }
+    }
+
+    /// Route `i` as originated (variant bump 0).
+    pub fn route(&self, i: usize) -> DfzRoute {
+        self.route_flapped(i, 0)
+    }
+
+    /// Route `i` after `bump` flaps: same NLRI, rotated attribute variant.
+    pub fn route_flapped(&self, i: usize, bump: u32) -> DfzRoute {
+        DfzRoute {
+            prefix: self.prefix(i),
+            attrs: self.pool_attrs(self.variant_of(i, bump)),
+        }
+    }
+
+    /// Stream every route in index order.
+    pub fn iter(&self) -> impl Iterator<Item = DfzRoute> + '_ {
+        (0..self.len()).map(|i| self.route(i))
+    }
+}
+
+/// Seed mix for pool variant `v`.
+fn variant_salt(v: usize) -> u64 {
+    0x9a70_0000_0000_0000 ^ ((v as u64) << 4)
+}
+
+fn bucket_of(buckets: &[Bucket], i: usize) -> &Bucket {
+    let b = buckets
+        .iter()
+        .rev()
+        .find(|b| i >= b.start)
+        .expect("index within bucket plan");
+    debug_assert!(i - b.start < b.count);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn histograms_sum_to_1000_permille() {
+        assert_eq!(V4_LENGTH_PERMILLE.iter().map(|x| x.1).sum::<u32>(), 1000);
+        assert_eq!(V6_LENGTH_PERMILLE.iter().map(|x| x.1).sum::<u32>(), 1000);
+        assert_eq!(AS_PATH_LEN_PERMILLE.iter().map(|x| x.1).sum::<u32>(), 1000);
+    }
+
+    #[test]
+    fn addresses_stay_inside_reserved_ranges() {
+        let g = DfzGenerator::new(DfzConfig::sized(7, 20_000, 4_000));
+        for i in (0..g.len()).step_by(97) {
+            match g.prefix(i) {
+                Prefix::V4 { addr, .. } => {
+                    let first = addr.octets()[0];
+                    assert!((20..84).contains(&first), "v4 escaped range: {addr}");
+                }
+                Prefix::V6 { addr, .. } => {
+                    assert_eq!(addr.segments()[0], 0x2610, "v6 escaped range: {addr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_nlri_small_table() {
+        let g = DfzGenerator::new(DfzConfig::sized(3, 30_000, 6_000));
+        let mut seen = HashSet::new();
+        for r in g.iter() {
+            assert!(seen.insert(r.prefix), "duplicate NLRI {:?}", r.prefix);
+        }
+        assert_eq!(seen.len(), g.len());
+    }
+
+    #[test]
+    fn flap_rotates_attribute_variant() {
+        let g = DfzGenerator::new(DfzConfig::sized(11, 1_000, 200));
+        let a = g.route_flapped(42, 0);
+        let b = g.route_flapped(42, 1);
+        assert_eq!(a.prefix, b.prefix);
+        assert_ne!(
+            g.variant_of(42, 0),
+            g.variant_of(42, 1),
+            "bump must change the pool variant"
+        );
+    }
+}

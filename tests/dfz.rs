@@ -1,0 +1,179 @@
+//! Scaled-down full-DFZ battery (see `crates/workload`).
+//!
+//! The production-shaped workload — a synthetic internet table fed by
+//! route-server members, disturbed by trace-shaped churn — at a size CI
+//! can afford: a 2-PoP fabric whose route servers carry 64 members
+//! between them, feeding 50k routes (45k IPv4 + 5k IPv6). The battery
+//! proves three things end to end:
+//!
+//! 1. **Oracle-clean convergence.** After the feed, and again after
+//!    churn + heal, every global invariant holds: session symmetry,
+//!    Adj-RIB agreement on all ~130 sessions, no stale paths, router
+//!    self-consistency, and data-plane compilation
+//!    (`verify_data_plane`) — so withdraw-then-reannounce churn can
+//!    never leave a stale FlatFib entry behind.
+//! 2. **Patch-vs-rebuild sanity.** Data-plane probes during churn drive
+//!    the lazy FIB sync machinery; with the dirty-dedup fix the syncs
+//!    patch (counted in `mux.fib_patch_rounds`) instead of thrashing
+//!    into wholesale rebuilds.
+//! 3. **Sharding is invisible.** The identical workload replayed on the
+//!    2-shard engine produces a bit-identical journal digest, metrics
+//!    snapshot, and oracle verdict.
+//!
+//! Under `cfg(debug_assertions)` (tier-1 `cargo test -q`) the sizes
+//! shrink so the battery stays cheap; CI runs the full size in release.
+
+use peering_netsim::SimDuration;
+use peering_testkit::oracle::check_convergence;
+use peering_workload::{
+    ChurnConfig, ChurnSchedule, DfzConfig, DfzFabric, DfzGenerator, FabricConfig,
+};
+
+const SEED: u64 = 20260809;
+
+#[cfg(debug_assertions)]
+mod size {
+    pub const MEMBERS: usize = 16;
+    pub const V4_ROUTES: usize = 5_400;
+    pub const V6_ROUTES: usize = 600;
+    pub const CHURN_SECS: u32 = 8;
+}
+#[cfg(not(debug_assertions))]
+mod size {
+    pub const MEMBERS: usize = 64;
+    pub const V4_ROUTES: usize = 45_000;
+    pub const V6_ROUTES: usize = 5_000;
+    pub const CHURN_SECS: u32 = 20;
+}
+
+struct Outcome {
+    feed_problems: Vec<String>,
+    post_problems: Vec<String>,
+    router_prefixes: Vec<usize>,
+    events_applied: usize,
+    journal_digest: u64,
+    snapshot_text: String,
+    patch_rounds: u64,
+    rebuilds_during_churn: u64,
+}
+
+fn run(shards: usize) -> Outcome {
+    let gen = DfzGenerator::new(DfzConfig::sized(SEED, size::V4_ROUTES, size::V6_ROUTES));
+    let cfg = FabricConfig {
+        seed: SEED,
+        pops: 2,
+        members: size::MEMBERS,
+        experiments: 2,
+        shards,
+    };
+    let mut fabric = DfzFabric::build(cfg, gen);
+    let stats = fabric.feed();
+    let expected = fabric.expected_router_prefixes();
+    assert!(
+        stats.router_prefixes.iter().all(|&c| c >= expected),
+        "feed fell short: {:?} < {expected}",
+        stats.router_prefixes
+    );
+    let feed_problems = check_convergence(&mut fabric.peering);
+
+    let fib_counter = |fabric: &mut DfzFabric, name: &str| -> u64 {
+        let snap = fabric.peering.obs_snapshot();
+        snap.names()
+            .filter(|n| n.contains(name))
+            .filter_map(|n| snap.counter(n))
+            .sum()
+    };
+    let rebuilds_before = fib_counter(&mut fabric, "mux.fib_rebuilds");
+    let patches_before = fib_counter(&mut fabric, "mux.fib_patch_rounds");
+
+    let schedule = ChurnSchedule::generate(ChurnConfig {
+        seed: SEED ^ 0xc4,
+        p50_per_sec: 30.0,
+        p99_per_sec: 100.0,
+        burst_permille: 20,
+        pareto_alpha_x100: 150,
+        duration_secs: size::CHURN_SECS,
+        routes: fabric.gen.len(),
+    });
+    let events_applied = fabric.replay(&schedule, 250, 1);
+    fabric.heal();
+    fabric.peering.run_for(SimDuration::from_secs(30));
+
+    let patch_rounds = fib_counter(&mut fabric, "mux.fib_patch_rounds") - patches_before;
+    let rebuilds_during_churn = fib_counter(&mut fabric, "mux.fib_rebuilds") - rebuilds_before;
+
+    // Post-heal floor: every prefix — DFZ routes, member baselines, and
+    // experiment leases — must be back. A session that silently died
+    // during churn (e.g. the timer-generation wrap fixed in
+    // core/transport.rs) shows up here as lost leases.
+    let final_counts = fabric.router_prefix_counts();
+    assert!(
+        final_counts.iter().all(|&c| c >= expected),
+        "post-heal table incomplete: {final_counts:?} < {expected}"
+    );
+
+    // Digest and snapshot BEFORE the oracle: its data-plane check
+    // force-syncs FIBs, which would add events of its own.
+    let journal_digest = fabric.peering.obs().journal_digest();
+    let snapshot_text = fabric.peering.obs_snapshot().to_text();
+    let post_problems = check_convergence(&mut fabric.peering);
+
+    Outcome {
+        feed_problems,
+        post_problems,
+        router_prefixes: fabric.router_prefix_counts(),
+        events_applied,
+        journal_digest,
+        snapshot_text,
+        patch_rounds,
+        rebuilds_during_churn,
+    }
+}
+
+#[test]
+fn dfz_fabric_converges_survives_churn_and_shards_identically() {
+    let base = run(1);
+    assert_eq!(
+        base.feed_problems,
+        Vec::<String>::new(),
+        "oracle violations after initial full-table feed"
+    );
+    assert_eq!(
+        base.post_problems,
+        Vec::<String>::new(),
+        "oracle violations after churn + heal (stale FlatFib entries \
+         would surface here via verify_data_plane)"
+    );
+    assert!(
+        base.events_applied > 50,
+        "churn schedule too tame: {} events",
+        base.events_applied
+    );
+    // Patch-vs-rebuild crossover under sustained churn: probes force
+    // syncs every 250 ms of churn, each seeing a dirty set far below the
+    // rebuild threshold — they must be patches. Rebuild counts may grow
+    // only by the first-touch compilations of tables the probes hit.
+    assert!(
+        base.patch_rounds > 0,
+        "churn-time FIB syncs never patched (probes not reaching the FIB?)"
+    );
+    assert!(
+        base.rebuilds_during_churn <= 8,
+        "FIB rebuild thrash under churn: {} rebuilds, {} patch rounds",
+        base.rebuilds_during_churn,
+        base.patch_rounds
+    );
+
+    // The same workload on the sharded engine: bit-identical output.
+    let sharded = run(2);
+    assert_eq!(
+        base.journal_digest, sharded.journal_digest,
+        "journal digest diverged at 2 shards"
+    );
+    assert_eq!(
+        base.snapshot_text, sharded.snapshot_text,
+        "metrics snapshot diverged at 2 shards"
+    );
+    assert_eq!(base.post_problems, sharded.post_problems);
+    assert_eq!(base.router_prefixes, sharded.router_prefixes);
+}

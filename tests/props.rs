@@ -1027,6 +1027,159 @@ mod obs_props {
     }
 }
 
+mod workload_props {
+    use super::*;
+    use peering_workload::dfz::{
+        AS_PATH_LEN_PERMILLE, FIRST_PATH_ASN, PATH_ASN_SPAN, V4_LENGTH_PERMILLE, V6_LENGTH_PERMILLE,
+    };
+    use peering_workload::{ChurnConfig, ChurnSchedule, DfzConfig, DfzGenerator};
+    use std::collections::{BTreeMap, HashSet};
+
+    /// Same seed ⇒ bit-identical route stream; different seed ⇒ a
+    /// different one (addresses and paths both move).
+    #[test]
+    fn generator_is_a_pure_function_of_the_seed() {
+        check("generator_is_a_pure_function_of_the_seed", 12, |g| {
+            let seed = g.u64();
+            let v4 = g.range(100, 2_000) as usize;
+            let v6 = g.range(10, 400) as usize;
+            let a = DfzGenerator::new(DfzConfig::sized(seed, v4, v6));
+            let b = DfzGenerator::new(DfzConfig::sized(seed, v4, v6));
+            let sa: Vec<_> = a.iter().collect();
+            let sb: Vec<_> = b.iter().collect();
+            assert_eq!(sa, sb, "same seed must yield an identical stream");
+            let c = DfzGenerator::new(DfzConfig::sized(seed ^ 1, v4, v6));
+            assert!(
+                c.iter().zip(&sa).any(|(x, y)| &x != y),
+                "different seed should perturb the stream"
+            );
+        });
+    }
+
+    /// The generated prefix-length histogram tracks the configured
+    /// permille tables (exactly, modulo the last-bucket remainder).
+    #[test]
+    fn prefix_length_histogram_matches_tables() {
+        check("prefix_length_histogram_matches_tables", 6, |g| {
+            let seed = g.u64();
+            let v4_total = g.range(5_000, 20_000) as usize;
+            let v6_total = g.range(1_000, 4_000) as usize;
+            let gen = DfzGenerator::new(DfzConfig::sized(seed, v4_total, v6_total));
+            let mut hist: BTreeMap<(bool, u8), usize> = BTreeMap::new();
+            for r in gen.iter() {
+                let key = (matches!(r.prefix, Prefix::V6 { .. }), r.prefix.len());
+                *hist.entry(key).or_default() += 1;
+            }
+            for (v6, table, total) in [
+                (false, &V4_LENGTH_PERMILLE[..], v4_total),
+                (true, &V6_LENGTH_PERMILLE[..], v6_total),
+            ] {
+                for &(len, permille) in table {
+                    let got = hist.get(&(v6, len)).copied().unwrap_or(0);
+                    let want = total * permille as usize / 1000;
+                    // Exact for all but the largest bucket, which absorbs
+                    // the rounding remainder (< one slot per table row).
+                    assert!(
+                        got >= want && got <= want + table.len() * total.div_ceil(1000),
+                        "len {len} (v6={v6}): got {got}, want ≈{want}"
+                    );
+                }
+            }
+        });
+    }
+
+    /// No duplicate NLRI anywhere in the table, and every address sits in
+    /// the carved-out DFZ ranges.
+    #[test]
+    fn nlri_are_unique_and_in_range() {
+        check("nlri_are_unique_and_in_range", 6, |g| {
+            let gen = DfzGenerator::new(DfzConfig::sized(
+                g.u64(),
+                g.range(3_000, 12_000) as usize,
+                g.range(500, 2_000) as usize,
+            ));
+            let mut seen = HashSet::new();
+            for r in gen.iter() {
+                assert!(seen.insert(r.prefix), "duplicate NLRI {}", r.prefix);
+                match r.prefix {
+                    Prefix::V4 { addr, .. } => {
+                        let first = addr.octets()[0];
+                        assert!((20..84).contains(&first), "v4 {} out of range", r.prefix);
+                    }
+                    Prefix::V6 { addr, .. } => {
+                        assert_eq!(addr.segments()[0], 0x2610, "v6 {} out of range", r.prefix);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Generated AS paths are loop-free (no repeated ASN), non-empty,
+    /// within the table's length bounds, and drawn from the reserved span.
+    #[test]
+    fn as_paths_are_loop_free_and_in_span() {
+        check("as_paths_are_loop_free_and_in_span", 6, |g| {
+            let gen = DfzGenerator::new(DfzConfig::sized(
+                g.u64(),
+                g.range(2_000, 8_000) as usize,
+                g.range(200, 1_000) as usize,
+            ));
+            let max_len = AS_PATH_LEN_PERMILLE.iter().map(|&(l, _)| l).max().unwrap();
+            for r in gen.iter() {
+                let hops: Vec<Asn> = match &r.attrs.as_path.segments[..] {
+                    [AsPathSegment::Sequence(h)] => h.clone(),
+                    other => panic!("unexpected path shape {other:?}"),
+                };
+                assert!(!hops.is_empty() && hops.len() <= max_len as usize);
+                let distinct: HashSet<_> = hops.iter().collect();
+                assert_eq!(distinct.len(), hops.len(), "AS loop in {hops:?}");
+                for h in &hops {
+                    assert!(
+                        (FIRST_PATH_ASN..FIRST_PATH_ASN + PATH_ASN_SPAN).contains(&h.0),
+                        "hop {h:?} outside reserved span"
+                    );
+                }
+            }
+        });
+    }
+
+    /// Withdraw/re-announce variants: a flap rotates the attribute variant
+    /// (so churn exercises attr replacement), while the NLRI stays put.
+    #[test]
+    fn flap_variants_rotate_attrs_not_nlri() {
+        check("flap_variants_rotate_attrs_not_nlri", 24, |g| {
+            let gen = DfzGenerator::new(DfzConfig::sized(g.u64(), 2_000, 200));
+            let i = g.below(gen.len() as u64) as usize;
+            let base = gen.route(i);
+            let flapped = gen.route_flapped(i, 1 + g.below(40) as u32);
+            assert_eq!(base.prefix, flapped.prefix);
+            assert_eq!(base.prefix, gen.prefix(i));
+        });
+    }
+
+    /// Churn-rate calibration: over a long window the measured per-second
+    /// p50 and p99 land within 10% of the configured targets.
+    #[test]
+    fn churn_quantiles_hit_targets() {
+        check("churn_quantiles_hit_targets", 3, |g| {
+            let cfg = ChurnConfig::amsix(g.u64(), 4_000, 1_000_000);
+            let sched = ChurnSchedule::generate(cfg.clone());
+            let (p50, p99) = sched.measured_quantiles();
+            let close = |got: u64, want: f64| (got as f64 - want).abs() <= want * 0.10;
+            assert!(
+                close(p50, cfg.p50_per_sec),
+                "p50 {p50} vs target {}",
+                cfg.p50_per_sec
+            );
+            assert!(
+                close(p99, cfg.p99_per_sec),
+                "p99 {p99} vs target {}",
+                cfg.p99_per_sec
+            );
+        });
+    }
+}
+
 mod steering_props {
     use super::*;
     use peering_repro::vbgp::communities::{ControlCommunities, MAX_NEIGHBOR_ID};
