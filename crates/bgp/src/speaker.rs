@@ -187,6 +187,10 @@ pub struct PeerStats {
     pub import_rejected: u64,
     /// Routes rejected by AS-path loop detection.
     pub loop_rejected: u64,
+    /// Export-policy suppressions toward this peer (each time a Loc-RIB
+    /// candidate was withheld by the session's export policy — the
+    /// valley-free enforcement surface of the synthetic internet).
+    pub export_rejected: u64,
     /// Codec errors on this session.
     pub codec_errors: u64,
     /// ADD-PATH re-announcements that replaced an already-held
@@ -294,6 +298,10 @@ pub struct Speaker {
     /// coalescing flush-size histogram land here.
     obs: Obs,
     h_flush: Histogram,
+    /// Journal every export-policy suppression (off by default: at a
+    /// mid-tier AS the suppression is the steady state, so only nodes
+    /// whose enforcement is under observation opt in).
+    journal_export_rejects: bool,
 }
 
 /// Bucket bounds for the coalescing flush-size histogram (NLRI entries
@@ -316,6 +324,7 @@ impl Speaker {
             fault_skip_session_up_replay: false,
             h_flush: obs.histogram("bgp.flush_nlri", FLUSH_NLRI_BOUNDS),
             obs,
+            journal_export_rejects: false,
         }
     }
 
@@ -335,6 +344,16 @@ impl Speaker {
     /// on session re-establishment). Oracle self-test only.
     pub fn set_fault_skip_session_up_replay(&mut self, on: bool) {
         self.fault_skip_session_up_replay = on;
+    }
+
+    /// Journal every export-policy suppression as an
+    /// `ExportSuppressed` journal event. Off by default — at a
+    /// mid-tier AS the suppression *is* the steady state, so only
+    /// speakers whose enforcement surface is under observation (the
+    /// adversarial-scenario nodes) should opt in. The per-peer
+    /// `export_rejected` counter is maintained regardless.
+    pub fn set_journal_export_rejects(&mut self, on: bool) {
+        self.journal_export_rejects = on;
     }
 
     /// Local ASN.
@@ -1047,6 +1066,10 @@ impl Speaker {
                     continue;
                 }
                 let Some(mut attrs) = peer.cfg.export.evaluate(route) else {
+                    peer.stats.export_rejected += 1;
+                    if self.journal_export_rejects {
+                        self.obs.record(ObsEvent::ExportSuppressed { peer: id.0 });
+                    }
                     continue;
                 };
                 if ebgp {
@@ -1229,6 +1252,7 @@ impl Speaker {
             set("bgp.updates_out", s.updates_out);
             set("bgp.import_rejected", s.import_rejected);
             set("bgp.loop_rejected", s.loop_rejected);
+            set("bgp.export_rejected", s.export_rejected);
             set("bgp.codec_errors", s.codec_errors);
             set("bgp.addpath_dups", s.addpath_dups);
             self.obs

@@ -152,6 +152,14 @@ pub enum EventKind {
         /// Static reason code.
         reason: &'static str,
     },
+    /// An export policy suppressed a route toward a peer — the
+    /// valley-free (Gao–Rexford) enforcement firing at a synthetic
+    /// internet AS. Journaled only on speakers that opt in, because the
+    /// suppression itself is the steady state of every mid-tier AS.
+    ExportSuppressed {
+        /// Peer slot index.
+        peer: u32,
+    },
 }
 
 fn nbr_label(neighbor: u32, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -208,6 +216,9 @@ impl fmt::Display for EventKind {
                 write!(f, "chaos link={link} change={change}")
             }
             EventKind::IcmpSuppressed { reason } => write!(f, "icmp-suppressed reason={reason}"),
+            EventKind::ExportSuppressed { peer } => {
+                write!(f, "export-suppressed peer={peer}")
+            }
         }
     }
 }

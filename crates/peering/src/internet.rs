@@ -16,11 +16,12 @@ use peering_bgp::attrs::PathAttributes;
 use peering_bgp::policy::{Action, Match, Policy, Rule, Verdict};
 use peering_bgp::rib::PeerId;
 use peering_bgp::speaker::{PeerConfig, Speaker, SpeakerConfig};
-use peering_bgp::types::{Asn, Prefix, RouterId};
+use peering_bgp::types::{Asn, Community, Prefix, RouterId};
 use peering_netsim::arp::{ArpCache, ArpOp, ArpPacket};
 use peering_netsim::{
     Bytes, Ctx, EtherFrame, EtherType, IcmpPacket, IpPacket, IpProto, MacAddr, Node, PortId,
 };
+use peering_obs::Obs;
 use peering_vbgp::transport::{BgpHost, Endpoint, HostEvent};
 
 /// What the remote on a session is to us.
@@ -61,10 +62,12 @@ pub struct InternetAs {
     pub host: BgpHost,
     asn: Asn,
     route_server: bool,
+    te_communities: bool,
     port_macs: HashMap<PortId, MacAddr>,
     port_addrs: HashMap<PortId, Ipv4Addr>,
     relationships: HashMap<PeerId, Relationship>,
     originated: Vec<Prefix>,
+    origin_communities: HashMap<Prefix, Vec<Community>>,
     arp: ArpCache,
     pending: HashMap<Ipv4Addr, Vec<(PortId, IpPacket)>>,
     /// Packets terminated here (destination in an originated prefix).
@@ -86,10 +89,12 @@ impl InternetAs {
             host: BgpHost::new(Speaker::new(SpeakerConfig { asn, router_id })),
             asn,
             route_server: false,
+            te_communities: false,
             port_macs: HashMap::new(),
             port_addrs: HashMap::new(),
             relationships: HashMap::new(),
             originated: Vec::new(),
+            origin_communities: HashMap::new(),
             arp: ArpCache::new(),
             pending: HashMap::new(),
             received: Vec::new(),
@@ -113,9 +118,102 @@ impl InternetAs {
         self.asn
     }
 
+    /// What the remote on `session` is to us, if the session exists.
+    pub fn relationship(&self, session: PeerId) -> Option<Relationship> {
+        self.relationships.get(&session).copied()
+    }
+
+    /// Adopt a shared observability handle and start journaling export
+    /// suppressions (the valley-free enforcement firing). Meant for
+    /// scenario nodes whose policy surface is under measurement — the
+    /// platform's DFZ-scale fabrics keep the speaker's private registry.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.host.speaker.set_obs(obs);
+        self.host.speaker.set_journal_export_rejects(true);
+    }
+
+    /// Publish the speaker's per-peer counters into its obs registry.
+    pub fn publish_obs(&self) {
+        self.host.speaker.publish_obs();
+    }
+
+    /// Honor TE action communities (`asn16:50` do-not-announce-regional,
+    /// `asn16:61..=63` prepend-to-peer) on exports toward settlement-free
+    /// peers. Existing peer sessions are re-compiled and their Adj-RIB-Out
+    /// re-advertised immediately, so this is safe to flip on a running AS.
+    pub fn enable_te_communities(&mut self, ctx: &mut Ctx<'_>) {
+        self.te_communities = true;
+        let refresh: Vec<(PeerId, Relationship)> = self
+            .relationships
+            .iter()
+            .filter(|(_, r)| matches!(r, Relationship::Peer))
+            .map(|(p, r)| (*p, *r))
+            .collect();
+        for (peer, rel) in refresh {
+            let policy = self.export_policy(rel);
+            let out = self.host.speaker.set_export_policy(peer, policy);
+            let events = self.host.apply(ctx, out);
+            self.events.extend(events);
+        }
+    }
+
+    /// Install extra import rules (e.g. Peerlock `AsPathContains` rejects
+    /// or `AsPathLenAtLeast` caps) ahead of the relationship's local-pref
+    /// transform on one session, then ask the peer to re-send its routes
+    /// (RFC 2918) so already-imported paths are re-evaluated. Routes the
+    /// new rules reject are implicitly withdrawn on the refresh. Safe to
+    /// call before the session is up — the refresh is a no-op and the
+    /// policy applies to everything the session ever imports.
+    pub fn install_import_filter(&mut self, ctx: &mut Ctx<'_>, session: PeerId, extra: Vec<Rule>) {
+        let Some(&rel) = self.relationships.get(&session) else {
+            return;
+        };
+        let mut rules = extra;
+        rules.push(Rule::transform(
+            Match::Any,
+            vec![Action::SetLocalPref(rel.local_pref())],
+        ));
+        self.host
+            .speaker
+            .set_import_policy(session, Policy::new(rules, Verdict::Reject));
+        let out = self.host.speaker.request_route_refresh(session, 1);
+        let events = self.host.apply(ctx, out);
+        self.events.extend(events);
+    }
+
+    /// Turn this AS into a route leaker: export the FULL table (peer- and
+    /// provider-learned routes included) to every peer and provider,
+    /// violating valley-free export — the classic type-1..4 route leak of
+    /// RFC 7908 that Peerlock is designed to contain. Re-advertises
+    /// immediately if sessions are already up.
+    pub fn become_leaker(&mut self, ctx: &mut Ctx<'_>) {
+        let upstreams: Vec<PeerId> = self
+            .relationships
+            .iter()
+            .filter(|(_, r)| matches!(r, Relationship::Peer | Relationship::Provider))
+            .map(|(p, _)| *p)
+            .collect();
+        for peer in upstreams {
+            let out = self
+                .host
+                .speaker
+                .set_export_policy(peer, Policy::accept_all());
+            let events = self.host.apply(ctx, out);
+            self.events.extend(events);
+        }
+    }
+
     /// Originate a prefix (announced to every session per policy).
     pub fn originate(&mut self, prefix: Prefix) {
         self.originated.push(prefix);
+    }
+
+    /// Originate a prefix tagged with communities — how a customer cone
+    /// signals TE intent (e.g. `asn16:50` / `asn16:61..=63`) to upstream
+    /// ASes that honor action communities.
+    pub fn originate_with(&mut self, prefix: Prefix, communities: Vec<Community>) {
+        self.originated.push(prefix);
+        self.origin_communities.insert(prefix, communities);
     }
 
     /// Prefixes originated here.
@@ -134,7 +232,11 @@ impl InternetAs {
             Relationship::Customer | Relationship::RsClient => Policy::accept_all(),
             // Peers/providers get only our cone: local + customer routes.
             Relationship::Peer | Relationship::Provider => {
-                let mut rules = vec![Rule::accept(Match::LocalOrigin)];
+                let mut rules = Vec::new();
+                if self.te_communities && relationship == Relationship::Peer {
+                    rules.extend(self.te_rules());
+                }
+                rules.push(Rule::accept(Match::LocalOrigin));
                 for (&peer, &rel) in &self.relationships {
                     if rel == Relationship::Customer {
                         rules.push(Rule::accept(Match::FromPeer(peer)));
@@ -143,6 +245,29 @@ impl InternetAs {
                 Policy::new(rules, Verdict::Reject)
             }
         }
+    }
+
+    /// Action-community rules this AS honors on exports to settlement-free
+    /// peers when [`InternetAs::enable_te_communities`] is on (§7.1's
+    /// inbound-TE building blocks, interpreted by the Gao–Rexford engine):
+    ///
+    /// - `asn16:50` — do-not-announce-regional: suppress the route toward
+    ///   peers entirely (it stays inside the customer cone).
+    /// - `asn16:61..=63` — prepend-to-peer: prepend this AS n more times on
+    ///   peer exports, lengthening the path seen beyond the peering edge.
+    ///
+    /// `asn16` is the low 16 bits of this AS's ASN, so an originator can
+    /// target individual transit ASes.
+    fn te_rules(&self) -> Vec<Rule> {
+        let asn16 = (self.asn.0 & 0xFFFF) as u16;
+        let mut rules = vec![Rule::reject(Match::HasCommunity(Community::new(asn16, 50)))];
+        for n in 1..=3usize {
+            rules.push(Rule::amend(
+                Match::HasCommunity(Community::new(asn16, 60 + n as u16)),
+                vec![Action::Prepend(self.asn, n)],
+            ));
+        }
+        rules
     }
 
     fn import_policy(relationship: Relationship) -> Policy {
@@ -216,18 +341,22 @@ impl InternetAs {
         }
         let prefixes = self.originated.clone();
         for prefix in prefixes {
-            // Use any session address as next hop; export rewrites per
-            // session (next-hop-self).
+            // Use the lowest port's address as next hop; export rewrites
+            // per session (next-hop-self). Lowest-port (not HashMap
+            // iteration order, which is seeded per process) keeps the
+            // originated attributes — and thus journal digests —
+            // deterministic for multi-port ASes.
             let nh = self
                 .port_addrs
-                .values()
-                .next()
-                .copied()
+                .iter()
+                .min_by_key(|(port, _)| **port)
+                .map(|(_, a)| *a)
                 .unwrap_or(Ipv4Addr::UNSPECIFIED);
-            let out = self
-                .host
-                .speaker
-                .originate(prefix, PathAttributes::originated(nh.into()));
+            let mut attrs = PathAttributes::originated(nh.into());
+            if let Some(communities) = self.origin_communities.get(&prefix) {
+                attrs.communities = communities.clone();
+            }
+            let out = self.host.speaker.originate(prefix, attrs);
             let events = self.host.apply(ctx, out);
             self.events.extend(events);
         }
@@ -244,6 +373,46 @@ impl InternetAs {
     ) -> bool {
         let pkt = IpPacket::new(src, dst, IpProto::Udp, payload);
         self.forward(ctx, pkt, true)
+    }
+
+    /// Send a TTL-limited probe toward `dst` along the best route. `ident`
+    /// tags the probe's IP identification field so the time-exceeded reply
+    /// (which embeds the original header, RFC 792) can be matched by
+    /// [`InternetAs::traceroute_hops`] — the vantage-point traceroute the
+    /// poisoning scenarios use to verify return-path steering.
+    pub fn send_probe_with_ttl(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        ttl: u8,
+        ident: u16,
+    ) -> bool {
+        let mut pkt = IpPacket::new(src, dst, IpProto::Udp, Bytes::from_static(b"traceroute"));
+        pkt.header.ttl = ttl;
+        pkt.header.ident = ident;
+        self.forward(ctx, pkt, true)
+    }
+
+    /// Time-exceeded replies received for probes tagged `ident`, as
+    /// (replying hop address, original destination) pairs in arrival
+    /// order — a traceroute result.
+    pub fn traceroute_hops(&self, ident: u16) -> Vec<(Ipv4Addr, Ipv4Addr)> {
+        self.received
+            .iter()
+            .filter_map(|r| {
+                if r.packet.header.proto != IpProto::Icmp {
+                    return None;
+                }
+                let icmp = IcmpPacket::decode(&r.packet.payload)?;
+                let (probe_ident, original_dst) = icmp.original_probe()?;
+                if probe_ident == ident {
+                    Some((r.packet.header.src, original_dst))
+                } else {
+                    None
+                }
+            })
+            .collect()
     }
 
     /// Best route next hop for a destination (looking-glass surface, §8).
@@ -752,5 +921,116 @@ mod tests {
         assert!(route.is_some(), "route server relays client routes");
         // Transparent: the RS ASN is absent from the path.
         assert_eq!(route.unwrap().attrs.as_path.asns(), vec![Asn(65101)]);
+    }
+
+    #[test]
+    fn valley_free_suppression_is_counted_and_journaled() {
+        // The enforcement behind `peer_routes_do_not_reach_providers`,
+        // observed from the inside: t1 withholding t2's peer-learned prefix
+        // from its provider `big` increments the session's export_rejected
+        // counter and (with journaling opted in) lands in the journal.
+        let mut net = diamond();
+        let obs = peering_obs::Obs::new();
+        let handle = obs.clone();
+        net.sim
+            .with_node_ctx::<InternetAs, _>(net.nodes[1], |n, _| n.set_obs(handle));
+        start_all(&mut net);
+        let t1 = net.sim.node::<InternetAs>(net.nodes[1]).unwrap();
+        // Sanity: the leak really was suppressed.
+        let big = net.sim.node::<InternetAs>(net.nodes[4]).unwrap();
+        assert!(big.best_route("198.18.3.1".parse().unwrap()).is_none());
+        // t1's session toward big is PeerId(4) (link seq 4).
+        let stats = t1.host.speaker.peer_stats(PeerId(4)).unwrap();
+        assert!(
+            stats.export_rejected > 0,
+            "valley-free suppression must be counted (got {stats:?})"
+        );
+        t1.publish_obs();
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counter("bgp.export_rejected{peer=4}"),
+            Some(stats.export_rejected)
+        );
+        let journaled = obs
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, peering_obs::EventKind::ExportSuppressed { peer: 4 }))
+            .count();
+        assert!(journaled > 0, "suppression must be journaled when opted in");
+    }
+
+    #[test]
+    fn te_do_not_announce_community_blackholes_peers() {
+        // stub tags its prefix with t1's do-not-announce-regional community
+        // (65002 & 0xffff = 65002, low 50). With TE enabled at t1, the
+        // prefix must not cross the t1==t2 peering — but still climbs to
+        // t1's provider big (the community only gates peer exports).
+        let mut net = diamond();
+        net.sim
+            .with_node_ctx::<InternetAs, _>(net.nodes[1], |n, ctx| n.enable_te_communities(ctx));
+        net.sim
+            .with_node_ctx::<InternetAs, _>(net.nodes[0], |n, _| {
+                n.originate_with(prefix("198.18.100.0/24"), vec![Community::new(65002, 50)]);
+            });
+        start_all(&mut net);
+        let t2 = net.sim.node::<InternetAs>(net.nodes[2]).unwrap();
+        assert!(
+            t2.best_route("198.18.100.1".parse().unwrap()).is_none(),
+            "do-not-announce community must gate the peer export"
+        );
+        let big = net.sim.node::<InternetAs>(net.nodes[4]).unwrap();
+        assert!(
+            big.best_route("198.18.100.1".parse().unwrap()).is_some(),
+            "provider export is unaffected"
+        );
+        // The untagged baseline prefix still crosses the peering.
+        assert!(t2.best_route("198.18.0.1".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn te_prepend_community_lengthens_peer_path() {
+        // stub asks t1 for one extra prepend toward peers (65002:61). t2
+        // sees the path lengthened by exactly one extra 65002 hop.
+        let mut net = diamond();
+        net.sim
+            .with_node_ctx::<InternetAs, _>(net.nodes[1], |n, ctx| n.enable_te_communities(ctx));
+        net.sim
+            .with_node_ctx::<InternetAs, _>(net.nodes[0], |n, _| {
+                n.originate_with(prefix("198.18.100.0/24"), vec![Community::new(65002, 61)]);
+            });
+        start_all(&mut net);
+        let t2 = net.sim.node::<InternetAs>(net.nodes[2]).unwrap();
+        let tagged = t2.best_route("198.18.100.1".parse().unwrap()).unwrap();
+        assert_eq!(
+            tagged.attrs.as_path.asns(),
+            vec![Asn(65002), Asn(65002), Asn(65001)],
+            "prepend-to-peer adds one extra 65002"
+        );
+        let baseline = t2.best_route("198.18.0.1".parse().unwrap()).unwrap();
+        assert_eq!(baseline.attrs.as_path.asns(), vec![Asn(65002), Asn(65001)]);
+        // The provider path is NOT prepended (community targets peers).
+        let big = net.sim.node::<InternetAs>(net.nodes[4]).unwrap();
+        let up = big.best_route("198.18.100.1".parse().unwrap()).unwrap();
+        assert_eq!(up.attrs.as_path.asns(), vec![Asn(65002), Asn(65001)]);
+    }
+
+    #[test]
+    fn origination_next_hop_is_lowest_port() {
+        // t1 has three ports (0, 1, 2 from link seqs 1, 2, 4). Its
+        // originated attributes must pin the next hop to port 0's address
+        // — not whatever HashMap iteration order yields this process.
+        let mut net = diamond();
+        net.sim
+            .with_node_ctx::<InternetAs, _>(net.nodes[1], |n, _| {
+                n.originate(prefix("198.18.2.0/24"))
+            });
+        start_all(&mut net);
+        let t1 = net.sim.node::<InternetAs>(net.nodes[1]).unwrap();
+        let route = t1.best_route("198.18.2.1".parse().unwrap()).unwrap();
+        assert_eq!(
+            route.attrs.next_hop,
+            Some("10.200.3.1".parse::<Ipv4Addr>().unwrap().into()),
+            "originated next hop must come from the lowest port"
+        );
     }
 }

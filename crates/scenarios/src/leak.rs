@@ -1,0 +1,176 @@
+//! Scenario family (a): route-leak injection with configurable Peerlock
+//! deployment and reactive containment.
+//!
+//! Mid 3000 is multihomed to transits 2000 and 2001 and peers laterally
+//! with mid 3001. The experiment announces a leased prefix at PoP 0 only,
+//! so the leaker's best route is provider-learned via 2000; when
+//! [`ScenarioNet::trigger_leak`] flips it to full-table export (the RFC
+//! 7908 type-1 leak), that route is re-advertised upstream to transit
+//! 2001 and laterally to its peers, polluting every AS that prefers the
+//! leaked customer/peer route over its legitimate path.
+//!
+//! [`FilterMode`] controls the defense: `PeerlockLite` protects only the
+//! transit tier (each transit rejects customer-announced paths containing
+//! another transit), `Peerlock` additionally protects mid-tier lateral
+//! peerings. `reactive` leaves the network unfiltered until pollution is
+//! first observed, then deploys full Peerlock and measures
+//! time-to-containment.
+
+use std::collections::BTreeSet;
+
+use peering_toolkit::client::AnnounceOptions;
+
+use crate::net::{reconcile, ScenarioNet, ScenarioParams};
+use crate::report::ScenarioReport;
+
+/// Peerlock deployment level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterMode {
+    /// No path filters anywhere.
+    None,
+    /// Transit tier only ("peerlock-lite").
+    PeerlockLite,
+    /// Transit tier plus mid-tier lateral peerings.
+    Peerlock,
+}
+
+/// Leak scenario knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LeakParams {
+    /// Topology + simulator seed.
+    pub seed: u64,
+    /// Pre-installed filter deployment.
+    pub filter: FilterMode,
+    /// Deploy full Peerlock only after pollution is first observed, and
+    /// measure time-to-containment.
+    pub reactive: bool,
+    /// Simulator shards.
+    pub shards: usize,
+}
+
+impl LeakParams {
+    /// Unfiltered, non-reactive, single shard.
+    pub fn new(seed: u64) -> Self {
+        LeakParams {
+            seed,
+            filter: FilterMode::None,
+            reactive: false,
+            shards: 1,
+        }
+    }
+
+    /// Select the filter deployment.
+    pub fn with_filter(mut self, filter: FilterMode) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Enable reactive containment.
+    pub fn reactive(mut self) -> Self {
+        self.reactive = true;
+        self
+    }
+
+    /// Run under `shards` simulator shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+/// Run the route-leak scenario.
+///
+/// Counts: `polluted` (ASes beyond the leaker's legitimate customer cone
+/// whose best path traverses the leaker at the end), `polluted_peak` (max
+/// over the timeline), `baseline_via` (legitimate cone size),
+/// `model_mismatches` (differential failures against the reference model
+/// — always asserted zero by the battery).
+pub fn run_leak(params: LeakParams) -> ScenarioReport {
+    let mut net = ScenarioNet::build(ScenarioParams::new(params.seed).with_shards(params.shards));
+    let mut report = ScenarioReport::new("route-leak", params.seed);
+    let (counter0, journal0) = net.export_suppressions();
+
+    match params.filter {
+        FilterMode::None => {}
+        FilterMode::PeerlockLite => net.install_peerlock(true),
+        FilterMode::Peerlock => net.install_peerlock(false),
+    }
+
+    net.announce(0, 0, &AnnounceOptions::default());
+    net.run_secs(20);
+    let dst = net.prefix_addr(0, 1);
+    let leaker = net.leaker;
+    let injections = [net.injection(0, 0, &[], &[])];
+
+    // Pre-leak differential: the baseline via-leaker set is exactly the
+    // leaker's customer cone.
+    let observed = net.observe(dst, Some(leaker));
+    let predicted = net.model().propagate(&injections, Some(leaker));
+    let (_, mm) = reconcile(&observed, &predicted);
+    let mut mismatches = mm.len() as u64;
+    let baseline: BTreeSet<u32> = observed
+        .iter()
+        .filter(|(_, o)| o.via)
+        .map(|(&asn, _)| asn)
+        .collect();
+
+    net.trigger_leak();
+
+    let mut peak = 0u64;
+    let mut installed_at: Option<u64> = None;
+    let mut containment: Option<u64> = None;
+    let mut elapsed = 0u64;
+    for _ in 0..15 {
+        net.run_secs(2);
+        elapsed += 2;
+        let now: BTreeSet<u32> = net.polluted(dst, leaker).into_iter().collect();
+        let extra = now.difference(&baseline).count() as u64;
+        report.timeline.push((elapsed, extra));
+        peak = peak.max(extra);
+        if params.reactive {
+            if extra > 0 && installed_at.is_none() {
+                net.install_peerlock(false);
+                installed_at = Some(elapsed);
+            }
+            if let (Some(at), 0, None) = (installed_at, extra, containment) {
+                containment = Some(elapsed - at);
+            }
+        }
+    }
+    report.containment_secs = containment;
+
+    // Final differential with the leaker (and any reactive filters)
+    // mirrored into the model.
+    let observed = net.observe(dst, Some(leaker));
+    let predicted = net.model().propagate(&injections, Some(leaker));
+    let (mut verdicts, mm) = reconcile(&observed, &predicted);
+    mismatches += mm.len() as u64;
+    let polluted: BTreeSet<u32> = observed
+        .iter()
+        .filter(|(asn, o)| o.via && !baseline.contains(asn))
+        .map(|(&asn, _)| asn)
+        .collect();
+    for (asn, v) in verdicts.iter_mut() {
+        if polluted.contains(asn) {
+            v.note = "polluted".to_string();
+        } else if baseline.contains(asn) {
+            v.note = "customer-of-leaker".to_string();
+        }
+    }
+    report.per_as = verdicts;
+    report
+        .counts
+        .insert("polluted".into(), polluted.len() as u64);
+    report.counts.insert("polluted_peak".into(), peak);
+    report
+        .counts
+        .insert("baseline_via".into(), baseline.len() as u64);
+    report.counts.insert("model_mismatches".into(), mismatches);
+
+    let (counter1, journal1) = net.export_suppressions();
+    report
+        .obs_deltas
+        .insert("bgp.export_rejected".into(), counter1 - counter0);
+    report.journal_export_suppressions = journal1 - journal0;
+    report
+}

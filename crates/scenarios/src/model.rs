@@ -1,0 +1,521 @@
+//! Pure-Rust reference propagation model.
+//!
+//! A tiny, simulator-free Gao–Rexford fixpoint over the scenario's AS
+//! graph. Every scenario run is checked against it: the model predicts,
+//! per AS, whether a route for the measured prefix exists and its
+//! LOCAL_PREF and AS_PATH length — all of which are invariant under the
+//! speaker's arrival-order tie-breaking — plus whether the best path
+//! traverses the adversary, which is only asserted where no tie could
+//! change the answer (see [`Predicted::via`]).
+//!
+//! The model mirrors exactly the policy surface the scenarios exercise:
+//! relationship-based import preferences and valley-free exports, the
+//! leaker's export-everything override, Peerlock `AsPathContains` import
+//! rejects, `AsPathLenAtLeast` caps, own-ASN loop suppression, and the TE
+//! action communities honored by transit ASes.
+
+use std::collections::BTreeMap;
+
+/// What a session remote is to the local AS (model-local mirror of the
+/// simulator's relationship enum, so this module has zero sim deps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// They pay us.
+    Customer,
+    /// Settlement-free.
+    Peer,
+    /// We pay them.
+    Provider,
+}
+
+/// LOCAL_PREF assigned to routes imported from a `rel` remote (matches
+/// `peering_platform::internet::Relationship::local_pref`).
+pub fn rel_pref(rel: Rel) -> u32 {
+    match rel {
+        Rel::Customer => 200,
+        Rel::Peer => 100,
+        Rel::Provider => 50,
+    }
+}
+
+/// One AS in the model.
+#[derive(Debug, Clone, Default)]
+pub struct ModelAs {
+    /// (neighbor ASN, what the neighbor is to us).
+    pub sessions: Vec<(u32, Rel)>,
+    /// Export the full table to peers and providers (the route leaker).
+    pub leaker: bool,
+    /// Peerlock-style import filters: per sending neighbor, drop any path
+    /// containing one of these ASNs.
+    pub reject_contains: BTreeMap<u32, Vec<u32>>,
+    /// Per sending neighbor, drop paths whose length is at least this.
+    pub len_cap: BTreeMap<u32, usize>,
+    /// Honors TE action communities (`asn16:50` do-not-announce-to-peers,
+    /// `asn16:61..=63` prepend-to-peer) on peer exports.
+    pub te: bool,
+}
+
+/// An externally injected route: the platform announcing the experiment's
+/// prefix into a transit AS.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// AS that hears it.
+    pub at: u32,
+    /// What the (out-of-model) sender is to `at` — `Customer` for the
+    /// platform's transit sessions.
+    pub rel: Rel,
+    /// The AS_PATH as received (platform ASN first, then the experiment's
+    /// announced path, poisons included).
+    pub path: Vec<u32>,
+    /// Communities attached to the announcement.
+    pub communities: Vec<(u16, u16)>,
+}
+
+/// The model's prediction for one AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicted {
+    /// A route for the prefix exists.
+    pub has_route: bool,
+    /// LOCAL_PREF of the best route.
+    pub local_pref: Option<u32>,
+    /// AS_PATH length (prepends counted) of the best route.
+    pub path_len: Option<usize>,
+    /// Best path contains the adversary ASN. `None` when a (pref, len) tie
+    /// anywhere upstream could change the answer: the simulator breaks
+    /// such ties by arrival order, which is seed-deterministic but not
+    /// statically predictable, so the differential check skips the
+    /// via-adversary assertion there.
+    pub via: Option<bool>,
+    /// The concrete best AS_PATH. `None` when a (pref, len) tie anywhere
+    /// upstream offered *different* paths — a strictly weaker condition
+    /// than `via` taint (candidates may differ in path yet agree on
+    /// adversary traversal), used for catchment prediction in the TE
+    /// scenario.
+    pub path: Option<Vec<u32>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cand {
+    path: Vec<u32>,
+    pref: u32,
+    via_tainted: bool,
+    path_tainted: bool,
+    communities: Vec<(u16, u16)>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Best {
+    path: Vec<u32>,
+    pref: u32,
+    /// Tie at the (pref, len) level whose candidates disagree on
+    /// adversary-traversal, or inherited from a tie candidate.
+    via_tainted: bool,
+    /// Tie candidates offered different concrete paths, or inherited.
+    path_tainted: bool,
+    communities: Vec<(u16, u16)>,
+}
+
+/// The AS graph under one measured prefix.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    /// ASes by ASN.
+    pub ases: BTreeMap<u32, ModelAs>,
+}
+
+impl Model {
+    /// Propagate `injections` to a fixpoint and predict every AS's verdict.
+    /// `adversary` is the ASN whose traversal the scenario measures (the
+    /// leaker or a poisoned AS); pass `None` to skip traversal tracking.
+    pub fn propagate(
+        &self,
+        injections: &[Injection],
+        adversary: Option<u32>,
+    ) -> BTreeMap<u32, Predicted> {
+        // Adj-RIB-In per AS, keyed by sender ASN. u32::MAX keys the
+        // injection slot (at most one per AS in every scenario).
+        let mut seeded: BTreeMap<u32, BTreeMap<u32, Cand>> = BTreeMap::new();
+        for inj in injections {
+            seeded.entry(inj.at).or_default().insert(
+                u32::MAX,
+                Cand {
+                    path: inj.path.clone(),
+                    pref: rel_pref(inj.rel),
+                    via_tainted: false,
+                    path_tainted: false,
+                    communities: inj.communities.clone(),
+                },
+            );
+        }
+
+        // Each round rebuilds every Adj-RIB-In from the injections plus
+        // what every AS currently exports, so a best-path change both
+        // replaces AND withdraws its previous advertisement.
+        let mut ribs = seeded.clone();
+        for round in 0.. {
+            assert!(round < 1000, "model fixpoint did not converge");
+            let mut next = seeded.clone();
+            for (&asn, me) in &self.ases {
+                let Some(best) = self.select(asn, &ribs, adversary) else {
+                    continue;
+                };
+                for &(nbr, nbr_rel) in &me.sessions {
+                    let Some(cand) = self.export(asn, me, &best, nbr, nbr_rel) else {
+                        continue;
+                    };
+                    next.entry(nbr).or_default().insert(asn, cand);
+                }
+            }
+            if next == ribs {
+                break;
+            }
+            ribs = next;
+        }
+
+        let mut out = BTreeMap::new();
+        for &asn in self.ases.keys() {
+            let verdict = match self.select(asn, &ribs, adversary) {
+                Some(best) => Predicted {
+                    has_route: true,
+                    local_pref: Some(best.pref),
+                    path_len: Some(best.path.len()),
+                    via: if best.via_tainted {
+                        None
+                    } else {
+                        Some(adversary.is_some_and(|a| best.path.contains(&a)))
+                    },
+                    path: if best.path_tainted {
+                        None
+                    } else {
+                        Some(best.path.clone())
+                    },
+                },
+                None => Predicted {
+                    has_route: false,
+                    local_pref: None,
+                    path_len: None,
+                    via: Some(false),
+                    path: None,
+                },
+            };
+            out.insert(asn, verdict);
+        }
+        out
+    }
+
+    /// Decision process: highest pref, then shortest path; among exact
+    /// (pref, len) ties pick the lowest sender ASN for the concrete path
+    /// but mark the result tainted if the tie candidates disagree on
+    /// adversary traversal (the simulator would break that tie by arrival
+    /// order instead).
+    fn select(
+        &self,
+        asn: u32,
+        ribs: &BTreeMap<u32, BTreeMap<u32, Cand>>,
+        adversary: Option<u32>,
+    ) -> Option<Best> {
+        let rib = ribs.get(&asn)?;
+        let best_key = rib
+            .values()
+            .map(|c| (std::cmp::Reverse(c.pref), c.path.len()))
+            .min()?;
+        let tier: Vec<&Cand> = rib
+            .values()
+            .filter(|c| (std::cmp::Reverse(c.pref), c.path.len()) == best_key)
+            .collect();
+        let chosen = tier[0];
+        let via0 = adversary.is_some_and(|a| chosen.path.contains(&a));
+        let via_disagree = tier
+            .iter()
+            .any(|c| adversary.is_some_and(|a| c.path.contains(&a)) != via0);
+        let paths_differ = tier.iter().any(|c| c.path != chosen.path);
+        Some(Best {
+            path: chosen.path.clone(),
+            pref: chosen.pref,
+            via_tainted: via_disagree || tier.iter().any(|c| c.via_tainted),
+            path_tainted: paths_differ || tier.iter().any(|c| c.path_tainted),
+            communities: chosen.communities.clone(),
+        })
+    }
+
+    /// What `asn` sends `nbr`, if anything: valley-free eligibility (or the
+    /// leaker override), sender-side loop suppression, TE action
+    /// communities on peer exports, then the receiver's import pipeline
+    /// (own-ASN drop, Peerlock rejects, length caps, relationship pref).
+    fn export(&self, asn: u32, me: &ModelAs, best: &Best, nbr: u32, nbr_rel: Rel) -> Option<Cand> {
+        // Valley-free: customers get everything; peers/providers only see
+        // customer-learned (pref 200) routes — unless we're the leaker.
+        if nbr_rel != Rel::Customer && best.pref != rel_pref(Rel::Customer) && !me.leaker {
+            return None;
+        }
+        if best.path.contains(&nbr) {
+            return None; // sender-side loop check
+        }
+        let mut prepend = 1usize;
+        if me.te && nbr_rel == Rel::Peer {
+            let asn16 = (asn & 0xFFFF) as u16;
+            if best.communities.contains(&(asn16, 50)) {
+                return None; // do-not-announce-regional
+            }
+            for n in 1..=3u16 {
+                if best.communities.contains(&(asn16, 60 + n)) {
+                    prepend += n as usize;
+                }
+            }
+        }
+        let mut path = vec![asn; prepend];
+        path.extend_from_slice(&best.path);
+
+        let receiver = self.ases.get(&nbr)?;
+        if let Some(banned) = receiver.reject_contains.get(&asn) {
+            if banned.iter().any(|b| path.contains(b)) {
+                return None;
+            }
+        }
+        if let Some(&cap) = receiver.len_cap.get(&asn) {
+            if path.len() >= cap {
+                return None;
+            }
+        }
+        // What WE are to the receiver, for its import pref.
+        let my_rel_at_nbr = receiver
+            .sessions
+            .iter()
+            .find(|(a, _)| *a == asn)
+            .map(|(_, r)| *r)?;
+        Some(Cand {
+            path,
+            pref: rel_pref(my_rel_at_nbr),
+            via_tainted: best.via_tainted,
+            path_tainted: best.path_tainted,
+            communities: best.communities.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// stub(1) —customer-of→ t1(2) ←peer→ t2(3) ←provider-of— stub2(4),
+    /// t1 —customer-of→ big(5): the same diamond the simulator unit tests
+    /// use, so the expectations below are cross-checked against real
+    /// speaker behavior.
+    fn diamond() -> Model {
+        let mut m = Model::default();
+        let mut add = |asn: u32, sessions: Vec<(u32, Rel)>| {
+            m.ases.insert(
+                asn,
+                ModelAs {
+                    sessions,
+                    ..ModelAs::default()
+                },
+            );
+        };
+        add(1, vec![(2, Rel::Provider)]);
+        add(
+            2,
+            vec![(1, Rel::Customer), (3, Rel::Peer), (5, Rel::Provider)],
+        );
+        add(3, vec![(2, Rel::Peer), (4, Rel::Customer)]);
+        add(4, vec![(3, Rel::Provider)]);
+        add(5, vec![(2, Rel::Customer)]);
+        m
+    }
+
+    fn inject_at(asn: u32) -> Vec<Injection> {
+        vec![Injection {
+            at: asn,
+            rel: Rel::Customer,
+            path: vec![47065, 61574],
+            communities: Vec::new(),
+        }]
+    }
+
+    #[test]
+    fn valley_free_propagation() {
+        let m = diamond();
+        let out = m.propagate(&inject_at(2), None);
+        // Injected at t1 as customer-learned: everyone sees it...
+        assert!(out[&1].has_route);
+        assert!(out[&3].has_route);
+        assert!(out[&4].has_route);
+        assert!(out[&5].has_route);
+        // ...but t2 (peer-learned, pref 100) must not have re-exported to
+        // any provider — there is none in this graph; instead check prefs
+        // and lengths.
+        assert_eq!(out[&2].local_pref, Some(200));
+        assert_eq!(out[&2].path_len, Some(2));
+        assert_eq!(out[&3].local_pref, Some(100));
+        assert_eq!(out[&3].path_len, Some(3));
+        assert_eq!(out[&4].local_pref, Some(50));
+        assert_eq!(out[&4].path_len, Some(4));
+        assert_eq!(out[&5].local_pref, Some(200));
+        assert_eq!(out[&5].path_len, Some(3));
+    }
+
+    #[test]
+    fn peer_learned_routes_stop_at_the_peering_edge() {
+        // Inject at t2: t1 hears it over the peering (pref 100) and must
+        // NOT pass it up to big.
+        let m = diamond();
+        let out = m.propagate(&inject_at(3), None);
+        assert!(out[&2].has_route);
+        assert!(out[&1].has_route, "customers still get peer routes");
+        assert!(!out[&5].has_route, "valley-free: no peer route upstream");
+    }
+
+    #[test]
+    fn leaker_override_pushes_peer_routes_upstream() {
+        let mut m = diamond();
+        m.ases.get_mut(&2).unwrap().leaker = true;
+        let out = m.propagate(&inject_at(3), Some(2));
+        assert!(out[&5].has_route, "leaker exports peer routes to providers");
+        assert_eq!(out[&5].via, Some(true));
+        assert_eq!(out[&5].local_pref, Some(200), "big trusts its customer");
+    }
+
+    #[test]
+    fn peerlock_reject_contains_blocks_the_leak() {
+        let mut m = diamond();
+        m.ases.get_mut(&2).unwrap().leaker = true;
+        // big filters paths containing t2 on the session from t1.
+        m.ases
+            .get_mut(&5)
+            .unwrap()
+            .reject_contains
+            .insert(2, vec![3]);
+        let out = m.propagate(&inject_at(3), Some(2));
+        assert!(!out[&5].has_route, "Peerlock drops the leaked path");
+    }
+
+    #[test]
+    fn len_cap_drops_long_paths() {
+        let mut m = diamond();
+        // stub2 caps paths from t2 at 4 hops: the 4-hop injected path
+        // (2 + t1 + t2) is dropped.
+        m.ases.get_mut(&4).unwrap().len_cap.insert(3, 4);
+        let out = m.propagate(&inject_at(2), None);
+        assert!(!out[&4].has_route);
+        assert!(out[&1].has_route);
+    }
+
+    #[test]
+    fn own_asn_in_path_suppresses_export() {
+        // Poisoned path containing the receiver: t2 never accepts it.
+        let m = diamond();
+        let inj = vec![Injection {
+            at: 2,
+            rel: Rel::Customer,
+            path: vec![47065, 61574, 3, 61574],
+            communities: Vec::new(),
+        }];
+        let out = m.propagate(&inj, Some(3));
+        assert!(out[&2].has_route);
+        assert!(!out[&3].has_route, "own ASN in path drops the route");
+        assert!(!out[&4].has_route, "nothing to pass on");
+        assert_eq!(out[&5].via, Some(true), "poison rides along upstream");
+    }
+
+    #[test]
+    fn te_do_not_announce_gates_peer_export_only() {
+        let mut m = diamond();
+        m.ases.get_mut(&2).unwrap().te = true;
+        let inj = vec![Injection {
+            at: 2,
+            rel: Rel::Customer,
+            path: vec![47065, 61574],
+            communities: vec![(2, 50)],
+        }];
+        let out = m.propagate(&inj, None);
+        assert!(!out[&3].has_route, "suppressed toward the peer");
+        assert!(out[&5].has_route, "provider export unaffected");
+        assert!(out[&1].has_route, "customer export unaffected");
+    }
+
+    #[test]
+    fn te_prepend_lengthens_peer_paths_only() {
+        let mut m = diamond();
+        m.ases.get_mut(&2).unwrap().te = true;
+        let inj = vec![Injection {
+            at: 2,
+            rel: Rel::Customer,
+            path: vec![47065, 61574],
+            communities: vec![(2, 62)],
+        }];
+        let out = m.propagate(&inj, None);
+        // t2 sees 2 extra prepends: 1 + 2 + injected 2 = 5.
+        assert_eq!(out[&3].path_len, Some(5));
+        // big sees the normal 3-hop path.
+        assert_eq!(out[&5].path_len, Some(3));
+    }
+
+    #[test]
+    fn disagreeing_tie_taints_but_agreeing_tie_does_not() {
+        // Two providers hand AS 9 equal-pref equal-len paths, one through
+        // the adversary and one clean → via must be None. A downstream
+        // customer inherits the taint.
+        let mut m = Model::default();
+        m.ases.insert(
+            7,
+            ModelAs {
+                sessions: vec![(9, Rel::Customer)],
+                ..ModelAs::default()
+            },
+        );
+        m.ases.insert(
+            8,
+            ModelAs {
+                sessions: vec![(9, Rel::Customer)],
+                ..ModelAs::default()
+            },
+        );
+        m.ases.insert(
+            9,
+            ModelAs {
+                sessions: vec![(7, Rel::Provider), (8, Rel::Provider), (10, Rel::Customer)],
+                ..ModelAs::default()
+            },
+        );
+        m.ases.insert(
+            10,
+            ModelAs {
+                sessions: vec![(9, Rel::Provider)],
+                ..ModelAs::default()
+            },
+        );
+        let inj = |at: u32, path: Vec<u32>| Injection {
+            at,
+            rel: Rel::Customer,
+            path,
+            communities: Vec::new(),
+        };
+        // 666 is the adversary; only 7's copy traverses it.
+        let out = m.propagate(
+            &[inj(7, vec![666, 61574]), inj(8, vec![470, 61574])],
+            Some(666),
+        );
+        assert_eq!(out[&9].via, None, "disagreeing tie must taint");
+        assert!(out[&9].has_route);
+        assert_eq!(out[&9].path_len, Some(3), "length is tie-invariant");
+        assert_eq!(out[&9].path, None, "tie paths differ: no concrete path");
+        assert_eq!(out[&10].via, None, "taint propagates downstream");
+        // Same shape but both copies clean: agreeing tie keeps via
+        // asserted, yet the concrete path is still unpredictable.
+        let out = m.propagate(
+            &[inj(7, vec![470, 61574]), inj(8, vec![471, 61574])],
+            Some(666),
+        );
+        assert_eq!(out[&9].via, Some(false));
+        assert_eq!(out[&9].path, None, "path taint is weaker than via taint");
+        assert_eq!(out[&10].via, Some(false));
+    }
+
+    #[test]
+    fn unique_best_exposes_the_concrete_path() {
+        let m = diamond();
+        let out = m.propagate(&inject_at(2), Some(3));
+        assert_eq!(out[&1].path, Some(vec![2, 47065, 61574]));
+        assert_eq!(out[&5].path, Some(vec![2, 47065, 61574]));
+        assert_eq!(out[&4].path, Some(vec![3, 2, 47065, 61574]));
+    }
+}

@@ -1,0 +1,163 @@
+//! Scenario family (b): AS-path poisoning depth sweep.
+//!
+//! The experiment announces one leased prefix per poison depth `d ∈
+//! 0..=max_depth` at PoP 0, inserting the first `d` entries of a fixed
+//! poison list into the path (the toolkit builds the `[exp, p…, exp]`
+//! sandwich; the review capped the announced path at the platform's
+//! `max_as_path_len`). Two behaviors are measured per depth:
+//!
+//! - **Who drops the poisoned path.** Poisoned ASes reject it via the
+//!   own-ASN loop check ("dropped-own-asn"); mids 3002 and 3005 carry
+//!   `AsPathLenAtLeast` import caps on their provider sessions and start
+//!   rejecting once the sandwich pushes received paths over the cap
+//!   ("len-capped"); single-homed descendants of droppers go dark
+//!   ("no-route-upstream").
+//! - **Return-path steering.** The vantage stub 4999 buys transit from
+//!   mid 3003 (transit 2000's cone) and mid 3001 (2001's cone). At depth
+//!   0 its best route uses 3003 (shorter); poisoning 3003 at depth ≥ 1
+//!   flips the return path to 3001 — verified both in the RIB and by a
+//!   TTL-1 traceroute probe whose time-exceeded reply must come from the
+//!   steered provider's interface.
+//!
+//! Every depth is checked against the reference model.
+
+use peering_bgp::types::Asn;
+use peering_toolkit::client::AnnounceOptions;
+
+use crate::net::{reconcile, ScenarioNet, ScenarioParams, MID_ASN0, STUB_ASN0};
+use crate::report::ScenarioReport;
+
+/// Poison targets, in insertion order. 3003 first (the steering target);
+/// never 3001 (the steered-to provider) and never the len-capped mids
+/// 3002/3005 (so cap drops and own-ASN drops stay distinguishable).
+pub const POISON_ORDER: [u32; 5] = [
+    MID_ASN0 + 3,
+    MID_ASN0 + 4,
+    MID_ASN0,
+    STUB_ASN0,
+    STUB_ASN0 + 1,
+];
+
+/// Mids carrying `AsPathLenAtLeast` caps on their provider sessions:
+/// (ASN, cap).
+pub const LEN_CAPS: [(u32, usize); 2] = [(MID_ASN0 + 2, 6), (MID_ASN0 + 5, 7)];
+
+/// Poisoning scenario knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PoisonParams {
+    /// Topology + simulator seed.
+    pub seed: u64,
+    /// Deepest poison sandwich to sweep (≤ 5: one leased prefix per
+    /// depth, and the review caps the announced path length).
+    pub max_depth: usize,
+    /// Simulator shards.
+    pub shards: usize,
+}
+
+impl PoisonParams {
+    /// Full-depth sweep, single shard.
+    pub fn new(seed: u64) -> Self {
+        PoisonParams {
+            seed,
+            max_depth: 5,
+            shards: 1,
+        }
+    }
+
+    /// Run under `shards` simulator shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+/// Run the poisoning depth sweep.
+///
+/// Counts: `dropped_d{d}` (modeled ASes without a route at depth `d`),
+/// `steered_depths` (depths ≥ 1 whose RIB + traceroute both confirm the
+/// flip to 3001), `traceroute_confirms`, `model_mismatches`. `per_as`
+/// holds the deepest depth's verdicts. The timeline is (depth, dropped).
+pub fn run_poison(params: PoisonParams) -> ScenarioReport {
+    assert!(params.max_depth <= POISON_ORDER.len());
+    let mut net = ScenarioNet::build(ScenarioParams::new(params.seed).with_shards(params.shards));
+    let mut report = ScenarioReport::new("poisoning", params.seed);
+    let (counter0, journal0) = net.export_suppressions();
+
+    for (asn, cap) in LEN_CAPS {
+        net.install_len_cap(asn, cap);
+    }
+
+    let mut mismatches = 0u64;
+    let mut steered = 0u64;
+    let mut traceroute_confirms = 0u64;
+    let via_short = net.vantage_link_to(MID_ASN0 + 3);
+    let via_steered = net.vantage_link_to(MID_ASN0 + 1);
+
+    for depth in 0..=params.max_depth {
+        let poisons = &POISON_ORDER[..depth];
+        let opts = AnnounceOptions {
+            poison: poisons.iter().map(|&p| Asn(p)).collect(),
+            ..AnnounceOptions::default()
+        };
+        net.announce(0, depth, &opts);
+        net.run_secs(20);
+        let dst = net.prefix_addr(depth, 1);
+        let adversary = poisons.first().copied();
+
+        let observed = net.observe(dst, adversary);
+        let predicted = net
+            .model()
+            .propagate(&[net.injection(0, 0, poisons, &[])], adversary);
+        let (mut verdicts, mm) = reconcile(&observed, &predicted);
+        mismatches += mm.len() as u64;
+
+        let dropped = verdicts.values().filter(|v| !v.has_route).count() as u64;
+        report.timeline.push((depth as u64, dropped));
+        report.counts.insert(format!("dropped_d{depth}"), dropped);
+
+        // Return-path steering: RIB view + TTL-1 traceroute evidence.
+        let vantage_path = &observed[&net.vantage].path;
+        let first_hop = net.vantage_first_hop(dst, 100 + depth as u16);
+        if depth == 0 {
+            debug_assert_eq!(vantage_path.first(), Some(&(MID_ASN0 + 3)));
+            if first_hop == Some(via_short) {
+                traceroute_confirms += 1;
+            }
+        } else if vantage_path.first() == Some(&(MID_ASN0 + 1)) {
+            steered += 1;
+            if first_hop == Some(via_steered) {
+                traceroute_confirms += 1;
+            }
+        }
+
+        if depth == params.max_depth {
+            for (asn, v) in verdicts.iter_mut() {
+                if !v.has_route {
+                    v.note = if poisons.contains(asn) {
+                        "dropped-own-asn".to_string()
+                    } else if LEN_CAPS.iter().any(|(capped, _)| capped == asn) {
+                        "len-capped".to_string()
+                    } else {
+                        "no-route-upstream".to_string()
+                    };
+                } else if poisons.contains(asn) {
+                    v.note = "poison-escaped".to_string();
+                }
+            }
+            report.per_as = verdicts;
+        }
+    }
+
+    report.counts.insert("steered_depths".into(), steered);
+    report
+        .counts
+        .insert("traceroute_confirms".into(), traceroute_confirms);
+    report.counts.insert("model_mismatches".into(), mismatches);
+
+    let (counter1, journal1) = net.export_suppressions();
+    report
+        .obs_deltas
+        .insert("bgp.export_rejected".into(), counter1 - counter0);
+    report.journal_export_suppressions = journal1 - journal0;
+    report
+}

@@ -1,0 +1,194 @@
+//! Structured scenario outcomes.
+//!
+//! A [`ScenarioReport`] is the deliverable of one scenario run: per-AS
+//! verdicts, aggregate counts, a pollution timeline and obs deltas. It is
+//! built exclusively from `BTreeMap`s and plain integers so that two runs
+//! with the same seed compare bit-identically (`PartialEq`) no matter how
+//! many simulator shards executed them — the tentpole determinism claim.
+
+use std::collections::BTreeMap;
+
+/// What one synthetic AS held for the measured prefix at a measurement
+/// point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsVerdict {
+    /// The AS.
+    pub asn: u32,
+    /// It holds a route for the measured prefix.
+    pub has_route: bool,
+    /// LOCAL_PREF of its best route.
+    pub local_pref: Option<u32>,
+    /// AS_PATH length of its best route.
+    pub path_len: Option<usize>,
+    /// Best path traverses the adversary (leaker / poisoned AS). `None`
+    /// when the reference model marks the AS tie-tainted — the decision
+    /// process broke a (pref, len) tie by arrival order, so path *content*
+    /// is seed-reproducible but not model-predictable.
+    pub via_adversary: Option<bool>,
+    /// Scenario-specific annotation ("polluted", "dropped-own-asn",
+    /// "len-capped", "catchment=1", …). Empty when unremarkable.
+    pub note: String,
+}
+
+/// The structured outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioReport {
+    /// Scenario family ("route-leak", "poisoning", "te-communities").
+    pub family: String,
+    /// The seed that drove topology generation and the simulator.
+    pub seed: u64,
+    /// Per-AS verdicts at the final measurement point, keyed by ASN.
+    pub per_as: BTreeMap<u32, AsVerdict>,
+    /// Aggregate counts (family-specific: "polluted", "dropped_own_asn",
+    /// "shifted", …).
+    pub counts: BTreeMap<String, u64>,
+    /// (sim-second, value) samples of the family's headline series —
+    /// polluted-AS count for leaks, per-depth drop counts for poisoning,
+    /// per-variant shifted-stub counts for TE.
+    pub timeline: Vec<(u64, u64)>,
+    /// Selected observability counter deltas over the scenario (summed
+    /// across scenario nodes), e.g. "bgp.export_rejected".
+    pub obs_deltas: BTreeMap<String, u64>,
+    /// `ExportSuppressed` journal events recorded by scenario nodes.
+    pub journal_export_suppressions: u64,
+    /// Leak only: sim-seconds from reactive filter install to the polluted
+    /// set returning to baseline.
+    pub containment_secs: Option<u64>,
+}
+
+impl ScenarioReport {
+    /// A fresh report shell for a family.
+    pub fn new(family: &str, seed: u64) -> Self {
+        ScenarioReport {
+            family: family.to_string(),
+            seed,
+            per_as: BTreeMap::new(),
+            counts: BTreeMap::new(),
+            timeline: Vec::new(),
+            obs_deltas: BTreeMap::new(),
+            journal_export_suppressions: 0,
+            containment_secs: None,
+        }
+    }
+
+    /// Aggregate count by name (0 when absent).
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// ASNs whose verdict carries `note`.
+    pub fn asns_with_note(&self, note: &str) -> Vec<u32> {
+        self.per_as
+            .values()
+            .filter(|v| v.note.split(',').any(|n| n == note))
+            .map(|v| v.asn)
+            .collect()
+    }
+
+    /// Render the per-AS table and counts as aligned text (the
+    /// EXPERIMENTS.md tables are generated from this).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "scenario {} seed={}", self.family, self.seed);
+        for (name, v) in &self.counts {
+            let _ = writeln!(out, "  {name} = {v}");
+        }
+        if let Some(s) = self.containment_secs {
+            let _ = writeln!(out, "  containment_secs = {s}");
+        }
+        for (name, v) in &self.obs_deltas {
+            let _ = writeln!(out, "  obs {name} += {v}");
+        }
+        let _ = writeln!(
+            out,
+            "  journal export-suppressions = {}",
+            self.journal_export_suppressions
+        );
+        if !self.timeline.is_empty() {
+            let series: Vec<String> = self
+                .timeline
+                .iter()
+                .map(|(t, v)| format!("{t}s:{v}"))
+                .collect();
+            let _ = writeln!(out, "  timeline: {}", series.join(" "));
+        }
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>5} {:>4} {:>3} {:>5}  note",
+            "asn", "route", "pref", "len", "adv"
+        );
+        for v in self.per_as.values() {
+            let pref = v.local_pref.map_or("-".into(), |p| p.to_string());
+            let len = v.path_len.map_or("-".into(), |l| l.to_string());
+            let adv = match v.via_adversary {
+                Some(true) => "yes",
+                Some(false) => "no",
+                None => "tie",
+            };
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>5} {:>4} {:>3} {:>5}  {}",
+                v.asn,
+                if v.has_route { "yes" } else { "no" },
+                pref,
+                len,
+                adv,
+                v.note
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(asn: u32, note: &str) -> AsVerdict {
+        AsVerdict {
+            asn,
+            has_route: true,
+            local_pref: Some(100),
+            path_len: Some(3),
+            via_adversary: Some(false),
+            note: note.to_string(),
+        }
+    }
+
+    #[test]
+    fn reports_compare_bitwise() {
+        let mut a = ScenarioReport::new("route-leak", 7);
+        let mut b = ScenarioReport::new("route-leak", 7);
+        for r in [&mut a, &mut b] {
+            r.per_as.insert(10, verdict(10, "polluted"));
+            r.counts.insert("polluted".into(), 1);
+            r.timeline.push((4, 1));
+        }
+        assert_eq!(a, b);
+        b.timeline.push((6, 0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn note_queries_match_comma_lists() {
+        let mut r = ScenarioReport::new("poisoning", 1);
+        r.per_as.insert(10, verdict(10, "len-capped,polluted"));
+        r.per_as.insert(11, verdict(11, "polluted"));
+        r.per_as.insert(12, verdict(12, ""));
+        assert_eq!(r.asns_with_note("polluted"), vec![10, 11]);
+        assert_eq!(r.asns_with_note("len-capped"), vec![10]);
+        assert!(r.asns_with_note("missing").is_empty());
+    }
+
+    #[test]
+    fn text_rendering_contains_table() {
+        let mut r = ScenarioReport::new("te-communities", 3);
+        r.per_as.insert(10, verdict(10, "catchment=1"));
+        r.counts.insert("shifted".into(), 4);
+        let text = r.to_text();
+        assert!(text.contains("te-communities"));
+        assert!(text.contains("shifted = 4"));
+        assert!(text.contains("catchment=1"));
+    }
+}

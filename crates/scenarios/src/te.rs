@@ -1,0 +1,221 @@
+//! Scenario family (c): inbound traffic engineering with action
+//! communities.
+//!
+//! Every transit opts into the platform's TE action communities
+//! (`asn16:50` = do-not-announce-to-peers, `asn16:6N` = prepend N times
+//! toward peers), interpreted by the Gao–Rexford policy engine on its
+//! peer exports. Three variants run against one fixture, one leased
+//! prefix each:
+//!
+//! - **baseline** — announced at PoPs 0 and 1, no communities. Transit
+//!   2000's cone ingresses at PoP 0, 2001's at PoP 1; transit 2002 holds
+//!   a (pref, len) tie between its two peers, so its cone's catchment is
+//!   seed-deterministic but not model-predictable (recorded, not
+//!   asserted).
+//! - **prepend** — same announcement plus community `2000:61`: transit
+//!   2000 prepends once toward its peers, breaking 2002's tie toward
+//!   2001 and moving 2002's single-homed cone to PoP 1 (model-certain).
+//! - **do-not-announce** — announced at PoP 0 only, with `2000:50`:
+//!   transit 2000 suppresses its peer export entirely, blackholing every
+//!   AS outside its customer cone — and incrementing the speaker's
+//!   `export_rejected` counter on the way.
+//!
+//! Catchment is measured in the data plane: every stub sends one probe
+//! at the victim address and the experiment node records which tunnel
+//! port (= PoP) it ingressed on; measurements are cross-checked against
+//! catchments derived from the model's predicted paths wherever those
+//! are untainted.
+
+use std::collections::BTreeMap;
+
+use peering_bgp::types::Community;
+use peering_toolkit::client::AnnounceOptions;
+
+use crate::net::{reconcile, ScenarioNet, ScenarioParams, STUB_ASN0, TRANSIT_ASN0};
+use crate::report::ScenarioReport;
+
+/// TE scenario knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TeParams {
+    /// Topology + simulator seed.
+    pub seed: u64,
+    /// Simulator shards.
+    pub shards: usize,
+}
+
+impl TeParams {
+    /// Single shard.
+    pub fn new(seed: u64) -> Self {
+        TeParams { seed, shards: 1 }
+    }
+
+    /// Run under `shards` simulator shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+struct Variant {
+    name: &'static str,
+    pops: &'static [usize],
+    communities: &'static [(u16, u16)],
+}
+
+const VARIANTS: [Variant; 3] = [
+    Variant {
+        name: "baseline",
+        pops: &[0, 1],
+        communities: &[],
+    },
+    Variant {
+        name: "prepend",
+        pops: &[0, 1],
+        communities: &[(2000, 61)],
+    },
+    Variant {
+        name: "dna",
+        pops: &[0],
+        communities: &[(2000, 50)],
+    },
+];
+
+/// Run the TE-communities scenario.
+///
+/// Counts (per variant `v`): `pop1_{v}` (stubs ingressing at PoP 1),
+/// `reached_{v}` (stubs with any route), plus `shifted_prepend` (stubs
+/// whose catchment moved baseline → prepend), `t2cone_moved` (single-homed
+/// transit-2002-cone stubs at PoP 1 under prepend), `t2cone_stubs`,
+/// `blackholed_dna` (modeled ASes without a route under do-not-announce),
+/// `catchment_mismatch` (sim vs model-predicted ingress where the model
+/// path is untainted) and `model_mismatches`. `per_as` holds the prepend
+/// variant's verdicts with `catchment=N` / `shifted` notes on stubs.
+pub fn run_te(params: TeParams) -> ScenarioReport {
+    let mut net = ScenarioNet::build(ScenarioParams::new(params.seed).with_shards(params.shards));
+    let mut report = ScenarioReport::new("te-communities", params.seed);
+    let (counter0, journal0) = net.export_suppressions();
+    net.enable_te();
+
+    // Single-homed customers of transit 2002 and their stubs: the cone
+    // the prepend community must move.
+    let t2cone: Vec<u32> = net
+        .ases
+        .values()
+        .filter(|i| {
+            i.asn >= STUB_ASN0
+                && i.asn != net.vantage
+                && net.ases[&i.providers[0]].providers == vec![TRANSIT_ASN0 + 2]
+        })
+        .map(|i| i.asn)
+        .collect();
+
+    let mut mismatches = 0u64;
+    let mut catchment_mismatch = 0u64;
+    let mut catchments: BTreeMap<&'static str, BTreeMap<u32, usize>> = BTreeMap::new();
+
+    for (idx, variant) in VARIANTS.iter().enumerate() {
+        let opts = AnnounceOptions {
+            communities: variant
+                .communities
+                .iter()
+                .map(|&(hi, lo)| Community::new(hi, lo))
+                .collect(),
+            ..AnnounceOptions::default()
+        };
+        for &pop in variant.pops {
+            net.announce(pop, idx, &opts);
+        }
+        net.run_secs(20);
+        let dst = net.prefix_addr(idx, 1);
+
+        let injections: Vec<_> = variant
+            .pops
+            .iter()
+            .map(|&pop| net.injection(pop, 0, &[], variant.communities))
+            .collect();
+        let observed = net.observe(dst, None);
+        let predicted = net.model().propagate(&injections, None);
+        let (verdicts, mm) = reconcile(&observed, &predicted);
+        mismatches += mm.len() as u64;
+
+        let measured = net.measure_catchment(dst);
+        // Cross-check the data-plane ingress against the control-plane
+        // prediction wherever the model pinned down the concrete path.
+        for (&asn, pred) in &predicted {
+            if asn < STUB_ASN0 || asn == net.vantage {
+                continue;
+            }
+            let model_pop = pred.path.as_ref().and_then(|p| net.catchment_of_path(p));
+            if let Some(pop) = model_pop {
+                if measured.get(&asn) != Some(&pop) {
+                    catchment_mismatch += 1;
+                }
+            }
+            if !pred.has_route && measured.contains_key(&asn) {
+                catchment_mismatch += 1;
+            }
+        }
+
+        let pop1 = measured.values().filter(|&&p| p == 1).count() as u64;
+        report.counts.insert(format!("pop1_{}", variant.name), pop1);
+        report
+            .counts
+            .insert(format!("reached_{}", variant.name), measured.len() as u64);
+        report.timeline.push((idx as u64, pop1));
+
+        if variant.name == "prepend" {
+            let mut verdicts = verdicts;
+            for (asn, v) in verdicts.iter_mut() {
+                if let Some(pop) = measured.get(asn) {
+                    v.note = format!("catchment={pop}");
+                }
+            }
+            report.per_as = verdicts;
+        }
+        if variant.name == "dna" {
+            let blackholed = predicted.values().filter(|p| !p.has_route).count() as u64;
+            report.counts.insert("blackholed_dna".into(), blackholed);
+        }
+        catchments.insert(variant.name, measured);
+    }
+
+    let baseline = &catchments["baseline"];
+    let prepend = &catchments["prepend"];
+    let shifted: Vec<u32> = prepend
+        .iter()
+        .filter(|(asn, pop)| baseline.get(asn).is_some_and(|b| b != *pop))
+        .map(|(&asn, _)| asn)
+        .collect();
+    for asn in &shifted {
+        if let Some(v) = report.per_as.get_mut(asn) {
+            if !v.note.is_empty() {
+                v.note.push(',');
+            }
+            v.note.push_str("shifted");
+        }
+    }
+    report
+        .counts
+        .insert("shifted_prepend".into(), shifted.len() as u64);
+    report.counts.insert(
+        "t2cone_moved".into(),
+        t2cone
+            .iter()
+            .filter(|asn| prepend.get(asn) == Some(&1))
+            .count() as u64,
+    );
+    report
+        .counts
+        .insert("t2cone_stubs".into(), t2cone.len() as u64);
+    report.counts.insert("model_mismatches".into(), mismatches);
+    report
+        .counts
+        .insert("catchment_mismatch".into(), catchment_mismatch);
+
+    let (counter1, journal1) = net.export_suppressions();
+    report
+        .obs_deltas
+        .insert("bgp.export_rejected".into(), counter1 - counter0);
+    report.journal_export_suppressions = journal1 - journal0;
+    report
+}

@@ -125,6 +125,14 @@ impl ExperimentNode {
     }
 
     /// Build the attribute set for an announcement originated here.
+    ///
+    /// The poison list is sanitized before it enters the path: duplicates
+    /// are dropped (first occurrence wins — poisoning an AS twice buys
+    /// nothing and inflates the path), the experiment's own ASN is dropped
+    /// (it already brackets the poison run; a stray copy in the middle
+    /// would trip *other* ASes' own-ASN filters unpredictably), and the
+    /// total path is capped at 255 hops (the wire-format segment limit) by
+    /// truncating the poison run.
     pub fn build_attrs(
         &self,
         next_hop: Ipv4Addr,
@@ -134,9 +142,23 @@ impl ExperimentNode {
     ) -> PathAttributes {
         // Path shape: [exp ×(1+prepend)] poisons… [exp]. The origin stays
         // the experiment's ASN so the announcement remains attributable.
-        let mut asns = vec![self.asn; 1 + prepend];
-        if !poison.is_empty() {
-            asns.extend_from_slice(poison);
+        const MAX_PATH: usize = 255;
+        let mut asns = vec![self.asn; (1 + prepend).min(MAX_PATH)];
+        let mut seen: Vec<Asn> = Vec::new();
+        let mut poisons: Vec<Asn> = Vec::new();
+        for &p in poison {
+            if p != self.asn && !seen.contains(&p) {
+                seen.push(p);
+                poisons.push(p);
+            }
+        }
+        if !poisons.is_empty() {
+            // Leave room for the closing origin ASN.
+            let budget = MAX_PATH.saturating_sub(asns.len() + 1);
+            poisons.truncate(budget);
+        }
+        if !poisons.is_empty() {
+            asns.extend_from_slice(&poisons);
             asns.push(self.asn);
         }
         PathAttributes {
@@ -390,6 +412,34 @@ mod tests {
         let c = Community::new(47065, 2);
         let attrs = node.build_attrs(nh, 0, &[], &[c]);
         assert!(attrs.has_community(c));
+    }
+
+    #[test]
+    fn attrs_builder_sanitizes_poisons() {
+        let node = ExperimentNode::new(Asn(61574), RouterId(1));
+        let nh: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        // Duplicates collapse to the first occurrence.
+        let attrs = node.build_attrs(nh, 0, &[Asn(3356), Asn(174), Asn(3356)], &[]);
+        assert_eq!(
+            attrs.as_path.asns(),
+            vec![Asn(61574), Asn(3356), Asn(174), Asn(61574)]
+        );
+        // The experiment's own ASN never appears inside the poison run.
+        let attrs = node.build_attrs(nh, 0, &[Asn(61574)], &[]);
+        assert_eq!(attrs.as_path.asns(), vec![Asn(61574)]);
+        let attrs = node.build_attrs(nh, 0, &[Asn(3356), Asn(61574), Asn(174)], &[]);
+        assert_eq!(
+            attrs.as_path.asns(),
+            vec![Asn(61574), Asn(3356), Asn(174), Asn(61574)]
+        );
+        // Total path length is capped at 255 hops.
+        let many: Vec<Asn> = (1..=300).map(Asn).collect();
+        let attrs = node.build_attrs(nh, 0, &many, &[]);
+        assert_eq!(attrs.as_path.path_len(), 255);
+        assert_eq!(attrs.as_path.origin_as(), Some(Asn(61574)));
+        // Prepend alone is also bounded.
+        let attrs = node.build_attrs(nh, 400, &[], &[]);
+        assert_eq!(attrs.as_path.path_len(), 255);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Inbound traffic engineering with action communities (§3.1 Table 1:
+//! announcement-shaping communities, interpreted here by the synthetic
+//! transits' Gao–Rexford policy engines).
+//!
+//! Three variants against one seeded fixture: a baseline two-PoP
+//! announcement, the same announcement tagged `2000:61` (transit 2000
+//! prepends once toward its peers, moving transit 2002's customer cone to
+//! PoP 1), and a single-PoP announcement tagged `2000:50` (transit 2000
+//! suppresses its peer export entirely, blackholing everything outside
+//! its customer cone). Ingress catchment is measured in the data plane —
+//! every stub probes the victim address and the experiment node records
+//! the tunnel port each probe arrived on.
+//!
+//! Run with: `cargo run --example community_te`
+
+use peering_scenarios::{run_te, TeParams};
+
+fn main() {
+    let report = run_te(TeParams::new(42));
+    print!("{}", report.to_text());
+    println!(
+        "baseline: {}/{} reachable stubs ingress at PoP 1",
+        report.count("pop1_baseline"),
+        report.count("reached_baseline"),
+    );
+    println!(
+        "prepend 2000:61: {} stubs shifted; {}/{} single-homed T2-cone \
+         stubs moved to PoP 1",
+        report.count("shifted_prepend"),
+        report.count("t2cone_moved"),
+        report.count("t2cone_stubs"),
+    );
+    println!(
+        "do-not-announce 2000:50: {} ASes blackholed, {} stubs still \
+         reach the prefix",
+        report.count("blackholed_dna"),
+        report.count("reached_dna"),
+    );
+}

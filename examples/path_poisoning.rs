@@ -1,0 +1,33 @@
+//! AS-path poisoning depth sweep with traceroute-verified return-path
+//! steering (the §3.1 "announcement manipulation" capability under
+//! reviewer-granted limits).
+//!
+//! One leased prefix per poison depth 0..=5 is announced at PoP 0, each
+//! inserting one more AS into the poison sandwich. The report shows who
+//! dropped the poisoned path (own-ASN loop checks at the poisoned ASes,
+//! `AsPathLenAtLeast` caps at mids 3002/3005) and how the multihomed
+//! vantage stub's return path flips from provider 3003 to provider 3001
+//! the moment 3003 is poisoned — confirmed in the RIB and by TTL-1
+//! traceroute probes.
+//!
+//! Run with: `cargo run --example path_poisoning`
+
+use peering_scenarios::{run_poison, PoisonParams, POISON_ORDER};
+
+fn main() {
+    let report = run_poison(PoisonParams::new(42));
+    print!("{}", report.to_text());
+    println!("poison insertion order: {POISON_ORDER:?}");
+    for depth in 0..=5u64 {
+        println!(
+            "depth {depth}: {} ASes without a route",
+            report.count(&format!("dropped_d{depth}"))
+        );
+    }
+    println!(
+        "return path steered to 3001 at {} of 5 poisoned depths, {} of 6 \
+         traceroute confirmations",
+        report.count("steered_depths"),
+        report.count("traceroute_confirms"),
+    );
+}

@@ -1,0 +1,40 @@
+//! Route-leak injection with configurable Peerlock deployment (§7
+//! "security experiments" territory: the platform as a testbed for
+//! interdomain routing defenses).
+//!
+//! Mid-tier AS 3000 leaks its provider-learned route for a leased
+//! experiment prefix upstream and laterally. We run the same seed three
+//! times — unfiltered, peerlock-lite (transit tier only), full Peerlock —
+//! and once more in reactive mode, where full Peerlock deploys only after
+//! pollution is first observed and we measure time-to-containment. Each
+//! run is differentially checked against the pure-Rust reference
+//! propagation model.
+//!
+//! Run with: `cargo run --example route_leak`
+
+use peering_scenarios::{run_leak, FilterMode, LeakParams};
+
+fn main() {
+    let seed = 42;
+    for (label, filter) in [
+        ("unfiltered", FilterMode::None),
+        ("peerlock-lite", FilterMode::PeerlockLite),
+        ("full peerlock", FilterMode::Peerlock),
+    ] {
+        let report = run_leak(LeakParams::new(seed).with_filter(filter));
+        println!("=== {label} ===");
+        print!("{}", report.to_text());
+        println!(
+            "polluted ASes beyond the leaker's customer cone: {}\n",
+            report.count("polluted")
+        );
+    }
+
+    let report = run_leak(LeakParams::new(seed).reactive());
+    println!("=== reactive containment ===");
+    print!("{}", report.to_text());
+    match report.containment_secs {
+        Some(secs) => println!("contained {secs} sim-seconds after Peerlock deployment"),
+        None => println!("not contained within the observation window"),
+    }
+}

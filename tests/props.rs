@@ -1229,3 +1229,95 @@ mod steering_props {
         });
     }
 }
+
+mod scenario_props {
+    use super::*;
+    use peering_repro::bgp::types::RouterId;
+    use peering_repro::toolkit::node::ExperimentNode;
+
+    /// `Display` and `FromStr` are exact inverses over the full `u32`
+    /// community space (the "high:low" notation experimenters put in
+    /// announce options and the scenario library puts in reports).
+    #[test]
+    fn community_display_parse_roundtrip() {
+        check("community_display_parse_roundtrip", 512, |g| {
+            let c = Community(g.u32());
+            let text = c.to_string();
+            let parsed: Community = text.parse().expect("rendered community parses");
+            assert_eq!(parsed, c);
+            assert_eq!(parsed.high(), c.high());
+            assert_eq!(parsed.low(), c.low());
+            // And the notation is canonical: re-rendering is stable.
+            assert_eq!(parsed.to_string(), text);
+        });
+    }
+
+    /// The toolkit's poisoned-path construction (`build_attrs`) upholds
+    /// its sanitization contract for arbitrary poison lists: duplicates
+    /// collapse to first occurrence, the experiment's own ASN never
+    /// appears inside the sandwich, the path stays under the wire-format
+    /// cap, and the origin remains the experiment.
+    #[test]
+    fn poisoned_path_construction_invariants() {
+        check("poisoned_path_construction_invariants", 256, |g| {
+            let exp = Asn(61000 + g.below(500) as u32);
+            let node = ExperimentNode::new(exp, RouterId(9));
+            let prepend = g.below(5) as usize;
+            let poison: Vec<Asn> = (0..g.below(300))
+                .map(|_| {
+                    if g.below(10) == 0 {
+                        exp // stray own-ASN copies must be dropped
+                    } else {
+                        Asn(g.below(400) as u32 + 1)
+                    }
+                })
+                .collect();
+            let attrs =
+                node.build_attrs(std::net::Ipv4Addr::new(10, 0, 0, 1), prepend, &poison, &[]);
+            let asns: Vec<Asn> = attrs.as_path.asns();
+
+            assert!(asns.len() <= 255, "wire-format path cap");
+            let head = (1 + prepend).min(255).min(asns.len());
+            assert!(
+                asns[..head].iter().all(|&a| a == exp),
+                "prepends lead the path"
+            );
+            assert_eq!(*asns.last().expect("non-empty"), exp, "origin preserved");
+
+            // The sandwich interior: first-occurrence dedup of the poison
+            // list minus the experiment's ASN, order preserved, possibly
+            // truncated to fit the cap.
+            let mut expected: Vec<Asn> = Vec::new();
+            for &p in &poison {
+                if p != exp && !expected.contains(&p) {
+                    expected.push(p);
+                }
+            }
+            let interior: Vec<Asn> = if asns.len() > head {
+                asns[head..asns.len() - 1].to_vec()
+            } else {
+                Vec::new()
+            };
+            assert!(
+                interior.len() <= expected.len() && interior[..] == expected[..interior.len()],
+                "sandwich is an order-preserving prefix of the deduped poisons"
+            );
+            assert!(
+                !interior.contains(&exp),
+                "own ASN never inside the sandwich"
+            );
+            let mut uniq = interior.clone();
+            uniq.dedup();
+            assert_eq!(uniq.len(), interior.len(), "no adjacent duplicates");
+            let set: std::collections::BTreeSet<u32> = interior.iter().map(|a| a.0).collect();
+            assert_eq!(set.len(), interior.len(), "no duplicates at all");
+            if !expected.is_empty() && asns.len() < 255 {
+                assert_eq!(
+                    interior.len(),
+                    expected.len(),
+                    "no spurious truncation under the cap"
+                );
+            }
+        });
+    }
+}
