@@ -15,9 +15,11 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p peering-bench --bin scale_sim             # full 16-PoP / 64-exp
-//! cargo run --release -p peering-bench --bin scale_sim -- --write  # + docs/results/BENCH_scale.json
-//! cargo run --release -p peering-bench --bin scale_sim -- --smoke  # CI: 4 PoPs, 8 exps, 1 vs 2 shards
+//! cargo run --release -p peering-bench --bin scale_sim                     # full 16-PoP / 64-exp
+//! cargo run --release -p peering-bench --bin scale_sim -- --write          # + docs/results/BENCH_scale.json
+//! cargo run --release -p peering-bench --bin scale_sim -- --smoke          # CI: 4 PoPs, 8 exps, 1 vs 2 shards
+//! cargo run --release -p peering-bench --bin scale_sim -- --profile-setup  # per-phase setup breakdown
+//! cargo run --release -p peering-bench --bin scale_sim -- --smoke --gate   # CI speedup/overhead assertion
 //! ```
 //!
 //! Speedup is bounded by the host: the conservative-window engine only
@@ -125,9 +127,25 @@ fn router_links(p: &Peering) -> Vec<LinkId> {
     links
 }
 
+/// Where the wall-clock time of the setup phase went, measured on every
+/// run (the timers are a handful of `Instant` reads — they do not perturb
+/// the measurement). `--profile-setup` prints it; `--write` records the
+/// 1-shard breakdown in the JSON.
+struct SetupProfile {
+    /// [`Peering::build`]'s own phase breakdown.
+    build: peering_platform::BuildProfile,
+    /// Proposal submission, tunnel opens, BGP session starts.
+    attach_secs: f64,
+    /// First convergence run: experiment sessions establish.
+    establish_secs: f64,
+    /// Announce-everywhere plus the second convergence run.
+    announce_secs: f64,
+}
+
 struct RunResult {
     shards: usize,
     setup_secs: f64,
+    setup: SetupProfile,
     run_secs: f64,
     events: u64,
     snapshot_text: String,
@@ -142,6 +160,7 @@ fn run_once(params: &Params, shards: usize) -> RunResult {
     p.set_shards(shards);
     let pops = p.pop_names();
 
+    let t_attach = Instant::now();
     let mut experiments = Vec::with_capacity(params.experiments);
     for i in 0..params.experiments {
         // Two PoPs each, spread so every PoP hosts experiments.
@@ -160,7 +179,11 @@ fn run_once(params: &Params, shards: usize) -> RunResult {
         }
         experiments.push(exp);
     }
+    let attach_secs = t_attach.elapsed().as_secs_f64();
+    let t_establish = Instant::now();
     p.run_for(SimDuration::from_secs(15));
+    let establish_secs = t_establish.elapsed().as_secs_f64();
+    let t_announce = Instant::now();
     for exp in &mut experiments {
         let prefix = exp.lease.v4[0];
         exp.toolkit
@@ -168,7 +191,14 @@ fn run_once(params: &Params, shards: usize) -> RunResult {
             .expect("announce");
     }
     p.run_for(SimDuration::from_secs(15));
+    let announce_secs = t_announce.elapsed().as_secs_f64();
     let setup_secs = t0.elapsed().as_secs_f64();
+    let setup = SetupProfile {
+        build: p.build_profile,
+        attach_secs,
+        establish_secs,
+        announce_secs,
+    };
 
     // The measured phase: a seeded chaos schedule plus settle time, all
     // BGP sessions live. Identical at every shard count by construction.
@@ -184,6 +214,7 @@ fn run_once(params: &Params, shards: usize) -> RunResult {
     RunResult {
         shards,
         setup_secs,
+        setup,
         run_secs,
         events: p.sim.processed_events - events_before,
         snapshot_text: p.obs_snapshot().to_text(),
@@ -194,10 +225,14 @@ fn run_once(params: &Params, shards: usize) -> RunResult {
 fn main() {
     let mut write = false;
     let mut smoke = false;
+    let mut profile_setup = false;
+    let mut gate = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--write" => write = true,
             "--smoke" => smoke = true,
+            "--profile-setup" => profile_setup = true,
+            "--gate" => gate = true,
             other => panic!("unrecognized argument {other:?}"),
         }
     }
@@ -237,6 +272,20 @@ fn main() {
             r.events,
             r.events as f64 / r.run_secs
         );
+        if profile_setup {
+            let s = &r.setup;
+            println!(
+                "  setup breakdown: build {:.3}s (pops {:.3}s, wiring {:.3}s, converge {:.3}s / {} events), attach {:.3}s, establish {:.3}s, announce {:.3}s",
+                s.build.total_secs,
+                s.build.pops_secs,
+                s.build.wiring_secs,
+                s.build.converge_secs,
+                s.build.converge_events,
+                s.attach_secs,
+                s.establish_secs,
+                s.announce_secs,
+            );
+        }
         results.push(r);
     }
 
@@ -265,7 +314,66 @@ fn main() {
         params.shard_counts
     );
 
+    // CI gate (`--gate`, run by the scale-gate job): on a multi-core host
+    // the sharded engine must actually be faster; on a single-core host it
+    // cannot be, so the gate bounds its overhead instead.
+    if gate {
+        // Best-of-three per compared shard count: the smoke workload's
+        // measured phase is short enough that one sample is mostly
+        // scheduler noise.
+        let (one_shards, max_shards) = (results[0].shards, results.last().unwrap().shards);
+        let mut one = results[0].run_secs;
+        let mut max = results.last().unwrap().run_secs;
+        for _ in 0..2 {
+            one = one.min(run_once(&params, one_shards).run_secs);
+            max = max.min(run_once(&params, max_shards).run_secs);
+        }
+        if host_cores > 1 {
+            assert!(
+                max < one,
+                "scale gate: {max_shards} shards ran in {max:.3}s, not below the {one_shards}-shard {one:.3}s on a {host_cores}-core host"
+            );
+            println!(
+                "scale gate OK: {max_shards} shards {:.2}x faster than {one_shards} shard on {host_cores} cores",
+                one / max
+            );
+        } else {
+            // A single-core host cannot show a speedup; bound the engine
+            // overhead instead. The absolute floor keeps millisecond-scale
+            // smoke runs from gating on scheduler jitter.
+            assert!(
+                max <= one * 1.15 + 0.05,
+                "scale gate: {max_shards} shards ran in {max:.3}s, more than 15% over the {one_shards}-shard {one:.3}s on a single-core host"
+            );
+            println!(
+                "scale gate OK (single core): {max_shards} shards within {:.1}% of {one_shards} shard",
+                (max / one - 1.0) * 100.0
+            );
+        }
+    }
+
     if write {
+        let sp = &results[0].setup;
+        let setup_profile = format!(
+            r#"{{
+      "build_secs": {:.3},
+      "build_pops_secs": {:.3},
+      "build_wiring_secs": {:.3},
+      "build_converge_secs": {:.3},
+      "build_converge_events": {},
+      "attach_secs": {:.3},
+      "establish_secs": {:.3},
+      "announce_secs": {:.3}
+    }}"#,
+            sp.build.total_secs,
+            sp.build.pops_secs,
+            sp.build.wiring_secs,
+            sp.build.converge_secs,
+            sp.build.converge_events,
+            sp.attach_secs,
+            sp.establish_secs,
+            sp.announce_secs,
+        );
         let rows: Vec<String> = results
             .iter()
             .map(|r| {
@@ -282,7 +390,7 @@ fn main() {
             .collect();
         let json = format!(
             r#"{{
-  "generated": "2026-08-06",
+  "generated": "2026-08-09",
   "commands": {{
     "regenerate": "cargo run --release -p peering-bench --bin scale_sim -- --write",
     "ci_smoke": "cargo run --release -p peering-bench --bin scale_sim -- --smoke"
@@ -292,8 +400,10 @@ fn main() {
     "pops": {},
     "experiments": {},
     "host_cores": {host_cores},
+    "overhead_only": {overhead_only},
     "seed": {SEED},
     "determinism": "identical Snapshot::to_text and journal digest at every shard count (asserted by the bench before writing)",
+    "setup_profile": {setup_profile},
     "rows": [
 {}
     ],
@@ -308,6 +418,7 @@ fn main() {
             params.pops,
             params.experiments,
             rows.join(",\n"),
+            overhead_only = host_cores == 1,
         );
         std::fs::write(RESULTS, json).expect("write results JSON");
         println!("wrote {RESULTS}");

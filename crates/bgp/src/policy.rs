@@ -240,6 +240,37 @@ impl Policy {
         self.rules.is_empty() && self.default == Verdict::Reject
     }
 
+    /// True when no rule carries actions: the policy only ever decides
+    /// accept/reject and passes attributes through untouched. Speakers
+    /// use this to memoize the export transform per *route* instead of
+    /// re-running it (and re-interning the result) per *peer* — at an
+    /// internet-core node fanning one route out to a full mesh of
+    /// valley-free filter policies, the transformed attributes are
+    /// identical for every session sharing a local address, so the
+    /// copy-on-write edit and hash-cons run once. The accept/reject
+    /// decision itself stays per-peer via [`Policy::accepts`].
+    pub fn is_pure_filter(&self) -> bool {
+        self.rules.iter().all(|r| r.actions.is_empty())
+    }
+
+    /// Decision-only evaluation for pure-filter policies (see
+    /// [`Policy::is_pure_filter`]): no route clone, no attribute rewrite.
+    /// Equivalent to `self.evaluate(route).is_some()` when no rule has
+    /// actions — with actions, matching could observe rewritten
+    /// attributes, so callers must check `is_pure_filter` first.
+    pub fn accepts(&self, route: &Route) -> bool {
+        for rule in &self.rules {
+            if rule.matches.matches(route) {
+                match rule.verdict {
+                    Verdict::Accept => return true,
+                    Verdict::Reject => return false,
+                    Verdict::Continue => {}
+                }
+            }
+        }
+        self.default != Verdict::Reject
+    }
+
     /// Build from rules with a default verdict.
     pub fn new(rules: Vec<Rule>, default: Verdict) -> Self {
         Policy { rules, default }

@@ -302,11 +302,69 @@ pub struct Speaker {
     /// mid-tier AS the suppression is the steady state, so only nodes
     /// whose enforcement is under observation opt in).
     journal_export_rejects: bool,
+    /// Reusable scratch: peer-id list for export fan-out (allocated once,
+    /// refilled per recompute instead of collected fresh each time).
+    scratch_ids: Vec<PeerId>,
+    /// Reusable scratch: per-recompute export-transform memo. Keys are
+    /// raw attribute pointers, so the map is cleared at the start of every
+    /// recompute — entries never outlive the candidate set that keeps the
+    /// pointed-at attributes alive.
+    export_memo: HashMap<ExportMemoKey, Arc<PathAttributes>>,
+}
+
+/// Memo key for the per-route export transform: everything that
+/// determines the transformed attribute set for an unconditional-accept
+/// export policy. Two sessions sharing these fields advertise the same
+/// (interned) attributes for a given source route, so the transform —
+/// policy walk, copy-on-write edit, hash-consing — runs once per route
+/// instead of once per peer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct ExportMemoKey {
+    /// Source attribute identity (interned ⇒ pointer equality is value
+    /// equality), stored as an address so the key stays `Send`. Valid
+    /// only within one recompute, while the candidate set holds the Arc
+    /// alive.
+    attrs: usize,
+    ebgp: bool,
+    transparent: bool,
+    next_hop_unchanged: bool,
+    local_addr: IpAddr,
 }
 
 /// Bucket bounds for the coalescing flush-size histogram (NLRI entries
 /// put on the wire by one flush).
 const FLUSH_NLRI_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Same route object: attribute identity (interned, so pointer equality is
+/// value equality), provenance and arrival stamp. Used to prove a
+/// recompute left the decision winner untouched.
+fn routes_identical(a: &Route, b: &Route) -> bool {
+    a.prefix == b.prefix
+        && a.path_id == b.path_id
+        && a.stamp == b.stamp
+        && a.source == b.source
+        && Arc::ptr_eq(&a.attrs, &b.attrs)
+}
+
+/// The standard eBGP export edits: prepend our ASN (unless the session is
+/// route-server transparent), strip LOCAL_PREF, and apply next-hop-self
+/// unless the export policy already rewrote the next hop or the peer is
+/// configured next-hop-unchanged.
+fn apply_ebgp_edits(
+    attrs: &mut Arc<PathAttributes>,
+    source_next_hop: Option<IpAddr>,
+    local_asn: Asn,
+    cfg: &PeerConfig,
+) {
+    let edited = Arc::make_mut(attrs);
+    if !cfg.transparent {
+        edited.as_path.prepend(local_asn, 1);
+    }
+    edited.local_pref = None;
+    if !cfg.next_hop_unchanged && edited.next_hop == source_next_hop {
+        edited.next_hop = Some(cfg.local_addr);
+    }
+}
 
 impl Speaker {
     /// Create a speaker.
@@ -325,6 +383,8 @@ impl Speaker {
             h_flush: obs.histogram("bgp.flush_nlri", FLUSH_NLRI_BOUNDS),
             obs,
             journal_export_rejects: false,
+            scratch_ids: Vec::new(),
+            export_memo: HashMap::new(),
         }
     }
 
@@ -902,7 +962,7 @@ impl Speaker {
         self.attr_store.gc();
     }
 
-    fn process_update(&mut self, id: PeerId, update: UpdateMsg, out: &mut SpeakerOutput) {
+    fn process_update(&mut self, id: PeerId, mut update: UpdateMsg, out: &mut SpeakerOutput) {
         if update.is_end_of_rib() {
             // The peer finished (re-)announcing: any retained route it did
             // not refresh is gone for real. The retention timer becomes
@@ -925,11 +985,9 @@ impl Speaker {
         let ebgp = peer.cfg.remote_asn != self.cfg.asn;
         let mut touched: Vec<Prefix> = Vec::new();
         // Every NLRI in the update shares one attribute set: intern it once
-        // so all resulting Adj-RIB-In entries share one allocation.
-        let shared_attrs = update
-            .attrs
-            .as_ref()
-            .map(|a| self.attr_store.intern(a.clone()));
+        // so all resulting Adj-RIB-In entries share one allocation. The
+        // message is ours, so move the attributes out instead of cloning.
+        let shared_attrs = update.attrs.take().map(|a| self.attr_store.intern(a));
 
         for (prefix, path_id) in &update.withdrawn {
             let peer = self.peers.get_mut(&id).unwrap();
@@ -1020,20 +1078,65 @@ impl Speaker {
             candidates.extend(peer.adj_in.paths(&prefix).cloned());
         }
         sort_candidates(&mut candidates);
-        self.loc_rib.set_candidates(prefix, candidates);
-        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
-        for id in ids {
-            self.export_prefix_to(id, prefix, out);
+        let (old_best, new_best) = self.loc_rib.set_candidates(prefix, candidates.clone());
+        // If the decision winner is the exact same route object as before
+        // (attribute identity, source, stamp), every best-only export is a
+        // provable no-op: identical inputs reproduce the identical desired
+        // set, so the diff against Adj-RIB-Out is empty. Skipping them
+        // collapses the dominant convergence fan-out — during mesh
+        // flooding most arrivals add a losing candidate without moving the
+        // best. All-paths peers still see the full candidate set change.
+        let best_unchanged = match (&old_best, &new_best) {
+            (None, None) => true,
+            (Some(a), Some(b)) => routes_identical(a, b),
+            _ => false,
+        };
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend(self.peers.keys().copied());
+        let mut memo = std::mem::take(&mut self.export_memo);
+        memo.clear();
+        for &id in &ids {
+            self.export_prefix_with(id, prefix, &candidates, best_unchanged, &mut memo, out);
         }
+        self.scratch_ids = ids;
+        self.export_memo = memo;
     }
 
     /// Compute and transmit the delta between what `id` should see for
     /// `prefix` and what we previously advertised.
     fn export_prefix_to(&mut self, id: PeerId, prefix: Prefix, out: &mut SpeakerOutput) {
+        let candidates: Vec<Route> = self.loc_rib.candidates(&prefix).to_vec();
+        let mut memo = std::mem::take(&mut self.export_memo);
+        memo.clear();
+        self.export_prefix_with(id, prefix, &candidates, false, &mut memo, out);
+        self.export_memo = memo;
+    }
+
+    /// [`Self::export_prefix_to`] with the candidate set and transform
+    /// memo supplied by the caller: a recompute fanning one prefix out to
+    /// every peer collects candidates once and runs each distinct export
+    /// transform — policy walk, copy-on-write edit, hash-consing — once
+    /// per route instead of once per peer (see [`ExportMemoKey`]).
+    fn export_prefix_with(
+        &mut self,
+        id: PeerId,
+        prefix: Prefix,
+        candidates: &[Route],
+        best_unchanged: bool,
+        memo: &mut HashMap<ExportMemoKey, Arc<PathAttributes>>,
+        out: &mut SpeakerOutput,
+    ) {
         let Some(peer) = self.peers.get(&id) else {
             return;
         };
         if !peer.fsm.is_established() {
+            return;
+        }
+        // A best-only peer's desired set is a pure function of the (same)
+        // winning route and the (same) session config — recomputing it
+        // would diff to nothing.
+        if best_unchanged && peer.cfg.mode == AdvertiseMode::BestOnly {
             return;
         }
         // Feed-only sessions (reject-all export, nothing previously
@@ -1046,9 +1149,11 @@ impl Speaker {
         }
         let mode = peer.cfg.mode;
         let ebgp = peer.cfg.remote_asn != self.cfg.asn;
-        let candidates: Vec<Route> = match mode {
-            AdvertiseMode::BestOnly => self.loc_rib.best(&prefix).into_iter().cloned().collect(),
-            AdvertiseMode::AllPaths => self.loc_rib.candidates(&prefix).to_vec(),
+        // BestOnly considers exactly the decision winner (and advertises
+        // nothing when the winner is filtered) — never the runner-up.
+        let cands: &[Route] = match mode {
+            AdvertiseMode::BestOnly => &candidates[..candidates.len().min(1)],
+            AdvertiseMode::AllPaths => candidates,
         };
 
         // Desired advertisement set: path-id -> interned attrs.
@@ -1056,7 +1161,8 @@ impl Speaker {
         {
             let peer = self.peers.get_mut(&id).unwrap();
             let use_add_path = peer.fsm.codec_ctx().add_path_v4 || peer.fsm.codec_ctx().add_path_v6;
-            for route in &candidates {
+            let memoizable = peer.cfg.export.is_pure_filter();
+            for route in cands {
                 // Split horizon: never advertise a route back to its source.
                 if route.source.peer() == Some(id) {
                     continue;
@@ -1065,29 +1171,60 @@ impl Speaker {
                 if ebgp && route.attrs.as_path.contains(peer.cfg.remote_asn) {
                     continue;
                 }
-                let Some(mut attrs) = peer.cfg.export.evaluate(route) else {
-                    peer.stats.export_rejected += 1;
-                    if self.journal_export_rejects {
-                        self.obs.record(ObsEvent::ExportSuppressed { peer: id.0 });
+                let attrs = if memoizable {
+                    // Pure-filter export: decide per peer (cheap walk, no
+                    // route clone), but the accepted transform is fully
+                    // determined by the memo key, so equal sessions reuse
+                    // one computation (and one interned allocation).
+                    if !peer.cfg.export.accepts(route) {
+                        peer.stats.export_rejected += 1;
+                        if self.journal_export_rejects {
+                            self.obs.record(ObsEvent::ExportSuppressed { peer: id.0 });
+                        }
+                        continue;
                     }
-                    continue;
+                    let key = ExportMemoKey {
+                        attrs: Arc::as_ptr(&route.attrs) as usize,
+                        ebgp,
+                        transparent: peer.cfg.transparent,
+                        next_hop_unchanged: peer.cfg.next_hop_unchanged,
+                        local_addr: peer.cfg.local_addr,
+                    };
+                    if let Some(hit) = memo.get(&key) {
+                        Arc::clone(hit)
+                    } else {
+                        let mut attrs = Arc::clone(&route.attrs);
+                        if ebgp {
+                            apply_ebgp_edits(
+                                &mut attrs,
+                                route.attrs.next_hop,
+                                self.cfg.asn,
+                                &peer.cfg,
+                            );
+                        }
+                        // Re-intern so equal exports share one allocation,
+                        // and so pointer equality below means value
+                        // equality.
+                        let attrs = self.attr_store.intern_arc(attrs);
+                        memo.insert(key, Arc::clone(&attrs));
+                        attrs
+                    }
+                } else {
+                    let Some(mut attrs) = peer.cfg.export.evaluate(route) else {
+                        peer.stats.export_rejected += 1;
+                        if self.journal_export_rejects {
+                            self.obs.record(ObsEvent::ExportSuppressed { peer: id.0 });
+                        }
+                        continue;
+                    };
+                    if ebgp {
+                        apply_ebgp_edits(&mut attrs, route.attrs.next_hop, self.cfg.asn, &peer.cfg);
+                    }
+                    // Re-intern so equal exports (e.g. one route fanned out
+                    // to many experiment sessions) share one allocation, and
+                    // so pointer equality below means value equality.
+                    self.attr_store.intern_arc(attrs)
                 };
-                if ebgp {
-                    let edited = Arc::make_mut(&mut attrs);
-                    if !peer.cfg.transparent {
-                        edited.as_path.prepend(self.cfg.asn, 1);
-                    }
-                    edited.local_pref = None;
-                    // Next-hop-self unless export policy set one explicitly
-                    // or the peer is configured next-hop-unchanged.
-                    if !peer.cfg.next_hop_unchanged && edited.next_hop == route.attrs.next_hop {
-                        edited.next_hop = Some(peer.cfg.local_addr);
-                    }
-                }
-                // Re-intern so equal exports (e.g. one route fanned out to
-                // many experiment sessions) share one allocation, and so
-                // pointer equality below means value equality.
-                let attrs = self.attr_store.intern_arc(attrs);
                 let export_id = if use_add_path && mode == AdvertiseMode::AllPaths {
                     let key = (route.source.peer(), route.path_id);
                     if let Some(&eid) = peer.export_ids.get(&key) {
@@ -1117,8 +1254,11 @@ impl Speaker {
             Prefix::V4 { .. } => ctx.add_path_v4,
             Prefix::V6 { .. } => ctx.add_path_v6,
         };
+        // Take (not clone) the previous desired state: it is either
+        // replaced by `desired` below or dropped, so cloning the map per
+        // export call would be pure overhead.
         let current: BTreeMap<PathId, Arc<PathAttributes>> =
-            peer.adj_out.get(&prefix).cloned().unwrap_or_default();
+            peer.adj_out.remove(&prefix).unwrap_or_default();
 
         let mut msgs: Vec<UpdateMsg> = Vec::new();
         let mut withdrawals = Vec::new();
@@ -1155,9 +1295,7 @@ impl Speaker {
             }
         }
 
-        if desired.is_empty() {
-            peer.adj_out.remove(&prefix);
-        } else {
+        if !desired.is_empty() {
             peer.adj_out.insert(prefix, desired);
         }
         for msg in msgs {

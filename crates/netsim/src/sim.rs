@@ -8,15 +8,29 @@
 //! # Sharded-parallel execution
 //!
 //! [`Simulator::set_shards`] partitions the nodes into shards, each with its
-//! own event queue, and [`Simulator::run_until`] then advances them on worker
-//! threads using conservative lookahead windows: a window `[gvt, end)` is
-//! opened from the global minimum event time `gvt` to
-//! `gvt + min cross-shard link latency`, and within it every shard can run
+//! own event queue, and [`Simulator::run_until`] then advances them on a
+//! persistent pinned worker pool (one thread per shard, spawned once per
+//! shard-count change and parked on a channel between windows) using
+//! conservative lookahead windows: a window `[gvt, end)` is opened from the
+//! global minimum event time `gvt`, and within it every shard can run
 //! independently because no frame emitted inside the window can cross a
 //! shard boundary before the window closes. Cross-shard deliveries land in
-//! per-shard inboxes that are drained at the window barrier; chaos steps are
+//! lock-free single-producer/single-consumer lanes (one per ordered shard
+//! pair) that the coordinator drains at the window barrier; chaos steps are
 //! applied on the main thread between windows (a window never crosses a
 //! chaos timestamp), so link state is frozen while workers run.
+//!
+//! Window bounds are adaptive. The floor is the classic conservative bound
+//! `gvt + min cross-shard link latency`; the sound widened bound is
+//! `min over shards s with pending events of (t_s + L_out(s))`, where `t_s`
+//! is shard `s`'s earliest queued event and `L_out(s)` the minimum latency
+//! of its cross-shard links: any cross-shard arrival emitted during the
+//! window is the end of a causal chain starting at an event at or after
+//! `t_s` whose final hop adds at least `L_out(s)`. On top of that sits a
+//! doubling heuristic cap — windows widen while no cross-shard traffic
+//! appears and snap back to the conservative bound when a lane carries a
+//! frame — purely to pace barrier frequency; soundness never depends on it,
+//! so the window schedule is unobservable in the results.
 //!
 //! Runs are bit-identical at any shard count because nothing observable
 //! depends on the layout:
@@ -30,14 +44,18 @@
 //! * observability records carry their dispatch key and merge canonically
 //!   (see `peering-obs`), so snapshots and journal digests match too.
 //!
-//! [`Simulator::run_until_idle`] always runs sequentially — idle detection
-//! needs the global queue view — and the sequential engine is the canonical
-//! semantics the parallel one must (and does) reproduce.
+//! [`Simulator::run_until_idle`] uses the same windowed engine when shards
+//! are configured (quiescence is checked at window barriers, where the
+//! coordinator has the global queue view); the sequential engine is the
+//! canonical semantics the parallel one must (and does) reproduce. A panic
+//! on a shard worker does not abort the process: the window is collected,
+//! the simulator is poisoned, and the coordinator re-raises a diagnostic
+//! naming the shard, the window bounds and the journal tail.
 
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{mpsc, Mutex, MutexGuard};
 
 use peering_obs::{Counter, DispatchKey, EventKind as ObsEvent, Obs, MAX_LANES};
 
@@ -194,6 +212,11 @@ struct NodeSlot {
     node: Option<Box<dyn Node>>,
     rng: SimRng,
     seq: u64,
+    /// Reusable action buffer: drained by `apply_actions` after every
+    /// callback, so it is always empty between dispatches. Keeping it in
+    /// the slot means the per-event `Vec` allocation happens once per node
+    /// instead of once per dispatch.
+    actions: Vec<Action>,
 }
 
 /// `UnsafeCell` wrapper so shards on different worker threads can each
@@ -414,7 +437,7 @@ fn dispatch_node(
         // action-buffer design, but degrade gracefully.
         return;
     };
-    let mut actions = Vec::new();
+    let mut actions = std::mem::take(&mut slot.actions);
     {
         let mut ctx = Ctx {
             now,
@@ -426,6 +449,7 @@ fn dispatch_node(
     }
     slot.node = Some(node);
     apply_actions(env, id, now, &mut actions, id.0, &mut slot.seq);
+    slot.actions = actions;
 }
 
 fn trace_rx(
@@ -509,6 +533,208 @@ fn process_node_event(env: &mut DispatchEnv<'_>, obs: &Obs, event: Event, queue:
     }
 }
 
+/// Default ceiling for the adaptive-window doubling multiplier: windows
+/// may widen up to `4096 × min cross-shard latency` while no cross-shard
+/// traffic appears. Purely a barrier-pacing heuristic — any value ≥ 1
+/// yields bit-identical results (see `tests/props.rs`).
+const DEFAULT_WINDOW_CAP: u64 = 4096;
+
+/// A message from the coordinator to a parked shard worker.
+enum Job {
+    /// Execute one lookahead window. The raw pointers inside are valid
+    /// until the worker reports on the done channel.
+    Window(WindowJob),
+    /// Tear the worker down (pool drop or shard-count change).
+    Shutdown,
+}
+
+/// One window of work for one shard: the window bounds plus raw views of
+/// the simulator state the worker is allowed to touch.
+///
+/// # Safety discipline
+///
+/// The pointers reference fields of the `Simulator` that owns the pool.
+/// They are valid and unaliased for the duration of the window because the
+/// coordinator (a) constructs them inside `run_parallel_until` while
+/// holding `&mut Simulator`, so the simulator cannot move or be touched
+/// elsewhere, and (b) blocks until every dispatched worker has reported
+/// done before using any of the pointed-at state again. A worker only
+/// mutates its own shard's queue (`queues.add(shard)`), its own nodes
+/// (per the [`NodeCell`] discipline) and its own row of lanes
+/// (`lanes[shard * shards + dst]`), so no two threads ever write the same
+/// location.
+struct WindowJob {
+    gvt: SimTime,
+    end: SimTime,
+    topo: *const Topo,
+    counters: *const SimCounters,
+    obs: *const Obs,
+    node_shard: *const u32,
+    node_shard_len: usize,
+    queues: *mut EventQueue,
+    lanes: *const UnsafeCell<Vec<Event>>,
+    shards: usize,
+}
+
+// SAFETY: see the discipline on `WindowJob` — the pointers outlive the
+// window and every location has exactly one accessor during it.
+unsafe impl Send for WindowJob {}
+
+/// A worker's end-of-window report: per-window tallies, or the panic
+/// payload when the shard blew up mid-window.
+struct WorkerDone {
+    shard: usize,
+    result: Result<(LocalStats, SimTime), String>,
+}
+
+/// Persistent pinned worker pool: one thread per shard, spawned once per
+/// shard-count change and parked on a blocking channel `recv` between
+/// windows. Replaces the old per-window `std::thread::scope` respawn,
+/// whose spawn/join cost dominated short windows.
+///
+/// Also owns the single-producer/single-consumer cross-shard lanes:
+/// `lanes[src * shards + dst]` is written only by worker `src` during a
+/// window and drained only by the coordinator at the barrier, so pushes
+/// are plain `Vec` appends — no locks on the cross-shard delivery path.
+struct WorkerPool {
+    shards: usize,
+    jobs: Vec<mpsc::Sender<Job>>,
+    done_rx: mpsc::Receiver<WorkerDone>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    lanes: Vec<UnsafeCell<Vec<Event>>>,
+}
+
+// SAFETY: the lanes are the only non-Sync payload; access follows the
+// single-writer discipline documented on `WorkerPool` and `WindowJob`.
+unsafe impl Sync for WorkerPool {}
+
+impl WorkerPool {
+    fn new(shards: usize) -> Self {
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut jobs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            let done = done_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("netsim-shard-{shard}"))
+                    .spawn(move || worker_main(shard, rx, done))
+                    .expect("spawn shard worker"),
+            );
+            jobs.push(tx);
+        }
+        let lanes = (0..shards * shards)
+            .map(|_| UnsafeCell::new(Vec::new()))
+            .collect();
+        WorkerPool {
+            shards,
+            jobs,
+            done_rx,
+            handles,
+            lanes,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for tx in &self.jobs {
+            let _ = tx.send(Job::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Body of a pool worker: park on `recv`, run the window, report, repeat.
+/// Panics inside a window are caught and shipped back as a diagnostic so
+/// the coordinator can poison the run instead of aborting opaquely.
+fn worker_main(shard: usize, rx: mpsc::Receiver<Job>, done: mpsc::Sender<WorkerDone>) {
+    // Lane 0 is the main thread; workers are 1-based so each shard's
+    // journal records stay distinguishable.
+    peering_obs::set_thread_lane(shard + 1);
+    let mut out: Vec<Event> = Vec::new();
+    while let Ok(Job::Window(job)) = rx.recv() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: this worker is the sole owner of shard `shard` for
+            // the window; see `WindowJob`.
+            unsafe { run_shard_window(shard, &job, &mut out) }
+        }))
+        .map_err(|payload| panic_message(payload.as_ref()));
+        peering_obs::clear_dispatch_key();
+        if done.send(WorkerDone { shard, result }).is_err() {
+            break;
+        }
+    }
+}
+
+/// Render a caught panic payload for the poison diagnostic.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Execute one shard's events inside `[job.gvt, job.end)`.
+///
+/// # Safety
+/// Caller must be the unique owner of shard `shard` for this window and
+/// the pointers in `job` must satisfy the `WindowJob` discipline.
+unsafe fn run_shard_window(
+    shard: usize,
+    job: &WindowJob,
+    out: &mut Vec<Event>,
+) -> (LocalStats, SimTime) {
+    out.clear();
+    let topo = &*job.topo;
+    let counters = &*job.counters;
+    let obs = &*job.obs;
+    let node_shard = std::slice::from_raw_parts(job.node_shard, job.node_shard_len);
+    let queue = &mut *job.queues.add(shard);
+    let mut stats = LocalStats::default();
+    let mut last = job.gvt;
+    while queue.peek_time().is_some_and(|t| t < job.end) {
+        let ev = queue.pop().expect("peeked event");
+        debug_assert!(ev.key.at >= last, "time went backwards");
+        last = ev.key.at;
+        {
+            let mut env = DispatchEnv {
+                topo,
+                counters,
+                out: &mut *out,
+                stats: &mut stats,
+                tracer: None,
+            };
+            process_node_event(&mut env, obs, ev, queue);
+        }
+        for e in out.drain(..) {
+            let dst = node_shard.get(e.key.dst as usize).copied().unwrap_or(0) as usize;
+            if dst == shard {
+                queue.push(e.key, e.kind);
+            } else {
+                // SPSC push: this worker is the only producer for lane
+                // (shard, dst) during the window; the coordinator is the
+                // only consumer, at the barrier while workers are parked.
+                let lane = &mut *(*job.lanes.add(shard * job.shards + dst)).get();
+                lane.push(e);
+            }
+        }
+    }
+    (stats, last)
+}
+
+/// `t + d` in nanoseconds, saturating (the "no cross-shard links" bound is
+/// effectively infinite).
+fn sat_add(t: SimTime, d: SimDuration) -> SimTime {
+    SimTime::from_nanos(t.as_nanos().saturating_add(d.as_nanos()))
+}
+
 /// The discrete-event simulator.
 pub struct Simulator {
     time: SimTime,
@@ -536,6 +762,16 @@ pub struct Simulator {
     pub unrouted_frames: u64,
     /// Total events processed.
     pub processed_events: u64,
+    /// Persistent worker pool, built lazily on the first parallel window
+    /// and rebuilt when the shard count changes.
+    pool: Option<WorkerPool>,
+    /// Fatal diagnostic from a panicked shard worker. Node state inside
+    /// the panicked window is torn, so every subsequent run re-raises it.
+    poisoned: Option<String>,
+    /// Adaptive-window doubling ceiling (see [`Simulator::set_window_cap`]).
+    window_cap: u64,
+    /// Reusable event buffer for the sequential step path.
+    scratch_out: Vec<Event>,
     obs: Obs,
     counters: SimCounters,
 }
@@ -564,6 +800,10 @@ impl Simulator {
             tracer: Tracer::disabled(),
             unrouted_frames: 0,
             processed_events: 0,
+            pool: None,
+            poisoned: None,
+            window_cap: DEFAULT_WINDOW_CAP,
+            scratch_out: Vec::new(),
             obs,
             counters,
         }
@@ -608,11 +848,28 @@ impl Simulator {
     /// of events on worker threads; results are bit-identical to one shard.
     pub fn set_shards(&mut self, shards: usize) {
         let shards = shards.clamp(1, MAX_LANES - 1);
+        if self.pool.as_ref().is_some_and(|p| p.shards != shards) {
+            // Shard-count change: retire the old pool (its lane grid and
+            // thread count no longer match). A new one is spawned lazily
+            // on the next parallel window.
+            self.pool = None;
+        }
         self.shards = shards;
         for (i, s) in self.node_shard.iter_mut().enumerate() {
             *s = (i % shards) as u32;
         }
         self.needs_repartition = true;
+    }
+
+    /// Cap the adaptive-window doubling multiplier: while windows see no
+    /// cross-shard traffic they widen by doubling, up to `cap × min
+    /// cross-shard latency`, and snap back to the conservative bound when
+    /// a cross-shard frame appears. The schedule is a pacing detail only —
+    /// any `cap ≥ 1` produces bit-identical results (property-tested in
+    /// `tests/props.rs`); `1` pins the engine to fixed conservative
+    /// windows.
+    pub fn set_window_cap(&mut self, cap: u64) {
+        self.window_cap = cap.max(1);
     }
 
     /// Current shard count.
@@ -671,6 +928,24 @@ impl Simulator {
         }
     }
 
+    /// [`Simulator::route_events`] that drains a reusable buffer in place.
+    fn route_events_drain(&mut self, out: &mut Vec<Event>) {
+        self.ensure_partition();
+        for e in out.drain(..) {
+            let shard = self.shard_of(e.key.dst);
+            self.queues[shard].push(e.key, e.kind);
+        }
+    }
+
+    /// Re-raise the diagnostic from an earlier shard-worker panic: the
+    /// panicked window left node state half-applied, so the run cannot
+    /// continue meaningfully.
+    fn check_poisoned(&self) {
+        if let Some(diag) = &self.poisoned {
+            panic!("simulator poisoned by an earlier shard-worker panic: {diag}");
+        }
+    }
+
     fn ext_key(&mut self, at: SimTime, dst: u32) -> EventKey {
         let seq = self.ext_seq;
         self.ext_seq += 1;
@@ -690,6 +965,7 @@ impl Simulator {
             node: Some(node),
             rng: stream(self.seed, NODE_STREAM_SALT | id as u64),
             seq: 0,
+            actions: Vec::new(),
         })));
         self.node_shard.push((id as usize % self.shards) as u32);
         NodeId(id)
@@ -943,6 +1219,7 @@ impl Simulator {
     /// queues are empty. Always sequential — this is the canonical
     /// semantics the parallel engine reproduces.
     pub fn step(&mut self) -> bool {
+        self.check_poisoned();
         self.ensure_partition();
         let chaos = self.chaos_queue.peek_key();
         let mut best: Option<(usize, EventKey)> = None;
@@ -968,7 +1245,8 @@ impl Simulator {
         let ev = self.queues[i].pop().expect("peeked node event");
         debug_assert!(ev.key.at >= self.time, "time went backwards");
         self.time = ev.key.at;
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.scratch_out);
+        out.clear();
         let mut stats = LocalStats::default();
         {
             let mut env = DispatchEnv {
@@ -983,7 +1261,8 @@ impl Simulator {
         peering_obs::clear_dispatch_key();
         self.unrouted_frames += stats.unrouted;
         self.processed_events += stats.processed;
-        self.route_events(out);
+        self.route_events_drain(&mut out);
+        self.scratch_out = out;
         true
     }
 
@@ -1075,6 +1354,7 @@ impl Simulator {
     /// state, counters, journal, clock — are bit-identical to a
     /// single-shard run.
     pub fn run_until(&mut self, deadline: SimTime) {
+        self.check_poisoned();
         self.ensure_partition();
         let lookahead = if self.queues.len() > 1 && !self.tracer.enabled() {
             self.cross_shard_lookahead()
@@ -1082,7 +1362,9 @@ impl Simulator {
             None
         };
         match lookahead {
-            Some(la) => self.run_parallel_until(deadline, la),
+            Some(la) => {
+                self.run_parallel_until(deadline, la, None);
+            }
             None => {
                 while self.next_key().is_some_and(|k| k.at <= deadline) {
                     self.step();
@@ -1101,17 +1383,72 @@ impl Simulator {
         self.run_until(deadline);
     }
 
-    /// The parallel engine: advance in conservative windows `[gvt, end)`
-    /// where `end = min(gvt + lookahead, next chaos step, deadline+1ns)`.
-    /// Shards process their own queues on scoped worker threads; deliveries
-    /// to other shards land in inboxes drained at the window barrier (they
-    /// cannot fire inside the window — every cross-shard link adds at least
-    /// `lookahead` of latency).
-    fn run_parallel_until(&mut self, deadline: SimTime, lookahead: SimDuration) {
+    /// Per-shard minimum latency over cross-shard links incident to each
+    /// shard (`L_out`). Any cross-shard arrival emitted by shard `s` is
+    /// the end of a causal chain whose final hop adds at least
+    /// `L_out(s)`, so shard `s` cannot disturb anyone before
+    /// `t_s + L_out(s)`. Shards with no cross-shard links get the
+    /// saturating "never" bound.
+    fn per_shard_out_lookahead(&self) -> Vec<SimDuration> {
+        let mut out = vec![SimDuration::from_nanos(u64::MAX); self.queues.len()];
+        for (i, slot) in self.topo.links.iter().enumerate() {
+            let state = slot.lock().expect("link lock poisoned");
+            let id = LinkId(i as u32);
+            if self.topo.ports.get(&state.ends[0]) != Some(&(id, 0)) {
+                continue; // disconnected: no frames can cross it
+            }
+            let a = self.shard_of(state.ends[0].0 .0);
+            let b = self.shard_of(state.ends[1].0 .0);
+            if a == b {
+                continue;
+            }
+            let latency = state.link.config.latency;
+            out[a] = out[a].min(latency);
+            out[b] = out[b].min(latency);
+        }
+        out
+    }
+
+    /// The parallel engine: advance in windows `[gvt, end)` where
+    ///
+    /// ```text
+    /// end = min( gvt + lookahead × cap,            doubling heuristic
+    ///            min_s (t_s + L_out(s)),           sound emission bound
+    ///            next chaos step,
+    ///            deadline + 1ns )
+    /// ```
+    ///
+    /// Each dispatched shard runs on its parked pool worker; cross-shard
+    /// deliveries land in SPSC lanes drained at the barrier through the
+    /// canonical `EventKey`-ordered queues, so the merge — and every
+    /// observable result — is independent of the window schedule. The
+    /// `cap` multiplier doubles while windows stay cross-shard quiet (up
+    /// to [`Simulator::set_window_cap`]) and snaps back to 1 when a lane
+    /// carries traffic; the sound bound keeps any schedule correct.
+    ///
+    /// With `max_events`, stops early (at a window barrier) once the run
+    /// has processed at least that many events, returning `false`; the
+    /// sequential engine counts per event, so an over-budget parallel run
+    /// may process a window's worth more before noticing.
+    fn run_parallel_until(
+        &mut self,
+        deadline: SimTime,
+        lookahead: SimDuration,
+        max_events: Option<u64>,
+    ) -> bool {
         let shard_count = self.queues.len();
-        let inboxes: Vec<Mutex<Vec<Event>>> =
-            (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
+        if self.pool.as_ref().map(|p| p.shards) != Some(shard_count) {
+            self.pool = Some(WorkerPool::new(shard_count));
+        }
+        let l_out = self.per_shard_out_lookahead();
+        let start_processed = self.processed_events;
+        let mut cap_mult: u64 = 1;
         loop {
+            if let Some(max) = max_events {
+                if self.processed_events - start_processed >= max {
+                    return false;
+                }
+            }
             let t_chaos = self.chaos_queue.peek_time();
             let t_node = self.queues.iter().filter_map(|q| q.peek_time()).min();
             let gvt = match (t_chaos, t_node) {
@@ -1133,85 +1470,135 @@ impl Simulator {
                 }
                 continue;
             }
-            let mut end = gvt + lookahead;
+            // Heuristic width, then clamp to the sound emission bound:
+            // no shard can receive a cross-shard event before
+            // min_s(t_s + L_out(s)), so any end at or below it is safe.
+            let mut end = sat_add(
+                gvt,
+                SimDuration::from_nanos(lookahead.as_nanos().saturating_mul(cap_mult)),
+            );
+            for (s, q) in self.queues.iter().enumerate() {
+                if let Some(t) = q.peek_time() {
+                    end = end.min(sat_add(t, l_out[s]));
+                }
+            }
             if let Some(tc) = t_chaos {
                 end = end.min(tc);
             }
-            end = end.min(deadline + SimDuration::from_nanos(1));
-            let mut queues = std::mem::take(&mut self.queues);
-            let topo = &self.topo;
-            let counters = &self.counters;
-            let obs = &self.obs;
-            let node_shard: &[u32] = &self.node_shard;
-            let results: Vec<(LocalStats, SimTime)> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (shard, queue) in queues.iter_mut().enumerate() {
-                    if queue.peek_time().is_none_or(|t| t >= end) {
-                        continue; // nothing to do this window
-                    }
-                    let inboxes = &inboxes;
-                    handles.push(scope.spawn(move || {
-                        // Lane 0 is the main thread; workers are 1-based so
-                        // each shard's journal records stay distinguishable.
-                        peering_obs::set_thread_lane(shard + 1);
-                        let mut stats = LocalStats::default();
-                        let mut out = Vec::new();
-                        let mut last = gvt;
-                        while queue.peek_time().is_some_and(|t| t < end) {
-                            let ev = queue.pop().expect("peeked event");
-                            debug_assert!(ev.key.at >= last, "time went backwards");
-                            last = ev.key.at;
-                            let mut env = DispatchEnv {
-                                topo,
-                                counters,
-                                out: &mut out,
-                                stats: &mut stats,
-                                tracer: None,
-                            };
-                            process_node_event(&mut env, obs, ev, queue);
-                            for e in out.drain(..) {
-                                let dst = node_shard.get(e.key.dst as usize).copied().unwrap_or(0)
-                                    as usize;
-                                if dst == shard {
-                                    queue.push(e.key, e.kind);
-                                } else {
-                                    inboxes[dst].lock().expect("inbox poisoned").push(e);
-                                }
-                            }
+            end = end.min(SimTime::from_nanos(deadline.as_nanos().saturating_add(1)));
+            // Dispatch the window to every shard with due events. No
+            // borrow of the queues is live once a worker starts mutating
+            // its own: only raw pointers cross the channel.
+            let mut active = 0usize;
+            let queues_ptr = self.queues.as_mut_ptr();
+            let topo: *const Topo = &self.topo;
+            let counters: *const SimCounters = &self.counters;
+            let obs: *const Obs = &self.obs;
+            let node_shard = self.node_shard.as_ptr();
+            let node_shard_len = self.node_shard.len();
+            let pool = self.pool.as_ref().expect("pool built above");
+            for shard in 0..shard_count {
+                // SAFETY: reading the shard's own queue head; workers for
+                // lower shards only mutate *their* queues.
+                let due = unsafe { (*queues_ptr.add(shard)).peek_time() };
+                if due.is_none_or(|t| t >= end) {
+                    continue; // nothing to do this window
+                }
+                let job = WindowJob {
+                    gvt,
+                    end,
+                    topo,
+                    counters,
+                    obs,
+                    node_shard,
+                    node_shard_len,
+                    queues: queues_ptr,
+                    lanes: pool.lanes.as_ptr(),
+                    shards: shard_count,
+                };
+                pool.jobs[shard]
+                    .send(Job::Window(job))
+                    .expect("shard worker channel closed");
+                active += 1;
+            }
+            debug_assert!(active > 0, "window [{gvt:?}, {end:?}) dispatched no shard");
+            // Barrier: block until every dispatched worker reports.
+            let mut poison: Option<(usize, String)> = None;
+            for _ in 0..active {
+                let done = pool
+                    .done_rx
+                    .recv()
+                    .expect("shard worker died without reporting");
+                match done.result {
+                    Ok((stats, last)) => {
+                        self.unrouted_frames += stats.unrouted;
+                        self.processed_events += stats.processed;
+                        if last > self.time {
+                            self.time = last;
                         }
-                        peering_obs::clear_dispatch_key();
-                        (stats, last)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
-            self.queues = queues;
-            for (stats, last) in results {
-                self.unrouted_frames += stats.unrouted;
-                self.processed_events += stats.processed;
-                if last > self.time {
-                    self.time = last;
+                    }
+                    Err(msg) => poison = Some((done.shard, msg)),
                 }
             }
-            for (shard, inbox) in inboxes.iter().enumerate() {
-                let mut inbox = inbox.lock().expect("inbox poisoned");
-                for e in inbox.drain(..) {
-                    self.queues[shard].push(e.key, e.kind);
+            // Drain the SPSC lanes into the canonical per-shard queues.
+            // Push order cannot matter: queues order by EventKey.
+            let mut saw_cross = false;
+            for src in 0..shard_count {
+                for dst in 0..shard_count {
+                    // SAFETY: all workers are parked (every done report
+                    // collected), so the coordinator is the sole accessor.
+                    let lane = unsafe { &mut *pool.lanes[src * shard_count + dst].get() };
+                    if lane.is_empty() {
+                        continue;
+                    }
+                    saw_cross = true;
+                    for e in lane.drain(..) {
+                        self.queues[dst].push(e.key, e.kind);
+                    }
                 }
             }
+            cap_mult = if saw_cross {
+                1
+            } else {
+                cap_mult.saturating_mul(2).min(self.window_cap)
+            };
             self.obs.set_now_nanos(self.time.as_nanos());
+            if let Some((shard, msg)) = poison {
+                let tail = self.obs.journal_tail(12);
+                let diag = format!(
+                    "shard {shard} worker panicked in window [{}ns, {}ns): {msg}\njournal tail:\n{tail}",
+                    gvt.as_nanos(),
+                    end.as_nanos()
+                );
+                self.poisoned = Some(diag.clone());
+                panic!("{diag}");
+            }
         }
+        true
     }
 
     /// Run until no events remain (the network is quiescent), with a safety
-    /// cap on event count to catch livelock in tests. Always sequential:
-    /// idle detection needs the global queue view, and quiescence runs are
-    /// the baseline sharded runs are checked against.
+    /// cap on event count to catch livelock in tests. With shards
+    /// configured (and tracing off) this uses the same windowed parallel
+    /// engine as [`Simulator::run_until`] — quiescence is detected at
+    /// window barriers, where the coordinator holds the global queue view —
+    /// and produces results bit-identical to the sequential engine. When
+    /// the cap trips, the parallel engine may have processed up to one
+    /// window more than the sequential engine would before returning
+    /// `false`.
     pub fn run_until_idle(&mut self, max_events: u64) -> bool {
+        self.check_poisoned();
         self.ensure_partition();
+        let lookahead = if self.queues.len() > 1 && !self.tracer.enabled() {
+            self.cross_shard_lookahead()
+        } else {
+            None
+        };
+        if let Some(la) = lookahead {
+            // Deadline at the saturating horizon: windows stop when the
+            // queues drain (or the event budget trips).
+            return self.run_parallel_until(SimTime::from_nanos(u64::MAX), la, Some(max_events));
+        }
         let mut n = 0;
         while self.pending_events() > 0 {
             self.step();

@@ -35,6 +35,6 @@ pub use intent::{
 };
 pub use internet::{InternetAs, Relationship};
 pub use netconf::{Address, Interface, NetState, NetconfError, NetconfOp, RouteEntry};
-pub use platform::{AttachedExperiment, Peering, PeeringError};
+pub use platform::{AttachedExperiment, BuildProfile, Peering, PeeringError};
 pub use topology::{FootprintReport, TopologyParams};
 pub use vpn::{VpnCredentials, VpnServer};

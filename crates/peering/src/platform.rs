@@ -87,10 +87,30 @@ struct PopHandle {
     nodes: Vec<NodeId>,
 }
 
+/// Wall-clock breakdown of [`Peering::build`], recorded on every build so
+/// scale benches (`scale_sim --profile-setup`) can report where platform
+/// startup time goes without re-instrumenting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildProfile {
+    /// PoP fabrics, neighbor ASes, route-server members: node construction
+    /// plus session configuration.
+    pub pops_secs: f64,
+    /// Internet-core full mesh and backbone VLAN mesh wiring.
+    pub wiring_secs: f64,
+    /// Session start plus the 60-simulated-second convergence run.
+    pub converge_secs: f64,
+    /// Total build wall-clock.
+    pub total_secs: f64,
+    /// Simulator events processed by the convergence run.
+    pub converge_events: u64,
+}
+
 /// The running platform.
 pub struct Peering {
     /// The simulator owning every node.
     pub sim: Simulator,
+    /// Where the wall-clock time of the last [`Peering::build`] went.
+    pub build_profile: BuildProfile,
     /// The desired-state model it was built from.
     pub intent: PlatformIntent,
     platform_asn: Asn,
@@ -132,6 +152,7 @@ impl Peering {
     /// Build the platform from an intent. Construction wires everything,
     /// starts every session and runs the simulator until BGP converges.
     pub fn build(intent: PlatformIntent, seed: u64) -> Self {
+        let t_build = std::time::Instant::now();
         let mut sim = Simulator::new(seed);
         let obs = Obs::new();
         sim.set_obs(obs.clone());
@@ -349,6 +370,9 @@ impl Peering {
             });
         }
 
+        let pops_secs = t_build.elapsed().as_secs_f64();
+        let t_wiring = std::time::Instant::now();
+
         // ---- Internet core: transits peer full-mesh over a core switch ----
         if transit_nodes.len() >= 2 {
             let core_switch = sim.add_node(Box::new(
@@ -465,6 +489,10 @@ impl Peering {
             }
         }
 
+        let wiring_secs = t_wiring.elapsed().as_secs_f64();
+        let t_converge = std::time::Instant::now();
+        let events_before = sim.processed_events;
+
         // ---- start everything ----
         let router_nodes: Vec<NodeId> = pops.iter().map(|p| p.router).collect();
         for r in router_nodes {
@@ -478,9 +506,17 @@ impl Peering {
             sim.with_node_ctx::<InternetAs, _>(node, |n, ctx| n.start(ctx));
         }
         sim.run_for(SimDuration::from_secs(60));
+        let build_profile = BuildProfile {
+            pops_secs,
+            wiring_secs,
+            converge_secs: t_converge.elapsed().as_secs_f64(),
+            total_secs: t_build.elapsed().as_secs_f64(),
+            converge_events: sim.processed_events - events_before,
+        };
 
         Peering {
             sim,
+            build_profile,
             intent,
             platform_asn,
             pops,

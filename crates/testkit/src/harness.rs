@@ -42,6 +42,11 @@ pub struct HarnessOptions {
     /// outcome is bit-identical at any shard count; tests sweep this to
     /// prove it.
     pub shards: usize,
+    /// Cap on the adaptive lookahead-window multiplier
+    /// ([`Simulator::set_window_cap`]); `None` keeps the engine default.
+    /// The cap only paces how far a quiet run doubles its windows — any
+    /// value ≥ 1 is bit-identical, which the property tests sweep.
+    pub window_cap: Option<u64>,
 }
 
 impl Default for HarnessOptions {
@@ -52,6 +57,7 @@ impl Default for HarnessOptions {
             settle: SimDuration::from_secs(450),
             skip_session_up_replay: false,
             shards: 1,
+            window_cap: None,
         }
     }
 }
@@ -95,6 +101,9 @@ impl ChaosOutcome {
 fn build_platform(seed: u64, opts: &HarnessOptions) -> Peering {
     let mut p = Peering::build(paper_intent(&TopologyParams::tiny()), seed);
     p.set_shards(opts.shards);
+    if let Some(cap) = opts.window_cap {
+        p.sim.set_window_cap(cap);
+    }
     let pops = p.pop_names();
     let mut proposal = Proposal::basic("chaos");
     proposal.pops = pops.clone();
