@@ -15,6 +15,7 @@ use peering_bgp::types::Asn;
 use peering_netsim::{MacAddr, PortId, SimTime};
 use peering_vbgp::enforcement::control::{ControlEnforcer, ExperimentPolicy};
 use peering_vbgp::enforcement::data::{DataEnforcer, ExperimentDataPolicy};
+use peering_vbgp::enforcement::pprog::PacketView;
 use peering_vbgp::ids::{ExperimentId, NeighborId, PopId};
 use peering_vbgp::mux::VbgpMux;
 use peering_vbgp::{CapabilitySet, ControlCommunities};
@@ -60,21 +61,14 @@ fn data_enforcement() {
         ExperimentDataPolicy {
             allowed_sources: vec!["184.164.224.0/19".parse().unwrap()],
             rate: Some((u64::MAX / 2, u64::MAX / 2)),
+            ..Default::default()
         },
     );
-    let src: std::net::IpAddr = "184.164.224.9".parse().unwrap();
+    let pkt = PacketView::basic("184.164.224.9".parse().unwrap(), 1500);
     timing::bench(
         "ablation/data_enforcement/per_packet_verdict",
         100_000,
-        || {
-            e.check_egress(
-                ExperimentId(1),
-                src,
-                1500,
-                Some(NeighborId(1)),
-                SimTime::ZERO,
-            )
-        },
+        || e.check_egress(ExperimentId(1), &pkt, Some(NeighborId(1)), SimTime::ZERO),
     );
 }
 

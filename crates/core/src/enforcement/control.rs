@@ -16,6 +16,7 @@ use peering_bgp::attrs::PathAttributes;
 use peering_bgp::message::UpdateMsg;
 use peering_bgp::types::{Asn, Prefix};
 use peering_netsim::SimTime;
+use peering_obs::{EventKind, Obs};
 use std::sync::Mutex;
 
 use crate::capability::{CapabilityKind, CapabilitySet};
@@ -88,38 +89,183 @@ pub struct ExperimentPolicy {
     pub caps: CapabilitySet,
 }
 
-/// The shared, platform-wide update-rate ledger. One per platform, shared
-/// by every PoP's enforcer (AS-wide policy).
+/// Per-PoP update tally for one (experiment, prefix, day) bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PopCount {
+    /// Updates charged through this ledger instance for the PoP.
+    pub local: u32,
+    /// Highest count learned for the PoP via backbone gossip. Gossip only
+    /// carries a PoP's own local tally, so `remote` for PoP *p* is a
+    /// monotone lower bound of *p*'s ledger's `local` — never an
+    /// overestimate (the oracle checks exactly this).
+    pub remote: u32,
+}
+
+impl PopCount {
+    /// Best known count for the PoP: what this ledger charged itself or
+    /// the highest figure gossip delivered, whichever is larger.
+    pub fn best(self) -> u32 {
+        self.local.max(self.remote)
+    }
+}
+
+/// The update-rate ledger: per-(experiment, prefix, day) tallies broken
+/// out by PoP.
+///
+/// Deployment modes, both exercised in tests:
+///
+/// * **Shared** — one `Arc<Mutex<RateLedger>>` handed to several
+///   enforcers (the pre-distributed design, still what
+///   [`ControlEnforcer::standalone`] builds). Every charge lands in
+///   `local` under the charging PoP's key and AS-wide sums are exact.
+/// * **Distributed** — one ledger per PoP; each PoP charges only its own
+///   `local` tally and learns the other PoPs' tallies asynchronously via
+///   backbone gossip frames (merged by [`RateLedger::observe_remote`],
+///   a max-merge, so replayed or reordered frames are harmless). The
+///   AS-wide sum is then eventually consistent: during a backbone
+///   partition each side may overshoot the AS-wide budget by what the
+///   unseen side spends (worst case `(pops - 1) × limit` for a full-day
+///   partition), and reconverges to the true sum after heal within one
+///   gossip period.
+///
+/// The per-PoP 144/day limit needs no synchronization in either mode and
+/// is always exact.
 #[derive(Debug, Default)]
 pub struct RateLedger {
-    counts: HashMap<(ExperimentId, Prefix, PopId, u64), u32>,
+    days: HashMap<(ExperimentId, Prefix, u64), HashMap<PopId, PopCount>>,
+    /// Optional AS-wide (summed over PoPs) daily update budget per
+    /// (experiment, prefix).
+    as_wide_limit: Option<u32>,
 }
 
 impl RateLedger {
-    /// Record one update; returns `false` if the daily budget is exceeded.
+    /// The day bucket `now` falls in.
+    pub fn day_index(now: SimTime) -> u64 {
+        now.as_secs() / SECS_PER_DAY
+    }
+
+    /// Record one update; returns `false` if the per-PoP daily budget (or
+    /// the AS-wide budget, when configured) is exhausted.
     fn charge(&mut self, exp: ExperimentId, prefix: Prefix, pop: PopId, now: SimTime) -> bool {
-        let day = now.as_secs() / SECS_PER_DAY;
-        let count = self.counts.entry((exp, prefix, pop, day)).or_insert(0);
-        if *count >= UPDATES_PER_DAY_LIMIT {
+        let day = Self::day_index(now);
+        let pops = self.days.entry((exp, prefix, day)).or_default();
+        let mine = pops.get(&pop).copied().unwrap_or_default();
+        if mine.best() >= UPDATES_PER_DAY_LIMIT {
             return false;
         }
-        *count += 1;
+        if let Some(limit) = self.as_wide_limit {
+            let wide: u32 = pops.values().map(|c| c.best()).sum();
+            if wide >= limit {
+                return false;
+            }
+        }
+        pops.entry(pop).or_default().local += 1;
         true
     }
 
-    /// Drop buckets older than the current day (housekeeping).
-    pub fn prune(&mut self, now: SimTime) {
-        let day = now.as_secs() / SECS_PER_DAY;
-        self.counts.retain(|(_, _, _, d), _| *d >= day);
+    /// Configure (or clear) the AS-wide daily update budget.
+    pub fn set_as_wide_limit(&mut self, limit: Option<u32>) {
+        self.as_wide_limit = limit;
     }
 
-    /// Updates consumed today for a (prefix, PoP) pair.
+    /// The configured AS-wide daily update budget, if any.
+    pub fn as_wide_limit(&self) -> Option<u32> {
+        self.as_wide_limit
+    }
+
+    /// Drop buckets older than the current day (housekeeping). Returns
+    /// how many (experiment, prefix, day) buckets were removed.
+    pub fn prune(&mut self, now: SimTime) -> usize {
+        let day = Self::day_index(now);
+        let before = self.days.len();
+        self.days.retain(|(_, _, d), _| *d >= day);
+        before - self.days.len()
+    }
+
+    /// Retained (experiment, prefix, day) buckets — bounded by
+    /// [`RateLedger::prune`] to the current day in a long run.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Whether the ledger holds no buckets at all.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// Best-known updates consumed today for a (prefix, PoP) pair.
     pub fn used_today(&self, exp: ExperimentId, prefix: Prefix, pop: PopId, now: SimTime) -> u32 {
-        let day = now.as_secs() / SECS_PER_DAY;
-        self.counts
-            .get(&(exp, prefix, pop, day))
-            .copied()
+        let day = Self::day_index(now);
+        self.days
+            .get(&(exp, prefix, day))
+            .and_then(|pops| pops.get(&pop))
+            .map(|c| c.best())
             .unwrap_or(0)
+    }
+
+    /// Best-known AS-wide (summed over PoPs) updates consumed today for a
+    /// prefix.
+    pub fn wide_today(&self, exp: ExperimentId, prefix: Prefix, now: SimTime) -> u32 {
+        let day = Self::day_index(now);
+        self.days
+            .get(&(exp, prefix, day))
+            .map(|pops| pops.values().map(|c| c.best()).sum())
+            .unwrap_or(0)
+    }
+
+    /// This PoP's own current-day tallies, for gossiping to backbone
+    /// peers. Sorted by (experiment, prefix) so the encoded frame payload
+    /// is byte-identical regardless of map iteration order — a
+    /// requirement for sharded-run determinism.
+    pub fn gossip_entries(&self, pop: PopId, now: SimTime) -> Vec<(ExperimentId, Prefix, u32)> {
+        let day = Self::day_index(now);
+        let mut out: Vec<(ExperimentId, Prefix, u32)> = self
+            .days
+            .iter()
+            .filter(|((_, _, d), _)| *d == day)
+            .filter_map(|((exp, prefix, _), pops)| {
+                let local = pops.get(&pop)?.local;
+                (local > 0).then_some((*exp, *prefix, local))
+            })
+            .collect();
+        out.sort_unstable_by_key(|(exp, prefix, _)| (*exp, *prefix));
+        out
+    }
+
+    /// Merge a gossip frame from `origin`: max-merge each entry into the
+    /// origin PoP's `remote` tally. Idempotent and order-independent, so
+    /// duplicated or reordered frames cannot inflate counts.
+    pub fn observe_remote(
+        &mut self,
+        origin: PopId,
+        day: u64,
+        entries: &[(ExperimentId, Prefix, u32)],
+    ) {
+        for (exp, prefix, count) in entries {
+            let c = self
+                .days
+                .entry((*exp, *prefix, day))
+                .or_default()
+                .entry(origin)
+                .or_default();
+            c.remote = c.remote.max(*count);
+        }
+    }
+
+    /// Current-day view for invariant checks: every (experiment, prefix,
+    /// PoP) tally, sorted.
+    pub fn entries_today(&self, now: SimTime) -> Vec<(ExperimentId, Prefix, PopId, PopCount)> {
+        let day = Self::day_index(now);
+        let mut out: Vec<(ExperimentId, Prefix, PopId, PopCount)> = self
+            .days
+            .iter()
+            .filter(|((_, _, d), _)| *d == day)
+            .flat_map(|((exp, prefix, _), pops)| {
+                pops.iter().map(|(pop, c)| (*exp, *prefix, *pop, *c))
+            })
+            .collect();
+        out.sort_unstable_by_key(|(exp, prefix, pop, _)| (*exp, *prefix, *pop));
+        out
     }
 }
 
@@ -141,7 +287,13 @@ pub struct ControlEnforcer {
     experiments: HashMap<ExperimentId, ExperimentPolicy>,
     ledger: Arc<Mutex<RateLedger>>,
     /// When set, every announcement is rejected (overload → fail closed).
-    pub fail_closed: bool,
+    /// Private so transitions always go through
+    /// [`ControlEnforcer::set_fail_closed`] and are journaled — the paper's
+    /// overload semantics (§4.7) are an observable platform state, not a
+    /// silent flag.
+    fail_closed: bool,
+    /// Journal handle (fail-closed transitions) + gauge.
+    obs: Obs,
     /// Pipeline counters.
     pub stats: ControlStats,
 }
@@ -163,8 +315,43 @@ impl ControlEnforcer {
             experiments: HashMap::new(),
             ledger,
             fail_closed: false,
+            obs: Obs::new(),
             stats: ControlStats::default(),
         }
+    }
+
+    /// Attach a shared observability handle and publish the current
+    /// fail-closed state as a gauge.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        self.obs
+            .gauge("control.fail_closed")
+            .set(self.fail_closed as i64);
+    }
+
+    /// Whether the engine is currently failing closed.
+    pub fn fail_closed(&self) -> bool {
+        self.fail_closed
+    }
+
+    /// The PoP this enforcer belongs to.
+    pub fn pop_id(&self) -> PopId {
+        self.pop
+    }
+
+    /// Enter or leave fail-closed mode. Transitions are journaled and
+    /// mirrored into the `control.fail_closed` gauge so the oracle and
+    /// tests can see overload come and go (§4.7); a no-op set is silent.
+    pub fn set_fail_closed(&mut self, on: bool) {
+        if self.fail_closed == on {
+            return;
+        }
+        self.fail_closed = on;
+        self.obs.gauge("control.fail_closed").set(on as i64);
+        self.obs.record(EventKind::FailClosed {
+            pop: self.pop.0,
+            entered: on,
+        });
     }
 
     /// Convenience: an enforcer with its own private ledger (single-PoP
@@ -619,12 +806,35 @@ mod tests {
     }
 
     #[test]
-    fn fail_closed_blocks_everything() {
+    fn fail_closed_blocks_everything_and_is_journaled() {
         let mut e = enforcer();
-        e.fail_closed = true;
+        let obs = Obs::new();
+        e.set_obs(obs.clone());
+        e.set_fail_closed(true);
+        assert!(e.fail_closed());
         let (out, rej) = check(&mut e, &announce("184.164.224.0/24", &[61574]));
         assert!(out.announce.is_empty());
         assert_eq!(rej[0].1, Rejection::FailClosed);
+        // Redundant sets are silent; real transitions are journaled both
+        // ways and mirrored into the gauge.
+        e.set_fail_closed(true);
+        e.set_fail_closed(false);
+        let events: Vec<EventKind> = obs.events().iter().map(|ev| ev.kind).collect();
+        assert_eq!(
+            events,
+            vec![
+                EventKind::FailClosed {
+                    pop: 0,
+                    entered: true
+                },
+                EventKind::FailClosed {
+                    pop: 0,
+                    entered: false
+                },
+            ]
+        );
+        e.set_obs(obs.clone());
+        assert_eq!(obs.snapshot().gauge("control.fail_closed"), Some(0));
     }
 
     #[test]
@@ -642,8 +852,103 @@ mod tests {
         ledger.charge(EXP, prefix("184.164.224.0/24"), PopId(0), SimTime::ZERO);
         let tomorrow = SimTime::from_nanos(90_000 * 1_000_000_000);
         ledger.charge(EXP, prefix("184.164.224.0/24"), PopId(0), tomorrow);
-        assert_eq!(ledger.counts.len(), 2);
-        ledger.prune(tomorrow);
-        assert_eq!(ledger.counts.len(), 1);
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.prune(tomorrow), 1);
+        assert_eq!(ledger.len(), 1);
+        // Pruning again is a no-op.
+        assert_eq!(ledger.prune(tomorrow), 0);
+    }
+
+    #[test]
+    fn as_wide_limit_spans_pops() {
+        // Shared-ledger mode: the AS-wide budget sums exactly across PoPs.
+        let mut ledger = RateLedger::default();
+        ledger.set_as_wide_limit(Some(5));
+        assert_eq!(ledger.as_wide_limit(), Some(5));
+        let p = prefix("184.164.224.0/24");
+        for i in 0..3 {
+            assert!(ledger.charge(EXP, p, PopId(0), SimTime::from_nanos(i)));
+        }
+        assert!(ledger.charge(EXP, p, PopId(1), SimTime::ZERO));
+        assert!(ledger.charge(EXP, p, PopId(2), SimTime::ZERO));
+        // 3 + 1 + 1 = 5: the budget is gone at every PoP.
+        for pop in 0..3 {
+            assert!(!ledger.charge(EXP, p, PopId(pop), SimTime::ZERO));
+        }
+        assert_eq!(ledger.wide_today(EXP, p, SimTime::ZERO), 5);
+        // Other prefixes are unaffected.
+        assert!(ledger.charge(EXP, prefix("184.164.225.0/24"), PopId(0), SimTime::ZERO));
+        // A new day resets the AS-wide budget too.
+        let tomorrow = SimTime::from_nanos(90_000 * 1_000_000_000);
+        assert!(ledger.charge(EXP, p, PopId(0), tomorrow));
+    }
+
+    #[test]
+    fn gossip_merge_is_idempotent_and_bounded_by_origin_truth() {
+        // Distributed mode: two per-PoP ledgers, reconciled by gossip.
+        let p = prefix("184.164.224.0/24");
+        let mut at0 = RateLedger::default();
+        let mut at1 = RateLedger::default();
+        at0.set_as_wide_limit(Some(10));
+        at1.set_as_wide_limit(Some(10));
+        for i in 0..7 {
+            assert!(at0.charge(EXP, p, PopId(0), SimTime::from_nanos(i)));
+        }
+        for i in 0..4 {
+            assert!(at1.charge(EXP, p, PopId(1), SimTime::from_nanos(i)));
+        }
+        // Before gossip each side only sees its own spend.
+        assert_eq!(at1.wide_today(EXP, p, SimTime::ZERO), 4);
+        let frame = at0.gossip_entries(PopId(0), SimTime::ZERO);
+        assert_eq!(frame, vec![(EXP, p, 7)]);
+        at1.observe_remote(PopId(0), 0, &frame);
+        assert_eq!(at1.wide_today(EXP, p, SimTime::ZERO), 11);
+        assert_eq!(at1.used_today(EXP, p, PopId(0), SimTime::ZERO), 7);
+        // Replayed and stale frames cannot inflate the tally (max-merge).
+        at1.observe_remote(PopId(0), 0, &frame);
+        at1.observe_remote(PopId(0), 0, &[(EXP, p, 3)]);
+        assert_eq!(at1.wide_today(EXP, p, SimTime::ZERO), 11);
+        // PoP 1 now refuses further charges: over the AS-wide budget.
+        assert!(!at1.charge(EXP, p, PopId(1), SimTime::ZERO));
+        // Remote tallies never exceed the origin's own local count.
+        for (_, _, pop, c) in at1.entries_today(SimTime::ZERO) {
+            if pop == PopId(0) {
+                assert!(c.remote <= at0.used_today(EXP, p, PopId(0), SimTime::ZERO));
+            }
+        }
+        // Gossip entries only carry the *local* tally — what PoP 1 heard
+        // about PoP 0 is not re-gossiped as PoP 1's own spend.
+        assert_eq!(
+            at1.gossip_entries(PopId(1), SimTime::ZERO),
+            vec![(EXP, p, 4)]
+        );
+        assert!(at1.gossip_entries(PopId(0), SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn gossip_entries_are_sorted_deterministically() {
+        let mut ledger = RateLedger::default();
+        // Insert in scrambled order; HashMap iteration order must not leak.
+        for s in ["184.164.227.0/24", "184.164.224.0/24", "184.164.226.0/24"] {
+            ledger.charge(ExperimentId(2), prefix(s), PopId(0), SimTime::ZERO);
+            ledger.charge(ExperimentId(1), prefix(s), PopId(0), SimTime::ZERO);
+        }
+        let entries = ledger.gossip_entries(PopId(0), SimTime::ZERO);
+        let mut sorted = entries.clone();
+        sorted.sort_unstable_by_key(|(exp, prefix, _)| (*exp, *prefix));
+        assert_eq!(entries, sorted);
+        assert_eq!(entries.len(), 6);
+        assert!(entries[0].0 < entries[5].0);
+    }
+
+    #[test]
+    fn per_pop_limit_still_applies_with_remote_knowledge() {
+        // A PoP that learns (via gossip) it already spent its per-PoP
+        // budget elsewhere must refuse local charges, even with no local
+        // spend — `best()` feeds the per-PoP check.
+        let p = prefix("184.164.224.0/24");
+        let mut ledger = RateLedger::default();
+        ledger.observe_remote(PopId(0), 0, &[(EXP, p, UPDATES_PER_DAY_LIMIT)]);
+        assert!(!ledger.charge(EXP, p, PopId(0), SimTime::ZERO));
     }
 }

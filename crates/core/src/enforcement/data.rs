@@ -5,32 +5,49 @@
 //! allow, transform, or block. This module reproduces that interposition
 //! point: per-experiment source validation (anti-spoofing — "an experiment
 //! cannot source traffic using address space that is not part of the
-//! experiment's allocation"), per-experiment and per-PoP token-bucket rate
-//! limiting ("Peering shapes traffic at (two) sites with bandwidth
-//! constraints"), and per-neighbor limits.
+//! experiment's allocation"), per-experiment sandboxed packet programs
+//! (see [`crate::enforcement::pprog`]), per-experiment and per-PoP
+//! token-bucket rate limiting ("Peering shapes traffic at (two) sites with
+//! bandwidth constraints"), and per-neighbor limits.
+//!
+//! Packet programs run after the source-prefix check and before shaping.
+//! Their verdicts are cached in a direct-mapped flow cache (same shape as
+//! the mux's) keyed off a policy generation, so a flow-invariant program
+//! executes once per flow, not once per packet; any policy change bumps the
+//! generation and wholesale-invalidates the cache. A malformed program or a
+//! fuel-exhausted run fails closed: verdict `Block`, counted in
+//! [`DataStats::blocked`], journaled via `peering-obs`.
 
 use std::collections::HashMap;
+use std::hash::Hasher;
 use std::net::IpAddr;
 
 use peering_bgp::types::Prefix;
 use peering_netsim::{SimDuration, SimTime};
+use peering_obs::{EventKind, Obs};
 
+use crate::fasthash::FxHasher;
 use crate::ids::{ExperimentId, NeighborId};
+
+use super::pprog::{PacketProgram, PacketView, ProgError, ProgOutcome, Rewrite};
 
 /// Verdict for one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataVerdict {
     /// Forward the packet.
     Allow,
+    /// Forward the packet with the header rewrite applied (a packet
+    /// program's transform verdict, §3.3).
+    Transform(Rewrite),
     /// Drop it; the label names the policy that fired (for attribution
     /// logs, §3.3).
     Block(&'static str),
 }
 
 impl DataVerdict {
-    /// Whether the packet passes.
+    /// Whether the packet passes (possibly rewritten).
     pub fn is_allow(self) -> bool {
-        matches!(self, DataVerdict::Allow)
+        matches!(self, DataVerdict::Allow | DataVerdict::Transform(_))
     }
 }
 
@@ -56,12 +73,18 @@ impl TokenBucket {
         }
     }
 
+    /// Tokens available at `now`: the stored level plus refill accrued
+    /// since the last charge, capped at the burst depth.
+    fn tokens_at(&self, now: SimTime) -> f64 {
+        let elapsed = now.saturating_since(self.last);
+        (self.tokens + elapsed.as_secs_f64() * self.rate_bytes_per_sec as f64)
+            .min(self.burst_bytes as f64)
+    }
+
     /// Try to consume `len` bytes at time `now`.
     pub fn admit(&mut self, len: usize, now: SimTime) -> bool {
-        let elapsed = now.saturating_since(self.last);
+        self.tokens = self.tokens_at(now);
         self.last = now;
-        self.tokens = (self.tokens + elapsed.as_secs_f64() * self.rate_bytes_per_sec as f64)
-            .min(self.burst_bytes as f64);
         if self.tokens >= len as f64 {
             self.tokens -= len as f64;
             true
@@ -70,12 +93,16 @@ impl TokenBucket {
         }
     }
 
-    /// Time until `len` bytes would be admitted (for diagnostics).
-    pub fn time_until(&self, len: usize) -> SimDuration {
-        if self.tokens >= len as f64 || self.rate_bytes_per_sec == 0 {
+    /// Time until `len` bytes would be admitted, measured from `now` (for
+    /// diagnostics). Projects the refill accrued since the last charge
+    /// forward before computing the deficit — without that, any idle
+    /// period inflates the answer.
+    pub fn time_until(&self, len: usize, now: SimTime) -> SimDuration {
+        let tokens = self.tokens_at(now);
+        if tokens >= len as f64 || self.rate_bytes_per_sec == 0 {
             return SimDuration::ZERO;
         }
-        let deficit = len as f64 - self.tokens;
+        let deficit = len as f64 - tokens;
         SimDuration::from_secs_f64(deficit / self.rate_bytes_per_sec as f64)
     }
 }
@@ -87,6 +114,10 @@ pub struct ExperimentDataPolicy {
     pub allowed_sources: Vec<Prefix>,
     /// Optional per-experiment egress shaper (bytes/s, burst).
     pub rate: Option<(u64, u64)>,
+    /// Optional sandboxed packet program (§3.3). A program that fails
+    /// validation is still installed and blocks every packet (fail
+    /// closed).
+    pub program: Option<PacketProgram>,
 }
 
 /// Counters for the data-plane pipeline.
@@ -96,12 +127,80 @@ pub struct DataStats {
     pub evaluated: u64,
     /// Packets allowed.
     pub allowed: u64,
+    /// Packet-program executions (cache misses).
+    pub prog_runs: u64,
+    /// Packet-program verdicts served from the flow cache.
+    pub prog_cache_hits: u64,
     /// Drops by policy label.
     pub blocked: HashMap<&'static str, u64>,
 }
 
+/// What a packet program decided for a flow — the unit the verdict cache
+/// stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProgDecision {
+    Pass,
+    Rewrite(Rewrite),
+    Block(&'static str),
+}
+
+/// Install-time digest of an experiment's program.
+#[derive(Debug, Clone)]
+struct ProgEntry {
+    program: PacketProgram,
+    /// Validation result at install time; an invalid entry blocks every
+    /// packet (fail closed), it is never skipped.
+    valid: bool,
+    /// Whether per-flow verdict caching is sound for this program.
+    flow_invariant: bool,
+}
+
+/// One verdict-cache slot: `(experiment, flow key, generation, decision)`;
+/// generation 0 means the slot was never written.
+type VerdictSlot = (u32, (u64, u64, u64), u64, ProgDecision);
+
+/// Direct-mapped program-verdict cache, the same shape as the mux's flow
+/// cache: no chaining, no eviction policy, a generation stamp instead of
+/// invalidation walks. Slots whose generation is stale are simply misses,
+/// so a policy change invalidates wholesale by bumping the generation.
+struct VerdictCache {
+    slots: Box<[VerdictSlot]>,
+}
+
+const VERDICT_CACHE_SLOTS: usize = 4096;
+
+impl VerdictCache {
+    fn new() -> Self {
+        VerdictCache {
+            slots: vec![(0, (0, 0, 0), 0, ProgDecision::Pass); VERDICT_CACHE_SLOTS]
+                .into_boxed_slice(),
+        }
+    }
+
+    fn index(exp: u32, key: (u64, u64, u64)) -> usize {
+        let mut h = FxHasher::default();
+        h.write_u32(exp);
+        h.write_u64(key.0);
+        h.write_u64(key.1);
+        h.write_u64(key.2);
+        h.finish() as usize & (VERDICT_CACHE_SLOTS - 1)
+    }
+
+    fn get(&self, exp: u32, key: (u64, u64, u64), generation: u64) -> Option<ProgDecision> {
+        let s = &self.slots[Self::index(exp, key)];
+        if s.0 == exp && s.1 == key && s.2 == generation {
+            Some(s.3)
+        } else {
+            None
+        }
+    }
+
+    fn put(&mut self, exp: u32, key: (u64, u64, u64), generation: u64, decision: ProgDecision) {
+        self.slots[Self::index(exp, key)] = (exp, key, generation, decision);
+    }
+}
+
 /// The data-plane enforcement engine for one PoP.
-#[derive(Debug, Default)]
 pub struct DataEnforcer {
     policies: HashMap<ExperimentId, ExperimentDataPolicy>,
     buckets: HashMap<ExperimentId, TokenBucket>,
@@ -109,14 +208,45 @@ pub struct DataEnforcer {
     pop_shaper: Option<TokenBucket>,
     /// Optional per-neighbor shapers.
     neighbor_shapers: HashMap<NeighborId, TokenBucket>,
+    /// Per-experiment packet programs (digested at install time).
+    programs: HashMap<ExperimentId, ProgEntry>,
+    /// Program-verdict flow cache; entries are valid only for the current
+    /// generation.
+    verdict_cache: VerdictCache,
+    /// Bumped on every policy install/remove: wholesale cache
+    /// invalidation. Starts at 1 so generation 0 marks empty slots.
+    prog_generation: u64,
+    /// Journal handle (fail-closed events).
+    obs: Obs,
     /// Counters.
     pub stats: DataStats,
+}
+
+impl Default for DataEnforcer {
+    fn default() -> Self {
+        DataEnforcer {
+            policies: HashMap::new(),
+            buckets: HashMap::new(),
+            pop_shaper: None,
+            neighbor_shapers: HashMap::new(),
+            programs: HashMap::new(),
+            verdict_cache: VerdictCache::new(),
+            prog_generation: 1,
+            obs: Obs::new(),
+            stats: DataStats::default(),
+        }
+    }
 }
 
 impl DataEnforcer {
     /// An enforcer with no site-wide constraints.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach a shared observability handle (fail-closed journal events).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Configure a whole-PoP egress shaper.
@@ -135,20 +265,72 @@ impl DataEnforcer {
             .insert(nbr, TokenBucket::new(rate_bytes_per_sec, burst_bytes));
     }
 
-    /// Register (or update) an experiment's data-plane policy.
+    /// Register (or update) an experiment's data-plane policy. Any change
+    /// bumps the program generation, invalidating cached verdicts.
     pub fn set_experiment(&mut self, exp: ExperimentId, policy: ExperimentDataPolicy) {
         if let Some((rate, burst)) = policy.rate {
             self.buckets.insert(exp, TokenBucket::new(rate, burst));
         } else {
             self.buckets.remove(&exp);
         }
+        // Validation failure is not an error here: the invalid program is
+        // installed fail-closed and the install event journals it.
+        let _ = self.install_program_entry(exp, policy.program.clone());
         self.policies.insert(exp, policy);
+    }
+
+    /// Install (or clear, with `None`) an experiment's packet program
+    /// without touching the rest of its policy. Returns the validation
+    /// result; an invalid program is still installed and blocks every
+    /// packet (fail closed) — the error tells the experimenter why.
+    pub fn install_packet_program(
+        &mut self,
+        exp: ExperimentId,
+        program: Option<PacketProgram>,
+    ) -> Result<(), ProgError> {
+        let result = self.install_program_entry(exp, program.clone());
+        if let Some(policy) = self.policies.get_mut(&exp) {
+            policy.program = program;
+        }
+        result
+    }
+
+    /// Digest a program at install time and bump the cache generation.
+    fn install_program_entry(
+        &mut self,
+        exp: ExperimentId,
+        program: Option<PacketProgram>,
+    ) -> Result<(), ProgError> {
+        self.prog_generation += 1;
+        let Some(program) = program else {
+            self.programs.remove(&exp);
+            return Ok(());
+        };
+        let validation = program.validate();
+        let valid = validation.is_ok();
+        let flow_invariant = valid && program.flow_invariant();
+        self.obs.record(EventKind::ProgramInstall {
+            experiment: exp.0,
+            valid,
+        });
+        self.programs.insert(
+            exp,
+            ProgEntry {
+                program,
+                valid,
+                flow_invariant,
+            },
+        );
+        validation
     }
 
     /// Remove an experiment.
     pub fn remove_experiment(&mut self, exp: ExperimentId) {
         self.policies.remove(&exp);
         self.buckets.remove(&exp);
+        if self.programs.remove(&exp).is_some() {
+            self.prog_generation += 1;
+        }
     }
 
     /// Whether an experiment has a registered policy.
@@ -156,18 +338,63 @@ impl DataEnforcer {
         self.policies.contains_key(&exp)
     }
 
+    /// The current program-policy generation (cached verdicts from older
+    /// generations are dead).
+    pub fn prog_generation(&self) -> u64 {
+        self.prog_generation
+    }
+
     fn block(&mut self, label: &'static str) -> DataVerdict {
         *self.stats.blocked.entry(label).or_insert(0) += 1;
         DataVerdict::Block(label)
     }
 
+    /// Run the experiment's packet program (or serve its cached verdict).
+    /// Invariant: only flow-invariant programs are cached, so the cached
+    /// decision equals what a fresh run on this packet would produce.
+    fn prog_decision(&mut self, exp: ExperimentId, pkt: &PacketView) -> ProgDecision {
+        let Some(entry) = self.programs.get(&exp) else {
+            return ProgDecision::Pass;
+        };
+        if !entry.valid {
+            // Malformed program: fail closed, no execution.
+            return ProgDecision::Block("program-invalid");
+        }
+        let generation = self.prog_generation;
+        let key = pkt.flow_key();
+        if entry.flow_invariant {
+            if let Some(cached) = self.verdict_cache.get(exp.0, key, generation) {
+                self.stats.prog_cache_hits += 1;
+                return cached;
+            }
+        }
+        self.stats.prog_runs += 1;
+        let (outcome, _fuel) = entry.program.run(pkt);
+        let decision = match outcome {
+            ProgOutcome::Allow => ProgDecision::Pass,
+            ProgOutcome::Transform(rw) => ProgDecision::Rewrite(rw),
+            ProgOutcome::Block => ProgDecision::Block("program-block"),
+            ProgOutcome::FuelExhausted => {
+                self.obs.record(EventKind::ProgramFailClosed {
+                    experiment: exp.0,
+                    reason: "program-fuel",
+                });
+                ProgDecision::Block("program-fuel")
+            }
+        };
+        if entry.flow_invariant {
+            self.verdict_cache.put(exp.0, key, generation, decision);
+        }
+        decision
+    }
+
     /// Evaluate one egress packet (experiment → Internet): source
-    /// validation, then per-experiment, per-neighbor and per-PoP shaping.
+    /// validation, then the experiment's packet program, then
+    /// per-experiment, per-neighbor and per-PoP shaping.
     pub fn check_egress(
         &mut self,
         exp: ExperimentId,
-        src: IpAddr,
-        len: usize,
+        pkt: &PacketView,
         nbr: Option<NeighborId>,
         now: SimTime,
     ) -> DataVerdict {
@@ -177,9 +404,20 @@ impl DataEnforcer {
             return self.block("unknown-experiment");
         };
         // Anti-spoofing: the source must fall in the allocation.
-        if !policy.allowed_sources.iter().any(|p| p.contains_addr(src)) {
+        if !policy
+            .allowed_sources
+            .iter()
+            .any(|p| p.contains_addr(pkt.src))
+        {
             return self.block("spoofed-source");
         }
+        // Packet program (after the source check, §3.3).
+        let rewrite = match self.prog_decision(exp, pkt) {
+            ProgDecision::Pass => None,
+            ProgDecision::Rewrite(rw) => Some(rw),
+            ProgDecision::Block(label) => return self.block(label),
+        };
+        let len = pkt.len as usize;
         if let Some(bucket) = self.buckets.get_mut(&exp) {
             if !bucket.admit(len, now) {
                 return self.block("experiment-rate-limit");
@@ -198,20 +436,23 @@ impl DataEnforcer {
             }
         }
         self.stats.allowed += 1;
-        DataVerdict::Allow
+        match rewrite {
+            Some(rw) => DataVerdict::Transform(rw),
+            None => DataVerdict::Allow,
+        }
     }
 
     /// Batched [`Self::check_egress`] for a run of packets from one
     /// experiment toward one neighbor: the policy and shaper lookups are
-    /// hoisted out of the per-packet loop. Verdicts are identical to
-    /// calling `check_egress` once per packet in order (token buckets are
-    /// stateful, so packets are still admitted sequentially). `out[i]`
-    /// corresponds to `pkts[i]` (`(source, wire length)`); `out` is cleared
-    /// first (caller-owned scratch).
+    /// hoisted out of the per-packet loop. Verdicts, stats and cache
+    /// effects are identical to calling `check_egress` once per packet in
+    /// order (token buckets and the verdict cache are stateful, so packets
+    /// are still admitted sequentially). `out[i]` corresponds to
+    /// `pkts[i]`; `out` is cleared first (caller-owned scratch).
     pub fn check_egress_batch(
         &mut self,
         exp: ExperimentId,
-        pkts: &[(IpAddr, usize)],
+        pkts: &[PacketView],
         nbr: Option<NeighborId>,
         now: SimTime,
         out: &mut Vec<DataVerdict>,
@@ -224,24 +465,44 @@ impl DataEnforcer {
             return;
         };
         // Pass 1: anti-spoofing, against the one policy borrow.
-        for &(src, _) in pkts {
-            if policy.allowed_sources.iter().any(|p| p.contains_addr(src)) {
+        for pkt in pkts {
+            if policy
+                .allowed_sources
+                .iter()
+                .any(|p| p.contains_addr(pkt.src))
+            {
                 out.push(DataVerdict::Allow);
             } else {
                 *self.stats.blocked.entry("spoofed-source").or_insert(0) += 1;
                 out.push(DataVerdict::Block("spoofed-source"));
             }
         }
-        // Pass 2: shaping. The three bucket references are disjoint fields,
+        // Pass 2: packet program, in packet order (cache fills mid-batch
+        // exactly as in the single path).
+        for (i, pkt) in pkts.iter().enumerate() {
+            if !out[i].is_allow() {
+                continue;
+            }
+            match self.prog_decision(exp, pkt) {
+                ProgDecision::Pass => {}
+                ProgDecision::Rewrite(rw) => out[i] = DataVerdict::Transform(rw),
+                ProgDecision::Block(label) => {
+                    *self.stats.blocked.entry(label).or_insert(0) += 1;
+                    out[i] = DataVerdict::Block(label);
+                }
+            }
+        }
+        // Pass 3: shaping. The three bucket references are disjoint fields,
         // so they can be hoisted together; admission stays in packet order.
         let mut exp_bucket = self.buckets.get_mut(&exp);
         let mut nbr_bucket = nbr.and_then(|n| self.neighbor_shapers.get_mut(&n));
         let mut pop_bucket = self.pop_shaper.as_mut();
         let mut allowed = 0u64;
-        for (i, &(_, len)) in pkts.iter().enumerate() {
+        for (i, pkt) in pkts.iter().enumerate() {
             if !out[i].is_allow() {
                 continue;
             }
+            let len = pkt.len as usize;
             let mut label: Option<&'static str> = None;
             if let Some(b) = exp_bucket.as_deref_mut() {
                 if !b.admit(len, now) {
@@ -294,6 +555,7 @@ impl DataEnforcer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::enforcement::pprog::{Field, Insn};
     use peering_bgp::types::prefix;
 
     const EXP: ExperimentId = ExperimentId(1);
@@ -304,7 +566,7 @@ mod tests {
             EXP,
             ExperimentDataPolicy {
                 allowed_sources: vec![prefix("184.164.224.0/23")],
-                rate: None,
+                ..Default::default()
             },
         );
         e
@@ -314,10 +576,14 @@ mod tests {
         s.parse().unwrap()
     }
 
+    fn view(s: &str, len: usize) -> PacketView {
+        PacketView::basic(src(s), len)
+    }
+
     #[test]
     fn valid_source_allowed() {
         let mut e = enforcer();
-        let v = e.check_egress(EXP, src("184.164.224.9"), 100, None, SimTime::ZERO);
+        let v = e.check_egress(EXP, &view("184.164.224.9", 100), None, SimTime::ZERO);
         assert_eq!(v, DataVerdict::Allow);
         assert_eq!(e.stats.allowed, 1);
     }
@@ -325,7 +591,7 @@ mod tests {
     #[test]
     fn spoofed_source_blocked() {
         let mut e = enforcer();
-        let v = e.check_egress(EXP, src("8.8.8.8"), 100, None, SimTime::ZERO);
+        let v = e.check_egress(EXP, &view("8.8.8.8", 100), None, SimTime::ZERO);
         assert_eq!(v, DataVerdict::Block("spoofed-source"));
         assert!(!v.is_allow());
         assert_eq!(e.stats.blocked["spoofed-source"], 1);
@@ -336,8 +602,7 @@ mod tests {
         let mut e = enforcer();
         let v = e.check_egress(
             ExperimentId(9),
-            src("184.164.224.9"),
-            100,
+            &view("184.164.224.9", 100),
             None,
             SimTime::ZERO,
         );
@@ -349,7 +614,7 @@ mod tests {
         let mut b = TokenBucket::new(1000, 1000); // 1 kB/s, 1 kB burst
         assert!(b.admit(1000, SimTime::ZERO));
         assert!(!b.admit(1, SimTime::ZERO));
-        assert!(b.time_until(500) > SimDuration::ZERO);
+        assert!(b.time_until(500, SimTime::ZERO) > SimDuration::ZERO);
         // After 500 ms, 500 bytes refilled.
         let t = SimTime::ZERO + SimDuration::from_millis(500);
         assert!(b.admit(400, t));
@@ -361,6 +626,23 @@ mod tests {
     }
 
     #[test]
+    fn time_until_accounts_for_accrued_refill() {
+        // Regression: `time_until` used to ignore refill accrued since the
+        // last charge, so after any idle period it overestimated the wait.
+        let mut b = TokenBucket::new(1000, 1000);
+        assert!(b.admit(1000, SimTime::ZERO)); // drained at t=0
+        let half = SimTime::ZERO + SimDuration::from_millis(500);
+        // 500 tokens have refilled by t=500ms: 500 bytes are admissible now.
+        assert_eq!(b.time_until(500, half), SimDuration::ZERO);
+        // 800 bytes still need 300 more tokens = 300 ms, not 800 ms.
+        let wait = b.time_until(800, half);
+        assert!(wait > SimDuration::from_millis(299) && wait < SimDuration::from_millis(301));
+        // Consistency: admitting after the projected wait succeeds.
+        let t = SimTime::ZERO + SimDuration::from_millis(500) + wait;
+        assert!(b.admit(800, t));
+    }
+
+    #[test]
     fn experiment_rate_limit_applies() {
         let mut e = enforcer();
         e.set_experiment(
@@ -368,12 +650,13 @@ mod tests {
             ExperimentDataPolicy {
                 allowed_sources: vec![prefix("184.164.224.0/23")],
                 rate: Some((1000, 1500)),
+                ..Default::default()
             },
         );
         assert!(e
-            .check_egress(EXP, src("184.164.224.1"), 1500, None, SimTime::ZERO)
+            .check_egress(EXP, &view("184.164.224.1", 1500), None, SimTime::ZERO)
             .is_allow());
-        let v = e.check_egress(EXP, src("184.164.224.1"), 100, None, SimTime::ZERO);
+        let v = e.check_egress(EXP, &view("184.164.224.1", 100), None, SimTime::ZERO);
         assert_eq!(v, DataVerdict::Block("experiment-rate-limit"));
     }
 
@@ -384,18 +667,17 @@ mod tests {
             ExperimentId(2),
             ExperimentDataPolicy {
                 allowed_sources: vec![prefix("184.164.226.0/24")],
-                rate: None,
+                ..Default::default()
             },
         );
         e.set_pop_shaper(1000, 1000);
         assert!(e
-            .check_egress(EXP, src("184.164.224.1"), 800, None, SimTime::ZERO)
+            .check_egress(EXP, &view("184.164.224.1", 800), None, SimTime::ZERO)
             .is_allow());
         // A different experiment shares the site budget.
         let v = e.check_egress(
             ExperimentId(2),
-            src("184.164.226.1"),
-            800,
+            &view("184.164.226.1", 800),
             None,
             SimTime::ZERO,
         );
@@ -409,16 +691,14 @@ mod tests {
         assert!(e
             .check_egress(
                 EXP,
-                src("184.164.224.1"),
-                900,
+                &view("184.164.224.1", 900),
                 Some(NeighborId(1)),
                 SimTime::ZERO
             )
             .is_allow());
         let v = e.check_egress(
             EXP,
-            src("184.164.224.1"),
-            900,
+            &view("184.164.224.1", 900),
             Some(NeighborId(1)),
             SimTime::ZERO,
         );
@@ -427,8 +707,7 @@ mod tests {
         assert!(e
             .check_egress(
                 EXP,
-                src("184.164.224.1"),
-                900,
+                &view("184.164.224.1", 900),
                 Some(NeighborId(2)),
                 SimTime::ZERO
             )
@@ -447,23 +726,24 @@ mod tests {
                 ExperimentDataPolicy {
                     allowed_sources: vec![prefix("184.164.224.0/23")],
                     rate: Some((1000, 2000)),
+                    ..Default::default()
                 },
             );
             e.set_neighbor_shaper(NeighborId(1), 1000, 1500);
             e.set_pop_shaper(1000, 1200);
             e
         };
-        let pkts: Vec<(IpAddr, usize)> = vec![
-            (src("184.164.224.1"), 1000),
-            (src("8.8.8.8"), 100), // spoofed: must not charge any bucket
-            (src("184.164.224.2"), 600),
-            (src("184.164.224.3"), 600), // pop bucket exhausted here
-            (src("184.164.225.4"), 100),
+        let pkts: Vec<PacketView> = vec![
+            view("184.164.224.1", 1000),
+            view("8.8.8.8", 100), // spoofed: must not charge any bucket
+            view("184.164.224.2", 600),
+            view("184.164.224.3", 600), // pop bucket exhausted here
+            view("184.164.225.4", 100),
         ];
         let mut sequential = make();
         let singles: Vec<DataVerdict> = pkts
             .iter()
-            .map(|&(s, l)| sequential.check_egress(EXP, s, l, Some(NeighborId(1)), SimTime::ZERO))
+            .map(|p| sequential.check_egress(EXP, p, Some(NeighborId(1)), SimTime::ZERO))
             .collect();
         let mut batched = make();
         let mut verdicts = Vec::new();
@@ -486,6 +766,99 @@ mod tests {
     }
 
     #[test]
+    fn program_blocks_after_source_check() {
+        let mut e = enforcer();
+        e.install_packet_program(EXP, Some(PacketProgram::block_all()))
+            .unwrap();
+        // Spoofed source fires first (program runs after the source check).
+        let v = e.check_egress(EXP, &view("9.9.9.9", 100), None, SimTime::ZERO);
+        assert_eq!(v, DataVerdict::Block("spoofed-source"));
+        let v = e.check_egress(EXP, &view("184.164.224.1", 100), None, SimTime::ZERO);
+        assert_eq!(v, DataVerdict::Block("program-block"));
+        assert_eq!(e.stats.blocked["program-block"], 1);
+    }
+
+    #[test]
+    fn malformed_program_fails_closed() {
+        let mut e = enforcer();
+        let bad = PacketProgram::new(vec![Insn::Jmp(99)]);
+        assert!(e.install_packet_program(EXP, Some(bad)).is_err());
+        let v = e.check_egress(EXP, &view("184.164.224.1", 100), None, SimTime::ZERO);
+        assert_eq!(v, DataVerdict::Block("program-invalid"));
+        // Never Allow, and no execution happened.
+        assert_eq!(e.stats.prog_runs, 0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_fails_closed() {
+        let mut e = enforcer();
+        let spin = PacketProgram::new(vec![Insn::Jmp(0)]).with_fuel(32);
+        e.install_packet_program(EXP, Some(spin)).unwrap();
+        let v = e.check_egress(EXP, &view("184.164.224.1", 100), None, SimTime::ZERO);
+        assert_eq!(v, DataVerdict::Block("program-fuel"));
+    }
+
+    #[test]
+    fn transform_verdict_carries_rewrite() {
+        let mut e = enforcer();
+        let p = PacketProgram::new(vec![Insn::LdImm(0, 7), Insn::SetTtl(0), Insn::Allow]);
+        e.install_packet_program(EXP, Some(p)).unwrap();
+        let v = e.check_egress(EXP, &view("184.164.224.1", 100), None, SimTime::ZERO);
+        let DataVerdict::Transform(rw) = v else {
+            panic!("expected transform, got {v:?}");
+        };
+        assert!(v.is_allow());
+        assert_eq!(rw.ttl, Some(7));
+    }
+
+    #[test]
+    fn verdict_cache_serves_flows_and_generation_invalidates() {
+        let mut e = enforcer();
+        // Flow-invariant program (reads ports, not len/ttl).
+        let p = PacketProgram::new(vec![
+            Insn::Ld(0, Field::DstPort),
+            Insn::JeqImm(0, 53, 3),
+            Insn::Allow,
+            Insn::Block,
+        ]);
+        e.install_packet_program(EXP, Some(p)).unwrap();
+        let pkt = view("184.164.224.1", 100);
+        assert!(e.check_egress(EXP, &pkt, None, SimTime::ZERO).is_allow());
+        assert_eq!((e.stats.prog_runs, e.stats.prog_cache_hits), (1, 0));
+        // Same flow again: served from the cache.
+        assert!(e.check_egress(EXP, &pkt, None, SimTime::ZERO).is_allow());
+        assert_eq!((e.stats.prog_runs, e.stats.prog_cache_hits), (1, 1));
+        // Policy change bumps the generation: the next packet re-runs.
+        let gen_before = e.prog_generation();
+        e.install_packet_program(EXP, Some(PacketProgram::block_all()))
+            .unwrap();
+        assert!(e.prog_generation() > gen_before);
+        let v = e.check_egress(EXP, &pkt, None, SimTime::ZERO);
+        assert_eq!(v, DataVerdict::Block("program-block"));
+        assert_eq!(e.stats.prog_runs, 2);
+    }
+
+    #[test]
+    fn len_reading_program_is_never_cached() {
+        let mut e = enforcer();
+        // Blocks packets longer than 500 bytes: per-packet, not per-flow.
+        let p = PacketProgram::new(vec![
+            Insn::Ld(0, Field::Len),
+            Insn::JgtImm(0, 500, 3),
+            Insn::Allow,
+            Insn::Block,
+        ]);
+        e.install_packet_program(EXP, Some(p)).unwrap();
+        assert!(e
+            .check_egress(EXP, &view("184.164.224.1", 100), None, SimTime::ZERO)
+            .is_allow());
+        let v = e.check_egress(EXP, &view("184.164.224.1", 900), None, SimTime::ZERO);
+        assert_eq!(v, DataVerdict::Block("program-block"));
+        // Both packets executed the program — no unsound cache hit.
+        assert_eq!((e.stats.prog_runs, e.stats.prog_cache_hits), (2, 0));
+    }
+
+    #[test]
     fn ingress_checks_destination_ownership() {
         let mut e = enforcer();
         assert!(e.check_ingress(EXP, src("184.164.225.7")).is_allow());
@@ -499,7 +872,7 @@ mod tests {
     fn removed_experiment_fails_closed() {
         let mut e = enforcer();
         e.remove_experiment(EXP);
-        let v = e.check_egress(EXP, src("184.164.224.1"), 10, None, SimTime::ZERO);
+        let v = e.check_egress(EXP, &view("184.164.224.1", 10), None, SimTime::ZERO);
         assert_eq!(v, DataVerdict::Block("unknown-experiment"));
     }
 }

@@ -10,6 +10,8 @@
 
 pub mod control;
 pub mod data;
+pub mod pprog;
 
-pub use control::{ControlEnforcer, ExperimentPolicy, Rejection};
+pub use control::{ControlEnforcer, ExperimentPolicy, PopCount, RateLedger, Rejection};
 pub use data::{DataEnforcer, DataVerdict, TokenBucket};
+pub use pprog::{Field, Insn, PacketProgram, PacketView, ProgError, ProgOutcome, Rewrite};

@@ -26,14 +26,16 @@ use peering_bgp::speaker::{PeerConfig, Speaker, SpeakerConfig};
 use peering_bgp::types::{Asn, PathId, Prefix, RouterId};
 use peering_netsim::arp::{ArpOp, ArpPacket};
 use peering_netsim::{
-    Ctx, EtherFrame, EtherType, IcmpPacket, IpPacket, IpProto, MacAddr, Node, PortId, SimDuration,
+    Bytes, Ctx, EtherFrame, EtherType, IcmpPacket, IpPacket, IpProto, MacAddr, Node, PortId,
+    SimDuration,
 };
 
 use peering_obs::{EventKind as ObsEvent, Obs};
 
 use crate::communities::ControlCommunities;
-use crate::enforcement::control::{ControlEnforcer, ExperimentPolicy};
+use crate::enforcement::control::{ControlEnforcer, ExperimentPolicy, RateLedger};
 use crate::enforcement::data::{DataEnforcer, DataVerdict, ExperimentDataPolicy, TokenBucket};
+use crate::enforcement::pprog::PacketView;
 use crate::fasthash::FastHashMap;
 use crate::ids::{ExperimentId, NeighborId, PopId};
 use crate::mux::{Delivery, Egress, MuxTarget, VbgpMux};
@@ -138,6 +140,12 @@ enum Installed {
 pub struct RouterStats {
     /// Packets dropped by the data-plane enforcement engine.
     pub data_blocked: u64,
+    /// Packets passed with a packet-program header rewrite applied.
+    pub data_transformed: u64,
+    /// Rate-ledger gossip frames sent to backbone peers.
+    pub ledger_gossip_tx: u64,
+    /// Rate-ledger gossip frames received and applied.
+    pub ledger_gossip_rx: u64,
     /// Packets dropped for TTL expiry.
     pub ttl_expired: u64,
     /// Packets dropped with no matching route or delivery entry.
@@ -156,6 +164,26 @@ pub struct RouterStats {
 }
 
 const TOKEN_ARP_RETRY: u64 = 1;
+
+/// Timer token for the rate-ledger housekeeping/gossip tick. The timer is
+/// armed lazily (first ledger activity) and re-armed only while the ledger
+/// holds state, so an idle platform still quiesces.
+const TOKEN_LEDGER: u64 = 2;
+
+/// Ledger gossip / housekeeping period. One period is also the
+/// reconciliation bound after a backbone partition heals.
+const LEDGER_GOSSIP_SECS: u64 = 60;
+
+/// EtherType for ledger gossip frames on backbone segments (an
+/// experimental-range value; [`BgpHost`] ignores non-BGP ethertypes, so
+/// these coexist with the iBGP mesh on the same links).
+const LEDGER_ETHERTYPE: u16 = 0x88B5;
+
+/// Leading magic of a gossip payload ("PLGR").
+const LEDGER_MAGIC: u32 = 0x504C_4752;
+
+/// Gossip payload version.
+const LEDGER_VERSION: u8 = 1;
 
 /// ICMP error generation rate limit (RFC 1812 §4.3.2.8): sustained
 /// messages per second and burst depth. Bucket tokens are whole messages.
@@ -208,6 +236,14 @@ pub struct VbgpRouter {
     exp_tunnel_addr: HashMap<ExperimentId, Ipv4Addr>,
     exp_global: HashMap<ExperimentId, Ipv4Addr>,
     backbone_peers: HashSet<PeerId>,
+    /// `(port, remote MAC)` of every backbone segment — where ledger
+    /// gossip frames go.
+    backbone_links: Vec<(PortId, MacAddr)>,
+    /// Whether a [`TOKEN_LEDGER`] timer is outstanding.
+    ledger_timer_armed: bool,
+    /// Last day index the ledger was pruned at (housekeeping runs once per
+    /// simulated day).
+    last_pruned_day: u64,
     ingress_neighbor: FastHashMap<(PortId, MacAddr), NeighborId>,
     local_neighbor_globals: Vec<(Ipv4Addr, Ipv4Addr)>, // (vnh local, global)
     installed: HashMap<(PeerId, Prefix, PathId), Installed>,
@@ -258,6 +294,9 @@ impl VbgpRouter {
             exp_tunnel_addr: HashMap::new(),
             exp_global: HashMap::new(),
             backbone_peers: HashSet::new(),
+            backbone_links: Vec::new(),
+            ledger_timer_armed: false,
+            last_pruned_day: 0,
             ingress_neighbor: FastHashMap::default(),
             local_neighbor_globals: Vec::new(),
             installed: HashMap::new(),
@@ -279,6 +318,8 @@ impl VbgpRouter {
     pub fn set_obs(&mut self, obs: Obs) {
         self.mux.set_obs(obs.clone());
         self.host.set_obs(obs.clone());
+        self.control.set_obs(obs.clone());
+        self.data.set_obs(obs.clone());
         self.obs = obs;
     }
 
@@ -289,6 +330,9 @@ impl VbgpRouter {
         let o = &self.obs;
         let s = &self.stats;
         o.counter("router.data_blocked").set(s.data_blocked);
+        o.counter("router.data_transformed").set(s.data_transformed);
+        o.counter("router.ledger_gossip_tx").set(s.ledger_gossip_tx);
+        o.counter("router.ledger_gossip_rx").set(s.ledger_gossip_rx);
         o.counter("router.ttl_expired").set(s.ttl_expired);
         o.counter("router.no_route").set(s.no_route);
         o.counter("router.updates_blocked").set(s.updates_blocked);
@@ -308,6 +352,8 @@ impl VbgpRouter {
         let ds = &self.data.stats;
         o.counter("data.evaluated").set(ds.evaluated);
         o.counter("data.allowed").set(ds.allowed);
+        o.counter("data.prog_runs").set(ds.prog_runs);
+        o.counter("data.prog_cache_hits").set(ds.prog_cache_hits);
         for (label, n) in &ds.blocked {
             o.counter(&format!("data.blocked{{policy={label}}}"))
                 .set(*n);
@@ -484,6 +530,7 @@ impl VbgpRouter {
             false,
         );
         self.backbone_peers.insert(peer);
+        self.backbone_links.push((cfg.port, cfg.remote_mac));
         self.iface_ips.insert(cfg.local_addr, (cfg.port, local_mac));
         peer
     }
@@ -570,6 +617,9 @@ impl VbgpRouter {
                         continue;
                     }
                     self.stats.updates_passed += 1;
+                    // The update charged the rate ledger: make sure the
+                    // housekeeping/gossip tick is running.
+                    self.ensure_ledger_timer(ctx);
                     let more = self.host.deliver(ctx, peer, compliant);
                     self.process_events(ctx, more);
                 }
@@ -939,20 +989,39 @@ impl VbgpRouter {
             .map(|f| IpPacket::decode(&f.payload))
             .collect();
         // Data-plane enforcement first: a blocked packet must not consume
-        // TTL or trigger resolution.
+        // TTL or trigger resolution. Each decodable packet becomes a
+        // header view (ports parsed from the transport header when
+        // present) for the enforcement pipeline and the packet programs.
         if let Some(&exp) = self.exp_ports.get(&port) {
-            let meta: Vec<(IpAddr, usize)> = pkts
+            let views: Vec<PacketView> = pkts
                 .iter()
                 .zip(frames)
-                .filter_map(|(p, f)| p.as_ref().map(|p| (p.header.src.into(), f.wire_len())))
+                .filter_map(|(p, f)| p.as_ref().map(|p| packet_view(p, f.wire_len())))
                 .collect();
             let mut verdicts = std::mem::take(&mut self.verdict_scratch);
             self.data
-                .check_egress_batch(exp, &meta, Some(nbr), ctx.now(), &mut verdicts);
+                .check_egress_batch(exp, &views, Some(nbr), ctx.now(), &mut verdicts);
             let mut vi = 0;
             for p in pkts.iter_mut() {
-                if p.is_some() {
-                    if let DataVerdict::Block(reason) = verdicts[vi] {
+                let Some(pkt) = p else { continue };
+                match verdicts[vi] {
+                    DataVerdict::Allow => {}
+                    DataVerdict::Transform(rw) => {
+                        // Apply the program's header rewrite before TTL
+                        // and lookup, so a rewritten destination is
+                        // re-routed on its new address.
+                        if let Some(ttl) = rw.ttl {
+                            pkt.header.ttl = ttl;
+                        }
+                        if let Some(src) = rw.src {
+                            pkt.header.src = src;
+                        }
+                        if let Some(dst) = rw.dst {
+                            pkt.header.dst = dst;
+                        }
+                        self.stats.data_transformed += 1;
+                    }
+                    DataVerdict::Block(reason) => {
                         self.stats.data_blocked += 1;
                         self.obs.record(ObsEvent::DataBlocked {
                             experiment: exp.0,
@@ -960,8 +1029,8 @@ impl VbgpRouter {
                         });
                         *p = None;
                     }
-                    vi += 1;
                 }
+                vi += 1;
             }
             self.verdict_scratch = verdicts;
         }
@@ -1074,6 +1143,94 @@ impl VbgpRouter {
         self.delivery_scratch = decisions;
     }
 
+    /// Arm the ledger housekeeping/gossip timer if it is not already
+    /// outstanding and the ledger holds state worth ticking for. Armed
+    /// lazily (and re-armed only while non-empty) so a platform with no
+    /// ledger activity still goes idle.
+    fn ensure_ledger_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.ledger_timer_armed {
+            return;
+        }
+        if self.control.ledger().lock().unwrap().is_empty() {
+            return;
+        }
+        self.ledger_timer_armed = true;
+        ctx.set_timer(SimDuration::from_secs(LEDGER_GOSSIP_SECS), TOKEN_LEDGER);
+    }
+
+    /// One ledger tick: prune expired day buckets on day rollover, gossip
+    /// this PoP's current-day tallies to every backbone peer (only when an
+    /// AS-wide budget is configured — without one, remote tallies are
+    /// never consulted), then re-arm while the ledger stays non-empty.
+    fn on_ledger_timer(&mut self, ctx: &mut Ctx<'_>) {
+        self.ledger_timer_armed = false;
+        let now = ctx.now();
+        let day = RateLedger::day_index(now);
+        let ledger = self.control.ledger();
+        let mut guard = ledger.lock().unwrap();
+        if day > self.last_pruned_day {
+            let dropped = guard.prune(now);
+            self.last_pruned_day = day;
+            if dropped > 0 {
+                self.obs.record(ObsEvent::LedgerPrune {
+                    dropped: dropped as u64,
+                });
+            }
+        }
+        let entries = if guard.as_wide_limit().is_some() {
+            guard.gossip_entries(self.pop, now)
+        } else {
+            Vec::new()
+        };
+        let keep_ticking = !guard.is_empty();
+        drop(guard);
+        if !entries.is_empty() {
+            let payload = encode_ledger_gossip(self.pop, day, &entries);
+            let links = self.backbone_links.clone();
+            for (port, remote_mac) in links {
+                let src = self.port_mac(port);
+                ctx.send_frame(
+                    port,
+                    EtherFrame::new(
+                        remote_mac,
+                        src,
+                        EtherType::Other(LEDGER_ETHERTYPE),
+                        payload.clone(),
+                    ),
+                );
+                self.stats.ledger_gossip_tx += 1;
+            }
+        }
+        if keep_ticking {
+            self.ledger_timer_armed = true;
+            ctx.set_timer(SimDuration::from_secs(LEDGER_GOSSIP_SECS), TOKEN_LEDGER);
+        }
+    }
+
+    /// Apply one received ledger gossip frame (max-merge; malformed frames
+    /// are dropped silently — gossip is advisory, enforcement never
+    /// loosens without it).
+    fn on_ledger_gossip(&mut self, ctx: &mut Ctx<'_>, frame: &EtherFrame) {
+        let Some((origin, day, entries)) = decode_ledger_gossip(&frame.payload) else {
+            return;
+        };
+        if origin == self.pop {
+            return;
+        }
+        self.stats.ledger_gossip_rx += 1;
+        self.control
+            .ledger()
+            .lock()
+            .unwrap()
+            .observe_remote(origin, day, &entries);
+        self.obs.record(ObsEvent::LedgerGossip {
+            from_pop: origin.0,
+            entries: entries.len() as u32,
+        });
+        // A receive-only PoP still needs the tick for day-rollover pruning.
+        self.ensure_ledger_timer(ctx);
+    }
+
     /// Force-compile the mux's fast-path structures (flat FIBs) and
     /// cross-check them against the source tables they were compiled from.
     /// Returns one line per divergence; the convergence oracle runs this
@@ -1091,6 +1248,107 @@ impl VbgpRouter {
     }
 }
 
+/// Decode the header view enforcement (and packet programs) sees for one
+/// packet: addresses, protocol, TTL as received, the frame's wire length
+/// (what shapers charge), and — for TCP/UDP with enough payload — the
+/// transport ports (both headers start `src_port:u16, dst_port:u16`).
+fn packet_view(pkt: &IpPacket, wire_len: usize) -> PacketView {
+    let (src_port, dst_port) = match pkt.header.proto {
+        IpProto::Tcp | IpProto::Udp if pkt.payload.len() >= 4 => (
+            u16::from_be_bytes([pkt.payload[0], pkt.payload[1]]),
+            u16::from_be_bytes([pkt.payload[2], pkt.payload[3]]),
+        ),
+        _ => (0, 0),
+    };
+    PacketView {
+        src: IpAddr::V4(pkt.header.src),
+        dst: IpAddr::V4(pkt.header.dst),
+        proto: pkt.header.proto.to_u8(),
+        src_port,
+        dst_port,
+        len: wire_len as u32,
+        ttl: pkt.header.ttl,
+    }
+}
+
+/// Encode a ledger gossip payload. Fixed header (magic, version, origin
+/// PoP, day, entry count) followed by fixed-width entries; everything
+/// big-endian, entries pre-sorted by the caller so the payload is
+/// byte-deterministic.
+fn encode_ledger_gossip(origin: PopId, day: u64, entries: &[(ExperimentId, Prefix, u32)]) -> Bytes {
+    let count = entries.len().min(u16::MAX as usize);
+    let mut buf = Vec::with_capacity(19 + count * 26);
+    buf.extend_from_slice(&LEDGER_MAGIC.to_be_bytes());
+    buf.push(LEDGER_VERSION);
+    buf.extend_from_slice(&origin.0.to_be_bytes());
+    buf.extend_from_slice(&day.to_be_bytes());
+    buf.extend_from_slice(&(count as u16).to_be_bytes());
+    for (exp, prefix, used) in &entries[..count] {
+        buf.extend_from_slice(&exp.0.to_be_bytes());
+        let (afi, plen, addr) = match prefix {
+            Prefix::V4 { addr, len } => {
+                let mut a = [0u8; 16];
+                a[..4].copy_from_slice(&addr.octets());
+                (4u8, *len, a)
+            }
+            Prefix::V6 { addr, len } => (6u8, *len, addr.octets()),
+        };
+        buf.push(afi);
+        buf.push(plen);
+        buf.extend_from_slice(&addr);
+        buf.extend_from_slice(&used.to_be_bytes());
+    }
+    Bytes::from(buf)
+}
+
+/// One decoded gossip tally: how many updates `ExperimentId` spent on
+/// `Prefix` at the originating PoP today.
+type GossipEntry = (ExperimentId, Prefix, u32);
+
+/// Decode a ledger gossip payload; `None` on anything malformed.
+fn decode_ledger_gossip(payload: &[u8]) -> Option<(PopId, u64, Vec<GossipEntry>)> {
+    fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+        if buf.len() < n {
+            return None;
+        }
+        let (head, tail) = buf.split_at(n);
+        *buf = tail;
+        Some(head)
+    }
+    let mut buf = payload;
+    let magic = u32::from_be_bytes(take(&mut buf, 4)?.try_into().ok()?);
+    if magic != LEDGER_MAGIC {
+        return None;
+    }
+    if take(&mut buf, 1)?[0] != LEDGER_VERSION {
+        return None;
+    }
+    let origin = PopId(u32::from_be_bytes(take(&mut buf, 4)?.try_into().ok()?));
+    let day = u64::from_be_bytes(take(&mut buf, 8)?.try_into().ok()?);
+    let count = u16::from_be_bytes(take(&mut buf, 2)?.try_into().ok()?) as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let exp = ExperimentId(u32::from_be_bytes(take(&mut buf, 4)?.try_into().ok()?));
+        let afi = take(&mut buf, 1)?[0];
+        let plen = take(&mut buf, 1)?[0];
+        let addr: [u8; 16] = take(&mut buf, 16)?.try_into().ok()?;
+        let used = u32::from_be_bytes(take(&mut buf, 4)?.try_into().ok()?);
+        let prefix = match afi {
+            4 if plen <= 32 => Prefix::V4 {
+                addr: Ipv4Addr::new(addr[0], addr[1], addr[2], addr[3]),
+                len: plen,
+            },
+            6 if plen <= 128 => Prefix::V6 {
+                addr: addr.into(),
+                len: plen,
+            },
+            _ => return None,
+        };
+        entries.push((exp, prefix, used));
+    }
+    buf.is_empty().then_some((origin, day, entries))
+}
+
 impl Node for VbgpRouter {
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: EtherFrame) {
         if let Some(events) = self.host.on_frame(ctx, port, &frame) {
@@ -1100,6 +1358,7 @@ impl Node for VbgpRouter {
         match frame.ethertype {
             EtherType::Arp => self.on_arp(ctx, port, &frame),
             EtherType::Ipv4 => self.on_ip(ctx, port, &frame),
+            EtherType::Other(LEDGER_ETHERTYPE) => self.on_ledger_gossip(ctx, &frame),
             _ => {}
         }
     }
@@ -1151,6 +1410,8 @@ impl Node for VbgpRouter {
             self.process_events(ctx, events);
         } else if token == TOKEN_ARP_RETRY {
             self.arp_prefetch(ctx);
+        } else if token == TOKEN_LEDGER {
+            self.on_ledger_timer(ctx);
         }
     }
 

@@ -160,6 +160,41 @@ pub enum EventKind {
         /// Peer slot index.
         peer: u32,
     },
+    /// A packet program was installed (or re-installed) for an experiment.
+    ProgramInstall {
+        /// Experiment slot index.
+        experiment: u32,
+        /// Whether the program passed install-time validation. An invalid
+        /// program is still installed and blocks every packet.
+        valid: bool,
+    },
+    /// A packet program failed closed at run time (fuel exhaustion).
+    ProgramFailClosed {
+        /// Experiment slot index.
+        experiment: u32,
+        /// Static reason code.
+        reason: &'static str,
+    },
+    /// The control-plane enforcer entered or left fail-closed mode
+    /// (overload semantics, paper §4.7).
+    FailClosed {
+        /// PoP index of the enforcer.
+        pop: u32,
+        /// `true` on entering fail-closed, `false` on leaving.
+        entered: bool,
+    },
+    /// A rate-ledger gossip frame was applied from a backbone peer.
+    LedgerGossip {
+        /// Originating PoP index.
+        from_pop: u32,
+        /// Number of (experiment, prefix) entries in the frame.
+        entries: u32,
+    },
+    /// The rate ledger dropped expired per-day buckets on day rollover.
+    LedgerPrune {
+        /// Entries removed.
+        dropped: u64,
+    },
 }
 
 fn nbr_label(neighbor: u32, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -218,6 +253,25 @@ impl fmt::Display for EventKind {
             EventKind::IcmpSuppressed { reason } => write!(f, "icmp-suppressed reason={reason}"),
             EventKind::ExportSuppressed { peer } => {
                 write!(f, "export-suppressed peer={peer}")
+            }
+            EventKind::ProgramInstall { experiment, valid } => {
+                write!(f, "prog-install exp={experiment} valid={valid}")
+            }
+            EventKind::ProgramFailClosed { experiment, reason } => {
+                write!(f, "prog-fail-closed exp={experiment} reason={reason}")
+            }
+            EventKind::FailClosed { pop, entered } => {
+                write!(
+                    f,
+                    "fail-closed pop={pop} {}",
+                    if *entered { "entered" } else { "cleared" }
+                )
+            }
+            EventKind::LedgerGossip { from_pop, entries } => {
+                write!(f, "ledger-gossip from={from_pop} entries={entries}")
+            }
+            EventKind::LedgerPrune { dropped } => {
+                write!(f, "ledger-prune dropped={dropped}")
             }
         }
     }

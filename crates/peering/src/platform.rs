@@ -117,7 +117,6 @@ pub struct Peering {
     pops: Vec<PopHandle>,
     registry: AllocationRegistry,
     review: Review,
-    ledger: Arc<Mutex<RateLedger>>,
     next_exp: u32,
     neighbor_nodes: BTreeMap<NeighborId, NodeId>,
     /// Route-server member nodes per RS neighbor id.
@@ -158,7 +157,6 @@ impl Peering {
         sim.set_obs(obs.clone());
         let platform_asn = Asn(intent.platform_asn);
         let cc = ControlCommunities::new(intent.platform_asn as u16);
-        let ledger = Arc::new(Mutex::new(RateLedger::default()));
 
         let mut pops: Vec<PopHandle> = Vec::new();
         let mut neighbor_nodes: BTreeMap<NeighborId, NodeId> = BTreeMap::new();
@@ -171,7 +169,13 @@ impl Peering {
         for (pop_index, pop_intent) in intent.pops.iter().enumerate() {
             let pop_id = PopId(pop_index as u32);
             let fabric_subnet = (pop_index + 1) as u8;
-            let control = ControlEnforcer::new(pop_id, cc, Arc::clone(&ledger));
+            // Each PoP keeps its own rate ledger; AS-wide budgets are
+            // reconciled asynchronously over the backbone via gossip
+            // frames (eventually consistent — see `RateLedger`). A shared
+            // mutex here would serialize shards nondeterministically the
+            // moment budgets couple PoPs.
+            let ledger = Arc::new(Mutex::new(RateLedger::default()));
+            let control = ControlEnforcer::new(pop_id, cc, ledger);
             let mut data = DataEnforcer::new();
             if let Some(limit) = pop_intent.bandwidth_limit {
                 data.set_pop_shaper(limit, limit / 4);
@@ -522,7 +526,6 @@ impl Peering {
             pops,
             registry: AllocationRegistry::new(),
             review: Review::default(),
-            ledger,
             next_exp: 1,
             neighbor_nodes,
             rs_member_nodes,
@@ -626,9 +629,64 @@ impl Peering {
             .unwrap_or(&[])
     }
 
-    /// The shared update-rate ledger (AS-wide policy state, §3.3).
-    pub fn ledger(&self) -> Arc<Mutex<RateLedger>> {
-        Arc::clone(&self.ledger)
+    /// A PoP's update-rate ledger (§3.3 "state can be synchronized among
+    /// vBGP instances" — here via backbone gossip, so each PoP owns one).
+    pub fn ledger_at(&self, pop: &str) -> Option<Arc<Mutex<RateLedger>>> {
+        let node = self.router_node(pop)?;
+        Some(self.sim.node::<VbgpRouter>(node)?.control.ledger())
+    }
+
+    /// Configure (or clear) the AS-wide daily update budget per
+    /// (experiment, prefix), on every PoP's ledger. With per-PoP ledgers
+    /// the budget is enforced against each PoP's best knowledge of the
+    /// platform-wide spend; backbone gossip reconciles that knowledge, so
+    /// during a partition the platform can overshoot by at most what the
+    /// unreachable PoPs spend (bounded by `(pops - 1) × limit`), and
+    /// reconverges within one gossip period after heal.
+    pub fn set_as_wide_update_limit(&mut self, limit: Option<u32>) {
+        let routers: Vec<NodeId> = self.pops.iter().map(|p| p.router).collect();
+        for r in routers {
+            self.sim.with_node_ctx::<VbgpRouter, _>(r, |router, _| {
+                router
+                    .control
+                    .ledger()
+                    .lock()
+                    .unwrap()
+                    .set_as_wide_limit(limit)
+            });
+        }
+    }
+
+    /// Install (or clear, with `None`) a sandboxed packet program for an
+    /// experiment: at one PoP (`Some(name)`) or everywhere it is attached
+    /// (`None`). Returns the program's validation result — an *invalid*
+    /// program is still installed and fails closed (every packet blocked),
+    /// so a typo cannot silently disable enforcement.
+    pub fn install_packet_program(
+        &mut self,
+        exp: ExperimentId,
+        pop: Option<&str>,
+        program: Option<peering_vbgp::enforcement::pprog::PacketProgram>,
+    ) -> Result<(), PeeringError> {
+        let routers: Vec<NodeId> = match pop {
+            Some(name) => vec![self
+                .router_node(name)
+                .ok_or_else(|| PeeringError::Rejected(format!("unknown PoP {name}")))?],
+            None => self.pops.iter().map(|p| p.router).collect(),
+        };
+        let mut result = Ok(());
+        for r in routers {
+            let program = program.clone();
+            let installed = self.sim.with_node_ctx::<VbgpRouter, _>(r, |router, _| {
+                router.data.install_packet_program(exp, program)
+            });
+            if let Err(e) = installed {
+                result = Err(PeeringError::Rejected(format!(
+                    "invalid packet program: {e}"
+                )));
+            }
+        }
+        result
     }
 
     /// Run the simulation forward.
@@ -758,7 +816,7 @@ impl Peering {
                         },
                         data: ExperimentDataPolicy {
                             allowed_sources: policy_prefixes.clone(),
-                            rate: None,
+                            ..Default::default()
                         },
                     })
                 });

@@ -141,6 +141,50 @@ fn check_direction(
     }
 }
 
+/// Ledger gossip soundness: what any PoP believes about a *remote* PoP's
+/// update spend is a monotone lower bound of that PoP's own local tally.
+/// Gossip max-merges monotone counters, so a remote figure larger than the
+/// origin's truth can only come from a corrupt frame, a mis-keyed merge, or
+/// a pruned origin bucket that stale gossip resurrected elsewhere.
+fn check_ledger_gossip(p: &Peering, problems: &mut Vec<String>) {
+    let now = p.sim.now();
+    // Origin truth: (pop, exp, prefix) -> the origin's local count.
+    let mut truth: HashMap<(u32, u32, Prefix), u32> = HashMap::new();
+    let mut ledgers = Vec::new();
+    for pop in p.pop_names() {
+        let Some(node) = p.router_node(&pop) else {
+            continue;
+        };
+        let Some(r) = p.sim.node::<VbgpRouter>(node) else {
+            continue;
+        };
+        let pop_id = r.control.pop_id();
+        let ledger = r.control.ledger();
+        let entries = ledger.lock().unwrap().entries_today(now);
+        for (exp, prefix, at, count) in &entries {
+            if *at == pop_id {
+                truth.insert((at.0, exp.0, *prefix), count.local);
+            }
+        }
+        ledgers.push((pop.clone(), pop_id, entries));
+    }
+    for (pop, pop_id, entries) in &ledgers {
+        for (exp, prefix, at, count) in entries {
+            if at == pop_id || count.remote == 0 {
+                continue;
+            }
+            let origin_local = truth.get(&(at.0, exp.0, *prefix)).copied().unwrap_or(0);
+            if count.remote > origin_local {
+                problems.push(format!(
+                    "ledger at {pop}: remote tally {} for pop {} exp {} {prefix} \
+                     exceeds that pop's own local tally {origin_local}",
+                    count.remote, at.0, exp.0
+                ));
+            }
+        }
+    }
+}
+
 /// Run every global invariant; returns human-readable violations (empty =
 /// converged). The list is sorted so failures are stable across runs.
 /// Takes `&mut` because the data-plane check force-compiles each router's
@@ -212,6 +256,8 @@ pub fn check_convergence(p: &mut Peering) -> Vec<String> {
             }
         }
     }
+
+    check_ledger_gossip(p, &mut problems);
 
     problems.sort();
 

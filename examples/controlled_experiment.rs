@@ -81,7 +81,7 @@ fn main() {
         },
         data: ExperimentDataPolicy {
             allowed_sources: vec![prefix(EXP_PREFIX)],
-            rate: None,
+            ..Default::default()
         },
     });
     let router = sim.add_node(Box::new(router));

@@ -15,6 +15,7 @@ use peering_repro::vbgp::enforcement::control::{
     ControlEnforcer, ExperimentPolicy, UPDATES_PER_DAY_LIMIT,
 };
 use peering_repro::vbgp::enforcement::data::{DataEnforcer, ExperimentDataPolicy};
+use peering_repro::vbgp::enforcement::pprog::{Field, Insn, PacketProgram, PacketView};
 use peering_repro::vbgp::{
     CapabilityKind, CapabilitySet, ControlCommunities, ExperimentId, Grant, PopId,
 };
@@ -171,7 +172,7 @@ fn main() {
     println!("\nfail-closed behaviour:");
     let mut e = ControlEnforcer::standalone(PopId(0), cc);
     e.set_experiment(EXP, basic_policy.clone());
-    e.fail_closed = true;
+    e.set_fail_closed(true);
     check(
         &mut e,
         "any announcement while the engine is overloaded",
@@ -186,42 +187,82 @@ fn main() {
         ExperimentDataPolicy {
             allowed_sources: vec![prefix("184.164.224.0/23")],
             rate: Some((1_000_000, 100_000)),
+            ..Default::default()
         },
     );
-    let v = d.check_egress(
-        EXP,
-        "184.164.224.9".parse().unwrap(),
-        1000,
-        None,
-        SimTime::ZERO,
-    );
+    let good = PacketView::basic("184.164.224.9".parse().unwrap(), 1000);
+    let v = d.check_egress(EXP, &good, None, SimTime::ZERO);
     println!(
         "  packet from allocated source                        {}",
         verdict(v.is_allow())
     );
-    let v = d.check_egress(EXP, "9.9.9.9".parse().unwrap(), 1000, None, SimTime::ZERO);
+    let spoofed = PacketView::basic("9.9.9.9".parse().unwrap(), 1000);
+    let v = d.check_egress(EXP, &spoofed, None, SimTime::ZERO);
     println!(
         "  spoofed source 9.9.9.9                              {}",
         verdict(v.is_allow())
     );
     let mut blocked = 0;
     for _ in 0..200 {
-        if !d
-            .check_egress(
-                EXP,
-                "184.164.224.9".parse().unwrap(),
-                1000,
-                None,
-                SimTime::ZERO,
-            )
-            .is_allow()
-        {
+        if !d.check_egress(EXP, &good, None, SimTime::ZERO).is_allow() {
             blocked += 1;
         }
     }
     println!(
         "  200 kB burst against a 100 kB bucket                {} packets shaped",
         blocked
+    );
+
+    // --- sandboxed packet programs ---
+    println!("\npacket programs — the sandboxed per-packet VM:");
+    let mut d = DataEnforcer::new();
+    d.set_experiment(
+        EXP,
+        ExperimentDataPolicy {
+            allowed_sources: vec![prefix("184.164.224.0/23")],
+            // Block everything except UDP to port 53; cap TTL at 32.
+            program: Some(PacketProgram::new(vec![
+                Insn::Ld(0, Field::Proto),
+                Insn::JneImm(0, 17, 7), // not UDP -> Block
+                Insn::Ld(1, Field::DstPort),
+                Insn::JneImm(1, 53, 7), // not DNS -> Block
+                Insn::LdImm(2, 32),
+                Insn::SetTtl(2),
+                Insn::Allow,
+                Insn::Block,
+            ])),
+            ..Default::default()
+        },
+    );
+    let dns = PacketView {
+        proto: 17,
+        dst_port: 53,
+        ..good
+    };
+    let v = d.check_egress(EXP, &dns, None, SimTime::ZERO);
+    println!(
+        "  UDP/53 from allocated source                        {}",
+        verdict(v.is_allow())
+    );
+    let v = d.check_egress(EXP, &good, None, SimTime::ZERO);
+    println!(
+        "  non-UDP traffic against the same program            {}",
+        verdict(v.is_allow())
+    );
+    // A program that loops forever burns its fuel and fails closed.
+    let mut d = DataEnforcer::new();
+    d.set_experiment(
+        EXP,
+        ExperimentDataPolicy {
+            allowed_sources: vec![prefix("184.164.224.0/23")],
+            program: Some(PacketProgram::new(vec![Insn::Jmp(0)])),
+            ..Default::default()
+        },
+    );
+    let v = d.check_egress(EXP, &good, None, SimTime::ZERO);
+    println!(
+        "  infinite loop (fuel exhausted, fails closed)        {}",
+        verdict(v.is_allow())
     );
     println!("\nstats: {:?}", d.stats.blocked);
 }

@@ -81,7 +81,7 @@ fn main() {
         },
         data: ExperimentDataPolicy {
             allowed_sources: vec![prefix("184.164.224.0/24")],
-            rate: None,
+            ..Default::default()
         },
     });
     let router = sim.add_node(Box::new(router));

@@ -89,7 +89,7 @@ fn build() -> Scenario {
         },
         data: ExperimentDataPolicy {
             allowed_sources: vec![prefix("184.164.224.0/24")],
-            rate: None,
+            ..Default::default()
         },
     });
     router.add_experiment(ExperimentConfig {
@@ -107,7 +107,7 @@ fn build() -> Scenario {
         },
         data: ExperimentDataPolicy {
             allowed_sources: vec![prefix("184.164.225.0/24")],
-            rate: None,
+            ..Default::default()
         },
     });
     let router = sim.add_node(Box::new(router));

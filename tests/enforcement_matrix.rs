@@ -72,7 +72,7 @@ fn rig(caps: CapabilitySet) -> Rig {
         },
         data: ExperimentDataPolicy {
             allowed_sources: vec![prefix(EXP_PREFIX)],
-            rate: None,
+            ..Default::default()
         },
     });
     let router = sim.add_node(Box::new(router));
@@ -307,7 +307,7 @@ fn rig2(caps: CapabilitySet) -> (Rig, NodeId) {
         },
         data: ExperimentDataPolicy {
             allowed_sources: vec![prefix(EXP_PREFIX)],
-            rate: None,
+            ..Default::default()
         },
     });
     let router = sim.add_node(Box::new(router));
