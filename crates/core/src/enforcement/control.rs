@@ -29,6 +29,12 @@ pub const UPDATES_PER_DAY_LIMIT: u32 = 144;
 
 const SECS_PER_DAY: u64 = 86_400;
 
+/// Length of one data-plane flood-budget window. Long relative to the
+/// 60 s gossip period on purpose: a concentration attack spread across
+/// PoPs only becomes visible when several gossip rounds land inside one
+/// window, so the window must span many rounds.
+pub const FLOOD_WINDOW_SECS: u64 = 600;
+
 /// Why an announcement (or part of one) was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rejection {
@@ -133,6 +139,11 @@ impl PopCount {
 #[derive(Debug, Default)]
 pub struct RateLedger {
     days: HashMap<(ExperimentId, Prefix, u64), HashMap<PopId, PopCount>>,
+    /// Data-plane flood tallies: packets per (experiment, source bucket,
+    /// flood window), broken out by PoP exactly like `days`. The same
+    /// `{local, remote}` max-merge CRDT applies, so the AS-wide flood
+    /// budget inherits the update ledger's partition/overshoot story.
+    floods: HashMap<(ExperimentId, Prefix, u64), HashMap<PopId, PopCount>>,
     /// Optional AS-wide (summed over PoPs) daily update budget per
     /// (experiment, prefix).
     as_wide_limit: Option<u32>,
@@ -173,24 +184,128 @@ impl RateLedger {
         self.as_wide_limit
     }
 
-    /// Drop buckets older than the current day (housekeeping). Returns
-    /// how many (experiment, prefix, day) buckets were removed.
-    pub fn prune(&mut self, now: SimTime) -> usize {
-        let day = Self::day_index(now);
-        let before = self.days.len();
-        self.days.retain(|(_, _, d), _| *d >= day);
-        before - self.days.len()
+    /// The flood window `now` falls in (see [`FLOOD_WINDOW_SECS`]).
+    pub fn flood_window(now: SimTime) -> u64 {
+        now.as_secs() / FLOOD_WINDOW_SECS
     }
 
-    /// Retained (experiment, prefix, day) buckets — bounded by
-    /// [`RateLedger::prune`] to the current day in a long run.
+    /// Charge one delivered packet against a flood bucket (experiment ×
+    /// aggregated source prefix × current window). Returns `false` when
+    /// the budget is gone: either this PoP alone exceeded
+    /// `per_pop_limit`, or — with `as_wide_limit` set — the best-known
+    /// platform-wide total (local spend plus gossiped remote tallies)
+    /// reached the AS-wide cap. Limits live in the experiment's data
+    /// policy, not the ledger, so different experiments can share one
+    /// ledger with different budgets.
+    pub fn charge_flood(
+        &mut self,
+        exp: ExperimentId,
+        bucket: Prefix,
+        pop: PopId,
+        now: SimTime,
+        per_pop_limit: u32,
+        as_wide_limit: Option<u32>,
+    ) -> bool {
+        let window = Self::flood_window(now);
+        let pops = self.floods.entry((exp, bucket, window)).or_default();
+        let mine = pops.get(&pop).copied().unwrap_or_default();
+        if mine.best() >= per_pop_limit {
+            return false;
+        }
+        if let Some(limit) = as_wide_limit {
+            let wide: u32 = pops.values().map(|c| c.best()).sum();
+            if wide >= limit {
+                return false;
+            }
+        }
+        pops.entry(pop).or_default().local += 1;
+        true
+    }
+
+    /// Best-known packets charged against a flood bucket at one PoP in
+    /// the current window.
+    pub fn flood_used(&self, exp: ExperimentId, bucket: Prefix, pop: PopId, now: SimTime) -> u32 {
+        let window = Self::flood_window(now);
+        self.floods
+            .get(&(exp, bucket, window))
+            .and_then(|pops| pops.get(&pop))
+            .map(|c| c.best())
+            .unwrap_or(0)
+    }
+
+    /// Best-known platform-wide packets charged against a flood bucket in
+    /// the current window.
+    pub fn flood_wide(&self, exp: ExperimentId, bucket: Prefix, now: SimTime) -> u32 {
+        let window = Self::flood_window(now);
+        self.floods
+            .get(&(exp, bucket, window))
+            .map(|pops| pops.values().map(|c| c.best()).sum())
+            .unwrap_or(0)
+    }
+
+    /// This PoP's own current-window flood tallies, for gossip — same
+    /// sorted-for-byte-determinism contract as
+    /// [`RateLedger::gossip_entries`].
+    pub fn flood_gossip_entries(
+        &self,
+        pop: PopId,
+        now: SimTime,
+    ) -> Vec<(ExperimentId, Prefix, u32)> {
+        let window = Self::flood_window(now);
+        let mut out: Vec<(ExperimentId, Prefix, u32)> = self
+            .floods
+            .iter()
+            .filter(|((_, _, w), _)| *w == window)
+            .filter_map(|((exp, bucket, _), pops)| {
+                let local = pops.get(&pop)?.local;
+                (local > 0).then_some((*exp, *bucket, local))
+            })
+            .collect();
+        out.sort_unstable_by_key(|(exp, bucket, _)| (*exp, *bucket));
+        out
+    }
+
+    /// Merge a flood gossip section from `origin`: max-merge into the
+    /// origin PoP's `remote` tallies, exactly like
+    /// [`RateLedger::observe_remote`].
+    pub fn observe_remote_flood(
+        &mut self,
+        origin: PopId,
+        window: u64,
+        entries: &[(ExperimentId, Prefix, u32)],
+    ) {
+        for (exp, bucket, count) in entries {
+            let c = self
+                .floods
+                .entry((*exp, *bucket, window))
+                .or_default()
+                .entry(origin)
+                .or_default();
+            c.remote = c.remote.max(*count);
+        }
+    }
+
+    /// Drop update buckets older than the current day and flood buckets
+    /// older than the current window (housekeeping). Returns how many
+    /// buckets were removed in total.
+    pub fn prune(&mut self, now: SimTime) -> usize {
+        let day = Self::day_index(now);
+        let window = Self::flood_window(now);
+        let before = self.days.len() + self.floods.len();
+        self.days.retain(|(_, _, d), _| *d >= day);
+        self.floods.retain(|(_, _, w), _| *w >= window);
+        before - self.days.len() - self.floods.len()
+    }
+
+    /// Retained buckets (update days + flood windows) — bounded by
+    /// [`RateLedger::prune`] in a long run.
     pub fn len(&self) -> usize {
-        self.days.len()
+        self.days.len() + self.floods.len()
     }
 
     /// Whether the ledger holds no buckets at all.
     pub fn is_empty(&self) -> bool {
-        self.days.is_empty()
+        self.days.is_empty() && self.floods.is_empty()
     }
 
     /// Best-known updates consumed today for a (prefix, PoP) pair.
@@ -250,6 +365,24 @@ impl RateLedger {
                 .or_default();
             c.remote = c.remote.max(*count);
         }
+    }
+
+    /// Current-window flood view for invariant checks: every (experiment,
+    /// bucket, PoP) tally, sorted. Same gossip-soundness contract as the
+    /// update entries: a `remote` tally is a monotone lower bound of the
+    /// origin PoP's `local`.
+    pub fn flood_entries_now(&self, now: SimTime) -> Vec<(ExperimentId, Prefix, PopId, PopCount)> {
+        let window = Self::flood_window(now);
+        let mut out: Vec<(ExperimentId, Prefix, PopId, PopCount)> = self
+            .floods
+            .iter()
+            .filter(|((_, _, w), _)| *w == window)
+            .flat_map(|((exp, bucket, _), pops)| {
+                pops.iter().map(|(pop, c)| (*exp, *bucket, *pop, *c))
+            })
+            .collect();
+        out.sort_unstable_by_key(|(exp, bucket, pop, _)| (*exp, *bucket, *pop));
+        out
     }
 
     /// Current-day view for invariant checks: every (experiment, prefix,

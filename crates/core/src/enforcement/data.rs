@@ -20,15 +20,17 @@
 
 use std::collections::HashMap;
 use std::hash::Hasher;
-use std::net::IpAddr;
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::{Arc, Mutex};
 
 use peering_bgp::types::Prefix;
 use peering_netsim::{SimDuration, SimTime};
 use peering_obs::{EventKind, Obs};
 
 use crate::fasthash::FxHasher;
-use crate::ids::{ExperimentId, NeighborId};
+use crate::ids::{ExperimentId, NeighborId, PopId};
 
+use super::control::RateLedger;
 use super::pprog::{PacketProgram, PacketView, ProgError, ProgOutcome, Rewrite};
 
 /// Verdict for one packet.
@@ -107,6 +109,24 @@ impl TokenBucket {
     }
 }
 
+/// Ingress flood budget: packets per flood window
+/// ([`super::control::FLOOD_WINDOW_SECS`]) charged against `(experiment,
+/// aggregated source prefix)` buckets in the shared [`RateLedger`]. The
+/// per-PoP limit is exact; the AS-wide limit is enforced on each PoP's
+/// best knowledge, reconciled by backbone gossip — the same
+/// eventual-consistency contract as the update-rate ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodPolicy {
+    /// Source aggregation: sources are bucketed by their first
+    /// `bucket_len` bits (16 groups a /16's worth of spoof-rotating
+    /// sources into one budget).
+    pub bucket_len: u8,
+    /// Packets one PoP admits per bucket per window.
+    pub per_pop_limit: u32,
+    /// Optional platform-wide packets per bucket per window.
+    pub as_wide_limit: Option<u32>,
+}
+
 /// Per-experiment data-plane policy.
 #[derive(Debug, Clone, Default)]
 pub struct ExperimentDataPolicy {
@@ -118,21 +138,40 @@ pub struct ExperimentDataPolicy {
     /// validation is still installed and blocks every packet (fail
     /// closed).
     pub program: Option<PacketProgram>,
+    /// Strict reverse-path validation on ingress: traffic arriving from a
+    /// neighbor is dropped unless that neighbor's own table covers the
+    /// claimed source. Off by default (the paper's platform does not
+    /// police ingress content, §4.7) — serving experiments opt in.
+    pub ingress_urpf: bool,
+    /// Optional sandboxed packet program run on *ingress* (traffic toward
+    /// the experiment), with the same fail-closed semantics as `program`.
+    pub ingress_program: Option<PacketProgram>,
+    /// Optional ingress flood budget (see [`FloodPolicy`]).
+    pub flood: Option<FloodPolicy>,
 }
 
 /// Counters for the data-plane pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct DataStats {
-    /// Packets evaluated.
+    /// Egress packets evaluated.
     pub evaluated: u64,
-    /// Packets allowed.
+    /// Egress packets allowed.
     pub allowed: u64,
-    /// Packet-program executions (cache misses).
+    /// Packet-program executions (cache misses), egress + ingress.
     pub prog_runs: u64,
-    /// Packet-program verdicts served from the flow cache.
+    /// Packet-program verdicts served from the flow cache, egress +
+    /// ingress.
     pub prog_cache_hits: u64,
-    /// Drops by policy label.
+    /// Egress drops by policy label.
     pub blocked: HashMap<&'static str, u64>,
+    /// Ingress packets evaluated by the full pipeline
+    /// ([`DataEnforcer::check_ingress_batch`]).
+    pub ingress_evaluated: u64,
+    /// Ingress packets allowed through to delivery.
+    pub ingress_allowed: u64,
+    /// Ingress drops by policy label (`urpf`, `flood-budget`, the
+    /// program labels, …).
+    pub ingress_blocked: HashMap<&'static str, u64>,
 }
 
 /// What a packet program decided for a flow — the unit the verdict cache
@@ -210,17 +249,32 @@ pub struct DataEnforcer {
     neighbor_shapers: HashMap<NeighborId, TokenBucket>,
     /// Per-experiment packet programs (digested at install time).
     programs: HashMap<ExperimentId, ProgEntry>,
+    /// Per-experiment *ingress* packet programs. Separate map so the two
+    /// directions version and fail independently; verdicts share the one
+    /// cache with the experiment key's top bit set (see
+    /// [`INGRESS_CACHE_BIT`]).
+    ingress_programs: HashMap<ExperimentId, ProgEntry>,
     /// Program-verdict flow cache; entries are valid only for the current
     /// generation.
     verdict_cache: VerdictCache,
     /// Bumped on every policy install/remove: wholesale cache
     /// invalidation. Starts at 1 so generation 0 marks empty slots.
     prog_generation: u64,
+    /// The shared rate ledger flood budgets are charged against, plus the
+    /// PoP identity the charges are filed under. `None` until the
+    /// platform wires it (standalone enforcers skip flood budgeting).
+    flood_ledger: Option<(PopId, Arc<Mutex<RateLedger>>)>,
     /// Journal handle (fail-closed events).
     obs: Obs,
     /// Counters.
     pub stats: DataStats,
 }
+
+/// Top bit of the verdict-cache experiment key, set for ingress-program
+/// verdicts so the two directions of one experiment never alias a slot.
+/// Experiment ids are small integers handed out by the platform, far
+/// below this bit.
+const INGRESS_CACHE_BIT: u32 = 0x8000_0000;
 
 impl Default for DataEnforcer {
     fn default() -> Self {
@@ -230,8 +284,10 @@ impl Default for DataEnforcer {
             pop_shaper: None,
             neighbor_shapers: HashMap::new(),
             programs: HashMap::new(),
+            ingress_programs: HashMap::new(),
             verdict_cache: VerdictCache::new(),
             prog_generation: 1,
+            flood_ledger: None,
             obs: Obs::new(),
             stats: DataStats::default(),
         }
@@ -265,6 +321,13 @@ impl DataEnforcer {
             .insert(nbr, TokenBucket::new(rate_bytes_per_sec, burst_bytes));
     }
 
+    /// Wire the shared rate ledger flood budgets are charged against (and
+    /// the PoP identity to file charges under). Without this, flood
+    /// policies are inert.
+    pub fn set_flood_ledger(&mut self, pop: PopId, ledger: Arc<Mutex<RateLedger>>) {
+        self.flood_ledger = Some((pop, ledger));
+    }
+
     /// Register (or update) an experiment's data-plane policy. Any change
     /// bumps the program generation, invalidating cached verdicts.
     pub fn set_experiment(&mut self, exp: ExperimentId, policy: ExperimentDataPolicy) {
@@ -275,7 +338,8 @@ impl DataEnforcer {
         }
         // Validation failure is not an error here: the invalid program is
         // installed fail-closed and the install event journals it.
-        let _ = self.install_program_entry(exp, policy.program.clone());
+        let _ = self.install_program_entry(exp, policy.program.clone(), false);
+        let _ = self.install_program_entry(exp, policy.ingress_program.clone(), true);
         self.policies.insert(exp, policy);
     }
 
@@ -288,11 +352,40 @@ impl DataEnforcer {
         exp: ExperimentId,
         program: Option<PacketProgram>,
     ) -> Result<(), ProgError> {
-        let result = self.install_program_entry(exp, program.clone());
+        let result = self.install_program_entry(exp, program.clone(), false);
         if let Some(policy) = self.policies.get_mut(&exp) {
             policy.program = program;
         }
         result
+    }
+
+    /// Install (or clear) an experiment's *ingress* packet program, with
+    /// the same fail-closed contract as
+    /// [`DataEnforcer::install_packet_program`].
+    pub fn install_ingress_program(
+        &mut self,
+        exp: ExperimentId,
+        program: Option<PacketProgram>,
+    ) -> Result<(), ProgError> {
+        let result = self.install_program_entry(exp, program.clone(), true);
+        if let Some(policy) = self.policies.get_mut(&exp) {
+            policy.ingress_program = program;
+        }
+        result
+    }
+
+    /// Update an experiment's ingress knobs (uRPF, flood budget) without
+    /// touching its program or egress policy.
+    pub fn set_ingress_guards(
+        &mut self,
+        exp: ExperimentId,
+        urpf: bool,
+        flood: Option<FloodPolicy>,
+    ) {
+        if let Some(policy) = self.policies.get_mut(&exp) {
+            policy.ingress_urpf = urpf;
+            policy.flood = flood;
+        }
     }
 
     /// Digest a program at install time and bump the cache generation.
@@ -300,10 +393,16 @@ impl DataEnforcer {
         &mut self,
         exp: ExperimentId,
         program: Option<PacketProgram>,
+        ingress: bool,
     ) -> Result<(), ProgError> {
         self.prog_generation += 1;
+        let map = if ingress {
+            &mut self.ingress_programs
+        } else {
+            &mut self.programs
+        };
         let Some(program) = program else {
-            self.programs.remove(&exp);
+            map.remove(&exp);
             return Ok(());
         };
         let validation = program.validate();
@@ -313,7 +412,7 @@ impl DataEnforcer {
             experiment: exp.0,
             valid,
         });
-        self.programs.insert(
+        map.insert(
             exp,
             ProgEntry {
                 program,
@@ -331,6 +430,9 @@ impl DataEnforcer {
         if self.programs.remove(&exp).is_some() {
             self.prog_generation += 1;
         }
+        if self.ingress_programs.remove(&exp).is_some() {
+            self.prog_generation += 1;
+        }
     }
 
     /// Whether an experiment has a registered policy.
@@ -342,6 +444,27 @@ impl DataEnforcer {
     /// generations are dead).
     pub fn prog_generation(&self) -> u64 {
         self.prog_generation
+    }
+
+    /// Whether `exp` opted into ingress reverse-path validation.
+    pub fn ingress_urpf(&self, exp: ExperimentId) -> bool {
+        self.policies.get(&exp).is_some_and(|p| p.ingress_urpf)
+    }
+
+    /// Whether `exp` has a flood budget AND the ledger is wired (both are
+    /// required for flood charging to do anything).
+    pub fn flood_active(&self, exp: ExperimentId) -> bool {
+        self.flood_ledger.is_some() && self.policies.get(&exp).is_some_and(|p| p.flood.is_some())
+    }
+
+    /// Whether any ingress policing (uRPF, ingress program, flood budget)
+    /// is configured for `exp`. The router uses this to skip the ingress
+    /// pipeline entirely on the common path — experiments that never opted
+    /// in pay nothing.
+    pub fn ingress_active(&self, exp: ExperimentId) -> bool {
+        self.policies
+            .get(&exp)
+            .is_some_and(|p| p.ingress_urpf || p.ingress_program.is_some() || p.flood.is_some())
     }
 
     fn block(&mut self, label: &'static str) -> DataVerdict {
@@ -356,36 +479,16 @@ impl DataEnforcer {
         let Some(entry) = self.programs.get(&exp) else {
             return ProgDecision::Pass;
         };
-        if !entry.valid {
-            // Malformed program: fail closed, no execution.
-            return ProgDecision::Block("program-invalid");
-        }
-        let generation = self.prog_generation;
-        let key = pkt.flow_key();
-        if entry.flow_invariant {
-            if let Some(cached) = self.verdict_cache.get(exp.0, key, generation) {
-                self.stats.prog_cache_hits += 1;
-                return cached;
-            }
-        }
-        self.stats.prog_runs += 1;
-        let (outcome, _fuel) = entry.program.run(pkt);
-        let decision = match outcome {
-            ProgOutcome::Allow => ProgDecision::Pass,
-            ProgOutcome::Transform(rw) => ProgDecision::Rewrite(rw),
-            ProgOutcome::Block => ProgDecision::Block("program-block"),
-            ProgOutcome::FuelExhausted => {
-                self.obs.record(EventKind::ProgramFailClosed {
-                    experiment: exp.0,
-                    reason: "program-fuel",
-                });
-                ProgDecision::Block("program-fuel")
-            }
-        };
-        if entry.flow_invariant {
-            self.verdict_cache.put(exp.0, key, generation, decision);
-        }
-        decision
+        run_program_entry(
+            entry,
+            exp.0,
+            pkt,
+            self.prog_generation,
+            &mut self.verdict_cache,
+            &mut self.stats,
+            &self.obs,
+            exp.0,
+        )
     }
 
     /// Evaluate one egress packet (experiment → Internet): source
@@ -550,6 +653,177 @@ impl DataEnforcer {
         self.stats.allowed += 1;
         DataVerdict::Allow
     }
+
+    /// Evaluate a run of ingress packets (Internet → one experiment)
+    /// through the full serving pipeline: destination ownership, optional
+    /// reverse-path validation, the experiment's ingress packet program,
+    /// then the flood budget. `urpf_ok[i]` says whether the ingress
+    /// neighbor's own table covers `pkts[i]`'s claimed source (computed by
+    /// the router, which owns the tables); `None` means the traffic did
+    /// not arrive from a policed neighbor (backbone transit), so uRPF is
+    /// skipped. `out[i]` corresponds to `pkts[i]`; `out` is cleared first.
+    ///
+    /// Ordering matters for attribution: a spoofed-source packet is
+    /// counted under `urpf`, not against the flood budget — the budget
+    /// only charges packets that passed every cheaper check, so
+    /// legitimate-looking floods are what exhaust it.
+    pub fn check_ingress_batch(
+        &mut self,
+        exp: ExperimentId,
+        pkts: &[PacketView],
+        urpf_ok: Option<&[bool]>,
+        now: SimTime,
+        out: &mut Vec<DataVerdict>,
+    ) {
+        out.clear();
+        self.stats.ingress_evaluated += pkts.len() as u64;
+        let Some(policy) = self.policies.get(&exp) else {
+            // Unknown experiment: fail closed (mirrors egress).
+            *self
+                .stats
+                .ingress_blocked
+                .entry("unknown-experiment")
+                .or_insert(0) += pkts.len() as u64;
+            out.resize(pkts.len(), DataVerdict::Block("unknown-experiment"));
+            return;
+        };
+        let flood = policy.flood;
+        // Pass 1: destination ownership + uRPF, against the one policy
+        // borrow.
+        for (i, pkt) in pkts.iter().enumerate() {
+            if !policy
+                .allowed_sources
+                .iter()
+                .any(|p| p.contains_addr(pkt.dst))
+            {
+                *self
+                    .stats
+                    .ingress_blocked
+                    .entry("not-experiment-destination")
+                    .or_insert(0) += 1;
+                out.push(DataVerdict::Block("not-experiment-destination"));
+                continue;
+            }
+            if policy.ingress_urpf {
+                if let Some(ok) = urpf_ok {
+                    if !ok[i] {
+                        *self.stats.ingress_blocked.entry("urpf").or_insert(0) += 1;
+                        out.push(DataVerdict::Block("urpf"));
+                        continue;
+                    }
+                }
+            }
+            out.push(DataVerdict::Allow);
+        }
+        // Pass 2: ingress program, in packet order. Verdicts share the
+        // egress flow cache under a salted experiment key so the two
+        // directions never alias.
+        if let Some(entry) = self.ingress_programs.get(&exp) {
+            let generation = self.prog_generation;
+            for (i, pkt) in pkts.iter().enumerate() {
+                if !out[i].is_allow() {
+                    continue;
+                }
+                let decision = run_program_entry(
+                    entry,
+                    exp.0 | INGRESS_CACHE_BIT,
+                    pkt,
+                    generation,
+                    &mut self.verdict_cache,
+                    &mut self.stats,
+                    &self.obs,
+                    exp.0,
+                );
+                match decision {
+                    ProgDecision::Pass => {}
+                    ProgDecision::Rewrite(rw) => out[i] = DataVerdict::Transform(rw),
+                    ProgDecision::Block(label) => {
+                        *self.stats.ingress_blocked.entry(label).or_insert(0) += 1;
+                        out[i] = DataVerdict::Block(label);
+                    }
+                }
+            }
+        }
+        // Pass 3: flood budget — one ledger lock per batch, charges in
+        // packet order. IPv6 sources are exempt (the synthetic attack
+        // space is v4; a v6 budget would need its own bucketing).
+        if let (Some(fp), Some((pop, ledger))) = (flood, self.flood_ledger.as_ref()) {
+            let pop = *pop;
+            let mut guard = ledger.lock().expect("flood ledger poisoned");
+            for (i, pkt) in pkts.iter().enumerate() {
+                if !out[i].is_allow() {
+                    continue;
+                }
+                let IpAddr::V4(v4) = pkt.src else { continue };
+                let mask = if fp.bucket_len == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - u32::from(fp.bucket_len).min(32))
+                };
+                let bucket = Prefix::V4 {
+                    addr: Ipv4Addr::from(u32::from(v4) & mask),
+                    len: fp.bucket_len,
+                };
+                if !guard.charge_flood(exp, bucket, pop, now, fp.per_pop_limit, fp.as_wide_limit) {
+                    *self
+                        .stats
+                        .ingress_blocked
+                        .entry("flood-budget")
+                        .or_insert(0) += 1;
+                    out[i] = DataVerdict::Block("flood-budget");
+                }
+            }
+        }
+        self.stats.ingress_allowed += out.iter().filter(|v| v.is_allow()).count() as u64;
+    }
+}
+
+/// Execute one program entry against one packet (or serve its cached
+/// verdict). Standalone so callers can hold a `&ProgEntry` borrowed from
+/// either program map while mutating the disjoint cache and stats fields.
+/// `cache_key` is the verdict-cache experiment key (ingress callers salt
+/// it with [`INGRESS_CACHE_BIT`]); `exp_for_event` is the unsalted id for
+/// journal events.
+#[allow(clippy::too_many_arguments)]
+fn run_program_entry(
+    entry: &ProgEntry,
+    cache_key: u32,
+    pkt: &PacketView,
+    generation: u64,
+    cache: &mut VerdictCache,
+    stats: &mut DataStats,
+    obs: &Obs,
+    exp_for_event: u32,
+) -> ProgDecision {
+    if !entry.valid {
+        // Malformed program: fail closed, no execution.
+        return ProgDecision::Block("program-invalid");
+    }
+    let key = pkt.flow_key();
+    if entry.flow_invariant {
+        if let Some(cached) = cache.get(cache_key, key, generation) {
+            stats.prog_cache_hits += 1;
+            return cached;
+        }
+    }
+    stats.prog_runs += 1;
+    let (outcome, _fuel) = entry.program.run(pkt);
+    let decision = match outcome {
+        ProgOutcome::Allow => ProgDecision::Pass,
+        ProgOutcome::Transform(rw) => ProgDecision::Rewrite(rw),
+        ProgOutcome::Block => ProgDecision::Block("program-block"),
+        ProgOutcome::FuelExhausted => {
+            obs.record(EventKind::ProgramFailClosed {
+                experiment: exp_for_event,
+                reason: "program-fuel",
+            });
+            ProgDecision::Block("program-fuel")
+        }
+    };
+    if entry.flow_invariant {
+        cache.put(cache_key, key, generation, decision);
+    }
+    decision
 }
 
 #[cfg(test)]
@@ -874,5 +1148,201 @@ mod tests {
         e.remove_experiment(EXP);
         let v = e.check_egress(EXP, &view("184.164.224.1", 10), None, SimTime::ZERO);
         assert_eq!(v, DataVerdict::Block("unknown-experiment"));
+    }
+
+    /// An inbound packet toward the experiment's allocation.
+    fn inbound(src_s: &str, dst_s: &str) -> PacketView {
+        PacketView {
+            src: src(src_s),
+            dst: src(dst_s),
+            proto: 17,
+            src_port: 4000,
+            dst_port: 80,
+            len: 100,
+            ttl: 60,
+        }
+    }
+
+    #[test]
+    fn ingress_batch_checks_destination_and_urpf() {
+        let mut e = enforcer();
+        e.set_ingress_guards(EXP, true, None);
+        assert!(e.ingress_urpf(EXP) && e.ingress_active(EXP));
+        let pkts = vec![
+            inbound("20.1.2.3", "184.164.224.9"), // fine
+            inbound("20.1.2.3", "9.9.9.9"),       // not our prefix
+            inbound("92.0.0.1", "184.164.224.9"), // spoofed (uRPF says no)
+        ];
+        let urpf_ok = vec![true, true, false];
+        let mut out = Vec::new();
+        e.check_ingress_batch(EXP, &pkts, Some(&urpf_ok), SimTime::ZERO, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                DataVerdict::Allow,
+                DataVerdict::Block("not-experiment-destination"),
+                DataVerdict::Block("urpf"),
+            ]
+        );
+        assert_eq!(e.stats.ingress_evaluated, 3);
+        assert_eq!(e.stats.ingress_allowed, 1);
+        assert_eq!(e.stats.ingress_blocked["urpf"], 1);
+        // No neighbor context (backbone ingress): uRPF is skipped.
+        e.check_ingress_batch(EXP, &pkts[2..], None, SimTime::ZERO, &mut out);
+        assert_eq!(out, vec![DataVerdict::Allow]);
+    }
+
+    #[test]
+    fn ingress_program_blocks_syn_port_and_caches() {
+        let mut e = enforcer();
+        // Block dst port 443, allow the rest — flow-invariant.
+        let p = PacketProgram::new(vec![
+            Insn::Ld(0, Field::DstPort),
+            Insn::JeqImm(0, 443, 3),
+            Insn::Allow,
+            Insn::Block,
+        ]);
+        e.install_ingress_program(EXP, Some(p)).unwrap();
+        assert!(e.ingress_active(EXP));
+        let mut syn = inbound("20.1.2.3", "184.164.224.9");
+        syn.dst_port = 443;
+        let pkts = vec![
+            inbound("20.1.2.3", "184.164.224.9"),
+            syn,
+            syn, // same flow again: cache hit
+        ];
+        let mut out = Vec::new();
+        e.check_ingress_batch(EXP, &pkts, None, SimTime::ZERO, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                DataVerdict::Allow,
+                DataVerdict::Block("program-block"),
+                DataVerdict::Block("program-block"),
+            ]
+        );
+        assert_eq!((e.stats.prog_runs, e.stats.prog_cache_hits), (2, 1));
+        assert_eq!(e.stats.ingress_blocked["program-block"], 2);
+        // The egress direction is untouched by the ingress program.
+        assert!(e
+            .check_egress(EXP, &view("184.164.224.1", 100), None, SimTime::ZERO)
+            .is_allow());
+    }
+
+    #[test]
+    fn ingress_and_egress_programs_do_not_alias_cache() {
+        let mut e = enforcer();
+        // Egress: allow everything. Ingress: block everything. Same flow
+        // key must get different (cached) verdicts per direction.
+        e.install_packet_program(EXP, Some(PacketProgram::new(vec![Insn::Allow])))
+            .unwrap();
+        e.install_ingress_program(EXP, Some(PacketProgram::block_all()))
+            .unwrap();
+        let pkt = inbound("184.164.224.1", "184.164.224.2");
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            assert!(e.check_egress(EXP, &pkt, None, SimTime::ZERO).is_allow());
+            e.check_ingress_batch(
+                EXP,
+                std::slice::from_ref(&pkt),
+                None,
+                SimTime::ZERO,
+                &mut out,
+            );
+            assert_eq!(out, vec![DataVerdict::Block("program-block")]);
+        }
+        // One real run per direction; the second round was all cache hits.
+        assert_eq!((e.stats.prog_runs, e.stats.prog_cache_hits), (2, 2));
+    }
+
+    #[test]
+    fn invalid_ingress_program_fails_closed() {
+        let mut e = enforcer();
+        assert!(e
+            .install_ingress_program(EXP, Some(PacketProgram::new(vec![Insn::Jmp(99)])))
+            .is_err());
+        let mut out = Vec::new();
+        e.check_ingress_batch(
+            EXP,
+            &[inbound("20.1.2.3", "184.164.224.9")],
+            None,
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert_eq!(out, vec![DataVerdict::Block("program-invalid")]);
+        assert_eq!(e.stats.prog_runs, 0);
+    }
+
+    #[test]
+    fn flood_budget_charges_shared_ledger() {
+        use super::super::control::FLOOD_WINDOW_SECS;
+        let mut e = enforcer();
+        let ledger = Arc::new(Mutex::new(RateLedger::default()));
+        e.set_flood_ledger(PopId(1), Arc::clone(&ledger));
+        e.set_ingress_guards(
+            EXP,
+            false,
+            Some(FloodPolicy {
+                bucket_len: 16,
+                per_pop_limit: 3,
+                as_wide_limit: Some(5),
+            }),
+        );
+        assert!(e.flood_active(EXP) && e.ingress_active(EXP));
+        // Five packets from one /16 (different hosts), one from another.
+        let pkts: Vec<PacketView> = vec![
+            inbound("20.1.0.1", "184.164.224.9"),
+            inbound("20.1.0.2", "184.164.224.9"),
+            inbound("20.1.9.9", "184.164.224.9"),
+            inbound("20.1.3.4", "184.164.224.9"), // 4th in bucket: over per-PoP limit
+            inbound("20.1.5.6", "184.164.224.9"),
+            inbound("55.2.0.1", "184.164.224.9"), // different bucket: fine
+        ];
+        let mut out = Vec::new();
+        e.check_ingress_batch(EXP, &pkts, None, SimTime::ZERO, &mut out);
+        assert_eq!(
+            out.iter().filter(|v| v.is_allow()).count(),
+            4,
+            "3 from the hot /16 + 1 from the cold one"
+        );
+        assert_eq!(e.stats.ingress_blocked["flood-budget"], 2);
+        // Remote gossip can exhaust the AS-wide budget: another PoP
+        // reports 5 admits for the cold bucket (local count is only 1, far
+        // under the per-PoP limit), pushing the platform-wide total past
+        // the AS-wide limit of 5 — the next packet is blocked here even
+        // though this PoP barely saw the bucket.
+        let window = SimTime::ZERO.as_secs() / FLOOD_WINDOW_SECS;
+        let bucket = prefix("55.2.0.0/16");
+        ledger
+            .lock()
+            .unwrap()
+            .observe_remote_flood(PopId(2), window, &[(EXP, bucket, 5)]);
+        e.check_ingress_batch(
+            EXP,
+            &[inbound("55.2.0.9", "184.164.224.9")],
+            None,
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![DataVerdict::Block("flood-budget")],
+            "AS-wide limit (5) already consumed remotely"
+        );
+    }
+
+    #[test]
+    fn ingress_batch_unknown_experiment_fails_closed() {
+        let mut e = enforcer();
+        let mut out = Vec::new();
+        e.check_ingress_batch(
+            ExperimentId(9),
+            &[inbound("20.1.2.3", "184.164.224.9")],
+            None,
+            SimTime::ZERO,
+            &mut out,
+        );
+        assert_eq!(out, vec![DataVerdict::Block("unknown-experiment")]);
+        assert_eq!(e.stats.ingress_blocked["unknown-experiment"], 1);
     }
 }

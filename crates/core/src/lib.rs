@@ -31,6 +31,8 @@
 //! assert!(cc.allows_export(&[], NeighborId(5))); // no steering → everyone
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod capability;
 pub mod communities;
 pub mod enforcement;

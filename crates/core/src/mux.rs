@@ -793,6 +793,27 @@ impl VbgpMux {
         Some(egress)
     }
 
+    /// Strict reverse-path check for ingress enforcement: whether
+    /// `src_ip` is covered by a route in `neighbor`'s table — i.e. the
+    /// neighbor that handed us this packet could itself route back to the
+    /// claimed source. Uses the same compiled FIB + flow cache as the
+    /// forward path (a uRPF miss and a no-route lookup are the same
+    /// machine operation), so per-packet cost matches
+    /// [`Self::egress_via_neighbor`]'s lookup.
+    pub fn source_routable(&mut self, neighbor: NeighborId, src_ip: Ipv4Addr) -> bool {
+        let Some(&slot) = self.neighbor_slot.get(&neighbor) else {
+            return false;
+        };
+        let Some(entry) = self.neighbors[slot as usize].as_mut() else {
+            return false;
+        };
+        if self.fast_path {
+            entry.fast_has_route(src_ip, &mut self.stats, &self.obs)
+        } else {
+            entry.table.lookup(src_ip.into()).is_some()
+        }
+    }
+
     /// Batched [`Self::egress_via_neighbor`]: one table selection, one FIB
     /// sync and one wire-egress resolution for a whole run of frames that
     /// classified to the same neighbor. `out[i]` corresponds to

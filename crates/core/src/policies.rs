@@ -57,6 +57,11 @@ pub fn neighbor_export(cc: &ControlCommunities, nbr: NeighborId) -> Policy {
             // The platform is not a transit: neighbor-learned routes never
             // go back out to neighbors.
             Rule::reject(Match::HasCommunity(tag_from_neighbor(cc.platform_asn))),
+            // Announcement control is per-mux (§3.2.1): a route relayed over
+            // the backbone was announced at another PoP's sessions and must
+            // not leak out this PoP's neighbors. The backbone carries it for
+            // data-plane reachability only.
+            Rule::reject(Match::HasCommunity(tag_via_backbone(cc.platform_asn))),
             // Blacklist: experiment said "not this neighbor".
             Rule::reject(Match::HasCommunity(cc.do_not_announce_to(nbr))),
             // Whitelist naming this neighbor: export (stripped).

@@ -140,6 +140,9 @@ enum Installed {
 pub struct RouterStats {
     /// Packets dropped by the data-plane enforcement engine.
     pub data_blocked: u64,
+    /// Inbound packets dropped by the ingress serving pipeline (uRPF,
+    /// ingress program, flood budget) before delivery to an experiment.
+    pub ingress_blocked: u64,
     /// Packets passed with a packet-program header rewrite applied.
     pub data_transformed: u64,
     /// Rate-ledger gossip frames sent to backbone peers.
@@ -183,7 +186,7 @@ const LEDGER_ETHERTYPE: u16 = 0x88B5;
 const LEDGER_MAGIC: u32 = 0x504C_4752;
 
 /// Gossip payload version.
-const LEDGER_VERSION: u8 = 1;
+const LEDGER_VERSION: u8 = 2;
 
 /// ICMP error generation rate limit (RFC 1812 §4.3.2.8): sustained
 /// messages per second and burst depth. Bucket tokens are whole messages.
@@ -244,6 +247,9 @@ pub struct VbgpRouter {
     /// Last day index the ledger was pruned at (housekeeping runs once per
     /// simulated day).
     last_pruned_day: u64,
+    /// Last flood window the ledger was pruned at (flood windows roll much
+    /// faster than days, so they get their own prune trigger).
+    last_pruned_window: u64,
     ingress_neighbor: FastHashMap<(PortId, MacAddr), NeighborId>,
     local_neighbor_globals: Vec<(Ipv4Addr, Ipv4Addr)>, // (vnh local, global)
     installed: HashMap<(PeerId, Prefix, PathId), Installed>,
@@ -297,6 +303,7 @@ impl VbgpRouter {
             backbone_links: Vec::new(),
             ledger_timer_armed: false,
             last_pruned_day: 0,
+            last_pruned_window: 0,
             ingress_neighbor: FastHashMap::default(),
             local_neighbor_globals: Vec::new(),
             installed: HashMap::new(),
@@ -330,6 +337,7 @@ impl VbgpRouter {
         let o = &self.obs;
         let s = &self.stats;
         o.counter("router.data_blocked").set(s.data_blocked);
+        o.counter("router.ingress_blocked").set(s.ingress_blocked);
         o.counter("router.data_transformed").set(s.data_transformed);
         o.counter("router.ledger_gossip_tx").set(s.ledger_gossip_tx);
         o.counter("router.ledger_gossip_rx").set(s.ledger_gossip_rx);
@@ -356,6 +364,13 @@ impl VbgpRouter {
         o.counter("data.prog_cache_hits").set(ds.prog_cache_hits);
         for (label, n) in &ds.blocked {
             o.counter(&format!("data.blocked{{policy={label}}}"))
+                .set(*n);
+        }
+        o.counter("data.ingress_evaluated")
+            .set(ds.ingress_evaluated);
+        o.counter("data.ingress_allowed").set(ds.ingress_allowed);
+        for (label, n) in &ds.ingress_blocked {
+            o.counter(&format!("data.ingress_blocked{{policy={label}}}"))
                 .set(*n);
         }
         self.mux.publish_obs();
@@ -1113,7 +1128,114 @@ impl VbgpRouter {
         let mut decisions = std::mem::take(&mut self.delivery_scratch);
         self.mux
             .deliver_to_experiment_batch(&dsts, from, &mut decisions);
+        // Ingress serving pipeline: local deliveries toward experiments
+        // that opted into ingress policing (uRPF / ingress program / flood
+        // budget) are vetted before emission. Experiments that never opted
+        // in take the fast path — one `ingress_active` probe per packet,
+        // no views, no verdicts. Views are built after the TTL decrement
+        // above, so programs see the TTL the experiment would.
+        let mut skip: Vec<bool> = Vec::new();
+        {
+            // (original frame index, delivery index, owner) per policed
+            // local delivery; remote deliveries carry the sentinel id and
+            // are never policed here (the owning PoP polices them).
+            let mut targets: Vec<(usize, usize, ExperimentId)> = Vec::new();
+            let mut di = 0usize;
+            for (i, p) in pkts.iter().enumerate() {
+                if p.is_none() {
+                    continue;
+                }
+                if let Some((_, _, exp)) = decisions[di] {
+                    if exp != ExperimentId(u32::MAX) && self.data.ingress_active(exp) {
+                        targets.push((i, di, exp));
+                    }
+                }
+                di += 1;
+            }
+            if !targets.is_empty() {
+                skip = vec![false; decisions.len()];
+                let mut verdicts = std::mem::take(&mut self.verdict_scratch);
+                let mut views: Vec<PacketView> = Vec::new();
+                let mut urpf_ok: Vec<bool> = Vec::new();
+                let mut any_flood = false;
+                let now = ctx.now();
+                // Consecutive same-experiment runs share one batch call,
+                // mirroring the egress batching.
+                let mut start = 0usize;
+                while start < targets.len() {
+                    let exp = targets[start].2;
+                    let mut end = start + 1;
+                    while end < targets.len() && targets[end].2 == exp {
+                        end += 1;
+                    }
+                    let run = &targets[start..end];
+                    views.clear();
+                    for &(i, _, _) in run {
+                        let pkt = pkts[i].as_ref().expect("target packets survive");
+                        views.push(packet_view(pkt, frames[i].wire_len()));
+                    }
+                    // uRPF asks the ingress neighbor's own table whether it
+                    // covers the claimed source; traffic with no neighbor
+                    // context (backbone transit, locally injected) skips it.
+                    let urpf = match from {
+                        Some(nbr) if self.data.ingress_urpf(exp) => {
+                            urpf_ok.clear();
+                            for &(i, _, _) in run {
+                                let src =
+                                    pkts[i].as_ref().expect("target packets survive").header.src;
+                                urpf_ok.push(self.mux.source_routable(nbr, src));
+                            }
+                            Some(urpf_ok.as_slice())
+                        }
+                        _ => None,
+                    };
+                    self.data
+                        .check_ingress_batch(exp, &views, urpf, now, &mut verdicts);
+                    any_flood |= self.data.flood_active(exp);
+                    for (k, &(i, di, _)) in run.iter().enumerate() {
+                        match verdicts[k] {
+                            DataVerdict::Allow => {}
+                            DataVerdict::Transform(rw) => {
+                                // Ingress rewrites patch headers in place;
+                                // the delivery decision is already made, so
+                                // a dst rewrite does not re-route.
+                                let pkt = pkts[i].as_mut().expect("target packets survive");
+                                if let Some(ttl) = rw.ttl {
+                                    pkt.header.ttl = ttl;
+                                }
+                                if let Some(src) = rw.src {
+                                    pkt.header.src = src;
+                                }
+                                if let Some(dst) = rw.dst {
+                                    pkt.header.dst = dst;
+                                }
+                                self.stats.data_transformed += 1;
+                            }
+                            DataVerdict::Block(reason) => {
+                                self.stats.ingress_blocked += 1;
+                                self.obs.record(ObsEvent::DataBlocked {
+                                    experiment: exp.0,
+                                    reason,
+                                });
+                                skip[di] = true;
+                            }
+                        }
+                    }
+                    start = end;
+                }
+                self.verdict_scratch = verdicts;
+                // Flood charges landed in the shared ledger: make sure the
+                // gossip/prune tick is running so other PoPs hear about
+                // them (and windows eventually expire).
+                if any_flood {
+                    self.ensure_ledger_timer(ctx);
+                }
+            }
+        }
         for (di, pkt) in pkts.iter().flatten().enumerate() {
+            if skip.get(di).copied().unwrap_or(false) {
+                continue;
+            }
             match decisions[di] {
                 Some((Egress::Frame { port: out, dst_mac }, src_rewrite, _exp)) => {
                     let src = src_rewrite.unwrap_or_else(|| self.port_mac(out));
@@ -1158,19 +1280,24 @@ impl VbgpRouter {
         ctx.set_timer(SimDuration::from_secs(LEDGER_GOSSIP_SECS), TOKEN_LEDGER);
     }
 
-    /// One ledger tick: prune expired day buckets on day rollover, gossip
-    /// this PoP's current-day tallies to every backbone peer (only when an
-    /// AS-wide budget is configured — without one, remote tallies are
-    /// never consulted), then re-arm while the ledger stays non-empty.
+    /// One ledger tick: prune expired day buckets (and flood windows) on
+    /// rollover, gossip this PoP's current-day tallies (only when an
+    /// AS-wide update budget is configured — without one, remote tallies
+    /// are never consulted) and its current-window flood tallies (always,
+    /// when present — the ledger cannot see per-experiment flood configs,
+    /// and an AS-wide flood limit at any PoP needs every PoP's counts),
+    /// then re-arm while the ledger stays non-empty.
     fn on_ledger_timer(&mut self, ctx: &mut Ctx<'_>) {
         self.ledger_timer_armed = false;
         let now = ctx.now();
         let day = RateLedger::day_index(now);
+        let window = RateLedger::flood_window(now);
         let ledger = self.control.ledger();
         let mut guard = ledger.lock().unwrap();
-        if day > self.last_pruned_day {
+        if day > self.last_pruned_day || window > self.last_pruned_window {
             let dropped = guard.prune(now);
             self.last_pruned_day = day;
+            self.last_pruned_window = window;
             if dropped > 0 {
                 self.obs.record(ObsEvent::LedgerPrune {
                     dropped: dropped as u64,
@@ -1182,10 +1309,11 @@ impl VbgpRouter {
         } else {
             Vec::new()
         };
+        let flood_entries = guard.flood_gossip_entries(self.pop, now);
         let keep_ticking = !guard.is_empty();
         drop(guard);
-        if !entries.is_empty() {
-            let payload = encode_ledger_gossip(self.pop, day, &entries);
+        if !entries.is_empty() || !flood_entries.is_empty() {
+            let payload = encode_ledger_gossip(self.pop, day, &entries, window, &flood_entries);
             let links = self.backbone_links.clone();
             for (port, remote_mac) in links {
                 let src = self.port_mac(port);
@@ -1211,21 +1339,24 @@ impl VbgpRouter {
     /// are dropped silently — gossip is advisory, enforcement never
     /// loosens without it).
     fn on_ledger_gossip(&mut self, ctx: &mut Ctx<'_>, frame: &EtherFrame) {
-        let Some((origin, day, entries)) = decode_ledger_gossip(&frame.payload) else {
+        let Some((origin, day, entries, window, flood_entries)) =
+            decode_ledger_gossip(&frame.payload)
+        else {
             return;
         };
         if origin == self.pop {
             return;
         }
         self.stats.ledger_gossip_rx += 1;
-        self.control
-            .ledger()
-            .lock()
-            .unwrap()
-            .observe_remote(origin, day, &entries);
+        {
+            let ledger = self.control.ledger();
+            let mut guard = ledger.lock().unwrap();
+            guard.observe_remote(origin, day, &entries);
+            guard.observe_remote_flood(origin, window, &flood_entries);
+        }
         self.obs.record(ObsEvent::LedgerGossip {
             from_pop: origin.0,
-            entries: entries.len() as u32,
+            entries: (entries.len() + flood_entries.len()) as u32,
         });
         // A receive-only PoP still needs the tick for day-rollover pruning.
         self.ensure_ledger_timer(ctx);
@@ -1272,41 +1403,59 @@ fn packet_view(pkt: &IpPacket, wire_len: usize) -> PacketView {
 }
 
 /// Encode a ledger gossip payload. Fixed header (magic, version, origin
-/// PoP, day, entry count) followed by fixed-width entries; everything
-/// big-endian, entries pre-sorted by the caller so the payload is
-/// byte-deterministic.
-fn encode_ledger_gossip(origin: PopId, day: u64, entries: &[(ExperimentId, Prefix, u32)]) -> Bytes {
+/// PoP, day, entry count) followed by fixed-width update-rate entries,
+/// then (since version 2) the flood section: window index, flood entry
+/// count, and fixed-width flood entries in the same 26-byte layout.
+/// Everything big-endian, entries pre-sorted by the caller so the payload
+/// is byte-deterministic.
+fn encode_ledger_gossip(
+    origin: PopId,
+    day: u64,
+    entries: &[(ExperimentId, Prefix, u32)],
+    window: u64,
+    flood_entries: &[(ExperimentId, Prefix, u32)],
+) -> Bytes {
+    fn put_entries(buf: &mut Vec<u8>, entries: &[(ExperimentId, Prefix, u32)]) {
+        for (exp, prefix, used) in entries {
+            buf.extend_from_slice(&exp.0.to_be_bytes());
+            let (afi, plen, addr) = match prefix {
+                Prefix::V4 { addr, len } => {
+                    let mut a = [0u8; 16];
+                    a[..4].copy_from_slice(&addr.octets());
+                    (4u8, *len, a)
+                }
+                Prefix::V6 { addr, len } => (6u8, *len, addr.octets()),
+            };
+            buf.push(afi);
+            buf.push(plen);
+            buf.extend_from_slice(&addr);
+            buf.extend_from_slice(&used.to_be_bytes());
+        }
+    }
     let count = entries.len().min(u16::MAX as usize);
-    let mut buf = Vec::with_capacity(19 + count * 26);
+    let fcount = flood_entries.len().min(u16::MAX as usize);
+    let mut buf = Vec::with_capacity(29 + (count + fcount) * 26);
     buf.extend_from_slice(&LEDGER_MAGIC.to_be_bytes());
     buf.push(LEDGER_VERSION);
     buf.extend_from_slice(&origin.0.to_be_bytes());
     buf.extend_from_slice(&day.to_be_bytes());
     buf.extend_from_slice(&(count as u16).to_be_bytes());
-    for (exp, prefix, used) in &entries[..count] {
-        buf.extend_from_slice(&exp.0.to_be_bytes());
-        let (afi, plen, addr) = match prefix {
-            Prefix::V4 { addr, len } => {
-                let mut a = [0u8; 16];
-                a[..4].copy_from_slice(&addr.octets());
-                (4u8, *len, a)
-            }
-            Prefix::V6 { addr, len } => (6u8, *len, addr.octets()),
-        };
-        buf.push(afi);
-        buf.push(plen);
-        buf.extend_from_slice(&addr);
-        buf.extend_from_slice(&used.to_be_bytes());
-    }
+    put_entries(&mut buf, &entries[..count]);
+    buf.extend_from_slice(&window.to_be_bytes());
+    buf.extend_from_slice(&(fcount as u16).to_be_bytes());
+    put_entries(&mut buf, &flood_entries[..fcount]);
     Bytes::from(buf)
 }
 
-/// One decoded gossip tally: how many updates `ExperimentId` spent on
-/// `Prefix` at the originating PoP today.
+/// One decoded gossip tally: how many updates (or flood-window packets)
+/// `ExperimentId` spent on `Prefix` at the originating PoP.
 type GossipEntry = (ExperimentId, Prefix, u32);
 
 /// Decode a ledger gossip payload; `None` on anything malformed.
-fn decode_ledger_gossip(payload: &[u8]) -> Option<(PopId, u64, Vec<GossipEntry>)> {
+#[allow(clippy::type_complexity)]
+fn decode_ledger_gossip(
+    payload: &[u8],
+) -> Option<(PopId, u64, Vec<GossipEntry>, u64, Vec<GossipEntry>)> {
     fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
         if buf.len() < n {
             return None;
@@ -1314,6 +1463,30 @@ fn decode_ledger_gossip(payload: &[u8]) -> Option<(PopId, u64, Vec<GossipEntry>)
         let (head, tail) = buf.split_at(n);
         *buf = tail;
         Some(head)
+    }
+    fn take_entries(buf: &mut &[u8]) -> Option<Vec<GossipEntry>> {
+        let count = u16::from_be_bytes(take(buf, 2)?.try_into().ok()?) as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let exp = ExperimentId(u32::from_be_bytes(take(buf, 4)?.try_into().ok()?));
+            let afi = take(buf, 1)?[0];
+            let plen = take(buf, 1)?[0];
+            let addr: [u8; 16] = take(buf, 16)?.try_into().ok()?;
+            let used = u32::from_be_bytes(take(buf, 4)?.try_into().ok()?);
+            let prefix = match afi {
+                4 if plen <= 32 => Prefix::V4 {
+                    addr: Ipv4Addr::new(addr[0], addr[1], addr[2], addr[3]),
+                    len: plen,
+                },
+                6 if plen <= 128 => Prefix::V6 {
+                    addr: addr.into(),
+                    len: plen,
+                },
+                _ => return None,
+            };
+            entries.push((exp, prefix, used));
+        }
+        Some(entries)
     }
     let mut buf = payload;
     let magic = u32::from_be_bytes(take(&mut buf, 4)?.try_into().ok()?);
@@ -1325,28 +1498,11 @@ fn decode_ledger_gossip(payload: &[u8]) -> Option<(PopId, u64, Vec<GossipEntry>)
     }
     let origin = PopId(u32::from_be_bytes(take(&mut buf, 4)?.try_into().ok()?));
     let day = u64::from_be_bytes(take(&mut buf, 8)?.try_into().ok()?);
-    let count = u16::from_be_bytes(take(&mut buf, 2)?.try_into().ok()?) as usize;
-    let mut entries = Vec::with_capacity(count);
-    for _ in 0..count {
-        let exp = ExperimentId(u32::from_be_bytes(take(&mut buf, 4)?.try_into().ok()?));
-        let afi = take(&mut buf, 1)?[0];
-        let plen = take(&mut buf, 1)?[0];
-        let addr: [u8; 16] = take(&mut buf, 16)?.try_into().ok()?;
-        let used = u32::from_be_bytes(take(&mut buf, 4)?.try_into().ok()?);
-        let prefix = match afi {
-            4 if plen <= 32 => Prefix::V4 {
-                addr: Ipv4Addr::new(addr[0], addr[1], addr[2], addr[3]),
-                len: plen,
-            },
-            6 if plen <= 128 => Prefix::V6 {
-                addr: addr.into(),
-                len: plen,
-            },
-            _ => return None,
-        };
-        entries.push((exp, prefix, used));
-    }
-    buf.is_empty().then_some((origin, day, entries))
+    let entries = take_entries(&mut buf)?;
+    let window = u64::from_be_bytes(take(&mut buf, 8)?.try_into().ok()?);
+    let flood_entries = take_entries(&mut buf)?;
+    buf.is_empty()
+        .then_some((origin, day, entries, window, flood_entries))
 }
 
 impl Node for VbgpRouter {

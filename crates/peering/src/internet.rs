@@ -362,6 +362,25 @@ impl InternetAs {
         }
     }
 
+    /// Originate a prefix on a *running* AS: register it and announce it
+    /// immediately over every established session. [`InternetAs::originate`]
+    /// only takes effect at [`InternetAs::start`]; serving experiments that
+    /// seed customer-cone prefixes after the platform's convergence run need
+    /// this live path.
+    pub fn originate_now(&mut self, ctx: &mut Ctx<'_>, prefix: Prefix) {
+        self.originated.push(prefix);
+        let nh = self
+            .port_addrs
+            .iter()
+            .min_by_key(|(port, _)| **port)
+            .map(|(_, a)| *a)
+            .unwrap_or(Ipv4Addr::UNSPECIFIED);
+        let attrs = PathAttributes::originated(nh.into());
+        let out = self.host.speaker.originate(prefix, attrs);
+        let events = self.host.apply(ctx, out);
+        self.events.extend(events);
+    }
+
     /// Send a probe packet toward `dst` along the best route (vantage-point
     /// measurements).
     pub fn send_probe(
@@ -372,6 +391,16 @@ impl InternetAs {
         payload: Bytes,
     ) -> bool {
         let pkt = IpPacket::new(src, dst, IpProto::Udp, payload);
+        self.forward(ctx, pkt, true)
+    }
+
+    /// Send an arbitrary, fully-formed packet along the best route toward
+    /// its destination — the traffic-generator entry point (client flows
+    /// injected at their home AS). Unlike [`InternetAs::send_probe`] the
+    /// caller controls the protocol and transport header bytes, so
+    /// TCP-shaped attack flows can be synthesized. Returns `false` (and
+    /// counts `no_route`) when the AS holds no route for the destination.
+    pub fn send_packet(&mut self, ctx: &mut Ctx<'_>, pkt: IpPacket) -> bool {
         self.forward(ctx, pkt, true)
     }
 

@@ -14,6 +14,9 @@
 //! | [`internet`] | §2 (substrate) | Synthetic Internet ASes with Gao–Rexford policies: route propagation, customer cones, full data-plane forwarding |
 //! | [`topology`] | §4.2 | Footprint generator parameterized to the paper's published counts (13 PoPs, 923 peers, 12 transits, peer-type mix) |
 //! | [`platform`] | §4 | [`platform::Peering`]: builds the whole testbed in the simulator and provisions experiments turn-key |
+//! | [`serving`] | §3.3, §4.7 | Anycast serving harness: announce one prefix from N PoPs, predict + observe per-PoP catchment, drive churn shifts |
+
+#![warn(missing_docs)]
 
 pub mod allocation;
 pub mod controller;
@@ -23,6 +26,7 @@ pub mod internet;
 pub mod json;
 pub mod netconf;
 pub mod platform;
+pub mod serving;
 pub mod topology;
 pub mod vpn;
 
@@ -36,5 +40,6 @@ pub use intent::{
 pub use internet::{InternetAs, Relationship};
 pub use netconf::{Address, Interface, NetState, NetconfError, NetconfOp, RouteEntry};
 pub use platform::{AttachedExperiment, BuildProfile, Peering, PeeringError};
+pub use serving::{AnycastServing, ServingParams};
 pub use topology::{FootprintReport, TopologyParams};
 pub use vpn::{VpnCredentials, VpnServer};

@@ -22,7 +22,7 @@ use peering_obs::{Obs, Snapshot};
 use peering_toolkit::client::{default_tunnel_link, PopAttachment, Toolkit};
 use peering_toolkit::node::ExperimentNode;
 use peering_vbgp::enforcement::control::{ControlEnforcer, ExperimentPolicy, RateLedger};
-use peering_vbgp::enforcement::data::{DataEnforcer, ExperimentDataPolicy};
+use peering_vbgp::enforcement::data::{DataEnforcer, ExperimentDataPolicy, FloodPolicy};
 use peering_vbgp::ids::{ExperimentId, NeighborId, PopId};
 use peering_vbgp::router::{
     BackboneConfig, ExperimentConfig, NeighborConfig, NeighborKind, RemoteNeighbor, VbgpRouter,
@@ -175,8 +175,12 @@ impl Peering {
             // mutex here would serialize shards nondeterministically the
             // moment budgets couple PoPs.
             let ledger = Arc::new(Mutex::new(RateLedger::default()));
-            let control = ControlEnforcer::new(pop_id, cc, ledger);
+            let control = ControlEnforcer::new(pop_id, cc, Arc::clone(&ledger));
             let mut data = DataEnforcer::new();
+            // The data plane charges ingress flood budgets against the
+            // same per-PoP ledger the control plane uses for update
+            // budgets — one gossip stream reconciles both.
+            data.set_flood_ledger(pop_id, ledger);
             if let Some(limit) = pop_intent.bandwidth_limit {
                 data.set_pop_shaper(limit, limit / 4);
             }
@@ -683,6 +687,42 @@ impl Peering {
             if let Err(e) = installed {
                 result = Err(PeeringError::Rejected(format!(
                     "invalid packet program: {e}"
+                )));
+            }
+        }
+        result
+    }
+
+    /// Configure an experiment's *ingress* serving policy — strict
+    /// reverse-path validation, an optional ingress packet program (same
+    /// fail-closed contract as [`Peering::install_packet_program`]), and
+    /// an optional flood budget charged against the shared rate ledger —
+    /// at one PoP (`Some(name)`) or everywhere it is attached (`None`).
+    /// Experiments that never call this pay nothing on the delivery path.
+    pub fn install_ingress_policy(
+        &mut self,
+        exp: ExperimentId,
+        pop: Option<&str>,
+        urpf: bool,
+        program: Option<peering_vbgp::enforcement::pprog::PacketProgram>,
+        flood: Option<FloodPolicy>,
+    ) -> Result<(), PeeringError> {
+        let routers: Vec<NodeId> = match pop {
+            Some(name) => vec![self
+                .router_node(name)
+                .ok_or_else(|| PeeringError::Rejected(format!("unknown PoP {name}")))?],
+            None => self.pops.iter().map(|p| p.router).collect(),
+        };
+        let mut result = Ok(());
+        for r in routers {
+            let program = program.clone();
+            let installed = self.sim.with_node_ctx::<VbgpRouter, _>(r, |router, _| {
+                router.data.set_ingress_guards(exp, urpf, flood);
+                router.data.install_ingress_program(exp, program)
+            });
+            if let Err(e) = installed {
+                result = Err(PeeringError::Rejected(format!(
+                    "invalid ingress program: {e}"
                 )));
             }
         }

@@ -43,7 +43,8 @@ pub struct HarnessOptions {
     /// prove it.
     pub shards: usize,
     /// Cap on the adaptive lookahead-window multiplier
-    /// ([`Simulator::set_window_cap`]); `None` keeps the engine default.
+    /// ([`peering_netsim::Simulator::set_window_cap`]); `None` keeps the
+    /// engine default.
     /// The cap only paces how far a quiet run doubles its windows — any
     /// value ≥ 1 is bit-identical, which the property tests sweep.
     pub window_cap: Option<u64>,

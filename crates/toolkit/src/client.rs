@@ -317,6 +317,13 @@ impl Toolkit {
         sim.run_for(duration);
     }
 
+    /// The experiment-side tunnel port toward `pop`. Delivered-packet
+    /// counters on the experiment node are keyed by this port, so it is
+    /// the join key for per-PoP catchment accounting.
+    pub fn local_port(&self, pop: &str) -> Option<PortId> {
+        self.pops.get(pop).map(|a| a.info.local_port)
+    }
+
     /// The experiment node id.
     pub fn node_id(&self) -> NodeId {
         self.node

@@ -45,8 +45,23 @@ pub struct ExperimentNode {
     local_prefixes: Vec<Prefix>,
     arp: ArpCache,
     pending: HashMap<Ipv4Addr, Vec<(PortId, IpPacket)>>,
-    /// Packets delivered to this experiment.
+    /// Packets delivered to this experiment. Only populated while
+    /// recording is on (the default) — serving experiments that take
+    /// millions of packets switch to counters via
+    /// [`ExperimentNode::set_record_received`].
     pub received: Vec<ReceivedPacket>,
+    /// Total packets delivered (counted even when recording is off).
+    pub received_count: u64,
+    /// Packets delivered per tunnel port (the per-PoP catchment
+    /// observable: each tunnel port is one PoP attachment).
+    pub received_by_port: HashMap<PortId, u64>,
+    /// Packets delivered per payload tag byte, when a tag offset is set
+    /// via [`ExperimentNode::set_tag_offset`]. Serving experiments stamp
+    /// a flow-class tag into each packet's payload so per-class delivery
+    /// can be counted without recording packets.
+    pub received_by_tag: HashMap<u8, u64>,
+    record_received: bool,
+    tag_offset: Option<usize>,
     /// Structural BGP events observed (session up/down, routes learned…).
     pub events: Vec<HostEvent>,
     /// Packets sent (for accounting in experiments).
@@ -65,9 +80,29 @@ impl ExperimentNode {
             arp: ArpCache::new(),
             pending: HashMap::new(),
             received: Vec::new(),
+            received_count: 0,
+            received_by_port: HashMap::new(),
+            received_by_tag: HashMap::new(),
+            record_received: true,
+            tag_offset: None,
             events: Vec::new(),
             sent: 0,
         }
+    }
+
+    /// Keep (or stop keeping) every delivered packet in
+    /// [`ExperimentNode::received`]. The per-port counters always run;
+    /// serving experiments turn recording off so a million-packet run
+    /// doesn't hold a million packets.
+    pub fn set_record_received(&mut self, record: bool) {
+        self.record_received = record;
+    }
+
+    /// Count delivered packets by the payload byte at `offset` (`None`
+    /// disables tag counting). Packets whose payload is shorter than
+    /// `offset + 1` are not tagged.
+    pub fn set_tag_offset(&mut self, offset: Option<usize>) {
+        self.tag_offset = offset;
     }
 
     /// The experiment's ASN.
@@ -364,11 +399,20 @@ impl Node for ExperimentNode {
             EtherType::Arp => self.on_arp(ctx, port, &frame),
             EtherType::Ipv4 => {
                 if let Some(packet) = IpPacket::decode(&frame.payload) {
-                    self.received.push(ReceivedPacket {
-                        packet,
-                        src_mac: frame.src,
-                        port,
-                    });
+                    self.received_count += 1;
+                    *self.received_by_port.entry(port).or_insert(0) += 1;
+                    if let Some(off) = self.tag_offset {
+                        if let Some(&tag) = packet.payload.get(off) {
+                            *self.received_by_tag.entry(tag).or_insert(0) += 1;
+                        }
+                    }
+                    if self.record_received {
+                        self.received.push(ReceivedPacket {
+                            packet,
+                            src_mac: frame.src,
+                            port,
+                        });
+                    }
                 }
             }
             _ => {}

@@ -19,7 +19,11 @@
 pub mod churn;
 pub mod dfz;
 pub mod fabric;
+pub mod serving;
+pub mod traffic;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnSchedule};
 pub use dfz::{DfzConfig, DfzGenerator, DfzRoute};
 pub use fabric::{DfzFabric, FabricConfig, FeedStats};
+pub use serving::{run_serving, ServingOutcome, ServingSpec};
+pub use traffic::{Flow, FlowClass, FlowProto, TrafficConfig, TrafficGenerator, TrafficMix};

@@ -1,0 +1,471 @@
+//! Flow-level open-loop traffic generator.
+//!
+//! The paper's muxes carry real client traffic for experiments that
+//! announce anycast prefixes from many PoPs at once (§3.3, §4.7). This
+//! module synthesizes that client population deterministically: millions
+//! of flows drawn from the synthetic DFZ's origin space, mixed with the
+//! hostile shapes the enforcement engine must stop (spoofed-source
+//! floods, SYN-flood-like short flows, single-prefix concentration).
+//!
+//! Like [`crate::dfz::DfzGenerator`], the generator is **random-access
+//! and streaming**: [`TrafficGenerator::flow`] computes flow `i` in O(1)
+//! from the seed, so a ten-million-flow schedule costs nothing to hold.
+//! The same seed + config replays the identical flow stream, which is
+//! what lets the serving battery demand bit-identical catchment maps at
+//! any shard count.
+//!
+//! **Address-space discipline.** Legitimate and concentrated sources
+//! live inside the DFZ's announced space (20.0.0.0 … 83.255.255.255), so
+//! they pass a strict uRPF check at the entry transit. Spoofed sources
+//! are drawn from 92.0.0.0/8 — space *no* synthetic table ever
+//! announces — so reverse-path lookups fail by construction.
+
+use crate::dfz::DfzGenerator;
+use std::net::Ipv4Addr;
+
+/// First octet of the spoofed-source pool: unannounced space disjoint
+/// from the DFZ range (20–83), platform fabrics (10/8), tunnels
+/// (100.64/10), leases (184.164/16, 138.185/16) and neighbor baselines
+/// (198.18/15+).
+pub const SPOOF_BASE_OCTET: u8 = 92;
+
+/// SplitMix64 — the workspace's standard deterministic mixer.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The class of a synthesized flow: one legitimate shape plus the three
+/// attack shapes the serving battery must block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowClass {
+    /// A well-behaved client flow from announced DFZ space (UDP,
+    /// realistic packet sizes). Must keep being delivered while the
+    /// attacks below are dropped.
+    Legit,
+    /// A spoofed-source flood: sources forged from unannounced space,
+    /// caught by strict uRPF at the ingress mux.
+    SpoofedFlood,
+    /// A SYN-flood-like burst: very short TCP packets to one service
+    /// port, caught by an ingress packet program.
+    SynFlood,
+    /// A concentration attack: high aggregate rate from one /16 of
+    /// otherwise-legitimate space, spread across PoPs so only the
+    /// gossiped flood ledger sees the platform-wide total.
+    Concentration,
+}
+
+impl FlowClass {
+    /// Stable lowercase label (used as an obs label and in JSON output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowClass::Legit => "legit",
+            FlowClass::SpoofedFlood => "spoofed-flood",
+            FlowClass::SynFlood => "syn-flood",
+            FlowClass::Concentration => "concentration",
+        }
+    }
+}
+
+/// Transport protocol of a synthesized flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowProto {
+    /// UDP (legitimate request/response traffic, floods).
+    Udp,
+    /// TCP (the SYN-flood shape).
+    Tcp,
+}
+
+/// One synthesized client flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// What shape this flow is.
+    pub class: FlowClass,
+    /// Client source address.
+    pub src: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port on the served prefix.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: FlowProto,
+    /// Host offset inside the served /24 (0–255) the client talks to.
+    pub dst_host: u8,
+    /// Packets in the flow.
+    pub packets: u32,
+    /// Payload bytes per packet (before the 4-byte port header the
+    /// data plane parses; see `packet_view`).
+    pub payload_len: u16,
+    /// Which PoP's entry transit carries this client, as an index into
+    /// the serving topology's PoP list (`home_pop % pops`).
+    pub home_pop: u32,
+    /// Flow start offset within the serving window, in milliseconds.
+    pub start_ms: u64,
+}
+
+/// Relative weights of each flow class in a schedule. Weights are
+/// arbitrary non-negative integers; flows are dealt proportionally and
+/// deterministically (largest-remainder over the flow index space, so
+/// the same config always yields the same class sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficMix {
+    /// Weight of [`FlowClass::Legit`].
+    pub legit: u32,
+    /// Weight of [`FlowClass::SpoofedFlood`].
+    pub spoofed: u32,
+    /// Weight of [`FlowClass::SynFlood`].
+    pub syn_flood: u32,
+    /// Weight of [`FlowClass::Concentration`].
+    pub concentration: u32,
+}
+
+impl TrafficMix {
+    /// All-legitimate traffic (catchment measurement runs).
+    pub fn clean() -> Self {
+        TrafficMix {
+            legit: 1,
+            spoofed: 0,
+            syn_flood: 0,
+            concentration: 0,
+        }
+    }
+
+    /// The serving battery's hostile mix: half legitimate, half attack
+    /// split evenly across the three shapes.
+    pub fn under_attack() -> Self {
+        TrafficMix {
+            legit: 30,
+            spoofed: 10,
+            syn_flood: 10,
+            concentration: 10,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.legit as u64 + self.spoofed as u64 + self.syn_flood as u64 + self.concentration as u64
+    }
+}
+
+/// Configuration for a flow schedule.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Seed; same seed + same config → identical flow stream.
+    pub seed: u64,
+    /// Number of flows in the schedule.
+    pub flows: usize,
+    /// Class mix.
+    pub mix: TrafficMix,
+    /// Number of PoPs clients are homed across.
+    pub pops: u32,
+    /// Serving-window length flows start within, in milliseconds.
+    pub duration_ms: u64,
+    /// Destination service port for legitimate/UDP traffic.
+    pub service_port: u16,
+    /// Destination port the SYN flood targets.
+    pub syn_port: u16,
+}
+
+impl TrafficConfig {
+    /// A schedule of `flows` flows across `pops` PoPs with the given mix.
+    pub fn new(seed: u64, flows: usize, pops: u32, mix: TrafficMix) -> Self {
+        TrafficConfig {
+            seed,
+            flows,
+            mix,
+            pops: pops.max(1),
+            duration_ms: 10_000,
+            service_port: 80,
+            syn_port: 443,
+        }
+    }
+}
+
+/// Deterministic random-access generator over a flow schedule. Flow
+/// indices run `0..cfg.flows`; [`TrafficGenerator::flow`] is O(1).
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    cfg: TrafficConfig,
+    dfz: DfzGenerator,
+    /// Cumulative permille-style thresholds over a 2^20 wheel, giving an
+    /// exact largest-remainder deal of classes over any index range.
+    thresholds: [u64; 4],
+    /// The /16 the concentration attack hammers (hot bucket), as the
+    /// upper 16 bits of a v4 address.
+    hot_slash16: u32,
+}
+
+/// Wheel size class thresholds are expressed over (power of two so the
+/// per-index position is one multiply + mask).
+const WHEEL: u64 = 1 << 20;
+
+impl TrafficGenerator {
+    /// Build a generator over `cfg`, drawing client sources from the
+    /// announced space of `dfz` (cheap: no flows materialize).
+    pub fn new(cfg: TrafficConfig, dfz: DfzGenerator) -> Self {
+        let total = cfg.mix.total().max(1);
+        let mut acc = 0u64;
+        let mut thresholds = [0u64; 4];
+        for (slot, w) in [
+            cfg.mix.legit,
+            cfg.mix.spoofed,
+            cfg.mix.syn_flood,
+            cfg.mix.concentration,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            acc += w as u64 * WHEEL / total;
+            thresholds[slot] = acc;
+        }
+        thresholds[3] = WHEEL; // absorb rounding remainder
+
+        // Hot /16 for the concentration shape: inside the DFZ v4 range
+        // (20.0.0.0–83.255.255.255), chosen from the seed.
+        let hot_hi = 20 + (splitmix(cfg.seed ^ 0xC0C0) % 64) as u32;
+        let hot_lo = (splitmix(cfg.seed ^ 0xC1C1) & 0xff) as u32;
+        TrafficGenerator {
+            cfg,
+            dfz,
+            thresholds,
+            hot_slash16: (hot_hi << 24 | hot_lo << 16) >> 16,
+        }
+    }
+
+    /// The configuration this generator was built from.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+
+    /// Number of flows in the schedule.
+    pub fn len(&self) -> usize {
+        self.cfg.flows
+    }
+
+    /// True when the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cfg.flows == 0
+    }
+
+    /// The /16 the concentration shape concentrates in, as an address
+    /// with the host bits zero (e.g. `47.112.0.0`).
+    pub fn hot_bucket(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.hot_slash16 << 16)
+    }
+
+    /// The class of flow `i` (cheaper than [`TrafficGenerator::flow`]
+    /// when only the mix is being audited).
+    pub fn class_of(&self, i: usize) -> FlowClass {
+        assert!(i < self.cfg.flows, "flow index {i} out of range");
+        // Low-discrepancy position on the wheel: stride by the golden
+        // ratio so every window of the schedule sees the configured mix.
+        let pos = (i as u64).wrapping_mul(0x9E37_79B9) & (WHEEL - 1);
+        if pos < self.thresholds[0] {
+            FlowClass::Legit
+        } else if pos < self.thresholds[1] {
+            FlowClass::SpoofedFlood
+        } else if pos < self.thresholds[2] {
+            FlowClass::SynFlood
+        } else {
+            FlowClass::Concentration
+        }
+    }
+
+    /// A legitimate client address: a host in the /8 customer cone that
+    /// holds the DFZ v4 route drawn by `state`. Drawing a route first
+    /// makes client populations follow the table's regional density;
+    /// dispersing over the whole cone keeps any single /16 far below
+    /// the concentration attack's hot bucket, so a flood ledger at /16
+    /// granularity can separate the two. Requires a table with v4
+    /// routes (every DFZ config in the tree has them).
+    fn legit_src(&self, state: u64) -> Ipv4Addr {
+        let v4_routes = self.dfz.config().v4_routes;
+        assert!(v4_routes > 0, "traffic schedule needs a v4 DFZ table");
+        let route = (state % v4_routes as u64) as usize;
+        match self.dfz.prefix(route) {
+            peering_bgp::types::Prefix::V4 { addr, .. } => {
+                let cone = u32::from(addr) & 0xff00_0000;
+                let host = (splitmix(state ^ 0x5150) & 0x00ff_ffff) as u32;
+                // Avoid the .0.0.0 cone address for realism.
+                Ipv4Addr::from(cone | host.max(1))
+            }
+            // Indices below v4_routes are v4 by construction.
+            peering_bgp::types::Prefix::V6 { .. } => unreachable!("legit_src draws v4 routes"),
+        }
+    }
+
+    /// Flow `i` of the schedule.
+    pub fn flow(&self, i: usize) -> Flow {
+        let class = self.class_of(i);
+        let mut state =
+            splitmix(self.cfg.seed ^ 0xF10F ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut next = || {
+            state = splitmix(state);
+            state
+        };
+        let home_pop = (next() % self.cfg.pops as u64) as u32;
+        let start_ms = next() % self.cfg.duration_ms.max(1);
+        let dst_host = (next() & 0xff) as u8;
+        let src_port = 1024 + (next() % 60_000) as u16;
+        match class {
+            FlowClass::Legit => Flow {
+                class,
+                src: self.legit_src(next()),
+                src_port,
+                dst_port: self.cfg.service_port,
+                proto: FlowProto::Udp,
+                dst_host,
+                packets: 2 + (next() % 6) as u32,
+                payload_len: 64 + (next() % 1100) as u16,
+                home_pop,
+                start_ms,
+            },
+            FlowClass::SpoofedFlood => {
+                // Forged source: unannounced 92/8 space, fully random
+                // low bits (classic randomized spoofing).
+                let low = (next() & 0x00ff_ffff) as u32;
+                Flow {
+                    class,
+                    src: Ipv4Addr::from(((SPOOF_BASE_OCTET as u32) << 24) | low.max(1)),
+                    src_port,
+                    dst_port: self.cfg.service_port,
+                    proto: FlowProto::Udp,
+                    dst_host,
+                    packets: 8 + (next() % 8) as u32,
+                    payload_len: 512,
+                    home_pop,
+                    start_ms,
+                }
+            }
+            FlowClass::SynFlood => Flow {
+                class,
+                src: self.legit_src(next()),
+                src_port,
+                dst_port: self.cfg.syn_port,
+                proto: FlowProto::Tcp,
+                dst_host,
+                // SYN-only shape: many one-packet "connections", tiny
+                // payload (just the transport header slice).
+                packets: 6 + (next() % 6) as u32,
+                payload_len: 4,
+                home_pop,
+                start_ms,
+            },
+            FlowClass::Concentration => {
+                // Everything from one hot /16, spread across all PoPs —
+                // each mux alone sees a modest rate; the platform-wide
+                // aggregate is what must trip the flood ledger.
+                let host = (next() & 0xffff) as u32;
+                Flow {
+                    class,
+                    src: Ipv4Addr::from(self.hot_slash16 << 16 | host.max(1)),
+                    src_port,
+                    dst_port: self.cfg.service_port,
+                    proto: FlowProto::Udp,
+                    dst_host,
+                    packets: 10 + (next() % 6) as u32,
+                    payload_len: 256,
+                    home_pop,
+                    start_ms,
+                }
+            }
+        }
+    }
+
+    /// Stream every flow in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Flow> + '_ {
+        (0..self.len()).map(|i| self.flow(i))
+    }
+
+    /// Count of flows per class over the whole schedule (exact; O(n) in
+    /// the flow count but touches only the class wheel).
+    pub fn class_census(&self) -> [(FlowClass, usize); 4] {
+        let mut counts = [0usize; 4];
+        for i in 0..self.len() {
+            match self.class_of(i) {
+                FlowClass::Legit => counts[0] += 1,
+                FlowClass::SpoofedFlood => counts[1] += 1,
+                FlowClass::SynFlood => counts[2] += 1,
+                FlowClass::Concentration => counts[3] += 1,
+            }
+        }
+        [
+            (FlowClass::Legit, counts[0]),
+            (FlowClass::SpoofedFlood, counts[1]),
+            (FlowClass::SynFlood, counts[2]),
+            (FlowClass::Concentration, counts[3]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfz::DfzConfig;
+
+    fn gen(flows: usize, mix: TrafficMix) -> TrafficGenerator {
+        let dfz = DfzGenerator::new(DfzConfig::sized(7, 10_000, 2_000));
+        TrafficGenerator::new(TrafficConfig::new(42, flows, 4, mix), dfz)
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a = gen(5_000, TrafficMix::under_attack());
+        let b = gen(5_000, TrafficMix::under_attack());
+        for i in (0..5_000).step_by(37) {
+            assert_eq!(a.flow(i), b.flow(i));
+        }
+    }
+
+    #[test]
+    fn mix_proportions_hold() {
+        let g = gen(100_000, TrafficMix::under_attack());
+        let census = g.class_census();
+        let legit = census[0].1 as f64 / 100_000.0;
+        assert!((legit - 0.5).abs() < 0.02, "legit share {legit}");
+        for &(class, n) in &census[1..] {
+            let share = n as f64 / 100_000.0;
+            assert!((share - 1.0 / 6.0).abs() < 0.02, "{class:?} share {share}");
+        }
+    }
+
+    #[test]
+    fn class_address_discipline() {
+        let g = gen(20_000, TrafficMix::under_attack());
+        let hot = u32::from(g.hot_bucket()) >> 16;
+        for f in g.iter() {
+            let oct = f.src.octets()[0];
+            match f.class {
+                FlowClass::SpoofedFlood => {
+                    assert_eq!(oct, SPOOF_BASE_OCTET, "spoof outside pool: {}", f.src)
+                }
+                FlowClass::Concentration => {
+                    assert_eq!(u32::from(f.src) >> 16, hot, "not in hot /16: {}", f.src)
+                }
+                FlowClass::Legit | FlowClass::SynFlood => {
+                    assert!((20..84).contains(&oct), "legit outside DFZ: {}", f.src)
+                }
+            }
+            assert!(f.home_pop < 4);
+            assert!(f.start_ms < g.config().duration_ms);
+            assert!(f.packets > 0);
+        }
+    }
+
+    #[test]
+    fn syn_flood_is_tiny_tcp() {
+        let g = gen(20_000, TrafficMix::under_attack());
+        for f in g.iter().filter(|f| f.class == FlowClass::SynFlood) {
+            assert_eq!(f.proto, FlowProto::Tcp);
+            assert_eq!(f.dst_port, g.config().syn_port);
+            assert!(f.payload_len <= 8);
+        }
+    }
+
+    #[test]
+    fn clean_mix_is_all_legit() {
+        let g = gen(3_000, TrafficMix::clean());
+        assert!(g.iter().all(|f| f.class == FlowClass::Legit));
+    }
+}

@@ -1,0 +1,95 @@
+//! Anycast serving under attack (paper §3.3, §4.7): announce one prefix
+//! from every PoP, serve synthesized client traffic through the muxes,
+//! and watch the ingress defenses kill the hostile share while the
+//! platform keeps delivering for real clients.
+//!
+//! The run has four acts:
+//!
+//! 1. **Catchment.** Four PoPs announce the same leased /24. Each PoP's
+//!    transit prefers its direct customer route (Gao–Rexford), so every
+//!    client population lands on its home PoP — predicted from the
+//!    converged control plane and confirmed by delivered-packet
+//!    counters.
+//! 2. **Attack.** The open-loop generator mixes legitimate flows with
+//!    spoofed-source floods (die at strict uRPF), SYN-flood shapes (die
+//!    in a sandboxed packet program), and a single-/16 concentration
+//!    attack spread across PoPs (dies only because the flood ledger
+//!    gossips per-PoP counts into a platform-wide budget).
+//! 3. **Churn.** One PoP withdraws; its clients re-home to surviving
+//!    PoPs — the catchment shift every anycast operator plans around.
+//! 4. **Verdict.** Legitimate delivery must stay ≥ 99% while ≥ 95% of
+//!    attack traffic is blocked.
+//!
+//! Run with: `cargo run --release --example anycast_serving`
+//! (see `docs/serving.md` for the full operator's guide)
+
+use peering_workload::serving::{run_serving, ServingSpec};
+use peering_workload::TrafficMix;
+
+fn main() {
+    println!("== anycast serving under DDoS (paper §3.3, §4.7) ==\n");
+
+    let spec = ServingSpec::new(7, 4, 1200, TrafficMix::under_attack());
+    println!(
+        "serving 4 PoPs, {} flows ({}% legitimate), {}s serve window …\n",
+        spec.flows,
+        100 * spec.mix.legit
+            / (spec.mix.legit + spec.mix.spoofed + spec.mix.syn_flood + spec.mix.concentration),
+        spec.serve_ms / 1000,
+    );
+    let out = run_serving(&spec);
+
+    println!("-- catchment (all PoPs announcing) --");
+    for (&client, &serving) in &out.predicted_catchment {
+        println!("  clients at pop{client} -> served by pop{serving} (predicted)");
+    }
+    for (&pop, &n) in &out.observed_catchment {
+        println!("  pop{pop} delivered {n} packets");
+    }
+
+    println!("\n-- traffic verdicts --");
+    for (class, &sent) in &out.sent_by_class {
+        let delivered = out.delivered_by_class.get(class).copied().unwrap_or(0);
+        println!(
+            "  {class:<14} sent {sent:>6}  delivered {delivered:>6}  ({:.1}%)",
+            100.0 * delivered as f64 / sent.max(1) as f64
+        );
+    }
+    println!("\n-- ingress pipeline kills --");
+    for (reason, &n) in &out.blocked_by_reason {
+        println!("  {reason:<16} {n:>6}");
+    }
+    if let Some(fp) = out.flood_policy {
+        println!(
+            "  (flood budget: /{} buckets, {}/PoP, {} platform-wide)",
+            fp.bucket_len,
+            fp.per_pop_limit,
+            fp.as_wide_limit.unwrap_or(0)
+        );
+    }
+
+    if let (Some(pred), Some(obs)) = (&out.predicted_after_churn, &out.observed_after_churn) {
+        println!("\n-- after withdrawing at pop0 --");
+        for (&client, &serving) in pred {
+            println!("  clients at pop{client} -> served by pop{serving} (predicted)");
+        }
+        for (&pop, &n) in obs {
+            println!("  pop{pop} took {n} packets of the re-measurement burst");
+        }
+    }
+
+    println!("\n-- headline --");
+    println!(
+        "  {} packets through the platform, {:.0} pkts/s wall-clock",
+        out.injected,
+        out.packets_per_sec()
+    );
+    println!(
+        "  legitimate delivery {:.2}% (target >= 99%), attack blocked {:.2}% (target >= 95%)",
+        100.0 * out.legit_delivery,
+        100.0 * out.attack_block
+    );
+    assert!(out.legit_delivery >= 0.99, "legitimate traffic throttled");
+    assert!(out.attack_block >= 0.95, "attack traffic leaked");
+    println!("\nserving SLO held under attack — fail-closed enforcement works");
+}
